@@ -1,0 +1,82 @@
+/// Experiment EXT-3 (alignment quality, backs "holistic matching
+/// outperforms SOTA matchers"): pairwise precision/recall/F1 of ALITE's
+/// holistic matcher vs the header-equality baseline on ground-truth
+/// integration sets, as header noise grows 0 → 0.5 → 1.0.
+///
+/// Expected shape: both are near-perfect with clean headers; the name
+/// matcher collapses as headers are perturbed while the holistic matcher
+/// degrades gracefully (values + embeddings still carry signal).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "align/alite_matcher.h"
+#include "core/eval.h"
+#include "lake/lake_generator.h"
+
+namespace {
+using namespace dialite;
+}  // namespace
+
+int main() {
+  std::printf("=== EXT-3: alignment quality vs header noise ===\n");
+  std::printf("%-6s | %-15s | precision | recall | F1\n", "noise", "matcher");
+  std::printf("-------+-----------------+-----------+--------+------\n");
+
+  std::vector<std::unique_ptr<SchemaMatcher>> matchers;
+  matchers.push_back(std::make_unique<AliteMatcher>());
+  matchers.push_back(std::make_unique<NameMatcher>());
+
+  double alite_f1_noisy = 0.0;
+  double name_f1_noisy = 0.0;
+  for (double noise : {0.0, 0.5, 1.0}) {
+    // Average over several domains (one integration set per domain).
+    std::vector<double> f1_sum(matchers.size(), 0.0);
+    std::vector<double> p_sum(matchers.size(), 0.0);
+    std::vector<double> r_sum(matchers.size(), 0.0);
+    size_t sets = 0;
+    for (const char* domain :
+         {"world_cities", "companies", "universities", "football_clubs"}) {
+      LakeGeneratorParams params;
+      params.domains = {domain};
+      params.fragments_per_domain = 5;
+      params.header_noise = noise;
+      params.min_rows = 30;
+      params.max_rows = 90;
+      params.seed = 42 + static_cast<uint64_t>(noise * 100);
+      SyntheticLakeGenerator gen(params);
+      auto out = gen.Generate();
+      std::vector<const Table*> tables = out.lake.tables();
+      ++sets;
+      for (size_t m = 0; m < matchers.size(); ++m) {
+        auto r = matchers[m]->Align(tables);
+        if (!r.ok()) {
+          std::printf("FAIL: %s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        AlignmentMetrics prf = EvaluateAlignment(*r, out.truth, tables);
+        p_sum[m] += prf.precision;
+        r_sum[m] += prf.recall;
+        f1_sum[m] += prf.f1;
+      }
+    }
+    for (size_t m = 0; m < matchers.size(); ++m) {
+      double p = p_sum[m] / sets;
+      double rr = r_sum[m] / sets;
+      double f1 = f1_sum[m] / sets;
+      std::printf("%-6.1f | %-15s | %9.3f | %6.3f | %5.3f\n", noise,
+                  matchers[m]->name().c_str(), p, rr, f1);
+      if (noise == 1.0) {
+        if (matchers[m]->name() == "alite_holistic") alite_f1_noisy = f1;
+        if (matchers[m]->name() == "name_equality") name_f1_noisy = f1;
+      }
+    }
+  }
+  std::printf("\nshape: at full header noise, holistic F1 %.3f vs name-"
+              "equality %.3f -> %s\n",
+              alite_f1_noisy, name_f1_noisy,
+              alite_f1_noisy > name_f1_noisy ? "REPRODUCED (holistic wins)"
+                                             : "MISMATCH");
+  return alite_f1_noisy > name_f1_noisy ? 0 : 1;
+}

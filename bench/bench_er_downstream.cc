@@ -1,0 +1,130 @@
+/// Experiment EXT-4 (ER downstream, backs Example 5 at scale): the paper's
+/// T4/T5/T6 triangle pattern generalized to K entities. Each entity has
+/// three attributes (Vaccine, Country, Approver); three tables each hold
+/// one attribute pair — Ta(Vaccine, Approver), Tb(Country, Approver),
+/// Tc(Vaccine, Country) — and Approver cells go missing at rate p.
+///
+/// Metrics per (K, p): fraction of entities whose complete
+/// (Vaccine, Country, Approver) fact appears in the integrated output
+/// ("fact recovery"), output sizes, and entity count after ER.
+///
+/// Expected shape: FD recovers ≈ 1 − p² (the fact survives if EITHER copy
+/// of the approver survives), outer join only ≈ (1 − p)·something smaller,
+/// and the gap widens with p. ER over FD lands near K entities; over outer
+/// join it stays inflated by unresolvable debris.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "align/alite_matcher.h"
+#include "analyze/entity_resolution.h"
+#include "common/rng.h"
+#include "integrate/full_disjunction.h"
+#include "integrate/join_ops.h"
+
+namespace {
+
+using namespace dialite;
+
+struct Workload {
+  Table ta, tb, tc;
+  std::vector<std::array<std::string, 3>> entities;  // (v, c, a)
+};
+
+Workload MakeWorkload(size_t k, double null_rate, uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  w.ta = Table("Ta", Schema::FromNames({"Vaccine", "Approver"}));
+  w.tb = Table("Tb", Schema::FromNames({"Country", "Approver"}));
+  w.tc = Table("Tc", Schema::FromNames({"Vaccine", "Country"}));
+  for (size_t i = 0; i < k; ++i) {
+    std::string v = "vax_" + std::to_string(i);
+    std::string c = "country_" + std::to_string(i);
+    std::string a = "agency_" + std::to_string(i);
+    w.entities.push_back({v, c, a});
+    Value av1 = rng.NextBool(null_rate) ? Value::Null() : Value::String(a);
+    Value av2 = rng.NextBool(null_rate) ? Value::Null() : Value::String(a);
+    (void)w.ta.AddRow({Value::String(v), av1});
+    (void)w.tb.AddRow({Value::String(c), av2});
+    (void)w.tc.AddRow({Value::String(v), Value::String(c)});
+  }
+  return w;
+}
+
+/// Fraction of entities with a complete (v, c, a) tuple in `out`.
+double FactRecovery(const Table& out, const Workload& w) {
+  size_t iv = out.schema().IndexOf("Vaccine");
+  size_t ic = out.schema().IndexOf("Country");
+  size_t ia = out.schema().IndexOf("Approver");
+  size_t recovered = 0;
+  for (const auto& [v, c, a] : w.entities) {
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      const Value& vv = out.at(r, iv);
+      const Value& vc = out.at(r, ic);
+      const Value& va = out.at(r, ia);
+      if (!vv.is_null() && vv.ToCsvString() == v && !vc.is_null() &&
+          vc.ToCsvString() == c && !va.is_null() && va.ToCsvString() == a) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(recovered) /
+         static_cast<double>(w.entities.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== EXT-4: downstream ER over FD vs outer join ===\n");
+  const size_t kEntities = 120;
+  std::printf("entities per run: %zu; tables Ta(V,A), Tb(C,A), Tc(V,C)\n\n",
+              kEntities);
+  std::printf("%-5s | %-10s | rows | fact recovery | ER entities (truth "
+              "%zu)\n",
+              "p", "operator", kEntities);
+  std::printf("------+------------+------+---------------+----------------"
+              "----\n");
+
+  bool shape_ok = true;
+  for (double p : {0.0, 0.2, 0.4}) {
+    Workload w = MakeWorkload(kEntities, p, /*seed=*/7);
+    std::vector<const Table*> set = {&w.ta, &w.tb, &w.tc};
+    // Alignment is by (clean) headers here: isolate integration behavior.
+    NameMatcher matcher;
+    auto alignment = matcher.Align(set);
+    if (!alignment.ok()) return 1;
+
+    auto fd = FullDisjunction().Integrate(set, *alignment);
+    auto oj = OuterJoinIntegration().Integrate(set, *alignment);
+    if (!fd.ok() || !oj.ok()) {
+      std::printf("FAIL: integration\n");
+      return 1;
+    }
+    EntityResolver::Params er_params;
+    er_params.min_shared_columns = 2;
+    EntityResolver er(er_params, nullptr);  // purely syntactic: values exact
+    auto er_fd = er.Resolve(*fd);
+    auto er_oj = er.Resolve(*oj);
+    if (!er_fd.ok() || !er_oj.ok()) {
+      std::printf("FAIL: ER\n");
+      return 1;
+    }
+    double rec_fd = FactRecovery(*fd, w);
+    double rec_oj = FactRecovery(*oj, w);
+    std::printf("%-5.1f | %-10s | %4zu | %13.3f | %zu\n", p, "alite_fd",
+                fd->num_rows(), rec_fd, er_fd->resolved.num_rows());
+    std::printf("%-5.1f | %-10s | %4zu | %13.3f | %zu\n", p, "outer_join",
+                oj->num_rows(), rec_oj, er_oj->resolved.num_rows());
+    shape_ok &= rec_fd >= rec_oj;
+    if (p > 0.0) shape_ok &= rec_fd > rec_oj;
+    shape_ok &= er_fd->resolved.num_rows() <= er_oj->resolved.num_rows();
+  }
+  std::printf("\nshape: FD fact recovery >= outer join at every null rate, "
+              "strictly above for p>0,\n       and ER over FD yields <= "
+              "entities than over outer join -> %s\n",
+              shape_ok ? "REPRODUCED" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+/// Experiment Fig. 5 (GPT-3 query table): generate a query table about
+/// COVID-19 cases with 5 columns and 5 rows from a prompt, as the demo's
+/// dialite.randomly_generate_query_table does. Checks shape, schema, and
+/// internal consistency (cases = deaths + recovered + active).
+
+#include <cstdio>
+
+#include "gen/query_table_generator.h"
+
+int main() {
+  using namespace dialite;
+  std::printf("=== Fig. 5: prompt-generated query table ===\n");
+  QueryTableGenerator gen;
+  auto r = gen.Generate("covid-19 cases", /*num_rows=*/5, /*num_columns=*/5);
+  if (!r.ok()) {
+    std::printf("FAIL: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", r->ToPrettyString().c_str());
+
+  bool shape_ok = r->num_rows() == 5 && r->num_columns() == 5;
+  bool schema_ok = r->schema().column(0).name == "Country" &&
+                   r->schema().column(1).name == "Cases" &&
+                   r->schema().column(2).name == "Deaths" &&
+                   r->schema().column(3).name == "Recovered" &&
+                   r->schema().column(4).name == "Active";
+  bool sums_ok = true;
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    sums_ok &= r->at(row, 1).as_int() ==
+               r->at(row, 2).as_int() + r->at(row, 3).as_int() +
+                   r->at(row, 4).as_int();
+  }
+  std::printf("5x5 shape: %s\n", shape_ok ? "REPRODUCED" : "MISMATCH");
+  std::printf("Fig. 5 schema (Country,Cases,Deaths,Recovered,Active): %s\n",
+              schema_ok ? "REPRODUCED" : "MISMATCH");
+  std::printf("rows internally consistent: %s\n",
+              sums_ok ? "yes" : "no");
+
+  // Determinism: the "LLM" is reproducible for a fixed seed.
+  auto again = gen.Generate("covid-19 cases", 5, 5);
+  bool det = again.ok() && r->SameRowsAs(*again);
+  std::printf("deterministic for fixed seed: %s\n", det ? "yes" : "no");
+  return shape_ok && schema_ok && sums_ok && det ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+/// Experiment EXT-6 (discovery scalability): offline index-build time and
+/// online query latency of every discovery algorithm as the lake grows.
+/// Backs the demo's "indexes are built offline" design — build cost is
+/// orders of magnitude above query cost, so precomputing them is what
+/// makes the interactive pipeline feasible.
+///
+///   BM_Build_<algo>/<tables>   one full BuildIndex over the lake
+///   BM_Query_<algo>/<tables>   one top-10 Search
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "discovery/cocoa.h"
+#include "discovery/josie.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "discovery/starmie.h"
+#include "discovery/tus.h"
+#include "lake/lake_generator.h"
+
+namespace {
+
+using namespace dialite;
+
+const SyntheticLakeGenerator::Output& GetLake(size_t fragments_per_domain) {
+  static auto& cache =
+      *new std::map<size_t,
+                    std::unique_ptr<SyntheticLakeGenerator::Output>>();
+  auto it = cache.find(fragments_per_domain);
+  if (it != cache.end()) return *it->second;
+  LakeGeneratorParams params;
+  params.fragments_per_domain = fragments_per_domain;
+  params.header_noise = 0.5;
+  params.seed = 3;
+  auto out = std::make_unique<SyntheticLakeGenerator::Output>(
+      SyntheticLakeGenerator(params).Generate());
+  const auto& ref = *out;
+  cache.emplace(fragments_per_domain, std::move(out));
+  return ref;
+}
+
+template <typename Algo>
+void RunBuild(benchmark::State& state) {
+  const auto& out = GetLake(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Algo algo;
+    Status s = algo.BuildIndex(out.lake);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(algo.name());
+  }
+  state.counters["tables"] = static_cast<double>(out.lake.size());
+}
+
+template <typename Algo>
+void RunQuery(benchmark::State& state) {
+  const auto& out = GetLake(static_cast<size_t>(state.range(0)));
+  static std::map<std::pair<const void*, size_t>, std::unique_ptr<Algo>>
+      built;
+  auto key = std::make_pair(static_cast<const void*>(&out),
+                            static_cast<size_t>(state.range(0)));
+  auto it = built.find(key);
+  if (it == built.end()) {
+    auto algo = std::make_unique<Algo>();
+    Status s = algo->BuildIndex(out.lake);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    it = built.emplace(key, std::move(algo)).first;
+  }
+  const Table* query = out.lake.Get("world_cities_frag0");
+  if (query == nullptr) {
+    state.SkipWithError("query fragment missing");
+    return;
+  }
+  DiscoveryQuery q{query, 0, 10};
+  for (auto _ : state) {
+    auto hits = it->second->Search(q);
+    if (!hits.ok()) {
+      state.SkipWithError(hits.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(hits->size());
+  }
+  state.counters["tables"] = static_cast<double>(out.lake.size());
+}
+
+#define LAKE_SCALE_BENCH(Algo)                                       \
+  void BM_Build_##Algo(benchmark::State& state) {                    \
+    RunBuild<Algo>(state);                                           \
+  }                                                                  \
+  void BM_Query_##Algo(benchmark::State& state) {                    \
+    RunQuery<Algo>(state);                                           \
+  }                                                                  \
+  BENCHMARK(BM_Build_##Algo)->Arg(4)->Arg(8)->Arg(16)->Unit(         \
+      benchmark::kMillisecond);                                      \
+  BENCHMARK(BM_Query_##Algo)->Arg(4)->Arg(8)->Arg(16)->Unit(         \
+      benchmark::kMicrosecond)
+
+LAKE_SCALE_BENCH(JosieSearch);
+LAKE_SCALE_BENCH(LshEnsembleSearch);
+LAKE_SCALE_BENCH(SantosSearch);
+LAKE_SCALE_BENCH(StarmieSearch);
+LAKE_SCALE_BENCH(TusSearch);
+LAKE_SCALE_BENCH(CocoaSearch);
+
+}  // namespace

@@ -1,0 +1,150 @@
+/// Experiment EXT-5: microbenchmarks of the substrate hot paths —
+/// sketching (MinHash, LSH Ensemble), FD primitives (complement/subsume/
+/// merge), CSV parsing, embeddings, and string similarity.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "integrate/integration.h"
+#include "kb/embedding.h"
+#include "kb/knowledge_base.h"
+#include "sketch/lsh_ensemble.h"
+#include "sketch/minhash.h"
+#include "table/csv.h"
+#include "text/similarity.h"
+
+namespace {
+
+using namespace dialite;
+
+std::vector<std::string> Tokens(size_t n, const std::string& prefix) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+void BM_MinHashBuild(benchmark::State& state) {
+  std::vector<std::string> toks = Tokens(static_cast<size_t>(state.range(0)),
+                                         "tok");
+  for (auto _ : state) {
+    MinHash mh = MinHash::FromTokens(toks, 128);
+    benchmark::DoNotOptimize(mh.signature().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MinHashBuild)->Arg(100)->Arg(1000);
+
+void BM_MinHashEstimate(benchmark::State& state) {
+  MinHash a = MinHash::FromTokens(Tokens(500, "a"), 128);
+  MinHash b = MinHash::FromTokens(Tokens(500, "b"), 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.EstimateJaccard(b));
+  }
+}
+BENCHMARK(BM_MinHashEstimate);
+
+void BM_LshEnsembleQuery(benchmark::State& state) {
+  static LshEnsemble* ens = [] {
+    auto* e = new LshEnsemble();
+    for (uint64_t id = 0; id < 200; ++id) {
+      (void)e->Add(id, Tokens(20 + (id * 13) % 400,
+                              "d" + std::to_string(id % 17)));
+    }
+    (void)e->Build();
+    return e;
+  }();
+  std::vector<std::string> q = Tokens(60, "d3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ens->Query(q, 0.5));
+  }
+}
+BENCHMARK(BM_LshEnsembleQuery);
+
+void BM_ExactJaccard(benchmark::State& state) {
+  std::vector<std::string> a = Tokens(1000, "x");
+  std::vector<std::string> b = Tokens(1000, "y");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Jaccard(a, b));
+  }
+}
+BENCHMARK(BM_ExactJaccard);
+
+void BM_TupleComplementCheck(benchmark::State& state) {
+  Row a;
+  Row b;
+  for (int i = 0; i < 16; ++i) {
+    a.push_back(i % 3 == 0 ? Value::Null() : Value::String("v" + std::to_string(i)));
+    b.push_back(i % 3 == 1 ? Value::Null() : Value::String("v" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TuplesComplement(a, b));
+  }
+}
+BENCHMARK(BM_TupleComplementCheck);
+
+void BM_TupleSubsume(benchmark::State& state) {
+  Row a;
+  Row b;
+  for (int i = 0; i < 16; ++i) {
+    a.push_back(i % 2 == 0 ? Value::Null() : Value::String("v" + std::to_string(i)));
+    b.push_back(Value::String("v" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TupleSubsumedBy(a, b));
+  }
+}
+BENCHMARK(BM_TupleSubsume);
+
+void BM_MergeTuples(benchmark::State& state) {
+  Row a;
+  Row b;
+  for (int i = 0; i < 16; ++i) {
+    a.push_back(i % 2 == 0 ? Value::Null() : Value::String("v" + std::to_string(i)));
+    b.push_back(i % 2 == 1 ? Value::Null() : Value::String("v" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    Row m = MergeTuples(a, b);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_MergeTuples);
+
+void BM_CsvParse(benchmark::State& state) {
+  std::string csv = "city,country,population,rate\n";
+  for (int i = 0; i < 1000; ++i) {
+    csv += "City" + std::to_string(i) + ",Country" + std::to_string(i % 50) +
+           "," + std::to_string(100000 + i) + "," +
+           std::to_string(0.1 * (i % 10)) + "\n";
+  }
+  for (auto _ : state) {
+    auto t = CsvReader::Parse(csv, "bench");
+    benchmark::DoNotOptimize(t.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_EmbedValueSet(benchmark::State& state) {
+  HashEmbedder emb(&KnowledgeBase::BuiltIn());
+  std::vector<std::string> values = {"Berlin", "Boston",  "Barcelona",
+                                     "Toronto", "Madrid", "Tokyo",
+                                     "Nairobi", "Sydney", "Lima", "Oslo"};
+  for (auto _ : state) {
+    Embedding e = emb.EmbedValueSet(values);
+    benchmark::DoNotOptimize(e.data());
+  }
+}
+BENCHMARK(BM_EmbedValueSet);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinkler("vaccination rate", "vacination rates"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+}  // namespace

@@ -1,0 +1,190 @@
+/// dialite_cli — command-line front end to the whole pipeline, the
+/// batch-mode equivalent of the paper's web demo.
+///
+///   dialite_cli generate-lake <dir> [fragments] [header_noise] [seed]
+///   dialite_cli stats <lake-dir>
+///   dialite_cli search <lake-dir> <query.csv> [column] [k] [algo]
+///   dialite_cli integrate <lake-dir> <query.csv> [column] [k] [operator]
+///   dialite_cli analyze <table.csv> <summary|entity_resolution|correlations>
+///   dialite_cli generate-query "<prompt>" [rows] [cols] [out.csv]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/dialite.h"
+#include "discovery/keyword_search.h"
+#include "gen/query_table_generator.h"
+#include "lake/lake_generator.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace dialite;
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dialite_cli generate-lake <dir> [fragments] [header_noise] [seed]\n"
+      "  dialite_cli stats <lake-dir>\n"
+      "  dialite_cli search <lake-dir> <query.csv> [column] [k] [algo]\n"
+      "  dialite_cli integrate <lake-dir> <query.csv> [column] [k] [op]\n"
+      "  dialite_cli analyze <table.csv> "
+      "<summary|entity_resolution|correlations|profile>\n"
+      "  dialite_cli keywords <lake-dir> \"<free text>\" [k]\n"
+      "  dialite_cli generate-query \"<prompt>\" [rows] [cols] [out.csv]\n");
+  return 2;
+}
+
+Result<DataLake> LoadLake(const std::string& dir) {
+  DataLake lake;
+  Result<size_t> n = lake.LoadDirectory(dir);
+  if (!n.ok()) return n.status();
+  std::printf("loaded %zu tables from %s\n", *n, dir.c_str());
+  return lake;
+}
+
+int CmdGenerateLake(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  LakeGeneratorParams params;
+  params.fragments_per_domain =
+      argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 6;
+  params.header_noise = argc > 4 ? std::atof(argv[4]) : 0.4;
+  params.seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 42;
+  SyntheticLakeGenerator gen(params);
+  SyntheticLakeGenerator::Output out = gen.Generate();
+  if (Status s = out.lake.SaveDirectory(argv[2]); !s.ok()) return Fail(s);
+  std::printf("wrote %zu CSV tables to %s\n", out.lake.size(), argv[2]);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<DataLake> lake = LoadLake(argv[2]);
+  if (!lake.ok()) return Fail(lake.status());
+  LakeStats s = lake->Stats();
+  std::printf("tables:  %zu\nrows:    %zu\ncolumns: %zu\nnulls:   %.1f%%\n",
+              s.num_tables, s.total_rows, s.total_columns,
+              100.0 * s.avg_null_fraction);
+  return 0;
+}
+
+int CmdSearch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<DataLake> lake = LoadLake(argv[2]);
+  if (!lake.ok()) return Fail(lake.status());
+  Result<Table> query = CsvReader::ReadFile(argv[3]);
+  if (!query.ok()) return Fail(query.status());
+  size_t column = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 0;
+  size_t k = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 10;
+  std::string algo = argc > 6 ? argv[6] : "";
+
+  Dialite d(&*lake);
+  if (Status s = d.RegisterDefaults(); !s.ok()) return Fail(s);
+  if (Status s = d.BuildIndexes(); !s.ok()) return Fail(s);
+  DiscoveryQuery dq{&*query, column, k};
+  auto hits = algo.empty() ? d.DiscoverAll(dq)
+                           : d.DiscoverAll(dq, {algo});
+  if (!hits.ok()) return Fail(hits.status());
+  for (const auto& [name, list] : *hits) {
+    std::printf("%-14s:", name.c_str());
+    for (const DiscoveryHit& h : list) {
+      std::printf(" %s(%.3f)", h.table_name.c_str(), h.score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdIntegrate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<DataLake> lake = LoadLake(argv[2]);
+  if (!lake.ok()) return Fail(lake.status());
+  Result<Table> query = CsvReader::ReadFile(argv[3]);
+  if (!query.ok()) return Fail(query.status());
+  PipelineOptions opts;
+  opts.query_column = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 0;
+  opts.k = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 5;
+  opts.integration_operator = argc > 6 ? argv[6] : "alite_fd";
+  opts.max_integration_set = 6;
+  opts.analyses = {"summary"};
+
+  Dialite d(&*lake);
+  if (Status s = d.RegisterDefaults(); !s.ok()) return Fail(s);
+  if (Status s = d.BuildIndexes(); !s.ok()) return Fail(s);
+  auto report = d.Run(*query, opts);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("integration set:");
+  for (const std::string& t : report->integration_set) {
+    std::printf(" %s", t.c_str());
+  }
+  std::printf("\n%s", report->integration.table.ToPrettyString(30).c_str());
+  std::printf("\nsummary:\n%s",
+              report->analysis_results.at("summary").ToPrettyString().c_str());
+  return 0;
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Table> table = CsvReader::ReadFile(argv[2]);
+  if (!table.ok()) return Fail(table.status());
+  DataLake empty;
+  Dialite d(&empty);
+  if (Status s = d.RegisterDefaults(); !s.ok()) return Fail(s);
+  auto r = d.Analyze(*table, argv[3]);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%s", r->ToPrettyString(50).c_str());
+  return 0;
+}
+
+int CmdKeywords(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<DataLake> lake = LoadLake(argv[2]);
+  if (!lake.ok()) return Fail(lake.status());
+  size_t k = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 10;
+  KeywordSearch search;
+  if (Status s = search.BuildIndex(*lake); !s.ok()) return Fail(s);
+  auto hits = search.SearchKeywords(argv[3], k);
+  if (!hits.ok()) return Fail(hits.status());
+  for (const DiscoveryHit& h : *hits) {
+    std::printf("%.4f  %s\n", h.score, h.table_name.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerateQuery(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  size_t rows = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 5;
+  size_t cols = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 5;
+  QueryTableGenerator gen;
+  auto t = gen.Generate(argv[2], rows, cols);
+  if (!t.ok()) return Fail(t.status());
+  std::printf("%s", t->ToPrettyString().c_str());
+  if (argc > 5) {
+    if (Status s = CsvWriter::WriteFile(*t, argv[5]); !s.ok()) return Fail(s);
+    std::printf("wrote %s\n", argv[5]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate-lake") return CmdGenerateLake(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "search") return CmdSearch(argc, argv);
+  if (cmd == "integrate") return CmdIntegrate(argc, argv);
+  if (cmd == "analyze") return CmdAnalyze(argc, argv);
+  if (cmd == "keywords") return CmdKeywords(argc, argv);
+  if (cmd == "generate-query") return CmdGenerateQuery(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,114 @@
+/// A non-COVID scenario end to end: a film journalist hunting for movie
+/// data in a messy lake. Shows keyword retrieval (free text, no query
+/// table), pipeline integration of the found fragments, the query engine,
+/// and a GROUP BY — i.e., the DIALITE stages on a different domain than
+/// the paper's running example.
+///
+///   ./movie_night
+
+#include <cstdio>
+
+#include "analyze/aggregate.h"
+#include "analyze/query.h"
+#include "core/dialite.h"
+#include "discovery/keyword_search.h"
+#include "lake/lake_generator.h"
+
+int main() {
+  using namespace dialite;
+
+  // A lake where movie fragments hide among nine other domains, with
+  // heavily perturbed headers.
+  LakeGeneratorParams params;
+  params.fragments_per_domain = 5;
+  params.header_noise = 0.6;
+  params.null_rate = 0.07;
+  params.seed = 1234;
+  SyntheticLakeGenerator gen(params);
+  SyntheticLakeGenerator::Output out = gen.Generate();
+  std::printf("lake: %zu tables across %zu domains\n\n", out.lake.size(),
+              SyntheticLakeGenerator::AvailableDomains().size());
+
+  // --- no query table yet: free-text keyword retrieval.
+  KeywordSearch keywords;
+  if (!keywords.BuildIndex(out.lake).ok()) return 1;
+  auto kw_hits = keywords.SearchKeywords("movie film director genre", 6);
+  if (!kw_hits.ok()) {
+    std::printf("keyword search failed: %s\n",
+                kw_hits.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("keyword search 'movie film director genre':\n");
+  for (const DiscoveryHit& h : *kw_hits) {
+    std::printf("  %.3f %s\n", h.score, h.table_name.c_str());
+  }
+
+  // --- use the best keyword hit as the query table for the pipeline.
+  if (kw_hits->empty()) return 1;
+  const Table* query = out.lake.Get((*kw_hits)[0].table_name);
+  Dialite dialite(&out.lake);
+  if (!dialite.RegisterDefaults().ok() || !dialite.BuildIndexes().ok()) {
+    return 1;
+  }
+  PipelineOptions opts;
+  opts.query_column = 0;
+  opts.k = 6;
+  opts.max_integration_set = 4;
+  auto report = dialite.Run(*query, opts);
+  if (!report.ok()) {
+    std::printf("pipeline failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const Table& integrated = report->integration.table;
+  std::printf("\nintegrated %zu tables -> %zu tuples over %zu IDs\n",
+              report->integration_set.size(), integrated.num_rows(),
+              report->integration.alignment.num_clusters());
+
+  // --- query the integrated table: dramas since 2005, best rated first.
+  QuerySpec q;
+  size_t genre_col = Schema::npos;
+  size_t year_col = Schema::npos;
+  size_t rating_col = Schema::npos;
+  for (size_t c = 0; c < integrated.num_columns(); ++c) {
+    // Headers may be perturbed; find columns by content via the profile of
+    // integration IDs — here we use the display names where available.
+    const std::string& n = integrated.schema().column(c).name;
+    if (n == "Genre" || n == "genre" || n == "Category") genre_col = c;
+    if (n == "Year" || n == "year" || n == "ReportYear") year_col = c;
+    if (n == "Rating" || n == "rating" || n == "Score" || n == "imdb_rating") {
+      rating_col = c;
+    }
+  }
+  if (genre_col != Schema::npos && year_col != Schema::npos) {
+    q.where = {{integrated.schema().column(genre_col).name, CompareOp::kEq,
+                Value::String("Drama")},
+               {integrated.schema().column(year_col).name, CompareOp::kGe,
+                Value::Int(2005)}};
+    if (rating_col != Schema::npos) {
+      q.order_by = {{integrated.schema().column(rating_col).name, false}};
+    }
+    q.limit = 5;
+    auto result = RunQuery(integrated, q);
+    if (result.ok()) {
+      std::printf("\ndramas since 2005 (top rated):\n%s",
+                  result->ToPrettyString().c_str());
+    }
+
+    // --- aggregate: average rating per genre.
+    if (rating_col != Schema::npos) {
+      auto agg = Aggregate(
+          integrated, {integrated.schema().column(genre_col).name},
+          {{AggFn::kAvg, integrated.schema().column(rating_col).name,
+            "avg_rating"},
+           {AggFn::kCount, "", "titles"}});
+      if (agg.ok()) {
+        std::printf("\naverage rating by genre:\n%s",
+                    agg->ToPrettyString().c_str());
+      }
+    }
+  } else {
+    std::printf("\n(fragment lacked genre/year columns; rerun with another "
+                "seed)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "align/alignment.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace dialite {
+
+std::string Alignment::Key(const std::string& table, size_t column) {
+  return table + "\x1f" + std::to_string(column);
+}
+
+size_t Alignment::AddCluster(std::vector<ColumnRef> members,
+                             std::string display_name) {
+  size_t id = clusters_.size();
+  for (const ColumnRef& m : members) {
+    index_[Key(m.table, m.column)] = id;
+  }
+  clusters_.push_back(std::move(members));
+  if (display_name.empty()) display_name = "iid" + std::to_string(id);
+  names_.push_back(std::move(display_name));
+  return id;
+}
+
+size_t Alignment::IdOf(const std::string& table, size_t column) const {
+  auto it = index_.find(Key(table, column));
+  return it == index_.end() ? npos : it->second;
+}
+
+Status Alignment::Validate(const std::vector<const Table*>& tables) const {
+  size_t total_columns = 0;
+  for (const Table* t : tables) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      if (IdOf(t->name(), c) == npos) {
+        return Status::Internal("column " + t->name() + "." +
+                                std::to_string(c) + " is not aligned");
+      }
+    }
+    total_columns += t->num_columns();
+  }
+  size_t member_count = 0;
+  for (size_t id = 0; id < clusters_.size(); ++id) {
+    std::unordered_set<std::string> tables_in_cluster;
+    for (const ColumnRef& m : clusters_[id]) {
+      ++member_count;
+      if (!tables_in_cluster.insert(m.table).second) {
+        return Status::Internal("cluster " + names_[id] +
+                                " holds two columns of table " + m.table);
+      }
+    }
+  }
+  if (member_count != total_columns) {
+    return Status::Internal("alignment covers " +
+                            std::to_string(member_count) + " columns, set has " +
+                            std::to_string(total_columns));
+  }
+  return Status::OK();
+}
+
+std::string Alignment::ToString() const {
+  std::ostringstream os;
+  for (size_t id = 0; id < clusters_.size(); ++id) {
+    os << names_[id] << "{";
+    for (size_t i = 0; i < clusters_[id].size(); ++i) {
+      if (i > 0) os << ", ";
+      os << clusters_[id][i].table << "." << clusters_[id][i].column;
+    }
+    os << "} ";
+  }
+  return os.str();
+}
+
+}  // namespace dialite

@@ -1,0 +1,79 @@
+#ifndef DIALITE_ALIGN_ALIGNMENT_H_
+#define DIALITE_ALIGN_ALIGNMENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// A column of a specific table in an integration set.
+struct ColumnRef {
+  std::string table;
+  size_t column = 0;
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+};
+
+/// The product of holistic schema matching: a partition of every column of
+/// the integration set into clusters. Each cluster receives an *integration
+/// ID* — the dummy attribute name ALITE uses in place of unreliable
+/// headers — and the (natural) Full Disjunction is computed over these IDs.
+class Alignment {
+ public:
+  Alignment() = default;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Appends a cluster; returns its integration id (dense, 0-based).
+  /// `display_name` is cosmetic (used for output column headers).
+  size_t AddCluster(std::vector<ColumnRef> members, std::string display_name);
+
+  size_t num_clusters() const { return clusters_.size(); }
+  const std::vector<ColumnRef>& cluster(size_t id) const {
+    return clusters_[id];
+  }
+
+  /// Integration id of a column, or npos if the column is not aligned.
+  size_t IdOf(const std::string& table, size_t column) const;
+
+  /// Human-facing name of a cluster (majority original header, or "iid<k>").
+  const std::string& IdName(size_t id) const { return names_[id]; }
+
+  /// Verifies the alignment is a valid partition for the given tables:
+  /// every column of every table appears in exactly one cluster, and no
+  /// cluster contains two columns of the same table (ALITE's constraint).
+  Status Validate(const std::vector<const Table*>& tables) const;
+
+  /// Renders "iid0{T1.0, T2.0} ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  static std::string Key(const std::string& table, size_t column);
+
+  std::vector<std::vector<ColumnRef>> clusters_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Interface for schema matchers producing integration IDs.
+class SchemaMatcher {
+ public:
+  virtual ~SchemaMatcher() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Partitions the columns of `tables` (all pointers non-null, names
+  /// unique) into integration-ID clusters.
+  virtual Result<Alignment> Align(
+      const std::vector<const Table*>& tables) const = 0;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_ALIGN_ALIGNMENT_H_

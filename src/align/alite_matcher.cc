@@ -1,0 +1,282 @@
+#include "align/alite_matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+AliteMatcher::AliteMatcher(Params params, const KnowledgeBase* kb)
+    : params_(params), embedder_(kb) {}
+
+AliteMatcher::ColumnSignature AliteMatcher::MakeSignature(
+    const std::vector<const Table*>& tables, size_t table_idx,
+    size_t column) const {
+  const Table& t = *tables[table_idx];
+  ColumnSignature sig;
+  sig.table_idx = table_idx;
+  sig.column = column;
+  sig.tokens = t.ColumnTokenSet(column);
+  sig.embedding = embedder_.EmbedValueSet(sig.tokens);
+  sig.raw_header = t.schema().column(column).name;
+  sig.norm_header = NormalizeText(sig.raw_header);
+  sig.all_null = sig.tokens.empty();
+  // A column is "numeric" if every distinct value parses as a number.
+  sig.numeric = !sig.all_null;
+  for (const Value& v : t.DistinctColumnValues(column)) {
+    double d;
+    if (!v.AsNumeric(&d)) {
+      sig.numeric = false;
+      break;
+    }
+  }
+  return sig;
+}
+
+double AliteMatcher::PairSimilarity(const ColumnSignature& a,
+                                    const ColumnSignature& b) const {
+  if (params_.type_gate && !a.all_null && !b.all_null &&
+      a.numeric != b.numeric) {
+    return 0.0;
+  }
+  double s = 0.0;
+  if (!a.all_null && !b.all_null) {
+    double cont = std::max(Containment(a.tokens, b.tokens),
+                           Containment(b.tokens, a.tokens));
+    s += params_.value_weight * cont;
+    s += params_.embedding_weight * CosineSimilarity(a.embedding, b.embedding);
+  }
+  if (!a.norm_header.empty() && !b.norm_header.empty()) {
+    if (a.norm_header == b.norm_header) {
+      s += params_.header_exact_bonus;
+    } else {
+      s += params_.header_fuzzy_weight *
+           JaroWinkler(a.norm_header, b.norm_header);
+    }
+  }
+  return s;
+}
+
+double AliteMatcher::ColumnSimilarity(const Table& ta, size_t ca,
+                                      const Table& tb, size_t cb) const {
+  std::vector<const Table*> tables = {&ta, &tb};
+  return PairSimilarity(MakeSignature(tables, 0, ca),
+                        MakeSignature(tables, 1, cb));
+}
+
+Result<Alignment> AliteMatcher::Align(
+    const std::vector<const Table*>& tables) const {
+  for (const Table* t : tables) {
+    if (t == nullptr) return Status::InvalidArgument("null table in set");
+  }
+  // Collect all columns.
+  std::vector<ColumnSignature> cols;
+  for (size_t ti = 0; ti < tables.size(); ++ti) {
+    for (size_t c = 0; c < tables[ti]->num_columns(); ++c) {
+      cols.push_back(MakeSignature(tables, ti, c));
+    }
+  }
+  const size_t n = cols.size();
+
+  // Pairwise similarity matrix.
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (cols[i].table_idx == cols[j].table_idx) continue;  // cannot-link
+      sim[i][j] = sim[j][i] = PairSimilarity(cols[i], cols[j]);
+    }
+  }
+
+  // Average-linkage agglomerative clustering with cannot-link constraints.
+  std::vector<std::vector<size_t>> clusters;
+  clusters.reserve(n);
+  for (size_t i = 0; i < n; ++i) clusters.push_back({i});
+
+  auto cluster_tables = [&cols](const std::vector<size_t>& cl) {
+    std::unordered_set<size_t> ts;
+    for (size_t i : cl) ts.insert(cols[i].table_idx);
+    return ts;
+  };
+  auto admissible = [&](const std::vector<size_t>& a,
+                        const std::vector<size_t>& b) {
+    std::unordered_set<size_t> ta = cluster_tables(a);
+    for (size_t i : b) {
+      if (ta.count(cols[i].table_idx)) return false;
+    }
+    return true;
+  };
+  auto avg_linkage = [&](const std::vector<size_t>& a,
+                         const std::vector<size_t>& b) {
+    double sum = 0.0;
+    for (size_t i : a) {
+      for (size_t j : b) sum += sim[i][j];
+    }
+    return sum / static_cast<double>(a.size() * b.size());
+  };
+
+  for (;;) {
+    double best = params_.threshold;
+    size_t bi = Alignment::npos;
+    size_t bj = Alignment::npos;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!admissible(clusters[i], clusters[j])) continue;
+        double s = avg_linkage(clusters[i], clusters[j]);
+        if (s >= best) {
+          // Strict ">" would starve exact-threshold merges; ties pick the
+          // lexicographically first (i, j) for determinism.
+          if (s > best || bi == Alignment::npos) {
+            best = s;
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+    }
+    if (bi == Alignment::npos) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+
+  // Order clusters by first appearance (table order, then column order) so
+  // integrated outputs read like the paper's figures.
+  auto first_pos = [&cols](const std::vector<size_t>& cl) {
+    size_t best = static_cast<size_t>(-1);
+    for (size_t i : cl) {
+      size_t pos = cols[i].table_idx * 10000 + cols[i].column;
+      best = std::min(best, pos);
+    }
+    return best;
+  };
+  std::sort(clusters.begin(), clusters.end(),
+            [&](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              return first_pos(a) < first_pos(b);
+            });
+
+  Alignment out;
+  for (const std::vector<size_t>& cl : clusters) {
+    std::vector<ColumnRef> members;
+    // Majority raw header as the display name (ties by first appearance).
+    std::map<std::string, size_t> header_votes;
+    std::vector<size_t> sorted = cl;
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      if (cols[a].table_idx != cols[b].table_idx) {
+        return cols[a].table_idx < cols[b].table_idx;
+      }
+      return cols[a].column < cols[b].column;
+    });
+    for (size_t i : sorted) {
+      members.push_back(
+          {tables[cols[i].table_idx]->name(), cols[i].column});
+      if (!cols[i].raw_header.empty()) ++header_votes[cols[i].raw_header];
+    }
+    std::string display;
+    size_t best_votes = 0;
+    for (size_t i : sorted) {
+      const std::string& h = cols[i].raw_header;
+      if (!h.empty() && header_votes[h] > best_votes) {
+        best_votes = header_votes[h];
+        display = h;
+      }
+    }
+    out.AddCluster(std::move(members), std::move(display));
+  }
+  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  return out;
+}
+
+// ------------------------------------------------------------ NameMatcher
+
+Result<Alignment> NameMatcher::Align(
+    const std::vector<const Table*>& tables) const {
+  for (const Table* t : tables) {
+    if (t == nullptr) return Status::InvalidArgument("null table in set");
+  }
+  // Group by normalized header; a second column of the SAME table with an
+  // already-seen header starts a fresh cluster (the same-table constraint
+  // must hold even for this baseline). Unnamed columns stay singletons.
+  struct Cluster {
+    std::vector<ColumnRef> members;
+    std::unordered_set<std::string> tables_seen;
+    std::string display;
+  };
+  std::vector<Cluster> clusters;  // creation order == first appearance
+  std::unordered_map<std::string, std::vector<size_t>> by_header;
+
+  for (const Table* t : tables) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      std::string h = NormalizeText(t->schema().column(c).name);
+      size_t target = static_cast<size_t>(-1);
+      if (!h.empty()) {
+        for (size_t idx : by_header[h]) {
+          if (!clusters[idx].tables_seen.count(t->name())) {
+            target = idx;
+            break;
+          }
+        }
+      }
+      if (target == static_cast<size_t>(-1)) {
+        target = clusters.size();
+        clusters.push_back({{}, {}, t->schema().column(c).name});
+        if (!h.empty()) by_header[h].push_back(target);
+      }
+      clusters[target].members.push_back({t->name(), c});
+      clusters[target].tables_seen.insert(t->name());
+    }
+  }
+
+  Alignment out;
+  for (Cluster& cl : clusters) {
+    out.AddCluster(std::move(cl.members), std::move(cl.display));
+  }
+  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  return out;
+}
+
+// ---------------------------------------------------------------- Manual
+
+Result<Alignment> ManualAlignment::Align(
+    const std::vector<const Table*>& tables) const {
+  Alignment out;
+  std::unordered_set<std::string> assigned;
+  for (const std::vector<ColumnRef>& cl : clusters_) {
+    std::string display;
+    for (const ColumnRef& m : cl) {
+      bool found = false;
+      for (const Table* t : tables) {
+        if (t->name() == m.table) {
+          if (m.column >= t->num_columns()) {
+            return Status::OutOfRange("manual cluster references " + m.table +
+                                      "." + std::to_string(m.column));
+          }
+          if (display.empty()) display = t->schema().column(m.column).name;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("manual cluster references unknown table " +
+                                m.table);
+      }
+      assigned.insert(m.table + "\x1f" + std::to_string(m.column));
+    }
+    out.AddCluster(cl, std::move(display));
+  }
+  // Singletons for unassigned columns.
+  for (const Table* t : tables) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      if (!assigned.count(t->name() + "\x1f" + std::to_string(c))) {
+        out.AddCluster({{t->name(), c}}, t->schema().column(c).name);
+      }
+    }
+  }
+  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,197 @@
+#include "analyze/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "analyze/stats.h"
+
+namespace dialite {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kMedian:
+      return "median";
+    case AggFn::kStddev:
+      return "stddev";
+    case AggFn::kCountDistinct:
+      return "count_distinct";
+  }
+  return "agg";
+}
+
+namespace {
+
+struct Accumulator {
+  size_t count = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool any = false;
+  /// Populated only for kMedian (needs all values).
+  std::vector<double> values;
+  bool keep_values = false;
+  /// Populated only for kCountDistinct.
+  std::unordered_set<uint64_t> distinct;
+  bool keep_distinct = false;
+
+  void Add(double d) {
+    ++count;
+    sum += d;
+    sumsq += d * d;
+    if (!any) {
+      min = max = d;
+      any = true;
+    } else {
+      min = std::min(min, d);
+      max = std::max(max, d);
+    }
+    if (keep_values) values.push_back(d);
+  }
+
+  Value Finish(AggFn fn) {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggFn::kSum:
+        return any ? Value::Double(sum) : Value::Null();
+      case AggFn::kAvg:
+        return any ? Value::Double(sum / static_cast<double>(count))
+                   : Value::Null();
+      case AggFn::kMin:
+        return any ? Value::Double(min) : Value::Null();
+      case AggFn::kMax:
+        return any ? Value::Double(max) : Value::Null();
+      case AggFn::kMedian: {
+        if (values.empty()) return Value::Null();
+        size_t mid = (values.size() - 1) / 2;  // lower median
+        std::nth_element(values.begin(),
+                         values.begin() + static_cast<long>(mid),
+                         values.end());
+        return Value::Double(values[mid]);
+      }
+      case AggFn::kStddev: {
+        if (!any) return Value::Null();
+        double mean = sum / static_cast<double>(count);
+        double var = sumsq / static_cast<double>(count) - mean * mean;
+        return Value::Double(var > 0 ? std::sqrt(var) : 0.0);
+      }
+      case AggFn::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(distinct.size()));
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Table> Aggregate(const Table& t,
+                        const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs) {
+  // Resolve columns.
+  std::vector<size_t> key_cols;
+  for (const std::string& g : group_by) {
+    size_t c = t.schema().IndexOf(g);
+    if (c == Schema::npos) return Status::NotFound("group column '" + g + "'");
+    key_cols.push_back(c);
+  }
+  std::vector<int64_t> agg_cols;  // -1 = row count
+  for (const AggSpec& a : aggs) {
+    if (a.column.empty()) {
+      if (a.fn != AggFn::kCount) {
+        return Status::InvalidArgument("only count(*) may omit the column");
+      }
+      agg_cols.push_back(-1);
+      continue;
+    }
+    size_t c = t.schema().IndexOf(a.column);
+    if (c == Schema::npos) {
+      return Status::NotFound("aggregate column '" + a.column + "'");
+    }
+    agg_cols.push_back(static_cast<int64_t>(c));
+  }
+  if (aggs.empty()) return Status::InvalidArgument("no aggregates requested");
+
+  // Output schema.
+  std::vector<ColumnDef> defs;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    defs.push_back(ColumnDef{group_by[i], ValueType::kString});
+  }
+  for (const AggSpec& a : aggs) {
+    std::string alias = a.alias;
+    if (alias.empty()) {
+      alias = std::string(AggFnName(a.fn)) +
+              (a.column.empty() ? "" : "_" + a.column);
+    }
+    defs.push_back(ColumnDef{alias, ValueType::kDouble});
+  }
+
+  // Group rows. std::map on key rows gives sorted deterministic output.
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return false;
+    }
+  };
+  std::map<Row, std::vector<Accumulator>, RowLess> groups;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) key.push_back(t.at(r, c));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.resize(aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        it->second[i].keep_values = aggs[i].fn == AggFn::kMedian;
+        it->second[i].keep_distinct = aggs[i].fn == AggFn::kCountDistinct;
+      }
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (agg_cols[i] < 0) {
+        // count(*): every row counts.
+        ++it->second[i].count;
+        continue;
+      }
+      const Value& v = t.at(r, static_cast<size_t>(agg_cols[i]));
+      if (v.is_null()) continue;
+      if (aggs[i].fn == AggFn::kCount) {
+        ++it->second[i].count;
+        continue;
+      }
+      if (aggs[i].fn == AggFn::kCountDistinct) {
+        it->second[i].distinct.insert(v.Hash());
+        continue;
+      }
+      double d;
+      if (ParseNumericLoose(v, &d)) it->second[i].Add(d);
+    }
+  }
+
+  Table out("aggregate", Schema(std::move(defs)));
+  for (auto& [key, accs] : groups) {
+    Row row = key;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      row.push_back(accs[i].Finish(aggs[i].fn));
+    }
+    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row)));
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace dialite

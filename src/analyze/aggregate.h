@@ -1,0 +1,45 @@
+#ifndef DIALITE_ANALYZE_AGGREGATE_H_
+#define DIALITE_ANALYZE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Aggregate functions over a column (loose numeric parsing; nulls and
+/// unparseable cells are skipped, SQL-style).
+enum class AggFn {
+  kCount,  ///< non-null cells of the column; with empty column name, rows
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kMedian,         ///< lower median for even counts
+  kStddev,         ///< population standard deviation
+  kCountDistinct,  ///< distinct non-null values (any type)
+};
+
+const char* AggFnName(AggFn fn);
+
+/// One requested aggregate: fn over `column`, output as `alias` (default
+/// "<fn>_<column>").
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;
+  std::string alias;
+};
+
+/// GROUP BY `group_by` with the requested aggregates — the "common
+/// aggregations" downstream application of the paper's Analyze stage.
+/// Null group keys form their own group (SQL GROUP BY semantics). With an
+/// empty `group_by`, aggregates the whole table into one row. Output rows
+/// are sorted by group key for determinism.
+Result<Table> Aggregate(const Table& t, const std::vector<std::string>& group_by,
+                        const std::vector<AggSpec>& aggs);
+
+}  // namespace dialite
+
+#endif  // DIALITE_ANALYZE_AGGREGATE_H_

@@ -1,0 +1,78 @@
+#include "analyze/correlation_finder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analyze/stats.h"
+
+namespace dialite {
+
+Result<std::vector<CorrelationFinding>> FindCorrelations(
+    const Table& table, const CorrelationFinderOptions& options) {
+  // Pre-extract numeric views per column (nullopt cell = unusable).
+  const size_t n = table.num_columns();
+  std::vector<std::vector<std::pair<bool, double>>> numeric(n);
+  std::vector<bool> usable(n, false);
+  for (size_t c = 0; c < n; ++c) {
+    numeric[c].resize(table.num_rows());
+    size_t count = 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      double d;
+      if (ParseNumericLoose(table.at(r, c), &d)) {
+        numeric[c][r] = {true, d};
+        ++count;
+      } else {
+        numeric[c][r] = {false, 0.0};
+      }
+    }
+    usable[c] = count >= options.min_support;
+  }
+
+  std::vector<CorrelationFinding> findings;
+  for (size_t a = 0; a < n; ++a) {
+    if (!usable[a]) continue;
+    for (size_t b = a + 1; b < n; ++b) {
+      if (!usable[b]) continue;
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (numeric[a][r].first && numeric[b][r].first) {
+          xs.push_back(numeric[a][r].second);
+          ys.push_back(numeric[b][r].second);
+        }
+      }
+      if (xs.size() < options.min_support) continue;
+      Result<double> p = PearsonOfVectors(xs, ys);
+      if (!p.ok()) continue;  // zero-variance pair
+      if (std::fabs(*p) < options.min_abs_pearson) continue;
+      Result<double> s = SpearmanOfVectors(xs, ys);
+      findings.push_back({table.schema().column(a).name,
+                          table.schema().column(b).name, *p,
+                          s.ok() ? *s : 0.0, xs.size()});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const CorrelationFinding& x, const CorrelationFinding& y) {
+              double ax = std::fabs(x.pearson);
+              double ay = std::fabs(y.pearson);
+              if (ax != ay) return ax > ay;
+              if (x.column_a != y.column_a) return x.column_a < y.column_a;
+              return x.column_b < y.column_b;
+            });
+  if (findings.size() > options.top_k) findings.resize(options.top_k);
+  return findings;
+}
+
+Table CorrelationFindingsToTable(const std::vector<CorrelationFinding>& fs) {
+  Table out("correlations",
+            Schema::FromNames(
+                {"column_a", "column_b", "pearson", "spearman", "support"}));
+  for (const CorrelationFinding& f : fs) {
+    (void)out.AddRow({Value::String(f.column_a), Value::String(f.column_b),
+                      Value::Double(f.pearson), Value::Double(f.spearman),
+                      Value::Int(static_cast<int64_t>(f.support))});
+  }
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,42 @@
+#ifndef DIALITE_ANALYZE_CORRELATION_FINDER_H_
+#define DIALITE_ANALYZE_CORRELATION_FINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// One discovered correlation between two columns of a table.
+struct CorrelationFinding {
+  std::string column_a;
+  std::string column_b;
+  double pearson = 0.0;
+  double spearman = 0.0;
+  size_t support = 0;  ///< rows where both columns were numeric
+};
+
+/// Options for the correlation scan.
+struct CorrelationFinderOptions {
+  size_t top_k = 10;
+  size_t min_support = 3;     ///< minimum usable row pairs
+  double min_abs_pearson = 0.0;
+};
+
+/// Scans every pair of numeric-ish columns of `table` (loose parsing, so
+/// "63%"/"1.4M" columns participate) and returns the strongest
+/// correlations by |Pearson|, strongest first. This automates the paper's
+/// Example 3 exploration — "the user can compute the correlation between
+/// vaccination and death rates" — into a one-call insight finder.
+Result<std::vector<CorrelationFinding>> FindCorrelations(
+    const Table& table, const CorrelationFinderOptions& options = {});
+
+/// Renders findings as a table (column_a, column_b, pearson, spearman,
+/// support) for use as a registered pipeline analysis.
+Table CorrelationFindingsToTable(const std::vector<CorrelationFinding>& fs);
+
+}  // namespace dialite
+
+#endif  // DIALITE_ANALYZE_CORRELATION_FINDER_H_

@@ -1,0 +1,179 @@
+#include "analyze/entity_resolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "analyze/stats.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+EntityResolver::EntityResolver(Params params, const KnowledgeBase* kb)
+    : params_(params), kb_(kb) {}
+
+double EntityResolver::CellSimilarity(const Value& a, const Value& b) const {
+  if (a.is_null() || b.is_null()) return 0.0;
+  if (a.EqualsValue(b)) return 1.0;
+  if (kb_ != nullptr && a.is_string() && b.is_string()) {
+    for (const std::string& rel :
+         kb_->RelationsBetween(a.as_string(), b.as_string())) {
+      if (rel == "sameAs") return 1.0;
+    }
+  }
+  double na;
+  double nb;
+  if (ParseNumericLoose(a, &na) && ParseNumericLoose(b, &nb)) {
+    double m = std::max(std::fabs(na), std::fabs(nb));
+    if (m == 0.0) return 1.0;
+    return std::max(0.0, 1.0 - std::fabs(na - nb) / m);
+  }
+  std::string sa = NormalizeText(a.ToCsvString());
+  std::string sb = NormalizeText(b.ToCsvString());
+  if (sa.empty() || sb.empty()) return 0.0;
+  return JaroWinkler(sa, sb);
+}
+
+Result<ErOutcome> EntityResolver::Resolve(const Table& table) const {
+  const size_t n = table.num_rows();
+  ErOutcome out;
+
+  // ---- 1. Blocking: each row enters a bucket for every cell's normalized
+  // text AND for every KB-sameAs partner of that text, so "USA" and
+  // "United States" rows share a bucket without any pairwise KB scan
+  // (keeps blocking O(rows · cells), not O(rows² · cells²)).
+  std::unordered_map<std::string, std::vector<size_t>> blocks;
+  for (size_t r = 0; r < n; ++r) {
+    std::unordered_set<std::string> keys;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;
+      std::string norm = NormalizeText(v.ToCsvString());
+      if (norm.empty()) continue;
+      keys.insert(norm);
+      if (kb_ != nullptr && v.is_string()) {
+        for (const std::string& partner : kb_->SameAsOf(norm)) {
+          keys.insert(partner);
+        }
+      }
+    }
+    for (const std::string& k : keys) blocks[k].push_back(r);
+  }
+  // Candidate pairs from shared blocks.
+  std::vector<std::pair<size_t, size_t>> candidates;
+  {
+    std::unordered_map<uint64_t, bool> seen_pair;
+    auto add_pair = [&](size_t i, size_t j) {
+      if (i == j) return;
+      if (i > j) std::swap(i, j);
+      uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
+      if (!seen_pair.emplace(key, true).second) return;
+      candidates.emplace_back(i, j);
+    };
+    for (const auto& [text, rows] : blocks) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t j = i + 1; j < rows.size(); ++j) add_pair(rows[i], rows[j]);
+      }
+    }
+  }
+
+  // ---- 2. Matching.
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::vector<size_t>* pp = &parent;
+  auto find = [pp](size_t x) {
+    while ((*pp)[x] != x) {
+      (*pp)[x] = (*pp)[(*pp)[x]];
+      x = (*pp)[x];
+    }
+    return x;
+  };
+
+  for (const auto& [i, j] : candidates) {
+    size_t shared = 0;
+    double sum = 0.0;
+    bool conflict = false;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& a = table.at(i, c);
+      const Value& b = table.at(j, c);
+      if (a.is_null() || b.is_null()) continue;
+      ++shared;
+      double s = CellSimilarity(a, b);
+      if (s < params_.conflict_threshold) conflict = true;
+      sum += s;
+    }
+    if (shared < params_.min_shared_columns) {
+      ++out.incomparable_pairs;
+      continue;
+    }
+    ++out.comparable_pairs;
+    double score = sum / static_cast<double>(shared);
+    if (!conflict && score >= params_.threshold) {
+      out.matches.emplace_back(i, j);
+      parent[find(i)] = find(j);
+    }
+  }
+
+  // ---- 3. Resolution: merge clusters.
+  std::unordered_map<size_t, std::vector<size_t>> clusters;
+  for (size_t i = 0; i < n; ++i) clusters[find(i)].push_back(i);
+  std::vector<std::vector<size_t>> ordered;
+  ordered.reserve(clusters.size());
+  for (auto& [root, rows] : clusters) ordered.push_back(std::move(rows));
+  std::sort(ordered.begin(), ordered.end());
+
+  Table resolved("er_resolved", table.schema());
+  for (const std::vector<size_t>& rows : ordered) {
+    Row merged(table.num_columns(), Value::ProducedNull());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      // Majority non-null value; first-seen breaks ties; missing nulls
+      // beat produced nulls when everything is null.
+      std::vector<std::pair<Value, size_t>> votes;
+      bool any_missing = false;
+      for (size_t r : rows) {
+        const Value& v = table.at(r, c);
+        if (v.is_null()) {
+          any_missing |= v.is_missing_null();
+          continue;
+        }
+        bool found = false;
+        for (auto& [val, cnt] : votes) {
+          if (val.EqualsValue(v)) {
+            ++cnt;
+            found = true;
+            break;
+          }
+        }
+        if (!found) votes.emplace_back(v, 1);
+      }
+      if (votes.empty()) {
+        merged[c] = any_missing ? Value::Null(NullKind::kMissing)
+                                : Value::ProducedNull();
+      } else {
+        size_t best = 0;
+        for (size_t k = 1; k < votes.size(); ++k) {
+          if (votes[k].second > votes[best].second) best = k;
+        }
+        merged[c] = votes[best].first;
+      }
+    }
+    std::vector<std::string> prov;
+    for (size_t r : rows) {
+      if (table.has_provenance()) {
+        prov.insert(prov.end(), table.provenance(r).begin(),
+                    table.provenance(r).end());
+      } else {
+        prov.push_back("#" + std::to_string(r));
+      }
+    }
+    std::sort(prov.begin(), prov.end());
+    prov.erase(std::unique(prov.begin(), prov.end()), prov.end());
+    DIALITE_RETURN_NOT_OK(resolved.AddRow(std::move(merged), std::move(prov)));
+  }
+  resolved.RefreshColumnTypes();
+  out.resolved = std::move(resolved);
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,75 @@
+#ifndef DIALITE_ANALYZE_ENTITY_RESOLUTION_H_
+#define DIALITE_ANALYZE_ENTITY_RESOLUTION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Outcome of entity resolution over one table.
+struct ErOutcome {
+  /// The resolved table: matched tuples merged (non-null values win,
+  /// majority on conflict), unmatched tuples passed through. Provenance is
+  /// unioned.
+  Table resolved;
+  /// Row-index pairs the matcher accepted.
+  std::vector<std::pair<size_t, size_t>> matches;
+  /// Pairs that shared a block AND had enough non-null overlap to compare.
+  size_t comparable_pairs = 0;
+  /// Pairs skipped inside blocks because incompleteness left fewer than
+  /// `min_shared_columns` attributes to compare — the paper's "ER can not
+  /// resolve f9 and f10" situation.
+  size_t incomparable_pairs = 0;
+};
+
+/// Entity resolution over the rows of a single (integrated) table — the
+/// py_entitymatching stand-in for the paper's downstream application.
+///
+/// Pipeline (same shape as py_entitymatching):
+///  1. *Blocking*: candidate pairs must share at least one cell that is
+///     "blocking-equal" (equal, or KB-sameAs like USA/United States);
+///     everything else is never compared.
+///  2. *Matching*: a pair is comparable only when at least
+///     `min_shared_columns` attributes are non-null on BOTH sides —
+///     incomplete tuples (outer-join debris) cannot be resolved. The match
+///     score is the mean per-attribute similarity over those shared
+///     attributes, where attribute similarity is
+///     max(exact, KB-sameAs, Jaro-Winkler, numeric closeness).
+///  3. *Resolution*: matched pairs union-find into clusters; each cluster
+///     merges into one tuple.
+class EntityResolver {
+ public:
+  struct Params {
+    double threshold = 0.7;        ///< min mean similarity to match
+    size_t min_shared_columns = 2; ///< both-non-null attributes required
+    /// Decisive-disagreement veto: if ANY shared attribute scores below
+    /// this, the pair is rejected outright (a trained matcher learns that
+    /// two different vaccine names outweigh agreeing countries).
+    double conflict_threshold = 0.6;
+  };
+
+  /// `kb` provides sameAs knowledge (the trained-matcher substitute);
+  /// pass nullptr for purely syntactic matching.
+  EntityResolver() : EntityResolver(Params(), &KnowledgeBase::BuiltIn()) {}
+  explicit EntityResolver(const KnowledgeBase* kb)
+      : EntityResolver(Params(), kb) {}
+  EntityResolver(Params params, const KnowledgeBase* kb);
+
+  /// Similarity of two cells in [0, 1]; 0 when either is null.
+  double CellSimilarity(const Value& a, const Value& b) const;
+
+  Result<ErOutcome> Resolve(const Table& table) const;
+
+ private:
+  Params params_;
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_ANALYZE_ENTITY_RESOLUTION_H_

@@ -1,0 +1,112 @@
+#include "analyze/profiler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analyze/stats.h"
+#include "common/string_util.h"
+#include "sketch/hyperloglog.h"
+
+namespace dialite {
+
+TableProfile ProfileTable(const Table& table, const ProfilerOptions& options) {
+  TableProfile out;
+  out.table = table.name();
+  out.rows = table.num_rows();
+  out.columns = table.num_columns();
+  out.null_fraction = table.NullFraction();
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ColumnProfile cp;
+    cp.name = table.schema().column(c).name;
+    cp.type = table.schema().column(c).type;
+    cp.rows = table.num_rows();
+
+    std::unordered_map<std::string, size_t> counts;
+    bool exact = true;
+    HyperLogLog hll;
+    double sum = 0.0;
+    size_t numeric_count = 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.at(r, c);
+      if (v.is_null()) {
+        ++cp.nulls;
+        if (v.is_produced_null()) ++cp.produced_nulls;
+        continue;
+      }
+      std::string key = v.ToCsvString();
+      if (exact) {
+        ++counts[key];
+        if (counts.size() > options.exact_distinct_limit) {
+          // Switch to sketched counting; seed the sketch with what we have.
+          for (const auto& [val, n] : counts) hll.Add(val);
+          exact = false;
+        }
+      } else {
+        hll.Add(key);
+      }
+      double d;
+      if (ParseNumericLoose(v, &d)) {
+        if (numeric_count == 0) {
+          cp.min = cp.max = d;
+        } else {
+          cp.min = std::min(cp.min, d);
+          cp.max = std::max(cp.max, d);
+        }
+        sum += d;
+        ++numeric_count;
+      }
+    }
+    if (exact) {
+      cp.distinct = counts.size();
+      cp.distinct_estimated = false;
+      std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                         counts.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      if (ranked.size() > options.top_k_values) {
+        ranked.resize(options.top_k_values);
+      }
+      cp.top_values = std::move(ranked);
+    } else {
+      cp.distinct = static_cast<size_t>(hll.Estimate() + 0.5);
+      cp.distinct_estimated = true;
+    }
+    if (numeric_count > 0) {
+      cp.has_numeric = true;
+      cp.mean = sum / static_cast<double>(numeric_count);
+    }
+    out.column_profiles.push_back(std::move(cp));
+  }
+  return out;
+}
+
+Table ProfileToTable(const TableProfile& profile) {
+  Table out("profile",
+            Schema::FromNames({"column", "type", "nulls", "produced_nulls",
+                               "distinct", "top_values", "min", "max",
+                               "mean"}));
+  for (const ColumnProfile& cp : profile.column_profiles) {
+    std::string tops;
+    for (const auto& [val, n] : cp.top_values) {
+      if (!tops.empty()) tops += "; ";
+      tops += val + " x" + std::to_string(n);
+    }
+    Row row = {Value::String(cp.name),
+               Value::String(ValueTypeName(cp.type)),
+               Value::Int(static_cast<int64_t>(cp.nulls)),
+               Value::Int(static_cast<int64_t>(cp.produced_nulls)),
+               Value::Int(static_cast<int64_t>(cp.distinct)),
+               tops.empty() ? Value::Null() : Value::String(tops),
+               cp.has_numeric ? Value::Double(cp.min) : Value::Null(),
+               cp.has_numeric ? Value::Double(cp.max) : Value::Null(),
+               cp.has_numeric ? Value::Double(cp.mean) : Value::Null()};
+    (void)out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,59 @@
+#ifndef DIALITE_ANALYZE_PROFILER_H_
+#define DIALITE_ANALYZE_PROFILER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Profile of one column.
+struct ColumnProfile {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  size_t rows = 0;
+  size_t nulls = 0;          ///< missing + produced
+  size_t produced_nulls = 0; ///< integration padding specifically
+  size_t distinct = 0;       ///< exact below the HLL cutoff, estimated above
+  bool distinct_estimated = false;
+  /// Most frequent values with counts, best first (at most top_k).
+  std::vector<std::pair<std::string, size_t>> top_values;
+  /// Numeric view when the column has numeric cells (loose parsing).
+  bool has_numeric = false;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Profile of a whole table.
+struct TableProfile {
+  std::string table;
+  size_t rows = 0;
+  size_t columns = 0;
+  double null_fraction = 0.0;
+  std::vector<ColumnProfile> column_profiles;
+};
+
+struct ProfilerOptions {
+  size_t top_k_values = 3;
+  /// Above this many distinct values, switch from exact counting to
+  /// HyperLogLog estimation (bounds profiling memory on huge columns).
+  size_t exact_distinct_limit = 10000;
+};
+
+/// Profiles every column of a table — the "inspect intermediate results"
+/// affordance of the demo UI: run it on discovery inputs, the integrated
+/// table, or analysis outputs alike.
+TableProfile ProfileTable(const Table& table,
+                          const ProfilerOptions& options = {});
+
+/// Renders a profile as a table (one row per column) for printing or for
+/// use as a registered analysis.
+Table ProfileToTable(const TableProfile& profile);
+
+}  // namespace dialite
+
+#endif  // DIALITE_ANALYZE_PROFILER_H_

@@ -1,0 +1,132 @@
+#include "analyze/query.h"
+
+#include <algorithm>
+
+#include "analyze/stats.h"
+#include "common/string_util.h"
+
+namespace dialite {
+
+namespace {
+
+/// Three-way comparison: numeric when both sides parse, else byte order of
+/// the rendered text. Returns <0, 0, >0.
+int CompareCells(const Value& a, const Value& b) {
+  double da;
+  double db;
+  if (ParseNumericLoose(a, &da) && ParseNumericLoose(b, &db)) {
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  std::string sa = a.ToCsvString();
+  std::string sb = b.ToCsvString();
+  if (sa < sb) return -1;
+  if (sa > sb) return 1;
+  return 0;
+}
+
+}  // namespace
+
+bool EvaluatePredicate(const Value& cell, CompareOp op, const Value& operand) {
+  if (op == CompareOp::kIsNull) return cell.is_null();
+  if (op == CompareOp::kNotNull) return !cell.is_null();
+  if (cell.is_null()) return false;  // SQL semantics: null fails comparisons
+  switch (op) {
+    case CompareOp::kEq:
+      return cell.EqualsValue(operand) || CompareCells(cell, operand) == 0;
+    case CompareOp::kNe:
+      return !(cell.EqualsValue(operand) || CompareCells(cell, operand) == 0);
+    case CompareOp::kLt:
+      return CompareCells(cell, operand) < 0;
+    case CompareOp::kLe:
+      return CompareCells(cell, operand) <= 0;
+    case CompareOp::kGt:
+      return CompareCells(cell, operand) > 0;
+    case CompareOp::kGe:
+      return CompareCells(cell, operand) >= 0;
+    case CompareOp::kContains:
+      return ContainsIgnoreCase(cell.ToCsvString(), operand.ToCsvString());
+    case CompareOp::kIsNull:
+    case CompareOp::kNotNull:
+      break;
+  }
+  return false;
+}
+
+Result<Table> RunQuery(const Table& table, const QuerySpec& spec) {
+  // Resolve columns up front.
+  std::vector<std::pair<size_t, CompareOp>> where_cols;
+  for (const Predicate& p : spec.where) {
+    size_t c = table.schema().IndexOf(p.column);
+    if (c == Schema::npos) {
+      return Status::NotFound("where column '" + p.column + "'");
+    }
+    where_cols.emplace_back(c, p.op);
+  }
+  std::vector<std::pair<size_t, bool>> order_cols;
+  for (const auto& [name, asc] : spec.order_by) {
+    size_t c = table.schema().IndexOf(name);
+    if (c == Schema::npos) {
+      return Status::NotFound("order-by column '" + name + "'");
+    }
+    order_cols.emplace_back(c, asc);
+  }
+  std::vector<size_t> select_cols;
+  if (spec.select.empty()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) select_cols.push_back(c);
+  } else {
+    for (const std::string& name : spec.select) {
+      size_t c = table.schema().IndexOf(name);
+      if (c == Schema::npos) {
+        return Status::NotFound("select column '" + name + "'");
+      }
+      select_cols.push_back(c);
+    }
+  }
+
+  // Filter.
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool keep = true;
+    for (size_t i = 0; i < spec.where.size() && keep; ++i) {
+      keep = EvaluatePredicate(table.at(r, where_cols[i].first),
+                               where_cols[i].second, spec.where[i].operand);
+    }
+    if (keep) rows.push_back(r);
+  }
+
+  // Sort (stable, keys applied with decreasing priority).
+  std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    for (const auto& [c, asc] : order_cols) {
+      // Nulls sort last regardless of direction (SQL NULLS LAST).
+      const Value& va = table.at(a, c);
+      const Value& vb = table.at(b, c);
+      if (va.is_null() != vb.is_null()) return vb.is_null();
+      if (va.is_null()) continue;
+      int cmp = CompareCells(va, vb);
+      if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  if (spec.limit > 0 && rows.size() > spec.limit) rows.resize(spec.limit);
+
+  // Project.
+  std::vector<ColumnDef> defs;
+  for (size_t c : select_cols) defs.push_back(table.schema().column(c));
+  Table out("query_result", Schema(std::move(defs)));
+  for (size_t r : rows) {
+    Row row;
+    row.reserve(select_cols.size());
+    for (size_t c : select_cols) row.push_back(table.at(r, c));
+    if (table.has_provenance()) {
+      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row), table.provenance(r)));
+    } else {
+      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row)));
+    }
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace dialite

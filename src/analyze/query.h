@@ -1,0 +1,66 @@
+#ifndef DIALITE_ANALYZE_QUERY_H_
+#define DIALITE_ANALYZE_QUERY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Comparison operators for predicates. Ordered comparisons use numeric
+/// order when BOTH sides parse numerically (loose parsing: "63%", "1.4M"),
+/// byte order otherwise. A null cell satisfies only kIsNull; kContains is
+/// a case-insensitive substring test on the rendered cell.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,
+  kIsNull,
+  kNotNull,
+};
+
+/// One conjunct: <column> <op> <operand>. The operand is ignored for
+/// kIsNull/kNotNull.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+};
+
+/// A minimal SELECT over one table — the "queries that go beyond a single
+/// table" the paper's intro promises, runnable over any integrated table:
+///
+///   QuerySpec q;
+///   q.select = {"City", "Death Rate (per 100k residents)"};
+///   q.where = {{"Vaccination Rate (1+ dose)", CompareOp::kGe,
+///               Value::Int(70)}};
+///   q.order_by = {{"Death Rate (per 100k residents)", /*ascending=*/false}};
+///   q.limit = 3;
+struct QuerySpec {
+  /// Columns to project, in order; empty selects all.
+  std::vector<std::string> select;
+  /// Conjunctive predicates (all must hold).
+  std::vector<Predicate> where;
+  /// Sort keys applied in order; bool = ascending.
+  std::vector<std::pair<std::string, bool>> order_by;
+  /// Keep at most this many rows after sorting; 0 = unlimited.
+  size_t limit = 0;
+};
+
+/// True iff the row's `cell` satisfies `<op> operand`.
+bool EvaluatePredicate(const Value& cell, CompareOp op, const Value& operand);
+
+/// Executes the query; provenance follows the selected rows. Unknown
+/// column names yield NotFound.
+Result<Table> RunQuery(const Table& table, const QuerySpec& spec);
+
+}  // namespace dialite
+
+#endif  // DIALITE_ANALYZE_QUERY_H_

@@ -1,0 +1,198 @@
+#include "analyze/stats.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dialite {
+
+bool ParseNumericLoose(const Value& v, double* out) {
+  if (v.is_null()) return false;
+  if (v.AsNumeric(out)) return true;
+  if (!v.is_string()) return false;
+  std::string s = Trim(v.as_string());
+  if (s.empty()) return false;
+  // Strip thousands separators.
+  std::string cleaned;
+  cleaned.reserve(s.size());
+  for (char c : s) {
+    if (c != ',') cleaned += c;
+  }
+  // Optional suffix: % (value as-is), k/K, M, B.
+  double scale = 1.0;
+  char last = cleaned.back();
+  if (last == '%') {
+    cleaned.pop_back();
+  } else if (last == 'k' || last == 'K') {
+    scale = 1e3;
+    cleaned.pop_back();
+  } else if (last == 'M') {
+    scale = 1e6;
+    cleaned.pop_back();
+  } else if (last == 'B') {
+    scale = 1e9;
+    cleaned.pop_back();
+  }
+  if (cleaned.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double d = std::strtod(cleaned.c_str(), &end);
+  if (errno != 0 || end == cleaned.c_str()) return false;
+  if (!TrimView(std::string_view(end)).empty()) return false;
+  *out = d * scale;
+  return true;
+}
+
+namespace {
+
+/// Gathers (a, b) pairs where both columns parse.
+Status GatherPairs(const Table& t, const std::string& col_a,
+                   const std::string& col_b, std::vector<double>* xs,
+                   std::vector<double>* ys) {
+  size_t ca = t.schema().IndexOf(col_a);
+  size_t cb = t.schema().IndexOf(col_b);
+  if (ca == Schema::npos) return Status::NotFound("column '" + col_a + "'");
+  if (cb == Schema::npos) return Status::NotFound("column '" + col_b + "'");
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double x;
+    double y;
+    if (ParseNumericLoose(t.at(r, ca), &x) &&
+        ParseNumericLoose(t.at(r, cb), &y)) {
+      xs->push_back(x);
+      ys->push_back(y);
+    }
+  }
+  return Status::OK();
+}
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Average ranks, ties share the mean rank.
+std::vector<double> Ranks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&v](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<double> PearsonOfVectors(const std::vector<double>& xs,
+                                const std::vector<double>& ys) {
+  if (xs.size() < 2 || xs.size() != ys.size()) {
+    return Status::InvalidArgument("fewer than 2 numeric pairs");
+  }
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return Status::InvalidArgument("zero variance column");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> SpearmanOfVectors(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  if (xs.size() < 2 || xs.size() != ys.size()) {
+    return Status::InvalidArgument("fewer than 2 numeric pairs");
+  }
+  return PearsonOfVectors(Ranks(xs), Ranks(ys));
+}
+
+Result<NumericSummary> SummarizeColumn(const Table& t,
+                                       const std::string& name) {
+  size_t c = t.schema().IndexOf(name);
+  if (c == Schema::npos) return Status::NotFound("column '" + name + "'");
+  NumericSummary s;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double d;
+    if (!ParseNumericLoose(t.at(r, c), &d)) continue;
+    if (s.count == 0) {
+      s.min = d;
+      s.max = d;
+    } else {
+      s.min = std::min(s.min, d);
+      s.max = std::max(s.max, d);
+    }
+    ++s.count;
+    sum += d;
+    sumsq += d * d;
+  }
+  if (s.count == 0) {
+    return Status::InvalidArgument("column '" + name + "' has no numbers");
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = sumsq / static_cast<double>(s.count) - s.mean * s.mean;
+  s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return s;
+}
+
+Result<double> PearsonCorrelation(const Table& t, const std::string& col_a,
+                                  const std::string& col_b) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  DIALITE_RETURN_NOT_OK(GatherPairs(t, col_a, col_b, &xs, &ys));
+  return PearsonOfVectors(xs, ys);
+}
+
+Result<double> SpearmanCorrelation(const Table& t, const std::string& col_a,
+                                   const std::string& col_b) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  DIALITE_RETURN_NOT_OK(GatherPairs(t, col_a, col_b, &xs, &ys));
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("fewer than 2 numeric pairs");
+  }
+  return PearsonOfVectors(Ranks(xs), Ranks(ys));
+}
+
+Result<size_t> ArgExtreme(const Table& t, const std::string& value_col,
+                          bool largest) {
+  size_t c = t.schema().IndexOf(value_col);
+  if (c == Schema::npos) return Status::NotFound("column '" + value_col + "'");
+  size_t best_row = 0;
+  double best = 0.0;
+  bool found = false;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double d;
+    if (!ParseNumericLoose(t.at(r, c), &d)) continue;
+    if (!found || (largest ? d > best : d < best)) {
+      best = d;
+      best_row = r;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("column '" + value_col +
+                                   "' has no numbers");
+  }
+  return best_row;
+}
+
+}  // namespace dialite

@@ -1,0 +1,39 @@
+#ifndef DIALITE_COMMON_STRING_UTIL_H_
+#define DIALITE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dialite {
+
+/// Lowercases ASCII characters; non-ASCII bytes pass through untouched.
+std::string ToLowerAscii(std::string_view s);
+
+/// Trims ASCII whitespace (space, \t, \r, \n, \f, \v) from both ends.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Formats a double with up to `precision` significant decimals, trimming
+/// trailing zeros ("3.14", "2", "0.5").
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace dialite
+
+#endif  // DIALITE_COMMON_STRING_UTIL_H_

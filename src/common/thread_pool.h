@@ -1,0 +1,58 @@
+#ifndef DIALITE_COMMON_THREAD_POOL_H_
+#define DIALITE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dialite {
+
+/// Fixed-size worker pool used by the parallel Full Disjunction operator and
+/// the lake index builders.
+///
+/// Usage:
+///   ThreadPool pool(4);
+///   pool.Submit([&] { ... });
+///   pool.Wait();            // blocks until the queue drains and workers idle
+///
+/// The destructor waits for outstanding work, so a stack-scoped pool is safe.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects the hardware concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked so small n does not oversubscribe.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signaled when work arrives / shutdown
+  std::condition_variable idle_cv_;   // signaled when a task completes
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,297 @@
+#include "core/dialite.h"
+
+#include <unordered_set>
+
+#include "align/alite_matcher.h"
+#include "analyze/aggregate.h"
+#include "analyze/correlation_finder.h"
+#include "analyze/entity_resolution.h"
+#include "analyze/profiler.h"
+#include "analyze/stats.h"
+#include "discovery/cocoa.h"
+#include "discovery/josie.h"
+#include "discovery/keyword_search.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "discovery/starmie.h"
+#include "discovery/tus.h"
+#include "integrate/full_disjunction.h"
+#include "integrate/join_ops.h"
+
+namespace dialite {
+
+namespace {
+
+/// "summary" analysis: per-column numeric summaries of the integrated
+/// table (count/min/max/mean/stddev), one row per numeric-ish column.
+Result<Table> SummaryAnalysis(const Table& t) {
+  Table out("summary", Schema::FromNames(
+                           {"column", "count", "min", "max", "mean",
+                            "stddev"}));
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const std::string& name = t.schema().column(c).name;
+    Result<NumericSummary> s = SummarizeColumn(t, name);
+    if (!s.ok()) continue;  // non-numeric column
+    DIALITE_RETURN_NOT_OK(out.AddRow(
+        {Value::String(name), Value::Int(static_cast<int64_t>(s->count)),
+         Value::Double(s->min), Value::Double(s->max), Value::Double(s->mean),
+         Value::Double(s->stddev)}));
+  }
+  return out;
+}
+
+Result<Table> ErAnalysis(const Table& t) {
+  EntityResolver er;
+  Result<ErOutcome> r = er.Resolve(t);
+  if (!r.ok()) return r.status();
+  return std::move(r).value().resolved;
+}
+
+Result<Table> CorrelationAnalysis(const Table& t) {
+  Result<std::vector<CorrelationFinding>> r = FindCorrelations(t);
+  if (!r.ok()) return r.status();
+  return CorrelationFindingsToTable(*r);
+}
+
+}  // namespace
+
+Dialite::Dialite(const DataLake* lake) : lake_(lake) {}
+
+Status Dialite::RegisterDefaults() {
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<SantosSearch>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterDiscovery(std::make_unique<LshEnsembleSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<JosieSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<StarmieSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<CocoaSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<TusSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<KeywordSearch>()));
+  DIALITE_RETURN_NOT_OK(RegisterMatcher(std::make_unique<AliteMatcher>()));
+  DIALITE_RETURN_NOT_OK(RegisterMatcher(std::make_unique<NameMatcher>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<FullDisjunction>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<ParallelFullDisjunction>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<OuterJoinIntegration>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<InnerJoinIntegration>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<UnionIntegration>()));
+  DIALITE_RETURN_NOT_OK(
+      RegisterIntegration(std::make_unique<MinimumUnionIntegration>()));
+  DIALITE_RETURN_NOT_OK(RegisterAnalysis("summary", SummaryAnalysis));
+  DIALITE_RETURN_NOT_OK(RegisterAnalysis("entity_resolution", ErAnalysis));
+  DIALITE_RETURN_NOT_OK(RegisterAnalysis("correlations", CorrelationAnalysis));
+  DIALITE_RETURN_NOT_OK(RegisterAnalysis(
+      "profile", [](const Table& t) -> Result<Table> {
+        return ProfileToTable(ProfileTable(t));
+      }));
+  return Status::OK();
+}
+
+Status Dialite::RegisterDiscovery(
+    std::unique_ptr<DiscoveryAlgorithm> algorithm) {
+  if (algorithm == nullptr) return Status::InvalidArgument("null algorithm");
+  std::string name = algorithm->name();
+  if (discovery_.count(name)) {
+    return Status::AlreadyExists("discovery '" + name + "'");
+  }
+  indexes_built_ = false;
+  discovery_.emplace(std::move(name), std::move(algorithm));
+  return Status::OK();
+}
+
+Status Dialite::RegisterMatcher(std::unique_ptr<SchemaMatcher> matcher) {
+  if (matcher == nullptr) return Status::InvalidArgument("null matcher");
+  std::string name = matcher->name();
+  if (matchers_.count(name)) {
+    return Status::AlreadyExists("matcher '" + name + "'");
+  }
+  matchers_.emplace(std::move(name), std::move(matcher));
+  return Status::OK();
+}
+
+Status Dialite::RegisterIntegration(std::unique_ptr<IntegrationOperator> op) {
+  if (op == nullptr) return Status::InvalidArgument("null operator");
+  std::string name = op->name();
+  if (integration_.count(name)) {
+    return Status::AlreadyExists("integration '" + name + "'");
+  }
+  integration_.emplace(std::move(name), std::move(op));
+  return Status::OK();
+}
+
+Status Dialite::RegisterAnalysis(const std::string& name, AnalysisFn fn) {
+  if (!fn) return Status::InvalidArgument("empty analysis fn");
+  if (analyses_.count(name)) {
+    return Status::AlreadyExists("analysis '" + name + "'");
+  }
+  analyses_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+std::vector<std::string> Dialite::DiscoveryAlgorithms() const {
+  std::vector<std::string> out;
+  for (const auto& [name, a] : discovery_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Dialite::IntegrationOperators() const {
+  std::vector<std::string> out;
+  for (const auto& [name, a] : integration_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Dialite::Analyses() const {
+  std::vector<std::string> out;
+  for (const auto& [name, a] : analyses_) out.push_back(name);
+  return out;
+}
+
+Status Dialite::BuildIndexes(const std::string& cache_dir) {
+  for (auto& [name, algo] : discovery_) {
+    auto* persistent = dynamic_cast<PersistentIndex*>(algo.get());
+    if (persistent != nullptr && !cache_dir.empty()) {
+      std::string path = cache_dir + "/" + name + ".idx";
+      if (persistent->LoadIndex(path, *lake_).ok()) continue;
+      DIALITE_RETURN_NOT_OK(algo->BuildIndex(*lake_));
+      // Best effort: an unwritable cache must not fail the pipeline.
+      Status save = persistent->SaveIndex(path);
+      (void)save;
+      continue;
+    }
+    DIALITE_RETURN_NOT_OK(algo->BuildIndex(*lake_));
+  }
+  indexes_built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> Dialite::Discover(
+    const DiscoveryQuery& query, const std::string& algorithm) const {
+  auto it = discovery_.find(algorithm);
+  if (it == discovery_.end()) {
+    return Status::NotFound("discovery '" + algorithm + "' not registered");
+  }
+  if (!indexes_built_) {
+    return Status::Internal("BuildIndexes() has not been called");
+  }
+  return it->second->Search(query);
+}
+
+Result<std::map<std::string, std::vector<DiscoveryHit>>> Dialite::DiscoverAll(
+    const DiscoveryQuery& query,
+    const std::vector<std::string>& algorithms) const {
+  std::vector<std::string> names =
+      algorithms.empty() ? DiscoveryAlgorithms() : algorithms;
+  std::map<std::string, std::vector<DiscoveryHit>> out;
+  for (const std::string& name : names) {
+    Result<std::vector<DiscoveryHit>> hits = Discover(query, name);
+    if (!hits.ok()) return hits.status();
+    out.emplace(name, std::move(hits).value());
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveryHit>> Dialite::SearchKeywords(
+    const std::string& text, size_t k) const {
+  auto it = discovery_.find("keyword");
+  if (it == discovery_.end()) {
+    return Status::NotFound("keyword search not registered");
+  }
+  if (!indexes_built_) {
+    return Status::Internal("BuildIndexes() has not been called");
+  }
+  auto* kw = dynamic_cast<KeywordSearch*>(it->second.get());
+  if (kw == nullptr) {
+    return Status::Internal("'keyword' algorithm is not a KeywordSearch");
+  }
+  return kw->SearchKeywords(text, k);
+}
+
+std::vector<const Table*> Dialite::FormIntegrationSet(
+    const Table& query,
+    const std::map<std::string, std::vector<DiscoveryHit>>& hits,
+    size_t max_set) const {
+  std::vector<const Table*> set = {&query};
+  std::unordered_set<std::string> seen = {query.name()};
+  // Breadth-first across algorithms, best-first within each, so a cap
+  // keeps every technique's strongest results.
+  size_t rank = 0;
+  bool more = true;
+  while (more) {
+    more = false;
+    for (const auto& [algo, list] : hits) {
+      if (rank >= list.size()) continue;
+      more = true;
+      const std::string& name = list[rank].table_name;
+      if (seen.count(name)) continue;
+      const Table* t = lake_->Get(name);
+      if (t == nullptr) continue;
+      if (max_set > 0 && set.size() >= max_set) return set;
+      set.push_back(t);
+      seen.insert(name);
+    }
+    ++rank;
+  }
+  return set;
+}
+
+Result<IntegrationResult> Dialite::AlignAndIntegrate(
+    const std::vector<const Table*>& tables,
+    const std::string& integration_operator,
+    const std::string& matcher) const {
+  auto mit = matchers_.find(matcher);
+  if (mit == matchers_.end()) {
+    return Status::NotFound("matcher '" + matcher + "' not registered");
+  }
+  auto oit = integration_.find(integration_operator);
+  if (oit == integration_.end()) {
+    return Status::NotFound("integration '" + integration_operator +
+                            "' not registered");
+  }
+  Result<Alignment> alignment = mit->second->Align(tables);
+  if (!alignment.ok()) return alignment.status();
+  Result<Table> integrated = oit->second->Integrate(tables, *alignment);
+  if (!integrated.ok()) return integrated.status();
+  return IntegrationResult{std::move(integrated).value(),
+                           std::move(alignment).value(), matcher,
+                           integration_operator};
+}
+
+Result<Table> Dialite::Analyze(const Table& integrated,
+                               const std::string& analysis) const {
+  auto it = analyses_.find(analysis);
+  if (it == analyses_.end()) {
+    return Status::NotFound("analysis '" + analysis + "' not registered");
+  }
+  return it->second(integrated);
+}
+
+Result<PipelineReport> Dialite::Run(const Table& query,
+                                    const PipelineOptions& options) const {
+  PipelineReport report;
+  DiscoveryQuery dq{&query, options.query_column, options.k};
+  Result<std::map<std::string, std::vector<DiscoveryHit>>> hits =
+      DiscoverAll(dq, options.discovery_algorithms);
+  if (!hits.ok()) return hits.status();
+  report.hits = std::move(hits).value();
+
+  std::vector<const Table*> set =
+      FormIntegrationSet(query, report.hits, options.max_integration_set);
+  for (const Table* t : set) report.integration_set.push_back(t->name());
+
+  Result<IntegrationResult> integ =
+      AlignAndIntegrate(set, options.integration_operator);
+  if (!integ.ok()) return integ.status();
+  report.integration = std::move(integ).value();
+
+  for (const std::string& a : options.analyses) {
+    Result<Table> r = Analyze(report.integration.table, a);
+    if (!r.ok()) return r.status();
+    report.analysis_results.emplace(a, std::move(r).value());
+  }
+  return report;
+}
+
+}  // namespace dialite

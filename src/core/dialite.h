@@ -1,0 +1,164 @@
+#ifndef DIALITE_CORE_DIALITE_H_
+#define DIALITE_CORE_DIALITE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+#include "common/status.h"
+#include "discovery/discovery.h"
+#include "integrate/integration.h"
+#include "lake/data_lake.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// A pluggable downstream analysis: integrated table in, result table out
+/// (aggregation, statistics report, entity resolution, user code, ...).
+using AnalysisFn = std::function<Result<Table>(const Table&)>;
+
+/// Align + Integrate output: the integrated table and the integration IDs
+/// it was computed over.
+struct IntegrationResult {
+  Table table;
+  Alignment alignment;
+  std::string matcher;
+  std::string integration_operator;
+};
+
+/// Options for the end-to-end pipeline run.
+struct PipelineOptions {
+  /// Discovery algorithms to run (registered names); empty = all.
+  std::vector<std::string> discovery_algorithms;
+  /// The user-marked query/intent column of the query table.
+  size_t query_column = 0;
+  /// Top-k per discovery algorithm.
+  size_t k = 10;
+  /// Cap on the integration set size (query table included). 0 = no cap.
+  size_t max_integration_set = 0;
+  /// Integration operator (registered name).
+  std::string integration_operator = "alite_fd";
+  /// Analyses (registered names) to run over the integrated table.
+  std::vector<std::string> analyses;
+};
+
+/// Report of one pipeline run — everything the demo UI would display.
+struct PipelineReport {
+  /// Per-algorithm discovery results.
+  std::map<std::string, std::vector<DiscoveryHit>> hits;
+  /// The integration set (query first), as table names.
+  std::vector<std::string> integration_set;
+  IntegrationResult integration;
+  /// Analysis name -> result table.
+  std::map<std::string, Table> analysis_results;
+};
+
+/// The DIALITE system: a data lake plus three pluggable stages
+/// (discover → align & integrate → analyze).
+///
+///   DataLake lake = ...;
+///   Dialite dialite(&lake);
+///   dialite.RegisterDefaults();                  // SANTOS, LSH Ensemble,
+///                                                // JOSIE, ALITE FD, joins
+///   dialite.BuildIndexes();
+///   auto report = dialite.Run(query, options);
+///
+/// Extensibility mirrors the paper's Sec. 3.2: RegisterDiscovery() is
+/// Fig. 4, RegisterIntegration() is Fig. 6, RegisterAnalysis() adds
+/// downstream tasks.
+class Dialite {
+ public:
+  /// `lake` must outlive this object.
+  explicit Dialite(const DataLake* lake);
+
+  Dialite(const Dialite&) = delete;
+  Dialite& operator=(const Dialite&) = delete;
+
+  // ------------------------------------------------------------ plug-ins
+
+  /// Registers the stock components: discovery {santos, lsh_ensemble,
+  /// josie, starmie, cocoa}, matcher alite_holistic (+ name_equality),
+  /// integration {alite_fd, parallel_fd, outer_join, inner_join,
+  /// union_all}, analyses {summary, entity_resolution, correlations}.
+  Status RegisterDefaults();
+
+  Status RegisterDiscovery(std::unique_ptr<DiscoveryAlgorithm> algorithm);
+  Status RegisterMatcher(std::unique_ptr<SchemaMatcher> matcher);
+  Status RegisterIntegration(std::unique_ptr<IntegrationOperator> op);
+  Status RegisterAnalysis(const std::string& name, AnalysisFn fn);
+
+  std::vector<std::string> DiscoveryAlgorithms() const;
+  std::vector<std::string> IntegrationOperators() const;
+  std::vector<std::string> Analyses() const;
+
+  /// Builds every registered discovery index over the lake (the paper's
+  /// offline preprocessing). Call after registrations, before Search/Run.
+  ///
+  /// With a non-empty `cache_dir`, algorithms implementing PersistentIndex
+  /// first try to load "<cache_dir>/<name>.idx"; on a miss (or a stale/
+  /// unreadable file) they build and then save it — so the second session
+  /// on the same lake skips the expensive offline pass.
+  Status BuildIndexes(const std::string& cache_dir = "");
+
+  // ------------------------------------------------------------- stage 1
+
+  /// Runs one discovery algorithm.
+  Result<std::vector<DiscoveryHit>> Discover(const DiscoveryQuery& query,
+                                             const std::string& algorithm) const;
+
+  /// Runs several (empty = all) and returns per-algorithm hits.
+  Result<std::map<std::string, std::vector<DiscoveryHit>>> DiscoverAll(
+      const DiscoveryQuery& query,
+      const std::vector<std::string>& algorithms = {}) const;
+
+  /// Free-text discovery for the no-query-table entry point: delegates to
+  /// the registered "keyword" algorithm. NotFound if it isn't registered.
+  Result<std::vector<DiscoveryHit>> SearchKeywords(const std::string& text,
+                                                   size_t k = 10) const;
+
+  /// Forms the integration set: the query table plus the union of all hit
+  /// tables (the paper persists "the set of tables found by all
+  /// techniques"). Hits are taken best-score-first per algorithm,
+  /// breadth-first across algorithms, until max_set (0 = no cap).
+  std::vector<const Table*> FormIntegrationSet(
+      const Table& query,
+      const std::map<std::string, std::vector<DiscoveryHit>>& hits,
+      size_t max_set = 0) const;
+
+  // ------------------------------------------------------------- stage 2
+
+  /// Aligns with the named matcher (default alite_holistic) and integrates
+  /// with the named operator.
+  Result<IntegrationResult> AlignAndIntegrate(
+      const std::vector<const Table*>& tables,
+      const std::string& integration_operator = "alite_fd",
+      const std::string& matcher = "alite_holistic") const;
+
+  // ------------------------------------------------------------- stage 3
+
+  Result<Table> Analyze(const Table& integrated,
+                        const std::string& analysis) const;
+
+  // ------------------------------------------------------------ pipeline
+
+  /// Full discover → align+integrate → analyze run.
+  Result<PipelineReport> Run(const Table& query,
+                             const PipelineOptions& options) const;
+
+  const DataLake& lake() const { return *lake_; }
+
+ private:
+  const DataLake* lake_;
+  std::map<std::string, std::unique_ptr<DiscoveryAlgorithm>> discovery_;
+  std::map<std::string, std::unique_ptr<SchemaMatcher>> matchers_;
+  std::map<std::string, std::unique_ptr<IntegrationOperator>> integration_;
+  std::map<std::string, AnalysisFn> analyses_;
+  bool indexes_built_ = false;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_CORE_DIALITE_H_

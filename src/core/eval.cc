@@ -1,0 +1,86 @@
+#include "core/eval.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace dialite {
+
+RetrievalMetrics EvaluateRanking(const std::vector<DiscoveryHit>& ranked,
+                                 const std::vector<std::string>& relevant,
+                                 size_t k) {
+  RetrievalMetrics m;
+  std::unordered_set<std::string> rel(relevant.begin(), relevant.end());
+  m.relevant = rel.size();
+  if (rel.empty() || k == 0) return m;
+  double ap = 0.0;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    if (rel.count(ranked[i].table_name)) {
+      ++m.hits;
+      ap += static_cast<double>(m.hits) / static_cast<double>(i + 1);
+    }
+  }
+  m.precision_at_k = static_cast<double>(m.hits) / static_cast<double>(k);
+  m.recall_at_k = static_cast<double>(m.hits) /
+                  static_cast<double>(std::min(k, rel.size()));
+  m.average_precision = ap / static_cast<double>(rel.size());
+  return m;
+}
+
+AlignmentMetrics EvaluateAlignment(const Alignment& alignment,
+                                   const GroundTruth& truth,
+                                   const std::vector<const Table*>& tables) {
+  AlignmentMetrics m;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      for (size_t ci = 0; ci < tables[i]->num_columns(); ++ci) {
+        for (size_t cj = 0; cj < tables[j]->num_columns(); ++cj) {
+          bool want = truth.SameBaseColumn(tables[i]->name(), ci,
+                                           tables[j]->name(), cj);
+          bool got = alignment.IdOf(tables[i]->name(), ci) ==
+                     alignment.IdOf(tables[j]->name(), cj);
+          m.true_positives += (got && want);
+          m.false_positives += (got && !want);
+          m.false_negatives += (!got && want);
+        }
+      }
+    }
+  }
+  size_t tp = m.true_positives;
+  m.precision = tp + m.false_positives == 0
+                    ? 1.0
+                    : static_cast<double>(tp) / (tp + m.false_positives);
+  m.recall = tp + m.false_negatives == 0
+                 ? 1.0
+                 : static_cast<double>(tp) / (tp + m.false_negatives);
+  m.f1 = m.precision + m.recall == 0
+             ? 0.0
+             : 2 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+Alignment GroundTruthAlignment(const GroundTruth& truth,
+                               const std::vector<const Table*>& tables) {
+  std::map<std::string, std::vector<ColumnRef>> clusters;
+  std::vector<std::string> order;
+  for (const Table* t : tables) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      std::string key = truth.BaseColumnOf(t->name(), c);
+      if (key.empty()) {
+        // Unknown column: singleton cluster keyed uniquely.
+        key = "\x1f" + t->name() + "\x1f" + std::to_string(c);
+      }
+      auto [it, inserted] = clusters.try_emplace(key);
+      if (inserted) order.push_back(key);
+      it->second.push_back({t->name(), c});
+    }
+  }
+  Alignment out;
+  for (const std::string& key : order) {
+    std::string display = key[0] == '\x1f' ? "" : key;
+    out.AddCluster(std::move(clusters[key]), std::move(display));
+  }
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,54 @@
+#ifndef DIALITE_CORE_EVAL_H_
+#define DIALITE_CORE_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+#include "discovery/discovery.h"
+#include "lake/lake_generator.h"
+
+namespace dialite {
+
+/// Retrieval metrics of one ranked result list against a relevant set.
+struct RetrievalMetrics {
+  double precision_at_k = 0.0;
+  /// Recall against min(k, |relevant|) — "R-recall@k".
+  double recall_at_k = 0.0;
+  /// Average precision (relative to |relevant|).
+  double average_precision = 0.0;
+  size_t hits = 0;
+  size_t relevant = 0;
+};
+
+/// Scores `ranked` (best first, already truncated or not) at cutoff `k`
+/// against `relevant` table names. With an empty relevant set all metrics
+/// are zero and `relevant` = 0 (callers typically skip such queries).
+RetrievalMetrics EvaluateRanking(const std::vector<DiscoveryHit>& ranked,
+                                 const std::vector<std::string>& relevant,
+                                 size_t k);
+
+/// Pairwise cluster-agreement metrics of an alignment against generator
+/// ground truth, over all cross-table column pairs of `tables`.
+struct AlignmentMetrics {
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+AlignmentMetrics EvaluateAlignment(const Alignment& alignment,
+                                   const GroundTruth& truth,
+                                   const std::vector<const Table*>& tables);
+
+/// Builds the ground-truth alignment of `tables` from generator metadata
+/// (columns clustered by base key) — the oracle matcher used to isolate
+/// integration cost/quality from matching quality.
+Alignment GroundTruthAlignment(const GroundTruth& truth,
+                               const std::vector<const Table*>& tables);
+
+}  // namespace dialite
+
+#endif  // DIALITE_CORE_EVAL_H_

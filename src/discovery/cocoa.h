@@ -1,0 +1,63 @@
+#ifndef DIALITE_DISCOVERY_COCOA_H_
+#define DIALITE_DISCOVERY_COCOA_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "discovery/discovery.h"
+
+namespace dialite {
+
+/// Correlation-aware data augmentation search in the spirit of COCOA
+/// (Esmailoghli et al., EDBT 2021) — the related-work system the paper
+/// contrasts DIALITE against. COCOA looks for tables that are joinable
+/// with the query AND whose numeric columns correlate with the query's
+/// numeric columns after the join (i.e., features that would actually help
+/// a downstream model).
+///
+/// Offline: a token inverted index over lake columns (like JOSIE).
+/// Online: candidates joinable on the query column above
+/// `min_containment`; for each, the query and candidate are joined on the
+/// query column and the score is the best |Spearman ρ| between any query
+/// numeric column and any candidate numeric column over the joined rows
+/// (Spearman, as in COCOA, because it is rank-based and join-order
+/// insensitive). Candidates with no correlated numeric pair score by a
+/// small joinability-only fallback so pure joins still rank below
+/// correlated ones.
+class CocoaSearch : public DiscoveryAlgorithm {
+ public:
+  struct Params {
+    double min_containment = 0.5;
+    size_t min_joined_rows = 3;  ///< pairs needed before ρ is meaningful
+    /// Score floor for joinable-but-uncorrelated candidates.
+    double joinability_fallback_scale = 0.1;
+  };
+
+  CocoaSearch() : CocoaSearch(Params()) {}
+  explicit CocoaSearch(Params params) : params_(params) {}
+
+  std::string name() const override { return "cocoa"; }
+  Status BuildIndex(const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+ private:
+  Params params_;
+  const DataLake* lake_ = nullptr;
+  std::vector<std::pair<std::string, size_t>> columns_;
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+};
+
+/// Best absolute Spearman correlation between any numeric column of
+/// `query` and any numeric column of `candidate`, over rows joined on
+/// (query_col, cand_col) token equality. Returns 0 when no pair reaches
+/// `min_rows` joined rows. Exposed for tests and the correlation analysis.
+double BestJoinedCorrelation(const Table& query, size_t query_col,
+                             const Table& candidate, size_t cand_col,
+                             size_t min_rows);
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_COCOA_H_

@@ -1,0 +1,89 @@
+#include "discovery/custom_search.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace dialite {
+
+SimilarityFunctionSearch::SimilarityFunctionSearch(std::string name,
+                                                   TableSimilarityFn fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {}
+
+Status SimilarityFunctionSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> SimilarityFunctionSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (!fn_) return Status::InvalidArgument("similarity function is empty");
+  std::vector<DiscoveryHit> hits;
+  for (const Table* cand : lake_->tables()) {
+    if (cand->name() == query.table->name()) continue;
+    hits.push_back({cand->name(), fn_(*query.table, *cand)});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+size_t NaturalInnerJoinSize(const Table& a, const Table& b) {
+  // Shared column names (first occurrence on either side).
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t ca = 0; ca < a.num_columns(); ++ca) {
+    const std::string& name = a.schema().column(ca).name;
+    if (name.empty()) continue;
+    size_t cb = b.schema().IndexOf(name);
+    if (cb != Schema::npos) shared.emplace_back(ca, cb);
+  }
+  if (shared.empty()) return 0;
+
+  // Hash join keyed on all shared columns; null keys never match.
+  auto key_of = [&shared](const Row& row, bool left) -> std::optional<uint64_t> {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto& [ca, cb] : shared) {
+      const Value& v = row[left ? ca : cb];
+      if (v.is_null()) return std::nullopt;
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (auto k = key_of(a.row(r), /*left=*/true)) build[*k].push_back(r);
+  }
+  size_t result = 0;
+  for (size_t r = 0; r < b.num_rows(); ++r) {
+    auto k = key_of(b.row(r), /*left=*/false);
+    if (!k) continue;
+    auto it = build.find(*k);
+    if (it == build.end()) continue;
+    // Hash equality is not value equality: verify to keep the count exact.
+    for (size_t ra : it->second) {
+      bool all_match = true;
+      for (const auto& [ca, cb] : shared) {
+        if (!a.at(ra, ca).EqualsValue(b.at(r, cb))) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) ++result;
+    }
+  }
+  return result;
+}
+
+double InnerJoinSimilarity(const Table& df1, const Table& df2) {
+  size_t denom = std::max(df1.num_rows(), df2.num_rows());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(NaturalInnerJoinSize(df1, df2)) /
+         static_cast<double>(denom);
+}
+
+}  // namespace dialite

@@ -1,0 +1,50 @@
+#ifndef DIALITE_DISCOVERY_CUSTOM_SEARCH_H_
+#define DIALITE_DISCOVERY_CUSTOM_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "discovery/discovery.h"
+
+namespace dialite {
+
+/// A user-supplied similarity between two tables (higher = more related;
+/// return <= 0 for "unrelated"). This is the C++ rendering of the paper's
+/// Fig. 4 extensibility hook, where the user "implements a similarity
+/// function between two datasets (df1 and df2)".
+using TableSimilarityFn =
+    std::function<double(const Table& query, const Table& candidate)>;
+
+/// Wraps a TableSimilarityFn as a DiscoveryAlgorithm: Search() scans every
+/// lake table and ranks by the function. No index — exactly the naive
+/// loop a user-defined pandas function gets in the original demo.
+class SimilarityFunctionSearch : public DiscoveryAlgorithm {
+ public:
+  SimilarityFunctionSearch(std::string name, TableSimilarityFn fn);
+
+  std::string name() const override { return name_; }
+  Status BuildIndex(const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+ private:
+  std::string name_;
+  TableSimilarityFn fn_;
+  const DataLake* lake_ = nullptr;
+};
+
+/// The paper's Fig. 4 example function, translated from pandas:
+///   join_df = pd.merge(df1, df2, how='inner')   # natural join on shared
+///                                               # column names
+///   return len(join_df) / max(len(df1), len(df2))
+double InnerJoinSimilarity(const Table& df1, const Table& df2);
+
+/// Natural inner join on equal column names (the pd.merge(how='inner')
+/// default). Returns the number of result rows; 0 when no shared columns.
+/// Null cells never match (SQL semantics).
+size_t NaturalInnerJoinSize(const Table& a, const Table& b);
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_CUSTOM_SEARCH_H_

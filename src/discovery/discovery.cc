@@ -1,0 +1,20 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+
+namespace dialite {
+
+std::vector<DiscoveryHit> RankHits(std::vector<DiscoveryHit> hits, size_t k) {
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [](const DiscoveryHit& h) { return h.score <= 0; }),
+             hits.end());
+  std::sort(hits.begin(), hits.end(),
+            [](const DiscoveryHit& a, const DiscoveryHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.table_name < b.table_name;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace dialite

@@ -1,0 +1,75 @@
+#ifndef DIALITE_DISCOVERY_DISCOVERY_H_
+#define DIALITE_DISCOVERY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lake/data_lake.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// One discovery hit: a lake table and the algorithm's score for it
+/// (higher = more related; scales differ across algorithms).
+struct DiscoveryHit {
+  std::string table_name;
+  double score = 0.0;
+
+  bool operator==(const DiscoveryHit& other) const {
+    return table_name == other.table_name && score == other.score;
+  }
+};
+
+/// A discovery request: query table, the user-marked query/intent column
+/// (the paper's Example 1 marks "City"), and how many tables to return.
+struct DiscoveryQuery {
+  const Table* table = nullptr;
+  size_t query_column = 0;
+  size_t k = 10;
+};
+
+/// Interface every table-discovery algorithm implements (SANTOS,
+/// LSH Ensemble, JOSIE, and user-defined searches).
+///
+/// Lifecycle: construct → BuildIndex(lake) once → Search() many times.
+/// BuildIndex corresponds to the paper's offline preprocessing ("the
+/// indexes ... are built offline"). Implementations keep a borrowed pointer
+/// to the lake, which must outlive them.
+class DiscoveryAlgorithm {
+ public:
+  virtual ~DiscoveryAlgorithm() = default;
+
+  /// Stable algorithm id ("santos", "lsh_ensemble", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds the offline index over the lake.
+  virtual Status BuildIndex(const DataLake& lake) = 0;
+
+  /// Top-k related tables, best first. Ties broken by table name for
+  /// determinism. Tables scoring zero are never returned.
+  virtual Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const = 0;
+};
+
+/// Optional capability: discovery algorithms whose offline index can be
+/// persisted to a file and restored without re-scanning the lake (the
+/// paper's "indexes ... built offline, already available"). Implemented by
+/// SantosSearch and JosieSearch; the Dialite facade uses it for its index
+/// cache directory.
+class PersistentIndex {
+ public:
+  virtual ~PersistentIndex() = default;
+
+  virtual Status SaveIndex(const std::string& path) const = 0;
+  /// Restores the index; `lake` must contain every indexed table.
+  virtual Status LoadIndex(const std::string& path, const DataLake& lake) = 0;
+};
+
+/// Shared helper: sorts hits by (score desc, name asc), drops non-positive
+/// scores, truncates to k.
+std::vector<DiscoveryHit> RankHits(std::vector<DiscoveryHit> hits, size_t k);
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_DISCOVERY_H_

@@ -1,0 +1,133 @@
+#include "discovery/josie.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "discovery/persist.h"
+
+namespace dialite {
+
+Status JosieSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  columns_.clear();
+  postings_.clear();
+  for (const Table* t : lake.tables()) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      std::vector<std::string> tokens = t->ColumnTokenSet(c);
+      if (tokens.size() < params_.min_distinct) continue;
+      uint32_t id = static_cast<uint32_t>(columns_.size());
+      columns_.emplace_back(t->name(), c);
+      for (const std::string& tok : tokens) postings_[tok].push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status JosieSearch::SaveIndex(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "dialite-josie-index v1\n";
+  out << "columns " << columns_.size() << "\n";
+  for (const auto& [table, col] : columns_) {
+    out << col << " " << EscapeIndexLine(table) << "\n";
+  }
+  out << "postings " << postings_.size() << "\n";
+  for (const auto& [token, ids] : postings_) {
+    out << EscapeIndexLine(token) << "\n";
+    out << ids.size();
+    for (uint32_t id : ids) out << " " << id;
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status JosieSearch::LoadIndex(const std::string& path, const DataLake& lake) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "dialite-josie-index v1") {
+    return Status::ParseError("bad josie index header in " + path);
+  }
+  std::string word;
+  size_t n = 0;
+  in >> word >> n;
+  if (word != "columns") return Status::ParseError("expected 'columns'");
+  in.ignore();  // newline
+  columns_.clear();
+  columns_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated columns");
+    std::istringstream ls(line);
+    size_t col = 0;
+    ls >> col;
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+    std::string table = UnescapeIndexLine(rest);
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    columns_.emplace_back(std::move(table), col);
+  }
+  in >> word >> n;
+  if (word != "postings") return Status::ParseError("expected 'postings'");
+  in.ignore();
+  postings_.clear();
+  postings_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated token");
+    std::string token = UnescapeIndexLine(line);
+    size_t count = 0;
+    in >> count;
+    std::vector<uint32_t> ids(count);
+    for (size_t j = 0; j < count; ++j) in >> ids[j];
+    in.ignore();
+    if (!in) return Status::ParseError("truncated postings for token");
+    postings_.emplace(std::move(token), std::move(ids));
+  }
+  lake_ = &lake;
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> JosieSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<std::string> qtokens =
+      query.table->ColumnTokenSet(query.query_column);
+  if (qtokens.empty()) return std::vector<DiscoveryHit>{};
+
+  // Merge posting lists, accumulating per-column overlap counts.
+  std::unordered_map<uint32_t, size_t> overlap;
+  for (const std::string& tok : qtokens) {
+    auto it = postings_.find(tok);
+    if (it == postings_.end()) continue;
+    for (uint32_t id : it->second) ++overlap[id];
+  }
+
+  // Per-table best column overlap.
+  std::unordered_map<std::string, size_t> best;
+  for (const auto& [id, n] : overlap) {
+    if (n < params_.min_overlap) continue;
+    const auto& [table_name, col] = columns_[id];
+    if (table_name == query.table->name()) continue;
+    size_t& cur = best[table_name];
+    cur = std::max(cur, n);
+  }
+  std::vector<DiscoveryHit> hits;
+  hits.reserve(best.size());
+  for (const auto& [name, n] : best) {
+    hits.push_back({name, static_cast<double>(n)});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+}  // namespace dialite

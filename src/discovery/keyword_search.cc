@@ -1,0 +1,77 @@
+#include "discovery/keyword_search.h"
+
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+std::vector<std::string> KeywordSearch::TableDocument(
+    const Table& table) const {
+  std::vector<std::string> doc;
+  // Metadata tokens, boosted by repetition.
+  std::vector<std::string> meta = WordTokens(table.name());
+  for (const ColumnDef& c : table.schema().columns()) {
+    std::vector<std::string> h = WordTokens(c.name);
+    meta.insert(meta.end(), h.begin(), h.end());
+  }
+  for (size_t rep = 0; rep < params_.metadata_boost; ++rep) {
+    doc.insert(doc.end(), meta.begin(), meta.end());
+  }
+  // Cell tokens, bounded per column.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    size_t taken = 0;
+    for (const std::string& tok : table.ColumnTokenSet(c)) {
+      if (taken >= params_.max_tokens_per_column) break;
+      std::vector<std::string> words = WordTokens(tok);
+      doc.insert(doc.end(), words.begin(), words.end());
+      ++taken;
+    }
+  }
+  return doc;
+}
+
+Status KeywordSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  vectorizer_ = TfIdfVectorizer();
+  documents_.clear();
+  std::vector<std::vector<std::string>> docs;
+  for (const Table* t : lake.tables()) {
+    docs.push_back(TableDocument(*t));
+    vectorizer_.AddDocument(docs.back());
+  }
+  vectorizer_.Finalize();
+  size_t i = 0;
+  for (const Table* t : lake.tables()) {
+    documents_.emplace_back(t->name(), vectorizer_.Transform(docs[i++]));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> KeywordSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  SparseVector qvec = vectorizer_.Transform(TableDocument(*query.table));
+  std::vector<DiscoveryHit> hits;
+  for (const auto& [name, vec] : documents_) {
+    if (name == query.table->name()) continue;
+    hits.push_back({name, SparseCosine(qvec, vec)});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+Result<std::vector<DiscoveryHit>> KeywordSearch::SearchKeywords(
+    const std::string& text, size_t k) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  std::vector<std::string> tokens = WordTokens(text);
+  if (tokens.empty()) return Status::InvalidArgument("empty keyword query");
+  SparseVector qvec = vectorizer_.Transform(tokens);
+  std::vector<DiscoveryHit> hits;
+  for (const auto& [name, vec] : documents_) {
+    hits.push_back({name, SparseCosine(qvec, vec)});
+  }
+  return RankHits(std::move(hits), k);
+}
+
+}  // namespace dialite

@@ -1,0 +1,58 @@
+#ifndef DIALITE_DISCOVERY_KEYWORD_SEARCH_H_
+#define DIALITE_DISCOVERY_KEYWORD_SEARCH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "text/tfidf.h"
+
+namespace dialite {
+
+/// Keyword/metadata table retrieval — the "keyword search" discovery
+/// technique the paper's introduction lists alongside table search
+/// (Shraga et al., SIGIR 2020 family, lexical core).
+///
+/// Offline: every lake table becomes a "document" — its name, headers, and
+/// cell tokens — in a TF-IDF corpus. Online: either a free-text keyword
+/// query (SearchKeywords) or a query table (Search — the table itself is
+/// tokenized, so the common DiscoveryAlgorithm interface still applies),
+/// ranked by TF-IDF cosine. The complement of the set-theoretic searches:
+/// finds *topically related* tables even when value sets are disjoint.
+class KeywordSearch : public DiscoveryAlgorithm {
+ public:
+  struct Params {
+    /// Weight multiplier for header/name tokens over cell tokens (metadata
+    /// is short but dense with signal); implemented by token repetition.
+    size_t metadata_boost = 3;
+    /// Cap on cell tokens sampled per column (keeps documents bounded).
+    size_t max_tokens_per_column = 200;
+  };
+
+  KeywordSearch() : KeywordSearch(Params()) {}
+  explicit KeywordSearch(Params params) : params_(params) {}
+
+  std::string name() const override { return "keyword"; }
+  Status BuildIndex(const DataLake& lake) override;
+
+  /// Table-as-query: tokenizes the query table like a lake document.
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+  /// Free-text query ("covid vaccination european cities").
+  Result<std::vector<DiscoveryHit>> SearchKeywords(const std::string& text,
+                                                   size_t k) const;
+
+ private:
+  std::vector<std::string> TableDocument(const Table& table) const;
+
+  Params params_;
+  const DataLake* lake_ = nullptr;
+  TfIdfVectorizer vectorizer_;
+  std::vector<std::pair<std::string, SparseVector>> documents_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_KEYWORD_SEARCH_H_

@@ -1,0 +1,66 @@
+#include "discovery/lsh_ensemble_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/similarity.h"
+
+namespace dialite {
+
+LshEnsembleSearch::LshEnsembleSearch(Params params)
+    : params_(params),
+      ensemble_(LshEnsemble::Params{params.num_perm, params.num_partitions,
+                                    params.seed}) {}
+
+Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  columns_.clear();
+  ensemble_ = LshEnsemble(LshEnsemble::Params{
+      params_.num_perm, params_.num_partitions, params_.seed});
+  for (const Table* t : lake.tables()) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      std::vector<std::string> tokens = t->ColumnTokenSet(c);
+      if (tokens.size() < params_.min_distinct) continue;
+      uint64_t id = columns_.size();
+      columns_.emplace_back(t->name(), c);
+      DIALITE_RETURN_NOT_OK(ensemble_.Add(id, tokens));
+    }
+  }
+  return ensemble_.Build();
+}
+
+Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<std::string> qtokens =
+      query.table->ColumnTokenSet(query.query_column);
+  if (qtokens.empty()) return std::vector<DiscoveryHit>{};
+
+  std::vector<uint64_t> cand_ids =
+      ensemble_.Query(qtokens, params_.containment_threshold);
+
+  // Exact verification + per-table best containment.
+  std::unordered_map<std::string, double> best;
+  for (uint64_t id : cand_ids) {
+    const auto& [table_name, col] = columns_[id];
+    if (table_name == query.table->name()) continue;
+    const Table* cand = lake_->Get(table_name);
+    if (cand == nullptr) continue;
+    double c = Containment(qtokens, cand->ColumnTokenSet(col));
+    if (c < params_.containment_threshold) continue;
+    double& cur = best[table_name];
+    cur = std::max(cur, c);
+  }
+  std::vector<DiscoveryHit> hits;
+  hits.reserve(best.size());
+  for (const auto& [name, score] : best) hits.push_back({name, score});
+  return RankHits(std::move(hits), query.k);
+}
+
+}  // namespace dialite

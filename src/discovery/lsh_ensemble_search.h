@@ -1,0 +1,51 @@
+#ifndef DIALITE_DISCOVERY_LSH_ENSEMBLE_SEARCH_H_
+#define DIALITE_DISCOVERY_LSH_ENSEMBLE_SEARCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "sketch/lsh_ensemble.h"
+
+namespace dialite {
+
+/// Joinable-table search backed by the LSH Ensemble sketch (Zhu et al.,
+/// VLDB 2016) — the datasketch component of the original demo.
+///
+/// Offline: every lake column's distinct-token set is added to the
+/// ensemble. Online: the query column probes for indexed columns whose
+/// containment of the query meets `containment_threshold`; candidates are
+/// then verified *exactly* against the lake (the sketch prunes, the data
+/// decides), and each table is scored by its best column's containment.
+class LshEnsembleSearch : public DiscoveryAlgorithm {
+ public:
+  struct Params {
+    double containment_threshold = 0.5;
+    size_t num_perm = 128;
+    size_t num_partitions = 8;
+    /// Columns with fewer distinct tokens than this are not indexed
+    /// (single-value columns join with everything vacuously).
+    size_t min_distinct = 2;
+    uint64_t seed = 7;
+  };
+
+  LshEnsembleSearch() : LshEnsembleSearch(Params()) {}
+  explicit LshEnsembleSearch(Params params);
+
+  std::string name() const override { return "lsh_ensemble"; }
+  Status BuildIndex(const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+ private:
+  Params params_;
+  LshEnsemble ensemble_;
+  const DataLake* lake_ = nullptr;
+  /// Ensemble id -> (table name, column index).
+  std::vector<std::pair<std::string, size_t>> columns_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_LSH_ENSEMBLE_SEARCH_H_

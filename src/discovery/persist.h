@@ -1,0 +1,17 @@
+#ifndef DIALITE_DISCOVERY_PERSIST_H_
+#define DIALITE_DISCOVERY_PERSIST_H_
+
+#include <string>
+
+namespace dialite {
+
+/// Helpers for the line-oriented index files used by the persistent
+/// discovery indexes (JOSIE postings, SANTOS semantics). Tokens may
+/// contain anything but are stored one-per-line, so newlines and
+/// backslashes are escaped.
+std::string EscapeIndexLine(const std::string& s);
+std::string UnescapeIndexLine(const std::string& s);
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_PERSIST_H_

@@ -1,0 +1,248 @@
+#include "discovery/santos.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+
+#include "discovery/persist.h"
+
+namespace dialite {
+
+SantosSearch::SantosSearch(Params params, const KnowledgeBase* kb)
+    : params_(params), kb_(kb), annotator_(kb) {}
+
+SantosSearch::TableSemantics SantosSearch::Annotate(const Table& table) const {
+  TableSemantics sem;
+  sem.columns.resize(table.num_columns());
+  sem.anchored_relations.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (annotator_.ColumnCoverage(table, c) < params_.min_coverage) continue;
+    for (const Annotation& a :
+         annotator_.AnnotateColumn(table, c, params_.max_types_per_column)) {
+      sem.columns[c].types[a.label] = a.score;
+    }
+  }
+  for (size_t a = 0; a < table.num_columns(); ++a) {
+    if (sem.columns[a].types.empty()) continue;
+    for (size_t b = 0; b < table.num_columns(); ++b) {
+      if (a == b || sem.columns[b].types.empty()) continue;
+      for (const Annotation& rel : annotator_.AnnotateColumnPair(table, a, b)) {
+        double& best = sem.relations[rel.label];
+        best = std::max(best, rel.score);
+        double& anchored = sem.anchored_relations[a][rel.label];
+        anchored = std::max(anchored, rel.score);
+      }
+    }
+  }
+  return sem;
+}
+
+Status SantosSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  semantics_.clear();
+  type_index_.clear();
+  for (const Table* t : lake.tables()) {
+    TableSemantics sem = Annotate(*t);
+    std::unordered_set<std::string> types_seen;
+    for (const ColumnSemantics& col : sem.columns) {
+      for (const auto& [type, conf] : col.types) {
+        if (types_seen.insert(type).second) {
+          type_index_[type].push_back(t->name());
+        }
+      }
+    }
+    semantics_.emplace(t->name(), std::move(sem));
+  }
+  return Status::OK();
+}
+
+Status SantosSearch::SaveIndex(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.precision(17);  // lossless double round-trip
+  out << "dialite-santos-index v1\n";
+  out << "tables " << semantics_.size() << "\n";
+  for (const auto& [name, sem] : semantics_) {
+    out << "table " << EscapeIndexLine(name) << "\n";
+    out << "ncols " << sem.columns.size() << "\n";
+    for (size_t c = 0; c < sem.columns.size(); ++c) {
+      out << "col " << c << " " << sem.columns[c].types.size() << "\n";
+      for (const auto& [type, conf] : sem.columns[c].types) {
+        out << type << " " << conf << "\n";
+      }
+    }
+    out << "rels " << sem.relations.size() << "\n";
+    for (const auto& [label, conf] : sem.relations) {
+      out << label << " " << conf << "\n";
+    }
+    for (size_t c = 0; c < sem.anchored_relations.size(); ++c) {
+      if (sem.anchored_relations[c].empty()) continue;
+      out << "anchored " << c << " " << sem.anchored_relations[c].size()
+          << "\n";
+      for (const auto& [label, conf] : sem.anchored_relations[c]) {
+        out << label << " " << conf << "\n";
+      }
+    }
+    out << "end\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status SantosSearch::LoadIndex(const std::string& path, const DataLake& lake) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "dialite-santos-index v1") {
+    return Status::ParseError("bad santos index header in " + path);
+  }
+  std::string word;
+  size_t num_tables = 0;
+  in >> word >> num_tables;
+  if (word != "tables") return Status::ParseError("expected 'tables'");
+  in.ignore();
+  semantics_.clear();
+  type_index_.clear();
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (!std::getline(in, line) || line.rfind("table ", 0) != 0) {
+      return Status::ParseError("expected 'table <name>'");
+    }
+    std::string name = UnescapeIndexLine(line.substr(6));
+    if (!lake.Contains(name)) {
+      return Status::NotFound("indexed table '" + name +
+                              "' missing from lake");
+    }
+    TableSemantics sem;
+    size_t ncols = 0;
+    in >> word >> ncols;
+    if (word != "ncols") return Status::ParseError("expected 'ncols'");
+    sem.columns.resize(ncols);
+    sem.anchored_relations.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      size_t idx = 0;
+      size_t ntypes = 0;
+      in >> word >> idx >> ntypes;
+      if (word != "col" || idx >= ncols) {
+        return Status::ParseError("bad 'col' record");
+      }
+      for (size_t k = 0; k < ntypes; ++k) {
+        std::string type;
+        double conf = 0.0;
+        in >> type >> conf;
+        sem.columns[idx].types[type] = conf;
+      }
+    }
+    size_t nrels = 0;
+    in >> word >> nrels;
+    if (word != "rels") return Status::ParseError("expected 'rels'");
+    for (size_t k = 0; k < nrels; ++k) {
+      std::string label;
+      double conf = 0.0;
+      in >> label >> conf;
+      sem.relations[label] = conf;
+    }
+    // Optional anchored blocks until "end".
+    while (in >> word) {
+      if (word == "end") break;
+      if (word != "anchored") return Status::ParseError("expected 'anchored'");
+      size_t c = 0;
+      size_t n = 0;
+      in >> c >> n;
+      if (c >= ncols) return Status::ParseError("anchored column out of range");
+      for (size_t k = 0; k < n; ++k) {
+        std::string label;
+        double conf = 0.0;
+        in >> label >> conf;
+        sem.anchored_relations[c][label] = conf;
+      }
+    }
+    in.ignore();
+    // Rebuild the inverted type index.
+    std::unordered_set<std::string> seen;
+    for (const ColumnSemantics& col : sem.columns) {
+      for (const auto& [type, conf] : col.types) {
+        if (seen.insert(type).second) type_index_[type].push_back(name);
+      }
+    }
+    semantics_.emplace(std::move(name), std::move(sem));
+  }
+  if (!in && !in.eof()) return Status::ParseError("truncated santos index");
+  lake_ = &lake;
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> SantosSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  TableSemantics qsem = Annotate(*query.table);
+  const ColumnSemantics& intent = qsem.columns[query.query_column];
+  if (intent.types.empty()) {
+    // Nothing the KB understands in the intent column: no semantic matches.
+    return std::vector<DiscoveryHit>{};
+  }
+
+  // Candidate generation from the inverted type index.
+  std::unordered_set<std::string> candidates;
+  for (const auto& [type, conf] : intent.types) {
+    auto it = type_index_.find(type);
+    if (it == type_index_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+
+  const std::map<std::string, double>& q_anchored =
+      qsem.anchored_relations[query.query_column];
+
+  std::vector<DiscoveryHit> hits;
+  for (const std::string& cand_name : candidates) {
+    if (cand_name == query.table->name()) continue;
+    const TableSemantics& csem = semantics_.at(cand_name);
+
+    // Intent column must find a semantically matching candidate column.
+    double intent_match = 0.0;
+    for (const ColumnSemantics& col : csem.columns) {
+      double m = 0.0;
+      for (const auto& [type, qconf] : intent.types) {
+        auto it = col.types.find(type);
+        if (it != col.types.end()) m += qconf * it->second;
+      }
+      intent_match = std::max(intent_match, m);
+    }
+    if (intent_match <= 0.0) continue;
+
+    // Relationship overlap, anchored at the query's intent column.
+    double rel_score = 0.0;
+    for (const auto& [label, qconf] : q_anchored) {
+      auto it = csem.relations.find(label);
+      if (it != csem.relations.end()) rel_score += qconf * it->second;
+    }
+
+    // Other-column type overlap (types matched anywhere, intent excluded).
+    double col_score = 0.0;
+    for (size_t c = 0; c < qsem.columns.size(); ++c) {
+      if (c == query.query_column) continue;
+      double best = 0.0;
+      for (const ColumnSemantics& col : csem.columns) {
+        double m = 0.0;
+        for (const auto& [type, qconf] : qsem.columns[c].types) {
+          auto it = col.types.find(type);
+          if (it != col.types.end()) m += qconf * it->second;
+        }
+        best = std::max(best, m);
+      }
+      col_score += best;
+    }
+
+    double score = intent_match * (1.0 + params_.relationship_weight * rel_score +
+                                   params_.column_weight * col_score);
+    hits.push_back({cand_name, score});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+}  // namespace dialite

@@ -1,0 +1,88 @@
+#ifndef DIALITE_DISCOVERY_SANTOS_H_
+#define DIALITE_DISCOVERY_SANTOS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "kb/annotator.h"
+#include "kb/knowledge_base.h"
+
+namespace dialite {
+
+/// Semantic table-union search in the spirit of SANTOS (Khatiwada et al.,
+/// SIGMOD 2023): a candidate is unionable with the query if its columns
+/// carry the same knowledge-base *semantics* — column types and
+/// relationship labels between column pairs — not merely overlapping
+/// values or headers.
+///
+/// Offline (BuildIndex): every lake column is annotated with KB types and
+/// every column pair with KB relationship labels; an inverted index maps
+/// each type to the tables exhibiting it.
+///
+/// Online (Search): the query's intent column (DiscoveryQuery::query_column)
+/// anchors matching. Candidates come from the inverted index on the intent
+/// column's types; each is scored
+///
+///   score = intent_type_match · (1 + w_rel · relationship_overlap
+///                                  + w_col · other_column_type_overlap)
+///
+/// so a table can only match if its semantics connect to the intent column,
+/// and relationship evidence (e.g. City —locatedIn→ Country in both tables)
+/// dominates incidental type co-occurrence. Headers are never consulted.
+class SantosSearch : public DiscoveryAlgorithm, public PersistentIndex {
+ public:
+  struct Params {
+    double relationship_weight = 1.0;
+    double column_weight = 0.25;
+    size_t max_types_per_column = 3;
+    /// Columns with KB coverage below this are left unannotated.
+    double min_coverage = 0.3;
+  };
+
+  /// `kb` must outlive the search object; defaults to the built-in KB.
+  SantosSearch() : SantosSearch(Params(), &KnowledgeBase::BuiltIn()) {}
+  explicit SantosSearch(const KnowledgeBase* kb) : SantosSearch(Params(), kb) {}
+  SantosSearch(Params params, const KnowledgeBase* kb);
+
+  std::string name() const override { return "santos"; }
+  Status BuildIndex(const DataLake& lake) override;
+
+  /// Offline-index persistence: SaveIndex writes the per-table semantic
+  /// annotations; LoadIndex restores them (and rebuilds the inverted type
+  /// index) so Search() needs no KB re-annotation pass over the lake.
+  Status SaveIndex(const std::string& path) const override;
+  Status LoadIndex(const std::string& path, const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+ private:
+  /// Per-column type labels with confidences; per-table relation labels.
+  struct ColumnSemantics {
+    std::map<std::string, double> types;
+  };
+  struct TableSemantics {
+    std::vector<ColumnSemantics> columns;
+    /// relation label -> best confidence over any column pair.
+    std::map<std::string, double> relations;
+    /// relation label -> confidence, restricted to pairs anchored at a
+    /// given column; keyed per column index.
+    std::vector<std::map<std::string, double>> anchored_relations;
+  };
+
+  TableSemantics Annotate(const Table& table) const;
+
+  Params params_;
+  const KnowledgeBase* kb_;
+  ColumnAnnotator annotator_;
+  const DataLake* lake_ = nullptr;
+  std::unordered_map<std::string, TableSemantics> semantics_;
+  /// type label -> table names exhibiting it in some column.
+  std::unordered_map<std::string, std::vector<std::string>> type_index_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_SANTOS_H_

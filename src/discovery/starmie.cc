@@ -1,0 +1,133 @@
+#include "discovery/starmie.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dialite {
+
+StarmieSearch::StarmieSearch(Params params, const KnowledgeBase* kb)
+    : params_(params), embedder_(kb) {}
+
+std::vector<Embedding> StarmieSearch::ContextualizedColumns(
+    const Table& table) const {
+  const size_t n = table.num_columns();
+  std::vector<Embedding> own(n);
+  for (size_t c = 0; c < n; ++c) {
+    own[c] = embedder_.EmbedValueSet(table.ColumnTokenSet(c));
+  }
+  std::vector<Embedding> out(n);
+  for (size_t c = 0; c < n; ++c) {
+    Embedding ctx(embedder_.dim(), 0.0f);
+    size_t others = 0;
+    for (size_t o = 0; o < n; ++o) {
+      if (o == c) continue;
+      for (size_t d = 0; d < ctx.size(); ++d) ctx[d] += own[o][d];
+      ++others;
+    }
+    Embedding mixed(embedder_.dim(), 0.0f);
+    const double g = others == 0 ? 0.0 : params_.context_weight;
+    for (size_t d = 0; d < mixed.size(); ++d) {
+      double ctx_mean =
+          others == 0 ? 0.0 : static_cast<double>(ctx[d]) / others;
+      mixed[d] = static_cast<float>((1.0 - g) * own[c][d] + g * ctx_mean);
+    }
+    NormalizeEmbedding(&mixed);
+    out[c] = std::move(mixed);
+  }
+  return out;
+}
+
+Status StarmieSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  columns_.clear();
+  table_vectors_.clear();
+  index_ = std::make_unique<SimHashIndex>(params_.simhash_bits,
+                                          embedder_.dim(), params_.band_bits,
+                                          params_.seed);
+  for (const Table* t : lake.tables()) {
+    std::vector<Embedding> vecs = ContextualizedColumns(*t);
+    for (size_t c = 0; c < vecs.size(); ++c) {
+      // Skip empty (all-null) columns: the zero vector matches nothing.
+      bool zero = true;
+      for (float x : vecs[c]) {
+        if (x != 0.0f) {
+          zero = false;
+          break;
+        }
+      }
+      if (zero) continue;
+      uint64_t id = columns_.size();
+      columns_.emplace_back(t->name(), c);
+      DIALITE_RETURN_NOT_OK(index_->Insert(id, vecs[c]));
+    }
+    table_vectors_.emplace(t->name(), std::move(vecs));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> StarmieSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr || index_ == nullptr) {
+    return Status::Internal("BuildIndex not called");
+  }
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<Embedding> qvecs = ContextualizedColumns(*query.table);
+
+  // Candidate tables: every table owning a column that SimHash-collides
+  // with any query column.
+  std::unordered_set<std::string> candidates;
+  for (const Embedding& qv : qvecs) {
+    for (uint64_t id : index_->Query(qv)) {
+      candidates.insert(columns_[id].first);
+    }
+  }
+
+  std::vector<DiscoveryHit> hits;
+  for (const std::string& cand_name : candidates) {
+    if (cand_name == query.table->name()) continue;
+    const std::vector<Embedding>& cvecs = table_vectors_.at(cand_name);
+
+    // Greedy one-to-one matching of query columns to candidate columns.
+    std::vector<bool> used(cvecs.size(), false);
+    double total = 0.0;
+    size_t matched = 0;
+    // Order query columns by their best available cosine (greedy global).
+    struct Pair {
+      size_t q;
+      size_t c;
+      double cos;
+    };
+    std::vector<Pair> pairs;
+    for (size_t q = 0; q < qvecs.size(); ++q) {
+      for (size_t c = 0; c < cvecs.size(); ++c) {
+        double cos = CosineSimilarity(qvecs[q], cvecs[c]);
+        if (cos >= params_.min_column_cosine) pairs.push_back({q, c, cos});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.cos > b.cos; });
+    std::vector<bool> q_used(qvecs.size(), false);
+    bool intent_matched = false;
+    for (const Pair& p : pairs) {
+      if (q_used[p.q] || used[p.c]) continue;
+      q_used[p.q] = true;
+      used[p.c] = true;
+      total += p.cos;
+      ++matched;
+      if (p.q == query.query_column) intent_matched = true;
+    }
+    if (matched == 0 || !intent_matched) continue;
+    // Mean best-match over ALL query columns (unmatched contribute 0) —
+    // tables unioning the whole query schema outrank partial ones.
+    double score = total / static_cast<double>(qvecs.size());
+    hits.push_back({cand_name, score});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+}  // namespace dialite

@@ -1,0 +1,70 @@
+#ifndef DIALITE_DISCOVERY_STARMIE_H_
+#define DIALITE_DISCOVERY_STARMIE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "kb/embedding.h"
+#include "kb/knowledge_base.h"
+#include "sketch/simhash.h"
+
+namespace dialite {
+
+/// Dense-representation unionable-table search in the spirit of Starmie
+/// (Fan et al., VLDB 2023 — "contextualized column-based representation
+/// learning"), the other modern discovery family DIALITE can host.
+///
+/// Where SANTOS matches discrete KB annotations, Starmie represents every
+/// column as a dense vector that mixes the column's own content with its
+/// *table context* (the other columns), then scores a candidate table by
+/// greedy bipartite matching of column vectors. Our vectors are the
+/// deterministic KB-aware hash embeddings (the pretrained-encoder
+/// substitute); contextualization is a convex mix
+///     v(c) = (1−γ)·embed(c) + γ·mean(embed(other columns))
+/// which reproduces the key behavioural property: the same values in a
+/// different table context embed differently.
+///
+/// Offline, column vectors go into a SimHash band index; online, query
+/// columns probe it, candidate tables are verified with exact cosines, and
+/// score = mean over query columns of the best one-to-one match.
+class StarmieSearch : public DiscoveryAlgorithm {
+ public:
+  struct Params {
+    double context_weight = 0.25;  ///< γ above
+    double min_column_cosine = 0.5; ///< match gate per column pair
+    size_t simhash_bits = 64;
+    size_t band_bits = 8;
+    uint64_t seed = 31;
+  };
+
+  StarmieSearch() : StarmieSearch(Params(), &KnowledgeBase::BuiltIn()) {}
+  explicit StarmieSearch(const KnowledgeBase* kb)
+      : StarmieSearch(Params(), kb) {}
+  StarmieSearch(Params params, const KnowledgeBase* kb);
+
+  std::string name() const override { return "starmie"; }
+  Status BuildIndex(const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+  /// Contextualized vectors of one table's columns (exposed for tests).
+  std::vector<Embedding> ContextualizedColumns(const Table& table) const;
+
+ private:
+  Params params_;
+  HashEmbedder embedder_;
+  const DataLake* lake_ = nullptr;
+  std::unique_ptr<SimHashIndex> index_;
+  /// SimHash id -> (table name, column).
+  std::vector<std::pair<std::string, size_t>> columns_;
+  /// Cached contextualized vectors per table.
+  std::unordered_map<std::string, std::vector<Embedding>> table_vectors_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_STARMIE_H_

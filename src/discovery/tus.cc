@@ -1,0 +1,147 @@
+#include "discovery/tus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/similarity.h"
+
+namespace dialite {
+
+TusSearch::TusSearch(Params params, const KnowledgeBase* kb)
+    : params_(params), kb_(kb), annotator_(kb), embedder_(kb) {}
+
+TusSearch::ColumnProfile TusSearch::ProfileColumn(const Table& table,
+                                                  size_t column) const {
+  ColumnProfile p;
+  p.tokens = table.ColumnTokenSet(column);
+  for (const Annotation& a :
+       annotator_.AnnotateColumn(table, column, params_.max_types_per_column)) {
+    p.types[a.label] = a.score;
+  }
+  p.embedding = embedder_.EmbedValueSet(p.tokens);
+  return p;
+}
+
+double TusSearch::Unionability(const ColumnProfile& a,
+                               const ColumnProfile& b) const {
+  if (a.tokens.empty() || b.tokens.empty()) return 0.0;
+  // Set unionability.
+  double u_set = OverlapCoefficient(a.tokens, b.tokens);
+  if (a.tokens.empty() || b.tokens.empty()) u_set = 0.0;
+  // Semantic unionability: cosine of the type-confidence vectors.
+  double u_sem = 0.0;
+  if (!a.types.empty() && !b.types.empty()) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (const auto& [t, w] : a.types) {
+      na += w * w;
+      auto it = b.types.find(t);
+      if (it != b.types.end()) dot += w * it->second;
+    }
+    for (const auto& [t, w] : b.types) nb += w * w;
+    if (na > 0 && nb > 0) u_sem = dot / std::sqrt(na * nb);
+  }
+  // Natural-language unionability.
+  double u_nl = CosineSimilarity(a.embedding, b.embedding);
+  return std::max({u_set, u_sem, u_nl});
+}
+
+Status TusSearch::BuildIndex(const DataLake& lake) {
+  lake_ = &lake;
+  profiles_.clear();
+  token_index_.clear();
+  type_index_.clear();
+  for (const Table* t : lake.tables()) {
+    std::vector<ColumnProfile> cols;
+    std::unordered_set<std::string> toks_seen;
+    std::unordered_set<std::string> types_seen;
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      ColumnProfile p = ProfileColumn(*t, c);
+      for (const std::string& tok : p.tokens) {
+        if (toks_seen.insert(tok).second) {
+          token_index_[tok].push_back(t->name());
+        }
+      }
+      for (const auto& [type, conf] : p.types) {
+        if (types_seen.insert(type).second) {
+          type_index_[type].push_back(t->name());
+        }
+      }
+      cols.push_back(std::move(p));
+    }
+    profiles_.emplace(t->name(), std::move(cols));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DiscoveryHit>> TusSearch::Search(
+    const DiscoveryQuery& query) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<ColumnProfile> qcols;
+  for (size_t c = 0; c < query.table->num_columns(); ++c) {
+    qcols.push_back(ProfileColumn(*query.table, c));
+  }
+
+  // Candidate generation: tables sharing a token or a KB type with any
+  // query column.
+  std::unordered_set<std::string> candidates;
+  for (const ColumnProfile& qc : qcols) {
+    for (const std::string& tok : qc.tokens) {
+      auto it = token_index_.find(tok);
+      if (it == token_index_.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+    for (const auto& [type, conf] : qc.types) {
+      auto it = type_index_.find(type);
+      if (it == type_index_.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+  }
+
+  std::vector<DiscoveryHit> hits;
+  for (const std::string& cand_name : candidates) {
+    if (cand_name == query.table->name()) continue;
+    const std::vector<ColumnProfile>& ccols = profiles_.at(cand_name);
+    // Greedy one-to-one alignment by descending unionability.
+    struct Pair {
+      size_t q;
+      size_t c;
+      double u;
+    };
+    std::vector<Pair> pairs;
+    for (size_t q = 0; q < qcols.size(); ++q) {
+      for (size_t c = 0; c < ccols.size(); ++c) {
+        double u = Unionability(qcols[q], ccols[c]);
+        if (u >= params_.min_column_unionability) pairs.push_back({q, c, u});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.u > b.u; });
+    std::vector<bool> q_used(qcols.size(), false);
+    std::vector<bool> c_used(ccols.size(), false);
+    double total = 0.0;
+    bool intent_matched = false;
+    size_t matched = 0;
+    for (const Pair& p : pairs) {
+      if (q_used[p.q] || c_used[p.c]) continue;
+      q_used[p.q] = true;
+      c_used[p.c] = true;
+      total += p.u;
+      ++matched;
+      if (p.q == query.query_column) intent_matched = true;
+    }
+    if (matched == 0 || !intent_matched) continue;
+    hits.push_back({cand_name, total / static_cast<double>(qcols.size())});
+  }
+  return RankHits(std::move(hits), query.k);
+}
+
+}  // namespace dialite

@@ -1,0 +1,70 @@
+#ifndef DIALITE_DISCOVERY_TUS_H_
+#define DIALITE_DISCOVERY_TUS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "kb/annotator.h"
+#include "kb/embedding.h"
+#include "kb/knowledge_base.h"
+
+namespace dialite {
+
+/// Table Union Search in the spirit of TUS (Nargesian et al., VLDB 2018),
+/// the original unionability ensemble and the third unionable-search
+/// family DIALITE can host (besides SANTOS' relationship semantics and
+/// Starmie's contextual embeddings).
+///
+/// TUS scores a column pair by an ENSEMBLE of unionability measures and
+/// takes the strongest:
+///   - set unionability  — value-set overlap coefficient;
+///   - semantic unionability — cosine of KB type-annotation vectors;
+///   - natural-language unionability — embedding cosine of the value sets.
+/// A candidate table's score is the mean over query columns of its best
+/// one-to-one column unionability (requiring the intent column to match),
+/// i.e. the table aligns with the query schema column-for-column but —
+/// unlike SANTOS — without any relationship evidence.
+class TusSearch : public DiscoveryAlgorithm {
+ public:
+  struct Params {
+    double min_column_unionability = 0.5;
+    size_t max_types_per_column = 3;
+  };
+
+  TusSearch() : TusSearch(Params(), &KnowledgeBase::BuiltIn()) {}
+  explicit TusSearch(const KnowledgeBase* kb) : TusSearch(Params(), kb) {}
+  TusSearch(Params params, const KnowledgeBase* kb);
+
+  std::string name() const override { return "tus"; }
+  Status BuildIndex(const DataLake& lake) override;
+  Result<std::vector<DiscoveryHit>> Search(
+      const DiscoveryQuery& query) const override;
+
+  /// The ensemble unionability of two prepared columns (for tests).
+  struct ColumnProfile {
+    std::vector<std::string> tokens;
+    std::map<std::string, double> types;
+    Embedding embedding;
+  };
+  ColumnProfile ProfileColumn(const Table& table, size_t column) const;
+  double Unionability(const ColumnProfile& a, const ColumnProfile& b) const;
+
+ private:
+  Params params_;
+  const KnowledgeBase* kb_;
+  ColumnAnnotator annotator_;
+  HashEmbedder embedder_;
+  const DataLake* lake_ = nullptr;
+  std::unordered_map<std::string, std::vector<ColumnProfile>> profiles_;
+  /// token -> table names (candidate generation).
+  std::unordered_map<std::string, std::vector<std::string>> token_index_;
+  /// KB type -> table names (candidate generation).
+  std::unordered_map<std::string, std::vector<std::string>> type_index_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_TUS_H_

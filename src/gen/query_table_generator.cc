@@ -1,0 +1,138 @@
+#include "gen/query_table_generator.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "kb/world.h"
+#include "lake/lake_generator.h"
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+namespace {
+
+/// Keyword → topic routing table, checked in order (first match wins).
+struct TopicRoute {
+  const char* topic;
+  std::vector<const char*> keywords;
+};
+
+const std::vector<TopicRoute>& Routes() {
+  static const auto& kRoutes = *new std::vector<TopicRoute>{
+      {"covid_countries",
+       {"covid", "corona", "pandemic", "cases", "infection"}},
+      {"vaccines", {"vaccine", "vaccination", "dose", "approval"}},
+      {"cities", {"city", "cities", "capital", "population", "town"}},
+      {"countries", {"country", "countries", "currency", "language", "gdp"}},
+      {"companies", {"company", "companies", "revenue", "business", "firm"}},
+      {"universities",
+       {"university", "universities", "college", "student", "campus"}},
+      {"flights", {"flight", "airline", "airport", "travel", "route"}},
+      {"football", {"football", "soccer", "club", "league", "team"}},
+      {"employees",
+       {"employee", "staff", "salary", "occupation", "person", "people"}},
+      {"movies", {"movie", "film", "cinema", "director", "genre"}},
+      {"diseases", {"disease", "outbreak", "health", "epidemic"}},
+  };
+  return kRoutes;
+}
+
+/// Fig. 5's table: Country, Cases, Deaths, Recovered, Active.
+Table MakeCovidCountries(Rng* rng, size_t rows) {
+  const World& w = World::BuiltIn();
+  Table t("generated_query_table",
+          Schema::FromNames({"Country", "Cases", "Deaths", "Recovered",
+                             "Active"}));
+  std::vector<size_t> picks = rng->SampleIndices(w.countries().size(), rows);
+  for (size_t i : picks) {
+    int64_t cases = rng->NextInt(50000, 6000000);
+    int64_t deaths = cases / rng->NextInt(25, 80);
+    int64_t recovered =
+        static_cast<int64_t>(static_cast<double>(cases - deaths) *
+                             rng->NextDouble() * 0.6 + 0.3 * (cases - deaths));
+    int64_t active = cases - deaths - recovered;
+    (void)t.AddRow({Value::String(w.countries()[i].name), Value::Int(cases),
+                    Value::Int(deaths), Value::Int(recovered),
+                    Value::Int(active)});
+  }
+  return t;
+}
+
+/// Topic → lake-generator domain for the delegating templates.
+std::string DomainOfTopic(const std::string& topic) {
+  if (topic == "vaccines") return "vaccine_approvals";
+  if (topic == "cities") return "world_cities";
+  if (topic == "countries") return "country_facts";
+  if (topic == "companies") return "companies";
+  if (topic == "universities") return "universities";
+  if (topic == "flights") return "flights";
+  if (topic == "football") return "football_clubs";
+  if (topic == "employees") return "employees";
+  if (topic == "movies") return "movies";
+  if (topic == "diseases") return "disease_outbreaks";
+  return "";
+}
+
+}  // namespace
+
+std::vector<std::string> QueryTableGenerator::AvailableTopics() {
+  std::vector<std::string> out;
+  for (const TopicRoute& r : Routes()) out.push_back(r.topic);
+  return out;
+}
+
+std::string QueryTableGenerator::ResolveTopic(const std::string& prompt) const {
+  std::vector<std::string> words = WordTokens(prompt);
+  for (const TopicRoute& route : Routes()) {
+    for (const char* kw : route.keywords) {
+      for (const std::string& w : words) {
+        // Prefix match absorbs plurals ("vaccines" → "vaccine").
+        if (w == kw || StartsWith(w, kw)) return route.topic;
+      }
+    }
+  }
+  // The "LLM" always answers: hash the prompt onto a topic.
+  const auto& routes = Routes();
+  return routes[HashString(prompt) % routes.size()].topic;
+}
+
+Result<Table> QueryTableGenerator::Generate(const std::string& prompt,
+                                            size_t num_rows,
+                                            size_t num_columns) const {
+  if (num_rows == 0) return Status::InvalidArgument("num_rows must be > 0");
+  if (num_columns == 0) {
+    return Status::InvalidArgument("num_columns must be > 0");
+  }
+  std::string topic = ResolveTopic(prompt);
+  Rng rng(Mix64(params_.seed ^ HashString(prompt)));
+
+  Table full("generated_query_table");
+  if (topic == "covid_countries") {
+    full = MakeCovidCountries(&rng, num_rows);
+  } else {
+    LakeGeneratorParams lp;
+    lp.seed = params_.seed ^ HashString(topic);
+    SyntheticLakeGenerator gen(lp);
+    Table base = gen.MakeBaseTable(DomainOfTopic(topic));
+    // Sample rows.
+    std::vector<size_t> picks =
+        rng.SampleIndices(base.num_rows(), std::min(num_rows, base.num_rows()));
+    std::sort(picks.begin(), picks.end());
+    Table sampled("generated_query_table", base.schema());
+    for (size_t r : picks) (void)sampled.AddRow(base.row(r));
+    full = std::move(sampled);
+  }
+  // Clip to the requested width (keep leading columns: they carry the
+  // entity identity).
+  if (num_columns < full.num_columns()) {
+    std::vector<size_t> keep;
+    for (size_t c = 0; c < num_columns; ++c) keep.push_back(c);
+    full = full.ProjectColumns(keep, "generated_query_table");
+  }
+  full.RefreshColumnTypes();
+  return full;
+}
+
+}  // namespace dialite

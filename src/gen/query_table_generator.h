@@ -1,0 +1,48 @@
+#ifndef DIALITE_GEN_QUERY_TABLE_GENERATOR_H_
+#define DIALITE_GEN_QUERY_TABLE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// The demo's GPT-3 feature (paper Fig. 5): "randomly generate a query
+/// table" from a natural-language prompt. This stand-in maps prompt
+/// keywords to built-in domain templates and samples a plausible table
+/// deterministically — same prompt + seed, same table — so the feature is
+/// testable offline.
+///
+///   Table q = QueryTableGenerator().Generate(
+///       "covid-19 cases per country", 5, 5).value();
+///   // → Country | Cases | Deaths | Recovered | Active   (Fig. 5's shape)
+class QueryTableGenerator {
+ public:
+  struct Params {
+    uint64_t seed = 2023;
+  };
+
+  QueryTableGenerator() : QueryTableGenerator(Params()) {}
+  explicit QueryTableGenerator(Params params) : params_(params) {}
+
+  /// Topics the prompt matcher understands.
+  static std::vector<std::string> AvailableTopics();
+
+  /// Generates a table of about `num_rows` x `num_columns` for the prompt.
+  /// Unknown prompts pick a topic by prompt hash (the "LLM" always answers
+  /// something). num_columns is clipped to the template's width.
+  Result<Table> Generate(const std::string& prompt, size_t num_rows = 5,
+                         size_t num_columns = 5) const;
+
+  /// The topic a prompt resolves to (exposed for tests).
+  std::string ResolveTopic(const std::string& prompt) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_GEN_QUERY_TABLE_GENERATOR_H_

@@ -1,0 +1,426 @@
+#include "integrate/full_disjunction.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace dialite {
+
+namespace {
+
+/// Working set of tuples + provenance during FD computation.
+struct TuplePool {
+  std::vector<Row> rows;
+  std::vector<std::vector<std::string>> provs;  // sorted, unique labels
+};
+
+uint64_t RowKey(const Row& r) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : r) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool RowsIdentical(const Row& a, const Row& b) {
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (!a[c].Identical(b[c])) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> UnionProv(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// When a merged tuple collides with an identical existing tuple, keep the
+/// more informative null kinds (missing beats produced) and union
+/// provenance.
+void AbsorbDuplicate(TuplePool* pool, size_t idx, const Row& row,
+                     const std::vector<std::string>& prov) {
+  Row& target = pool->rows[idx];
+  for (size_t c = 0; c < target.size(); ++c) {
+    if (target[c].is_produced_null() && row[c].is_missing_null()) {
+      target[c] = Value::Null(NullKind::kMissing);
+    }
+  }
+  pool->provs[idx] = UnionProv(pool->provs[idx], prov);
+}
+
+/// Key of one non-null cell for the (column, value) inverted index.
+uint64_t CellKey(size_t column, const Value& v) {
+  return HashCombine(Mix64(column + 1), v.Hash());
+}
+
+/// Indexed complementation fix-point (ALITE-style candidate pruning).
+Status ComplementFixpointIndexed(TuplePool* pool, size_t max_tuples) {
+  std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
+  std::unordered_map<uint64_t, std::vector<size_t>> dedup;
+
+  auto index_tuple = [&](size_t idx) {
+    for (size_t c = 0; c < pool->rows[idx].size(); ++c) {
+      const Value& v = pool->rows[idx][c];
+      if (!v.is_null()) cell_index[CellKey(c, v)].push_back(idx);
+    }
+    dedup[RowKey(pool->rows[idx])].push_back(idx);
+  };
+  /// Returns the pool index holding a tuple identical to `row`, or npos.
+  auto find_identical = [&](const Row& row) -> size_t {
+    auto it = dedup.find(RowKey(row));
+    if (it == dedup.end()) return static_cast<size_t>(-1);
+    for (size_t idx : it->second) {
+      if (RowsIdentical(pool->rows[idx], row)) return idx;
+    }
+    return static_cast<size_t>(-1);
+  };
+
+  std::deque<size_t> worklist;
+  for (size_t i = 0; i < pool->rows.size(); ++i) {
+    index_tuple(i);
+    worklist.push_back(i);
+  }
+
+  // Epoch-stamped visited marks dedup candidates per worklist item without
+  // allocating a set per tuple (the hot path on skewed buckets).
+  std::vector<uint32_t> visited(pool->rows.size(), 0);
+  uint32_t epoch = 0;
+
+  while (!worklist.empty()) {
+    const size_t idx = worklist.front();
+    worklist.pop_front();
+    // Snapshot: pool->rows may reallocate as merges append.
+    const Row row = pool->rows[idx];
+    const std::vector<std::string> prov = pool->provs[idx];
+    ++epoch;
+
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].is_null()) continue;
+      auto it = cell_index.find(CellKey(c, row[c]));
+      if (it == cell_index.end()) continue;
+      // NOTE: the bucket vector may grow as merges are indexed; index-based
+      // iteration stays valid, and newly appended tuples get their own
+      // worklist turn anyway.
+      const std::vector<size_t>& bucket = it->second;
+      const size_t bucket_size = bucket.size();
+      for (size_t bi = 0; bi < bucket_size; ++bi) {
+        const size_t cand = bucket[bi];
+        if (cand == idx) continue;
+        if (cand < visited.size() && visited[cand] == epoch) continue;
+        if (cand >= visited.size()) visited.resize(pool->rows.size(), 0);
+        visited[cand] = epoch;
+        const Row& other = pool->rows[cand];
+        if (!TuplesComplement(row, other)) continue;
+        Row merged = MergeTuples(row, other);
+        std::vector<std::string> mprov = UnionProv(prov, pool->provs[cand]);
+        size_t existing = find_identical(merged);
+        if (existing != static_cast<size_t>(-1)) {
+          AbsorbDuplicate(pool, existing, merged, mprov);
+          continue;
+        }
+        if (pool->rows.size() >= max_tuples) {
+          return Status::OutOfRange("full disjunction exceeded max_tuples=" +
+                                    std::to_string(max_tuples));
+        }
+        pool->rows.push_back(std::move(merged));
+        pool->provs.push_back(std::move(mprov));
+        visited.push_back(0);
+        index_tuple(pool->rows.size() - 1);
+        worklist.push_back(pool->rows.size() - 1);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Naive complementation fix-point: rescan all pairs every round.
+Status ComplementFixpointNaive(TuplePool* pool, size_t max_tuples) {
+  std::unordered_map<uint64_t, std::vector<size_t>> dedup;
+  for (size_t i = 0; i < pool->rows.size(); ++i) {
+    dedup[RowKey(pool->rows[i])].push_back(i);
+  }
+  auto exists = [&](const Row& row) -> size_t {
+    auto it = dedup.find(RowKey(row));
+    if (it == dedup.end()) return static_cast<size_t>(-1);
+    for (size_t idx : it->second) {
+      if (RowsIdentical(pool->rows[idx], row)) return idx;
+    }
+    return static_cast<size_t>(-1);
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t n = pool->rows.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!TuplesComplement(pool->rows[i], pool->rows[j])) continue;
+        Row merged = MergeTuples(pool->rows[i], pool->rows[j]);
+        std::vector<std::string> mprov =
+            UnionProv(pool->provs[i], pool->provs[j]);
+        size_t existing = exists(merged);
+        if (existing != static_cast<size_t>(-1)) {
+          AbsorbDuplicate(pool, existing, merged, mprov);
+          continue;
+        }
+        if (pool->rows.size() >= max_tuples) {
+          return Status::OutOfRange("full disjunction exceeded max_tuples=" +
+                                    std::to_string(max_tuples));
+        }
+        pool->rows.push_back(std::move(merged));
+        pool->provs.push_back(std::move(mprov));
+        dedup[RowKey(pool->rows.back())].push_back(pool->rows.size() - 1);
+        changed = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Keeps only ⊑-maximal tuples. Assumes no two pool tuples are identical.
+TuplePool RemoveSubsumed(const TuplePool& pool) {
+  const size_t n = pool.rows.size();
+  // Cell index for candidate subsumers.
+  std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < pool.rows[i].size(); ++c) {
+      if (!pool.rows[i][c].is_null()) {
+        cell_index[CellKey(c, pool.rows[i][c])].push_back(i);
+      }
+    }
+  }
+  std::vector<bool> keep(n, true);
+  size_t non_empty_tuples = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool all_null = true;
+    for (const Value& v : pool.rows[i]) {
+      if (!v.is_null()) {
+        all_null = false;
+        break;
+      }
+    }
+    if (!all_null) ++non_empty_tuples;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    // Smallest candidate bucket among i's non-null cells.
+    const std::vector<size_t>* smallest = nullptr;
+    bool all_null = true;
+    for (size_t c = 0; c < pool.rows[i].size(); ++c) {
+      if (pool.rows[i][c].is_null()) continue;
+      all_null = false;
+      const std::vector<size_t>& bucket =
+          cell_index.at(CellKey(c, pool.rows[i][c]));
+      if (smallest == nullptr || bucket.size() < smallest->size()) {
+        smallest = &bucket;
+      }
+    }
+    if (all_null) {
+      // A tuple with no facts is subsumed by any tuple that has one.
+      keep[i] = non_empty_tuples == 0 && i == 0;
+      continue;
+    }
+    for (size_t j : *smallest) {
+      if (j == i) continue;
+      if (TupleSubsumedBy(pool.rows[i], pool.rows[j])) {
+        keep[i] = false;
+        break;
+      }
+    }
+  }
+  TuplePool out;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    out.rows.push_back(pool.rows[i]);
+    out.provs.push_back(pool.provs[i]);
+  }
+  return out;
+}
+
+/// Complementation strategy for RunFd.
+enum class FixpointMode {
+  kIndexed,  ///< ALITE-style candidate index + worklist
+  kNaive,    ///< all-pairs rescan per round
+  kNone,     ///< skip complementation (minimum union)
+};
+
+/// Shared FD driver: outer union → fix-point → subsumption → Table.
+Result<Table> RunFd(const std::vector<const Table*>& tables,
+                    const Alignment& alignment, const std::string& name,
+                    FixpointMode mode, size_t max_tuples) {
+  Result<Table> union_r = BuildOuterUnion(tables, alignment, name);
+  if (!union_r.ok()) return union_r.status();
+  const Table& u = *union_r;
+  TuplePool pool;
+  pool.rows.reserve(u.num_rows());
+  // Dedup exact input duplicates up front.
+  std::unordered_map<uint64_t, std::vector<size_t>> dedup;
+  for (size_t r = 0; r < u.num_rows(); ++r) {
+    bool absorbed = false;
+    for (size_t idx : dedup[RowKey(u.row(r))]) {
+      if (RowsIdentical(pool.rows[idx], u.row(r))) {
+        AbsorbDuplicate(&pool, idx, u.row(r), u.provenance(r));
+        absorbed = true;
+        break;
+      }
+    }
+    if (absorbed) continue;
+    dedup[RowKey(u.row(r))].push_back(pool.rows.size());
+    pool.rows.push_back(u.row(r));
+    std::vector<std::string> p = u.provenance(r);
+    std::sort(p.begin(), p.end());
+    pool.provs.push_back(std::move(p));
+  }
+
+  if (mode == FixpointMode::kIndexed) {
+    DIALITE_RETURN_NOT_OK(ComplementFixpointIndexed(&pool, max_tuples));
+  } else if (mode == FixpointMode::kNaive) {
+    DIALITE_RETURN_NOT_OK(ComplementFixpointNaive(&pool, max_tuples));
+  }
+  TuplePool final_pool = RemoveSubsumed(pool);
+
+  Table out(name, u.schema());
+  for (size_t i = 0; i < final_pool.rows.size(); ++i) {
+    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(final_pool.rows[i]),
+                                     std::move(final_pool.provs[i])));
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace
+
+Result<Table> FullDisjunction::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  return RunFd(tables, alignment, "fd_result", FixpointMode::kIndexed,
+               params_.max_tuples);
+}
+
+Result<Table> NaiveFullDisjunction::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  return RunFd(tables, alignment, "naive_fd_result", FixpointMode::kNaive,
+               /*max_tuples=*/2000000);
+}
+
+Result<Table> MinimumUnionIntegration::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  return RunFd(tables, alignment, "minimum_union_result", FixpointMode::kNone,
+               /*max_tuples=*/2000000);
+}
+
+Result<Table> ParallelFullDisjunction::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  Result<Table> union_r = BuildOuterUnion(tables, alignment, "parallel_fd");
+  if (!union_r.ok()) return union_r.status();
+  const Table& u = *union_r;
+  const size_t n = u.num_rows();
+
+  // Union-find over tuples; tuples sharing a (column, value) cell join the
+  // same component. Cross-component tuples can never complement or subsume
+  // (except all-null tuples, which vanish anyway when any fact exists).
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+  std::unordered_map<uint64_t, size_t> first_owner;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < u.num_columns(); ++c) {
+      if (u.at(r, c).is_null()) continue;
+      uint64_t key = CellKey(c, u.at(r, c));
+      auto [it, inserted] = first_owner.emplace(key, r);
+      if (!inserted) unite(r, it->second);
+    }
+  }
+  std::unordered_map<size_t, std::vector<size_t>> components;
+  for (size_t r = 0; r < n; ++r) components[find(r)].push_back(r);
+
+  // Solve each component's FD on the pool.
+  std::vector<std::vector<size_t>> comps;
+  comps.reserve(components.size());
+  for (auto& [root, rows] : components) comps.push_back(std::move(rows));
+  std::sort(comps.begin(), comps.end());  // deterministic output order
+
+  std::vector<TuplePool> results(comps.size());
+  std::vector<Status> statuses(comps.size());
+  ThreadPool tp(num_threads_);
+  tp.ParallelFor(comps.size(), [&](size_t k) {
+    TuplePool pool;
+    for (size_t r : comps[k]) {
+      pool.rows.push_back(u.row(r));
+      std::vector<std::string> p = u.provenance(r);
+      std::sort(p.begin(), p.end());
+      pool.provs.push_back(std::move(p));
+    }
+    // Dedup within the component.
+    TuplePool deduped;
+    std::unordered_map<uint64_t, std::vector<size_t>> dd;
+    for (size_t i = 0; i < pool.rows.size(); ++i) {
+      bool absorbed = false;
+      for (size_t idx : dd[RowKey(pool.rows[i])]) {
+        if (RowsIdentical(deduped.rows[idx], pool.rows[i])) {
+          AbsorbDuplicate(&deduped, idx, pool.rows[i], pool.provs[i]);
+          absorbed = true;
+          break;
+        }
+      }
+      if (absorbed) continue;
+      dd[RowKey(pool.rows[i])].push_back(deduped.rows.size());
+      deduped.rows.push_back(std::move(pool.rows[i]));
+      deduped.provs.push_back(std::move(pool.provs[i]));
+    }
+    statuses[k] = ComplementFixpointIndexed(&deduped, 2000000);
+    if (statuses[k].ok()) results[k] = RemoveSubsumed(deduped);
+  });
+  for (const Status& st : statuses) {
+    DIALITE_RETURN_NOT_OK(st);
+  }
+
+  // Drop all-null tuples globally if any component produced facts.
+  bool any_fact = false;
+  for (const TuplePool& p : results) {
+    for (const Row& r : p.rows) {
+      for (const Value& v : r) {
+        if (!v.is_null()) {
+          any_fact = true;
+          break;
+        }
+      }
+    }
+  }
+  Table out("parallel_fd_result", u.schema());
+  for (TuplePool& p : results) {
+    for (size_t i = 0; i < p.rows.size(); ++i) {
+      if (any_fact) {
+        bool all_null = true;
+        for (const Value& v : p.rows[i]) {
+          if (!v.is_null()) {
+            all_null = false;
+            break;
+          }
+        }
+        if (all_null) continue;
+      }
+      DIALITE_RETURN_NOT_OK(
+          out.AddRow(std::move(p.rows[i]), std::move(p.provs[i])));
+    }
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,74 @@
+#include "integrate/integration.h"
+
+namespace dialite {
+
+Result<Table> BuildOuterUnion(const std::vector<const Table*>& tables,
+                              const Alignment& alignment,
+                              std::string result_name) {
+  DIALITE_RETURN_NOT_OK(alignment.Validate(tables));
+  std::vector<ColumnDef> defs;
+  defs.reserve(alignment.num_clusters());
+  for (size_t id = 0; id < alignment.num_clusters(); ++id) {
+    defs.push_back(ColumnDef{alignment.IdName(id), ValueType::kString});
+  }
+  Table out(std::move(result_name), Schema(std::move(defs)));
+  for (const Table* t : tables) {
+    // Map this table's columns onto integration ids once.
+    std::vector<size_t> col_to_id(t->num_columns());
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      col_to_id[c] = alignment.IdOf(t->name(), c);
+    }
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      Row row(alignment.num_clusters(), Value::ProducedNull());
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        row[col_to_id[c]] = t->at(r, c);
+      }
+      std::vector<std::string> prov;
+      if (t->has_provenance() && !t->provenance(r).empty()) {
+        prov = t->provenance(r);
+      } else {
+        prov = {t->name() + "#" + std::to_string(r)};
+      }
+      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row), std::move(prov)));
+    }
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+bool TupleSubsumedBy(const Row& a, const Row& b) {
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c].is_null()) continue;
+    if (b[c].is_null() || !a[c].EqualsValue(b[c])) return false;
+  }
+  return true;
+}
+
+Row MergeTuples(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (!a[c].is_null()) {
+      out.push_back(a[c]);
+    } else if (!b[c].is_null()) {
+      out.push_back(b[c]);
+    } else if (a[c].is_missing_null() || b[c].is_missing_null()) {
+      out.push_back(Value::Null(NullKind::kMissing));
+    } else {
+      out.push_back(Value::ProducedNull());
+    }
+  }
+  return out;
+}
+
+bool TuplesComplement(const Row& a, const Row& b) {
+  bool shared = false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    if (a[c].is_null() || b[c].is_null()) continue;
+    if (!a[c].EqualsValue(b[c])) return false;
+    shared = true;
+  }
+  return shared;
+}
+
+}  // namespace dialite

@@ -1,0 +1,56 @@
+#ifndef DIALITE_INTEGRATE_INTEGRATION_H_
+#define DIALITE_INTEGRATE_INTEGRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Interface for integration operators: given an integration set and its
+/// alignment (integration IDs), produce one integrated table whose columns
+/// are the integration IDs.
+///
+/// The output table carries provenance: each row lists the source-tuple
+/// labels it was assembled from (the paper's "TIDs" column).
+class IntegrationOperator {
+ public:
+  virtual ~IntegrationOperator() = default;
+
+  /// Stable operator id ("alite_fd", "outer_join", ...).
+  virtual std::string name() const = 0;
+
+  virtual Result<Table> Integrate(const std::vector<const Table*>& tables,
+                                  const Alignment& alignment) const = 0;
+};
+
+/// The outer union: every input tuple re-keyed to integration IDs, with
+/// *produced* nulls for the IDs its table lacks. The starting point of
+/// ALITE's FD and of the union baseline.
+///
+/// Each row's provenance is the source row's provenance (if stamped) or
+/// "<table>#<row>". Input tables must all validate against `alignment`.
+Result<Table> BuildOuterUnion(const std::vector<const Table*>& tables,
+                              const Alignment& alignment,
+                              std::string result_name);
+
+/// True iff tuple `a` is subsumed by `b`: for every attribute where `a` is
+/// non-null, `b` carries an equal value, and `b` is non-null on at least
+/// every attribute `a` is (proper or equal). Identical tuples subsume each
+/// other.
+bool TupleSubsumedBy(const Row& a, const Row& b);
+
+/// Merge rule for complementary tuples: non-null values win; where both are
+/// null, a missing null outranks a produced null (it is data, not padding).
+Row MergeTuples(const Row& a, const Row& b);
+
+/// True iff the tuples complement each other: they agree on every attribute
+/// where both are non-null, and share at least one such attribute.
+bool TuplesComplement(const Row& a, const Row& b);
+
+}  // namespace dialite
+
+#endif  // DIALITE_INTEGRATE_INTEGRATION_H_

@@ -1,0 +1,233 @@
+#include "integrate/join_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace dialite {
+
+namespace {
+
+std::vector<std::string> UnionProv(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Re-keys one table's rows onto the full integration-ID width.
+void RekeyRows(const Table& t, const Alignment& alignment,
+               std::vector<Row>* rows,
+               std::vector<std::vector<std::string>>* provs) {
+  std::vector<size_t> col_to_id(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    col_to_id[c] = alignment.IdOf(t.name(), c);
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Row row(alignment.num_clusters(), Value::ProducedNull());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      row[col_to_id[c]] = t.at(r, c);
+    }
+    rows->push_back(std::move(row));
+    if (t.has_provenance() && !t.provenance(r).empty()) {
+      std::vector<std::string> p = t.provenance(r);
+      std::sort(p.begin(), p.end());
+      provs->push_back(std::move(p));
+    } else {
+      provs->push_back({t.name() + "#" + std::to_string(r)});
+    }
+  }
+}
+
+/// Sequential pairwise join driver shared by outer and inner variants.
+Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
+                             const Alignment& alignment, bool outer,
+                             const std::string& result_name) {
+  DIALITE_RETURN_NOT_OK(alignment.Validate(tables));
+  std::vector<ColumnDef> defs;
+  for (size_t id = 0; id < alignment.num_clusters(); ++id) {
+    defs.push_back(ColumnDef{alignment.IdName(id), ValueType::kString});
+  }
+  Table out(result_name, Schema(std::move(defs)));
+  if (tables.empty()) return out;
+
+  std::vector<Row> acc;
+  std::vector<std::vector<std::string>> acc_prov;
+  RekeyRows(*tables[0], alignment, &acc, &acc_prov);
+  std::vector<bool> introduced(alignment.num_clusters(), false);
+  for (size_t c = 0; c < tables[0]->num_columns(); ++c) {
+    introduced[alignment.IdOf(tables[0]->name(), c)] = true;
+  }
+
+  for (size_t ti = 1; ti < tables.size(); ++ti) {
+    const Table& t = *tables[ti];
+    std::vector<Row> right;
+    std::vector<std::vector<std::string>> right_prov;
+    RekeyRows(t, alignment, &right, &right_prov);
+
+    // Join keys: integration IDs shared by the accumulated result and t —
+    // pandas merge() joins on ALL shared columns.
+    std::vector<size_t> keys;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      size_t id = alignment.IdOf(t.name(), c);
+      if (introduced[id]) keys.push_back(id);
+    }
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      introduced[alignment.IdOf(t.name(), c)] = true;
+    }
+
+    std::vector<Row> next;
+    std::vector<std::vector<std::string>> next_prov;
+    if (keys.empty()) {
+      // No shared IDs: degrade to outer union (pandas would raise; an
+      // integration pipeline must keep going).
+      next = std::move(acc);
+      next_prov = std::move(acc_prov);
+      if (outer) {
+        for (size_t r = 0; r < right.size(); ++r) {
+          next.push_back(std::move(right[r]));
+          next_prov.push_back(std::move(right_prov[r]));
+        }
+      }
+    } else {
+      // Hash join; rows with any null key never match.
+      auto key_hash = [&keys](const Row& row) -> int64_t {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (size_t k : keys) {
+          if (row[k].is_null()) return -1;
+          h = HashCombine(h, row[k].Hash());
+        }
+        return static_cast<int64_t>(h >> 1);  // non-negative sentinel space
+      };
+      std::unordered_map<int64_t, std::vector<size_t>> build;
+      for (size_t r = 0; r < acc.size(); ++r) {
+        int64_t h = key_hash(acc[r]);
+        if (h >= 0) build[h].push_back(r);
+      }
+      std::vector<bool> left_matched(acc.size(), false);
+      for (size_t rr = 0; rr < right.size(); ++rr) {
+        int64_t h = key_hash(right[rr]);
+        bool matched = false;
+        if (h >= 0) {
+          auto it = build.find(h);
+          if (it != build.end()) {
+            for (size_t lr : it->second) {
+              // Verify key equality (hash collisions).
+              bool eq = true;
+              for (size_t k : keys) {
+                if (!acc[lr][k].EqualsValue(right[rr][k])) {
+                  eq = false;
+                  break;
+                }
+              }
+              if (!eq) continue;
+              matched = true;
+              left_matched[lr] = true;
+              Row merged(alignment.num_clusters(), Value::ProducedNull());
+              for (size_t id = 0; id < merged.size(); ++id) {
+                if (!acc[lr][id].is_null()) {
+                  merged[id] = acc[lr][id];
+                } else if (!right[rr][id].is_null()) {
+                  merged[id] = right[rr][id];
+                } else if (acc[lr][id].is_missing_null() ||
+                           right[rr][id].is_missing_null()) {
+                  merged[id] = Value::Null(NullKind::kMissing);
+                }
+              }
+              next.push_back(std::move(merged));
+              next_prov.push_back(UnionProv(acc_prov[lr], right_prov[rr]));
+            }
+          }
+        }
+        if (!matched && outer) {
+          next.push_back(std::move(right[rr]));
+          next_prov.push_back(std::move(right_prov[rr]));
+        }
+      }
+      if (outer) {
+        for (size_t lr = 0; lr < acc.size(); ++lr) {
+          if (!left_matched[lr]) {
+            next.push_back(std::move(acc[lr]));
+            next_prov.push_back(std::move(acc_prov[lr]));
+          }
+        }
+      }
+    }
+    acc = std::move(next);
+    acc_prov = std::move(next_prov);
+  }
+
+  for (size_t r = 0; r < acc.size(); ++r) {
+    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(acc[r]), std::move(acc_prov[r])));
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace
+
+Result<Table> OuterJoinIntegration::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  return SequentialJoin(tables, alignment, /*outer=*/true,
+                        "outer_join_result");
+}
+
+Result<Table> InnerJoinIntegration::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  return SequentialJoin(tables, alignment, /*outer=*/false,
+                        "inner_join_result");
+}
+
+Result<Table> UnionIntegration::Integrate(
+    const std::vector<const Table*>& tables,
+    const Alignment& alignment) const {
+  Result<Table> union_r = BuildOuterUnion(tables, alignment, "union_result");
+  if (!union_r.ok()) return union_r.status();
+  const Table& u = *union_r;
+  Table out("union_result", u.schema());
+  // Exact-duplicate elimination with provenance union.
+  auto row_key = [](const Row& r) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    return h;
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  std::vector<Row> rows;
+  std::vector<std::vector<std::string>> provs;
+  for (size_t r = 0; r < u.num_rows(); ++r) {
+    uint64_t h = row_key(u.row(r));
+    bool dup = false;
+    for (size_t idx : seen[h]) {
+      bool same = true;
+      for (size_t c = 0; c < u.num_columns(); ++c) {
+        if (!rows[idx][c].Identical(u.at(r, c))) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        provs[idx] = UnionProv(provs[idx], u.provenance(r));
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    seen[h].push_back(rows.size());
+    rows.push_back(u.row(r));
+    std::vector<std::string> p = u.provenance(r);
+    std::sort(p.begin(), p.end());
+    provs.push_back(std::move(p));
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(rows[r]), std::move(provs[r])));
+  }
+  out.RefreshColumnTypes();
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,50 @@
+#ifndef DIALITE_INTEGRATE_JOIN_OPS_H_
+#define DIALITE_INTEGRATE_JOIN_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "integrate/integration.h"
+
+namespace dialite {
+
+/// The demo's alternative integration operator (paper Fig. 6): sequential
+/// pairwise FULL OUTER JOIN in input order, joining each next table on the
+/// integration IDs shared with the accumulated result. Null join keys never
+/// match (SQL/pandas semantics). Unlike FD this is NOT associative — the
+/// result depends on table order — and it loses derivable facts (the
+/// paper's Example 5: the J&J/FDA connection).
+///
+/// When the next table shares no integration ID with the accumulated
+/// result, the step degrades to an outer union of the two (pandas would
+/// raise; integration must not).
+class OuterJoinIntegration : public IntegrationOperator {
+ public:
+  std::string name() const override { return "outer_join"; }
+  Result<Table> Integrate(const std::vector<const Table*>& tables,
+                          const Alignment& alignment) const override;
+};
+
+/// Auctus-style baseline: sequential pairwise INNER JOIN. Rows without a
+/// partner are dropped at each step, so the result can collapse to empty —
+/// included to show why discovery systems that integrate by inner join
+/// cannot assemble partial facts.
+class InnerJoinIntegration : public IntegrationOperator {
+ public:
+  std::string name() const override { return "inner_join"; }
+  Result<Table> Integrate(const std::vector<const Table*>& tables,
+                          const Alignment& alignment) const override;
+};
+
+/// Auctus-style baseline: plain outer union over integration IDs with
+/// exact-duplicate elimination. Never connects facts across tuples.
+class UnionIntegration : public IntegrationOperator {
+ public:
+  std::string name() const override { return "union_all"; }
+  Result<Table> Integrate(const std::vector<const Table*>& tables,
+                          const Alignment& alignment) const override;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_INTEGRATE_JOIN_OPS_H_

@@ -1,0 +1,90 @@
+#include "kb/annotator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dialite {
+
+namespace {
+
+std::vector<Annotation> RankVotes(
+    const std::unordered_map<std::string, size_t>& votes, size_t denominator,
+    size_t max_out) {
+  std::vector<Annotation> out;
+  out.reserve(votes.size());
+  for (const auto& [label, n] : votes) {
+    out.push_back(
+        {label, static_cast<double>(n) / static_cast<double>(denominator)});
+  }
+  std::sort(out.begin(), out.end(), [](const Annotation& x, const Annotation& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.label < y.label;  // deterministic tiebreak
+  });
+  if (out.size() > max_out) out.resize(max_out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Annotation> ColumnAnnotator::AnnotateValues(
+    const std::vector<std::string>& values, size_t max_types) const {
+  if (values.empty()) return {};
+  std::unordered_map<std::string, size_t> votes;
+  for (const std::string& v : values) {
+    for (const std::string& t : kb_->TypesOf(v)) {
+      if (t == "entity") continue;  // the root type carries no signal
+      ++votes[t];
+    }
+  }
+  return RankVotes(votes, values.size(), max_types);
+}
+
+std::vector<Annotation> ColumnAnnotator::AnnotateColumn(
+    const Table& table, size_t c, size_t max_types) const {
+  std::vector<std::string> values;
+  for (const Value& v : table.DistinctColumnValues(c)) {
+    values.push_back(v.ToCsvString());
+  }
+  return AnnotateValues(values, max_types);
+}
+
+std::vector<Annotation> ColumnAnnotator::AnnotateRelation(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    size_t max_labels) const {
+  std::unordered_map<std::string, size_t> votes;
+  size_t usable = 0;
+  for (const auto& [a, b] : pairs) {
+    if (a.empty() || b.empty()) continue;
+    ++usable;
+    for (const std::string& rel : kb_->RelationsBetween(a, b)) ++votes[rel];
+    for (const std::string& rev : kb_->RelationsBetween(b, a)) {
+      ++votes[rev + "^-1"];
+    }
+  }
+  if (usable == 0) return {};
+  return RankVotes(votes, usable, max_labels);
+}
+
+std::vector<Annotation> ColumnAnnotator::AnnotateColumnPair(
+    const Table& table, size_t a, size_t b, size_t max_labels) const {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& va = table.at(r, a);
+    const Value& vb = table.at(r, b);
+    if (va.is_null() || vb.is_null()) continue;
+    pairs.emplace_back(va.ToCsvString(), vb.ToCsvString());
+  }
+  return AnnotateRelation(pairs, max_labels);
+}
+
+double ColumnAnnotator::ColumnCoverage(const Table& table, size_t c) const {
+  std::vector<Value> distinct = table.DistinctColumnValues(c);
+  if (distinct.empty()) return 0.0;
+  size_t known = 0;
+  for (const Value& v : distinct) {
+    if (kb_->Knows(v.ToCsvString())) ++known;
+  }
+  return static_cast<double>(known) / static_cast<double>(distinct.size());
+}
+
+}  // namespace dialite

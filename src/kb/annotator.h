@@ -1,0 +1,65 @@
+#ifndef DIALITE_KB_ANNOTATOR_H_
+#define DIALITE_KB_ANNOTATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// A semantic label with the fraction of (annotatable) evidence supporting
+/// it.
+struct Annotation {
+  std::string label;
+  double score = 0.0;
+
+  bool operator==(const Annotation& other) const {
+    return label == other.label && score == other.score;
+  }
+};
+
+/// Annotates columns and column pairs with KB semantics — the "semantic
+/// graph" construction step of SANTOS.
+class ColumnAnnotator {
+ public:
+  /// `kb` must outlive the annotator.
+  explicit ColumnAnnotator(const KnowledgeBase* kb) : kb_(kb) {}
+
+  /// Ranks semantic types for a bag of cell texts by KB coverage: each
+  /// value votes for all its (hierarchy-expanded) types; score = votes /
+  /// #values. Returns at most `max_types`, best first. Empty when nothing
+  /// is known to the KB.
+  std::vector<Annotation> AnnotateValues(
+      const std::vector<std::string>& values, size_t max_types = 3) const;
+
+  /// Annotates column `c` of `table` using its distinct non-null values.
+  std::vector<Annotation> AnnotateColumn(const Table& table, size_t c,
+                                         size_t max_types = 3) const;
+
+  /// Ranks relationship labels for row-aligned value pairs (a_i, b_i):
+  /// each pair with an asserted fact votes for the relation label, in
+  /// either direction (reverse matches are labeled "rel^-1").
+  /// Score = votes / #pairs with both sides non-empty.
+  std::vector<Annotation> AnnotateRelation(
+      const std::vector<std::pair<std::string, std::string>>& pairs,
+      size_t max_labels = 3) const;
+
+  /// Annotates the relationship between two columns of a table using their
+  /// row-paired values (rows where either side is null are skipped).
+  std::vector<Annotation> AnnotateColumnPair(const Table& table, size_t a,
+                                             size_t b,
+                                             size_t max_labels = 3) const;
+
+  /// Fraction of the column's distinct values known to the KB.
+  double ColumnCoverage(const Table& table, size_t c) const;
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_KB_ANNOTATOR_H_

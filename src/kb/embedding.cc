@@ -1,0 +1,84 @@
+#include "kb/embedding.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void NormalizeEmbedding(Embedding* v) {
+  double norm = 0.0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  if (norm == 0.0) return;
+  norm = std::sqrt(norm);
+  for (float& x : *v) x = static_cast<float>(x / norm);
+}
+
+HashEmbedder::HashEmbedder(Params params, const KnowledgeBase* kb)
+    : params_(params), kb_(kb) {}
+
+void HashEmbedder::AddFeature(std::string_view key, double w,
+                              Embedding* acc) const {
+  // Each feature is a deterministic pseudo-random ±1/sqrt(dim) vector.
+  const uint64_t base = HashString(key, params_.seed);
+  const double unit = w / std::sqrt(static_cast<double>(params_.dim));
+  for (size_t i = 0; i < params_.dim; ++i) {
+    uint64_t bit = HashUint64(base, i) & 1ULL;
+    (*acc)[i] += static_cast<float>(bit ? unit : -unit);
+  }
+}
+
+Embedding HashEmbedder::EmbedValue(std::string_view text) const {
+  Embedding acc(params_.dim, 0.0f);
+  // Trigrams come from the raw (lowercased) text so punctuation patterns
+  // like "%"/"$" survive; words come from the alphanumeric tokens.
+  std::vector<std::string> words = WordTokens(text);
+  std::vector<std::string> grams = CharQGrams(Trim(text), 3);
+  if (words.empty() && grams.empty()) return acc;
+
+  // Surface: words (weight 1) + char trigrams (down-weighted so whole-word
+  // matches dominate).
+  for (const std::string& w : words) AddFeature("w:" + w, 1.0, &acc);
+  for (const std::string& g : grams) {
+    AddFeature("g:" + g, 0.3, &acc);
+  }
+
+  // Semantic: one shared component per KB type of the value.
+  if (kb_ != nullptr) {
+    for (const std::string& t : kb_->TypesOf(NormalizeText(text))) {
+      if (t == "entity") continue;
+      AddFeature("t:" + t, params_.semantic_weight, &acc);
+    }
+  }
+  NormalizeEmbedding(&acc);
+  return acc;
+}
+
+Embedding HashEmbedder::EmbedValueSet(
+    const std::vector<std::string>& values) const {
+  Embedding acc(params_.dim, 0.0f);
+  for (const std::string& v : values) {
+    Embedding e = EmbedValue(v);
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += e[i];
+  }
+  NormalizeEmbedding(&acc);
+  return acc;
+}
+
+}  // namespace dialite

@@ -1,0 +1,69 @@
+#ifndef DIALITE_KB_EMBEDDING_H_
+#define DIALITE_KB_EMBEDDING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace dialite {
+
+/// Dense embedding vector.
+using Embedding = std::vector<float>;
+
+/// Cosine similarity; 0 if either vector has zero norm.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+/// L2-normalizes in place (no-op for the zero vector).
+void NormalizeEmbedding(Embedding* v);
+
+/// Deterministic embedding model standing in for the pretrained word
+/// embeddings the original pipeline leans on (SANTOS/Starmie-style
+/// semantics). Two components:
+///
+///  - a *surface* component: hashed character trigrams and word tokens,
+///    fastText-style, so misspellings and morphological variants land near
+///    each other;
+///  - a *semantic* component: every KB type of the value contributes a
+///    pseudo-random unit vector shared by ALL values of that type, so
+///    "Berlin" and "Boston" (both city) are close even with disjoint
+///    surfaces, and "USA"/"United States" (same types + sameAs facts) are
+///    very close.
+///
+/// All vectors derive from hashes — no training, fully reproducible.
+class HashEmbedder {
+ public:
+  struct Params {
+    size_t dim = 128;
+    double semantic_weight = 2.0;  ///< weight of each KB-type component
+    uint64_t seed = 11;
+  };
+
+  /// `kb` may be null: embeddings are then purely surface-based.
+  HashEmbedder() : HashEmbedder(Params(), nullptr) {}
+  explicit HashEmbedder(const KnowledgeBase* kb)
+      : HashEmbedder(Params(), kb) {}
+  HashEmbedder(Params params, const KnowledgeBase* kb);
+
+  size_t dim() const { return params_.dim; }
+
+  /// Surface+semantic embedding of one value, L2-normalized
+  /// (zero vector for empty text).
+  Embedding EmbedValue(std::string_view text) const;
+
+  /// Mean of value embeddings, re-normalized — the column-content vector
+  /// used by holistic schema matching.
+  Embedding EmbedValueSet(const std::vector<std::string>& values) const;
+
+ private:
+  /// Adds the pseudo-random unit vector identified by `key` scaled by `w`.
+  void AddFeature(std::string_view key, double w, Embedding* acc) const;
+
+  Params params_;
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_KB_EMBEDDING_H_

@@ -1,0 +1,252 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "kb/world.h"
+#include "text/tokenizer.h"
+
+namespace dialite {
+
+std::string KnowledgeBase::Key(std::string_view value) {
+  return NormalizeText(value);
+}
+
+Status KnowledgeBase::AddType(const std::string& type,
+                              const std::string& parent) {
+  if (type.empty()) return Status::InvalidArgument("empty type name");
+  if (!parent.empty() && !HasType(parent)) {
+    return Status::NotFound("parent type '" + parent + "' unknown");
+  }
+  auto [it, inserted] = type_parent_.emplace(type, parent);
+  if (!inserted) return Status::AlreadyExists("type '" + type + "'");
+  return Status::OK();
+}
+
+Status KnowledgeBase::AddEntity(std::string_view value,
+                                const std::string& type) {
+  if (!HasType(type)) return Status::NotFound("type '" + type + "' unknown");
+  std::string key = Key(value);
+  if (key.empty()) return Status::InvalidArgument("empty entity value");
+  std::vector<std::string>& types = entity_types_[key];
+  if (std::find(types.begin(), types.end(), type) == types.end()) {
+    types.push_back(type);
+  }
+  return Status::OK();
+}
+
+Status KnowledgeBase::AddFact(std::string_view subject, const std::string& rel,
+                              std::string_view object) {
+  std::string sk = Key(subject);
+  std::string ok = Key(object);
+  if (!entity_types_.count(sk)) {
+    return Status::NotFound("unknown subject entity '" + std::string(subject) +
+                            "'");
+  }
+  if (!entity_types_.count(ok)) {
+    return Status::NotFound("unknown object entity '" + std::string(object) +
+                            "'");
+  }
+  std::vector<std::string>& rels = facts_[sk + "\x1f" + ok];
+  if (std::find(rels.begin(), rels.end(), rel) == rels.end()) {
+    rels.push_back(rel);
+    ++num_facts_;
+    if (rel == "sameAs") {
+      std::vector<std::string>& partners = sameas_[sk];
+      if (std::find(partners.begin(), partners.end(), ok) == partners.end()) {
+        partners.push_back(ok);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool KnowledgeBase::HasType(const std::string& type) const {
+  return type_parent_.count(type) > 0;
+}
+
+std::vector<std::string> KnowledgeBase::DirectTypesOf(
+    std::string_view value) const {
+  auto it = entity_types_.find(Key(value));
+  return it == entity_types_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> KnowledgeBase::TypesOf(std::string_view value) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const std::string& t : DirectTypesOf(value)) {
+    std::string cur = t;
+    while (!cur.empty()) {
+      if (seen.insert(cur).second) out.push_back(cur);
+      auto pit = type_parent_.find(cur);
+      cur = pit == type_parent_.end() ? "" : pit->second;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> KnowledgeBase::RelationBetween(
+    std::string_view subject, std::string_view object) const {
+  auto it = facts_.find(Key(subject) + "\x1f" + Key(object));
+  if (it == facts_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<std::string> KnowledgeBase::RelationsBetween(
+    std::string_view subject, std::string_view object) const {
+  auto it = facts_.find(Key(subject) + "\x1f" + Key(object));
+  return it == facts_.end() ? std::vector<std::string>{} : it->second;
+}
+
+bool KnowledgeBase::Knows(std::string_view value) const {
+  return entity_types_.count(Key(value)) > 0;
+}
+
+const std::vector<std::string>& KnowledgeBase::SameAsOf(
+    std::string_view value) const {
+  static const std::vector<std::string>& kEmpty =
+      *new std::vector<std::string>();
+  auto it = sameas_.find(Key(value));
+  return it == sameas_.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+KnowledgeBase* BuildBuiltIn() {
+  auto* kb = new KnowledgeBase();
+  const World& w = World::BuiltIn();
+
+  // -------- type hierarchy
+  (void)kb->AddType("entity");
+  (void)kb->AddType("location", "entity");
+  (void)kb->AddType("country", "location");
+  (void)kb->AddType("city", "location");
+  (void)kb->AddType("capital", "city");
+  (void)kb->AddType("continent", "location");
+  (void)kb->AddType("organization", "entity");
+  (void)kb->AddType("agency", "organization");
+  (void)kb->AddType("company", "organization");
+  (void)kb->AddType("university", "organization");
+  (void)kb->AddType("airline", "organization");
+  (void)kb->AddType("football_club", "organization");
+  (void)kb->AddType("league", "entity");
+  (void)kb->AddType("product", "entity");
+  (void)kb->AddType("vaccine", "product");
+  (void)kb->AddType("airport", "location");
+  (void)kb->AddType("person_name", "entity");
+  (void)kb->AddType("occupation", "entity");
+  (void)kb->AddType("disease", "entity");
+  (void)kb->AddType("currency", "entity");
+  (void)kb->AddType("language", "entity");
+  (void)kb->AddType("sector", "entity");
+  (void)kb->AddType("genre", "entity");
+  (void)kb->AddType("product_category", "entity");
+  (void)kb->AddType("creative_work", "entity");
+  (void)kb->AddType("movie", "creative_work");
+  (void)kb->AddType("director", "entity");
+
+  // -------- entities + facts
+  for (const CountryInfo& c : w.countries()) {
+    (void)kb->AddEntity(c.name, "country");
+    if (!c.alias.empty()) (void)kb->AddEntity(c.alias, "country");
+    (void)kb->AddEntity(c.continent, "continent");
+    (void)kb->AddEntity(c.currency, "currency");
+    (void)kb->AddEntity(c.language, "language");
+    (void)kb->AddFact(c.name, "inContinent", c.continent);
+    (void)kb->AddFact(c.name, "hasCurrency", c.currency);
+    (void)kb->AddFact(c.name, "speaks", c.language);
+    if (!c.alias.empty()) {
+      (void)kb->AddFact(c.alias, "inContinent", c.continent);
+      (void)kb->AddFact(c.alias, "hasCurrency", c.currency);
+      (void)kb->AddFact(c.alias, "speaks", c.language);
+      (void)kb->AddFact(c.alias, "sameAs", c.name);
+      (void)kb->AddFact(c.name, "sameAs", c.alias);
+    }
+  }
+  for (const CityInfo& c : w.cities()) {
+    (void)kb->AddEntity(c.name, c.is_capital ? "capital" : "city");
+    (void)kb->AddFact(c.name, "locatedIn", c.country);
+    if (c.is_capital) (void)kb->AddFact(c.name, "capitalOf", c.country);
+  }
+  for (const VaccineInfo& v : w.vaccines()) {
+    (void)kb->AddEntity(v.name, "vaccine");
+    if (!v.alias.empty()) (void)kb->AddEntity(v.alias, "vaccine");
+    (void)kb->AddFact(v.name, "originatesFrom", v.country);
+    if (!v.alias.empty()) {
+      (void)kb->AddFact(v.alias, "originatesFrom", v.country);
+      (void)kb->AddFact(v.alias, "sameAs", v.name);
+      (void)kb->AddFact(v.name, "sameAs", v.alias);
+    }
+  }
+  for (const AgencyInfo& a : w.agencies()) {
+    (void)kb->AddEntity(a.name, "agency");
+    (void)kb->AddFact(a.name, "basedIn", a.country);
+  }
+  // Vaccine approvals reference agencies, so add after agencies exist.
+  for (const VaccineInfo& v : w.vaccines()) {
+    (void)kb->AddFact(v.name, "approvedBy", v.approver);
+    if (!v.alias.empty()) (void)kb->AddFact(v.alias, "approvedBy", v.approver);
+  }
+  for (const CompanyInfo& c : w.companies()) {
+    (void)kb->AddEntity(c.name, "company");
+    (void)kb->AddEntity(c.sector, "sector");
+    (void)kb->AddFact(c.name, "inSector", c.sector);
+    (void)kb->AddFact(c.name, "headquarteredIn", c.country);
+  }
+  for (const UniversityInfo& u : w.universities()) {
+    (void)kb->AddEntity(u.name, "university");
+    (void)kb->AddFact(u.name, "locatedIn", u.city);
+  }
+  for (const AirlineInfo& a : w.airlines()) {
+    (void)kb->AddEntity(a.name, "airline");
+    (void)kb->AddFact(a.name, "basedIn", a.country);
+  }
+  for (const AirportInfo& a : w.airports()) {
+    (void)kb->AddEntity(a.code, "airport");
+    (void)kb->AddEntity(a.name, "airport");
+    (void)kb->AddFact(a.code, "servesCity", a.city);
+    (void)kb->AddFact(a.name, "servesCity", a.city);
+    (void)kb->AddFact(a.code, "sameAs", a.name);
+  }
+  for (const ClubInfo& c : w.clubs()) {
+    (void)kb->AddEntity(c.name, "football_club");
+    (void)kb->AddEntity(c.league, "league");
+    (void)kb->AddFact(c.name, "playsIn", c.league);
+    (void)kb->AddFact(c.name, "basedIn", c.country);
+  }
+  for (const MovieInfo& m : w.movies()) {
+    (void)kb->AddEntity(m.title, "movie");
+    (void)kb->AddEntity(m.director, "director");
+    (void)kb->AddEntity(m.genre, "genre");
+    (void)kb->AddFact(m.title, "directedBy", m.director);
+    (void)kb->AddFact(m.title, "hasGenre", m.genre);
+    (void)kb->AddFact(m.title, "producedIn", m.country);
+  }
+  for (const std::string& n : w.first_names()) {
+    (void)kb->AddEntity(n, "person_name");
+  }
+  for (const std::string& n : w.last_names()) {
+    (void)kb->AddEntity(n, "person_name");
+  }
+  for (const std::string& o : w.occupations()) {
+    (void)kb->AddEntity(o, "occupation");
+  }
+  for (const std::string& d : w.diseases()) {
+    (void)kb->AddEntity(d, "disease");
+  }
+  for (const std::string& g : w.genres()) {
+    (void)kb->AddEntity(g, "genre");
+  }
+  for (const std::string& p : w.product_categories()) {
+    (void)kb->AddEntity(p, "product_category");
+  }
+  return kb;
+}
+
+}  // namespace
+
+const KnowledgeBase& KnowledgeBase::BuiltIn() {
+  static const KnowledgeBase& kb = *BuildBuiltIn();
+  return kb;
+}
+
+}  // namespace dialite

@@ -1,0 +1,90 @@
+#ifndef DIALITE_KB_KNOWLEDGE_BASE_H_
+#define DIALITE_KB_KNOWLEDGE_BASE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dialite {
+
+/// Synthetic knowledge base standing in for the YAGO KB that SANTOS queries.
+///
+/// Three ingredients, matching what the SANTOS pipeline needs:
+///  1. a *type hierarchy* (e.g. city → location → entity);
+///  2. *entity → type* assertions, keyed by the normalized surface form;
+///  3. binary *relationship facts* between entities (e.g. Berlin
+///     —locatedIn→ Germany), used to annotate column *pairs*.
+///
+/// Lookups normalize with NormalizeText(), so "Mexico City", "mexico city"
+/// and "MEXICO  CITY" all resolve to the same entity.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Declares a type; `parent` must already exist when non-empty.
+  Status AddType(const std::string& type, const std::string& parent = "");
+
+  /// Asserts that surface form `value` denotes an entity of `type`
+  /// (which must exist). A value may have several types.
+  Status AddEntity(std::string_view value, const std::string& type);
+
+  /// Asserts relation `rel` between two surface forms (both must be known
+  /// entities).
+  Status AddFact(std::string_view subject, const std::string& rel,
+                 std::string_view object);
+
+  bool HasType(const std::string& type) const;
+
+  /// Direct types asserted for `value` (empty if unknown).
+  std::vector<std::string> DirectTypesOf(std::string_view value) const;
+
+  /// Direct types plus all their ancestors, deduplicated, most-specific
+  /// first within each chain.
+  std::vector<std::string> TypesOf(std::string_view value) const;
+
+  /// The first-asserted relation label from `subject` to `object`, if any.
+  std::optional<std::string> RelationBetween(std::string_view subject,
+                                             std::string_view object) const;
+
+  /// All relation labels asserted from `subject` to `object` (a pair can
+  /// carry several, e.g. Berlin is both locatedIn and capitalOf Germany).
+  std::vector<std::string> RelationsBetween(std::string_view subject,
+                                            std::string_view object) const;
+
+  /// True if the value resolves to any entity.
+  bool Knows(std::string_view value) const;
+
+  /// Surface forms asserted sameAs `value` (normalized keys), e.g.
+  /// SameAsOf("USA") → {"united states"}. Backed by a dedicated index, so
+  /// callers can use it for blocking without scanning all facts.
+  const std::vector<std::string>& SameAsOf(std::string_view value) const;
+
+  size_t num_entities() const { return entity_types_.size(); }
+  size_t num_types() const { return type_parent_.size(); }
+  size_t num_facts() const { return num_facts_; }
+
+  /// The built-in KB over World::BuiltIn(): geography (city/country/
+  /// capital/currency/language), health (vaccine/agency/disease), commerce
+  /// (company/sector), academia, aviation, football.
+  static const KnowledgeBase& BuiltIn();
+
+ private:
+  static std::string Key(std::string_view value);
+
+  std::unordered_map<std::string, std::string> type_parent_;
+  std::unordered_map<std::string, std::vector<std::string>> entity_types_;
+  /// (subject key, object key) -> relation labels, in assertion order.
+  std::unordered_map<std::string, std::vector<std::string>> facts_;
+  /// subject key -> object keys asserted sameAs.
+  std::unordered_map<std::string, std::vector<std::string>> sameas_;
+  size_t num_facts_ = 0;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,127 @@
+#ifndef DIALITE_KB_WORLD_H_
+#define DIALITE_KB_WORLD_H_
+
+#include <string>
+#include <vector>
+
+namespace dialite {
+
+/// Curated "world" vocabulary: the ground facts behind both the built-in
+/// knowledge base (SANTOS' YAGO substitute) and the synthetic lake
+/// generator. Everything is plain data — real country/city/organization
+/// names with their relationships — so generated tables look like open data
+/// and KB annotation has real signal to find.
+
+struct CountryInfo {
+  std::string name;       ///< canonical name, e.g. "United States"
+  std::string alias;      ///< common alternative ("USA"), may be empty
+  std::string continent;
+  std::string currency;
+  std::string language;
+};
+
+struct CityInfo {
+  std::string name;
+  std::string country;  ///< canonical country name
+  bool is_capital;
+};
+
+struct VaccineInfo {
+  std::string name;      ///< canonical ("Pfizer")
+  std::string alias;     ///< e.g. "J&J" vs canonical "JnJ"; may be empty
+  std::string country;   ///< origin country (canonical name)
+  std::string approver;  ///< approving agency
+};
+
+struct AgencyInfo {
+  std::string name;
+  std::string country;
+};
+
+struct CompanyInfo {
+  std::string name;
+  std::string sector;
+  std::string country;
+};
+
+struct UniversityInfo {
+  std::string name;
+  std::string city;  ///< must appear in cities()
+};
+
+struct AirlineInfo {
+  std::string name;
+  std::string country;
+};
+
+struct AirportInfo {
+  std::string code;  ///< IATA
+  std::string name;
+  std::string city;
+};
+
+struct ClubInfo {
+  std::string name;
+  std::string league;
+  std::string country;
+};
+
+struct MovieInfo {
+  std::string title;
+  std::string director;
+  int year;
+  std::string genre;    ///< must appear in genres()
+  std::string country;  ///< production country (canonical name)
+};
+
+/// Immutable world data; built once, shared.
+class World {
+ public:
+  const std::vector<CountryInfo>& countries() const { return countries_; }
+  const std::vector<CityInfo>& cities() const { return cities_; }
+  const std::vector<VaccineInfo>& vaccines() const { return vaccines_; }
+  const std::vector<AgencyInfo>& agencies() const { return agencies_; }
+  const std::vector<CompanyInfo>& companies() const { return companies_; }
+  const std::vector<UniversityInfo>& universities() const {
+    return universities_;
+  }
+  const std::vector<AirlineInfo>& airlines() const { return airlines_; }
+  const std::vector<AirportInfo>& airports() const { return airports_; }
+  const std::vector<ClubInfo>& clubs() const { return clubs_; }
+  const std::vector<MovieInfo>& movies() const { return movies_; }
+  const std::vector<std::string>& first_names() const { return first_names_; }
+  const std::vector<std::string>& last_names() const { return last_names_; }
+  const std::vector<std::string>& occupations() const { return occupations_; }
+  const std::vector<std::string>& diseases() const { return diseases_; }
+  const std::vector<std::string>& genres() const { return genres_; }
+  const std::vector<std::string>& product_categories() const {
+    return product_categories_;
+  }
+
+  /// The singleton built-in world.
+  static const World& BuiltIn();
+
+ private:
+  World();  // populates all lists
+
+  std::vector<CountryInfo> countries_;
+  std::vector<CityInfo> cities_;
+  std::vector<VaccineInfo> vaccines_;
+  std::vector<AgencyInfo> agencies_;
+  std::vector<CompanyInfo> companies_;
+  std::vector<UniversityInfo> universities_;
+  std::vector<AirlineInfo> airlines_;
+  std::vector<AirportInfo> airports_;
+  std::vector<ClubInfo> clubs_;
+  std::vector<MovieInfo> movies_;
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<std::string> occupations_;
+  std::vector<std::string> diseases_;
+  std::vector<std::string> genres_;
+  std::vector<std::string> product_categories_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_KB_WORLD_H_

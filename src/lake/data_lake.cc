@@ -1,0 +1,90 @@
+#include "lake/data_lake.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "table/csv.h"
+
+namespace dialite {
+
+namespace fs = std::filesystem;
+
+Status DataLake::AddTable(Table table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("lake tables must be named");
+  }
+  if (tables_.count(table.name())) {
+    return Status::AlreadyExists("table '" + table.name() + "'");
+  }
+  std::string name = table.name();
+  tables_.emplace(name, std::make_unique<Table>(std::move(table)));
+  names_.push_back(std::move(name));
+  return Status::OK();
+}
+
+const Table* DataLake::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool DataLake::Contains(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<const Table*> DataLake::tables() const {
+  std::vector<const Table*> out;
+  out.reserve(names_.size());
+  for (const std::string& n : names_) out.push_back(Get(n));
+  return out;
+}
+
+LakeStats DataLake::Stats() const {
+  LakeStats s;
+  s.num_tables = tables_.size();
+  double null_sum = 0.0;
+  for (const auto& [name, t] : tables_) {
+    s.total_rows += t->num_rows();
+    s.total_columns += t->num_columns();
+    null_sum += t->NullFraction();
+  }
+  if (s.num_tables > 0) {
+    s.avg_null_fraction = null_sum / static_cast<double>(s.num_tables);
+  }
+  return s;
+}
+
+Result<size_t> DataLake::LoadDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IoError("not a directory: " + dir);
+  }
+  // Sort paths for deterministic load order.
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  size_t loaded = 0;
+  for (const std::string& p : paths) {
+    Result<Table> t = CsvReader::ReadFile(p);
+    if (!t.ok()) return t.status();
+    DIALITE_RETURN_NOT_OK(AddTable(std::move(t).value()));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Status DataLake::SaveDirectory(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+  for (const std::string& n : names_) {
+    DIALITE_RETURN_NOT_OK(CsvWriter::WriteFile(*Get(n), dir + "/" + n + ".csv"));
+  }
+  return Status::OK();
+}
+
+}  // namespace dialite

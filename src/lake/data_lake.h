@@ -1,0 +1,66 @@
+#ifndef DIALITE_LAKE_DATA_LAKE_H_
+#define DIALITE_LAKE_DATA_LAKE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Summary statistics for a lake.
+struct LakeStats {
+  size_t num_tables = 0;
+  size_t total_rows = 0;
+  size_t total_columns = 0;
+  double avg_null_fraction = 0.0;
+};
+
+/// An in-memory catalog of tables keyed by unique name — the repository 𝒟
+/// that discovery searches. Tables are owned by the lake; pointers returned
+/// by Get() remain valid until the lake is destroyed (tables are never
+/// removed, matching the append-only nature of open-data portals).
+class DataLake {
+ public:
+  DataLake() = default;
+
+  DataLake(const DataLake&) = delete;
+  DataLake& operator=(const DataLake&) = delete;
+  DataLake(DataLake&&) = default;
+  DataLake& operator=(DataLake&&) = default;
+
+  /// Adds a table; its name must be unique and non-empty.
+  Status AddTable(Table table);
+
+  /// Looks up by name; nullptr when absent.
+  const Table* Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  size_t size() const { return tables_.size(); }
+
+  /// All table names in insertion order.
+  const std::vector<std::string>& table_names() const { return names_; }
+
+  /// All tables, in insertion order (borrowed pointers).
+  std::vector<const Table*> tables() const;
+
+  LakeStats Stats() const;
+
+  /// Loads every *.csv file in `dir` (non-recursive) as a table named after
+  /// its basename. Returns the number of tables loaded.
+  Result<size_t> LoadDirectory(const std::string& dir);
+
+  /// Writes every table as <dir>/<name>.csv. Creates `dir` if needed.
+  Status SaveDirectory(const std::string& dir) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_LAKE_DATA_LAKE_H_

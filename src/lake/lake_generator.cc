@@ -1,0 +1,386 @@
+#include "lake/lake_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "kb/world.h"
+#include "text/similarity.h"
+
+namespace dialite {
+
+// ----------------------------------------------------------- GroundTruth
+
+std::string GroundTruth::ColKey(const std::string& table, size_t c) {
+  return table + "\x1f" + std::to_string(c);
+}
+
+const std::string& GroundTruth::DomainOf(const std::string& table) const {
+  static const std::string kEmpty;
+  auto it = table_domain_.find(table);
+  return it == table_domain_.end() ? kEmpty : it->second;
+}
+
+const std::string& GroundTruth::BaseColumnOf(const std::string& table,
+                                             size_t c) const {
+  static const std::string kEmpty;
+  auto it = column_base_.find(ColKey(table, c));
+  return it == column_base_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> GroundTruth::TablesOfDomain(
+    const std::string& domain) const {
+  std::vector<std::string> out;
+  for (const std::string& t : table_order_) {
+    if (DomainOf(t) == domain) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> GroundTruth::UnionableWith(
+    const std::string& table) const {
+  const std::string& domain = DomainOf(table);
+  if (domain.empty()) return {};
+  std::vector<std::string> out;
+  for (const std::string& t : TablesOfDomain(domain)) {
+    if (t != table) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> GroundTruth::JoinableWith(
+    const DataLake& lake, const std::string& table, size_t c,
+    double min_containment) const {
+  const std::string& base = BaseColumnOf(table, c);
+  const Table* query = lake.Get(table);
+  if (base.empty() || query == nullptr) return {};
+  std::vector<std::string> qtokens = query->ColumnTokenSet(c);
+  std::vector<std::string> out;
+  for (const std::string& other : table_order_) {
+    if (other == table) continue;
+    const Table* cand = lake.Get(other);
+    if (cand == nullptr) continue;
+    for (size_t cc = 0; cc < cand->num_columns(); ++cc) {
+      if (BaseColumnOf(other, cc) != base) continue;
+      if (Containment(qtokens, cand->ColumnTokenSet(cc)) >= min_containment) {
+        out.push_back(other);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool GroundTruth::SameBaseColumn(const std::string& ta, size_t ca,
+                                 const std::string& tb, size_t cb) const {
+  const std::string& a = BaseColumnOf(ta, ca);
+  return !a.empty() && a == BaseColumnOf(tb, cb);
+}
+
+void GroundTruth::RecordTable(const std::string& table,
+                              const std::string& domain) {
+  table_domain_[table] = domain;
+  table_order_.push_back(table);
+}
+
+void GroundTruth::RecordColumn(const std::string& table, size_t c,
+                               const std::string& base_key) {
+  column_base_[ColKey(table, c)] = base_key;
+}
+
+// ------------------------------------------------------------ Generator
+
+namespace {
+
+/// Header synonym pools keyed by base column name; the first entry is the
+/// canonical header. Scrambled "attr_N" names are generated separately.
+const std::unordered_map<std::string, std::vector<std::string>>&
+HeaderSynonyms() {
+  static const auto& kMap = *new std::unordered_map<
+      std::string, std::vector<std::string>>{
+      {"City", {"City", "city", "Municipality", "Town", "city_name", "CITY"}},
+      {"Country",
+       {"Country", "country", "Nation", "country_name", "COUNTRY", "Ctry"}},
+      {"Continent", {"Continent", "continent", "Region"}},
+      {"VaccinationRate",
+       {"VaccinationRate", "Vaccination Rate (1+ dose)", "vax_rate",
+        "PctVaccinated", "vaccination_rate"}},
+      {"TotalCases",
+       {"TotalCases", "Total Cases", "cases", "case_count", "TOTAL_CASES"}},
+      {"DeathRate",
+       {"DeathRate", "Death Rate (per 100k residents)", "deaths_per_100k",
+        "death_rate"}},
+      {"Vaccine", {"Vaccine", "vaccine", "VaccineName", "vaccine_name"}},
+      {"Approver", {"Approver", "approver", "Agency", "RegulatoryBody"}},
+      {"EfficacyPct", {"EfficacyPct", "Efficacy", "efficacy_pct"}},
+      {"DosesRequired", {"DosesRequired", "Doses", "doses_required"}},
+      {"Population", {"Population", "population", "Pop", "POPULATION"}},
+      {"IsCapital", {"IsCapital", "capital", "is_capital"}},
+      {"Currency", {"Currency", "currency", "CurrencyName"}},
+      {"Language", {"Language", "language", "OfficialLanguage"}},
+      {"GDP", {"GDP", "gdp", "GDP (billion USD)", "gdp_busd"}},
+      {"Company", {"Company", "company", "CompanyName", "Employer", "firm"}},
+      {"Sector", {"Sector", "sector", "Industry"}},
+      {"Revenue", {"Revenue", "revenue", "Revenue (M USD)", "rev_musd"}},
+      {"Employees", {"Employees", "employees", "Headcount", "staff_count"}},
+      {"FoundedYear", {"FoundedYear", "Founded", "founded_year", "Est."}},
+      {"University",
+       {"University", "university", "Institution", "School", "uni_name"}},
+      {"Students", {"Students", "students", "Enrollment"}},
+      {"WorldRank", {"WorldRank", "Rank", "world_rank"}},
+      {"Airline", {"Airline", "airline", "Carrier", "carrier_name"}},
+      {"Origin", {"Origin", "origin", "From", "departure_airport"}},
+      {"Destination", {"Destination", "destination", "To", "arrival_airport"}},
+      {"DistanceKm", {"DistanceKm", "Distance", "distance_km"}},
+      {"DurationMin", {"DurationMin", "Duration", "duration_min"}},
+      {"Price", {"Price", "price", "Fare", "fare_usd"}},
+      {"Club", {"Club", "club", "Team", "team_name"}},
+      {"League", {"League", "league", "Competition"}},
+      {"Points", {"Points", "points", "Pts"}},
+      {"Wins", {"Wins", "wins", "W"}},
+      {"GoalsFor", {"GoalsFor", "Goals", "goals_for", "GF"}},
+      {"FirstName", {"FirstName", "first_name", "GivenName", "First"}},
+      {"LastName", {"LastName", "last_name", "Surname", "Last"}},
+      {"Occupation", {"Occupation", "occupation", "JobTitle", "Role"}},
+      {"Salary", {"Salary", "salary", "AnnualSalary", "salary_usd"}},
+      {"Disease", {"Disease", "disease", "Illness", "Pathogen"}},
+      {"Year", {"Year", "year", "ReportYear"}},
+      {"Cases", {"Cases", "cases", "CaseCount", "reported_cases"}},
+      {"Deaths", {"Deaths", "deaths", "Fatalities", "death_count"}},
+      {"AirportCode", {"AirportCode", "IATA", "airport_code"}},
+      {"Title", {"Title", "title", "MovieTitle", "film_name", "Film"}},
+      {"Director", {"Director", "director", "DirectedBy", "filmmaker"}},
+      {"Genre", {"Genre", "genre", "Category"}},
+      {"Rating", {"Rating", "rating", "Score", "imdb_rating"}},
+  };
+  return kMap;
+}
+
+Value Str(const std::string& s) { return Value::String(s); }
+
+}  // namespace
+
+SyntheticLakeGenerator::SyntheticLakeGenerator(LakeGeneratorParams params)
+    : params_(std::move(params)) {}
+
+std::vector<std::string> SyntheticLakeGenerator::AvailableDomains() {
+  return {"covid_city_stats", "vaccine_approvals", "world_cities",
+          "country_facts",    "companies",         "universities",
+          "flights",          "football_clubs",    "employees",
+          "disease_outbreaks", "movies"};
+}
+
+Table SyntheticLakeGenerator::MakeBaseTable(const std::string& domain) const {
+  const World& w = World::BuiltIn();
+  // Base tables are deterministic per generator seed (independent of
+  // fragment sampling): each domain gets its own derived stream.
+  Rng rng(Mix64(params_.seed ^ HashString(domain)));
+
+  Table t(domain);
+  if (domain == "covid_city_stats") {
+    t = Table(domain, Schema::FromNames({"City", "Country", "VaccinationRate",
+                                         "TotalCases", "DeathRate"}));
+    for (const CityInfo& c : w.cities()) {
+      (void)t.AddRow({Str(c.name), Str(c.country),
+                      Value::Int(rng.NextInt(35, 95)),
+                      Value::Int(rng.NextInt(10000, 3000000)),
+                      Value::Int(rng.NextInt(40, 400))});
+    }
+  } else if (domain == "vaccine_approvals") {
+    t = Table(domain, Schema::FromNames({"Vaccine", "Country", "Approver",
+                                         "EfficacyPct", "DosesRequired"}));
+    for (const VaccineInfo& v : w.vaccines()) {
+      (void)t.AddRow({Str(v.name), Str(v.country), Str(v.approver),
+                      Value::Int(rng.NextInt(50, 96)),
+                      Value::Int(rng.NextInt(1, 3))});
+      if (!v.alias.empty()) {
+        (void)t.AddRow({Str(v.alias), Str(v.country), Str(v.approver),
+                        Value::Int(rng.NextInt(50, 96)),
+                        Value::Int(rng.NextInt(1, 3))});
+      }
+    }
+  } else if (domain == "world_cities") {
+    t = Table(domain, Schema::FromNames({"City", "Country", "Continent",
+                                         "Population", "IsCapital"}));
+    std::unordered_map<std::string, const CountryInfo*> countries;
+    for (const CountryInfo& c : w.countries()) countries[c.name] = &c;
+    for (const CityInfo& c : w.cities()) {
+      const CountryInfo* ci = countries.at(c.country);
+      (void)t.AddRow({Str(c.name), Str(c.country), Str(ci->continent),
+                      Value::Int(rng.NextInt(100000, 20000000)),
+                      Str(c.is_capital ? "yes" : "no")});
+    }
+  } else if (domain == "country_facts") {
+    t = Table(domain, Schema::FromNames(
+                          {"Country", "Continent", "Currency", "Language",
+                           "GDP"}));
+    for (const CountryInfo& c : w.countries()) {
+      (void)t.AddRow({Str(c.name), Str(c.continent), Str(c.currency),
+                      Str(c.language), Value::Int(rng.NextInt(20, 22000))});
+    }
+  } else if (domain == "companies") {
+    t = Table(domain, Schema::FromNames({"Company", "Sector", "Country",
+                                         "Revenue", "Employees",
+                                         "FoundedYear"}));
+    for (const CompanyInfo& c : w.companies()) {
+      (void)t.AddRow({Str(c.name), Str(c.sector), Str(c.country),
+                      Value::Int(rng.NextInt(50, 90000)),
+                      Value::Int(rng.NextInt(100, 250000)),
+                      Value::Int(rng.NextInt(1900, 2020))});
+    }
+  } else if (domain == "universities") {
+    t = Table(domain, Schema::FromNames({"University", "City", "Students",
+                                         "FoundedYear", "WorldRank"}));
+    std::vector<size_t> ranks(w.universities().size());
+    for (size_t i = 0; i < ranks.size(); ++i) ranks[i] = i + 1;
+    rng.Shuffle(&ranks);
+    size_t i = 0;
+    for (const UniversityInfo& u : w.universities()) {
+      (void)t.AddRow({Str(u.name), Str(u.city),
+                      Value::Int(rng.NextInt(3000, 70000)),
+                      Value::Int(rng.NextInt(1100, 1990)),
+                      Value::Int(static_cast<int64_t>(ranks[i++]))});
+    }
+  } else if (domain == "flights") {
+    t = Table(domain, Schema::FromNames({"Airline", "Origin", "Destination",
+                                         "DistanceKm", "DurationMin",
+                                         "Price"}));
+    const auto& airports = w.airports();
+    const auto& airlines = w.airlines();
+    for (int i = 0; i < 180; ++i) {
+      size_t a = static_cast<size_t>(rng.NextBounded(airports.size()));
+      size_t b = static_cast<size_t>(rng.NextBounded(airports.size()));
+      if (a == b) b = (b + 1) % airports.size();
+      int64_t dist = rng.NextInt(300, 12000);
+      (void)t.AddRow(
+          {Str(airlines[rng.NextBounded(airlines.size())].name),
+           Str(airports[a].code), Str(airports[b].code), Value::Int(dist),
+           Value::Int(dist / 12 + rng.NextInt(20, 90)),
+           Value::Int(rng.NextInt(60, 2200))});
+    }
+  } else if (domain == "football_clubs") {
+    t = Table(domain, Schema::FromNames({"Club", "League", "Country", "Points",
+                                         "Wins", "GoalsFor"}));
+    for (const ClubInfo& c : w.clubs()) {
+      int64_t wins = rng.NextInt(8, 30);
+      (void)t.AddRow({Str(c.name), Str(c.league), Str(c.country),
+                      Value::Int(wins * 3 + rng.NextInt(0, 12)),
+                      Value::Int(wins), Value::Int(rng.NextInt(25, 110))});
+    }
+  } else if (domain == "employees") {
+    t = Table(domain, Schema::FromNames({"FirstName", "LastName", "Occupation",
+                                         "Company", "City", "Salary"}));
+    const auto& cities = w.cities();
+    const auto& companies = w.companies();
+    for (int i = 0; i < 200; ++i) {
+      (void)t.AddRow(
+          {Str(w.first_names()[rng.NextBounded(w.first_names().size())]),
+           Str(w.last_names()[rng.NextBounded(w.last_names().size())]),
+           Str(w.occupations()[rng.NextBounded(w.occupations().size())]),
+           Str(companies[rng.NextBounded(companies.size())].name),
+           Str(cities[rng.NextBounded(cities.size())].name),
+           Value::Int(rng.NextInt(28000, 240000))});
+    }
+  } else if (domain == "movies") {
+    t = Table(domain, Schema::FromNames({"Title", "Director", "Year", "Genre",
+                                         "Country", "Rating"}));
+    for (const MovieInfo& m : w.movies()) {
+      (void)t.AddRow({Str(m.title), Str(m.director), Value::Int(m.year),
+                      Str(m.genre), Str(m.country),
+                      Value::Double(
+                          static_cast<double>(rng.NextInt(40, 95)) / 10.0)});
+    }
+  } else if (domain == "disease_outbreaks") {
+    t = Table(domain, Schema::FromNames({"Disease", "Country", "Year", "Cases",
+                                         "Deaths"}));
+    const auto& countries = w.countries();
+    for (const std::string& d : w.diseases()) {
+      for (int k = 0; k < 10; ++k) {
+        int64_t cases = rng.NextInt(100, 4000000);
+        (void)t.AddRow(
+            {Str(d), Str(countries[rng.NextBounded(countries.size())].name),
+             Value::Int(rng.NextInt(1990, 2023)), Value::Int(cases),
+             Value::Int(cases / rng.NextInt(20, 400))});
+      }
+    }
+  }
+  t.RefreshColumnTypes();
+  return t;
+}
+
+SyntheticLakeGenerator::Output SyntheticLakeGenerator::Generate() const {
+  Output out;
+  Rng rng(params_.seed);
+  std::vector<std::string> domains =
+      params_.domains.empty() ? AvailableDomains() : params_.domains;
+
+  for (const std::string& domain : domains) {
+    Table base = MakeBaseTable(domain);
+    if (base.num_rows() == 0) continue;
+    const size_t ncols = base.num_columns();
+    for (size_t f = 0; f < params_.fragments_per_domain; ++f) {
+      // --- choose a column subset (>= min_columns, random order kept
+      // canonical so alignment isn't trivially positional: shuffle!)
+      size_t lo = std::min(params_.min_columns, ncols);
+      size_t keep = static_cast<size_t>(rng.NextInt(
+          static_cast<int64_t>(lo), static_cast<int64_t>(ncols)));
+      std::vector<size_t> cols = rng.SampleIndices(ncols, keep);
+
+      // --- choose a row subset
+      size_t max_rows = std::min(params_.max_rows, base.num_rows());
+      size_t min_rows = std::min(params_.min_rows, max_rows);
+      size_t nrows = static_cast<size_t>(
+          rng.NextInt(static_cast<int64_t>(min_rows),
+                      static_cast<int64_t>(max_rows)));
+      std::vector<size_t> rows = rng.SampleIndices(base.num_rows(), nrows);
+
+      // --- build the fragment
+      std::string name =
+          params_.neutral_names
+              ? "table_" + std::to_string(out.lake.size())
+              : domain + "_frag" + std::to_string(f);
+      std::vector<ColumnDef> defs;
+      for (size_t c : cols) {
+        ColumnDef def = base.schema().column(c);
+        if (rng.NextBool(params_.header_noise)) {
+          auto syn = HeaderSynonyms().find(def.name);
+          if (syn != HeaderSynonyms().end() && rng.NextBool(0.8)) {
+            def.name = syn->second[rng.NextBounded(syn->second.size())];
+          } else {
+            def.name = "attr_" + std::to_string(rng.NextBounded(10000));
+          }
+        }
+        defs.push_back(std::move(def));
+      }
+      Table frag(name, Schema(std::move(defs)));
+      for (size_t r : rows) {
+        Row row;
+        row.reserve(cols.size());
+        for (size_t c : cols) {
+          if (rng.NextBool(params_.null_rate)) {
+            row.push_back(Value::Null(NullKind::kMissing));
+          } else {
+            row.push_back(base.at(r, c));
+          }
+        }
+        (void)frag.AddRow(std::move(row));
+      }
+      frag.RefreshColumnTypes();
+
+      // --- record ground truth
+      out.truth.RecordTable(name, domain);
+      for (size_t i = 0; i < cols.size(); ++i) {
+        // Keyed by canonical base-column name (not domain-qualified):
+        // columns drawing from the same World pool — City, Country, ... —
+        // are the same concept across domains, which is exactly what
+        // joinability and alignment ground truth should reflect.
+        out.truth.RecordColumn(name, i, base.schema().column(cols[i]).name);
+      }
+      Status st = out.lake.AddTable(std::move(frag));
+      (void)st;  // names are unique by construction
+    }
+  }
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,116 @@
+#include "lake/paper_fixtures.h"
+
+#include "lake/lake_generator.h"
+
+namespace dialite {
+namespace paper {
+
+namespace {
+Value S(const char* s) { return Value::String(s); }
+Value N() { return Value::Null(NullKind::kMissing); }
+Value P() { return Value::ProducedNull(); }
+Value I(int64_t i) { return Value::Int(i); }
+}  // namespace
+
+Table MakeT1() {
+  Table t("T1", Schema::FromNames(
+                    {"Country", "City", "Vaccination Rate (1+ dose)"}));
+  (void)t.AddRow({S("Germany"), S("Berlin"), S("63%")});
+  (void)t.AddRow({S("England"), S("Manchester"), S("78%")});
+  (void)t.AddRow({S("Spain"), S("Barcelona"), S("82%")});
+  t.StampProvenance("t", 1);
+  return t;
+}
+
+Table MakeT2() {
+  Table t("T2", Schema::FromNames(
+                    {"Country", "City", "Vaccination Rate (1+ dose)"}));
+  (void)t.AddRow({S("Canada"), S("Toronto"), S("83%")});
+  (void)t.AddRow({S("Mexico"), S("Mexico City"), N()});
+  (void)t.AddRow({S("USA"), S("Boston"), S("62%")});
+  t.StampProvenance("t", 4);
+  return t;
+}
+
+Table MakeT3() {
+  Table t("T3", Schema::FromNames(
+                    {"City", "Total Cases", "Death Rate (per 100k residents)"}));
+  (void)t.AddRow({S("Berlin"), S("1.4M"), I(147)});
+  (void)t.AddRow({S("Barcelona"), S("2.68M"), I(275)});
+  (void)t.AddRow({S("Boston"), S("263k"), I(335)});
+  (void)t.AddRow({S("New Delhi"), S("2M"), I(158)});
+  t.StampProvenance("t", 7);
+  return t;
+}
+
+Table MakeT4() {
+  Table t("T4", Schema::FromNames({"Vaccine", "Approver"}));
+  (void)t.AddRow({S("Pfizer"), S("FDA")});
+  (void)t.AddRow({S("JnJ"), N()});
+  t.StampProvenance("t", 11);
+  return t;
+}
+
+Table MakeT5() {
+  Table t("T5", Schema::FromNames({"Country", "Approver"}));
+  (void)t.AddRow({S("United States"), S("FDA")});
+  (void)t.AddRow({S("USA"), N()});
+  t.StampProvenance("t", 13);
+  return t;
+}
+
+Table MakeT6() {
+  Table t("T6", Schema::FromNames({"Vaccine", "Country"}));
+  (void)t.AddRow({S("J&J"), S("United States")});
+  (void)t.AddRow({S("JnJ"), S("USA")});
+  t.StampProvenance("t", 15);
+  return t;
+}
+
+Table MakeFig3Expected() {
+  Table t("FD(T1,T2,T3)",
+          Schema::FromNames({"Country", "City", "Vaccination Rate (1+ dose)",
+                             "Total Cases", "Death Rate (per 100k residents)"}));
+  (void)t.AddRow({S("Germany"), S("Berlin"), S("63%"), S("1.4M"), I(147)},
+                 {"t1", "t7"});
+  (void)t.AddRow({S("England"), S("Manchester"), S("78%"), P(), P()}, {"t2"});
+  (void)t.AddRow({S("Spain"), S("Barcelona"), S("82%"), S("2.68M"), I(275)},
+                 {"t3", "t8"});
+  (void)t.AddRow({S("Canada"), S("Toronto"), S("83%"), P(), P()}, {"t4"});
+  (void)t.AddRow({S("Mexico"), S("Mexico City"), N(), P(), P()}, {"t5"});
+  (void)t.AddRow({S("USA"), S("Boston"), S("62%"), S("263k"), I(335)},
+                 {"t6", "t9"});
+  (void)t.AddRow({P(), S("New Delhi"), P(), S("2M"), I(158)}, {"t10"});
+  return t;
+}
+
+DataLake MakeDemoLake(size_t num_distractors, uint64_t seed) {
+  DataLake lake;
+  (void)lake.AddTable(MakeT2());
+  (void)lake.AddTable(MakeT3());
+  (void)lake.AddTable(MakeT4());
+  (void)lake.AddTable(MakeT5());
+  (void)lake.AddTable(MakeT6());
+  if (num_distractors > 0) {
+    // Distractor domains deliberately avoid City+Country pairs so the
+    // paper's unionable match stays unambiguous.
+    LakeGeneratorParams params;
+    params.domains = {"companies", "football_clubs", "disease_outbreaks",
+                      "flights"};
+    params.fragments_per_domain =
+        (num_distractors + params.domains.size() - 1) / params.domains.size();
+    params.seed = seed;
+    SyntheticLakeGenerator gen(params);
+    SyntheticLakeGenerator::Output out = gen.Generate();
+    size_t added = 0;
+    for (const Table* t : out.lake.tables()) {
+      if (added >= num_distractors) break;
+      (void)lake.AddTable(*t);
+      ++added;
+    }
+  }
+  return lake;
+}
+
+}  // namespace paper
+}  // namespace dialite

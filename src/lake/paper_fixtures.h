@@ -1,0 +1,49 @@
+#ifndef DIALITE_LAKE_PAPER_FIXTURES_H_
+#define DIALITE_LAKE_PAPER_FIXTURES_H_
+
+#include "lake/data_lake.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// The literal tables from the DIALITE paper's figures, used by the
+/// figure-reproduction benches, examples, and integration tests.
+///
+/// Fig. 2 — COVID-19 city statistics:
+///   T1 (query): Country, City, Vaccination Rate (1+ dose)      — t1..t3
+///   T2 (unionable): same schema, other cities                  — t4..t6
+///   T3 (joinable): City, Total Cases, Death Rate (per 100k)    — t7..t10
+///
+/// Fig. 7 — COVID-19 vaccines:
+///   T4: Vaccine, Approver          — t11..t12
+///   T5: Country, Approver          — t13..t14
+///   T6: Vaccine, Country           — t15..t16
+///
+/// Provenance is stamped with the paper's tuple ids (t1, t2, ...). The "±"
+/// cells of the figures are missing nulls.
+namespace paper {
+
+/// T1 — the query table of Example 1.
+Table MakeT1();
+/// T2 — the unionable table SANTOS retrieves in Example 1.
+Table MakeT2();
+/// T3 — the joinable table LSH Ensemble retrieves in Example 1.
+Table MakeT3();
+/// T4, T5, T6 — the vaccine integration set of Example 5.
+Table MakeT4();
+Table MakeT5();
+Table MakeT6();
+
+/// The expected ALITE output FD(T1,T2,T3) of Fig. 3 (7 tuples f1..f7,
+/// produced nulls as ⊥), over columns
+/// (Country, City, Vaccination Rate, Total Cases, Death Rate).
+Table MakeFig3Expected();
+
+/// A small lake containing T2, T3 (and T4..T6) plus `num_distractors`
+/// synthetic distractor tables, for the discovery demonstration.
+DataLake MakeDemoLake(size_t num_distractors = 20, uint64_t seed = 42);
+
+}  // namespace paper
+}  // namespace dialite
+
+#endif  // DIALITE_LAKE_PAPER_FIXTURES_H_

@@ -1,0 +1,68 @@
+#include "sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dialite {
+
+HyperLogLog::HyperLogLog(uint8_t precision, uint64_t seed)
+    : precision_(std::clamp<uint8_t>(precision, 4, 18)),
+      seed_(seed),
+      registers_(size_t{1} << precision_, 0) {}
+
+void HyperLogLog::Add(std::string_view item) {
+  AddHash(HashString(item, seed_));
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t idx = hash >> (64 - precision_);
+  // Rank = position of the leftmost 1 in the remaining bits (1-based).
+  uint64_t rest = hash << precision_;
+  uint8_t rank = rest == 0
+                     ? static_cast<uint8_t>(64 - precision_ + 1)
+                     : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double raw = alpha * m * m / sum;
+  // Small-range correction: linear counting.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  // Large-range correction (64-bit hashes make it mostly moot).
+  constexpr double kTwoTo64 = 1.8446744073709552e19;
+  if (raw > kTwoTo64 / 30.0) {
+    return -kTwoTo64 * std::log(1.0 - raw / kTwoTo64);
+  }
+  return raw;
+}
+
+bool HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_ || other.seed_ != seed_) return false;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return true;
+}
+
+}  // namespace dialite

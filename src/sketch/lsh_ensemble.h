@@ -1,0 +1,87 @@
+#ifndef DIALITE_SKETCH_LSH_ENSEMBLE_H_
+#define DIALITE_SKETCH_LSH_ENSEMBLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sketch/lsh_index.h"
+#include "sketch/minhash.h"
+
+namespace dialite {
+
+/// LSH Ensemble (Zhu et al., VLDB 2016): internet-scale *containment* search.
+///
+/// Joinability search asks for indexed sets X with containment
+/// |Q ∩ X| / |Q| >= t. Jaccard-based LSH alone handles this badly because
+/// the containment→Jaccard conversion depends on |X|. The ensemble fixes
+/// this by partitioning indexed sets by cardinality (equi-depth); within a
+/// partition the upper size bound u makes the conversion
+///     j(t) = t·|Q| / (|Q| + u − t·|Q|)
+/// tight, and each partition tunes its own banding (b, r) to the converted
+/// threshold at query time.
+///
+/// Usage: Add() every domain, Build(), then Query().
+class LshEnsemble {
+ public:
+  struct Params {
+    size_t num_perm = 128;     ///< MinHash signature length.
+    size_t num_partitions = 8; ///< Equi-depth size partitions.
+    uint64_t seed = 7;
+  };
+
+  LshEnsemble() : LshEnsemble(Params()) {}
+  explicit LshEnsemble(Params params);
+
+  /// Registers a domain (a column's distinct-token set) under `id`.
+  /// All Add() calls must precede Build().
+  Status Add(uint64_t id, const std::vector<std::string>& tokens);
+
+  /// Partitions by size and builds per-partition band tables.
+  Status Build();
+
+  /// Ids of indexed domains whose estimated containment of `query_tokens`
+  /// meets `containment_threshold` (in [0,1]). Candidates are post-filtered
+  /// by MinHash containment estimate to trim band-collision noise; exact
+  /// verification is the caller's job (the discovery layer has the data).
+  std::vector<uint64_t> Query(const std::vector<std::string>& query_tokens,
+                              double containment_threshold) const;
+
+  size_t size() const { return entries_.size(); }
+  bool built() const { return built_; }
+
+  /// Exposed for testing: the Jaccard threshold a containment threshold
+  /// translates to inside a partition with upper size bound u.
+  static double ContainmentToJaccard(double containment, size_t query_size,
+                                     size_t upper_bound);
+
+ private:
+  struct Entry {
+    uint64_t id;
+    size_t set_size;
+    MinHash mh;
+  };
+  struct Partition {
+    size_t lower = 0;  ///< min set size in partition
+    size_t upper = 0;  ///< max set size in partition
+    std::vector<size_t> entry_indices;
+    /// Band tables for each candidate r (bands = num_perm / r):
+    /// r -> band -> key -> entry indices.
+    std::unordered_map<size_t,
+                       std::vector<std::unordered_map<uint64_t, std::vector<size_t>>>>
+        tables;
+  };
+
+  static const std::vector<size_t>& CandidateRows();
+
+  Params params_;
+  std::vector<Entry> entries_;
+  std::vector<Partition> partitions_;
+  bool built_ = false;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SKETCH_LSH_ENSEMBLE_H_

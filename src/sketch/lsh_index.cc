@@ -1,0 +1,75 @@
+#include "sketch/lsh_index.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dialite {
+
+LshIndex::LshIndex(size_t bands, size_t rows)
+    : bands_(bands), rows_(rows), tables_(bands) {}
+
+Status LshIndex::Insert(uint64_t id, const MinHash& mh) {
+  if (bands_ * rows_ > mh.num_perm()) {
+    return Status::InvalidArgument("signature too short for bands*rows");
+  }
+  for (size_t b = 0; b < bands_; ++b) {
+    uint64_t key = mh.BandHash(b * rows_, (b + 1) * rows_);
+    tables_[b][key].push_back(id);
+  }
+  ++count_;
+  return Status::OK();
+}
+
+std::vector<uint64_t> LshIndex::Query(const MinHash& mh) const {
+  std::unordered_set<uint64_t> out;
+  for (size_t b = 0; b < bands_; ++b) {
+    uint64_t key = mh.BandHash(b * rows_, (b + 1) * rows_);
+    auto it = tables_[b].find(key);
+    if (it == tables_[b].end()) continue;
+    out.insert(it->second.begin(), it->second.end());
+  }
+  return std::vector<uint64_t>(out.begin(), out.end());
+}
+
+double LshIndex::CollisionProbability(double s, size_t bands, size_t rows) {
+  return 1.0 -
+         std::pow(1.0 - std::pow(s, static_cast<double>(rows)),
+                  static_cast<double>(bands));
+}
+
+void LshIndex::OptimalParams(double threshold, size_t num_perm, size_t* bands,
+                             size_t* rows) {
+  // Numerically integrate FP below and FN above the threshold for every
+  // (b, r) with b*r <= num_perm; pick the minimizer (equal weights).
+  constexpr int kSteps = 100;
+  double best_error = 1e18;
+  size_t best_b = 1;
+  size_t best_r = 1;
+  for (size_t r = 1; r <= num_perm; ++r) {
+    size_t max_b = num_perm / r;
+    for (size_t b = 1; b <= max_b; ++b) {
+      double fp = 0.0;
+      for (int i = 0; i < kSteps; ++i) {
+        double s = threshold * (i + 0.5) / kSteps;
+        fp += CollisionProbability(s, b, r);
+      }
+      fp *= threshold / kSteps;
+      double fn = 0.0;
+      for (int i = 0; i < kSteps; ++i) {
+        double s = threshold + (1.0 - threshold) * (i + 0.5) / kSteps;
+        fn += 1.0 - CollisionProbability(s, b, r);
+      }
+      fn *= (1.0 - threshold) / kSteps;
+      double err = fp + fn;
+      if (err < best_error) {
+        best_error = err;
+        best_b = b;
+        best_r = r;
+      }
+    }
+  }
+  *bands = best_b;
+  *rows = best_r;
+}
+
+}  // namespace dialite

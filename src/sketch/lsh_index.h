@@ -1,0 +1,51 @@
+#ifndef DIALITE_SKETCH_LSH_INDEX_H_
+#define DIALITE_SKETCH_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sketch/minhash.h"
+
+namespace dialite {
+
+/// Classic banded MinHash LSH: the signature is cut into b bands of r rows;
+/// two sets collide if any band matches exactly. The probability a pair with
+/// Jaccard s collides is 1 - (1 - s^r)^b (the "S-curve").
+class LshIndex {
+ public:
+  /// `bands * rows` must not exceed the signatures' num_perm.
+  LshIndex(size_t bands, size_t rows);
+
+  size_t bands() const { return bands_; }
+  size_t rows() const { return rows_; }
+  size_t size() const { return count_; }
+
+  /// Indexes a signature under the caller's id.
+  Status Insert(uint64_t id, const MinHash& mh);
+
+  /// All ids sharing at least one band with the query (deduplicated,
+  /// unordered).
+  std::vector<uint64_t> Query(const MinHash& mh) const;
+
+  /// Collision probability of a pair with Jaccard `s` under (b, r).
+  static double CollisionProbability(double s, size_t bands, size_t rows);
+
+  /// Picks (bands, rows) with bands*rows <= num_perm minimizing the sum of
+  /// false-positive and false-negative areas around `threshold` (the
+  /// datasketch tuning rule).
+  static void OptimalParams(double threshold, size_t num_perm, size_t* bands,
+                            size_t* rows);
+
+ private:
+  size_t bands_;
+  size_t rows_;
+  size_t count_ = 0;
+  /// One hash table per band: band key -> ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> tables_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SKETCH_LSH_INDEX_H_

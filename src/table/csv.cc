@@ -1,0 +1,217 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dialite {
+
+namespace {
+
+/// Cell texts commonly used for "no value" in open data exports.
+bool IsNaString(std::string_view s) {
+  static constexpr std::string_view kNa[] = {
+      "na", "n/a", "nan", "null", "none", "-", "±", "⊥",
+  };
+  for (std::string_view n : kNa) {
+    if (EqualsIgnoreCase(s, n)) return true;
+  }
+  return false;
+}
+
+/// Splits CSV text into records of raw fields, honoring quotes.
+std::vector<std::vector<std::string>> SplitRecords(std::string_view text,
+                                                   char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // Skip records that are entirely empty (blank lines).
+    bool all_empty = true;
+    for (const std::string& f : fields) {
+      if (!f.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (!(fields.size() == 1 && all_empty)) records.push_back(std::move(fields));
+    fields.clear();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\n') {
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (!field.empty() || !fields.empty()) {
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    end_record();
+  }
+  return records;
+}
+
+std::string EscapeField(const std::string& s, char delim) {
+  bool needs_quotes = s.find(delim) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos ||
+                      s.find('\r') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Value InferValue(std::string_view raw, const CsvOptions& options) {
+  std::string_view s = TrimView(raw);
+  if (s.empty()) return Value::Null(NullKind::kMissing);
+  if (options.treat_na_strings_as_null && IsNaString(s)) {
+    return Value::Null(NullKind::kMissing);
+  }
+  if (!options.infer_types) return Value::String(std::string(s));
+
+  // Integer?
+  {
+    std::string buf(s);
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (errno == 0 && end != buf.c_str() && *end == '\0') {
+      return Value::Int(static_cast<int64_t>(v));
+    }
+  }
+  // Double?
+  {
+    std::string buf(s);
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno == 0 && end != buf.c_str() && *end == '\0') {
+      return Value::Double(v);
+    }
+  }
+  return Value::String(std::string(s));
+}
+
+Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
+                               const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records =
+      SplitRecords(text, options.delimiter);
+  if (records.empty()) {
+    return Table(std::move(table_name));
+  }
+  size_t width = 0;
+  for (const auto& rec : records) width = std::max(width, rec.size());
+
+  Schema schema;
+  size_t first_data = 0;
+  if (options.has_header) {
+    std::vector<std::string> names = records[0];
+    names.resize(width);
+    for (std::string& n : names) n = Trim(n);
+    schema = Schema::FromNames(names);
+    first_data = 1;
+  } else {
+    std::vector<std::string> names;
+    for (size_t i = 0; i < width; ++i) names.push_back("col" + std::to_string(i));
+    schema = Schema::FromNames(names);
+  }
+
+  Table table(std::move(table_name), std::move(schema));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      if (c < records[r].size()) {
+        row.push_back(InferValue(records[r][c], options));
+      } else {
+        row.push_back(Value::Null(NullKind::kMissing));
+      }
+    }
+    DIALITE_RETURN_NOT_OK(table.AddRow(std::move(row)));
+  }
+  if (options.infer_types) table.RefreshColumnTypes();
+  return table;
+}
+
+Result<Table> CsvReader::ReadFile(const std::string& path,
+                                  const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  // Derive table name from basename without extension.
+  std::string name = path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (EndsWith(name, ".csv")) name = name.substr(0, name.size() - 4);
+  return Parse(ss.str(), std::move(name), options);
+}
+
+std::string CsvWriter::ToString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += EscapeField(table.schema().column(c).name, options.delimiter);
+    }
+    out += '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += EscapeField(table.at(r, c).ToCsvString(), options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const Table& table, const std::string& path,
+                            const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToString(table, options);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace dialite

@@ -1,0 +1,56 @@
+#ifndef DIALITE_TABLE_CSV_H_
+#define DIALITE_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// RFC-4180-style CSV parsing/serialization with the conventions open-data
+/// portals actually use: quoted fields with embedded commas/quotes/newlines,
+/// CRLF or LF line endings, and empty fields meaning *missing* nulls.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First record is a header row naming the columns.
+  bool has_header = true;
+  /// Run type inference after parsing (int → double → string).
+  bool infer_types = true;
+  /// Cell texts (post-trim) treated as missing nulls, besides "".
+  /// The paper's figures use "±" for input nulls.
+  bool treat_na_strings_as_null = true;
+};
+
+class CsvReader {
+ public:
+  /// Parses CSV text into a table named `table_name`.
+  static Result<Table> Parse(std::string_view text, std::string table_name,
+                             const CsvOptions& options = {});
+
+  /// Reads and parses a file; the table is named after the file's basename
+  /// (without .csv).
+  static Result<Table> ReadFile(const std::string& path,
+                                const CsvOptions& options = {});
+};
+
+class CsvWriter {
+ public:
+  /// Serializes the table (header + rows). Nulls of both kinds serialize as
+  /// empty fields.
+  static std::string ToString(const Table& table,
+                              const CsvOptions& options = {});
+
+  /// Writes the table to a file.
+  static Status WriteFile(const Table& table, const std::string& path,
+                          const CsvOptions& options = {});
+};
+
+/// Converts raw cell text to a typed Value: "" / NA-strings → missing null,
+/// integer-looking → Int, numeric-looking → Double, else String (trimmed).
+Value InferValue(std::string_view raw, const CsvOptions& options = {});
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_CSV_H_

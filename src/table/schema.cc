@@ -1,0 +1,55 @@
+#include "table/schema.h"
+
+namespace dialite {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  RebuildIndex();
+}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    cols.push_back(ColumnDef{n, ValueType::kString});
+  }
+  return Schema(std::move(cols));
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? npos : it->second;
+}
+
+size_t Schema::AddColumn(ColumnDef def) {
+  columns_.push_back(std::move(def));
+  size_t idx = columns_.size() - 1;
+  name_to_index_.emplace(columns_.back().name, idx);  // keeps first mapping
+  return idx;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const ColumnDef& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Schema::RebuildIndex() {
+  name_to_index_.clear();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    name_to_index_.emplace(columns_[i].name, i);  // first occurrence wins
+  }
+}
+
+}  // namespace dialite

@@ -1,0 +1,58 @@
+#ifndef DIALITE_TABLE_SCHEMA_H_
+#define DIALITE_TABLE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace dialite {
+
+/// One attribute of a table. Data-lake headers are unreliable, so `name` is
+/// advisory metadata only: discovery/alignment never require it to be
+/// meaningful, and it may be empty.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// An ordered list of columns with O(1) name lookup (first match wins when
+/// headers collide, which real lake tables do).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// Convenience: all-string schema from header names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  ColumnDef& column(size_t i) { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the first column with this exact name, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(const std::string& name) const;
+
+  /// Appends a column; returns its index.
+  size_t AddColumn(ColumnDef def);
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Structural equality (names and types, in order).
+  bool operator==(const Schema& other) const;
+
+ private:
+  void RebuildIndex();
+
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> name_to_index_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_SCHEMA_H_

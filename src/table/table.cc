@@ -1,0 +1,244 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace dialite {
+
+Status Table::AddRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(schema_.num_columns()));
+  }
+  rows_.push_back(std::move(row));
+  if (!provenance_.empty()) provenance_.emplace_back();
+  return Status::OK();
+}
+
+Status Table::AddRow(Row row, std::vector<std::string> provenance) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(schema_.num_columns()));
+  }
+  if (provenance_.size() < rows_.size()) provenance_.resize(rows_.size());
+  rows_.push_back(std::move(row));
+  provenance_.push_back(std::move(provenance));
+  return Status::OK();
+}
+
+size_t Table::AddColumn(ColumnDef def, const Value& fill) {
+  size_t idx = schema_.AddColumn(std::move(def));
+  for (Row& r : rows_) r.push_back(fill);
+  return idx;
+}
+
+void Table::StampProvenance(const std::string& prefix, size_t start) {
+  provenance_.assign(rows_.size(), {});
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    provenance_[i] = {prefix + std::to_string(start + i)};
+  }
+}
+
+std::vector<Value> Table::ColumnValues(size_t c) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[c]);
+  return out;
+}
+
+std::vector<Value> Table::DistinctColumnValues(size_t c) const {
+  std::vector<Value> out;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const Row& r : rows_) {
+    const Value& v = r[c];
+    if (v.is_null()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Table::ColumnTokenSet(size_t c) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Row& r : rows_) {
+    const Value& v = r[c];
+    if (v.is_null()) continue;
+    std::string tok = ToLowerAscii(Trim(v.ToCsvString()));
+    if (tok.empty()) continue;
+    if (seen.insert(tok).second) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+Table Table::ProjectColumns(const std::vector<size_t>& indices,
+                            std::string new_name) const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) cols.push_back(schema_.column(i));
+  Table out(std::move(new_name), Schema(std::move(cols)));
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    Row row;
+    row.reserve(indices.size());
+    for (size_t i : indices) row.push_back(rows_[r][i]);
+    if (has_provenance()) {
+      out.AddRow(std::move(row), provenance_[r]);
+    } else {
+      out.AddRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+double Table::NullFraction() const {
+  size_t cells = num_rows() * num_columns();
+  if (cells == 0) return 0.0;
+  size_t nulls = 0;
+  for (const Row& r : rows_) {
+    for (const Value& v : r) {
+      if (v.is_null()) ++nulls;
+    }
+  }
+  return static_cast<double>(nulls) / static_cast<double>(cells);
+}
+
+void Table::RefreshColumnTypes() {
+  for (size_t c = 0; c < num_columns(); ++c) {
+    ValueType t = ValueType::kNull;
+    for (const Row& r : rows_) {
+      const Value& v = r[c];
+      if (v.is_null()) continue;
+      ValueType vt = v.type();
+      if (t == ValueType::kNull) {
+        t = vt;
+      } else if (t != vt) {
+        // Int+double mix widens to double; anything else degrades to string.
+        bool numeric_mix = (t == ValueType::kInt && vt == ValueType::kDouble) ||
+                           (t == ValueType::kDouble && vt == ValueType::kInt);
+        t = numeric_mix ? ValueType::kDouble : ValueType::kString;
+        if (t == ValueType::kString) break;
+      }
+    }
+    schema_.column(c).type = t;
+  }
+}
+
+void Table::SortRowsLexicographic() {
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    const Row& ra = rows_[a];
+    const Row& rb = rows_[b];
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (ra[c] < rb[c]) return true;
+      if (rb[c] < ra[c]) return false;
+    }
+    return a < b;  // stable tiebreak
+  });
+  std::vector<Row> new_rows;
+  new_rows.reserve(rows_.size());
+  std::vector<std::vector<std::string>> new_prov;
+  if (has_provenance()) new_prov.reserve(rows_.size());
+  for (size_t i : order) {
+    new_rows.push_back(std::move(rows_[i]));
+    if (has_provenance()) new_prov.push_back(std::move(provenance_[i]));
+  }
+  rows_ = std::move(new_rows);
+  provenance_ = std::move(new_prov);
+}
+
+bool Table::SameRowsAs(const Table& other) const {
+  if (num_rows() != other.num_rows() || num_columns() != other.num_columns()) {
+    return false;
+  }
+  auto key = [](const Row& r) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    return h;
+  };
+  std::unordered_map<uint64_t, std::vector<const Row*>> buckets;
+  for (const Row& r : rows_) buckets[key(r)].push_back(&r);
+  for (const Row& r : other.rows_) {
+    auto it = buckets.find(key(r));
+    if (it == buckets.end()) return false;
+    bool matched = false;
+    std::vector<const Row*>& cands = it->second;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const Row& cand = *cands[i];
+      bool same = true;
+      for (size_t c = 0; c < r.size(); ++c) {
+        if (!cand[c].Identical(r[c])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        cands.erase(cands.begin() + static_cast<long>(i));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::string Table::ToPrettyString(size_t max_rows) const {
+  // Compute column widths over header + shown rows.
+  const bool prov = has_provenance();
+  std::vector<std::string> headers;
+  if (prov) headers.push_back("TIDs");
+  for (const ColumnDef& c : schema_.columns()) {
+    headers.push_back(c.name.empty() ? "(unnamed)" : c.name);
+  }
+  std::vector<std::vector<std::string>> cells;
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    if (prov) {
+      std::string p = "{";
+      for (size_t i = 0; i < provenance_[r].size(); ++i) {
+        if (i > 0) p += ", ";
+        p += provenance_[r][i];
+      }
+      p += "}";
+      line.push_back(std::move(p));
+    }
+    for (const Value& v : rows_[r]) line.push_back(v.ToDisplayString());
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> widths(headers.size(), 0);
+  for (size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      widths[i] = std::max(widths[i], line[i].size());
+    }
+  }
+  std::ostringstream os;
+  os << "Table '" << name_ << "' (" << num_rows() << " rows x "
+     << num_columns() << " cols)\n";
+  auto emit_line = [&](const std::vector<std::string>& line) {
+    os << "| ";
+    for (size_t i = 0; i < line.size(); ++i) {
+      os << line[i] << std::string(widths[i] - std::min(widths[i], line[i].size()), ' ')
+         << " | ";
+    }
+    os << "\n";
+  };
+  emit_line(headers);
+  os << "|";
+  for (size_t w : widths) os << std::string(w + 2, '-') << "-|";
+  os << "\n";
+  for (const auto& line : cells) emit_line(line);
+  if (shown < rows_.size()) {
+    os << "... (" << (rows_.size() - shown) << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace dialite

@@ -1,0 +1,108 @@
+#ifndef DIALITE_TABLE_TABLE_H_
+#define DIALITE_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dialite {
+
+/// One row of cells. Rows always have exactly schema.num_columns() cells.
+using Row = std::vector<Value>;
+
+/// A named relation: schema + rows + optional per-row provenance.
+///
+/// Provenance carries the source-tuple labels the paper prints in its "TIDs"
+/// column (e.g. {t1, t7} for an integrated fact assembled from two source
+/// tuples). Input tables get singleton provenance assigned by the loader or
+/// by StampProvenance(); integration operators union the provenance of the
+/// tuples they merge.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  const Row& row(size_t r) const { return rows_[r]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Value& at(size_t r, size_t c) const { return rows_[r][c]; }
+  void set(size_t r, size_t c, Value v) { rows_[r][c] = std::move(v); }
+
+  /// Appends a row; it must match the schema width.
+  Status AddRow(Row row);
+  /// Appends a row together with its provenance labels.
+  Status AddRow(Row row, std::vector<std::string> provenance);
+
+  /// Appends a column filled with `fill` for existing rows; returns index.
+  size_t AddColumn(ColumnDef def, const Value& fill);
+
+  bool has_provenance() const { return !provenance_.empty(); }
+  const std::vector<std::string>& provenance(size_t r) const {
+    return provenance_[r];
+  }
+  const std::vector<std::vector<std::string>>& provenance() const {
+    return provenance_;
+  }
+
+  /// Gives every row the singleton provenance "<prefix><row-index+start>"
+  /// (e.g. prefix "t", start 1 → t1, t2, ...), matching the paper's TIDs.
+  void StampProvenance(const std::string& prefix, size_t start = 1);
+
+  /// All values in column `c`, in row order.
+  std::vector<Value> ColumnValues(size_t c) const;
+
+  /// Distinct non-null values in column `c` (insertion order).
+  std::vector<Value> DistinctColumnValues(size_t c) const;
+
+  /// Distinct non-null values lowercased-rendered as strings — the token set
+  /// used by joinability search and sketching.
+  std::vector<std::string> ColumnTokenSet(size_t c) const;
+
+  /// New table containing only the given column indices (provenance kept).
+  Table ProjectColumns(const std::vector<size_t>& indices,
+                       std::string new_name) const;
+
+  /// Fraction of cells that are null, in [0, 1]. 0 for an empty table.
+  double NullFraction() const;
+
+  /// Infers per-column types from current cell payloads (kNull if a column
+  /// is entirely null). Does not rewrite cells.
+  void RefreshColumnTypes();
+
+  /// Sorts rows by lexicographic Value order (provenance follows rows);
+  /// makes printed outputs deterministic.
+  void SortRowsLexicographic();
+
+  /// Row multiset equality with EqualsValue-style cell comparison except
+  /// nulls compare identical (physical table equality, order-insensitive).
+  bool SameRowsAs(const Table& other) const;
+
+  /// Pretty-prints schema + rows (display strings: ± / ⊥ for nulls) with an
+  /// optional leading TIDs provenance column, mirroring the paper's figures.
+  std::string ToPrettyString(size_t max_rows = 50) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::vector<std::string>> provenance_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_TABLE_H_

@@ -1,0 +1,139 @@
+#include "table/value.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dialite {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  if (is_null()) return ValueType::kNull;
+  if (is_int()) return ValueType::kInt;
+  if (is_double()) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+bool Value::AsNumeric(double* out) const {
+  if (is_int()) {
+    *out = static_cast<double>(as_int());
+    return true;
+  }
+  if (is_double()) {
+    *out = as_double();
+    return true;
+  }
+  if (is_string()) {
+    const std::string& s = as_string();
+    if (s.empty()) return false;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end == s.c_str()) return false;
+    // Accept trailing whitespace only.
+    if (!TrimView(std::string_view(end)).empty()) return false;
+    *out = v;
+    return true;
+  }
+  return false;
+}
+
+std::string Value::ToCsvString() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return FormatDouble(as_double());
+  return as_string();
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_missing_null()) return "±";
+  if (is_produced_null()) return "⊥";
+  return ToCsvString();
+}
+
+bool Value::EqualsValue(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return Identical(other);
+}
+
+bool Value::Identical(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (type() != other.type()) {
+    // int/double cross-compare numerically so 5 == 5.0 after inference drift.
+    if ((is_int() && other.is_double()) || (is_double() && other.is_int())) {
+      double a = is_int() ? static_cast<double>(as_int()) : as_double();
+      double b =
+          other.is_int() ? static_cast<double>(other.as_int()) : other.as_double();
+      return a == b;
+    }
+    return false;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt:
+      return as_int() == other.as_int();
+    case ValueType::kDouble:
+      return as_double() == other.as_double();
+    case ValueType::kString:
+      return as_string() == other.as_string();
+  }
+  return false;
+}
+
+uint64_t Value::Hash(uint64_t seed) const {
+  switch (type()) {
+    case ValueType::kNull:
+      return HashUint64(0x6e756c6cULL, seed);  // all nulls hash alike
+    case ValueType::kInt:
+      return HashUint64(static_cast<uint64_t>(as_int()) ^ 0x1a2b3c4dULL, seed);
+    case ValueType::kDouble: {
+      double d = as_double();
+      // Hash doubles that are exact integers like the integer, to stay
+      // consistent with Identical()'s numeric cross-compare.
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        return HashUint64(static_cast<uint64_t>(i) ^ 0x1a2b3c4dULL, seed);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashUint64(bits ^ 0x5e6f7a8bULL, seed);
+    }
+    case ValueType::kString:
+      return HashString(as_string(), seed ^ 0x9c8d7e6fULL);
+  }
+  return 0;
+}
+
+bool Value::operator<(const Value& other) const {
+  // Nulls first.
+  if (is_null() != other.is_null()) return is_null();
+  if (is_null()) return false;
+  const bool a_num = is_int() || is_double();
+  const bool b_num = other.is_int() || other.is_double();
+  if (a_num != b_num) return a_num;  // numbers before strings
+  if (a_num) {
+    double a = is_int() ? static_cast<double>(as_int()) : as_double();
+    double b =
+        other.is_int() ? static_cast<double>(other.as_int()) : other.as_double();
+    return a < b;
+  }
+  return as_string() < other.as_string();
+}
+
+}  // namespace dialite

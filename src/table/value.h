@@ -1,0 +1,130 @@
+#ifndef DIALITE_TABLE_VALUE_H_
+#define DIALITE_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace dialite {
+
+/// Cell types after inference. kNull means "no non-null value seen".
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// The paper distinguishes two kinds of nulls (Fig. 2 vs Fig. 3):
+///  - kMissing  (rendered "±"): a null present in an *input* table;
+///  - kProduced (rendered "⊥"): a null introduced by integration (outer
+///    union / outer join padding).
+/// Both behave identically in comparisons (a null matches nothing, not even
+/// another null), but keeping them apart lets analyses and printers report
+/// where incompleteness came from.
+enum class NullKind {
+  kMissing = 0,
+  kProduced,
+};
+
+/// A single immutable cell: null (missing or produced), int64, double, or
+/// string. Values are small, copyable, hashable, and totally ordered (nulls
+/// first, then by type, then by payload) so they can key hash maps and sort.
+class Value {
+ public:
+  /// Constructs a *missing* null (the input-data kind).
+  Value() : payload_(NullKind::kMissing) {}
+
+  static Value Null(NullKind kind = NullKind::kMissing) {
+    Value v;
+    v.payload_ = kind;
+    return v;
+  }
+  static Value ProducedNull() { return Null(NullKind::kProduced); }
+  static Value Int(int64_t i) {
+    Value v;
+    v.payload_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.payload_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.payload_ = std::move(s);
+    return v;
+  }
+
+  bool is_null() const {
+    return std::holds_alternative<NullKind>(payload_);
+  }
+  bool is_missing_null() const {
+    return is_null() && std::get<NullKind>(payload_) == NullKind::kMissing;
+  }
+  bool is_produced_null() const {
+    return is_null() && std::get<NullKind>(payload_) == NullKind::kProduced;
+  }
+  bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(payload_);
+  }
+
+  ValueType type() const;
+
+  /// Payload accessors; calling the wrong one is a programming error.
+  int64_t as_int() const { return std::get<int64_t>(payload_); }
+  double as_double() const { return std::get<double>(payload_); }
+  const std::string& as_string() const {
+    return std::get<std::string>(payload_);
+  }
+
+  /// Numeric view: int/double as double; strings parsed when possible.
+  /// Returns false (leaving *out untouched) for nulls and non-numeric text.
+  bool AsNumeric(double* out) const;
+
+  /// Rendering used by CSV output and table printers. Missing nulls render
+  /// as "" and produced nulls as "" too (CSV), but ToDisplayString() shows
+  /// "±" / "⊥" to mirror the paper's figures.
+  std::string ToCsvString() const;
+  std::string ToDisplayString() const;
+
+  /// Value equality for integration semantics: a null equals NOTHING,
+  /// including other nulls. Use Identical() for physical equality (dedup).
+  bool EqualsValue(const Value& other) const;
+
+  /// Physical equality: nulls of any kind are identical to each other
+  /// (null-kind is bookkeeping, not data); payloads must match exactly.
+  bool Identical(const Value& other) const;
+
+  /// Hash consistent with Identical().
+  uint64_t Hash(uint64_t seed = 0) const;
+
+  /// Total order: nulls < ints/doubles (numeric order) < strings (byte
+  /// order). Used for sorting output rows deterministically.
+  bool operator<(const Value& other) const;
+
+  /// operator== follows Identical() so Value works in hash containers.
+  bool operator==(const Value& other) const { return Identical(other); }
+
+ private:
+  std::variant<NullKind, int64_t, double, std::string> payload_;
+};
+
+/// std::hash adapter for unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_VALUE_H_

@@ -1,0 +1,74 @@
+#include "text/tfidf.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace dialite {
+
+double SparseCosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [k, v] : small) {
+    auto it = large.find(k);
+    if (it != large.end()) dot += v * it->second;
+  }
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [k, v] : a) na += v * v;
+  for (const auto& [k, v] : b) nb += v * v;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void TfIdfVectorizer::AddDocument(const std::vector<std::string>& tokens) {
+  assert(!finalized_);
+  ++num_docs_;
+  std::unordered_set<uint32_t> seen;
+  for (const std::string& t : tokens) {
+    auto [it, inserted] =
+        term_ids_.emplace(t, static_cast<uint32_t>(term_ids_.size()));
+    if (inserted) doc_freq_.push_back(0);
+    if (seen.insert(it->second).second) ++doc_freq_[it->second];
+  }
+}
+
+void TfIdfVectorizer::Finalize() {
+  idf_.resize(doc_freq_.size());
+  for (size_t i = 0; i < doc_freq_.size(); ++i) {
+    idf_[i] = std::log((1.0 + static_cast<double>(num_docs_)) /
+                       (1.0 + static_cast<double>(doc_freq_[i]))) +
+              1.0;
+  }
+  finalized_ = true;
+}
+
+SparseVector TfIdfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  assert(finalized_);
+  std::unordered_map<uint32_t, size_t> counts;
+  for (const std::string& t : tokens) {
+    auto it = term_ids_.find(t);
+    if (it != term_ids_.end()) ++counts[it->second];
+  }
+  SparseVector vec;
+  double norm = 0.0;
+  for (const auto& [id, n] : counts) {
+    double w = (1.0 + std::log(static_cast<double>(n))) * idf_[id];
+    vec[id] = w;
+    norm += w * w;
+  }
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (auto& [id, w] : vec) w /= norm;
+  }
+  return vec;
+}
+
+int64_t TfIdfVectorizer::TermId(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace dialite

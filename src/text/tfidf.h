@@ -1,0 +1,53 @@
+#ifndef DIALITE_TEXT_TFIDF_H_
+#define DIALITE_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dialite {
+
+/// A sparse vector keyed by term id, used for TF-IDF document vectors and
+/// column-content vectors.
+using SparseVector = std::unordered_map<uint32_t, double>;
+
+/// Cosine similarity between sparse vectors; 0 if either has zero norm.
+double SparseCosine(const SparseVector& a, const SparseVector& b);
+
+/// Corpus-level TF-IDF vectorizer: fit on token multisets ("documents"),
+/// then transform documents to weighted sparse vectors.
+///
+/// Weights: tf = 1 + log(count), idf = log((1 + N) / (1 + df)) + 1 (smooth),
+/// vectors L2-normalized on transform.
+class TfIdfVectorizer {
+ public:
+  TfIdfVectorizer() = default;
+
+  /// Adds a document to the corpus statistics. Call before Finalize().
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// Freezes document frequencies; Transform() is valid afterwards.
+  void Finalize();
+
+  /// Transforms a token multiset into an L2-normalized TF-IDF vector.
+  /// Unknown terms are ignored. Requires Finalize().
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  size_t vocabulary_size() const { return term_ids_.size(); }
+  size_t num_documents() const { return num_docs_; }
+
+  /// Id for a known term, or -1.
+  int64_t TermId(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<size_t> doc_freq_;  // indexed by term id
+  size_t num_docs_ = 0;
+  bool finalized_ = false;
+  std::vector<double> idf_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TEXT_TFIDF_H_

@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace dialite {
+
+namespace {
+bool IsAlnum(unsigned char c) { return std::isalnum(c) != 0; }
+char Lower(unsigned char c) { return static_cast<char>(std::tolower(c)); }
+}  // namespace
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (unsigned char c : text) {
+    if (IsAlnum(c)) {
+      cur += Lower(c);
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> DistinctWordTokens(std::string_view text) {
+  std::vector<std::string> words = WordTokens(text);
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (std::string& w : words) {
+    if (seen.insert(w).second) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<std::string> CharQGrams(std::string_view text, size_t q) {
+  if (q == 0) q = 1;
+  std::string norm;
+  norm.reserve(text.size() + 2 * (q - 1));
+  norm.append(q - 1, '#');
+  for (unsigned char c : text) {
+    norm += (std::isspace(c) != 0) ? '_' : Lower(c);
+  }
+  if (norm.size() == q - 1) return {};  // empty input
+  norm.append(q - 1, '#');
+  std::vector<std::string> grams;
+  grams.reserve(norm.size() - q + 1);
+  for (size_t i = 0; i + q <= norm.size(); ++i) {
+    grams.push_back(norm.substr(i, q));
+  }
+  return grams;
+}
+
+std::string NormalizeText(std::string_view text) {
+  std::string out;
+  bool pending_space = false;
+  for (unsigned char c : text) {
+    if (IsAlnum(c)) {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      out += Lower(c);
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace dialite

@@ -1,0 +1,29 @@
+#ifndef DIALITE_TEXT_TOKENIZER_H_
+#define DIALITE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dialite {
+
+/// Lowercases and splits on any non-alphanumeric byte; drops empties.
+/// "Vaccination Rate (1+ dose)" → {"vaccination", "rate", "1", "dose"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Like WordTokens but de-duplicated, preserving first-occurrence order.
+std::vector<std::string> DistinctWordTokens(std::string_view text);
+
+/// Character q-grams of the lowercased text (with '_' for spaces), padded
+/// with (q-1) leading/trailing '#'. Used by q-gram similarity and the hash
+/// embedder. q must be >= 1; returns {} for empty text.
+std::vector<std::string> CharQGrams(std::string_view text, size_t q = 3);
+
+/// Normalizes a header/value for matching: lowercase, trim, collapse runs of
+/// non-alphanumerics into single spaces ("Death Rate (per 100k)" →
+/// "death rate per 100k").
+std::string NormalizeText(std::string_view text);
+
+}  // namespace dialite
+
+#endif  // DIALITE_TEXT_TOKENIZER_H_

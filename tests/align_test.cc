@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "align/alite_matcher.h"
+#include "align/alignment.h"
+#include "lake/lake_generator.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+// --------------------------------------------------------------- Alignment
+
+TEST(AlignmentTest, AddAndLookup) {
+  Alignment a;
+  size_t id0 = a.AddCluster({{"T1", 0}, {"T2", 0}}, "Country");
+  size_t id1 = a.AddCluster({{"T1", 1}}, "");
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(a.num_clusters(), 2u);
+  EXPECT_EQ(a.IdOf("T1", 0), 0u);
+  EXPECT_EQ(a.IdOf("T2", 0), 0u);
+  EXPECT_EQ(a.IdOf("T1", 1), 1u);
+  EXPECT_EQ(a.IdOf("T9", 0), Alignment::npos);
+  EXPECT_EQ(a.IdName(0), "Country");
+  EXPECT_EQ(a.IdName(1), "iid1");  // auto-named
+}
+
+TEST(AlignmentTest, ValidateDetectsMissingColumn) {
+  Table t1 = paper::MakeT1();
+  Alignment a;
+  a.AddCluster({{"T1", 0}}, "c0");
+  // Columns 1, 2 of T1 unassigned.
+  std::vector<const Table*> tables = {&t1};
+  EXPECT_FALSE(a.Validate(tables).ok());
+}
+
+TEST(AlignmentTest, ValidateDetectsSameTableConflict) {
+  Table t1 = paper::MakeT1();
+  Alignment a;
+  a.AddCluster({{"T1", 0}, {"T1", 1}}, "bad");
+  a.AddCluster({{"T1", 2}}, "c2");
+  std::vector<const Table*> tables = {&t1};
+  EXPECT_FALSE(a.Validate(tables).ok());
+}
+
+// ------------------------------------------------------------ AliteMatcher
+
+TEST(AliteMatcherTest, AlignsPaperCovidTables) {
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  AliteMatcher matcher;
+  auto r = matcher.Align({&t1, &t2, &t3});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Alignment& a = *r;
+  // Fig. 3: 5 integration IDs — Country, City, VaccinationRate,
+  // TotalCases, DeathRate.
+  EXPECT_EQ(a.num_clusters(), 5u);
+  // City columns of all three tables share one id.
+  EXPECT_EQ(a.IdOf("T1", 1), a.IdOf("T2", 1));
+  EXPECT_EQ(a.IdOf("T1", 1), a.IdOf("T3", 0));
+  // Country columns of T1 and T2 share one id.
+  EXPECT_EQ(a.IdOf("T1", 0), a.IdOf("T2", 0));
+  // Vaccination-rate columns of T1 and T2 share one id.
+  EXPECT_EQ(a.IdOf("T1", 2), a.IdOf("T2", 2));
+  // T3's numeric columns stay separate.
+  EXPECT_NE(a.IdOf("T3", 1), a.IdOf("T3", 2));
+  EXPECT_NE(a.IdOf("T3", 1), a.IdOf("T1", 2));
+}
+
+TEST(AliteMatcherTest, AlignsPaperVaccineTables) {
+  Table t4 = paper::MakeT4();
+  Table t5 = paper::MakeT5();
+  Table t6 = paper::MakeT6();
+  AliteMatcher matcher;
+  auto r = matcher.Align({&t4, &t5, &t6});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Alignment& a = *r;
+  // Fig. 8: 3 integration IDs — Vaccine, Approver, Country.
+  EXPECT_EQ(a.num_clusters(), 3u);
+  EXPECT_EQ(a.IdOf("T4", 0), a.IdOf("T6", 0));  // Vaccine
+  EXPECT_EQ(a.IdOf("T4", 1), a.IdOf("T5", 1));  // Approver
+  EXPECT_EQ(a.IdOf("T5", 0), a.IdOf("T6", 1));  // Country
+}
+
+TEST(AliteMatcherTest, ColumnSimilaritySignals) {
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  AliteMatcher m;
+  // Same concept, disjoint values (City/City) — embeddings + header carry.
+  double city_city = m.ColumnSimilarity(t1, 1, t2, 1);
+  // Different concepts (City vs Country).
+  double city_country = m.ColumnSimilarity(t1, 1, t2, 0);
+  EXPECT_GT(city_city, city_country);
+  EXPECT_GE(city_city, 0.4);
+}
+
+TEST(AliteMatcherTest, TypeGateBlocksNumericTextMatches) {
+  Table a("A", Schema::FromNames({"x"}));
+  (void)a.AddRow({Value::Int(1)});
+  (void)a.AddRow({Value::Int(2)});
+  Table b("B", Schema::FromNames({"x"}));
+  (void)b.AddRow({Value::String("Berlin")});
+  (void)b.AddRow({Value::String("Paris")});
+  AliteMatcher m;
+  EXPECT_DOUBLE_EQ(m.ColumnSimilarity(a, 0, b, 0), 0.0);
+  AliteMatcher::Params p;
+  p.type_gate = false;
+  AliteMatcher m2(p, &KnowledgeBase::BuiltIn());
+  EXPECT_GT(m2.ColumnSimilarity(a, 0, b, 0), 0.0);  // header bonus applies
+}
+
+TEST(AliteMatcherTest, SameTableColumnsNeverCluster) {
+  // Two identical-content columns in one table must not merge.
+  Table a("A", Schema::FromNames({"city1", "city2"}));
+  (void)a.AddRow({Value::String("Berlin"), Value::String("Berlin")});
+  (void)a.AddRow({Value::String("Boston"), Value::String("Boston")});
+  Table b("B", Schema::FromNames({"city"}));
+  (void)b.AddRow({Value::String("Berlin")});
+  AliteMatcher m;
+  auto r = m.Align({&a, &b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->IdOf("A", 0), r->IdOf("A", 1));
+}
+
+TEST(AliteMatcherTest, RecoversGroundTruthWithCleanHeaders) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 4;
+  p.header_noise = 0.0;
+  p.domains = {"universities"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  AliteMatcher m;
+  auto r = m.Align(tables);
+  ASSERT_TRUE(r.ok());
+  // Every same-base pair must share an id; every different-base must not.
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      for (size_t ci = 0; ci < tables[i]->num_columns(); ++ci) {
+        for (size_t cj = 0; cj < tables[j]->num_columns(); ++cj) {
+          bool truth = out.truth.SameBaseColumn(tables[i]->name(), ci,
+                                                tables[j]->name(), cj);
+          bool pred = r->IdOf(tables[i]->name(), ci) ==
+                      r->IdOf(tables[j]->name(), cj);
+          ++total;
+          if (truth == pred) ++correct;
+        }
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / total, 0.95)
+      << correct << "/" << total;
+}
+
+TEST(AliteMatcherTest, SurvivesScrambledHeadersOnTextColumns) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 3;
+  p.header_noise = 1.0;
+  p.min_rows = 40;
+  p.max_rows = 100;
+  p.domains = {"world_cities"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  AliteMatcher m;
+  auto r = m.Align(tables);
+  ASSERT_TRUE(r.ok());
+  // Text columns (City/Country/Continent) still overlap heavily in values;
+  // count pairwise recall on those.
+  size_t hit = 0;
+  size_t want = 0;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      for (size_t ci = 0; ci < tables[i]->num_columns(); ++ci) {
+        const std::string& base =
+            out.truth.BaseColumnOf(tables[i]->name(), ci);
+        if (base != "City" && base != "Country" && base != "Continent") {
+          continue;
+        }
+        for (size_t cj = 0; cj < tables[j]->num_columns(); ++cj) {
+          if (out.truth.BaseColumnOf(tables[j]->name(), cj) != base) continue;
+          ++want;
+          if (r->IdOf(tables[i]->name(), ci) ==
+              r->IdOf(tables[j]->name(), cj)) {
+            ++hit;
+          }
+        }
+      }
+    }
+  }
+  if (want > 0) {
+    EXPECT_GE(static_cast<double>(hit) / want, 0.7) << hit << "/" << want;
+  }
+}
+
+// ------------------------------------------------------------- NameMatcher
+
+TEST(NameMatcherTest, GroupsByNormalizedHeader) {
+  Table a("A", Schema::FromNames({"Country", "City"}));
+  (void)a.AddRow({Value::String("x"), Value::String("y")});
+  Table b("B", Schema::FromNames({"country", "Population"}));
+  (void)b.AddRow({Value::String("x"), Value::Int(5)});
+  NameMatcher m;
+  auto r = m.Align({&a, &b});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_clusters(), 3u);
+  EXPECT_EQ(r->IdOf("A", 0), r->IdOf("B", 0));  // Country == country
+  EXPECT_NE(r->IdOf("A", 1), r->IdOf("B", 1));
+}
+
+TEST(NameMatcherTest, SameTableDuplicateHeadersSplit) {
+  Table a("A", Schema::FromNames({"x", "x"}));
+  (void)a.AddRow({Value::Int(1), Value::Int(2)});
+  Table b("B", Schema::FromNames({"x"}));
+  (void)b.AddRow({Value::Int(1)});
+  NameMatcher m;
+  auto r = m.Align({&a, &b});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->IdOf("A", 0), r->IdOf("A", 1));
+  // B.x joins the first cluster.
+  EXPECT_EQ(r->IdOf("A", 0), r->IdOf("B", 0));
+}
+
+TEST(NameMatcherTest, CollapsesUnderScrambledHeaders) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 3;
+  p.header_noise = 1.0;
+  p.domains = {"world_cities"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  NameMatcher name_m;
+  AliteMatcher alite_m;
+  auto rn = name_m.Align(tables);
+  auto ra = alite_m.Align(tables);
+  ASSERT_TRUE(rn.ok());
+  ASSERT_TRUE(ra.ok());
+  // The name matcher fragments into more clusters than the holistic
+  // matcher once headers are scrambled.
+  EXPECT_GT(rn->num_clusters(), ra->num_clusters());
+}
+
+// --------------------------------------------------------- ManualAlignment
+
+TEST(ManualAlignmentTest, AppliesGivenClustersAndSingletons) {
+  Table t4 = paper::MakeT4();
+  Table t5 = paper::MakeT5();
+  ManualAlignment manual({{{"T4", 1}, {"T5", 1}}});
+  auto r = manual.Align({&t4, &t5});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->IdOf("T4", 1), r->IdOf("T5", 1));
+  EXPECT_NE(r->IdOf("T4", 0), r->IdOf("T5", 0));
+  EXPECT_EQ(r->num_clusters(), 3u);
+}
+
+TEST(ManualAlignmentTest, RejectsUnknownReferences) {
+  Table t4 = paper::MakeT4();
+  ManualAlignment bad_table({{{"T9", 0}}});
+  EXPECT_FALSE(bad_table.Align({&t4}).ok());
+  ManualAlignment bad_col({{{"T4", 9}}});
+  EXPECT_FALSE(bad_col.Align({&t4}).ok());
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "align/alite_matcher.h"
+#include "analyze/aggregate.h"
+#include "analyze/entity_resolution.h"
+#include "analyze/stats.h"
+#include "integrate/full_disjunction.h"
+#include "integrate/join_ops.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+// -------------------------------------------------------------- parsing
+
+TEST(ParseNumericLooseTest, PaperNotations) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseNumericLoose(Value::String("63%"), &d));
+  EXPECT_DOUBLE_EQ(d, 63.0);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("1.4M"), &d));
+  EXPECT_DOUBLE_EQ(d, 1.4e6);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("263k"), &d));
+  EXPECT_DOUBLE_EQ(d, 263000.0);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("2B"), &d));
+  EXPECT_DOUBLE_EQ(d, 2e9);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("2,500"), &d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_TRUE(ParseNumericLoose(Value::Int(42), &d));
+  EXPECT_DOUBLE_EQ(d, 42.0);
+  EXPECT_FALSE(ParseNumericLoose(Value::String("Berlin"), &d));
+  EXPECT_FALSE(ParseNumericLoose(Value::Null(), &d));
+  EXPECT_FALSE(ParseNumericLoose(Value::String("%"), &d));
+}
+
+// ---------------------------------------------------------------- stats
+
+Table NumTable() {
+  Table t("t", Schema::FromNames({"x", "y", "label"}));
+  // y = 2x exactly; label non-numeric.
+  for (int i = 1; i <= 5; ++i) {
+    (void)t.AddRow({Value::Int(i), Value::Int(2 * i),
+                    Value::String("r" + std::to_string(i))});
+  }
+  return t;
+}
+
+TEST(StatsTest, SummarizeColumn) {
+  Table t = NumTable();
+  auto s = SummarizeColumn(t, "x");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 5.0);
+  EXPECT_DOUBLE_EQ(s->mean, 3.0);
+  EXPECT_NEAR(s->stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_FALSE(SummarizeColumn(t, "label").ok());
+  EXPECT_EQ(SummarizeColumn(t, "zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatsTest, PearsonPerfectAndInverse) {
+  Table t = NumTable();
+  auto r = PearsonCorrelation(t, "x", "y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-9);
+
+  Table inv("i", Schema::FromNames({"a", "b"}));
+  for (int i = 0; i < 6; ++i) {
+    (void)inv.AddRow({Value::Int(i), Value::Int(10 - i)});
+  }
+  auto r2 = PearsonCorrelation(inv, "a", "b");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR(*r2, -1.0, 1e-9);
+}
+
+TEST(StatsTest, PearsonSkipsNullsAndText) {
+  Table t("t", Schema::FromNames({"a", "b"}));
+  (void)t.AddRow({Value::Int(1), Value::Int(2)});
+  (void)t.AddRow({Value::Null(), Value::Int(5)});
+  (void)t.AddRow({Value::Int(2), Value::String("n/a... not numeric")});
+  (void)t.AddRow({Value::Int(3), Value::Int(6)});
+  (void)t.AddRow({Value::Int(4), Value::Int(8)});
+  auto r = PearsonCorrelation(t, "a", "b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-9);
+}
+
+TEST(StatsTest, PearsonErrorsOnDegenerate) {
+  Table t("t", Schema::FromNames({"a", "b"}));
+  (void)t.AddRow({Value::Int(1), Value::Int(1)});
+  EXPECT_FALSE(PearsonCorrelation(t, "a", "b").ok());  // < 2 pairs
+  (void)t.AddRow({Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(PearsonCorrelation(t, "a", "b").ok());  // zero variance in a
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinear) {
+  Table t("t", Schema::FromNames({"a", "b"}));
+  // b = a^3: nonlinear but perfectly monotone.
+  for (int i = 1; i <= 8; ++i) {
+    (void)t.AddRow({Value::Int(i), Value::Int(i * i * i)});
+  }
+  auto rho = SpearmanCorrelation(t, "a", "b");
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-9);
+}
+
+TEST(StatsTest, ArgExtreme) {
+  Table t = NumTable();
+  auto hi = ArgExtreme(t, "y", /*largest=*/true);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(*hi, 4u);
+  auto lo = ArgExtreme(t, "y", /*largest=*/false);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(*lo, 0u);
+}
+
+TEST(StatsTest, WorksOnPaperFig3Values) {
+  // The integrated table's "63%" / "1.4M" cells must be analyzable as-is.
+  Table fd = paper::MakeFig3Expected();
+  auto s = SummarizeColumn(fd, "Vaccination Rate (1+ dose)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count, 5u);  // 5 of 7 rows have a rate
+  EXPECT_DOUBLE_EQ(s->min, 62.0);
+  EXPECT_DOUBLE_EQ(s->max, 83.0);
+  // Lowest vaccination rate: Boston (Example 3's first finding).
+  auto lo = ArgExtreme(fd, "Vaccination Rate (1+ dose)", false);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(fd.at(*lo, 1).as_string(), "Boston");
+  auto hi = ArgExtreme(fd, "Vaccination Rate (1+ dose)", true);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(fd.at(*hi, 1).as_string(), "Toronto");
+}
+
+// ------------------------------------------------------------ aggregate
+
+TEST(AggregateTest, GroupByWithAllFunctions) {
+  Table t("t", Schema::FromNames({"g", "v"}));
+  (void)t.AddRow({Value::String("a"), Value::Int(1)});
+  (void)t.AddRow({Value::String("a"), Value::Int(3)});
+  (void)t.AddRow({Value::String("b"), Value::Int(10)});
+  auto r = Aggregate(t, {"g"},
+                     {{AggFn::kCount, "v", ""},
+                      {AggFn::kSum, "v", ""},
+                      {AggFn::kAvg, "v", ""},
+                      {AggFn::kMin, "v", ""},
+                      {AggFn::kMax, "v", ""}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);  // sorted: a, b
+  EXPECT_EQ(r->at(0, 0).as_string(), "a");
+  EXPECT_EQ(r->at(0, 1).as_int(), 2);
+  EXPECT_DOUBLE_EQ(r->at(0, 2).as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(r->at(0, 3).as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(r->at(0, 4).as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(r->at(0, 5).as_double(), 3.0);
+  EXPECT_EQ(r->at(1, 0).as_string(), "b");
+  EXPECT_DOUBLE_EQ(r->at(1, 2).as_double(), 10.0);
+}
+
+TEST(AggregateTest, WholeTableWhenNoGroupBy) {
+  Table t = NumTable();
+  auto r = Aggregate(t, {}, {{AggFn::kSum, "x", "total_x"}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(r->at(0, 0).as_double(), 15.0);
+  EXPECT_EQ(r->schema().column(0).name, "total_x");
+}
+
+TEST(AggregateTest, CountStarCountsRowsNullsIncluded) {
+  Table t("t", Schema::FromNames({"g", "v"}));
+  (void)t.AddRow({Value::String("a"), Value::Null()});
+  (void)t.AddRow({Value::String("a"), Value::Int(1)});
+  auto r = Aggregate(t, {"g"},
+                     {{AggFn::kCount, "", "rows"}, {AggFn::kCount, "v", "vs"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 1).as_int(), 2);  // count(*)
+  EXPECT_EQ(r->at(0, 2).as_int(), 1);  // count(v) skips null
+}
+
+TEST(AggregateTest, NullGroupKeysFormOwnGroup) {
+  Table t("t", Schema::FromNames({"g", "v"}));
+  (void)t.AddRow({Value::Null(), Value::Int(1)});
+  (void)t.AddRow({Value::Null(), Value::Int(2)});
+  (void)t.AddRow({Value::String("a"), Value::Int(3)});
+  auto r = Aggregate(t, {"g"}, {{AggFn::kSum, "v", ""}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_TRUE(r->at(0, 0).is_null());  // nulls sort first
+  EXPECT_DOUBLE_EQ(r->at(0, 1).as_double(), 3.0);
+}
+
+TEST(AggregateTest, ErrorsOnBadSpecs) {
+  Table t = NumTable();
+  EXPECT_EQ(Aggregate(t, {"zzz"}, {{AggFn::kSum, "x", ""}}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Aggregate(t, {}, {{AggFn::kSum, "zzz", ""}}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(Aggregate(t, {}, {}).ok());
+  EXPECT_FALSE(Aggregate(t, {}, {{AggFn::kSum, "", ""}}).ok());
+}
+
+TEST(AggregateTest, LooseParsingInAggregates) {
+  Table fd = paper::MakeFig3Expected();
+  auto r = Aggregate(fd, {}, {{AggFn::kMax, "Total Cases", "max_cases"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->at(0, 0).as_double(), 2.68e6);  // "2.68M"
+}
+
+// -------------------------------------------------------------------- ER
+
+class ErVaccineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t4_ = paper::MakeT4();
+    t5_ = paper::MakeT5();
+    t6_ = paper::MakeT6();
+    tables_ = {&t4_, &t5_, &t6_};
+    AliteMatcher matcher;
+    auto a = matcher.Align(tables_);
+    ASSERT_TRUE(a.ok());
+    alignment_ = std::move(a).value();
+  }
+  Table t4_, t5_, t6_;
+  std::vector<const Table*> tables_;
+  Alignment alignment_;
+};
+
+TEST_F(ErVaccineTest, ResolvesFdResultToFigure8d) {
+  auto fd = FullDisjunction().Integrate(tables_, alignment_);
+  ASSERT_TRUE(fd.ok());
+  EntityResolver er;
+  auto r = er.Resolve(*fd);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Fig. 8(d): two resolved entities — Pfizer/FDA/US and J&J/FDA/US.
+  EXPECT_EQ(r->resolved.num_rows(), 2u) << r->resolved.ToPrettyString();
+  bool jnj_fda_us = false;
+  for (size_t row = 0; row < r->resolved.num_rows(); ++row) {
+    bool jnj = false;
+    bool fda = false;
+    for (size_t c = 0; c < r->resolved.num_columns(); ++c) {
+      if (r->resolved.at(row, c).is_null()) continue;
+      std::string s = r->resolved.at(row, c).ToCsvString();
+      if (s == "J&J" || s == "JnJ") jnj = true;
+      if (s == "FDA") fda = true;
+    }
+    if (jnj && fda) jnj_fda_us = true;
+  }
+  EXPECT_TRUE(jnj_fda_us)
+      << "ER over FD must connect J&J with its approver FDA";
+}
+
+TEST_F(ErVaccineTest, CannotResolveOuterJoinDebris) {
+  auto oj = OuterJoinIntegration().Integrate(tables_, alignment_);
+  ASSERT_TRUE(oj.ok());
+  EntityResolver er;
+  auto r = er.Resolve(*oj);
+  ASSERT_TRUE(r.ok());
+  // f9 (JnJ,±,⊥) and f10 (⊥,±,USA) stay unresolved: outer join output has
+  // MORE rows after ER than FD's.
+  auto fd = FullDisjunction().Integrate(tables_, alignment_);
+  ASSERT_TRUE(fd.ok());
+  auto r_fd = er.Resolve(*fd);
+  ASSERT_TRUE(r_fd.ok());
+  EXPECT_GT(r->resolved.num_rows(), r_fd->resolved.num_rows());
+  // No resolved outer-join row connects J&J to FDA.
+  bool jnj_fda = false;
+  for (size_t row = 0; row < r->resolved.num_rows(); ++row) {
+    bool jnj = false;
+    bool fda = false;
+    for (size_t c = 0; c < r->resolved.num_columns(); ++c) {
+      if (r->resolved.at(row, c).is_null()) continue;
+      std::string s = r->resolved.at(row, c).ToCsvString();
+      if (s == "J&J" || s == "JnJ") jnj = true;
+      if (s == "FDA") fda = true;
+    }
+    jnj_fda |= (jnj && fda);
+  }
+  EXPECT_FALSE(jnj_fda);
+}
+
+TEST(EntityResolverTest, CellSimilarityKinds) {
+  EntityResolver er;
+  EXPECT_DOUBLE_EQ(
+      er.CellSimilarity(Value::String("USA"), Value::String("United States")),
+      1.0);  // KB sameAs
+  EXPECT_DOUBLE_EQ(
+      er.CellSimilarity(Value::String("x"), Value::String("x")), 1.0);
+  EXPECT_DOUBLE_EQ(er.CellSimilarity(Value::Null(), Value::String("x")), 0.0);
+  EXPECT_NEAR(er.CellSimilarity(Value::Int(100), Value::Int(90)), 0.9, 1e-9);
+  double typo = er.CellSimilarity(Value::String("Barcelona"),
+                                  Value::String("Barcelone"));
+  EXPECT_GT(typo, 0.9);
+}
+
+TEST(EntityResolverTest, ConflictVetoBlocksDifferentEntities) {
+  // Same country+approver but clearly different vaccine names: no match.
+  Table t("t", Schema::FromNames({"Vaccine", "Approver", "Country"}));
+  (void)t.AddRow({Value::String("Pfizer"), Value::String("FDA"),
+                  Value::String("United States")});
+  (void)t.AddRow({Value::String("Moderna"), Value::String("FDA"),
+                  Value::String("United States")});
+  EntityResolver er;
+  auto r = er.Resolve(t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->resolved.num_rows(), 2u);
+  EXPECT_TRUE(r->matches.empty());
+}
+
+TEST(EntityResolverTest, MinSharedColumnsGate) {
+  // Rows overlap in a single column only: incomparable.
+  Table t("t", Schema::FromNames({"a", "b"}));
+  (void)t.AddRow({Value::String("x"), Value::Null()});
+  (void)t.AddRow({Value::String("x"), Value::Null()});
+  EntityResolver er;
+  auto r = er.Resolve(t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->resolved.num_rows(), 2u);
+  EXPECT_GE(r->incomparable_pairs, 1u);
+
+  EntityResolver::Params p;
+  p.min_shared_columns = 1;
+  EntityResolver permissive(p, &KnowledgeBase::BuiltIn());
+  auto r2 = permissive.Resolve(t);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->resolved.num_rows(), 1u);
+}
+
+TEST(EntityResolverTest, TransitiveClustersMerge) {
+  Table t("t", Schema::FromNames({"name", "city"}));
+  (void)t.AddRow({Value::String("John Smith"), Value::String("Boston")});
+  (void)t.AddRow({Value::String("John Smith"), Value::String("Boston")});
+  (void)t.AddRow({Value::String("Jon Smith"), Value::String("Boston")});
+  EntityResolver::Params p;
+  p.threshold = 0.85;
+  EntityResolver er(p, &KnowledgeBase::BuiltIn());
+  auto r = er.Resolve(t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->resolved.num_rows(), 1u) << r->resolved.ToPrettyString();
+}
+
+TEST(EntityResolverTest, EmptyAndSingleRowTables) {
+  Table empty("e", Schema::FromNames({"a"}));
+  EntityResolver er;
+  auto r = er.Resolve(empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->resolved.num_rows(), 0u);
+  Table one("o", Schema::FromNames({"a"}));
+  (void)one.AddRow({Value::String("x")});
+  auto r2 = er.Resolve(one);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->resolved.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace dialite {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::IoError("").code(),        Status::ParseError("").code(),
+      Status::TypeMismatch("").code(),   Status::Internal("").code(),
+      Status::NotImplemented("").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    DIALITE_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("abc");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, StringHashIsDeterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+}
+
+TEST(HashTest, SeedSelectsIndependentFunctions) {
+  EXPECT_NE(HashString("hello", 1), HashString("hello", 2));
+  EXPECT_NE(HashUint64(7, 1), HashUint64(7, 2));
+}
+
+TEST(HashTest, Mix64ChangesInput) {
+  EXPECT_NE(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashTest, EmptyStringHashes) {
+  EXPECT_EQ(HashString(""), HashString(""));
+  EXPECT_NE(HashString("", 1), HashString("", 2));
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(11);
+  double mean = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    mean += d;
+  }
+  mean /= kN;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = r.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng r(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng r(19);
+  std::vector<size_t> s = r.SampleIndices(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng r(21);
+  EXPECT_EQ(r.SampleIndices(3, 10).size(), 3u);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 42"), "hello 42");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, AffixChecks) {
+  EXPECT_TRUE(StartsWith("table.csv", "table"));
+  EXPECT_FALSE(StartsWith("t", "table"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringUtilTest, CaseInsensitive) {
+  EXPECT_TRUE(EqualsIgnoreCase("USA", "usa"));
+  EXPECT_FALSE(EqualsIgnoreCase("USA", "us"));
+  EXPECT_TRUE(ContainsIgnoreCase("United States", "states"));
+  EXPECT_FALSE(ContainsIgnoreCase("United", "states"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14), "3.14");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(-1.25), "-1.25");
+}
+
+// ---------------------------------------------------------------- Pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyze/stats.h"
+#include "core/dialite.h"
+#include "discovery/custom_search.h"
+#include "integrate/join_ops.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+class DialitePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake_ = paper::MakeDemoLake(12);
+    dialite_ = std::make_unique<Dialite>(&lake_);
+    ASSERT_TRUE(dialite_->RegisterDefaults().ok());
+    ASSERT_TRUE(dialite_->BuildIndexes().ok());
+    query_ = paper::MakeT1();
+  }
+  DataLake lake_;
+  std::unique_ptr<Dialite> dialite_;
+  Table query_;
+};
+
+TEST_F(DialitePipelineTest, DefaultsRegistered) {
+  std::vector<std::string> d = dialite_->DiscoveryAlgorithms();
+  EXPECT_NE(std::find(d.begin(), d.end(), "santos"), d.end());
+  EXPECT_NE(std::find(d.begin(), d.end(), "lsh_ensemble"), d.end());
+  EXPECT_NE(std::find(d.begin(), d.end(), "josie"), d.end());
+  std::vector<std::string> i = dialite_->IntegrationOperators();
+  EXPECT_NE(std::find(i.begin(), i.end(), "alite_fd"), i.end());
+  EXPECT_NE(std::find(i.begin(), i.end(), "outer_join"), i.end());
+  std::vector<std::string> a = dialite_->Analyses();
+  EXPECT_NE(std::find(a.begin(), a.end(), "summary"), a.end());
+  EXPECT_NE(std::find(a.begin(), a.end(), "entity_resolution"), a.end());
+}
+
+TEST_F(DialitePipelineTest, DuplicateRegistrationRejected) {
+  EXPECT_EQ(dialite_->RegisterAnalysis("summary", [](const Table& t) {
+    return Result<Table>(t);
+  }).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DialitePipelineTest, EndToEndExample1Pipeline) {
+  // The paper's demo: query T1, intent column City, discover with all
+  // techniques, integrate with ALITE, analyze.
+  PipelineOptions opts;
+  opts.query_column = 1;
+  opts.k = 5;
+  opts.analyses = {"summary", "entity_resolution"};
+  auto report = dialite_->Run(query_, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Discovery found T2 (SANTOS, unionable) and T3 (LSH Ensemble, joinable).
+  ASSERT_TRUE(report->hits.count("santos"));
+  ASSERT_TRUE(report->hits.count("lsh_ensemble"));
+  EXPECT_EQ(report->hits.at("santos")[0].table_name, "T2");
+  bool lsh_found_t3 = false;
+  for (const DiscoveryHit& h : report->hits.at("lsh_ensemble")) {
+    lsh_found_t3 |= h.table_name == "T3";
+  }
+  EXPECT_TRUE(lsh_found_t3);
+
+  // Integration set = {T1, T2, T3, ...}; query first.
+  EXPECT_EQ(report->integration_set[0], "T1");
+  EXPECT_NE(std::find(report->integration_set.begin(),
+                      report->integration_set.end(), "T2"),
+            report->integration_set.end());
+  EXPECT_NE(std::find(report->integration_set.begin(),
+                      report->integration_set.end(), "T3"),
+            report->integration_set.end());
+
+  // Integrated table exists and has provenance.
+  EXPECT_GT(report->integration.table.num_rows(), 0u);
+  EXPECT_TRUE(report->integration.table.has_provenance());
+  EXPECT_EQ(report->integration.integration_operator, "alite_fd");
+
+  // Analyses ran.
+  EXPECT_TRUE(report->analysis_results.count("summary"));
+  EXPECT_TRUE(report->analysis_results.count("entity_resolution"));
+}
+
+TEST_F(DialitePipelineTest, CapsIntegrationSetBreadthFirst) {
+  PipelineOptions opts;
+  opts.query_column = 1;
+  opts.k = 10;
+  opts.max_integration_set = 3;
+  auto report = dialite_->Run(query_, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->integration_set.size(), 3u);
+  EXPECT_EQ(report->integration_set[0], "T1");
+}
+
+TEST_F(DialitePipelineTest, Figure2To3ExactReproduction) {
+  // Restrict the set to exactly {T1, T2, T3} and check the Fig. 3 table.
+  std::vector<const Table*> set = {&query_, lake_.Get("T2"), lake_.Get("T3")};
+  auto integ = dialite_->AlignAndIntegrate(set, "alite_fd");
+  ASSERT_TRUE(integ.ok()) << integ.status().ToString();
+  Table expected = paper::MakeFig3Expected();
+  EXPECT_TRUE(integ->table.SameRowsAs(expected))
+      << integ->table.ToPrettyString();
+}
+
+TEST_F(DialitePipelineTest, AlternateIntegrationOperators) {
+  std::vector<const Table*> set = {&query_, lake_.Get("T2"), lake_.Get("T3")};
+  for (const char* op :
+       {"outer_join", "inner_join", "union_all", "parallel_fd",
+        "minimum_union"}) {
+    auto r = dialite_->AlignAndIntegrate(set, op);
+    EXPECT_TRUE(r.ok()) << op << ": " << r.status().ToString();
+  }
+  EXPECT_FALSE(dialite_->AlignAndIntegrate(set, "nonexistent").ok());
+  EXPECT_FALSE(dialite_->AlignAndIntegrate(set, "alite_fd", "ghost").ok());
+}
+
+TEST_F(DialitePipelineTest, UserDefinedDiscoveryFig4) {
+  // Fig. 4: plug in the inner-join similarity as a new discovery algorithm.
+  ASSERT_TRUE(dialite_
+                  ->RegisterDiscovery(std::make_unique<SimilarityFunctionSearch>(
+                      "fig4_join", InnerJoinSimilarity))
+                  .ok());
+  ASSERT_TRUE(dialite_->BuildIndexes().ok());
+  DiscoveryQuery q{&query_, 0, 5};
+  auto hits = dialite_->Discover(q, "fig4_join");
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  bool found_t3 = false;
+  for (const DiscoveryHit& h : *hits) found_t3 |= h.table_name == "T3";
+  EXPECT_TRUE(found_t3);
+}
+
+TEST_F(DialitePipelineTest, UserDefinedAnalysis) {
+  ASSERT_TRUE(dialite_
+                  ->RegisterAnalysis("corr",
+                                     [](const Table& t) -> Result<Table> {
+                                       Table out("corr", Schema::FromNames(
+                                                             {"rows"}));
+                                       DIALITE_RETURN_NOT_OK(out.AddRow(
+                                           {Value::Int(static_cast<int64_t>(
+                                               t.num_rows()))}));
+                                       return out;
+                                     })
+                  .ok());
+  Table fd = paper::MakeFig3Expected();
+  auto r = dialite_->Analyze(fd, "corr");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).as_int(), 7);
+  EXPECT_FALSE(dialite_->Analyze(fd, "ghost").ok());
+}
+
+TEST_F(DialitePipelineTest, SearchWithoutIndexFails) {
+  DataLake lake2 = paper::MakeDemoLake(0);
+  Dialite fresh(&lake2);
+  ASSERT_TRUE(fresh.RegisterDefaults().ok());
+  DiscoveryQuery q{&query_, 1, 5};
+  EXPECT_FALSE(fresh.Discover(q, "santos").ok());
+}
+
+TEST_F(DialitePipelineTest, DiscoverAllSubsetSelection) {
+  DiscoveryQuery q{&query_, 1, 5};
+  auto hits = dialite_->DiscoverAll(q, {"santos"});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_TRUE(hits->count("santos"));
+  EXPECT_FALSE(dialite_->DiscoverAll(q, {"ghost"}).ok());
+}
+
+}  // namespace
+}  // namespace dialite

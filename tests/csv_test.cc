@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "table/csv.h"
+
+namespace dialite {
+namespace {
+
+TEST(CsvReaderTest, BasicParseWithHeader) {
+  auto r = CsvReader::Parse("a,b,c\n1,2.5,x\n4,5,y\n", "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = *r;
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().column(0).name, "a");
+  EXPECT_EQ(t.at(0, 0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(t.at(0, 1).as_double(), 2.5);
+  EXPECT_EQ(t.at(0, 2).as_string(), "x");
+}
+
+TEST(CsvReaderTest, TypeInferenceColumnTypes) {
+  auto r = CsvReader::Parse("i,d,s\n1,1.5,ab\n2,2.5,cd\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ(r->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(r->schema().column(2).type, ValueType::kString);
+}
+
+TEST(CsvReaderTest, EmptyFieldIsMissingNull) {
+  auto r = CsvReader::Parse("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 1).is_missing_null());
+  EXPECT_TRUE(r->at(1, 0).is_missing_null());
+}
+
+TEST(CsvReaderTest, NaStringsAreNull) {
+  auto r = CsvReader::Parse("a\nNA\nn/a\nnull\nNone\n-\nreal\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 6u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(r->at(i, 0).is_null()) << "row " << i;
+  }
+  EXPECT_EQ(r->at(5, 0).as_string(), "real");
+}
+
+TEST(CsvReaderTest, QuotedFieldsWithCommasQuotesNewlines) {
+  auto r = CsvReader::Parse(
+      "a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",z\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->at(0, 0).as_string(), "x, y");
+  EXPECT_EQ(r->at(0, 1).as_string(), "he said \"hi\"");
+  EXPECT_EQ(r->at(1, 0).as_string(), "line1\nline2");
+}
+
+TEST(CsvReaderTest, CrlfLineEndings) {
+  auto r = CsvReader::Parse("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->at(0, 1).as_int(), 2);
+}
+
+TEST(CsvReaderTest, RaggedRowsPadded) {
+  auto r = CsvReader::Parse("a,b,c\n1,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 3u);
+  EXPECT_TRUE(r->at(0, 2).is_missing_null());
+}
+
+TEST(CsvReaderTest, NoHeaderGeneratesNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  auto r = CsvReader::Parse("1,2\n3,4\n", "t", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->schema().column(0).name, "col0");
+}
+
+TEST(CsvReaderTest, BlankLinesSkipped) {
+  auto r = CsvReader::Parse("a\n1\n\n2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(CsvReaderTest, EmptyInputYieldsEmptyTable) {
+  auto r = CsvReader::Parse("", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+  EXPECT_EQ(r->num_columns(), 0u);
+}
+
+TEST(CsvReaderTest, NoTypeInferenceKeepsStrings) {
+  CsvOptions opt;
+  opt.infer_types = false;
+  auto r = CsvReader::Parse("a\n42\n", "t", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 0).is_string());
+  EXPECT_EQ(r->at(0, 0).as_string(), "42");
+}
+
+TEST(CsvWriterTest, RoundTrip) {
+  auto r = CsvReader::Parse("a,b,c\n1,x y,\n2,\"q,r\",3.5\n", "t");
+  ASSERT_TRUE(r.ok());
+  std::string csv = CsvWriter::ToString(*r);
+  auto r2 = CsvReader::Parse(csv, "t2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r->SameRowsAs(*r2));
+}
+
+TEST(CsvWriterTest, EscapesSpecials) {
+  Table t("t", Schema::FromNames({"a"}));
+  ASSERT_TRUE(t.AddRow({Value::String("x\"y,z")}).ok());
+  std::string csv = CsvWriter::ToString(t);
+  EXPECT_NE(csv.find("\"x\"\"y,z\""), std::string::npos);
+}
+
+TEST(CsvFileTest, WriteAndReadFile) {
+  Table t("mytable", Schema::FromNames({"city", "pop"}));
+  ASSERT_TRUE(t.AddRow({Value::String("Berlin"), Value::Int(3600000)}).ok());
+  std::string path = testing::TempDir() + "/dialite_csv_test.csv";
+  ASSERT_TRUE(CsvWriter::WriteFile(t, path).ok());
+  auto r = CsvReader::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name(), "dialite_csv_test");
+  EXPECT_TRUE(r->SameRowsAs(t));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto r = CsvReader::ReadFile("/nonexistent/nope.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(InferValueTest, Kinds) {
+  EXPECT_TRUE(InferValue("").is_missing_null());
+  EXPECT_TRUE(InferValue("  ").is_missing_null());
+  EXPECT_EQ(InferValue("42").as_int(), 42);
+  EXPECT_EQ(InferValue("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(InferValue("2.68").as_double(), 2.68);
+  EXPECT_DOUBLE_EQ(InferValue("1e3").as_double(), 1000.0);
+  EXPECT_EQ(InferValue("63%").as_string(), "63%");
+  EXPECT_EQ(InferValue(" Berlin ").as_string(), "Berlin");
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "discovery/custom_search.h"
+#include "discovery/josie.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "lake/lake_generator.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+bool HasHit(const std::vector<DiscoveryHit>& hits, const std::string& name) {
+  return std::any_of(hits.begin(), hits.end(), [&](const DiscoveryHit& h) {
+    return h.table_name == name;
+  });
+}
+
+size_t RankOf(const std::vector<DiscoveryHit>& hits, const std::string& name) {
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (hits[i].table_name == name) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+// ------------------------------------------------------------- RankHits
+
+TEST(RankHitsTest, SortsFiltersAndTruncates) {
+  std::vector<DiscoveryHit> hits = {
+      {"c", 1.0}, {"a", 3.0}, {"b", 3.0}, {"zero", 0.0}, {"neg", -1.0},
+      {"d", 2.0}};
+  std::vector<DiscoveryHit> ranked = RankHits(hits, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].table_name, "a");  // tie with b broken by name
+  EXPECT_EQ(ranked[1].table_name, "b");
+  EXPECT_EQ(ranked[2].table_name, "d");
+}
+
+// ---------------------------------------------------------------- SANTOS
+
+class SantosPaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake_ = paper::MakeDemoLake(16);
+    ASSERT_TRUE(santos_.BuildIndex(lake_).ok());
+    query_ = paper::MakeT1();
+  }
+  DataLake lake_;
+  SantosSearch santos_;
+  Table query_;
+};
+
+TEST_F(SantosPaperTest, FindsUnionableT2ForT1) {
+  // Example 1: City is the intent column; SANTOS should surface T2.
+  DiscoveryQuery q{&query_, /*query_column=*/1, /*k=*/5};
+  auto hits = santos_.Search(q);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].table_name, "T2")
+      << "T2 shares City semantics AND the City-locatedIn-Country "
+         "relationship, so it must outrank everything";
+  EXPECT_TRUE(HasHit(*hits, "T3"));  // T3 has a City column too, lower score
+  EXPECT_LT(RankOf(*hits, "T2"), RankOf(*hits, "T3"));
+}
+
+TEST_F(SantosPaperTest, SearchBeforeBuildFails) {
+  SantosSearch fresh;
+  DiscoveryQuery q{&query_, 1, 5};
+  EXPECT_FALSE(fresh.Search(q).ok());
+}
+
+TEST_F(SantosPaperTest, RejectsBadQuery) {
+  DiscoveryQuery null_table{nullptr, 0, 5};
+  EXPECT_FALSE(santos_.Search(null_table).ok());
+  DiscoveryQuery bad_col{&query_, 99, 5};
+  EXPECT_FALSE(santos_.Search(bad_col).ok());
+}
+
+TEST_F(SantosPaperTest, UnknownIntentColumnYieldsNoHits) {
+  // Vaccination rate values ("63%") are not KB entities.
+  DiscoveryQuery q{&query_, /*query_column=*/2, /*k=*/5};
+  auto hits = santos_.Search(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(SantosLakeTest, RecallOnSyntheticUnionableGroundTruth) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 6;
+  p.domains = {"world_cities", "companies", "football_clubs"};
+  p.header_noise = 1.0;  // headers useless: semantics must carry the search
+  auto out = SyntheticLakeGenerator(p).Generate();
+  SantosSearch santos;
+  ASSERT_TRUE(santos.BuildIndex(out.lake).ok());
+
+  // Pick a fragment that kept a KB-covered column to act as intent.
+  const Table* query = nullptr;
+  size_t intent = 0;
+  for (const Table* t : out.lake.tables()) {
+    if (out.truth.DomainOf(t->name()) != "world_cities") continue;
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      const std::string& base = out.truth.BaseColumnOf(t->name(), c);
+      if (base == "City" || base == "Country" || base == "Continent") {
+        query = t;
+        intent = c;
+        break;
+      }
+    }
+    if (query != nullptr) break;
+  }
+  ASSERT_NE(query, nullptr);
+  DiscoveryQuery q{query, intent, 10};
+  auto hits = santos.Search(q);
+  ASSERT_TRUE(hits.ok());
+  std::vector<std::string> truth = out.truth.UnionableWith(query->name());
+  size_t found = 0;
+  for (const std::string& t : truth) {
+    if (HasHit(*hits, t)) ++found;
+  }
+  // Same-domain fragments dominated by KB-covered columns: expect most back.
+  EXPECT_GE(found * 2, truth.size())
+      << "recall@10 below 0.5 on unionable ground truth";
+}
+
+// ----------------------------------------------------------- LSH Ensemble
+
+class LshSearchPaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake_ = paper::MakeDemoLake(16);
+    ASSERT_TRUE(search_.BuildIndex(lake_).ok());
+    query_ = paper::MakeT1();
+  }
+  DataLake lake_;
+  LshEnsembleSearch search_;
+  Table query_;
+};
+
+TEST_F(LshSearchPaperTest, FindsJoinableT3ForT1City) {
+  // Example 1: LSH Ensemble retrieves T3, joinable on City (containment
+  // 2/3 of {berlin, manchester, barcelona}).
+  DiscoveryQuery q{&query_, /*query_column=*/1, /*k=*/5};
+  auto hits = search_.Search(q);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_TRUE(HasHit(*hits, "T3"));
+  // T2's cities are disjoint from the query's: containment 0.
+  EXPECT_FALSE(HasHit(*hits, "T2"));
+}
+
+TEST_F(LshSearchPaperTest, ScoresAreExactContainments) {
+  DiscoveryQuery q{&query_, 1, 5};
+  auto hits = search_.Search(q);
+  ASSERT_TRUE(hits.ok());
+  size_t r = RankOf(*hits, "T3");
+  ASSERT_NE(r, static_cast<size_t>(-1));
+  EXPECT_NEAR((*hits)[r].score, 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(LshSearchPaperTest, EmptyQueryColumn) {
+  Table empty("empty", Schema::FromNames({"x"}));
+  ASSERT_TRUE(empty.AddRow({Value::Null()}).ok());
+  DiscoveryQuery q{&empty, 0, 5};
+  auto hits = search_.Search(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(LshSearchLakeTest, RecallOnJoinableGroundTruth) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 6;
+  p.min_rows = 60;
+  p.max_rows = 110;
+  p.null_rate = 0.0;
+  p.domains = {"world_cities", "companies"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  LshEnsembleSearch::Params sp;
+  sp.containment_threshold = 0.5;
+  LshEnsembleSearch search(sp);
+  ASSERT_TRUE(search.BuildIndex(out.lake).ok());
+
+  // Pick a fragment that kept the City column.
+  const Table* query = nullptr;
+  size_t intent = 0;
+  for (const Table* t : out.lake.tables()) {
+    if (out.truth.DomainOf(t->name()) != "world_cities") continue;
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      if (out.truth.BaseColumnOf(t->name(), c) == "City") {
+        query = t;
+        intent = c;
+        break;
+      }
+    }
+    if (query != nullptr) break;
+  }
+  ASSERT_NE(query, nullptr);
+  std::vector<std::string> truth =
+      out.truth.JoinableWith(out.lake, query->name(), intent, 0.5);
+  DiscoveryQuery q{query, intent, 20};
+  auto hits = search.Search(q);
+  ASSERT_TRUE(hits.ok());
+  size_t found = 0;
+  for (const std::string& t : truth) {
+    if (HasHit(*hits, t)) ++found;
+  }
+  if (!truth.empty()) {
+    EXPECT_GE(found * 10, truth.size() * 7)
+        << "recall@20 below 0.7 on joinable ground truth (" << found << "/"
+        << truth.size() << ")";
+  }
+}
+
+// ---------------------------------------------------------------- JOSIE
+
+TEST(JosieTest, ExactOverlapRanking) {
+  DataLake lake = paper::MakeDemoLake(0);
+  JosieSearch josie;
+  ASSERT_TRUE(josie.BuildIndex(lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, /*query_column=*/1, /*k=*/5};
+  auto hits = josie.Search(q);
+  ASSERT_TRUE(hits.ok());
+  // T3 shares {berlin, barcelona} with the query city column: overlap 2.
+  ASSERT_TRUE(HasHit(*hits, "T3"));
+  EXPECT_DOUBLE_EQ((*hits)[RankOf(*hits, "T3")].score, 2.0);
+  EXPECT_FALSE(HasHit(*hits, "T2"));
+}
+
+TEST(JosieTest, MinOverlapFilters) {
+  DataLake lake = paper::MakeDemoLake(0);
+  JosieSearch::Params p;
+  p.min_overlap = 3;
+  JosieSearch josie(p);
+  ASSERT_TRUE(josie.BuildIndex(lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 5};
+  auto hits = josie.Search(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_FALSE(HasHit(*hits, "T3"));  // overlap 2 < 3
+}
+
+TEST(JosieTest, AgreesWithExactContainmentOnLake) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 4;
+  p.domains = {"country_facts"};
+  p.null_rate = 0.0;
+  auto out = SyntheticLakeGenerator(p).Generate();
+  JosieSearch josie;
+  ASSERT_TRUE(josie.BuildIndex(out.lake).ok());
+  const Table* query = out.lake.Get("country_facts_frag0");
+  ASSERT_NE(query, nullptr);
+  DiscoveryQuery q{query, 0, 10};
+  auto hits = josie.Search(q);
+  ASSERT_TRUE(hits.ok());
+  // Every reported overlap must be achievable: score <= |Q|.
+  size_t qsize = query->ColumnTokenSet(0).size();
+  for (const DiscoveryHit& h : *hits) {
+    EXPECT_LE(h.score, static_cast<double>(qsize));
+    EXPECT_GE(h.score, 1.0);
+  }
+}
+
+// ----------------------------------------------------- Custom similarity
+
+TEST(CustomSearchTest, NaturalInnerJoinSize) {
+  Table a("a", Schema::FromNames({"City", "X"}));
+  (void)a.AddRow({Value::String("Berlin"), Value::Int(1)});
+  (void)a.AddRow({Value::String("Boston"), Value::Int(2)});
+  (void)a.AddRow({Value::String("Paris"), Value::Int(3)});
+  Table b("b", Schema::FromNames({"City", "Y"}));
+  (void)b.AddRow({Value::String("Berlin"), Value::Int(10)});
+  (void)b.AddRow({Value::String("Boston"), Value::Int(20)});
+  (void)b.AddRow({Value::String("Tokyo"), Value::Int(30)});
+  EXPECT_EQ(NaturalInnerJoinSize(a, b), 2u);
+  // No shared columns -> 0.
+  Table c("c", Schema::FromNames({"Z"}));
+  (void)c.AddRow({Value::Int(1)});
+  EXPECT_EQ(NaturalInnerJoinSize(a, c), 0u);
+}
+
+TEST(CustomSearchTest, JoinDuplicatesMultiply) {
+  Table a("a", Schema::FromNames({"k"}));
+  (void)a.AddRow({Value::String("x")});
+  (void)a.AddRow({Value::String("x")});
+  Table b("b", Schema::FromNames({"k"}));
+  (void)b.AddRow({Value::String("x")});
+  (void)b.AddRow({Value::String("x")});
+  (void)b.AddRow({Value::String("x")});
+  EXPECT_EQ(NaturalInnerJoinSize(a, b), 6u);  // 2 x 3, pandas semantics
+}
+
+TEST(CustomSearchTest, NullKeysNeverJoin) {
+  Table a("a", Schema::FromNames({"k"}));
+  (void)a.AddRow({Value::Null()});
+  Table b("b", Schema::FromNames({"k"}));
+  (void)b.AddRow({Value::Null()});
+  EXPECT_EQ(NaturalInnerJoinSize(a, b), 0u);
+}
+
+TEST(CustomSearchTest, InnerJoinSimilarityMatchesFig4) {
+  Table a("a", Schema::FromNames({"City"}));
+  (void)a.AddRow({Value::String("Berlin")});
+  (void)a.AddRow({Value::String("Boston")});
+  Table b("b", Schema::FromNames({"City"}));
+  (void)b.AddRow({Value::String("Berlin")});
+  (void)b.AddRow({Value::String("Rome")});
+  (void)b.AddRow({Value::String("Lima")});
+  // join size 1, max(len) 3 -> 1/3.
+  EXPECT_NEAR(InnerJoinSimilarity(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CustomSearchTest, WorksAsDiscoveryAlgorithm) {
+  DataLake lake = paper::MakeDemoLake(0);
+  SimilarityFunctionSearch search("fig4_join", InnerJoinSimilarity);
+  ASSERT_TRUE(search.BuildIndex(lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 0, 5};
+  auto hits = search.Search(q);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  // T3 shares the City column with 2 joinable rows out of max(3,4)=4.
+  ASSERT_TRUE(HasHit(*hits, "T3"));
+  EXPECT_NEAR((*hits)[RankOf(*hits, "T3")].score, 0.5, 1e-12);
+  EXPECT_EQ(search.name(), "fig4_join");
+}
+
+TEST(CustomSearchTest, EmptyFunctionIsError) {
+  DataLake lake = paper::MakeDemoLake(0);
+  SimilarityFunctionSearch search("broken", TableSimilarityFn());
+  ASSERT_TRUE(search.BuildIndex(lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 0, 5};
+  EXPECT_FALSE(search.Search(q).ok());
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,96 @@
+/// Tests for the evaluation utilities (retrieval metrics, alignment
+/// metrics, ground-truth alignment oracle).
+
+#include <gtest/gtest.h>
+
+#include "align/alite_matcher.h"
+#include "core/eval.h"
+#include "integrate/full_disjunction.h"
+#include "lake/lake_generator.h"
+
+namespace dialite {
+namespace {
+
+// ---------------------------------------------------------- retrieval
+
+TEST(EvaluateRankingTest, PerfectRanking) {
+  std::vector<DiscoveryHit> ranked = {{"a", 3}, {"b", 2}, {"c", 1}};
+  RetrievalMetrics m = EvaluateRanking(ranked, {"a", "b", "c"}, 3);
+  EXPECT_DOUBLE_EQ(m.precision_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(m.average_precision, 1.0);
+  EXPECT_EQ(m.hits, 3u);
+}
+
+TEST(EvaluateRankingTest, PartialAndMisordered) {
+  // relevant = {a, b}; ranked: x, a, y, b.
+  std::vector<DiscoveryHit> ranked = {{"x", 4}, {"a", 3}, {"y", 2}, {"b", 1}};
+  RetrievalMetrics m = EvaluateRanking(ranked, {"a", "b"}, 4);
+  EXPECT_DOUBLE_EQ(m.precision_at_k, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 1.0);
+  // AP = (1/2 + 2/4) / 2 = 0.5.
+  EXPECT_DOUBLE_EQ(m.average_precision, 0.5);
+}
+
+TEST(EvaluateRankingTest, CutoffRespected) {
+  std::vector<DiscoveryHit> ranked = {{"x", 3}, {"y", 2}, {"a", 1}};
+  RetrievalMetrics m = EvaluateRanking(ranked, {"a"}, 2);
+  EXPECT_EQ(m.hits, 0u);
+  EXPECT_DOUBLE_EQ(m.recall_at_k, 0.0);
+}
+
+TEST(EvaluateRankingTest, EmptyRelevantSet) {
+  std::vector<DiscoveryHit> ranked = {{"x", 1}};
+  RetrievalMetrics m = EvaluateRanking(ranked, {}, 5);
+  EXPECT_EQ(m.relevant, 0u);
+  EXPECT_DOUBLE_EQ(m.average_precision, 0.0);
+}
+
+// ---------------------------------------------------------- alignment
+
+TEST(EvaluateAlignmentTest, OracleAlignmentScoresPerfect) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 4;
+  p.header_noise = 1.0;
+  p.domains = {"companies"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  Alignment oracle = GroundTruthAlignment(out.truth, tables);
+  EXPECT_TRUE(oracle.Validate(tables).ok());
+  AlignmentMetrics m = EvaluateAlignment(oracle, out.truth, tables);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+}
+
+TEST(EvaluateAlignmentTest, MatchesManualComputation) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 3;
+  p.domains = {"universities"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  AliteMatcher matcher;
+  auto r = matcher.Align(tables);
+  ASSERT_TRUE(r.ok());
+  AlignmentMetrics m = EvaluateAlignment(*r, out.truth, tables);
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+  EXPECT_GE(m.f1, 0.9);  // clean headers: near-perfect
+}
+
+TEST(GroundTruthAlignmentTest, UsableForIntegration) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 3;
+  p.min_rows = 10;
+  p.max_rows = 25;
+  p.domains = {"vaccine_approvals"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  std::vector<const Table*> tables = out.lake.tables();
+  Alignment oracle = GroundTruthAlignment(out.truth, tables);
+  auto fd = FullDisjunction().Integrate(tables, oracle);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  EXPECT_GT(fd->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace dialite

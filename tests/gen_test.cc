@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "gen/query_table_generator.h"
+
+namespace dialite {
+namespace {
+
+TEST(QueryTableGeneratorTest, Figure5CovidPrompt) {
+  QueryTableGenerator gen;
+  auto r = gen.Generate("covid-19 cases", 5, 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Fig. 5: a 5x5 table with Country, Cases, Deaths, Recovered, Active.
+  EXPECT_EQ(r->num_rows(), 5u);
+  EXPECT_EQ(r->num_columns(), 5u);
+  EXPECT_EQ(r->schema().column(0).name, "Country");
+  EXPECT_EQ(r->schema().column(1).name, "Cases");
+  EXPECT_EQ(r->schema().column(4).name, "Active");
+  // Plausibility: cases = deaths + recovered + active.
+  for (size_t row = 0; row < r->num_rows(); ++row) {
+    EXPECT_EQ(r->at(row, 1).as_int(), r->at(row, 2).as_int() +
+                                          r->at(row, 3).as_int() +
+                                          r->at(row, 4).as_int());
+  }
+}
+
+TEST(QueryTableGeneratorTest, DeterministicPerPromptAndSeed) {
+  QueryTableGenerator gen;
+  auto a = gen.Generate("covid cases", 5, 5);
+  auto b = gen.Generate("covid cases", 5, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->SameRowsAs(*b));
+  QueryTableGenerator::Params p;
+  p.seed = 999;
+  QueryTableGenerator other(p);
+  auto c = other.Generate("covid cases", 5, 5);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->SameRowsAs(*c));
+}
+
+TEST(QueryTableGeneratorTest, TopicRouting) {
+  QueryTableGenerator gen;
+  EXPECT_EQ(gen.ResolveTopic("table about vaccines"), "vaccines");
+  EXPECT_EQ(gen.ResolveTopic("european cities population"), "cities");
+  EXPECT_EQ(gen.ResolveTopic("tech company revenue"), "companies");
+  EXPECT_EQ(gen.ResolveTopic("flight routes"), "flights");
+  EXPECT_EQ(gen.ResolveTopic("football league standings"), "football");
+  EXPECT_EQ(gen.ResolveTopic("university students"), "universities");
+}
+
+TEST(QueryTableGeneratorTest, UnknownPromptStillAnswers) {
+  QueryTableGenerator gen;
+  auto r = gen.Generate("xyzzy blorp", 4, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->num_rows(), 0u);
+  EXPECT_EQ(r->num_columns(), 3u);
+}
+
+TEST(QueryTableGeneratorTest, WidthClipping) {
+  QueryTableGenerator gen;
+  auto r = gen.Generate("cities of the world", 6, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 2u);
+  EXPECT_EQ(r->num_rows(), 6u);
+  // Requesting more columns than the template has keeps the template width.
+  auto r2 = gen.Generate("cities of the world", 6, 99);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_columns(), 5u);
+}
+
+TEST(QueryTableGeneratorTest, RejectsZeroDimensions) {
+  QueryTableGenerator gen;
+  EXPECT_FALSE(gen.Generate("covid", 0, 5).ok());
+  EXPECT_FALSE(gen.Generate("covid", 5, 0).ok());
+}
+
+TEST(QueryTableGeneratorTest, DifferentPromptsDifferentTopicsDiffer) {
+  QueryTableGenerator gen;
+  auto covid = gen.Generate("covid cases", 5, 5);
+  auto clubs = gen.Generate("football clubs", 5, 5);
+  ASSERT_TRUE(covid.ok());
+  ASSERT_TRUE(clubs.ok());
+  EXPECT_NE(covid->schema().ColumnNames(), clubs->schema().ColumnNames());
+}
+
+TEST(QueryTableGeneratorTest, AvailableTopicsNonEmpty) {
+  EXPECT_GE(QueryTableGenerator::AvailableTopics().size(), 8u);
+}
+
+TEST(QueryTableGeneratorTest, MoviesTopic) {
+  QueryTableGenerator gen;
+  EXPECT_EQ(gen.ResolveTopic("films by director"), "movies");
+  auto r = gen.Generate("classic movies", 6, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().column(0).name, "Title");
+  EXPECT_EQ(r->schema().column(1).name, "Director");
+  EXPECT_EQ(r->num_rows(), 6u);
+}
+
+}  // namespace
+}  // namespace dialite

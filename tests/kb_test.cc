@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kb/annotator.h"
+#include "kb/embedding.h"
+#include "kb/knowledge_base.h"
+#include "kb/world.h"
+#include "table/table.h"
+
+namespace dialite {
+namespace {
+
+bool HasLabel(const std::vector<Annotation>& anns, const std::string& label) {
+  return std::any_of(anns.begin(), anns.end(),
+                     [&](const Annotation& a) { return a.label == label; });
+}
+
+// ---------------------------------------------------------------- World
+
+TEST(WorldTest, BuiltInIsPopulated) {
+  const World& w = World::BuiltIn();
+  EXPECT_GE(w.countries().size(), 50u);
+  EXPECT_GE(w.cities().size(), 100u);
+  EXPECT_GE(w.vaccines().size(), 10u);
+  EXPECT_GE(w.agencies().size(), 10u);
+  EXPECT_GE(w.companies().size(), 25u);
+  EXPECT_GE(w.universities().size(), 40u);
+  EXPECT_GE(w.airlines().size(), 30u);
+  EXPECT_GE(w.airports().size(), 50u);
+  EXPECT_GE(w.clubs().size(), 30u);
+}
+
+TEST(WorldTest, CityCountriesResolvable) {
+  const World& w = World::BuiltIn();
+  std::unordered_set<std::string> countries;
+  for (const CountryInfo& c : w.countries()) countries.insert(c.name);
+  for (const CityInfo& c : w.cities()) {
+    EXPECT_TRUE(countries.count(c.country))
+        << c.name << " references unknown country " << c.country;
+  }
+}
+
+TEST(WorldTest, UniversityCitiesResolvable) {
+  const World& w = World::BuiltIn();
+  std::unordered_set<std::string> cities;
+  for (const CityInfo& c : w.cities()) cities.insert(c.name);
+  // Singapore is a country-city; universities may reference it.
+  cities.insert("Singapore");
+  for (const UniversityInfo& u : w.universities()) {
+    EXPECT_TRUE(cities.count(u.city))
+        << u.name << " references unknown city " << u.city;
+  }
+}
+
+// ------------------------------------------------------------------ KB
+
+TEST(KnowledgeBaseTest, TypeHierarchyWalk) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddType("entity").ok());
+  ASSERT_TRUE(kb.AddType("location", "entity").ok());
+  ASSERT_TRUE(kb.AddType("city", "location").ok());
+  ASSERT_TRUE(kb.AddEntity("Springfield", "city").ok());
+  std::vector<std::string> types = kb.TypesOf("Springfield");
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], "city");
+  EXPECT_EQ(types[1], "location");
+  EXPECT_EQ(types[2], "entity");
+}
+
+TEST(KnowledgeBaseTest, AddTypeValidations) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.AddType("").ok());
+  EXPECT_FALSE(kb.AddType("x", "nonexistent").ok());
+  ASSERT_TRUE(kb.AddType("x").ok());
+  EXPECT_EQ(kb.AddType("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(KnowledgeBaseTest, AddEntityRequiresKnownType) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.AddEntity("v", "ghost").ok());
+}
+
+TEST(KnowledgeBaseTest, FactsRequireKnownEntities) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.AddType("t").ok());
+  ASSERT_TRUE(kb.AddEntity("a", "t").ok());
+  EXPECT_FALSE(kb.AddFact("a", "rel", "ghost").ok());
+  EXPECT_FALSE(kb.AddFact("ghost", "rel", "a").ok());
+  ASSERT_TRUE(kb.AddEntity("b", "t").ok());
+  ASSERT_TRUE(kb.AddFact("a", "rel", "b").ok());
+  EXPECT_EQ(kb.RelationBetween("a", "b").value(), "rel");
+  EXPECT_FALSE(kb.RelationBetween("b", "a").has_value());
+}
+
+TEST(KnowledgeBaseTest, LookupIsCaseAndPunctuationInsensitive) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  EXPECT_TRUE(kb.Knows("berlin"));
+  EXPECT_TRUE(kb.Knows("BERLIN"));
+  EXPECT_TRUE(kb.Knows("Mexico  City"));
+  EXPECT_FALSE(kb.Knows("Atlantis"));
+}
+
+TEST(KnowledgeBaseTest, BuiltInGeography) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  std::vector<std::string> t = kb.TypesOf("Berlin");
+  EXPECT_TRUE(std::find(t.begin(), t.end(), "capital") != t.end());
+  EXPECT_TRUE(std::find(t.begin(), t.end(), "city") != t.end());
+  EXPECT_TRUE(std::find(t.begin(), t.end(), "location") != t.end());
+  EXPECT_EQ(kb.RelationBetween("Berlin", "Germany").value(), "locatedIn");
+  EXPECT_EQ(kb.RelationBetween("Boston", "United States").value(),
+            "locatedIn");
+}
+
+TEST(KnowledgeBaseTest, BuiltInVaccinesAndAliases) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  EXPECT_EQ(kb.RelationBetween("Pfizer", "FDA").value(), "approvedBy");
+  EXPECT_EQ(kb.RelationBetween("J&J", "FDA").value(), "approvedBy");
+  EXPECT_EQ(kb.RelationBetween("JnJ", "United States").value(),
+            "originatesFrom");
+  EXPECT_EQ(kb.RelationBetween("USA", "United States").value(), "sameAs");
+}
+
+TEST(KnowledgeBaseTest, BuiltInMovies) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  std::vector<std::string> t = kb.TypesOf("The Silent Harbor");
+  EXPECT_TRUE(std::find(t.begin(), t.end(), "movie") != t.end());
+  EXPECT_TRUE(std::find(t.begin(), t.end(), "creative_work") != t.end());
+  EXPECT_EQ(kb.RelationBetween("The Silent Harbor", "Elena Vasquez").value(),
+            "directedBy");
+  EXPECT_EQ(kb.RelationBetween("The Silent Harbor", "Spain").value(),
+            "producedIn");
+}
+
+TEST(KnowledgeBaseTest, BuiltInCounts) {
+  const KnowledgeBase& kb = KnowledgeBase::BuiltIn();
+  EXPECT_GT(kb.num_entities(), 400u);
+  EXPECT_GT(kb.num_facts(), 500u);
+  EXPECT_GT(kb.num_types(), 20u);
+}
+
+// ----------------------------------------------------------- Annotator
+
+TEST(AnnotatorTest, CityColumnAnnotatedAsCity) {
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  std::vector<Annotation> types =
+      ann.AnnotateValues({"Berlin", "Boston", "Barcelona", "Toronto"});
+  ASSERT_FALSE(types.empty());
+  EXPECT_TRUE(HasLabel(types, "city"));
+  // Coverage is full, so the top score should be 1.0 for "city"/"location".
+  EXPECT_DOUBLE_EQ(types[0].score, 1.0);
+}
+
+TEST(AnnotatorTest, MixedColumnScoresFractional) {
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  std::vector<Annotation> types =
+      ann.AnnotateValues({"Berlin", "Boston", "NotARealPlaceXyz", "Qqqq"});
+  ASSERT_FALSE(types.empty());
+  EXPECT_NEAR(types[0].score, 0.5, 1e-9);
+}
+
+TEST(AnnotatorTest, UnknownValuesYieldNothing) {
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  EXPECT_TRUE(ann.AnnotateValues({"zzz1", "zzz2"}).empty());
+  EXPECT_TRUE(ann.AnnotateValues({}).empty());
+}
+
+TEST(AnnotatorTest, RelationAnnotation) {
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  std::vector<Annotation> rels = ann.AnnotateRelation(
+      {{"Berlin", "Germany"}, {"Boston", "United States"},
+       {"Barcelona", "Spain"}});
+  ASSERT_FALSE(rels.empty());
+  EXPECT_EQ(rels[0].label, "locatedIn");
+  EXPECT_DOUBLE_EQ(rels[0].score, 1.0);
+}
+
+TEST(AnnotatorTest, ReverseRelationGetsInverseLabel) {
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  std::vector<Annotation> rels =
+      ann.AnnotateRelation({{"Germany", "Berlin"}, {"Spain", "Madrid"}});
+  ASSERT_FALSE(rels.empty());
+  EXPECT_TRUE(HasLabel(rels, "locatedIn^-1"));
+}
+
+TEST(AnnotatorTest, TableColumnAndPairAnnotation) {
+  Table t("t", Schema::FromNames({"City", "Country"}));
+  ASSERT_TRUE(
+      t.AddRow({Value::String("Berlin"), Value::String("Germany")}).ok());
+  ASSERT_TRUE(
+      t.AddRow({Value::String("Madrid"), Value::String("Spain")}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("Lyon"), Value::Null()}).ok());
+  ColumnAnnotator ann(&KnowledgeBase::BuiltIn());
+  EXPECT_TRUE(HasLabel(ann.AnnotateColumn(t, 0), "city"));
+  EXPECT_TRUE(HasLabel(ann.AnnotateColumn(t, 1), "country"));
+  std::vector<Annotation> rels = ann.AnnotateColumnPair(t, 0, 1);
+  ASSERT_FALSE(rels.empty());
+  EXPECT_TRUE(HasLabel(rels, "locatedIn"));  // null row skipped
+  EXPECT_DOUBLE_EQ(rels[0].score, 1.0);
+  EXPECT_NEAR(ann.ColumnCoverage(t, 0), 1.0, 1e-9);
+}
+
+// ----------------------------------------------------------- Embedding
+
+TEST(EmbeddingTest, CosineBasics) {
+  Embedding a = {1.0f, 0.0f};
+  Embedding b = {0.0f, 1.0f};
+  Embedding c = {2.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-6);
+  Embedding zero = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, {1.0f}), 0.0);  // dim mismatch
+}
+
+TEST(EmbeddingTest, DeterministicAndNormalized) {
+  HashEmbedder emb(&KnowledgeBase::BuiltIn());
+  Embedding e1 = emb.EmbedValue("Berlin");
+  Embedding e2 = emb.EmbedValue("Berlin");
+  EXPECT_EQ(e1, e2);
+  double norm = 0.0;
+  for (float x : e1) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(EmbeddingTest, SameTypeValuesCloserThanCrossType) {
+  HashEmbedder emb(&KnowledgeBase::BuiltIn());
+  double city_city =
+      CosineSimilarity(emb.EmbedValue("Berlin"), emb.EmbedValue("Boston"));
+  double city_vaccine =
+      CosineSimilarity(emb.EmbedValue("Berlin"), emb.EmbedValue("Pfizer"));
+  EXPECT_GT(city_city, city_vaccine);
+  EXPECT_GT(city_city, 0.3);
+}
+
+TEST(EmbeddingTest, SurfaceSimilarityWithoutKb) {
+  HashEmbedder emb;  // no KB
+  double typo = CosineSimilarity(emb.EmbedValue("vaccination"),
+                                 emb.EmbedValue("vacination"));
+  double far =
+      CosineSimilarity(emb.EmbedValue("vaccination"), emb.EmbedValue("zebra"));
+  EXPECT_GT(typo, far);
+  EXPECT_GT(typo, 0.35);
+}
+
+TEST(EmbeddingTest, EmptyValueIsZeroVector) {
+  HashEmbedder emb;
+  Embedding e = emb.EmbedValue("");
+  for (float x : e) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(EmbeddingTest, ValueSetEmbeddingSeparatesColumns) {
+  HashEmbedder emb(&KnowledgeBase::BuiltIn());
+  Embedding cities = emb.EmbedValueSet({"Berlin", "Madrid", "Boston"});
+  Embedding cities2 = emb.EmbedValueSet({"Toronto", "Lyon", "Osaka"});
+  Embedding vaccines = emb.EmbedValueSet({"Pfizer", "Moderna", "Sinovac"});
+  EXPECT_GT(CosineSimilarity(cities, cities2),
+            CosineSimilarity(cities, vaccines));
+}
+
+TEST(EmbeddingTest, CountryAliasVeryClose) {
+  HashEmbedder emb(&KnowledgeBase::BuiltIn());
+  double alias =
+      CosineSimilarity(emb.EmbedValue("USA"), emb.EmbedValue("United States"));
+  double unrelated =
+      CosineSimilarity(emb.EmbedValue("USA"), emb.EmbedValue("Premier League"));
+  EXPECT_GT(alias, unrelated);
+  EXPECT_GT(alias, 0.5);
+}
+
+}  // namespace
+}  // namespace dialite

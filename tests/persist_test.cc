@@ -1,0 +1,132 @@
+/// Tests for offline-index persistence (SANTOS and JOSIE save/load).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "discovery/josie.h"
+#include "discovery/persist.h"
+#include "discovery/santos.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PersistEscapeTest, RoundTripsSpecials) {
+  const std::string cases[] = {"plain", "with\nnewline", "back\\slash",
+                               "cr\rchar", "", "mix\\n\n\\"};
+  for (const std::string& s : cases) {
+    EXPECT_EQ(UnescapeIndexLine(EscapeIndexLine(s)), s) << s;
+  }
+  // Escaped form never contains a raw newline.
+  EXPECT_EQ(EscapeIndexLine("a\nb").find('\n'), std::string::npos);
+}
+
+TEST(JosiePersistTest, SaveLoadGivesIdenticalResults) {
+  DataLake lake = paper::MakeDemoLake(12);
+  JosieSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path = TempPath("josie.idx");
+  ASSERT_TRUE(original.SaveIndex(path).ok());
+
+  JosieSearch loaded;
+  ASSERT_TRUE(loaded.LoadIndex(path, lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 10};
+  auto h1 = original.Search(q);
+  auto h2 = loaded.Search(q);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  ASSERT_EQ(h1->size(), h2->size());
+  for (size_t i = 0; i < h1->size(); ++i) {
+    EXPECT_EQ((*h1)[i].table_name, (*h2)[i].table_name);
+    EXPECT_DOUBLE_EQ((*h1)[i].score, (*h2)[i].score);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JosiePersistTest, LoadRejectsMissingTable) {
+  DataLake lake = paper::MakeDemoLake(0);
+  JosieSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path = TempPath("josie_missing.idx");
+  ASSERT_TRUE(original.SaveIndex(path).ok());
+  DataLake other;  // empty lake
+  JosieSearch loaded;
+  Status s = loaded.LoadIndex(path, other);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(JosiePersistTest, LoadRejectsGarbage) {
+  std::string path = TempPath("josie_garbage.idx");
+  {
+    std::ofstream out(path);
+    out << "not an index\n";
+  }
+  DataLake lake = paper::MakeDemoLake(0);
+  JosieSearch loaded;
+  EXPECT_EQ(loaded.LoadIndex(path, lake).code(), StatusCode::kParseError);
+  EXPECT_FALSE(loaded.LoadIndex("/nonexistent/no.idx", lake).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SantosPersistTest, SaveLoadGivesIdenticalResults) {
+  DataLake lake = paper::MakeDemoLake(12);
+  SantosSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path = TempPath("santos.idx");
+  ASSERT_TRUE(original.SaveIndex(path).ok());
+
+  SantosSearch loaded;
+  ASSERT_TRUE(loaded.LoadIndex(path, lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 10};
+  auto h1 = original.Search(q);
+  auto h2 = loaded.Search(q);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+  ASSERT_EQ(h1->size(), h2->size());
+  for (size_t i = 0; i < h1->size(); ++i) {
+    EXPECT_EQ((*h1)[i].table_name, (*h2)[i].table_name);
+    EXPECT_NEAR((*h1)[i].score, (*h2)[i].score, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SantosPersistTest, LoadedIndexStillRanksT2First) {
+  DataLake lake = paper::MakeDemoLake(12);
+  SantosSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path = TempPath("santos2.idx");
+  ASSERT_TRUE(original.SaveIndex(path).ok());
+  SantosSearch loaded;
+  ASSERT_TRUE(loaded.LoadIndex(path, lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 5};
+  auto hits = loaded.Search(q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].table_name, "T2");
+  std::remove(path.c_str());
+}
+
+TEST(SantosPersistTest, LoadRejectsBadHeader) {
+  std::string path = TempPath("santos_bad.idx");
+  {
+    std::ofstream out(path);
+    out << "dialite-josie-index v1\n";  // wrong kind
+  }
+  DataLake lake = paper::MakeDemoLake(0);
+  SantosSearch loaded;
+  EXPECT_EQ(loaded.LoadIndex(path, lake).code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,156 @@
+/// Tests for HyperLogLog and the table profiler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "analyze/profiler.h"
+#include "lake/paper_fixtures.h"
+#include "sketch/hyperloglog.h"
+
+namespace dialite {
+namespace {
+
+// ------------------------------------------------------------ HyperLogLog
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll;
+  EXPECT_NEAR(hll.Estimate(), 0.0, 0.5);
+}
+
+TEST(HyperLogLogTest, SmallCardinalityIsAccurate) {
+  HyperLogLog hll;
+  for (int i = 0; i < 50; ++i) hll.Add("item" + std::to_string(i));
+  EXPECT_NEAR(hll.Estimate(), 50.0, 3.0);  // linear-counting regime
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (int i = 0; i < 20; ++i) hll.Add("v" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 20.0, 2.0);
+}
+
+TEST(HyperLogLogTest, LargeCardinalityWithinRelativeError) {
+  HyperLogLog hll(12);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) hll.Add("item" + std::to_string(i));
+  double est = hll.Estimate();
+  // Standard error at p=12 is ~1.6%; allow 5%.
+  EXPECT_NEAR(est, kN, kN * 0.05);
+}
+
+TEST(HyperLogLogTest, PrecisionTradesAccuracy) {
+  HyperLogLog coarse(6);
+  HyperLogLog fine(14);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    std::string s = "x" + std::to_string(i);
+    coarse.Add(s);
+    fine.Add(s);
+  }
+  double err_coarse = std::fabs(coarse.Estimate() - kN) / kN;
+  double err_fine = std::fabs(fine.Estimate() - kN) / kN;
+  EXPECT_LT(err_fine, err_coarse + 0.02);
+  EXPECT_LT(err_fine, 0.03);
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a;
+  HyperLogLog b;
+  HyperLogLog u;
+  for (int i = 0; i < 3000; ++i) {
+    std::string s = "a" + std::to_string(i);
+    a.Add(s);
+    u.Add(s);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    std::string s = (i < 1500) ? "a" + std::to_string(i)
+                               : "b" + std::to_string(i);
+    b.Add(s);
+    u.Add(s);
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_NEAR(a.Estimate(), u.Estimate(), u.Estimate() * 0.01);
+}
+
+TEST(HyperLogLogTest, MergeRejectsMismatchedPrecision) {
+  HyperLogLog a(10);
+  HyperLogLog b(12);
+  EXPECT_FALSE(a.Merge(b));
+}
+
+// --------------------------------------------------------------- Profiler
+
+TEST(ProfilerTest, ProfilesPaperFig3Table) {
+  Table fd = paper::MakeFig3Expected();
+  TableProfile p = ProfileTable(fd);
+  EXPECT_EQ(p.rows, 7u);
+  EXPECT_EQ(p.columns, 5u);
+  ASSERT_EQ(p.column_profiles.size(), 5u);
+
+  const ColumnProfile& country = p.column_profiles[0];
+  EXPECT_EQ(country.name, "Country");
+  EXPECT_EQ(country.nulls, 1u);           // New Delhi's ⊥
+  EXPECT_EQ(country.produced_nulls, 1u);
+  EXPECT_EQ(country.distinct, 6u);
+  EXPECT_FALSE(country.distinct_estimated);
+
+  const ColumnProfile& vacc = p.column_profiles[2];
+  EXPECT_EQ(vacc.nulls, 2u);              // Mexico City ± and New Delhi ⊥
+  EXPECT_EQ(vacc.produced_nulls, 1u);
+  EXPECT_TRUE(vacc.has_numeric);          // "63%" parses loosely
+  EXPECT_DOUBLE_EQ(vacc.min, 62.0);
+  EXPECT_DOUBLE_EQ(vacc.max, 83.0);
+}
+
+TEST(ProfilerTest, TopValuesRankedByFrequency) {
+  Table t("t", Schema::FromNames({"c"}));
+  for (int i = 0; i < 5; ++i) (void)t.AddRow({Value::String("common")});
+  for (int i = 0; i < 2; ++i) (void)t.AddRow({Value::String("rare")});
+  (void)t.AddRow({Value::String("once")});
+  ProfilerOptions opt;
+  opt.top_k_values = 2;
+  TableProfile p = ProfileTable(t, opt);
+  ASSERT_EQ(p.column_profiles[0].top_values.size(), 2u);
+  EXPECT_EQ(p.column_profiles[0].top_values[0].first, "common");
+  EXPECT_EQ(p.column_profiles[0].top_values[0].second, 5u);
+  EXPECT_EQ(p.column_profiles[0].top_values[1].first, "rare");
+}
+
+TEST(ProfilerTest, SwitchesToSketchAboveLimit) {
+  Table t("t", Schema::FromNames({"c"}));
+  for (int i = 0; i < 3000; ++i) {
+    (void)t.AddRow({Value::String("v" + std::to_string(i))});
+  }
+  ProfilerOptions opt;
+  opt.exact_distinct_limit = 100;
+  TableProfile p = ProfileTable(t, opt);
+  EXPECT_TRUE(p.column_profiles[0].distinct_estimated);
+  EXPECT_NEAR(static_cast<double>(p.column_profiles[0].distinct), 3000.0,
+              300.0);
+  EXPECT_TRUE(p.column_profiles[0].top_values.empty());
+}
+
+TEST(ProfilerTest, EmptyTable) {
+  Table t("empty", Schema::FromNames({"a", "b"}));
+  TableProfile p = ProfileTable(t);
+  EXPECT_EQ(p.rows, 0u);
+  ASSERT_EQ(p.column_profiles.size(), 2u);
+  EXPECT_EQ(p.column_profiles[0].distinct, 0u);
+  EXPECT_FALSE(p.column_profiles[0].has_numeric);
+}
+
+TEST(ProfilerTest, RenderedTableShape) {
+  Table fd = paper::MakeFig3Expected();
+  Table rendered = ProfileToTable(ProfileTable(fd));
+  EXPECT_EQ(rendered.num_rows(), 5u);
+  EXPECT_EQ(rendered.schema().IndexOf("distinct"), 4u);
+  // Country row: distinct 6.
+  EXPECT_EQ(rendered.at(0, 4).as_int(), 6);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,150 @@
+/// Tests for the single-table query engine (filter/sort/project/limit).
+
+#include <gtest/gtest.h>
+
+#include "analyze/query.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+Table Fd() { return paper::MakeFig3Expected(); }
+
+// ------------------------------------------------------------- predicates
+
+TEST(PredicateTest, NumericComparisonsUseLooseParsing) {
+  // "63%" >= 63 and "1.4M" > 1000000.
+  EXPECT_TRUE(EvaluatePredicate(Value::String("63%"), CompareOp::kGe,
+                                Value::Int(63)));
+  EXPECT_TRUE(EvaluatePredicate(Value::String("1.4M"), CompareOp::kGt,
+                                Value::Int(1000000)));
+  EXPECT_FALSE(EvaluatePredicate(Value::String("263k"), CompareOp::kGt,
+                                 Value::String("1.4M")));
+}
+
+TEST(PredicateTest, StringComparisonsAndContains) {
+  EXPECT_TRUE(EvaluatePredicate(Value::String("Berlin"), CompareOp::kEq,
+                                Value::String("Berlin")));
+  EXPECT_TRUE(EvaluatePredicate(Value::String("Berlin"), CompareOp::kLt,
+                                Value::String("Boston")));
+  EXPECT_TRUE(EvaluatePredicate(Value::String("Mexico City"),
+                                CompareOp::kContains,
+                                Value::String("city")));
+  EXPECT_FALSE(EvaluatePredicate(Value::String("Berlin"),
+                                 CompareOp::kContains,
+                                 Value::String("bos")));
+}
+
+TEST(PredicateTest, NullSemantics) {
+  EXPECT_TRUE(EvaluatePredicate(Value::Null(), CompareOp::kIsNull, Value()));
+  EXPECT_TRUE(EvaluatePredicate(Value::ProducedNull(), CompareOp::kIsNull,
+                                Value()));
+  EXPECT_FALSE(EvaluatePredicate(Value::Null(), CompareOp::kNotNull, Value()));
+  // Nulls fail every ordinary comparison, even kNe.
+  EXPECT_FALSE(EvaluatePredicate(Value::Null(), CompareOp::kEq, Value::Int(1)));
+  EXPECT_FALSE(EvaluatePredicate(Value::Null(), CompareOp::kNe, Value::Int(1)));
+}
+
+// ------------------------------------------------------------------ query
+
+TEST(QueryTest, FilterOnLooseNumbers) {
+  // Cities with vaccination rate >= 70: Manchester (78), Barcelona (82),
+  // Toronto (83).
+  QuerySpec q;
+  q.where = {{"Vaccination Rate (1+ dose)", CompareOp::kGe, Value::Int(70)}};
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST(QueryTest, ProjectAndOrderAndLimit) {
+  QuerySpec q;
+  q.select = {"City", "Death Rate (per 100k residents)"};
+  q.where = {{"Death Rate (per 100k residents)", CompareOp::kNotNull, Value()}};
+  q.order_by = {{"Death Rate (per 100k residents)", /*ascending=*/false}};
+  q.limit = 2;
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->num_columns(), 2u);
+  EXPECT_EQ(r->at(0, 0).as_string(), "Boston");   // 335
+  EXPECT_EQ(r->at(1, 0).as_string(), "Barcelona"); // 275
+}
+
+TEST(QueryTest, ConjunctivePredicates) {
+  QuerySpec q;
+  q.where = {{"Vaccination Rate (1+ dose)", CompareOp::kNotNull, Value()},
+             {"Total Cases", CompareOp::kNotNull, Value()},
+             {"Vaccination Rate (1+ dose)", CompareOp::kLt, Value::Int(80)}};
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok());
+  // Complete rows with rate < 80: Berlin (63), Boston (62).
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(QueryTest, IsNullFindsIncompleteTuples) {
+  QuerySpec q;
+  q.select = {"City"};
+  q.where = {{"Total Cases", CompareOp::kIsNull, Value()}};
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);  // Manchester, Toronto, Mexico City
+}
+
+TEST(QueryTest, NullsSortLast) {
+  QuerySpec q;
+  q.select = {"City", "Total Cases"};
+  q.order_by = {{"Total Cases", true}};
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 7u);
+  // Ascending: 263k, 1.4M, 2M, 2.68M, then the three null rows.
+  EXPECT_EQ(r->at(0, 0).as_string(), "Boston");
+  EXPECT_TRUE(r->at(4, 1).is_null());
+  EXPECT_TRUE(r->at(6, 1).is_null());
+}
+
+TEST(QueryTest, ProvenanceFollowsRows) {
+  QuerySpec q;
+  q.where = {{"City", CompareOp::kEq, Value::String("Berlin")}};
+  auto r = RunQuery(Fd(), q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->provenance(0), (std::vector<std::string>{"t1", "t7"}));
+}
+
+TEST(QueryTest, EmptySpecIsIdentity) {
+  auto r = RunQuery(Fd(), QuerySpec{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->SameRowsAs(Fd()));
+}
+
+TEST(QueryTest, UnknownColumnsError) {
+  QuerySpec q;
+  q.select = {"nope"};
+  EXPECT_EQ(RunQuery(Fd(), q).status().code(), StatusCode::kNotFound);
+  QuerySpec q2;
+  q2.where = {{"nope", CompareOp::kEq, Value::Int(1)}};
+  EXPECT_EQ(RunQuery(Fd(), q2).status().code(), StatusCode::kNotFound);
+  QuerySpec q3;
+  q3.order_by = {{"nope", true}};
+  EXPECT_EQ(RunQuery(Fd(), q3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTest, MultiKeyOrdering) {
+  Table t("t", Schema::FromNames({"g", "v"}));
+  (void)t.AddRow({Value::String("b"), Value::Int(1)});
+  (void)t.AddRow({Value::String("a"), Value::Int(2)});
+  (void)t.AddRow({Value::String("a"), Value::Int(1)});
+  QuerySpec q;
+  q.order_by = {{"g", true}, {"v", false}};
+  auto r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).as_string(), "a");
+  EXPECT_EQ(r->at(0, 1).as_int(), 2);
+  EXPECT_EQ(r->at(1, 1).as_int(), 1);
+  EXPECT_EQ(r->at(2, 0).as_string(), "b");
+}
+
+}  // namespace
+}  // namespace dialite

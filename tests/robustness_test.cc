@@ -1,0 +1,168 @@
+/// Robustness and stress tests: adversarial FD inputs, concurrent reads,
+/// moderate-scale end-to-end runs, and the facade keyword entry point.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "align/alite_matcher.h"
+#include "common/thread_pool.h"
+#include "core/dialite.h"
+#include "integrate/full_disjunction.h"
+#include "lake/lake_generator.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+// ------------------------------------------------------- adversarial FD
+
+TEST(FdAdversarialTest, ConflictingChainsStayApart) {
+  // a and c agree with b on DIFFERENT attributes but conflict with each
+  // other; FD must produce a⊕b and b⊕c but never a⊕b⊕c.
+  Table ta("A", Schema::FromNames({"k1", "x"}));
+  (void)ta.AddRow({Value::String("k"), Value::String("left")});
+  Table tb("B", Schema::FromNames({"k1", "k2"}));
+  (void)tb.AddRow({Value::String("k"), Value::String("m")});
+  Table tc("C", Schema::FromNames({"k2", "x"}));
+  (void)tc.AddRow({Value::String("m"), Value::String("right")});
+  NameMatcher matcher;
+  std::vector<const Table*> tables = {&ta, &tb, &tc};
+  auto align = matcher.Align(tables);
+  ASSERT_TRUE(align.ok());
+  auto fd = FullDisjunction().Integrate(tables, *align);
+  ASSERT_TRUE(fd.ok());
+  // Expected tuples: (k, m, left) and (k, m, right) — the x-conflict keeps
+  // the chains apart. No row may contain both "left" and "right".
+  EXPECT_EQ(fd->num_rows(), 2u) << fd->ToPrettyString();
+  for (size_t r = 0; r < fd->num_rows(); ++r) {
+    bool left = false;
+    bool right = false;
+    for (size_t c = 0; c < fd->num_columns(); ++c) {
+      if (fd->at(r, c).is_null()) continue;
+      if (fd->at(r, c).ToCsvString() == "left") left = true;
+      if (fd->at(r, c).ToCsvString() == "right") right = true;
+    }
+    EXPECT_FALSE(left && right);
+  }
+}
+
+TEST(FdAdversarialTest, AllNullRowsVanishWhenFactsExist) {
+  Table ta("A", Schema::FromNames({"x", "y"}));
+  (void)ta.AddRow({Value::Null(), Value::Null()});
+  (void)ta.AddRow({Value::String("v"), Value::Null()});
+  NameMatcher matcher;
+  std::vector<const Table*> tables = {&ta};
+  auto align = matcher.Align(tables);
+  ASSERT_TRUE(align.ok());
+  auto fd = FullDisjunction().Integrate(tables, *align);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->num_rows(), 1u);
+  EXPECT_EQ(fd->at(0, 0).as_string(), "v");
+}
+
+TEST(FdAdversarialTest, DuplicateInputTuplesCollapseWithProvenanceUnion) {
+  Table ta("A", Schema::FromNames({"x"}));
+  (void)ta.AddRow({Value::String("v")});
+  Table tb("B", Schema::FromNames({"x"}));
+  (void)tb.AddRow({Value::String("v")});
+  ManualAlignment manual({{{"A", 0}, {"B", 0}}});
+  auto align = manual.Align({&ta, &tb});
+  ASSERT_TRUE(align.ok());
+  std::vector<const Table*> tables = {&ta, &tb};
+  auto fd = FullDisjunction().Integrate(tables, *align);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(fd->num_rows(), 1u);
+  EXPECT_EQ(fd->provenance(0), (std::vector<std::string>{"A#0", "B#0"}));
+}
+
+TEST(FdStressTest, ModerateScaleCompletesQuickly) {
+  // 6 fragments x ~500 rows with a shared key column: FD must finish and
+  // produce exactly the entity count.
+  constexpr size_t kEntities = 500;
+  std::vector<Table> storage;
+  for (int f = 0; f < 6; ++f) {
+    Table t("F" + std::to_string(f),
+            Schema::FromNames({"key", "a" + std::to_string(f)}));
+    for (size_t i = 0; i < kEntities; ++i) {
+      (void)t.AddRow({Value::String("e" + std::to_string(i)),
+                      Value::Int(static_cast<int64_t>(i * 10 + f))});
+    }
+    storage.push_back(std::move(t));
+  }
+  std::vector<const Table*> tables;
+  for (const Table& t : storage) tables.push_back(&t);
+  NameMatcher matcher;
+  auto align = matcher.Align(tables);
+  ASSERT_TRUE(align.ok());
+  auto fd = FullDisjunction().Integrate(tables, *align);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  EXPECT_EQ(fd->num_rows(), kEntities);
+  // Every output row is fully populated (key + 6 attributes).
+  for (size_t c = 0; c < fd->num_columns(); ++c) {
+    EXPECT_FALSE(fd->at(0, c).is_null());
+  }
+}
+
+// ----------------------------------------------------- concurrent reads
+
+TEST(ConcurrencyTest, ParallelSearchesOnSharedIndexes) {
+  DataLake lake = paper::MakeDemoLake(16);
+  Dialite dialite(&lake);
+  ASSERT_TRUE(dialite.RegisterDefaults().ok());
+  ASSERT_TRUE(dialite.BuildIndexes().ok());
+  Table query = paper::MakeT1();
+
+  std::atomic<int> failures{0};
+  ThreadPool pool(8);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&dialite, &query, &failures, i] {
+      DiscoveryQuery q{&query, static_cast<size_t>(i % 3), 5};
+      auto hits = dialite.DiscoverAll(q);
+      if (!hits.ok()) failures.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelIntegrations) {
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  std::vector<const Table*> set = {&t1, &t2, &t3};
+  AliteMatcher matcher;
+  auto align = matcher.Align(set);
+  ASSERT_TRUE(align.ok());
+  Table expected = paper::MakeFig3Expected();
+
+  std::atomic<int> mismatches{0};
+  ThreadPool pool(6);
+  for (int i = 0; i < 24; ++i) {
+    pool.Submit([&set, &align, &expected, &mismatches] {
+      FullDisjunction fd;
+      auto r = fd.Integrate(set, *align);
+      if (!r.ok() || !r->SameRowsAs(expected)) mismatches.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --------------------------------------------------- facade keyword hook
+
+TEST(FacadeKeywordTest, SearchKeywordsThroughDialite) {
+  DataLake lake = paper::MakeDemoLake(8);
+  Dialite dialite(&lake);
+  ASSERT_TRUE(dialite.RegisterDefaults().ok());
+  // Before BuildIndexes: error.
+  EXPECT_FALSE(dialite.SearchKeywords("vaccine", 5).ok());
+  ASSERT_TRUE(dialite.BuildIndexes().ok());
+  auto hits = dialite.SearchKeywords("vaccine approver", 5);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_FALSE(hits->empty());
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sketch/lsh_ensemble.h"
+#include "sketch/lsh_index.h"
+#include "sketch/minhash.h"
+#include "text/similarity.h"
+
+namespace dialite {
+namespace {
+
+std::vector<std::string> MakeTokens(int begin, int end, const std::string& p) {
+  std::vector<std::string> out;
+  for (int i = begin; i < end; ++i) out.push_back(p + std::to_string(i));
+  return out;
+}
+
+// ------------------------------------------------------------- MinHash
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  auto toks = MakeTokens(0, 100, "t");
+  MinHash a = MinHash::FromTokens(toks, 128);
+  MinHash b = MinHash::FromTokens(toks, 128);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  MinHash a = MinHash::FromTokens(MakeTokens(0, 100, "a"), 128);
+  MinHash b = MinHash::FromTokens(MakeTokens(0, 100, "b"), 128);
+  EXPECT_LT(a.EstimateJaccard(b), 0.05);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccard) {
+  // |A∩B| = 50, |A∪B| = 150 → J = 1/3.
+  auto a_toks = MakeTokens(0, 100, "x");
+  auto b_toks = MakeTokens(50, 150, "x");
+  MinHash a = MinHash::FromTokens(a_toks, 256);
+  MinHash b = MinHash::FromTokens(b_toks, 256);
+  double truth = Jaccard(a_toks, b_toks);
+  EXPECT_NEAR(a.EstimateJaccard(b), truth, 0.12);
+}
+
+TEST(MinHashTest, OrderInsensitive) {
+  MinHash a(64);
+  a.Update("x");
+  a.Update("y");
+  MinHash b(64);
+  b.Update("y");
+  b.Update("x");
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(MinHashTest, ContainmentEstimate) {
+  // A ⊂ B with |A| = 50, |B| = 200 → containment(A in B) = 1.
+  auto a_toks = MakeTokens(0, 50, "x");
+  auto b_toks = MakeTokens(0, 200, "x");
+  MinHash a = MinHash::FromTokens(a_toks, 256);
+  MinHash b = MinHash::FromTokens(b_toks, 256);
+  EXPECT_GT(a.EstimateContainment(b, 50, 200), 0.7);
+  EXPECT_LT(b.EstimateContainment(a, 200, 50), 0.45);
+}
+
+TEST(MinHashTest, DifferentSeedsGiveDifferentSignatures) {
+  auto toks = MakeTokens(0, 10, "t");
+  MinHash a = MinHash::FromTokens(toks, 32, 1);
+  MinHash b = MinHash::FromTokens(toks, 32, 2);
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(MinHashTest, BandHashDependsOnRange) {
+  MinHash a = MinHash::FromTokens(MakeTokens(0, 10, "t"), 64);
+  EXPECT_NE(a.BandHash(0, 8), a.BandHash(8, 16));
+}
+
+// ------------------------------------------------------------- LSH index
+
+TEST(LshIndexTest, FindsNearDuplicates) {
+  LshIndex idx(32, 4);  // 128 perms
+  auto base = MakeTokens(0, 100, "v");
+  MinHash mh_base = MinHash::FromTokens(base, 128);
+  ASSERT_TRUE(idx.Insert(1, mh_base).ok());
+  // 90% overlapping set.
+  auto near = MakeTokens(10, 110, "v");
+  MinHash mh_near = MinHash::FromTokens(near, 128);
+  ASSERT_TRUE(idx.Insert(2, mh_near).ok());
+  // Disjoint set.
+  MinHash mh_far = MinHash::FromTokens(MakeTokens(0, 100, "w"), 128);
+  ASSERT_TRUE(idx.Insert(3, mh_far).ok());
+
+  std::vector<uint64_t> hits = idx.Query(mh_base);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 1u), hits.end());
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 2u), hits.end());
+  EXPECT_EQ(std::find(hits.begin(), hits.end(), 3u), hits.end());
+}
+
+TEST(LshIndexTest, InsertRejectsShortSignature) {
+  LshIndex idx(32, 8);  // needs 256 perms
+  MinHash mh(128);
+  EXPECT_FALSE(idx.Insert(1, mh).ok());
+}
+
+TEST(LshIndexTest, CollisionProbabilityMonotone) {
+  double lo = LshIndex::CollisionProbability(0.2, 16, 8);
+  double hi = LshIndex::CollisionProbability(0.9, 16, 8);
+  EXPECT_LT(lo, hi);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(LshIndexTest, OptimalParamsRespectBudget) {
+  size_t b = 0;
+  size_t r = 0;
+  LshIndex::OptimalParams(0.8, 128, &b, &r);
+  EXPECT_LE(b * r, 128u);
+  EXPECT_GE(b, 1u);
+  EXPECT_GE(r, 1u);
+  // High threshold needs longer bands (more rows) than low threshold.
+  size_t b2 = 0;
+  size_t r2 = 0;
+  LshIndex::OptimalParams(0.2, 128, &b2, &r2);
+  EXPECT_GE(r, r2);
+}
+
+TEST(LshIndexTest, EmptyQueryReturnsNothing) {
+  LshIndex idx(16, 8);
+  MinHash mh(128);
+  EXPECT_TRUE(idx.Query(mh).empty());
+}
+
+// --------------------------------------------------------- LSH Ensemble
+
+TEST(LshEnsembleTest, ContainmentToJaccardFormula) {
+  // c=1, |Q|=10, u=10 → j = 10/(10+10-10) = 1.
+  EXPECT_DOUBLE_EQ(LshEnsemble::ContainmentToJaccard(1.0, 10, 10), 1.0);
+  // c=0.5, |Q|=10, u=90 → j = 5/(10+90-5) = 5/95.
+  EXPECT_NEAR(LshEnsemble::ContainmentToJaccard(0.5, 10, 90), 5.0 / 95.0,
+              1e-12);
+  EXPECT_LE(LshEnsemble::ContainmentToJaccard(1.0, 100, 1), 1.0);
+}
+
+TEST(LshEnsembleTest, FindsContainingSets) {
+  LshEnsemble ens;
+  // Query's values fully contained in set 1; half in set 2; none in 3.
+  auto query = MakeTokens(0, 40, "q");
+  ASSERT_TRUE(ens.Add(1, MakeTokens(0, 80, "q")).ok());
+  ASSERT_TRUE(ens.Add(2, MakeTokens(20, 100, "q")).ok());
+  ASSERT_TRUE(ens.Add(3, MakeTokens(0, 80, "z")).ok());
+  // Padding domains of varied sizes so partitioning is non-trivial.
+  for (uint64_t id = 10; id < 40; ++id) {
+    ASSERT_TRUE(
+        ens.Add(id, MakeTokens(0, static_cast<int>(10 + id * 7), "p" +
+                                   std::to_string(id)))
+            .ok());
+  }
+  ASSERT_TRUE(ens.Build().ok());
+
+  std::vector<uint64_t> hits = ens.Query(query, 0.9);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 1u), hits.end())
+      << "fully-containing set must be found at t=0.9";
+  EXPECT_EQ(std::find(hits.begin(), hits.end(), 3u), hits.end())
+      << "disjoint set must not be found";
+
+  std::vector<uint64_t> hits_low = ens.Query(query, 0.3);
+  EXPECT_NE(std::find(hits_low.begin(), hits_low.end(), 2u), hits_low.end())
+      << "half-containing set must appear at t=0.3";
+}
+
+TEST(LshEnsembleTest, AddAfterBuildFails) {
+  LshEnsemble ens;
+  ASSERT_TRUE(ens.Add(1, MakeTokens(0, 5, "a")).ok());
+  ASSERT_TRUE(ens.Build().ok());
+  EXPECT_FALSE(ens.Add(2, MakeTokens(0, 5, "b")).ok());
+  EXPECT_FALSE(ens.Build().ok());
+}
+
+TEST(LshEnsembleTest, EmptyEnsembleQueriesEmpty) {
+  LshEnsemble ens;
+  ASSERT_TRUE(ens.Build().ok());
+  EXPECT_TRUE(ens.Query(MakeTokens(0, 5, "q"), 0.5).empty());
+}
+
+TEST(LshEnsembleTest, EmptyQueryReturnsEmpty) {
+  LshEnsemble ens;
+  ASSERT_TRUE(ens.Add(1, MakeTokens(0, 5, "a")).ok());
+  ASSERT_TRUE(ens.Build().ok());
+  EXPECT_TRUE(ens.Query({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace dialite

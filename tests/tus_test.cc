@@ -1,0 +1,117 @@
+/// Tests for the TUS (Table Union Search) ensemble baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "discovery/tus.h"
+#include "lake/lake_generator.h"
+#include "lake/paper_fixtures.h"
+
+namespace dialite {
+namespace {
+
+bool HasHit(const std::vector<DiscoveryHit>& hits, const std::string& name) {
+  return std::any_of(hits.begin(), hits.end(), [&](const DiscoveryHit& h) {
+    return h.table_name == name;
+  });
+}
+
+TEST(TusUnionabilityTest, SetMeasureDominatesOnOverlap) {
+  Table a("a", Schema::FromNames({"c"}));
+  Table b("b", Schema::FromNames({"c"}));
+  for (int i = 0; i < 10; ++i) {
+    (void)a.AddRow({Value::String("zq_v" + std::to_string(i))});
+    (void)b.AddRow({Value::String("zq_v" + std::to_string(i))});
+  }
+  TusSearch tus;
+  auto pa = tus.ProfileColumn(a, 0);
+  auto pb = tus.ProfileColumn(b, 0);
+  // Identical made-up values: set measure gives 1.0 even with no KB types.
+  EXPECT_TRUE(pa.types.empty());
+  EXPECT_DOUBLE_EQ(tus.Unionability(pa, pb), 1.0);
+}
+
+TEST(TusUnionabilityTest, SemanticMeasureCarriesDisjointValues) {
+  Table a("a", Schema::FromNames({"c"}));
+  (void)a.AddRow({Value::String("Berlin")});
+  (void)a.AddRow({Value::String("Madrid")});
+  Table b("b", Schema::FromNames({"c"}));
+  (void)b.AddRow({Value::String("Toronto")});
+  (void)b.AddRow({Value::String("Boston")});
+  TusSearch tus;
+  auto pa = tus.ProfileColumn(a, 0);
+  auto pb = tus.ProfileColumn(b, 0);
+  // Disjoint values, but both columns annotate as city/location.
+  EXPECT_GT(tus.Unionability(pa, pb), 0.8);
+}
+
+TEST(TusUnionabilityTest, UnrelatedColumnsScoreLow) {
+  Table a("a", Schema::FromNames({"c"}));
+  (void)a.AddRow({Value::String("Berlin")});
+  (void)a.AddRow({Value::String("Madrid")});
+  Table b("b", Schema::FromNames({"c"}));
+  (void)b.AddRow({Value::String("73%")});
+  (void)b.AddRow({Value::String("21%")});
+  TusSearch tus;
+  EXPECT_LT(tus.Unionability(tus.ProfileColumn(a, 0), tus.ProfileColumn(b, 0)),
+            0.4);
+}
+
+TEST(TusPaperTest, FindsT2ForT1) {
+  DataLake lake = paper::MakeDemoLake(16);
+  TusSearch tus;
+  ASSERT_TRUE(tus.BuildIndex(lake).ok());
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 5};
+  auto hits = tus.Search(q);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_FALSE(hits->empty());
+  EXPECT_TRUE(HasHit(*hits, "T2"));
+  // T2 (3/3 columns unionable) must outrank T3 (1-2 of 3).
+  size_t rank_t2 = 99;
+  size_t rank_t3 = 99;
+  for (size_t i = 0; i < hits->size(); ++i) {
+    if ((*hits)[i].table_name == "T2") rank_t2 = i;
+    if ((*hits)[i].table_name == "T3") rank_t3 = i;
+  }
+  EXPECT_LT(rank_t2, rank_t3);
+}
+
+TEST(TusLakeTest, UnionableRecallOnGroundTruth) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = 5;
+  p.header_noise = 1.0;
+  p.domains = {"country_facts", "football_clubs"};
+  auto out = SyntheticLakeGenerator(p).Generate();
+  TusSearch tus;
+  ASSERT_TRUE(tus.BuildIndex(out.lake).ok());
+  const Table* query = out.lake.Get("country_facts_frag0");
+  ASSERT_NE(query, nullptr);
+  DiscoveryQuery q{query, 0, 9};
+  auto hits = tus.Search(q);
+  ASSERT_TRUE(hits.ok());
+  std::vector<std::string> truth = out.truth.UnionableWith(query->name());
+  size_t found = 0;
+  for (const std::string& t : truth) {
+    if (HasHit(*hits, t)) ++found;
+  }
+  EXPECT_GE(found * 2, truth.size())
+      << found << "/" << truth.size() << " unionable fragments found";
+}
+
+TEST(TusTest, SearchValidation) {
+  TusSearch fresh;
+  Table query = paper::MakeT1();
+  DiscoveryQuery q{&query, 1, 5};
+  EXPECT_FALSE(fresh.Search(q).ok());  // no index
+  DataLake lake = paper::MakeDemoLake(0);
+  ASSERT_TRUE(fresh.BuildIndex(lake).ok());
+  DiscoveryQuery bad{&query, 99, 5};
+  EXPECT_FALSE(fresh.Search(bad).ok());
+  DiscoveryQuery null_t{nullptr, 0, 5};
+  EXPECT_FALSE(fresh.Search(null_t).ok());
+}
+
+}  // namespace
+}  // namespace dialite
