@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_discovery_quality"
+  "../bench/bench_discovery_quality.pdb"
+  "CMakeFiles/bench_discovery_quality.dir/bench_discovery_quality.cc.o"
+  "CMakeFiles/bench_discovery_quality.dir/bench_discovery_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_er_downstream"
+  "../bench/bench_er_downstream.pdb"
+  "CMakeFiles/bench_er_downstream.dir/bench_er_downstream.cc.o"
+  "CMakeFiles/bench_er_downstream.dir/bench_er_downstream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_er_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ex3_analysis"
+  "../bench/bench_ex3_analysis.pdb"
+  "CMakeFiles/bench_ex3_analysis.dir/bench_ex3_analysis.cc.o"
+  "CMakeFiles/bench_ex3_analysis.dir/bench_ex3_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex3_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

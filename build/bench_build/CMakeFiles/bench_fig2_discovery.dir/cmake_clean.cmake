@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_discovery"
+  "../bench/bench_fig2_discovery.pdb"
+  "CMakeFiles/bench_fig2_discovery.dir/bench_fig2_discovery.cc.o"
+  "CMakeFiles/bench_fig2_discovery.dir/bench_fig2_discovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

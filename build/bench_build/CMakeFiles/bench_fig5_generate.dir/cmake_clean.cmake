@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_generate"
+  "../bench/bench_fig5_generate.pdb"
+  "CMakeFiles/bench_fig5_generate.dir/bench_fig5_generate.cc.o"
+  "CMakeFiles/bench_fig5_generate.dir/bench_fig5_generate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

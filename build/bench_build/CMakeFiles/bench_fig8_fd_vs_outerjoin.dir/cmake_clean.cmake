@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_fd_vs_outerjoin"
+  "../bench/bench_fig8_fd_vs_outerjoin.pdb"
+  "CMakeFiles/bench_fig8_fd_vs_outerjoin.dir/bench_fig8_fd_vs_outerjoin.cc.o"
+  "CMakeFiles/bench_fig8_fd_vs_outerjoin.dir/bench_fig8_fd_vs_outerjoin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fd_vs_outerjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

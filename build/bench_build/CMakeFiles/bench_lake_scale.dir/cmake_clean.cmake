@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lake_scale"
+  "../bench/bench_lake_scale.pdb"
+  "CMakeFiles/bench_lake_scale.dir/bench_lake_scale.cc.o"
+  "CMakeFiles/bench_lake_scale.dir/bench_lake_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lake_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_cli.dir/dialite_cli.cpp.o"
+  "CMakeFiles/dialite_cli.dir/dialite_cli.cpp.o.d"
+  "dialite_cli"
+  "dialite_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

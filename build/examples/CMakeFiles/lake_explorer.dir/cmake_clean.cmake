@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_explorer.dir/lake_explorer.cpp.o"
+  "CMakeFiles/lake_explorer.dir/lake_explorer.cpp.o.d"
+  "lake_explorer"
+  "lake_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_indexing.dir/offline_indexing.cpp.o"
+  "CMakeFiles/offline_indexing.dir/offline_indexing.cpp.o.d"
+  "offline_indexing"
+  "offline_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

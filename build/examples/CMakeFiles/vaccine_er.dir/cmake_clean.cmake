@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaccine_er.dir/vaccine_er.cpp.o"
+  "CMakeFiles/vaccine_er.dir/vaccine_er.cpp.o.d"
+  "vaccine_er"
+  "vaccine_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaccine_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("table")
+subdirs("text")
+subdirs("sketch")
+subdirs("kb")
+subdirs("lake")
+subdirs("analyze")
+subdirs("discovery")
+subdirs("align")
+subdirs("integrate")
+subdirs("gen")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/alignment.cc" "src/align/CMakeFiles/dialite_align.dir/alignment.cc.o" "gcc" "src/align/CMakeFiles/dialite_align.dir/alignment.cc.o.d"
+  "/root/repo/src/align/alite_matcher.cc" "src/align/CMakeFiles/dialite_align.dir/alite_matcher.cc.o" "gcc" "src/align/CMakeFiles/dialite_align.dir/alite_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_align.dir/alignment.cc.o"
+  "CMakeFiles/dialite_align.dir/alignment.cc.o.d"
+  "CMakeFiles/dialite_align.dir/alite_matcher.cc.o"
+  "CMakeFiles/dialite_align.dir/alite_matcher.cc.o.d"
+  "libdialite_align.a"
+  "libdialite_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

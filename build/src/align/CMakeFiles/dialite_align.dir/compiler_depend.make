@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dialite_align.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyze/aggregate.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/aggregate.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/aggregate.cc.o.d"
+  "/root/repo/src/analyze/correlation_finder.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/correlation_finder.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/correlation_finder.cc.o.d"
+  "/root/repo/src/analyze/entity_resolution.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/entity_resolution.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/entity_resolution.cc.o.d"
+  "/root/repo/src/analyze/profiler.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/profiler.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/profiler.cc.o.d"
+  "/root/repo/src/analyze/query.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/query.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/query.cc.o.d"
+  "/root/repo/src/analyze/stats.cc" "src/analyze/CMakeFiles/dialite_analyze.dir/stats.cc.o" "gcc" "src/analyze/CMakeFiles/dialite_analyze.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

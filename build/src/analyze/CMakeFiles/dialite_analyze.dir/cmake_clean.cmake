@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_analyze.dir/aggregate.cc.o"
+  "CMakeFiles/dialite_analyze.dir/aggregate.cc.o.d"
+  "CMakeFiles/dialite_analyze.dir/correlation_finder.cc.o"
+  "CMakeFiles/dialite_analyze.dir/correlation_finder.cc.o.d"
+  "CMakeFiles/dialite_analyze.dir/entity_resolution.cc.o"
+  "CMakeFiles/dialite_analyze.dir/entity_resolution.cc.o.d"
+  "CMakeFiles/dialite_analyze.dir/profiler.cc.o"
+  "CMakeFiles/dialite_analyze.dir/profiler.cc.o.d"
+  "CMakeFiles/dialite_analyze.dir/query.cc.o"
+  "CMakeFiles/dialite_analyze.dir/query.cc.o.d"
+  "CMakeFiles/dialite_analyze.dir/stats.cc.o"
+  "CMakeFiles/dialite_analyze.dir/stats.cc.o.d"
+  "libdialite_analyze.a"
+  "libdialite_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_common.dir/hash.cc.o"
+  "CMakeFiles/dialite_common.dir/hash.cc.o.d"
+  "CMakeFiles/dialite_common.dir/rng.cc.o"
+  "CMakeFiles/dialite_common.dir/rng.cc.o.d"
+  "CMakeFiles/dialite_common.dir/status.cc.o"
+  "CMakeFiles/dialite_common.dir/status.cc.o.d"
+  "CMakeFiles/dialite_common.dir/string_util.cc.o"
+  "CMakeFiles/dialite_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dialite_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dialite_common.dir/thread_pool.cc.o.d"
+  "libdialite_common.a"
+  "libdialite_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_core.dir/dialite.cc.o"
+  "CMakeFiles/dialite_core.dir/dialite.cc.o.d"
+  "CMakeFiles/dialite_core.dir/eval.cc.o"
+  "CMakeFiles/dialite_core.dir/eval.cc.o.d"
+  "libdialite_core.a"
+  "libdialite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

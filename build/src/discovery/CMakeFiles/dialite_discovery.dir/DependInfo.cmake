@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/cocoa.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/cocoa.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/cocoa.cc.o.d"
+  "/root/repo/src/discovery/custom_search.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/custom_search.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/custom_search.cc.o.d"
+  "/root/repo/src/discovery/discovery.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/discovery.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/discovery.cc.o.d"
+  "/root/repo/src/discovery/josie.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/josie.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/josie.cc.o.d"
+  "/root/repo/src/discovery/keyword_search.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/keyword_search.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/keyword_search.cc.o.d"
+  "/root/repo/src/discovery/lsh_ensemble_search.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/lsh_ensemble_search.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/lsh_ensemble_search.cc.o.d"
+  "/root/repo/src/discovery/persist.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/persist.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/persist.cc.o.d"
+  "/root/repo/src/discovery/santos.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/santos.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/santos.cc.o.d"
+  "/root/repo/src/discovery/starmie.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/starmie.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/starmie.cc.o.d"
+  "/root/repo/src/discovery/tus.cc" "src/discovery/CMakeFiles/dialite_discovery.dir/tus.cc.o" "gcc" "src/discovery/CMakeFiles/dialite_discovery.dir/tus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lake/CMakeFiles/dialite_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/dialite_analyze.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_discovery.dir/cocoa.cc.o"
+  "CMakeFiles/dialite_discovery.dir/cocoa.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/custom_search.cc.o"
+  "CMakeFiles/dialite_discovery.dir/custom_search.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/discovery.cc.o"
+  "CMakeFiles/dialite_discovery.dir/discovery.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/josie.cc.o"
+  "CMakeFiles/dialite_discovery.dir/josie.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/keyword_search.cc.o"
+  "CMakeFiles/dialite_discovery.dir/keyword_search.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/lsh_ensemble_search.cc.o"
+  "CMakeFiles/dialite_discovery.dir/lsh_ensemble_search.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/persist.cc.o"
+  "CMakeFiles/dialite_discovery.dir/persist.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/santos.cc.o"
+  "CMakeFiles/dialite_discovery.dir/santos.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/starmie.cc.o"
+  "CMakeFiles/dialite_discovery.dir/starmie.cc.o.d"
+  "CMakeFiles/dialite_discovery.dir/tus.cc.o"
+  "CMakeFiles/dialite_discovery.dir/tus.cc.o.d"
+  "libdialite_discovery.a"
+  "libdialite_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_gen.dir/query_table_generator.cc.o"
+  "CMakeFiles/dialite_gen.dir/query_table_generator.cc.o.d"
+  "libdialite_gen.a"
+  "libdialite_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_integrate.dir/full_disjunction.cc.o"
+  "CMakeFiles/dialite_integrate.dir/full_disjunction.cc.o.d"
+  "CMakeFiles/dialite_integrate.dir/integration.cc.o"
+  "CMakeFiles/dialite_integrate.dir/integration.cc.o.d"
+  "CMakeFiles/dialite_integrate.dir/join_ops.cc.o"
+  "CMakeFiles/dialite_integrate.dir/join_ops.cc.o.d"
+  "libdialite_integrate.a"
+  "libdialite_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

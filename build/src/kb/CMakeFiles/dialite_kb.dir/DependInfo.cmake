@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/annotator.cc" "src/kb/CMakeFiles/dialite_kb.dir/annotator.cc.o" "gcc" "src/kb/CMakeFiles/dialite_kb.dir/annotator.cc.o.d"
+  "/root/repo/src/kb/embedding.cc" "src/kb/CMakeFiles/dialite_kb.dir/embedding.cc.o" "gcc" "src/kb/CMakeFiles/dialite_kb.dir/embedding.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/dialite_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/dialite_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/world.cc" "src/kb/CMakeFiles/dialite_kb.dir/world.cc.o" "gcc" "src/kb/CMakeFiles/dialite_kb.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

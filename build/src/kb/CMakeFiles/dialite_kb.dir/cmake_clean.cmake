@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_kb.dir/annotator.cc.o"
+  "CMakeFiles/dialite_kb.dir/annotator.cc.o.d"
+  "CMakeFiles/dialite_kb.dir/embedding.cc.o"
+  "CMakeFiles/dialite_kb.dir/embedding.cc.o.d"
+  "CMakeFiles/dialite_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/dialite_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/dialite_kb.dir/world.cc.o"
+  "CMakeFiles/dialite_kb.dir/world.cc.o.d"
+  "libdialite_kb.a"
+  "libdialite_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_lake.dir/data_lake.cc.o"
+  "CMakeFiles/dialite_lake.dir/data_lake.cc.o.d"
+  "CMakeFiles/dialite_lake.dir/lake_generator.cc.o"
+  "CMakeFiles/dialite_lake.dir/lake_generator.cc.o.d"
+  "CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o"
+  "CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o.d"
+  "libdialite_lake.a"
+  "libdialite_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

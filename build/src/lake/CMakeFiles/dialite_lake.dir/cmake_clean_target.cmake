@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdialite_lake.a"
+)

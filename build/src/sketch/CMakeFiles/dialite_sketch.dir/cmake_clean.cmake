@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/dialite_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/dialite_sketch.dir/lsh_ensemble.cc.o"
+  "CMakeFiles/dialite_sketch.dir/lsh_ensemble.cc.o.d"
+  "CMakeFiles/dialite_sketch.dir/lsh_index.cc.o"
+  "CMakeFiles/dialite_sketch.dir/lsh_index.cc.o.d"
+  "CMakeFiles/dialite_sketch.dir/minhash.cc.o"
+  "CMakeFiles/dialite_sketch.dir/minhash.cc.o.d"
+  "CMakeFiles/dialite_sketch.dir/simhash.cc.o"
+  "CMakeFiles/dialite_sketch.dir/simhash.cc.o.d"
+  "libdialite_sketch.a"
+  "libdialite_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

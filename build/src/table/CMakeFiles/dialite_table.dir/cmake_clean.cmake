@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_table.dir/csv.cc.o"
+  "CMakeFiles/dialite_table.dir/csv.cc.o.d"
+  "CMakeFiles/dialite_table.dir/schema.cc.o"
+  "CMakeFiles/dialite_table.dir/schema.cc.o.d"
+  "CMakeFiles/dialite_table.dir/table.cc.o"
+  "CMakeFiles/dialite_table.dir/table.cc.o.d"
+  "CMakeFiles/dialite_table.dir/value.cc.o"
+  "CMakeFiles/dialite_table.dir/value.cc.o.d"
+  "libdialite_table.a"
+  "libdialite_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

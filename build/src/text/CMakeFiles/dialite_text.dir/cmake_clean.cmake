@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialite_text.dir/similarity.cc.o"
+  "CMakeFiles/dialite_text.dir/similarity.cc.o.d"
+  "CMakeFiles/dialite_text.dir/tfidf.cc.o"
+  "CMakeFiles/dialite_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/dialite_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dialite_text.dir/tokenizer.cc.o.d"
+  "libdialite_text.a"
+  "libdialite_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialite_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

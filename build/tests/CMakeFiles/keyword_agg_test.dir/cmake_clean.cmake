@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_agg_test.dir/keyword_agg_test.cc.o"
+  "CMakeFiles/keyword_agg_test.dir/keyword_agg_test.cc.o.d"
+  "keyword_agg_test"
+  "keyword_agg_test.pdb"
+  "keyword_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

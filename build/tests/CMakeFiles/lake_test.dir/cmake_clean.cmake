@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_test.dir/lake_test.cc.o"
+  "CMakeFiles/lake_test.dir/lake_test.cc.o.d"
+  "lake_test"
+  "lake_test.pdb"
+  "lake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_union_test.dir/min_union_test.cc.o"
+  "CMakeFiles/min_union_test.dir/min_union_test.cc.o.d"
+  "min_union_test"
+  "min_union_test.pdb"
+  "min_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tus_test.dir/tus_test.cc.o"
+  "CMakeFiles/tus_test.dir/tus_test.cc.o.d"
+  "tus_test"
+  "tus_test.pdb"
+  "tus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
