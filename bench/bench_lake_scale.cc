@@ -4,14 +4,20 @@
 /// orders of magnitude above query cost, so precomputing them is what
 /// makes the interactive pipeline feasible.
 ///
-///   BM_Build_<algo>/<tables>   one full BuildIndex over the lake
-///   BM_Query_<algo>/<tables>   one top-10 Search
+///   BM_Build_<algo>/<frags>/threads:<t>   one full cold BuildIndex
+///   BM_Query_<algo>/<frags>               one top-10 Search
+///   BM_BuildAll/threads:<t>               whole default registry (7 algos)
+///
+/// threads:0 = hardware concurrency, threads:1 = the sequential path.
+/// Builds clear the lake's sketch cache first, so every iteration measures
+/// a cold offline pass (tokenization included), not a cache replay.
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <memory>
 
+#include "core/dialite.h"
 #include "discovery/cocoa.h"
 #include "discovery/josie.h"
 #include "discovery/lsh_ensemble_search.h"
@@ -45,7 +51,9 @@ template <typename Algo>
 void RunBuild(benchmark::State& state) {
   const auto& out = GetLake(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
+    out.lake.sketch_cache().Clear();  // cold build, every iteration
     Algo algo;
+    algo.set_num_threads(static_cast<size_t>(state.range(1)));
     Status s = algo.BuildIndex(out.lake);
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
@@ -90,6 +98,9 @@ void RunQuery(benchmark::State& state) {
   state.counters["tables"] = static_cast<double>(out.lake.size());
 }
 
+// Scale sweep stays sequential (comparable to older runs); the thread sweep
+// holds the lake at 18 fragments/domain (11 domains -> ~200 tables, the
+// speedup acceptance lake).
 #define LAKE_SCALE_BENCH(Algo)                                       \
   void BM_Build_##Algo(benchmark::State& state) {                    \
     RunBuild<Algo>(state);                                           \
@@ -97,8 +108,11 @@ void RunQuery(benchmark::State& state) {
   void BM_Query_##Algo(benchmark::State& state) {                    \
     RunQuery<Algo>(state);                                           \
   }                                                                  \
-  BENCHMARK(BM_Build_##Algo)->Arg(4)->Arg(8)->Arg(16)->Unit(         \
-      benchmark::kMillisecond);                                      \
+  BENCHMARK(BM_Build_##Algo)                                         \
+      ->ArgNames({"", "threads"})                                    \
+      ->ArgsProduct({{4, 8, 16}, {1}})                               \
+      ->ArgsProduct({{18}, {1, 4, 0}})                               \
+      ->Unit(benchmark::kMillisecond);                               \
   BENCHMARK(BM_Query_##Algo)->Arg(4)->Arg(8)->Arg(16)->Unit(         \
       benchmark::kMicrosecond)
 
@@ -108,5 +122,32 @@ LAKE_SCALE_BENCH(SantosSearch);
 LAKE_SCALE_BENCH(StarmieSearch);
 LAKE_SCALE_BENCH(TusSearch);
 LAKE_SCALE_BENCH(CocoaSearch);
+
+/// The whole offline phase: every default algorithm (the six above plus
+/// keyword) built over the ~200-table lake through the Dialite facade —
+/// algorithm-level and table-level parallelism plus the shared sketch cache.
+void BM_BuildAll(benchmark::State& state) {
+  const auto& out = GetLake(18);
+  for (auto _ : state) {
+    out.lake.sketch_cache().Clear();
+    Dialite dialite(&out.lake);
+    Status s = dialite.RegisterDefaults();
+    if (s.ok()) {
+      dialite.set_num_threads(static_cast<size_t>(state.range(0)));
+      s = dialite.BuildIndexes();
+    }
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["tables"] = static_cast<double>(out.lake.size());
+}
+BENCHMARK(BM_BuildAll)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -18,9 +18,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/integrate/CMakeFiles/dialite_integrate.dir/DependInfo.cmake"
   "/root/repo/build/src/align/CMakeFiles/dialite_align.dir/DependInfo.cmake"
   "/root/repo/build/src/analyze/CMakeFiles/dialite_analyze.dir/DependInfo.cmake"
-  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
   "/root/repo/build/src/gen/CMakeFiles/dialite_gen.dir/DependInfo.cmake"
   "/root/repo/build/src/lake/CMakeFiles/dialite_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
   "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
   "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"

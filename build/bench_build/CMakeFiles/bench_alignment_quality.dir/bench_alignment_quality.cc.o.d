@@ -214,7 +214,16 @@ bench_build/CMakeFiles/bench_alignment_quality.dir/bench_alignment_quality.cc.o:
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/hash.h \
  /root/repo/src/kb/embedding.h /root/repo/src/kb/knowledge_base.h \
  /root/repo/src/core/eval.h /root/repo/src/discovery/discovery.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/lake/data_lake.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h \
  /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h

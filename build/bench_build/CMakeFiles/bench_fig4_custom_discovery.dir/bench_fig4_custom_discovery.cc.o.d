@@ -219,6 +219,10 @@ bench_build/CMakeFiles/bench_fig4_custom_discovery.dir/bench_fig4_custom_discove
  /root/repo/src/table/value.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/hash.h \
  /root/repo/src/discovery/discovery.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h \
  /root/repo/src/integrate/integration.h \
  /root/repo/src/discovery/custom_search.h \
  /root/repo/src/lake/paper_fixtures.h

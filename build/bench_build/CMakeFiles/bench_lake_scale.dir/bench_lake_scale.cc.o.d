@@ -212,22 +212,28 @@ bench_build/CMakeFiles/bench_lake_scale.dir/bench_lake_scale.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/discovery/cocoa.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/core/dialite.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/discovery/discovery.h /root/repo/src/common/status.h \
- /usr/include/c++/12/optional /root/repo/src/lake/data_lake.h \
- /root/repo/src/table/table.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/align/alignment.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/optional /root/repo/src/table/table.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/hash.h \
- /root/repo/src/discovery/josie.h \
+ /root/repo/src/discovery/discovery.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/integrate/integration.h \
+ /root/repo/src/discovery/cocoa.h /root/repo/src/discovery/josie.h \
  /root/repo/src/discovery/lsh_ensemble_search.h \
  /root/repo/src/sketch/lsh_ensemble.h /root/repo/src/sketch/lsh_index.h \
- /root/repo/src/sketch/minhash.h /root/repo/src/discovery/santos.h \
- /root/repo/src/kb/annotator.h /root/repo/src/kb/knowledge_base.h \
- /root/repo/src/discovery/starmie.h /root/repo/src/kb/embedding.h \
- /root/repo/src/sketch/simhash.h /root/repo/src/discovery/tus.h \
- /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h
+ /root/repo/src/discovery/santos.h /root/repo/src/kb/annotator.h \
+ /root/repo/src/kb/knowledge_base.h /root/repo/src/discovery/starmie.h \
+ /root/repo/src/kb/embedding.h /root/repo/src/sketch/simhash.h \
+ /root/repo/src/discovery/tus.h /root/repo/src/lake/lake_generator.h \
+ /root/repo/src/common/rng.h

@@ -222,5 +222,9 @@ examples/CMakeFiles/covid_analysis.dir/covid_analysis.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/align/alignment.h /root/repo/src/discovery/discovery.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/integrate/integration.h \
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/integrate/integration.h \
  /root/repo/src/lake/paper_fixtures.h

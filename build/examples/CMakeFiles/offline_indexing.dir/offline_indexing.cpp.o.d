@@ -235,7 +235,9 @@ examples/CMakeFiles/offline_indexing.dir/offline_indexing.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /usr/include/c++/12/variant \
  /root/repo/src/common/hash.h /root/repo/src/discovery/discovery.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/integrate/integration.h \
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/integrate/integration.h \
  /root/repo/src/discovery/josie.h /root/repo/src/discovery/santos.h \
  /root/repo/src/kb/annotator.h /root/repo/src/kb/knowledge_base.h \
  /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h

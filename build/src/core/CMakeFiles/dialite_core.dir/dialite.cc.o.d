@@ -219,9 +219,26 @@ src/core/CMakeFiles/dialite_core.dir/dialite.cc.o: \
  /root/repo/src/table/value.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/hash.h \
  /root/repo/src/discovery/discovery.h /root/repo/src/lake/data_lake.h \
- /root/repo/src/integrate/integration.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h \
+ /root/repo/src/integrate/integration.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/align/alite_matcher.h /root/repo/src/kb/embedding.h \
- /root/repo/src/kb/knowledge_base.h /root/repo/src/analyze/aggregate.h \
+ /root/repo/src/kb/knowledge_base.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/analyze/aggregate.h \
  /root/repo/src/analyze/correlation_finder.h \
  /root/repo/src/analyze/entity_resolution.h \
  /root/repo/src/analyze/profiler.h /root/repo/src/analyze/stats.h \
@@ -229,8 +246,8 @@ src/core/CMakeFiles/dialite_core.dir/dialite.cc.o: \
  /root/repo/src/discovery/keyword_search.h /root/repo/src/text/tfidf.h \
  /root/repo/src/discovery/lsh_ensemble_search.h \
  /root/repo/src/sketch/lsh_ensemble.h /root/repo/src/sketch/lsh_index.h \
- /root/repo/src/sketch/minhash.h /root/repo/src/discovery/santos.h \
- /root/repo/src/kb/annotator.h /root/repo/src/discovery/starmie.h \
- /root/repo/src/sketch/simhash.h /root/repo/src/discovery/tus.h \
+ /root/repo/src/discovery/santos.h /root/repo/src/kb/annotator.h \
+ /root/repo/src/discovery/starmie.h /root/repo/src/sketch/simhash.h \
+ /root/repo/src/discovery/tus.h \
  /root/repo/src/integrate/full_disjunction.h \
  /root/repo/src/integrate/join_ops.h

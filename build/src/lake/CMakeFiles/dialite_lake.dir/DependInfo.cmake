@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/lake/data_lake.cc" "src/lake/CMakeFiles/dialite_lake.dir/data_lake.cc.o" "gcc" "src/lake/CMakeFiles/dialite_lake.dir/data_lake.cc.o.d"
   "/root/repo/src/lake/lake_generator.cc" "src/lake/CMakeFiles/dialite_lake.dir/lake_generator.cc.o" "gcc" "src/lake/CMakeFiles/dialite_lake.dir/lake_generator.cc.o.d"
   "/root/repo/src/lake/paper_fixtures.cc" "src/lake/CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o" "gcc" "src/lake/CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o.d"
+  "/root/repo/src/lake/table_sketch_cache.cc" "src/lake/CMakeFiles/dialite_lake.dir/table_sketch_cache.cc.o" "gcc" "src/lake/CMakeFiles/dialite_lake.dir/table_sketch_cache.cc.o.d"
   )
 
 # Targets to which this target links.
@@ -19,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
   "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

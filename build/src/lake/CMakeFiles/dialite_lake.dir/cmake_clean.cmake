@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dialite_lake.dir/lake_generator.cc.o.d"
   "CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o"
   "CMakeFiles/dialite_lake.dir/paper_fixtures.cc.o.d"
+  "CMakeFiles/dialite_lake.dir/table_sketch_cache.cc.o"
+  "CMakeFiles/dialite_lake.dir/table_sketch_cache.cc.o.d"
   "libdialite_lake.a"
   "libdialite_lake.pdb"
 )

@@ -206,13 +206,18 @@ src/lake/CMakeFiles/dialite_lake.dir/data_lake.cc.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/table/table.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sketch/minhash.h \
+ /root/repo/src/table/table.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/table/value.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/table/value.h /usr/include/c++/12/variant \
  /root/repo/src/common/hash.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -222,8 +227,6 @@ src/lake/CMakeFiles/dialite_lake.dir/data_lake.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \

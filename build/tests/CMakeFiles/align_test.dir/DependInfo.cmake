@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
   "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
   )
 

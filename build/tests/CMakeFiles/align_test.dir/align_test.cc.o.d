@@ -300,4 +300,7 @@ tests/CMakeFiles/align_test.dir/align_test.cc.o: \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \
  /root/repo/src/kb/embedding.h /root/repo/src/kb/knowledge_base.h \
  /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/lake/paper_fixtures.h
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/lake/paper_fixtures.h

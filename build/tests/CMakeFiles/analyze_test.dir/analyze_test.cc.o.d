@@ -327,4 +327,7 @@ tests/CMakeFiles/analyze_test.dir/analyze_test.cc.o: \
  /root/repo/src/integrate/full_disjunction.h \
  /root/repo/src/integrate/integration.h \
  /root/repo/src/integrate/join_ops.h /root/repo/src/lake/paper_fixtures.h \
- /root/repo/src/lake/data_lake.h
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h

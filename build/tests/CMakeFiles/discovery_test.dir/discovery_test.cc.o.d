@@ -298,14 +298,16 @@ tests/CMakeFiles/discovery_test.dir/discovery_test.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/discovery/custom_search.h \
  /root/repo/src/discovery/discovery.h /root/repo/src/common/status.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/table/table.h \
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/table/table.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \
  /root/repo/src/discovery/josie.h \
  /root/repo/src/discovery/lsh_ensemble_search.h \
  /root/repo/src/sketch/lsh_ensemble.h /root/repo/src/sketch/lsh_index.h \
- /root/repo/src/sketch/minhash.h /root/repo/src/discovery/santos.h \
- /root/repo/src/kb/annotator.h /root/repo/src/kb/knowledge_base.h \
- /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h \
- /root/repo/src/lake/paper_fixtures.h
+ /root/repo/src/discovery/santos.h /root/repo/src/kb/annotator.h \
+ /root/repo/src/kb/knowledge_base.h /root/repo/src/lake/lake_generator.h \
+ /root/repo/src/common/rng.h /root/repo/src/lake/paper_fixtures.h

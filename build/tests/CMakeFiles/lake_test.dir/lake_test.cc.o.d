@@ -299,7 +299,9 @@ tests/CMakeFiles/lake_test.dir/lake_test.cc.o: \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lake/data_lake.h \
- /root/repo/src/common/status.h /root/repo/src/table/table.h \
+ /root/repo/src/common/status.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/table/table.h \
  /root/repo/src/table/schema.h /root/repo/src/table/value.h \
  /root/repo/src/common/hash.h /root/repo/src/lake/lake_generator.h \
  /root/repo/src/common/rng.h /root/repo/src/lake/paper_fixtures.h

@@ -308,6 +308,8 @@ tests/CMakeFiles/min_union_test.dir/min_union_test.cc.o: \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \
  /root/repo/src/kb/embedding.h /root/repo/src/kb/knowledge_base.h \
  /root/repo/src/core/dialite.h /root/repo/src/discovery/discovery.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/integrate/integration.h \
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/integrate/integration.h \
  /root/repo/src/integrate/full_disjunction.h \
  /root/repo/src/integrate/join_ops.h /root/repo/src/lake/paper_fixtures.h

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_build_test.cc" "tests/CMakeFiles/parallel_build_test.dir/parallel_build_test.cc.o" "gcc" "tests/CMakeFiles/parallel_build_test.dir/parallel_build_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dialite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/dialite_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/lake/CMakeFiles/dialite_lake.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/dialite_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dialite_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyze/CMakeFiles/dialite_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dialite_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dialite_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/dialite_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/dialite_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dialite_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dialite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -298,7 +298,10 @@ tests/CMakeFiles/persist_test.dir/persist_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/discovery/josie.h \
  /root/repo/src/discovery/discovery.h /root/repo/src/common/status.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/table/table.h \
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/table/table.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \

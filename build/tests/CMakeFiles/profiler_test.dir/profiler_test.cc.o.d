@@ -320,4 +320,7 @@ tests/CMakeFiles/profiler_test.dir/profiler_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \
  /root/repo/src/lake/paper_fixtures.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h \
  /root/repo/src/sketch/hyperloglog.h

@@ -328,6 +328,9 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/integrate/full_disjunction.h \
  /root/repo/src/integrate/integration.h \
  /root/repo/src/integrate/join_ops.h /root/repo/src/lake/lake_generator.h \
- /root/repo/src/lake/data_lake.h /root/repo/src/sketch/lsh_ensemble.h \
- /root/repo/src/sketch/lsh_index.h /root/repo/src/sketch/minhash.h \
- /root/repo/src/table/csv.h /root/repo/src/text/similarity.h
+ /root/repo/src/lake/data_lake.h /root/repo/src/lake/table_sketch_cache.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sketch/minhash.h /root/repo/src/sketch/lsh_ensemble.h \
+ /root/repo/src/sketch/lsh_index.h /root/repo/src/table/csv.h \
+ /root/repo/src/text/similarity.h

@@ -297,4 +297,7 @@ tests/CMakeFiles/query_test.dir/query_test.cc.o: \
  /root/repo/src/table/table.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \
- /root/repo/src/lake/paper_fixtures.h /root/repo/src/lake/data_lake.h
+ /root/repo/src/lake/paper_fixtures.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h

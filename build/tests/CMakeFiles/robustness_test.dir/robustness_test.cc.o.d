@@ -313,6 +313,7 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/core/dialite.h \
  /root/repo/src/discovery/discovery.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /root/repo/src/sketch/minhash.h \
  /root/repo/src/integrate/integration.h \
  /root/repo/src/integrate/full_disjunction.h \
  /root/repo/src/lake/lake_generator.h /root/repo/src/common/rng.h \

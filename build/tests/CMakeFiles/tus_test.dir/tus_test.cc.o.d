@@ -298,6 +298,9 @@ tests/CMakeFiles/tus_test.dir/tus_test.cc.o: /root/repo/tests/tus_test.cc \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/discovery/tus.h /root/repo/src/discovery/discovery.h \
  /root/repo/src/common/status.h /root/repo/src/lake/data_lake.h \
+ /root/repo/src/lake/table_sketch_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sketch/minhash.h \
  /root/repo/src/table/table.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/table/schema.h \
  /root/repo/src/table/value.h /root/repo/src/common/hash.h \

@@ -28,3 +28,6 @@ include("/root/repo/build/tests/keyword_agg_test[1]_include.cmake")
 include("/root/repo/build/tests/eval_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_build_test[1]_include.cmake")

@@ -1,8 +1,18 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
 namespace dialite {
+
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any. Lets
+/// ParallelFor detect reentrant misuse without scanning workers_.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -15,7 +25,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  Wait();
+  WaitNoThrow();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -33,12 +43,37 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WaitNoThrow() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  first_error_ = nullptr;
+}
+
+bool ThreadPool::InWorkerThread() const {
+  return current_worker_pool == this;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  // A worker of this pool calling back into it would wait on itself
+  // (reentrant misuse — documented unsupported); a pool with no workers has
+  // nobody to drain the queue. Both degrade to the inline serial loop, which
+  // is always correct, just not parallel.
+  assert(!InWorkerThread() &&
+         "ThreadPool::ParallelFor called from a worker of the same pool");
+  if (workers_.empty() || InWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t per_chunk = (n + chunks - 1) / chunks;
   for (size_t c = 0; c < chunks; ++c) {
@@ -53,23 +88,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
+      if (shutdown_ && queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
     }
     idle_cv_.notify_all();
   }
+  current_worker_pool = nullptr;
 }
 
 }  // namespace dialite

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -20,6 +21,18 @@ namespace dialite {
 ///   pool.Wait();            // blocks until the queue drains and workers idle
 ///
 /// The destructor waits for outstanding work, so a stack-scoped pool is safe.
+///
+/// Error handling: a task that throws does not kill the worker or wedge the
+/// pool. The first exception is captured and rethrown from the next Wait()
+/// (or ParallelFor(), which waits internally); later exceptions from the same
+/// batch are dropped. The destructor swallows any still-unclaimed exception —
+/// claim errors with Wait() if you care about them.
+///
+/// Reentrancy: calling Wait() or ParallelFor() from inside a task running on
+/// this same pool is NOT supported (the worker would wait on itself).
+/// ParallelFor() detects this misuse, asserts in debug builds, and degrades
+/// to running the loop inline on the calling thread in release builds so the
+/// process does not deadlock.
 class ThreadPool {
  public:
   /// `num_threads` == 0 selects the hardware concurrency (min 1).
@@ -32,17 +45,25 @@ class ThreadPool {
   /// Enqueues a task. Never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception that escaped a task since the last Wait(), if any.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Work is chunked so small n does not oversubscribe.
+  /// Work is chunked so small n does not oversubscribe. Degrades to an
+  /// inline serial loop when the pool has no workers or when called from a
+  /// worker thread of this pool (reentrant misuse; see class comment).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
  private:
   void WorkerLoop();
+  /// Waits for idle without rethrowing captured task exceptions.
+  void WaitNoThrow();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -51,6 +72,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signaled when a task completes
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;    // first exception escaping a task
 };
 
 }  // namespace dialite

@@ -1,8 +1,11 @@
 #include "core/dialite.h"
 
+#include <algorithm>
+#include <thread>
 #include <unordered_set>
 
 #include "align/alite_matcher.h"
+#include "common/thread_pool.h"
 #include "analyze/aggregate.h"
 #include "analyze/correlation_finder.h"
 #include "analyze/entity_resolution.h"
@@ -51,6 +54,12 @@ Result<Table> CorrelationAnalysis(const Table& t) {
   Result<std::vector<CorrelationFinding>> r = FindCorrelations(t);
   if (!r.ok()) return r.status();
   return CorrelationFindingsToTable(*r);
+}
+
+/// Resolves the 0 = hardware-concurrency convention.
+size_t EffectiveThreads(size_t num_threads) {
+  return num_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                          : num_threads;
 }
 
 }  // namespace
@@ -150,18 +159,45 @@ std::vector<std::string> Dialite::Analyses() const {
 }
 
 Status Dialite::BuildIndexes(const std::string& cache_dir) {
-  for (auto& [name, algo] : discovery_) {
-    auto* persistent = dynamic_cast<PersistentIndex*>(algo.get());
+  std::vector<DiscoveryAlgorithm*> algos;
+  algos.reserve(discovery_.size());
+  for (auto& [name, algo] : discovery_) algos.push_back(algo.get());
+
+  const size_t threads = EffectiveThreads(num_threads_);
+  // Every algorithm also fans its per-table compute phase across `threads`
+  // workers. Yes, that oversubscribes cores while several algorithms are in
+  // their compute phases — deliberately: merges are serial, algorithms
+  // finish at very different times, and a work-conserving oversubscription
+  // keeps cores busy through the stragglers. num_threads()==1 pins
+  // everything to the exact sequential code path.
+  for (DiscoveryAlgorithm* a : algos) {
+    a->set_num_threads(num_threads_ == 1 ? 1 : threads);
+  }
+
+  auto build_one = [&](DiscoveryAlgorithm* algo) -> Status {
+    auto* persistent = dynamic_cast<PersistentIndex*>(algo);
     if (persistent != nullptr && !cache_dir.empty()) {
-      std::string path = cache_dir + "/" + name + ".idx";
-      if (persistent->LoadIndex(path, *lake_).ok()) continue;
+      std::string path = cache_dir + "/" + algo->name() + ".idx";
+      if (persistent->LoadIndex(path, *lake_).ok()) return Status::OK();
       DIALITE_RETURN_NOT_OK(algo->BuildIndex(*lake_));
       // Best effort: an unwritable cache must not fail the pipeline.
       Status save = persistent->SaveIndex(path);
       (void)save;
-      continue;
+      return Status::OK();
     }
-    DIALITE_RETURN_NOT_OK(algo->BuildIndex(*lake_));
+    return algo->BuildIndex(*lake_);
+  };
+
+  if (threads <= 1 || algos.size() < 2) {
+    for (DiscoveryAlgorithm* a : algos) DIALITE_RETURN_NOT_OK(build_one(a));
+  } else {
+    std::vector<Status> statuses(algos.size());
+    ThreadPool pool(std::min(threads, algos.size()));
+    pool.ParallelFor(algos.size(), [&](size_t i) {
+      statuses[i] = build_one(algos[i]);
+    });
+    // First failure in registry (name) order, matching the serial path.
+    for (const Status& s : statuses) DIALITE_RETURN_NOT_OK(s);
   }
   indexes_built_ = true;
   return Status::OK();
@@ -182,13 +218,41 @@ Result<std::vector<DiscoveryHit>> Dialite::Discover(
 Result<std::map<std::string, std::vector<DiscoveryHit>>> Dialite::DiscoverAll(
     const DiscoveryQuery& query,
     const std::vector<std::string>& algorithms) const {
+  return DiscoverAllImpl(query, algorithms, num_threads_);
+}
+
+Result<std::map<std::string, std::vector<DiscoveryHit>>>
+Dialite::DiscoverAllImpl(const DiscoveryQuery& query,
+                         const std::vector<std::string>& algorithms,
+                         size_t num_threads) const {
   std::vector<std::string> names =
       algorithms.empty() ? DiscoveryAlgorithms() : algorithms;
   std::map<std::string, std::vector<DiscoveryHit>> out;
-  for (const std::string& name : names) {
-    Result<std::vector<DiscoveryHit>> hits = Discover(query, name);
-    if (!hits.ok()) return hits.status();
-    out.emplace(name, std::move(hits).value());
+  const size_t threads = std::min(EffectiveThreads(num_threads), names.size());
+  if (threads <= 1 || names.size() < 2) {
+    for (const std::string& name : names) {
+      Result<std::vector<DiscoveryHit>> hits = Discover(query, name);
+      if (!hits.ok()) return hits.status();
+      out.emplace(name, std::move(hits).value());
+    }
+    return out;
+  }
+  // Search() is const and algorithms are independent, so the per-algorithm
+  // queries fan out; the merge into the result map stays in name order.
+  std::vector<Status> statuses(names.size());
+  std::vector<std::vector<DiscoveryHit>> hits(names.size());
+  ThreadPool pool(threads);
+  pool.ParallelFor(names.size(), [&](size_t i) {
+    Result<std::vector<DiscoveryHit>> r = Discover(query, names[i]);
+    if (r.ok()) {
+      hits[i] = std::move(r).value();
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    out.emplace(names[i], std::move(hits[i]));
   }
   return out;
 }
@@ -273,7 +337,7 @@ Result<PipelineReport> Dialite::Run(const Table& query,
   PipelineReport report;
   DiscoveryQuery dq{&query, options.query_column, options.k};
   Result<std::map<std::string, std::vector<DiscoveryHit>>> hits =
-      DiscoverAll(dq, options.discovery_algorithms);
+      DiscoverAllImpl(dq, options.discovery_algorithms, options.num_threads);
   if (!hits.ok()) return hits.status();
   report.hits = std::move(hits).value();
 

@@ -43,6 +43,10 @@ struct PipelineOptions {
   std::string integration_operator = "alite_fd";
   /// Analyses (registered names) to run over the integrated table.
   std::vector<std::string> analyses;
+  /// Worker threads for the pipeline's discovery stage: 0 = hardware
+  /// concurrency, 1 = the sequential code path. Results are deterministic —
+  /// identical for every setting.
+  size_t num_threads = 0;
 };
 
 /// Report of one pipeline run — everything the demo UI would display.
@@ -94,13 +98,25 @@ class Dialite {
   std::vector<std::string> IntegrationOperators() const;
   std::vector<std::string> Analyses() const;
 
+  /// Worker threads for BuildIndexes and DiscoverAll: 0 = hardware
+  /// concurrency (the default), 1 = the exact sequential code path, n = n
+  /// workers. Parallelism never changes results: every index build is a
+  /// parallel per-table compute phase plus a serial deterministic merge, so
+  /// persisted indexes are byte-identical across settings.
+  void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
+  size_t num_threads() const { return num_threads_; }
+
   /// Builds every registered discovery index over the lake (the paper's
   /// offline preprocessing). Call after registrations, before Search/Run.
+  /// Algorithms build concurrently (see set_num_threads) and share the
+  /// lake's TableSketchCache, so each table is tokenized once, not once per
+  /// algorithm.
   ///
   /// With a non-empty `cache_dir`, algorithms implementing PersistentIndex
   /// first try to load "<cache_dir>/<name>.idx"; on a miss (or a stale/
   /// unreadable file) they build and then save it — so the second session
-  /// on the same lake skips the expensive offline pass.
+  /// on the same lake skips the expensive offline pass. The load-or-build
+  /// decision stays per-algorithm under parallel builds.
   Status BuildIndexes(const std::string& cache_dir = "");
 
   // ------------------------------------------------------------- stage 1
@@ -151,12 +167,19 @@ class Dialite {
   const DataLake& lake() const { return *lake_; }
 
  private:
+  /// DiscoverAll with an explicit thread count (Run uses the pipeline
+  /// option, the public overload uses num_threads_).
+  Result<std::map<std::string, std::vector<DiscoveryHit>>> DiscoverAllImpl(
+      const DiscoveryQuery& query, const std::vector<std::string>& algorithms,
+      size_t num_threads) const;
+
   const DataLake* lake_;
   std::map<std::string, std::unique_ptr<DiscoveryAlgorithm>> discovery_;
   std::map<std::string, std::unique_ptr<SchemaMatcher>> matchers_;
   std::map<std::string, std::unique_ptr<IntegrationOperator>> integration_;
   std::map<std::string, AnalysisFn> analyses_;
   bool indexes_built_ = false;
+  size_t num_threads_ = 0;  ///< 0 = hardware concurrency
 };
 
 }  // namespace dialite

@@ -1,8 +1,24 @@
 #include "discovery/discovery.h"
 
 #include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace dialite {
+
+void ForEachTableIndex(size_t num_threads, size_t n,
+                       const std::function<void(size_t)>& fn) {
+  size_t threads = num_threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : num_threads;
+  if (threads <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  pool.ParallelFor(n, fn);
+}
 
 std::vector<DiscoveryHit> RankHits(std::vector<DiscoveryHit> hits, size_t k) {
   hits.erase(std::remove_if(hits.begin(), hits.end(),

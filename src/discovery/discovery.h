@@ -1,6 +1,7 @@
 #ifndef DIALITE_DISCOVERY_DISCOVERY_H_
 #define DIALITE_DISCOVERY_DISCOVERY_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ struct DiscoveryQuery {
 /// BuildIndex corresponds to the paper's offline preprocessing ("the
 /// indexes ... are built offline"). Implementations keep a borrowed pointer
 /// to the lake, which must outlive them.
+///
+/// Threading: the stock BuildIndex implementations are split into a pure
+/// per-table compute phase (run across `num_threads()` workers) and a
+/// serial merge phase in lake order, so the built index is identical for
+/// every thread count. Derived data (token sets, signatures) is read
+/// through the lake's TableSketchCache so it is computed once, not once per
+/// algorithm.
 class DiscoveryAlgorithm {
  public:
   virtual ~DiscoveryAlgorithm() = default;
@@ -50,7 +58,23 @@ class DiscoveryAlgorithm {
   /// determinism. Tables scoring zero are never returned.
   virtual Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const = 0;
+
+  /// Worker count for BuildIndex's per-table compute phase: 0 = hardware
+  /// concurrency, 1 = fully sequential (the default). The built index is
+  /// deterministic — identical for every setting.
+  void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
+  size_t num_threads() const { return num_threads_; }
+
+ protected:
+  size_t num_threads_ = 1;
 };
+
+/// Shared helper for the compute phase: runs `fn(i)` for i in [0, n) — on
+/// the calling thread when the effective thread count is 1 (or n < 2), else
+/// via a stack-scoped ThreadPool::ParallelFor. `fn` must be safe to call
+/// concurrently for distinct i and must not throw.
+void ForEachTableIndex(size_t num_threads, size_t n,
+                       const std::function<void(size_t)>& fn);
 
 /// Optional capability: discovery algorithms whose offline index can be
 /// persisted to a file and restored without re-scanning the lake (the

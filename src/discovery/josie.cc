@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "discovery/persist.h"
@@ -12,13 +13,22 @@ Status JosieSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   columns_.clear();
   postings_.clear();
-  for (const Table* t : lake.tables()) {
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase: per-table token sets through the shared sketch cache.
+  std::vector<std::shared_ptr<const ColumnTokenSets>> tokens(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    tokens[i] = lake.sketch_cache().TokenSets(*tables[i]);
+  });
+  // Merge phase: serial, in lake order — the index is identical for every
+  // thread count.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table* t = tables[i];
     for (size_t c = 0; c < t->num_columns(); ++c) {
-      std::vector<std::string> tokens = t->ColumnTokenSet(c);
-      if (tokens.size() < params_.min_distinct) continue;
+      const std::vector<std::string>& toks = (*tokens[i])[c];
+      if (toks.size() < params_.min_distinct) continue;
       uint32_t id = static_cast<uint32_t>(columns_.size());
       columns_.emplace_back(t->name(), c);
-      for (const std::string& tok : tokens) postings_[tok].push_back(id);
+      for (const std::string& tok : toks) postings_[tok].push_back(id);
     }
   }
   return Status::OK();

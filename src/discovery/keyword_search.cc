@@ -1,11 +1,13 @@
 #include "discovery/keyword_search.h"
 
+#include <memory>
+
 #include "text/tokenizer.h"
 
 namespace dialite {
 
 std::vector<std::string> KeywordSearch::TableDocument(
-    const Table& table) const {
+    const Table& table, const ColumnTokenSets* token_sets) const {
   std::vector<std::string> doc;
   // Metadata tokens, boosted by repetition.
   std::vector<std::string> meta = WordTokens(table.name());
@@ -18,8 +20,16 @@ std::vector<std::string> KeywordSearch::TableDocument(
   }
   // Cell tokens, bounded per column.
   for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::vector<std::string> local;
+    const std::vector<std::string>* toks;
+    if (token_sets != nullptr) {
+      toks = &(*token_sets)[c];
+    } else {
+      local = table.ColumnTokenSet(c);
+      toks = &local;
+    }
     size_t taken = 0;
-    for (const std::string& tok : table.ColumnTokenSet(c)) {
+    for (const std::string& tok : *toks) {
       if (taken >= params_.max_tokens_per_column) break;
       std::vector<std::string> words = WordTokens(tok);
       doc.insert(doc.end(), words.begin(), words.end());
@@ -33,15 +43,27 @@ Status KeywordSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   vectorizer_ = TfIdfVectorizer();
   documents_.clear();
-  std::vector<std::vector<std::string>> docs;
-  for (const Table* t : lake.tables()) {
-    docs.push_back(TableDocument(*t));
-    vectorizer_.AddDocument(docs.back());
-  }
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase 1: per-table documents (token sets from the cache).
+  std::vector<std::vector<std::string>> docs(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    std::shared_ptr<const ColumnTokenSets> tokens =
+        lake.sketch_cache().TokenSets(*tables[i]);
+    docs[i] = TableDocument(*tables[i], tokens.get());
+  });
+  // Corpus statistics must accumulate serially in lake order (document
+  // frequencies assign term ids in first-seen order).
+  for (const std::vector<std::string>& d : docs) vectorizer_.AddDocument(d);
   vectorizer_.Finalize();
-  size_t i = 0;
-  for (const Table* t : lake.tables()) {
-    documents_.emplace_back(t->name(), vectorizer_.Transform(docs[i++]));
+  // Compute phase 2: vectorization is read-only after Finalize(), so the
+  // transforms parallelize too.
+  std::vector<SparseVector> vecs(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    vecs[i] = vectorizer_.Transform(docs[i]);
+  });
+  documents_.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    documents_.emplace_back(tables[i]->name(), std::move(vecs[i]));
   }
   return Status::OK();
 }

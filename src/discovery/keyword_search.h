@@ -45,7 +45,10 @@ class KeywordSearch : public DiscoveryAlgorithm {
                                                    size_t k) const;
 
  private:
-  std::vector<std::string> TableDocument(const Table& table) const;
+  /// The table's TF-IDF document. `token_sets` optionally supplies cached
+  /// per-column token sets; when null they are computed from the table.
+  std::vector<std::string> TableDocument(
+      const Table& table, const ColumnTokenSets* token_sets = nullptr) const;
 
   Params params_;
   const DataLake* lake_ = nullptr;

@@ -1,6 +1,7 @@
 #include "discovery/lsh_ensemble_search.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "text/similarity.h"
@@ -17,13 +18,28 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
   columns_.clear();
   ensemble_ = LshEnsemble(LshEnsemble::Params{
       params_.num_perm, params_.num_partitions, params_.seed});
-  for (const Table* t : lake.tables()) {
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase: token sets + MinHash signatures per table, through the
+  // shared sketch cache (signatures are order-insensitive, so the parallel
+  // sketches are bit-identical to sequential ones).
+  std::vector<std::shared_ptr<const ColumnTokenSets>> tokens(tables.size());
+  std::vector<std::shared_ptr<const std::vector<MinHash>>> sigs(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    TableSketchCache& cache = lake.sketch_cache();
+    tokens[i] = cache.TokenSets(*tables[i]);
+    sigs[i] =
+        cache.MinHashSignatures(*tables[i], params_.num_perm, params_.seed);
+  });
+  // Merge phase: serial, in lake order (ensemble ids stay dense and stable).
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table* t = tables[i];
     for (size_t c = 0; c < t->num_columns(); ++c) {
-      std::vector<std::string> tokens = t->ColumnTokenSet(c);
-      if (tokens.size() < params_.min_distinct) continue;
+      const std::vector<std::string>& toks = (*tokens[i])[c];
+      if (toks.size() < params_.min_distinct) continue;
       uint64_t id = columns_.size();
       columns_.emplace_back(t->name(), c);
-      DIALITE_RETURN_NOT_OK(ensemble_.Add(id, tokens));
+      DIALITE_RETURN_NOT_OK(
+          ensemble_.AddSketch(id, toks.size(), (*sigs[i])[c]));
     }
   }
   return ensemble_.Build();
@@ -52,7 +68,9 @@ Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
     if (table_name == query.table->name()) continue;
     const Table* cand = lake_->Get(table_name);
     if (cand == nullptr) continue;
-    double c = Containment(qtokens, cand->ColumnTokenSet(col));
+    std::shared_ptr<const ColumnTokenSets> ctokens =
+        lake_->sketch_cache().TokenSets(*cand);
+    double c = Containment(qtokens, (*ctokens)[col]);
     if (c < params_.containment_threshold) continue;
     double& cur = best[table_name];
     cur = std::max(cur, c);

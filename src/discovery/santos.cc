@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <unordered_set>
 
 #include "discovery/persist.h"
@@ -11,14 +12,25 @@ namespace dialite {
 SantosSearch::SantosSearch(Params params, const KnowledgeBase* kb)
     : params_(params), kb_(kb), annotator_(kb) {}
 
-SantosSearch::TableSemantics SantosSearch::Annotate(const Table& table) const {
+SantosSearch::TableSemantics SantosSearch::Annotate(
+    const Table& table, const ColumnDistinctValues* distinct) const {
   TableSemantics sem;
   sem.columns.resize(table.num_columns());
   sem.anchored_relations.resize(table.num_columns());
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    if (annotator_.ColumnCoverage(table, c) < params_.min_coverage) continue;
+    std::vector<std::string> local;
+    const std::vector<std::string>* values;
+    if (distinct != nullptr) {
+      values = &(*distinct)[c];
+    } else {
+      for (const Value& v : table.DistinctColumnValues(c)) {
+        local.push_back(v.ToCsvString());
+      }
+      values = &local;
+    }
+    if (annotator_.ValuesCoverage(*values) < params_.min_coverage) continue;
     for (const Annotation& a :
-         annotator_.AnnotateColumn(table, c, params_.max_types_per_column)) {
+         annotator_.AnnotateValues(*values, params_.max_types_per_column)) {
       sem.columns[c].types[a.label] = a.score;
     }
   }
@@ -41,17 +53,29 @@ Status SantosSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   semantics_.clear();
   type_index_.clear();
-  for (const Table* t : lake.tables()) {
-    TableSemantics sem = Annotate(*t);
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase: KB annotation per table (the expensive part — column
+  // types, pairwise relationships) runs across the worker pool; distinct
+  // values come from the shared sketch cache.
+  std::vector<TableSemantics> sems(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    std::shared_ptr<const ColumnDistinctValues> distinct =
+        lake.sketch_cache().DistinctValues(*tables[i]);
+    sems[i] = Annotate(*tables[i], distinct.get());
+  });
+  // Merge phase: serial, in lake order, so the inverted type index's
+  // posting order matches a sequential build exactly.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table* t = tables[i];
     std::unordered_set<std::string> types_seen;
-    for (const ColumnSemantics& col : sem.columns) {
+    for (const ColumnSemantics& col : sems[i].columns) {
       for (const auto& [type, conf] : col.types) {
         if (types_seen.insert(type).second) {
           type_index_[type].push_back(t->name());
         }
       }
     }
-    semantics_.emplace(t->name(), std::move(sem));
+    semantics_.emplace(t->name(), std::move(sems[i]));
   }
   return Status::OK();
 }

@@ -72,7 +72,11 @@ class SantosSearch : public DiscoveryAlgorithm, public PersistentIndex {
     std::vector<std::map<std::string, double>> anchored_relations;
   };
 
-  TableSemantics Annotate(const Table& table) const;
+  /// Annotates one table. `distinct` optionally supplies the per-column
+  /// distinct raw value sets (from the lake's sketch cache); when null they
+  /// are computed from the table directly (the query-table path).
+  TableSemantics Annotate(const Table& table,
+                          const ColumnDistinctValues* distinct = nullptr) const;
 
   Params params_;
   const KnowledgeBase* kb_;

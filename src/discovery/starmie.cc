@@ -9,11 +9,13 @@ StarmieSearch::StarmieSearch(Params params, const KnowledgeBase* kb)
     : params_(params), embedder_(kb) {}
 
 std::vector<Embedding> StarmieSearch::ContextualizedColumns(
-    const Table& table) const {
+    const Table& table, const ColumnTokenSets* token_sets) const {
   const size_t n = table.num_columns();
   std::vector<Embedding> own(n);
   for (size_t c = 0; c < n; ++c) {
-    own[c] = embedder_.EmbedValueSet(table.ColumnTokenSet(c));
+    own[c] = embedder_.EmbedValueSet(token_sets != nullptr
+                                         ? (*token_sets)[c]
+                                         : table.ColumnTokenSet(c));
   }
   std::vector<Embedding> out(n);
   for (size_t c = 0; c < n; ++c) {
@@ -44,8 +46,20 @@ Status StarmieSearch::BuildIndex(const DataLake& lake) {
   index_ = std::make_unique<SimHashIndex>(params_.simhash_bits,
                                           embedder_.dim(), params_.band_bits,
                                           params_.seed);
-  for (const Table* t : lake.tables()) {
-    std::vector<Embedding> vecs = ContextualizedColumns(*t);
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase: contextualized column embeddings per table (token sets
+  // from the shared sketch cache).
+  std::vector<std::vector<Embedding>> all_vecs(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    std::shared_ptr<const ColumnTokenSets> tokens =
+        lake.sketch_cache().TokenSets(*tables[i]);
+    all_vecs[i] = ContextualizedColumns(*tables[i], tokens.get());
+  });
+  // Merge phase: serial SimHash inserts in lake order keep ids and band
+  // bucket order identical to a sequential build.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table* t = tables[i];
+    std::vector<Embedding> vecs = std::move(all_vecs[i]);
     for (size_t c = 0; c < vecs.size(); ++c) {
       // Skip empty (all-null) columns: the zero vector matches nothing.
       bool zero = true;

@@ -52,7 +52,10 @@ class StarmieSearch : public DiscoveryAlgorithm {
       const DiscoveryQuery& query) const override;
 
   /// Contextualized vectors of one table's columns (exposed for tests).
-  std::vector<Embedding> ContextualizedColumns(const Table& table) const;
+  /// `token_sets` optionally supplies the per-column token sets (from the
+  /// lake's sketch cache); when null they are computed from the table.
+  std::vector<Embedding> ContextualizedColumns(
+      const Table& table, const ColumnTokenSets* token_sets = nullptr) const;
 
  private:
   Params params_;

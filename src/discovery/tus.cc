@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
 
 #include "text/similarity.h"
@@ -11,16 +12,26 @@ namespace dialite {
 TusSearch::TusSearch(Params params, const KnowledgeBase* kb)
     : params_(params), kb_(kb), annotator_(kb), embedder_(kb) {}
 
-TusSearch::ColumnProfile TusSearch::ProfileColumn(const Table& table,
-                                                  size_t column) const {
+TusSearch::ColumnProfile TusSearch::ProfileFromSets(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& distinct_values) const {
   ColumnProfile p;
-  p.tokens = table.ColumnTokenSet(column);
-  for (const Annotation& a :
-       annotator_.AnnotateColumn(table, column, params_.max_types_per_column)) {
+  p.tokens = tokens;
+  for (const Annotation& a : annotator_.AnnotateValues(
+           distinct_values, params_.max_types_per_column)) {
     p.types[a.label] = a.score;
   }
   p.embedding = embedder_.EmbedValueSet(p.tokens);
   return p;
+}
+
+TusSearch::ColumnProfile TusSearch::ProfileColumn(const Table& table,
+                                                  size_t column) const {
+  std::vector<std::string> distinct;
+  for (const Value& v : table.DistinctColumnValues(column)) {
+    distinct.push_back(v.ToCsvString());
+  }
+  return ProfileFromSets(table.ColumnTokenSet(column), distinct);
 }
 
 double TusSearch::Unionability(const ColumnProfile& a,
@@ -53,12 +64,29 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
   profiles_.clear();
   token_index_.clear();
   type_index_.clear();
-  for (const Table* t : lake.tables()) {
-    std::vector<ColumnProfile> cols;
+  const std::vector<const Table*> tables = lake.tables();
+  // Compute phase: per-table column profiles (tokens, KB types, embedding)
+  // across the worker pool, fed from the shared sketch cache.
+  std::vector<std::vector<ColumnProfile>> all_cols(tables.size());
+  ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
+    TableSketchCache& cache = lake.sketch_cache();
+    std::shared_ptr<const ColumnTokenSets> tokens =
+        cache.TokenSets(*tables[i]);
+    std::shared_ptr<const ColumnDistinctValues> distinct =
+        cache.DistinctValues(*tables[i]);
+    std::vector<ColumnProfile>& cols = all_cols[i];
+    cols.reserve(tables[i]->num_columns());
+    for (size_t c = 0; c < tables[i]->num_columns(); ++c) {
+      cols.push_back(ProfileFromSets((*tokens)[c], (*distinct)[c]));
+    }
+  });
+  // Merge phase: serial, in lake order — inverted index posting order
+  // matches a sequential build exactly.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table* t = tables[i];
     std::unordered_set<std::string> toks_seen;
     std::unordered_set<std::string> types_seen;
-    for (size_t c = 0; c < t->num_columns(); ++c) {
-      ColumnProfile p = ProfileColumn(*t, c);
+    for (ColumnProfile& p : all_cols[i]) {
       for (const std::string& tok : p.tokens) {
         if (toks_seen.insert(tok).second) {
           token_index_[tok].push_back(t->name());
@@ -69,9 +97,8 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
           type_index_[type].push_back(t->name());
         }
       }
-      cols.push_back(std::move(p));
     }
-    profiles_.emplace(t->name(), std::move(cols));
+    profiles_.emplace(t->name(), std::move(all_cols[i]));
   }
   return Status::OK();
 }

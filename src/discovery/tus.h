@@ -53,6 +53,13 @@ class TusSearch : public DiscoveryAlgorithm {
   double Unionability(const ColumnProfile& a, const ColumnProfile& b) const;
 
  private:
+  /// Profile built from precomputed token / distinct value sets (the lake
+  /// sketch-cache path; ProfileColumn derives both and delegates here).
+  ColumnProfile ProfileFromSets(
+      const std::vector<std::string>& tokens,
+      const std::vector<std::string>& distinct_values) const;
+
+ private:
   Params params_;
   const KnowledgeBase* kb_;
   ColumnAnnotator annotator_;

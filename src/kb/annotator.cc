@@ -78,13 +78,21 @@ std::vector<Annotation> ColumnAnnotator::AnnotateColumnPair(
 }
 
 double ColumnAnnotator::ColumnCoverage(const Table& table, size_t c) const {
-  std::vector<Value> distinct = table.DistinctColumnValues(c);
-  if (distinct.empty()) return 0.0;
-  size_t known = 0;
-  for (const Value& v : distinct) {
-    if (kb_->Knows(v.ToCsvString())) ++known;
+  std::vector<std::string> values;
+  for (const Value& v : table.DistinctColumnValues(c)) {
+    values.push_back(v.ToCsvString());
   }
-  return static_cast<double>(known) / static_cast<double>(distinct.size());
+  return ValuesCoverage(values);
+}
+
+double ColumnAnnotator::ValuesCoverage(
+    const std::vector<std::string>& values) const {
+  if (values.empty()) return 0.0;
+  size_t known = 0;
+  for (const std::string& v : values) {
+    if (kb_->Knows(v)) ++known;
+  }
+  return static_cast<double>(known) / static_cast<double>(values.size());
 }
 
 }  // namespace dialite

@@ -56,6 +56,10 @@ class ColumnAnnotator {
   /// Fraction of the column's distinct values known to the KB.
   double ColumnCoverage(const Table& table, size_t c) const;
 
+  /// Fraction of `values` known to the KB (the values-level form of
+  /// ColumnCoverage, for callers holding precomputed distinct value sets).
+  double ValuesCoverage(const std::vector<std::string>& values) const;
+
  private:
   const KnowledgeBase* kb_;
 };

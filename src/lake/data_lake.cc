@@ -10,6 +10,8 @@ namespace dialite {
 
 namespace fs = std::filesystem;
 
+DataLake::DataLake() : sketch_cache_(std::make_unique<TableSketchCache>()) {}
+
 Status DataLake::AddTable(Table table) {
   if (table.name().empty()) {
     return Status::InvalidArgument("lake tables must be named");
@@ -18,6 +20,9 @@ Status DataLake::AddTable(Table table) {
     return Status::AlreadyExists("table '" + table.name() + "'");
   }
   std::string name = table.name();
+  // Names are unique and tables immutable once added, so this is defensive:
+  // no stale sketch can survive a lake mutation.
+  sketch_cache_->Invalidate(name);
   tables_.emplace(name, std::make_unique<Table>(std::move(table)));
   names_.push_back(std::move(name));
   return Status::OK();

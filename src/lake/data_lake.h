@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "lake/table_sketch_cache.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -25,7 +26,7 @@ struct LakeStats {
 /// removed, matching the append-only nature of open-data portals).
 class DataLake {
  public:
-  DataLake() = default;
+  DataLake();
 
   DataLake(const DataLake&) = delete;
   DataLake& operator=(const DataLake&) = delete;
@@ -56,9 +57,16 @@ class DataLake {
   /// Writes every table as <dir>/<name>.csv. Creates `dir` if needed.
   Status SaveDirectory(const std::string& dir) const;
 
+  /// The lake-wide sketch cache: per-table derived data (token sets,
+  /// MinHash signatures, distinct values) memoized once and shared by every
+  /// discovery index builder. Thread-safe; invalidated by AddTable.
+  TableSketchCache& sketch_cache() const { return *sketch_cache_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> names_;
+  /// unique_ptr keeps DataLake movable (the cache owns mutexes).
+  std::unique_ptr<TableSketchCache> sketch_cache_;
 };
 
 }  // namespace dialite

@@ -1,0 +1,130 @@
+#include "lake/table_sketch_cache.h"
+
+#include <utility>
+
+namespace dialite {
+
+std::shared_ptr<TableSketchCache::Entry> TableSketchCache::GetEntry(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Entry>& e = entries_[name];
+  if (e == nullptr) e = std::make_shared<Entry>();
+  return e;
+}
+
+std::shared_ptr<const ColumnTokenSets> TableSketchCache::TokenSets(
+    const Table& table) {
+  std::shared_ptr<Entry> e = GetEntry(table.name());
+  bool computed = false;
+  std::call_once(e->token_once, [&] {
+    auto sets = std::make_shared<ColumnTokenSets>(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      (*sets)[c] = table.ColumnTokenSet(c);
+    }
+    e->token_sets = std::move(sets);
+    computed = true;
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (computed) {
+      ++stats_.token_set_misses;
+    } else {
+      ++stats_.token_set_hits;
+    }
+  }
+  return e->token_sets;
+}
+
+std::shared_ptr<const ColumnDistinctValues> TableSketchCache::DistinctValues(
+    const Table& table) {
+  std::shared_ptr<Entry> e = GetEntry(table.name());
+  bool computed = false;
+  std::call_once(e->distinct_once, [&] {
+    auto vals = std::make_shared<ColumnDistinctValues>(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      std::vector<std::string>& col = (*vals)[c];
+      for (const Value& v : table.DistinctColumnValues(c)) {
+        col.push_back(v.ToCsvString());
+      }
+    }
+    e->distinct_values = std::move(vals);
+    computed = true;
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (computed) {
+      ++stats_.distinct_value_misses;
+    } else {
+      ++stats_.distinct_value_hits;
+    }
+  }
+  return e->distinct_values;
+}
+
+std::shared_ptr<const std::vector<MinHash>> TableSketchCache::MinHashSignatures(
+    const Table& table, size_t num_perm, uint64_t seed) {
+  std::shared_ptr<Entry> e = GetEntry(table.name());
+  const std::pair<size_t, uint64_t> key{num_perm, seed};
+  {
+    std::lock_guard<std::mutex> lock(e->minhash_mu);
+    auto it = e->minhash.find(key);
+    if (it != e->minhash.end()) {
+      std::lock_guard<std::mutex> slock(mu_);
+      ++stats_.minhash_hits;
+      return it->second;
+    }
+  }
+  // Compute outside the entry lock; MinHash updates are componentwise minima
+  // so token order never changes the signature. A concurrent duplicate
+  // computation is possible but harmless (last writer wins, same value);
+  // only the publishing insert counts as the miss.
+  std::shared_ptr<const ColumnTokenSets> tokens = TokenSets(table);
+  auto sigs = std::make_shared<std::vector<MinHash>>();
+  sigs->reserve(tokens->size());
+  for (const std::vector<std::string>& col : *tokens) {
+    MinHash mh(num_perm, seed);
+    for (const std::string& tok : col) mh.Update(tok);
+    sigs->push_back(std::move(mh));
+  }
+  {
+    std::lock_guard<std::mutex> lock(e->minhash_mu);
+    auto it = e->minhash.find(key);
+    if (it != e->minhash.end()) {
+      std::lock_guard<std::mutex> slock(mu_);
+      ++stats_.minhash_hits;
+      return it->second;
+    }
+    e->minhash.emplace(key, sigs);
+  }
+  std::lock_guard<std::mutex> slock(mu_);
+  ++stats_.minhash_misses;
+  return sigs;
+}
+
+size_t TableSketchCache::DistinctCount(const Table& table, size_t column) {
+  std::shared_ptr<const ColumnTokenSets> tokens = TokenSets(table);
+  if (column >= tokens->size()) return 0;
+  return (*tokens)[column].size();
+}
+
+void TableSketchCache::Invalidate(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(table_name);
+}
+
+void TableSketchCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void TableSketchCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+TableSketchCache::Stats TableSketchCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dialite

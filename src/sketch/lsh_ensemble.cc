@@ -23,6 +23,16 @@ Status LshEnsemble::Add(uint64_t id, const std::vector<std::string>& tokens) {
   return Status::OK();
 }
 
+Status LshEnsemble::AddSketch(uint64_t id, size_t set_size, MinHash mh) {
+  if (built_) return Status::InvalidArgument("LshEnsemble already built");
+  if (mh.num_perm() != params_.num_perm || mh.seed() != params_.seed) {
+    return Status::InvalidArgument(
+        "MinHash signature does not match ensemble (num_perm, seed)");
+  }
+  entries_.push_back(Entry{id, set_size, std::move(mh)});
+  return Status::OK();
+}
+
 Status LshEnsemble::Build() {
   if (built_) return Status::InvalidArgument("LshEnsemble already built");
   built_ = true;

@@ -39,6 +39,14 @@ class LshEnsemble {
   /// All Add() calls must precede Build().
   Status Add(uint64_t id, const std::vector<std::string>& tokens);
 
+  /// Registers a domain from a precomputed MinHash signature plus the true
+  /// distinct-set size. The signature must have been built with this
+  /// ensemble's (num_perm, seed) over the domain's distinct token set —
+  /// then the result is identical to Add(id, tokens). Lets callers sketch
+  /// domains in parallel (MinHash minima are order-insensitive) or reuse a
+  /// shared sketch cache.
+  Status AddSketch(uint64_t id, size_t set_size, MinHash mh);
+
   /// Partitions by size and builds per-partition band tables.
   Status Build();
 

@@ -1,0 +1,155 @@
+/// Determinism tests for parallel offline indexing: for every discovery
+/// algorithm, building with 1, 2, or 8 threads must produce identical
+/// search results — and for the persistent indexes, byte-identical files.
+/// This is the contract that lets num_threads default to hardware
+/// concurrency without changing any observable behavior.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dialite.h"
+#include "discovery/cocoa.h"
+#include "discovery/josie.h"
+#include "discovery/keyword_search.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "discovery/starmie.h"
+#include "discovery/tus.h"
+#include "lake/data_lake.h"
+#include "lake/lake_generator.h"
+
+namespace dialite {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+/// One seeded lake shared by every test in this file (the cache inside is
+/// deterministic and immutable, so sharing cannot couple tests).
+const DataLake& SharedLake() {
+  static const DataLake* lake = [] {
+    LakeGeneratorParams params;
+    params.fragments_per_domain = 2;
+    params.seed = 7;
+    SyntheticLakeGenerator gen(params);
+    return new DataLake(std::move(gen.Generate().lake));
+  }();
+  return *lake;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Builds `Algo` at each thread count and verifies the top-20 search
+/// results (names and exact scores) are identical.
+template <typename Algo>
+void ExpectDeterministicSearch() {
+  const DataLake& lake = SharedLake();
+  DiscoveryQuery query{lake.tables().front(), 0, 20};
+  std::vector<std::vector<DiscoveryHit>> per_thread_hits;
+  for (size_t threads : kThreadCounts) {
+    Algo algo;
+    algo.set_num_threads(threads);
+    ASSERT_TRUE(algo.BuildIndex(lake).ok());
+    Result<std::vector<DiscoveryHit>> hits = algo.Search(query);
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    per_thread_hits.push_back(std::move(hits).value());
+  }
+  // DiscoveryHit::operator== compares scores exactly — bitwise, not
+  // approximately: parallel builds must not even reorder float additions.
+  EXPECT_EQ(per_thread_hits[0], per_thread_hits[1]);
+  EXPECT_EQ(per_thread_hits[0], per_thread_hits[2]);
+}
+
+/// Builds a PersistentIndex `Algo` at each thread count and verifies the
+/// saved index files are byte-identical.
+template <typename Algo>
+void ExpectIdenticalIndexBytes(const std::string& tag) {
+  const DataLake& lake = SharedLake();
+  std::string reference;
+  for (size_t threads : kThreadCounts) {
+    Algo algo;
+    algo.set_num_threads(threads);
+    ASSERT_TRUE(algo.BuildIndex(lake).ok());
+    std::string path = testing::TempDir() + "/" + tag + "_" +
+                       std::to_string(threads) + ".idx";
+    ASSERT_TRUE(algo.SaveIndex(path).ok());
+    std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(bytes.empty());
+    if (reference.empty()) {
+      reference = std::move(bytes);
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, SantosSearchDeterministic) {
+  ExpectDeterministicSearch<SantosSearch>();
+}
+
+TEST(ParallelBuildTest, LshEnsembleSearchDeterministic) {
+  ExpectDeterministicSearch<LshEnsembleSearch>();
+}
+
+TEST(ParallelBuildTest, JosieSearchDeterministic) {
+  ExpectDeterministicSearch<JosieSearch>();
+}
+
+TEST(ParallelBuildTest, StarmieSearchDeterministic) {
+  ExpectDeterministicSearch<StarmieSearch>();
+}
+
+TEST(ParallelBuildTest, CocoaSearchDeterministic) {
+  ExpectDeterministicSearch<CocoaSearch>();
+}
+
+TEST(ParallelBuildTest, TusSearchDeterministic) {
+  ExpectDeterministicSearch<TusSearch>();
+}
+
+TEST(ParallelBuildTest, KeywordSearchDeterministic) {
+  ExpectDeterministicSearch<KeywordSearch>();
+}
+
+TEST(ParallelBuildTest, SantosIndexBytesIdentical) {
+  ExpectIdenticalIndexBytes<SantosSearch>("santos_par");
+}
+
+TEST(ParallelBuildTest, JosieIndexBytesIdentical) {
+  ExpectIdenticalIndexBytes<JosieSearch>("josie_par");
+}
+
+TEST(ParallelBuildTest, DiscoverAllIdenticalAcrossThreadCounts) {
+  // End to end through the facade: sequential (1), bounded (8), and
+  // hardware (0) must agree on every algorithm's hits.
+  const DataLake& lake = SharedLake();
+  DiscoveryQuery query{lake.tables().front(), 0, 10};
+  std::vector<std::map<std::string, std::vector<DiscoveryHit>>> reports;
+  for (size_t threads : {size_t{1}, size_t{8}, size_t{0}}) {
+    Dialite dialite(&lake);
+    ASSERT_TRUE(dialite.RegisterDefaults().ok());
+    dialite.set_num_threads(threads);
+    ASSERT_TRUE(dialite.BuildIndexes().ok());
+    Result<std::map<std::string, std::vector<DiscoveryHit>>> all =
+        dialite.DiscoverAll(query);
+    ASSERT_TRUE(all.ok()) << all.status().ToString();
+    reports.push_back(std::move(all).value());
+  }
+  ASSERT_EQ(reports[0].size(), 7u);  // all seven default algorithms ran
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,0 +1,131 @@
+/// Concurrency tests for ThreadPool: exception safety (a throwing task must
+/// not wedge Wait()), zero-iteration and index-coverage edge cases, and the
+/// documented-unsupported reentrant ParallelFor misuse.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dialite {
+namespace {
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotDeadlockWait) {
+  // Regression: a throw used to escape WorkerLoop without decrementing
+  // in_flight_, leaving Wait() blocked forever. Wait() must return (and
+  // rethrow) even when several tasks throw.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&done, i] {
+      if (i % 4 == 0) throw std::runtime_error("task " + std::to_string(i));
+      ++done;
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(done.load(), 12);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error was claimed by the first Wait(); the pool keeps working.
+  std::atomic<int> done{0};
+  pool.Submit([&done] { ++done; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsUnclaimedException) {
+  // A pool destroyed with a pending task exception must not call
+  // std::terminate (throwing from a destructor would).
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("unclaimed"); });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 57) throw std::out_of_range("57");
+                                }),
+               std::out_of_range);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, [&sum](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(), [&counts](size_t i) { ++counts[i]; });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDetection) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> inside{false};
+  pool.Submit([&] { inside = pool.InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPoolTest, DistinctPoolsNestWithoutFallback) {
+  // The supported nesting pattern (Dialite::BuildIndexes): a worker of one
+  // pool drives ParallelFor on a *different* pool. That must take the real
+  // parallel path — the work lands on the inner pool's workers.
+  ThreadPool outer(1);
+  ThreadPool inner(2);
+  std::atomic<int> on_inner{0};
+  outer.Submit([&] {
+    inner.ParallelFor(4, [&](size_t) {
+      if (inner.InWorkerThread()) ++on_inner;
+    });
+  });
+  outer.Wait();
+  EXPECT_EQ(on_inner.load(), 4);
+}
+
+#ifdef NDEBUG
+TEST(ThreadPoolTest, ReentrantParallelForDegradesToInline) {
+  // Documented-unsupported misuse: ParallelFor from a worker of the same
+  // pool. Release builds must complete inline on the calling thread rather
+  // than deadlock waiting on themselves. (Debug builds assert instead, so
+  // this test only runs with NDEBUG.)
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  std::atomic<int> ran_inline{0};
+  pool.Submit([&] {
+    pool.ParallelFor(8, [&](size_t i) {
+      sum += i;
+      if (pool.InWorkerThread()) ++ran_inline;
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 28u);
+  // Inline fallback keeps the loop on the submitting worker thread.
+  EXPECT_EQ(ran_inline.load(), 8);
+}
+#endif
+
+}  // namespace
+}  // namespace dialite
