@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "align/alite_matcher.h"
+#include "analyze/aggregate.h"
+#include "common/rng.h"
+#include "integrate/full_disjunction.h"
 #include "integrate/integration.h"
 #include "kb/embedding.h"
 #include "kb/knowledge_base.h"
@@ -146,5 +150,126 @@ void BM_JaroWinkler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JaroWinkler);
+
+// ---------------------------------------------------------------------------
+// Storage-layer scans (tracked in EXPERIMENTS.md across the columnar
+// refactor): column token-set build, group-by aggregation scan, and the FD
+// complementation step end to end.
+
+/// A lake-ish table: one low-cardinality string column, one high-cardinality
+/// string column, one int column, one double column — `rows` rows.
+Table ScanTable(size_t rows) {
+  Table t("scan", Schema::FromNames({"city", "code", "pop", "rate"}));
+  Rng rng(17);
+  for (size_t r = 0; r < rows; ++r) {
+    (void)t.AddRow({Value::String("City" + std::to_string(r % 97)),
+                    Value::String("Z" + std::to_string(rng.NextBounded(100000))),
+                    Value::Int(static_cast<int64_t>(10000 + r % 5000)),
+                    Value::Double(0.01 * static_cast<double>(r % 400))});
+  }
+  t.RefreshColumnTypes();
+  return t;
+}
+
+void BM_ColumnTokenSetBuild(benchmark::State& state) {
+  Table t = ScanTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      total += ColumnTokens(t.column(c)).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<int64_t>(t.num_columns()));
+}
+BENCHMARK(BM_ColumnTokenSetBuild)->Arg(1000)->Arg(10000);
+
+void BM_DistinctColumnValues(benchmark::State& state) {
+  Table t = ScanTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      total += ColumnDistinct(t.column(c)).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<int64_t>(t.num_columns()));
+}
+BENCHMARK(BM_DistinctColumnValues)->Arg(1000)->Arg(10000);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  // Find-or-intern over a working set that is already fully interned —
+  // the steady-state cost of string cell ingestion.
+  StringDictionary dict;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("value_" + std::to_string(i));
+    dict.Intern(keys.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Find(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_AggregateGroupBy(benchmark::State& state) {
+  Table t = ScanTable(static_cast<size_t>(state.range(0)));
+  std::vector<AggSpec> aggs = {{AggFn::kSum, "pop", ""},
+                               {AggFn::kAvg, "rate", ""},
+                               {AggFn::kCount, "", ""}};
+  for (auto _ : state) {
+    Result<Table> out = Aggregate(t, {"city"}, aggs);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateGroupBy)->Arg(1000)->Arg(10000);
+
+/// Three overlapping fragments whose tuples complement through a shared key,
+/// driving the complementation fix-point rather than the union fast path.
+std::vector<Table> FdFragments(size_t entities) {
+  std::vector<Table> tables;
+  tables.emplace_back("F0", Schema::FromNames({"k", "a", "b"}));
+  tables.emplace_back("F1", Schema::FromNames({"k", "b", "c"}));
+  tables.emplace_back("F2", Schema::FromNames({"k", "c", "d"}));
+  for (size_t i = 0; i < entities; ++i) {
+    std::string k = "k" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    std::string c = "c" + std::to_string(i);
+    (void)tables[0].AddRow(
+        {Value::String(k), Value::String("a" + std::to_string(i)),
+         i % 3 == 0 ? Value::Null() : Value::String(b)});
+    (void)tables[1].AddRow(
+        {Value::String(k), Value::String(b),
+         i % 4 == 0 ? Value::Null() : Value::String(c)});
+    (void)tables[2].AddRow(
+        {Value::String(k), Value::String(c),
+         Value::String("d" + std::to_string(i))});
+  }
+  return tables;
+}
+
+void BM_FdComplementationStep(benchmark::State& state) {
+  std::vector<Table> storage = FdFragments(static_cast<size_t>(state.range(0)));
+  std::vector<const Table*> tables;
+  for (const Table& t : storage) tables.push_back(&t);
+  NameMatcher matcher;
+  Result<Alignment> alignment = matcher.Align(tables);
+  if (!alignment.ok()) {
+    state.SkipWithError("alignment failed");
+    return;
+  }
+  FullDisjunction fd;
+  for (auto _ : state) {
+    Result<Table> out = fd.Integrate(tables, *alignment);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_FdComplementationStep)->Arg(100)->Arg(500);
 
 }  // namespace

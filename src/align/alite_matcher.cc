@@ -20,19 +20,24 @@ AliteMatcher::ColumnSignature AliteMatcher::MakeSignature(
   ColumnSignature sig;
   sig.table_idx = table_idx;
   sig.column = column;
-  sig.tokens = t.ColumnTokenSet(column);
+  const ColumnView col = t.column(column);
+  sig.tokens = ColumnTokens(col);
   sig.embedding = embedder_.EmbedValueSet(sig.tokens);
   sig.raw_header = t.schema().column(column).name;
   sig.norm_header = NormalizeText(sig.raw_header);
   sig.all_null = sig.tokens.empty();
   // A column is "numeric" if every distinct value parses as a number.
+  // Int/double cells are numeric by construction; only distinct string
+  // cells (deduped by dictionary id) need parsing.
   sig.numeric = !sig.all_null;
-  for (const Value& v : t.DistinctColumnValues(column)) {
+  std::vector<uint8_t> seen_ids(t.dictionary().size(), 0);
+  for (size_t r = 0; r < col.size() && sig.numeric; ++r) {
+    if (col.is_null(r) || col.kind(r) != CellKind::kString) continue;
+    const uint32_t id = col.string_id(r);
+    if (seen_ids[id]) continue;
+    seen_ids[id] = 1;
     double d;
-    if (!v.AsNumeric(&d)) {
-      sig.numeric = false;
-      break;
-    }
+    if (!col.AsNumericAt(r, &d)) sig.numeric = false;
   }
   return sig;
 }

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "analyze/stats.h"
+#include "common/hash.h"
 
 namespace dialite {
 
@@ -138,7 +139,10 @@ Result<Table> Aggregate(const Table& t,
     defs.push_back(ColumnDef{alias, ValueType::kDouble});
   }
 
-  // Group rows. std::map on key rows gives sorted deterministic output.
+  // Group rows in a hash map keyed on the column-view hash of the key cells
+  // (Identical-equivalence, so int 5 and double 5.0 group together exactly
+  // like Value ordering did); the final RowLess sort reproduces the sorted
+  // deterministic output the previous std::map gave.
   struct RowLess {
     bool operator()(const Row& a, const Row& b) const {
       for (size_t i = 0; i < a.size(); ++i) {
@@ -148,45 +152,81 @@ Result<Table> Aggregate(const Table& t,
       return false;
     }
   };
-  std::map<Row, std::vector<Accumulator>, RowLess> groups;
-  for (size_t r = 0; r < t.num_rows(); ++r) {
+  struct Group {
     Row key;
-    key.reserve(key_cols.size());
-    for (size_t c : key_cols) key.push_back(t.at(r, c));
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) {
-      it->second.resize(aggs.size());
-      for (size_t i = 0; i < aggs.size(); ++i) {
-        it->second[i].keep_values = aggs[i].fn == AggFn::kMedian;
-        it->second[i].keep_distinct = aggs[i].fn == AggFn::kCountDistinct;
+    std::vector<Accumulator> accs;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<uint64_t, std::vector<size_t>> lookup;
+  std::vector<ColumnView> key_views;
+  key_views.reserve(key_cols.size());
+  for (size_t c : key_cols) key_views.push_back(t.column(c));
+  std::vector<ColumnView> agg_views;  // count(*) slots stay empty, never read
+  agg_views.reserve(agg_cols.size());
+  for (int64_t c : agg_cols) {
+    agg_views.push_back(c < 0 ? ColumnView()
+                              : t.column(static_cast<size_t>(c)));
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const ColumnView& kv : key_views) h = HashCombine(h, kv.HashAt(r));
+    std::vector<size_t>& bucket = lookup[h];
+    size_t gi = static_cast<size_t>(-1);
+    for (size_t cand : bucket) {
+      bool same = true;
+      for (size_t i = 0; i < key_views.size(); ++i) {
+        if (!groups[cand].key[i].Identical(key_views[i].value_at(r))) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        gi = cand;
+        break;
       }
     }
+    if (gi == static_cast<size_t>(-1)) {
+      gi = groups.size();
+      bucket.push_back(gi);
+      Group g;
+      g.key.reserve(key_views.size());
+      for (const ColumnView& kv : key_views) g.key.push_back(kv.value_at(r));
+      g.accs.resize(aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        g.accs[i].keep_values = aggs[i].fn == AggFn::kMedian;
+        g.accs[i].keep_distinct = aggs[i].fn == AggFn::kCountDistinct;
+      }
+      groups.push_back(std::move(g));
+    }
+    std::vector<Accumulator>& accs = groups[gi].accs;
     for (size_t i = 0; i < aggs.size(); ++i) {
       if (agg_cols[i] < 0) {
         // count(*): every row counts.
-        ++it->second[i].count;
+        ++accs[i].count;
         continue;
       }
-      const Value& v = t.at(r, static_cast<size_t>(agg_cols[i]));
-      if (v.is_null()) continue;
+      const ColumnView& col = agg_views[i];
+      if (col.is_null(r)) continue;
       if (aggs[i].fn == AggFn::kCount) {
-        ++it->second[i].count;
+        ++accs[i].count;
         continue;
       }
       if (aggs[i].fn == AggFn::kCountDistinct) {
-        it->second[i].distinct.insert(v.Hash());
+        accs[i].distinct.insert(col.HashAt(r));
         continue;
       }
       double d;
-      if (ParseNumericLoose(v, &d)) it->second[i].Add(d);
+      if (ParseNumericLooseAt(col, r, &d)) accs[i].Add(d);
     }
   }
 
+  std::sort(groups.begin(), groups.end(),
+            [](const Group& a, const Group& b) { return RowLess()(a.key, b.key); });
   Table out("aggregate", Schema(std::move(defs)));
-  for (auto& [key, accs] : groups) {
-    Row row = key;
+  for (Group& g : groups) {
+    Row row = std::move(g.key);
     for (size_t i = 0; i < aggs.size(); ++i) {
-      row.push_back(accs[i].Finish(aggs[i].fn));
+      row.push_back(g.accs[i].Finish(aggs[i].fn));
     }
     DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row)));
   }

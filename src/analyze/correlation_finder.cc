@@ -16,9 +16,10 @@ Result<std::vector<CorrelationFinding>> FindCorrelations(
   for (size_t c = 0; c < n; ++c) {
     numeric[c].resize(table.num_rows());
     size_t count = 0;
+    const ColumnView col = table.column(c);
     for (size_t r = 0; r < table.num_rows(); ++r) {
       double d;
-      if (ParseNumericLoose(table.at(r, c), &d)) {
+      if (ParseNumericLooseAt(col, r, &d)) {
         numeric[c][r] = {true, d};
         ++count;
       } else {

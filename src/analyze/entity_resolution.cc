@@ -43,16 +43,20 @@ Result<ErOutcome> EntityResolver::Resolve(const Table& table) const {
   // text AND for every KB-sameAs partner of that text, so "USA" and
   // "United States" rows share a bucket without any pairwise KB scan
   // (keeps blocking O(rows · cells), not O(rows² · cells²)).
+  std::vector<ColumnView> cols;
+  cols.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    cols.push_back(table.column(c));
+  }
   std::unordered_map<std::string, std::vector<size_t>> blocks;
   for (size_t r = 0; r < n; ++r) {
     std::unordered_set<std::string> keys;
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      const Value& v = table.at(r, c);
-      if (v.is_null()) continue;
-      std::string norm = NormalizeText(v.ToCsvString());
+    for (const ColumnView& col : cols) {
+      if (col.is_null(r)) continue;
+      std::string norm = NormalizeText(col.CsvStringAt(r));
       if (norm.empty()) continue;
       keys.insert(norm);
-      if (kb_ != nullptr && v.is_string()) {
+      if (kb_ != nullptr && col.kind(r) == CellKind::kString) {
         for (const std::string& partner : kb_->SameAsOf(norm)) {
           keys.insert(partner);
         }
@@ -95,9 +99,9 @@ Result<ErOutcome> EntityResolver::Resolve(const Table& table) const {
     double sum = 0.0;
     bool conflict = false;
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      const Value& a = table.at(i, c);
-      const Value& b = table.at(j, c);
-      if (a.is_null() || b.is_null()) continue;
+      if (cols[c].is_null(i) || cols[c].is_null(j)) continue;
+      const Value a = cols[c].value_at(i);
+      const Value b = cols[c].value_at(j);
       ++shared;
       double s = CellSimilarity(a, b);
       if (s < params_.conflict_threshold) conflict = true;
@@ -132,11 +136,11 @@ Result<ErOutcome> EntityResolver::Resolve(const Table& table) const {
       std::vector<std::pair<Value, size_t>> votes;
       bool any_missing = false;
       for (size_t r : rows) {
-        const Value& v = table.at(r, c);
-        if (v.is_null()) {
-          any_missing |= v.is_missing_null();
+        if (cols[c].is_null(r)) {
+          any_missing |= cols[c].kind(r) == CellKind::kMissingNull;
           continue;
         }
+        const Value v = cols[c].value_at(r);
         bool found = false;
         for (auto& [val, cnt] : votes) {
           if (val.EqualsValue(v)) {

@@ -27,14 +27,14 @@ TableProfile ProfileTable(const Table& table, const ProfilerOptions& options) {
     HyperLogLog hll;
     double sum = 0.0;
     size_t numeric_count = 0;
+    const ColumnView col = table.column(c);
     for (size_t r = 0; r < table.num_rows(); ++r) {
-      const Value& v = table.at(r, c);
-      if (v.is_null()) {
+      if (col.is_null(r)) {
         ++cp.nulls;
-        if (v.is_produced_null()) ++cp.produced_nulls;
+        if (col.kind(r) == CellKind::kProducedNull) ++cp.produced_nulls;
         continue;
       }
-      std::string key = v.ToCsvString();
+      std::string key = col.CsvStringAt(r);
       if (exact) {
         ++counts[key];
         if (counts.size() > options.exact_distinct_limit) {
@@ -46,7 +46,7 @@ TableProfile ProfileTable(const Table& table, const ProfilerOptions& options) {
         hll.Add(key);
       }
       double d;
-      if (ParseNumericLoose(v, &d)) {
+      if (ParseNumericLooseAt(col, r, &d)) {
         if (numeric_count == 0) {
           cp.min = cp.max = d;
         } else {

@@ -86,25 +86,31 @@ Result<Table> RunQuery(const Table& table, const QuerySpec& spec) {
   }
 
   // Filter.
+  std::vector<ColumnView> where_views;
+  where_views.reserve(where_cols.size());
+  for (const auto& [c, op] : where_cols) where_views.push_back(table.column(c));
   std::vector<size_t> rows;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     bool keep = true;
     for (size_t i = 0; i < spec.where.size() && keep; ++i) {
-      keep = EvaluatePredicate(table.at(r, where_cols[i].first),
+      keep = EvaluatePredicate(where_views[i].value_at(r),
                                where_cols[i].second, spec.where[i].operand);
     }
     if (keep) rows.push_back(r);
   }
 
   // Sort (stable, keys applied with decreasing priority).
+  std::vector<ColumnView> order_views;
+  order_views.reserve(order_cols.size());
+  for (const auto& [c, asc] : order_cols) order_views.push_back(table.column(c));
   std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-    for (const auto& [c, asc] : order_cols) {
+    for (size_t i = 0; i < order_cols.size(); ++i) {
+      const ColumnView& col = order_views[i];
+      const bool asc = order_cols[i].second;
       // Nulls sort last regardless of direction (SQL NULLS LAST).
-      const Value& va = table.at(a, c);
-      const Value& vb = table.at(b, c);
-      if (va.is_null() != vb.is_null()) return vb.is_null();
-      if (va.is_null()) continue;
-      int cmp = CompareCells(va, vb);
+      if (col.is_null(a) != col.is_null(b)) return col.is_null(b);
+      if (col.is_null(a)) continue;
+      int cmp = CompareCells(col.value_at(a), col.value_at(b));
       if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
     }
     return false;

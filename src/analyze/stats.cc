@@ -9,11 +9,11 @@
 
 namespace dialite {
 
-bool ParseNumericLoose(const Value& v, double* out) {
-  if (v.is_null()) return false;
-  if (v.AsNumeric(out)) return true;
-  if (!v.is_string()) return false;
-  std::string s = Trim(v.as_string());
+namespace {
+
+/// Loose-notation fallback for string cells that strtod alone rejects.
+bool ParseLooseString(std::string_view raw, double* out) {
+  std::string_view s = TrimView(raw);
   if (s.empty()) return false;
   // Strip thousands separators.
   std::string cleaned;
@@ -46,6 +46,22 @@ bool ParseNumericLoose(const Value& v, double* out) {
   return true;
 }
 
+}  // namespace
+
+bool ParseNumericLoose(const Value& v, double* out) {
+  if (v.is_null()) return false;
+  if (v.AsNumeric(out)) return true;
+  if (!v.is_string()) return false;
+  return ParseLooseString(v.as_string(), out);
+}
+
+bool ParseNumericLooseAt(const ColumnView& col, size_t r, double* out) {
+  if (col.is_null(r)) return false;
+  if (col.AsNumericAt(r, out)) return true;
+  if (col.kind(r) != CellKind::kString) return false;
+  return ParseLooseString(col.string_at(r), out);
+}
+
 namespace {
 
 /// Gathers (a, b) pairs where both columns parse.
@@ -56,11 +72,12 @@ Status GatherPairs(const Table& t, const std::string& col_a,
   size_t cb = t.schema().IndexOf(col_b);
   if (ca == Schema::npos) return Status::NotFound("column '" + col_a + "'");
   if (cb == Schema::npos) return Status::NotFound("column '" + col_b + "'");
+  const ColumnView va = t.column(ca);
+  const ColumnView vb = t.column(cb);
   for (size_t r = 0; r < t.num_rows(); ++r) {
     double x;
     double y;
-    if (ParseNumericLoose(t.at(r, ca), &x) &&
-        ParseNumericLoose(t.at(r, cb), &y)) {
+    if (ParseNumericLooseAt(va, r, &x) && ParseNumericLooseAt(vb, r, &y)) {
       xs->push_back(x);
       ys->push_back(y);
     }
@@ -130,9 +147,10 @@ Result<NumericSummary> SummarizeColumn(const Table& t,
   NumericSummary s;
   double sum = 0.0;
   double sumsq = 0.0;
+  const ColumnView col = t.column(c);
   for (size_t r = 0; r < t.num_rows(); ++r) {
     double d;
-    if (!ParseNumericLoose(t.at(r, c), &d)) continue;
+    if (!ParseNumericLooseAt(col, r, &d)) continue;
     if (s.count == 0) {
       s.min = d;
       s.max = d;
@@ -179,9 +197,10 @@ Result<size_t> ArgExtreme(const Table& t, const std::string& value_col,
   size_t best_row = 0;
   double best = 0.0;
   bool found = false;
+  const ColumnView col = t.column(c);
   for (size_t r = 0; r < t.num_rows(); ++r) {
     double d;
-    if (!ParseNumericLoose(t.at(r, c), &d)) continue;
+    if (!ParseNumericLooseAt(col, r, &d)) continue;
     if (!found || (largest ? d > best : d < best)) {
       best = d;
       best_row = r;

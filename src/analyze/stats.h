@@ -25,6 +25,10 @@ struct NumericSummary {
 /// over the paper's literal cell values.
 bool ParseNumericLoose(const Value& v, double* out);
 
+/// Column-view form of ParseNumericLoose: reads the cell at row `r` without
+/// materializing a Value (string cells parse straight from the dictionary).
+bool ParseNumericLooseAt(const ColumnView& col, size_t r, double* out);
+
 /// Summary of column `name` (loose parsing). NotFound if absent,
 /// InvalidArgument if no row parses.
 Result<NumericSummary> SummarizeColumn(const Table& t,

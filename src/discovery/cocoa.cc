@@ -118,7 +118,7 @@ Result<std::vector<DiscoveryHit>> CocoaSearch::Search(
     return Status::OutOfRange("query column out of range");
   }
   std::vector<std::string> qtokens =
-      query.table->ColumnTokenSet(query.query_column);
+      ColumnTokens(query.table->column(query.query_column));
   if (qtokens.empty()) return std::vector<DiscoveryHit>{};
 
   // Joinable candidates via the inverted index.

@@ -44,31 +44,38 @@ size_t NaturalInnerJoinSize(const Table& a, const Table& b) {
   }
   if (shared.empty()) return 0;
 
-  // Hash join keyed on all shared columns; null keys never match.
-  auto key_of = [&shared](const Row& row, bool left) -> std::optional<uint64_t> {
+  // Hash join keyed on all shared columns; null keys never match. Both key
+  // hashing and verification run on column views — no row materialization.
+  std::vector<ColumnView> acols;
+  std::vector<ColumnView> bcols;
+  for (const auto& [ca, cb] : shared) {
+    acols.push_back(a.column(ca));
+    bcols.push_back(b.column(cb));
+  }
+  auto key_of = [&](const std::vector<ColumnView>& cols,
+                    size_t r) -> std::optional<uint64_t> {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const auto& [ca, cb] : shared) {
-      const Value& v = row[left ? ca : cb];
-      if (v.is_null()) return std::nullopt;
-      h = HashCombine(h, v.Hash());
+    for (const ColumnView& col : cols) {
+      if (col.is_null(r)) return std::nullopt;
+      h = HashCombine(h, col.HashAt(r));
     }
     return h;
   };
   std::unordered_map<uint64_t, std::vector<size_t>> build;
   for (size_t r = 0; r < a.num_rows(); ++r) {
-    if (auto k = key_of(a.row(r), /*left=*/true)) build[*k].push_back(r);
+    if (auto k = key_of(acols, r)) build[*k].push_back(r);
   }
   size_t result = 0;
   for (size_t r = 0; r < b.num_rows(); ++r) {
-    auto k = key_of(b.row(r), /*left=*/false);
+    auto k = key_of(bcols, r);
     if (!k) continue;
     auto it = build.find(*k);
     if (it == build.end()) continue;
     // Hash equality is not value equality: verify to keep the count exact.
     for (size_t ra : it->second) {
       bool all_match = true;
-      for (const auto& [ca, cb] : shared) {
-        if (!a.at(ra, ca).EqualsValue(b.at(r, cb))) {
+      for (size_t s = 0; s < shared.size(); ++s) {
+        if (!CellsEqualValue(acols[s], ra, bcols[s], r)) {
           all_match = false;
           break;
         }

@@ -25,7 +25,7 @@ std::vector<std::string> KeywordSearch::TableDocument(
     if (token_sets != nullptr) {
       toks = &(*token_sets)[c];
     } else {
-      local = table.ColumnTokenSet(c);
+      local = ColumnTokens(table.column(c));
       toks = &local;
     }
     size_t taken = 0;

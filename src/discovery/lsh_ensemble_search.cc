@@ -55,7 +55,7 @@ Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
     return Status::OutOfRange("query column out of range");
   }
   std::vector<std::string> qtokens =
-      query.table->ColumnTokenSet(query.query_column);
+      ColumnTokens(query.table->column(query.query_column));
   if (qtokens.empty()) return std::vector<DiscoveryHit>{};
 
   std::vector<uint64_t> cand_ids =

@@ -23,9 +23,7 @@ SantosSearch::TableSemantics SantosSearch::Annotate(
     if (distinct != nullptr) {
       values = &(*distinct)[c];
     } else {
-      for (const Value& v : table.DistinctColumnValues(c)) {
-        local.push_back(v.ToCsvString());
-      }
+      local = ColumnDistinctCsv(table.column(c));
       values = &local;
     }
     if (annotator_.ValuesCoverage(*values) < params_.min_coverage) continue;

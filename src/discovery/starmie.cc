@@ -15,7 +15,7 @@ std::vector<Embedding> StarmieSearch::ContextualizedColumns(
   for (size_t c = 0; c < n; ++c) {
     own[c] = embedder_.EmbedValueSet(token_sets != nullptr
                                          ? (*token_sets)[c]
-                                         : table.ColumnTokenSet(c));
+                                         : ColumnTokens(table.column(c)));
   }
   std::vector<Embedding> out(n);
   for (size_t c = 0; c < n; ++c) {

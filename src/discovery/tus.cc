@@ -27,11 +27,8 @@ TusSearch::ColumnProfile TusSearch::ProfileFromSets(
 
 TusSearch::ColumnProfile TusSearch::ProfileColumn(const Table& table,
                                                   size_t column) const {
-  std::vector<std::string> distinct;
-  for (const Value& v : table.DistinctColumnValues(column)) {
-    distinct.push_back(v.ToCsvString());
-  }
-  return ProfileFromSets(table.ColumnTokenSet(column), distinct);
+  const ColumnView col = table.column(column);
+  return ProfileFromSets(ColumnTokens(col), ColumnDistinctCsv(col));
 }
 
 double TusSearch::Unionability(const ColumnProfile& a,

@@ -8,29 +8,29 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "integrate/tuple_codes.h"
 
 namespace dialite {
 
 namespace {
 
-/// Working set of tuples + provenance during FD computation.
-struct TuplePool {
-  std::vector<Row> rows;
+/// Working set of tuples + provenance during FD computation. Tuples are
+/// flat spans of 32-bit cell codes (see tuple_codes.h): complementation,
+/// merging, subsumption, and dedup all run on integers, and cells decode
+/// back to Values only when the final pool becomes a Table.
+struct CodedPool {
+  size_t width = 0;
+  std::vector<uint32_t> cells;                  // row-major, size() * width
   std::vector<std::vector<std::string>> provs;  // sorted, unique labels
-};
 
-uint64_t RowKey(const Row& r) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : r) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-bool RowsIdentical(const Row& a, const Row& b) {
-  for (size_t c = 0; c < a.size(); ++c) {
-    if (!a[c].Identical(b[c])) return false;
+  size_t size() const { return provs.size(); }
+  const uint32_t* row(size_t i) const { return cells.data() + i * width; }
+  uint32_t* row(size_t i) { return cells.data() + i * width; }
+  void AppendRow(const uint32_t* src, std::vector<std::string> prov) {
+    cells.insert(cells.end(), src, src + width);
+    provs.push_back(std::move(prov));
   }
-  return true;
-}
+};
 
 std::vector<std::string> UnionProv(const std::vector<std::string>& a,
                                    const std::vector<std::string>& b) {
@@ -44,65 +44,68 @@ std::vector<std::string> UnionProv(const std::vector<std::string>& a,
 /// When a merged tuple collides with an identical existing tuple, keep the
 /// more informative null kinds (missing beats produced) and union
 /// provenance.
-void AbsorbDuplicate(TuplePool* pool, size_t idx, const Row& row,
+void AbsorbDuplicate(CodedPool* pool, size_t idx, const uint32_t* row,
                      const std::vector<std::string>& prov) {
-  Row& target = pool->rows[idx];
-  for (size_t c = 0; c < target.size(); ++c) {
-    if (target[c].is_produced_null() && row[c].is_missing_null()) {
-      target[c] = Value::Null(NullKind::kMissing);
+  uint32_t* target = pool->row(idx);
+  for (size_t c = 0; c < pool->width; ++c) {
+    if (target[c] == kProducedNullCode && row[c] == kMissingNullCode) {
+      target[c] = kMissingNullCode;
     }
   }
   pool->provs[idx] = UnionProv(pool->provs[idx], prov);
 }
 
-/// Key of one non-null cell for the (column, value) inverted index.
-uint64_t CellKey(size_t column, const Value& v) {
-  return HashCombine(Mix64(column + 1), v.Hash());
+/// Key of one non-null cell for the (column, code) inverted index.
+uint64_t CellKey(size_t column, uint32_t code) {
+  return HashCombine(Mix64(column + 1), code);
 }
 
 /// Indexed complementation fix-point (ALITE-style candidate pruning).
-Status ComplementFixpointIndexed(TuplePool* pool, size_t max_tuples) {
+Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples) {
+  const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
 
   auto index_tuple = [&](size_t idx) {
-    for (size_t c = 0; c < pool->rows[idx].size(); ++c) {
-      const Value& v = pool->rows[idx][c];
-      if (!v.is_null()) cell_index[CellKey(c, v)].push_back(idx);
+    const uint32_t* row = pool->row(idx);
+    for (size_t c = 0; c < width; ++c) {
+      if (!CodeIsNull(row[c])) cell_index[CellKey(c, row[c])].push_back(idx);
     }
-    dedup[RowKey(pool->rows[idx])].push_back(idx);
+    dedup[CodedRowKey(row, width)].push_back(idx);
   };
   /// Returns the pool index holding a tuple identical to `row`, or npos.
-  auto find_identical = [&](const Row& row) -> size_t {
-    auto it = dedup.find(RowKey(row));
+  auto find_identical = [&](const uint32_t* row) -> size_t {
+    auto it = dedup.find(CodedRowKey(row, width));
     if (it == dedup.end()) return static_cast<size_t>(-1);
     for (size_t idx : it->second) {
-      if (RowsIdentical(pool->rows[idx], row)) return idx;
+      if (CodedIdentical(pool->row(idx), row, width)) return idx;
     }
     return static_cast<size_t>(-1);
   };
 
   std::deque<size_t> worklist;
-  for (size_t i = 0; i < pool->rows.size(); ++i) {
+  for (size_t i = 0; i < pool->size(); ++i) {
     index_tuple(i);
     worklist.push_back(i);
   }
 
   // Epoch-stamped visited marks dedup candidates per worklist item without
   // allocating a set per tuple (the hot path on skewed buckets).
-  std::vector<uint32_t> visited(pool->rows.size(), 0);
+  std::vector<uint32_t> visited(pool->size(), 0);
   uint32_t epoch = 0;
 
+  std::vector<uint32_t> row(width);
+  std::vector<uint32_t> merged(width);
   while (!worklist.empty()) {
     const size_t idx = worklist.front();
     worklist.pop_front();
-    // Snapshot: pool->rows may reallocate as merges append.
-    const Row row = pool->rows[idx];
+    // Snapshot: pool cells may reallocate as merges append.
+    std::copy(pool->row(idx), pool->row(idx) + width, row.begin());
     const std::vector<std::string> prov = pool->provs[idx];
     ++epoch;
 
-    for (size_t c = 0; c < row.size(); ++c) {
-      if (row[c].is_null()) continue;
+    for (size_t c = 0; c < width; ++c) {
+      if (CodeIsNull(row[c])) continue;
       auto it = cell_index.find(CellKey(c, row[c]));
       if (it == cell_index.end()) continue;
       // NOTE: the bucket vector may grow as merges are indexed; index-based
@@ -114,26 +117,24 @@ Status ComplementFixpointIndexed(TuplePool* pool, size_t max_tuples) {
         const size_t cand = bucket[bi];
         if (cand == idx) continue;
         if (cand < visited.size() && visited[cand] == epoch) continue;
-        if (cand >= visited.size()) visited.resize(pool->rows.size(), 0);
+        if (cand >= visited.size()) visited.resize(pool->size(), 0);
         visited[cand] = epoch;
-        const Row& other = pool->rows[cand];
-        if (!TuplesComplement(row, other)) continue;
-        Row merged = MergeTuples(row, other);
+        if (!CodedComplement(row.data(), pool->row(cand), width)) continue;
+        CodedMerge(row.data(), pool->row(cand), width, merged.data());
         std::vector<std::string> mprov = UnionProv(prov, pool->provs[cand]);
-        size_t existing = find_identical(merged);
+        size_t existing = find_identical(merged.data());
         if (existing != static_cast<size_t>(-1)) {
-          AbsorbDuplicate(pool, existing, merged, mprov);
+          AbsorbDuplicate(pool, existing, merged.data(), mprov);
           continue;
         }
-        if (pool->rows.size() >= max_tuples) {
+        if (pool->size() >= max_tuples) {
           return Status::OutOfRange("full disjunction exceeded max_tuples=" +
                                     std::to_string(max_tuples));
         }
-        pool->rows.push_back(std::move(merged));
-        pool->provs.push_back(std::move(mprov));
+        pool->AppendRow(merged.data(), std::move(mprov));
         visited.push_back(0);
-        index_tuple(pool->rows.size() - 1);
-        worklist.push_back(pool->rows.size() - 1);
+        index_tuple(pool->size() - 1);
+        worklist.push_back(pool->size() - 1);
       }
     }
   }
@@ -141,41 +142,43 @@ Status ComplementFixpointIndexed(TuplePool* pool, size_t max_tuples) {
 }
 
 /// Naive complementation fix-point: rescan all pairs every round.
-Status ComplementFixpointNaive(TuplePool* pool, size_t max_tuples) {
+Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples) {
+  const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
-  for (size_t i = 0; i < pool->rows.size(); ++i) {
-    dedup[RowKey(pool->rows[i])].push_back(i);
+  for (size_t i = 0; i < pool->size(); ++i) {
+    dedup[CodedRowKey(pool->row(i), width)].push_back(i);
   }
-  auto exists = [&](const Row& row) -> size_t {
-    auto it = dedup.find(RowKey(row));
+  auto exists = [&](const uint32_t* row) -> size_t {
+    auto it = dedup.find(CodedRowKey(row, width));
     if (it == dedup.end()) return static_cast<size_t>(-1);
     for (size_t idx : it->second) {
-      if (RowsIdentical(pool->rows[idx], row)) return idx;
+      if (CodedIdentical(pool->row(idx), row, width)) return idx;
     }
     return static_cast<size_t>(-1);
   };
+  std::vector<uint32_t> merged(width);
   bool changed = true;
   while (changed) {
     changed = false;
-    const size_t n = pool->rows.size();
+    const size_t n = pool->size();
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        if (!TuplesComplement(pool->rows[i], pool->rows[j])) continue;
-        Row merged = MergeTuples(pool->rows[i], pool->rows[j]);
+        if (!CodedComplement(pool->row(i), pool->row(j), width)) continue;
+        CodedMerge(pool->row(i), pool->row(j), width, merged.data());
         std::vector<std::string> mprov =
             UnionProv(pool->provs[i], pool->provs[j]);
-        size_t existing = exists(merged);
+        size_t existing = exists(merged.data());
         if (existing != static_cast<size_t>(-1)) {
-          AbsorbDuplicate(pool, existing, merged, mprov);
+          AbsorbDuplicate(pool, existing, merged.data(), mprov);
           continue;
         }
-        if (pool->rows.size() >= max_tuples) {
+        if (pool->size() >= max_tuples) {
           return Status::OutOfRange("full disjunction exceeded max_tuples=" +
                                     std::to_string(max_tuples));
         }
-        pool->rows.push_back(std::move(merged));
-        pool->provs.push_back(std::move(mprov));
-        dedup[RowKey(pool->rows.back())].push_back(pool->rows.size() - 1);
+        pool->AppendRow(merged.data(), std::move(mprov));
+        dedup[CodedRowKey(pool->row(pool->size() - 1), width)].push_back(
+            pool->size() - 1);
         changed = true;
       }
     }
@@ -184,23 +187,24 @@ Status ComplementFixpointNaive(TuplePool* pool, size_t max_tuples) {
 }
 
 /// Keeps only ⊑-maximal tuples. Assumes no two pool tuples are identical.
-TuplePool RemoveSubsumed(const TuplePool& pool) {
-  const size_t n = pool.rows.size();
+CodedPool RemoveSubsumed(const CodedPool& pool) {
+  const size_t width = pool.width;
+  const size_t n = pool.size();
   // Cell index for candidate subsumers.
   std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
   for (size_t i = 0; i < n; ++i) {
-    for (size_t c = 0; c < pool.rows[i].size(); ++c) {
-      if (!pool.rows[i][c].is_null()) {
-        cell_index[CellKey(c, pool.rows[i][c])].push_back(i);
-      }
+    const uint32_t* row = pool.row(i);
+    for (size_t c = 0; c < width; ++c) {
+      if (!CodeIsNull(row[c])) cell_index[CellKey(c, row[c])].push_back(i);
     }
   }
   std::vector<bool> keep(n, true);
   size_t non_empty_tuples = 0;
   for (size_t i = 0; i < n; ++i) {
+    const uint32_t* row = pool.row(i);
     bool all_null = true;
-    for (const Value& v : pool.rows[i]) {
-      if (!v.is_null()) {
+    for (size_t c = 0; c < width; ++c) {
+      if (!CodeIsNull(row[c])) {
         all_null = false;
         break;
       }
@@ -208,14 +212,14 @@ TuplePool RemoveSubsumed(const TuplePool& pool) {
     if (!all_null) ++non_empty_tuples;
   }
   for (size_t i = 0; i < n; ++i) {
+    const uint32_t* row = pool.row(i);
     // Smallest candidate bucket among i's non-null cells.
     const std::vector<size_t>* smallest = nullptr;
     bool all_null = true;
-    for (size_t c = 0; c < pool.rows[i].size(); ++c) {
-      if (pool.rows[i][c].is_null()) continue;
+    for (size_t c = 0; c < width; ++c) {
+      if (CodeIsNull(row[c])) continue;
       all_null = false;
-      const std::vector<size_t>& bucket =
-          cell_index.at(CellKey(c, pool.rows[i][c]));
+      const std::vector<size_t>& bucket = cell_index.at(CellKey(c, row[c]));
       if (smallest == nullptr || bucket.size() < smallest->size()) {
         smallest = &bucket;
       }
@@ -227,19 +231,63 @@ TuplePool RemoveSubsumed(const TuplePool& pool) {
     }
     for (size_t j : *smallest) {
       if (j == i) continue;
-      if (TupleSubsumedBy(pool.rows[i], pool.rows[j])) {
+      if (CodedSubsumedBy(row, pool.row(j), width)) {
         keep[i] = false;
         break;
       }
     }
   }
-  TuplePool out;
+  CodedPool out;
+  out.width = width;
   for (size_t i = 0; i < n; ++i) {
-    if (!keep[i]) continue;
-    out.rows.push_back(pool.rows[i]);
-    out.provs.push_back(pool.provs[i]);
+    if (keep[i]) out.AppendRow(pool.row(i), pool.provs[i]);
   }
   return out;
+}
+
+/// Provenance of u's row r, sorted (the loader's fallback label is already
+/// attached by BuildOuterUnion).
+std::vector<std::string> SortedProv(const Table& u, size_t r) {
+  std::vector<std::string> p = u.provenance(r);
+  std::sort(p.begin(), p.end());
+  return p;
+}
+
+/// Deduplicates encoded rows [0, n) of `ucells` into a fresh pool
+/// (provenance of exact duplicates is unioned, missing nulls win).
+CodedPool DedupIntoPool(const Table& u, const std::vector<uint32_t>& ucells,
+                        const std::vector<size_t>& rows) {
+  CodedPool pool;
+  pool.width = u.num_columns();
+  std::unordered_map<uint64_t, std::vector<size_t>> dedup;
+  for (size_t r : rows) {
+    const uint32_t* row = ucells.data() + r * pool.width;
+    bool absorbed = false;
+    for (size_t idx : dedup[CodedRowKey(row, pool.width)]) {
+      if (CodedIdentical(pool.row(idx), row, pool.width)) {
+        AbsorbDuplicate(&pool, idx, row, SortedProv(u, r));
+        absorbed = true;
+        break;
+      }
+    }
+    if (absorbed) continue;
+    dedup[CodedRowKey(row, pool.width)].push_back(pool.size());
+    pool.AppendRow(row, SortedProv(u, r));
+  }
+  return pool;
+}
+
+/// Decodes the final pool into the result table.
+Status EmitPool(CodedPool pool, const TupleCodec& codec, Table* out) {
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const uint32_t* src = pool.row(i);
+    Row row;
+    row.reserve(pool.width);
+    for (size_t c = 0; c < pool.width; ++c) row.push_back(codec.Decode(src[c]));
+    DIALITE_RETURN_NOT_OK(out->AddRow(std::move(row), std::move(pool.provs[i])));
+  }
+  out->RefreshColumnTypes();
+  return Status::OK();
 }
 
 /// Complementation strategy for RunFd.
@@ -249,47 +297,30 @@ enum class FixpointMode {
   kNone,     ///< skip complementation (minimum union)
 };
 
-/// Shared FD driver: outer union → fix-point → subsumption → Table.
+/// Shared FD driver: outer union → encode → fix-point → subsumption →
+/// decode into a Table.
 Result<Table> RunFd(const std::vector<const Table*>& tables,
                     const Alignment& alignment, const std::string& name,
                     FixpointMode mode, size_t max_tuples) {
   Result<Table> union_r = BuildOuterUnion(tables, alignment, name);
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
-  TuplePool pool;
-  pool.rows.reserve(u.num_rows());
+  TupleCodec codec;
+  const std::vector<uint32_t> ucells = codec.EncodeTable(u);
+  std::vector<size_t> all_rows(u.num_rows());
+  for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = r;
   // Dedup exact input duplicates up front.
-  std::unordered_map<uint64_t, std::vector<size_t>> dedup;
-  for (size_t r = 0; r < u.num_rows(); ++r) {
-    bool absorbed = false;
-    for (size_t idx : dedup[RowKey(u.row(r))]) {
-      if (RowsIdentical(pool.rows[idx], u.row(r))) {
-        AbsorbDuplicate(&pool, idx, u.row(r), u.provenance(r));
-        absorbed = true;
-        break;
-      }
-    }
-    if (absorbed) continue;
-    dedup[RowKey(u.row(r))].push_back(pool.rows.size());
-    pool.rows.push_back(u.row(r));
-    std::vector<std::string> p = u.provenance(r);
-    std::sort(p.begin(), p.end());
-    pool.provs.push_back(std::move(p));
-  }
+  CodedPool pool = DedupIntoPool(u, ucells, all_rows);
 
   if (mode == FixpointMode::kIndexed) {
     DIALITE_RETURN_NOT_OK(ComplementFixpointIndexed(&pool, max_tuples));
   } else if (mode == FixpointMode::kNaive) {
     DIALITE_RETURN_NOT_OK(ComplementFixpointNaive(&pool, max_tuples));
   }
-  TuplePool final_pool = RemoveSubsumed(pool);
+  CodedPool final_pool = RemoveSubsumed(pool);
 
   Table out(name, u.schema());
-  for (size_t i = 0; i < final_pool.rows.size(); ++i) {
-    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(final_pool.rows[i]),
-                                     std::move(final_pool.provs[i])));
-  }
-  out.RefreshColumnTypes();
+  DIALITE_RETURN_NOT_OK(EmitPool(std::move(final_pool), codec, &out));
   return out;
 }
 
@@ -323,8 +354,11 @@ Result<Table> ParallelFullDisjunction::Integrate(
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
   const size_t n = u.num_rows();
+  const size_t width = u.num_columns();
+  TupleCodec codec;
+  const std::vector<uint32_t> ucells = codec.EncodeTable(u);
 
-  // Union-find over tuples; tuples sharing a (column, value) cell join the
+  // Union-find over tuples; tuples sharing a (column, code) cell join the
   // same component. Cross-component tuples can never complement or subsume
   // (except all-null tuples, which vanish anyway when any fact exists).
   std::vector<size_t> parent(n);
@@ -339,9 +373,10 @@ Result<Table> ParallelFullDisjunction::Integrate(
   auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
   std::unordered_map<uint64_t, size_t> first_owner;
   for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < u.num_columns(); ++c) {
-      if (u.at(r, c).is_null()) continue;
-      uint64_t key = CellKey(c, u.at(r, c));
+    const uint32_t* row = ucells.data() + r * width;
+    for (size_t c = 0; c < width; ++c) {
+      if (CodeIsNull(row[c])) continue;
+      const uint64_t key = (static_cast<uint64_t>(c) << 32) | row[c];
       auto [it, inserted] = first_owner.emplace(key, r);
       if (!inserted) unite(r, it->second);
     }
@@ -355,36 +390,14 @@ Result<Table> ParallelFullDisjunction::Integrate(
   for (auto& [root, rows] : components) comps.push_back(std::move(rows));
   std::sort(comps.begin(), comps.end());  // deterministic output order
 
-  std::vector<TuplePool> results(comps.size());
+  std::vector<CodedPool> results(comps.size());
   std::vector<Status> statuses(comps.size());
   ThreadPool tp(num_threads_);
   tp.ParallelFor(comps.size(), [&](size_t k) {
-    TuplePool pool;
-    for (size_t r : comps[k]) {
-      pool.rows.push_back(u.row(r));
-      std::vector<std::string> p = u.provenance(r);
-      std::sort(p.begin(), p.end());
-      pool.provs.push_back(std::move(p));
-    }
-    // Dedup within the component.
-    TuplePool deduped;
-    std::unordered_map<uint64_t, std::vector<size_t>> dd;
-    for (size_t i = 0; i < pool.rows.size(); ++i) {
-      bool absorbed = false;
-      for (size_t idx : dd[RowKey(pool.rows[i])]) {
-        if (RowsIdentical(deduped.rows[idx], pool.rows[i])) {
-          AbsorbDuplicate(&deduped, idx, pool.rows[i], pool.provs[i]);
-          absorbed = true;
-          break;
-        }
-      }
-      if (absorbed) continue;
-      dd[RowKey(pool.rows[i])].push_back(deduped.rows.size());
-      deduped.rows.push_back(std::move(pool.rows[i]));
-      deduped.provs.push_back(std::move(pool.provs[i]));
-    }
-    statuses[k] = ComplementFixpointIndexed(&deduped, 2000000);
-    if (statuses[k].ok()) results[k] = RemoveSubsumed(deduped);
+    // Dedup within the component, then run the indexed fix-point.
+    CodedPool pool = DedupIntoPool(u, ucells, comps[k]);
+    statuses[k] = ComplementFixpointIndexed(&pool, 2000000);
+    if (statuses[k].ok()) results[k] = RemoveSubsumed(pool);
   });
   for (const Status& st : statuses) {
     DIALITE_RETURN_NOT_OK(st);
@@ -392,31 +405,33 @@ Result<Table> ParallelFullDisjunction::Integrate(
 
   // Drop all-null tuples globally if any component produced facts.
   bool any_fact = false;
-  for (const TuplePool& p : results) {
-    for (const Row& r : p.rows) {
-      for (const Value& v : r) {
-        if (!v.is_null()) {
-          any_fact = true;
-          break;
-        }
+  for (const CodedPool& p : results) {
+    for (uint32_t cell : p.cells) {
+      if (!CodeIsNull(cell)) {
+        any_fact = true;
+        break;
       }
     }
   }
   Table out("parallel_fd_result", u.schema());
-  for (TuplePool& p : results) {
-    for (size_t i = 0; i < p.rows.size(); ++i) {
+  for (CodedPool& p : results) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      const uint32_t* row = p.row(i);
       if (any_fact) {
         bool all_null = true;
-        for (const Value& v : p.rows[i]) {
-          if (!v.is_null()) {
+        for (size_t c = 0; c < width; ++c) {
+          if (!CodeIsNull(row[c])) {
             all_null = false;
             break;
           }
         }
         if (all_null) continue;
       }
+      Row decoded;
+      decoded.reserve(width);
+      for (size_t c = 0; c < width; ++c) decoded.push_back(codec.Decode(row[c]));
       DIALITE_RETURN_NOT_OK(
-          out.AddRow(std::move(p.rows[i]), std::move(p.provs[i])));
+          out.AddRow(std::move(decoded), std::move(p.provs[i])));
     }
   }
   out.RefreshColumnTypes();

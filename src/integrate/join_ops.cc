@@ -190,22 +190,27 @@ Result<Table> UnionIntegration::Integrate(
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
   Table out("union_result", u.schema());
-  // Exact-duplicate elimination with provenance union.
-  auto row_key = [](const Row& r) {
+  // Exact-duplicate elimination with provenance union, entirely on column
+  // views: duplicates keep the FIRST row's cells, so tracking source row
+  // indices and materializing once at the end is equivalent.
+  std::vector<ColumnView> ucols;
+  ucols.reserve(u.num_columns());
+  for (size_t c = 0; c < u.num_columns(); ++c) ucols.push_back(u.column(c));
+  auto row_key = [&ucols](size_t r) {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    for (const ColumnView& col : ucols) h = HashCombine(h, col.HashAt(r));
     return h;
   };
   std::unordered_map<uint64_t, std::vector<size_t>> seen;
-  std::vector<Row> rows;
+  std::vector<size_t> kept;  // source row of each output tuple
   std::vector<std::vector<std::string>> provs;
   for (size_t r = 0; r < u.num_rows(); ++r) {
-    uint64_t h = row_key(u.row(r));
+    uint64_t h = row_key(r);
     bool dup = false;
     for (size_t idx : seen[h]) {
       bool same = true;
       for (size_t c = 0; c < u.num_columns(); ++c) {
-        if (!rows[idx][c].Identical(u.at(r, c))) {
+        if (!CellsIdentical(ucols[c], kept[idx], ucols[c], r)) {
           same = false;
           break;
         }
@@ -217,14 +222,14 @@ Result<Table> UnionIntegration::Integrate(
       }
     }
     if (dup) continue;
-    seen[h].push_back(rows.size());
-    rows.push_back(u.row(r));
+    seen[h].push_back(kept.size());
+    kept.push_back(r);
     std::vector<std::string> p = u.provenance(r);
     std::sort(p.begin(), p.end());
     provs.push_back(std::move(p));
   }
-  for (size_t r = 0; r < rows.size(); ++r) {
-    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(rows[r]), std::move(provs[r])));
+  for (size_t i = 0; i < kept.size(); ++i) {
+    DIALITE_RETURN_NOT_OK(out.AddRow(u.row(kept[i]), std::move(provs[i])));
   }
   out.RefreshColumnTypes();
   return out;

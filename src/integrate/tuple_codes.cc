@@ -1,0 +1,73 @@
+#include "integrate/tuple_codes.h"
+
+#include <cstring>
+
+namespace dialite {
+
+std::vector<uint32_t> TupleCodec::EncodeTable(const Table& t) {
+  string_codes_.assign(t.dictionary().size(), StringDictionary::kNpos);
+  std::vector<uint32_t> out;
+  out.reserve(t.num_rows() * t.num_columns());
+  std::vector<ColumnView> cols;
+  cols.reserve(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) cols.push_back(t.column(c));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (const ColumnView& col : cols) out.push_back(Encode(col, r));
+  }
+  return out;
+}
+
+uint32_t TupleCodec::Encode(const ColumnView& col, size_t r) {
+  switch (col.kind(r)) {
+    case CellKind::kProducedNull:
+      return kProducedNullCode;
+    case CellKind::kMissingNull:
+      return kMissingNullCode;
+    case CellKind::kString: {
+      const uint32_t id = col.string_id(r);
+      uint32_t& code = string_codes_[id];
+      if (code == StringDictionary::kNpos) {
+        code = static_cast<uint32_t>(decode_.size());
+        decode_.push_back(Value::String(std::string(col.string_at(r))));
+      }
+      return code;
+    }
+    case CellKind::kInt: {
+      const int64_t v = col.int_at(r);
+      auto [it, inserted] =
+          int_codes_.emplace(v, static_cast<uint32_t>(decode_.size()));
+      if (inserted) decode_.push_back(Value::Int(v));
+      return it->second;
+    }
+    case CellKind::kDouble: {
+      const double d = col.double_at(r);
+      if (d != d) {
+        // NaN: Identical(NaN, NaN) is false, so every occurrence is its own
+        // equivalence class.
+        const uint32_t code = static_cast<uint32_t>(decode_.size());
+        decode_.push_back(Value::Double(d));
+        return code;
+      }
+      // Doubles that equal an int64 share that integer's class (Identical
+      // cross-compares 5 == 5.0; this also folds -0.0 into 0).
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+        const int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          auto [it, inserted] =
+              int_codes_.emplace(i, static_cast<uint32_t>(decode_.size()));
+          if (inserted) decode_.push_back(Value::Double(d));
+          return it->second;
+        }
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      auto [it, inserted] =
+          double_codes_.emplace(bits, static_cast<uint32_t>(decode_.size()));
+      if (inserted) decode_.push_back(Value::Double(d));
+      return it->second;
+    }
+  }
+  return kMissingNullCode;
+}
+
+}  // namespace dialite

@@ -41,11 +41,7 @@ std::vector<Annotation> ColumnAnnotator::AnnotateValues(
 
 std::vector<Annotation> ColumnAnnotator::AnnotateColumn(
     const Table& table, size_t c, size_t max_types) const {
-  std::vector<std::string> values;
-  for (const Value& v : table.DistinctColumnValues(c)) {
-    values.push_back(v.ToCsvString());
-  }
-  return AnnotateValues(values, max_types);
+  return AnnotateValues(ColumnDistinctCsv(table.column(c)), max_types);
 }
 
 std::vector<Annotation> ColumnAnnotator::AnnotateRelation(
@@ -68,21 +64,17 @@ std::vector<Annotation> ColumnAnnotator::AnnotateRelation(
 std::vector<Annotation> ColumnAnnotator::AnnotateColumnPair(
     const Table& table, size_t a, size_t b, size_t max_labels) const {
   std::vector<std::pair<std::string, std::string>> pairs;
+  const ColumnView ca = table.column(a);
+  const ColumnView cb = table.column(b);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const Value& va = table.at(r, a);
-    const Value& vb = table.at(r, b);
-    if (va.is_null() || vb.is_null()) continue;
-    pairs.emplace_back(va.ToCsvString(), vb.ToCsvString());
+    if (ca.is_null(r) || cb.is_null(r)) continue;
+    pairs.emplace_back(ca.CsvStringAt(r), cb.CsvStringAt(r));
   }
   return AnnotateRelation(pairs, max_labels);
 }
 
 double ColumnAnnotator::ColumnCoverage(const Table& table, size_t c) const {
-  std::vector<std::string> values;
-  for (const Value& v : table.DistinctColumnValues(c)) {
-    values.push_back(v.ToCsvString());
-  }
-  return ValuesCoverage(values);
+  return ValuesCoverage(ColumnDistinctCsv(table.column(c)));
 }
 
 double ColumnAnnotator::ValuesCoverage(

@@ -54,7 +54,7 @@ std::vector<std::string> GroundTruth::JoinableWith(
   const std::string& base = BaseColumnOf(table, c);
   const Table* query = lake.Get(table);
   if (base.empty() || query == nullptr) return {};
-  std::vector<std::string> qtokens = query->ColumnTokenSet(c);
+  std::vector<std::string> qtokens = ColumnTokens(query->column(c));
   std::vector<std::string> out;
   for (const std::string& other : table_order_) {
     if (other == table) continue;
@@ -62,7 +62,8 @@ std::vector<std::string> GroundTruth::JoinableWith(
     if (cand == nullptr) continue;
     for (size_t cc = 0; cc < cand->num_columns(); ++cc) {
       if (BaseColumnOf(other, cc) != base) continue;
-      if (Containment(qtokens, cand->ColumnTokenSet(cc)) >= min_containment) {
+      if (Containment(qtokens, ColumnTokens(cand->column(cc))) >=
+          min_containment) {
         out.push_back(other);
         break;
       }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "table/column_view.h"
+
 namespace dialite {
 
 std::shared_ptr<TableSketchCache::Entry> TableSketchCache::GetEntry(
@@ -19,7 +21,7 @@ std::shared_ptr<const ColumnTokenSets> TableSketchCache::TokenSets(
   std::call_once(e->token_once, [&] {
     auto sets = std::make_shared<ColumnTokenSets>(table.num_columns());
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      (*sets)[c] = table.ColumnTokenSet(c);
+      (*sets)[c] = ColumnTokens(table.column(c));
     }
     e->token_sets = std::move(sets);
     computed = true;
@@ -42,10 +44,7 @@ std::shared_ptr<const ColumnDistinctValues> TableSketchCache::DistinctValues(
   std::call_once(e->distinct_once, [&] {
     auto vals = std::make_shared<ColumnDistinctValues>(table.num_columns());
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      std::vector<std::string>& col = (*vals)[c];
-      for (const Value& v : table.DistinctColumnValues(c)) {
-        col.push_back(v.ToCsvString());
-      }
+      (*vals)[c] = ColumnDistinctCsv(table.column(c));
     }
     e->distinct_values = std::move(vals);
     computed = true;

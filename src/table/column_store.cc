@@ -1,0 +1,83 @@
+#include "table/column_store.h"
+
+namespace dialite {
+
+void ColumnData::Append(const Value& v, StringDictionary* dict) {
+  if (v.is_null()) {
+    AppendNull(v.is_produced_null() ? NullKind::kProduced : NullKind::kMissing);
+  } else if (v.is_int()) {
+    AppendInt(v.as_int());
+  } else if (v.is_double()) {
+    AppendDouble(v.as_double());
+  } else {
+    AppendStringId(dict->Intern(v.as_string()));
+  }
+}
+
+void ColumnData::Set(size_t r, const Value& v, StringDictionary* dict) {
+  if (v.is_null()) {
+    tags_[r] = static_cast<uint8_t>(v.is_produced_null()
+                                        ? CellKind::kProducedNull
+                                        : CellKind::kMissingNull);
+    nulls_.Set(r, v.is_produced_null() ? NullMap::kProduced : NullMap::kMissing);
+    return;
+  }
+  nulls_.Set(r, NullMap::kNonNull);
+  if (v.is_int()) {
+    if (ints_.empty()) ints_.resize(tags_.size());
+    tags_[r] = static_cast<uint8_t>(CellKind::kInt);
+    ints_[r] = v.as_int();
+  } else if (v.is_double()) {
+    if (doubles_.empty()) doubles_.resize(tags_.size());
+    tags_[r] = static_cast<uint8_t>(CellKind::kDouble);
+    doubles_[r] = v.as_double();
+  } else {
+    if (string_ids_.empty()) string_ids_.resize(tags_.size());
+    tags_[r] = static_cast<uint8_t>(CellKind::kString);
+    string_ids_[r] = dict->Intern(v.as_string());
+  }
+}
+
+Value ColumnData::ValueAt(size_t r, const StringDictionary& dict) const {
+  switch (kind(r)) {
+    case CellKind::kMissingNull:
+      return Value::Null(NullKind::kMissing);
+    case CellKind::kProducedNull:
+      return Value::Null(NullKind::kProduced);
+    case CellKind::kInt:
+      return Value::Int(ints_[r]);
+    case CellKind::kDouble:
+      return Value::Double(doubles_[r]);
+    case CellKind::kString:
+      return Value::String(std::string(dict.view(string_ids_[r])));
+  }
+  return Value::Null();
+}
+
+void ColumnData::Reorder(const std::vector<size_t>& order) {
+  std::vector<uint8_t> tags;
+  tags.reserve(order.size());
+  for (size_t i : order) tags.push_back(tags_[i]);
+  tags_ = std::move(tags);
+  nulls_.Reorder(order);
+  if (!ints_.empty()) {
+    std::vector<int64_t> lane;
+    lane.reserve(order.size());
+    for (size_t i : order) lane.push_back(ints_[i]);
+    ints_ = std::move(lane);
+  }
+  if (!doubles_.empty()) {
+    std::vector<double> lane;
+    lane.reserve(order.size());
+    for (size_t i : order) lane.push_back(doubles_[i]);
+    doubles_ = std::move(lane);
+  }
+  if (!string_ids_.empty()) {
+    std::vector<uint32_t> lane;
+    lane.reserve(order.size());
+    for (size_t i : order) lane.push_back(string_ids_[i]);
+    string_ids_ = std::move(lane);
+  }
+}
+
+}  // namespace dialite

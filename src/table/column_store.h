@@ -1,0 +1,178 @@
+#ifndef DIALITE_TABLE_COLUMN_STORE_H_
+#define DIALITE_TABLE_COLUMN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "table/dictionary.h"
+#include "table/value.h"
+
+namespace dialite {
+
+/// Physical kind of one cell. The two null kinds are distinct kinds so the
+/// paper's missing ("±") vs produced ("⊥") distinction survives the columnar
+/// encoding without a side channel.
+enum class CellKind : uint8_t {
+  kMissingNull = 0,
+  kProducedNull = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+inline bool CellKindIsNull(CellKind k) {
+  return k == CellKind::kMissingNull || k == CellKind::kProducedNull;
+}
+
+/// Packed 2-bit-per-cell null map: 0 = non-null, 1 = missing null,
+/// 2 = produced null. 32 cells per 64-bit word; CountNulls is a popcount
+/// sweep instead of a cell walk.
+class NullMap {
+ public:
+  static constexpr uint8_t kNonNull = 0;
+  static constexpr uint8_t kMissing = 1;
+  static constexpr uint8_t kProduced = 2;
+
+  void Append(uint8_t code) {
+    size_t word = size_ >> 5;
+    if (word >= words_.size()) words_.push_back(0);
+    words_[word] |= static_cast<uint64_t>(code & 3u) << ((size_ & 31u) * 2);
+    ++size_;
+  }
+
+  void Set(size_t i, uint8_t code) {
+    uint64_t& w = words_[i >> 5];
+    unsigned shift = (i & 31u) * 2;
+    w = (w & ~(uint64_t{3} << shift)) | (static_cast<uint64_t>(code & 3u) << shift);
+  }
+
+  uint8_t code(size_t i) const {
+    return static_cast<uint8_t>((words_[i >> 5] >> ((i & 31u) * 2)) & 3u);
+  }
+
+  size_t size() const { return size_; }
+
+  /// Number of null cells (either kind), by popcount over the packed words.
+  size_t CountNulls() const {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      // Fold each 2-bit code to one bit: codes 01 and 10 both light the low
+      // bit of their pair; code 00 stays dark.
+      n += static_cast<size_t>(
+          __builtin_popcountll((w | (w >> 1)) & 0x5555555555555555ULL));
+    }
+    return n;
+  }
+
+  void Reorder(const std::vector<size_t>& order) {
+    NullMap out;
+    out.words_.reserve(words_.size());
+    for (size_t i : order) out.Append(code(i));
+    *this = std::move(out);
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+/// Typed storage for one column. Every cell has a 1-byte kind tag plus a
+/// 2-bit null code; non-null payloads live in full-length typed lanes
+/// (int64 / double / 32-bit dictionary id) that are materialized lazily the
+/// first time the column sees a cell of that type — a pure-int column never
+/// allocates a double or string lane. Lane slots for cells of another kind
+/// hold unspecified padding; the tag decides which lane is live.
+///
+/// String payloads are dictionary ids into the owning Table's
+/// StringDictionary; ColumnData itself never stores string bytes.
+class ColumnData {
+ public:
+  size_t size() const { return tags_.size(); }
+
+  CellKind kind(size_t r) const { return static_cast<CellKind>(tags_[r]); }
+  bool is_null(size_t r) const { return tags_[r] <= 1; }
+
+  int64_t int_at(size_t r) const { return ints_[r]; }
+  double double_at(size_t r) const { return doubles_[r]; }
+  uint32_t string_id(size_t r) const { return string_ids_[r]; }
+
+  size_t CountNulls() const { return nulls_.CountNulls(); }
+
+  void AppendNull(NullKind k) {
+    tags_.push_back(static_cast<uint8_t>(k == NullKind::kProduced
+                                             ? CellKind::kProducedNull
+                                             : CellKind::kMissingNull));
+    nulls_.Append(k == NullKind::kProduced ? NullMap::kProduced
+                                           : NullMap::kMissing);
+    PadLanes();
+  }
+
+  void AppendInt(int64_t v) {
+    if (ints_.size() < tags_.size()) ints_.resize(tags_.size());
+    tags_.push_back(static_cast<uint8_t>(CellKind::kInt));
+    nulls_.Append(NullMap::kNonNull);
+    ints_.push_back(v);
+    PadLanes();
+  }
+
+  void AppendDouble(double v) {
+    if (doubles_.size() < tags_.size()) doubles_.resize(tags_.size());
+    tags_.push_back(static_cast<uint8_t>(CellKind::kDouble));
+    nulls_.Append(NullMap::kNonNull);
+    doubles_.push_back(v);
+    PadLanes();
+  }
+
+  void AppendStringId(uint32_t id) {
+    if (string_ids_.size() < tags_.size()) string_ids_.resize(tags_.size());
+    tags_.push_back(static_cast<uint8_t>(CellKind::kString));
+    nulls_.Append(NullMap::kNonNull);
+    string_ids_.push_back(id);
+    PadLanes();
+  }
+
+  /// Appends `v`, interning string payloads into `dict`.
+  void Append(const Value& v, StringDictionary* dict);
+
+  /// Overwrites cell `r` with `v` (lanes materialize as needed).
+  void Set(size_t r, const Value& v, StringDictionary* dict);
+
+  /// Materializes cell `r` back into a Value.
+  Value ValueAt(size_t r, const StringDictionary& dict) const;
+
+  /// Permutes cells so new cell i = old cell order[i].
+  void Reorder(const std::vector<size_t>& order);
+
+  /// True while the column has seen at least one cell of the kind.
+  bool has_ints() const { return !ints_.empty(); }
+  bool has_doubles() const { return !doubles_.empty(); }
+  bool has_strings() const { return !string_ids_.empty(); }
+
+  const std::vector<uint8_t>& tags() const { return tags_; }
+
+ private:
+  // Keeps materialized lanes full-length so lane[r] is valid for any r with
+  // the matching tag.
+  void PadLanes() {
+    if (!ints_.empty() && ints_.size() < tags_.size()) {
+      ints_.resize(tags_.size());
+    }
+    if (!doubles_.empty() && doubles_.size() < tags_.size()) {
+      doubles_.resize(tags_.size());
+    }
+    if (!string_ids_.empty() && string_ids_.size() < tags_.size()) {
+      string_ids_.resize(tags_.size());
+    }
+  }
+
+  std::vector<uint8_t> tags_;
+  NullMap nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> string_ids_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_COLUMN_STORE_H_

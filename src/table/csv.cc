@@ -195,10 +195,13 @@ std::string CsvWriter::ToString(const Table& table, const CsvOptions& options) {
     }
     out += '\n';
   }
+  std::vector<ColumnView> cols;
+  cols.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) cols.push_back(table.column(c));
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t c = 0; c < table.num_columns(); ++c) {
+    for (size_t c = 0; c < cols.size(); ++c) {
       if (c > 0) out += options.delimiter;
-      out += EscapeField(table.at(r, c).ToCsvString(), options.delimiter);
+      out += EscapeField(cols[c].CsvStringAt(r), options.delimiter);
     }
     out += '\n';
   }

@@ -1,0 +1,40 @@
+#include "table/dictionary.h"
+
+namespace dialite {
+
+StringDictionary::StringDictionary(const StringDictionary& other)
+    : strings_(other.strings_), payload_bytes_(other.payload_bytes_) {
+  index_.reserve(strings_.size());
+  for (uint32_t id = 0; id < strings_.size(); ++id) {
+    index_.emplace(std::string_view(strings_[id]), id);
+  }
+}
+
+StringDictionary& StringDictionary::operator=(const StringDictionary& other) {
+  if (this == &other) return *this;
+  strings_ = other.strings_;
+  payload_bytes_ = other.payload_bytes_;
+  index_.clear();
+  index_.reserve(strings_.size());
+  for (uint32_t id = 0; id < strings_.size(); ++id) {
+    index_.emplace(std::string_view(strings_[id]), id);
+  }
+  return *this;
+}
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  payload_bytes_ += s.size();
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+uint32_t StringDictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNpos : it->second;
+}
+
+}  // namespace dialite

@@ -1,0 +1,58 @@
+#ifndef DIALITE_TABLE_DICTIONARY_H_
+#define DIALITE_TABLE_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dialite {
+
+/// Table-level interned-string pool: every distinct string cell of a table
+/// is stored exactly once and addressed by a dense 32-bit id, so a string
+/// cell costs 4 bytes in the column and string equality *within one table*
+/// is an integer comparison.
+///
+/// Ids are assigned in first-intern order, making them deterministic for a
+/// fixed cell insertion order. Strings live in a deque, so `view(id)`
+/// results stay valid for the dictionary's lifetime — interning more
+/// strings never moves existing ones.
+class StringDictionary {
+ public:
+  static constexpr uint32_t kNpos = 0xffffffffu;
+
+  StringDictionary() = default;
+  // The lookup index holds views into strings_, so copies must rebuild it
+  // against their own storage.
+  StringDictionary(const StringDictionary& other);
+  StringDictionary& operator=(const StringDictionary& other);
+  StringDictionary(StringDictionary&&) = default;
+  StringDictionary& operator=(StringDictionary&&) = default;
+
+  /// Id of `s`, interning it first if unseen.
+  uint32_t Intern(std::string_view s);
+
+  /// Id of `s`, or kNpos if it was never interned.
+  uint32_t Find(std::string_view s) const;
+
+  /// The interned string. The view stays valid for the dictionary's
+  /// lifetime (moves included; copies own their storage).
+  std::string_view view(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+  /// Total interned payload bytes (diagnostics).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;  // views into strings_
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_DICTIONARY_H_

@@ -1,7 +1,6 @@
 #include "table/table.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <unordered_map>
 
@@ -9,13 +8,28 @@
 
 namespace dialite {
 
+Row Table::row(size_t r) const {
+  Row out;
+  out.reserve(cols_.size());
+  for (const ColumnData& col : cols_) out.push_back(col.ValueAt(r, dict_));
+  return out;
+}
+
+std::vector<Row> Table::rows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) out.push_back(row(r));
+  return out;
+}
+
 Status Table::AddRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row has " + std::to_string(row.size()) + " cells, schema has " +
         std::to_string(schema_.num_columns()));
   }
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < row.size(); ++c) cols_[c].Append(row[c], &dict_);
+  ++num_rows_;
   if (!provenance_.empty()) provenance_.emplace_back();
   return Status::OK();
 }
@@ -26,54 +40,61 @@ Status Table::AddRow(Row row, std::vector<std::string> provenance) {
         "row has " + std::to_string(row.size()) + " cells, schema has " +
         std::to_string(schema_.num_columns()));
   }
-  if (provenance_.size() < rows_.size()) provenance_.resize(rows_.size());
-  rows_.push_back(std::move(row));
+  if (provenance_.size() < num_rows_) provenance_.resize(num_rows_);
+  for (size_t c = 0; c < row.size(); ++c) cols_[c].Append(row[c], &dict_);
+  ++num_rows_;
   provenance_.push_back(std::move(provenance));
   return Status::OK();
 }
 
 size_t Table::AddColumn(ColumnDef def, const Value& fill) {
   size_t idx = schema_.AddColumn(std::move(def));
-  for (Row& r : rows_) r.push_back(fill);
+  cols_.emplace_back();
+  ColumnData& col = cols_.back();
+  for (size_t r = 0; r < num_rows_; ++r) col.Append(fill, &dict_);
   return idx;
 }
 
+Result<Table> Table::FromColumns(std::string name, Schema schema,
+                                 const std::vector<std::vector<Value>>& columns) {
+  if (columns.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "got " + std::to_string(columns.size()) + " columns, schema has " +
+        std::to_string(schema.num_columns()));
+  }
+  Table out(std::move(name), std::move(schema));
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const std::vector<Value>& col : columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument(
+          "ragged columns: " + std::to_string(col.size()) + " vs " +
+          std::to_string(rows) + " cells");
+    }
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    for (const Value& v : columns[c]) out.cols_[c].Append(v, &out.dict_);
+  }
+  out.num_rows_ = rows;
+  return out;
+}
+
 void Table::StampProvenance(const std::string& prefix, size_t start) {
-  provenance_.assign(rows_.size(), {});
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  provenance_.assign(num_rows_, {});
+  for (size_t i = 0; i < num_rows_; ++i) {
     provenance_[i] = {prefix + std::to_string(start + i)};
   }
 }
 
 std::vector<Value> Table::ColumnValues(size_t c) const {
-  std::vector<Value> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) out.push_back(r[c]);
-  return out;
+  return ColumnMaterialize(column(c));
 }
 
 std::vector<Value> Table::DistinctColumnValues(size_t c) const {
-  std::vector<Value> out;
-  std::unordered_set<Value, ValueHash> seen;
-  for (const Row& r : rows_) {
-    const Value& v = r[c];
-    if (v.is_null()) continue;
-    if (seen.insert(v).second) out.push_back(v);
-  }
-  return out;
+  return ColumnDistinct(column(c));
 }
 
 std::vector<std::string> Table::ColumnTokenSet(size_t c) const {
-  std::vector<std::string> out;
-  std::unordered_set<std::string> seen;
-  for (const Row& r : rows_) {
-    const Value& v = r[c];
-    if (v.is_null()) continue;
-    std::string tok = ToLowerAscii(Trim(v.ToCsvString()));
-    if (tok.empty()) continue;
-    if (seen.insert(tok).second) out.push_back(std::move(tok));
-  }
-  return out;
+  return ColumnTokens(column(c));
 }
 
 Table Table::ProjectColumns(const std::vector<size_t>& indices,
@@ -82,16 +103,39 @@ Table Table::ProjectColumns(const std::vector<size_t>& indices,
   cols.reserve(indices.size());
   for (size_t i : indices) cols.push_back(schema_.column(i));
   Table out(std::move(new_name), Schema(std::move(cols)));
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    Row row;
-    row.reserve(indices.size());
-    for (size_t i : indices) row.push_back(rows_[r][i]);
-    if (has_provenance()) {
-      out.AddRow(std::move(row), provenance_[r]);
-    } else {
-      out.AddRow(std::move(row));
+  // Copy columns lane-wise, re-interning string ids into the projection's
+  // own (smaller) dictionary via a shared old-id -> new-id remap.
+  std::vector<uint32_t> remap(dict_.size(), StringDictionary::kNpos);
+  for (size_t j = 0; j < indices.size(); ++j) {
+    const ColumnData& src = cols_[indices[j]];
+    ColumnData& dst = out.cols_[j];
+    for (size_t r = 0; r < num_rows_; ++r) {
+      switch (src.kind(r)) {
+        case CellKind::kMissingNull:
+          dst.AppendNull(NullKind::kMissing);
+          break;
+        case CellKind::kProducedNull:
+          dst.AppendNull(NullKind::kProduced);
+          break;
+        case CellKind::kInt:
+          dst.AppendInt(src.int_at(r));
+          break;
+        case CellKind::kDouble:
+          dst.AppendDouble(src.double_at(r));
+          break;
+        case CellKind::kString: {
+          uint32_t id = src.string_id(r);
+          if (remap[id] == StringDictionary::kNpos) {
+            remap[id] = out.dict_.Intern(dict_.view(id));
+          }
+          dst.AppendStringId(remap[id]);
+          break;
+        }
+      }
     }
   }
+  out.num_rows_ = num_rows_;
+  if (has_provenance()) out.provenance_ = provenance_;
   return out;
 }
 
@@ -99,80 +143,97 @@ double Table::NullFraction() const {
   size_t cells = num_rows() * num_columns();
   if (cells == 0) return 0.0;
   size_t nulls = 0;
-  for (const Row& r : rows_) {
-    for (const Value& v : r) {
-      if (v.is_null()) ++nulls;
-    }
-  }
+  for (const ColumnData& col : cols_) nulls += col.CountNulls();
   return static_cast<double>(nulls) / static_cast<double>(cells);
 }
 
 void Table::RefreshColumnTypes() {
   for (size_t c = 0; c < num_columns(); ++c) {
-    ValueType t = ValueType::kNull;
-    for (const Row& r : rows_) {
-      const Value& v = r[c];
-      if (v.is_null()) continue;
-      ValueType vt = v.type();
-      if (t == ValueType::kNull) {
-        t = vt;
-      } else if (t != vt) {
-        // Int+double mix widens to double; anything else degrades to string.
-        bool numeric_mix = (t == ValueType::kInt && vt == ValueType::kDouble) ||
-                           (t == ValueType::kDouble && vt == ValueType::kInt);
-        t = numeric_mix ? ValueType::kDouble : ValueType::kString;
-        if (t == ValueType::kString) break;
+    bool has_int = false;
+    bool has_double = false;
+    bool has_string = false;
+    const std::vector<uint8_t>& tags = cols_[c].tags();
+    for (uint8_t t : tags) {
+      switch (static_cast<CellKind>(t)) {
+        case CellKind::kInt:
+          has_int = true;
+          break;
+        case CellKind::kDouble:
+          has_double = true;
+          break;
+        case CellKind::kString:
+          has_string = true;
+          break;
+        default:
+          break;
       }
+      if (has_string) break;
+    }
+    // Same widening as the row-major scan: any string degrades the column to
+    // string; int+double widens to double.
+    ValueType t = ValueType::kNull;
+    if (has_string) {
+      t = ValueType::kString;
+    } else if (has_int && has_double) {
+      t = ValueType::kDouble;
+    } else if (has_int) {
+      t = ValueType::kInt;
+    } else if (has_double) {
+      t = ValueType::kDouble;
     }
     schema_.column(c).type = t;
   }
 }
 
 void Table::SortRowsLexicographic() {
-  std::vector<size_t> order(rows_.size());
+  std::vector<size_t> order(num_rows_);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-    const Row& ra = rows_[a];
-    const Row& rb = rows_[b];
-    for (size_t c = 0; c < ra.size(); ++c) {
-      if (ra[c] < rb[c]) return true;
-      if (rb[c] < ra[c]) return false;
+  std::vector<ColumnView> views;
+  views.reserve(cols_.size());
+  for (size_t c = 0; c < cols_.size(); ++c) views.push_back(column(c));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (const ColumnView& v : views) {
+      if (CellLess(v, a, v, b)) return true;
+      if (CellLess(v, b, v, a)) return false;
     }
     return a < b;  // stable tiebreak
   });
-  std::vector<Row> new_rows;
-  new_rows.reserve(rows_.size());
-  std::vector<std::vector<std::string>> new_prov;
-  if (has_provenance()) new_prov.reserve(rows_.size());
-  for (size_t i : order) {
-    new_rows.push_back(std::move(rows_[i]));
-    if (has_provenance()) new_prov.push_back(std::move(provenance_[i]));
+  for (ColumnData& col : cols_) col.Reorder(order);
+  if (has_provenance()) {
+    std::vector<std::vector<std::string>> new_prov;
+    new_prov.reserve(num_rows_);
+    for (size_t i : order) new_prov.push_back(std::move(provenance_[i]));
+    provenance_ = std::move(new_prov);
   }
-  rows_ = std::move(new_rows);
-  provenance_ = std::move(new_prov);
 }
 
 bool Table::SameRowsAs(const Table& other) const {
   if (num_rows() != other.num_rows() || num_columns() != other.num_columns()) {
     return false;
   }
-  auto key = [](const Row& r) {
+  std::vector<ColumnView> mine;
+  std::vector<ColumnView> theirs;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    mine.push_back(column(c));
+    theirs.push_back(other.column(c));
+  }
+  auto key = [](const std::vector<ColumnView>& views, size_t r) {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    for (const ColumnView& v : views) h = HashCombine(h, v.HashAt(r));
     return h;
   };
-  std::unordered_map<uint64_t, std::vector<const Row*>> buckets;
-  for (const Row& r : rows_) buckets[key(r)].push_back(&r);
-  for (const Row& r : other.rows_) {
-    auto it = buckets.find(key(r));
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t r = 0; r < num_rows_; ++r) buckets[key(mine, r)].push_back(r);
+  for (size_t r = 0; r < other.num_rows(); ++r) {
+    auto it = buckets.find(key(theirs, r));
     if (it == buckets.end()) return false;
     bool matched = false;
-    std::vector<const Row*>& cands = it->second;
+    std::vector<size_t>& cands = it->second;
     for (size_t i = 0; i < cands.size(); ++i) {
-      const Row& cand = *cands[i];
+      const size_t cand = cands[i];
       bool same = true;
-      for (size_t c = 0; c < r.size(); ++c) {
-        if (!cand[c].Identical(r[c])) {
+      for (size_t c = 0; c < num_columns(); ++c) {
+        if (!CellsIdentical(mine[c], cand, theirs[c], r)) {
           same = false;
           break;
         }
@@ -197,7 +258,7 @@ std::string Table::ToPrettyString(size_t max_rows) const {
     headers.push_back(c.name.empty() ? "(unnamed)" : c.name);
   }
   std::vector<std::vector<std::string>> cells;
-  size_t shown = std::min(max_rows, rows_.size());
+  size_t shown = std::min(max_rows, num_rows_);
   for (size_t r = 0; r < shown; ++r) {
     std::vector<std::string> line;
     if (prov) {
@@ -209,7 +270,9 @@ std::string Table::ToPrettyString(size_t max_rows) const {
       p += "}";
       line.push_back(std::move(p));
     }
-    for (const Value& v : rows_[r]) line.push_back(v.ToDisplayString());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      line.push_back(column(c).DisplayStringAt(r));
+    }
     cells.push_back(std::move(line));
   }
   std::vector<size_t> widths(headers.size(), 0);
@@ -235,8 +298,8 @@ std::string Table::ToPrettyString(size_t max_rows) const {
   for (size_t w : widths) os << std::string(w + 2, '-') << "-|";
   os << "\n";
   for (const auto& line : cells) emit_line(line);
-  if (shown < rows_.size()) {
-    os << "... (" << (rows_.size() - shown) << " more rows)\n";
+  if (shown < num_rows_) {
+    os << "... (" << (num_rows_ - shown) << " more rows)\n";
   }
   return os.str();
 }

@@ -3,19 +3,38 @@
 
 #include <cstddef>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "table/column_store.h"
+#include "table/column_view.h"
+#include "table/dictionary.h"
 #include "table/schema.h"
 #include "table/value.h"
+
+/// Marks the copy-returning column accessors kept for one release as
+/// wrappers over the view-based scans. Define DIALITE_SUPPRESS_DEPRECATIONS
+/// before including to silence (used by the equivalence tests).
+#if defined(DIALITE_SUPPRESS_DEPRECATIONS)
+#define DIALITE_DEPRECATED(msg)
+#else
+#define DIALITE_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
 
 namespace dialite {
 
 /// One row of cells. Rows always have exactly schema.num_columns() cells.
 using Row = std::vector<Value>;
 
-/// A named relation: schema + rows + optional per-row provenance.
+/// A named relation: schema + cells + optional per-row provenance.
+///
+/// Storage is columnar: each column keeps a kind tag and a packed null map
+/// per cell, with non-null payloads in typed lanes (int64 / double / 32-bit
+/// id into a table-level interned-string dictionary). Hot paths read columns
+/// through zero-copy ColumnView handles (`column(c)`); the Value/Row API
+/// (`at`, `row`, `AddRow`) is a thin materializing boundary kept for
+/// ergonomics and compatibility — `at()` and `row()` build Values on demand
+/// and therefore return by value.
 ///
 /// Provenance carries the source-tuple labels the paper prints in its "TIDs"
 /// column (e.g. {t1, t7} for an integrated fact assembled from two source
@@ -27,21 +46,39 @@ class Table {
   Table() = default;
   explicit Table(std::string name) : name_(std::move(name)) {}
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)) {
+    cols_.resize(schema_.num_columns());
+  }
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
   const Schema& schema() const { return schema_; }
+  /// For column renames/retypes only; add columns through AddColumn so the
+  /// columnar storage stays in sync with the schema width.
   Schema& mutable_schema() { return schema_; }
 
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return schema_.num_columns(); }
 
-  const Row& row(size_t r) const { return rows_[r]; }
-  const std::vector<Row>& rows() const { return rows_; }
-  const Value& at(size_t r, size_t c) const { return rows_[r][c]; }
-  void set(size_t r, size_t c, Value v) { rows_[r][c] = std::move(v); }
+  /// Zero-copy read handle over column `c`. Valid until the table is
+  /// mutated or destroyed.
+  ColumnView column(size_t c) const {
+    return ColumnView(&cols_[c], &dict_);
+  }
+
+  /// The table-level interned-string pool backing string cells.
+  const StringDictionary& dictionary() const { return dict_; }
+
+  /// Materializes row `r`. Returns by value (cells are decoded from the
+  /// column store); bind to `const Row&` or a local, and prefer column()
+  /// views in loops.
+  Row row(size_t r) const;
+  /// Materializes every row — boundary/debug use only.
+  std::vector<Row> rows() const;
+  /// Materializes cell (r, c). Returns by value; see row().
+  Value at(size_t r, size_t c) const { return cols_[c].ValueAt(r, dict_); }
+  void set(size_t r, size_t c, Value v) { cols_[c].Set(r, v, &dict_); }
 
   /// Appends a row; it must match the schema width.
   Status AddRow(Row row);
@@ -50,6 +87,13 @@ class Table {
 
   /// Appends a column filled with `fill` for existing rows; returns index.
   size_t AddColumn(ColumnDef def, const Value& fill);
+
+  /// Builds a table column-major: `columns[c]` holds column c's cells, all
+  /// equally long and matching the schema width. The fast construction path
+  /// for columnar producers; observably identical to AddRow-ing the
+  /// transposed rows.
+  static Result<Table> FromColumns(std::string name, Schema schema,
+                                   const std::vector<std::vector<Value>>& columns);
 
   bool has_provenance() const { return !provenance_.empty(); }
   const std::vector<std::string>& provenance(size_t r) const {
@@ -64,13 +108,16 @@ class Table {
   void StampProvenance(const std::string& prefix, size_t start = 1);
 
   /// All values in column `c`, in row order.
+  DIALITE_DEPRECATED("use ColumnMaterialize(table.column(c))")
   std::vector<Value> ColumnValues(size_t c) const;
 
   /// Distinct non-null values in column `c` (insertion order).
+  DIALITE_DEPRECATED("use ColumnDistinct(table.column(c))")
   std::vector<Value> DistinctColumnValues(size_t c) const;
 
   /// Distinct non-null values lowercased-rendered as strings — the token set
   /// used by joinability search and sketching.
+  DIALITE_DEPRECATED("use ColumnTokens(table.column(c))")
   std::vector<std::string> ColumnTokenSet(size_t c) const;
 
   /// New table containing only the given column indices (provenance kept).
@@ -99,7 +146,9 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  StringDictionary dict_;
+  std::vector<ColumnData> cols_;
+  size_t num_rows_ = 0;
   std::vector<std::vector<std::string>> provenance_;
 };
 

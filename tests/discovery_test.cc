@@ -254,7 +254,7 @@ TEST(JosieTest, AgreesWithExactContainmentOnLake) {
   auto hits = josie.Search(q);
   ASSERT_TRUE(hits.ok());
   // Every reported overlap must be achievable: score <= |Q|.
-  size_t qsize = query->ColumnTokenSet(0).size();
+  size_t qsize = ColumnTokens(query->column(0)).size();
   for (const DiscoveryHit& h : *hits) {
     EXPECT_LE(h.score, static_cast<double>(qsize));
     EXPECT_GE(h.score, 1.0);

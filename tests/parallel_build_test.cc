@@ -130,6 +130,57 @@ TEST(ParallelBuildTest, JosieIndexBytesIdentical) {
   ExpectIdenticalIndexBytes<JosieSearch>("josie_par");
 }
 
+/// Rebuilds the shared lake column-major: every table is reconstructed via
+/// Table::FromColumns from materialized column vectors. The columnar entry
+/// path must be invisible to indexing.
+DataLake RebuildLakeFromColumns() {
+  DataLake rebuilt;
+  for (const Table* t : SharedLake().tables()) {
+    std::vector<std::vector<Value>> columns(t->num_columns());
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      columns[c] = ColumnMaterialize(t->column(c));
+    }
+    Result<Table> copy =
+        Table::FromColumns(t->name(), t->schema(), columns);
+    EXPECT_TRUE(copy.ok());
+    EXPECT_TRUE(rebuilt.AddTable(std::move(copy).value()).ok());
+  }
+  return rebuilt;
+}
+
+/// Builds `Algo` over both lake constructions and verifies the persisted
+/// index files are byte-identical.
+template <typename Algo>
+void ExpectIndexBytesInvariantToConstruction(const std::string& tag) {
+  DataLake columnar = RebuildLakeFromColumns();
+  std::string reference;
+  const DataLake* lakes[] = {&SharedLake(), &columnar};
+  for (size_t i = 0; i < 2; ++i) {
+    Algo algo;
+    algo.set_num_threads(1);
+    ASSERT_TRUE(algo.BuildIndex(*lakes[i]).ok());
+    std::string path =
+        testing::TempDir() + "/" + tag + "_" + std::to_string(i) + ".idx";
+    ASSERT_TRUE(algo.SaveIndex(path).ok());
+    std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(bytes.empty());
+    if (reference.empty()) {
+      reference = std::move(bytes);
+    } else {
+      EXPECT_EQ(bytes, reference) << "columnar-built lake diverged";
+    }
+  }
+}
+
+TEST(ParallelBuildTest, SantosIndexInvariantToTableConstruction) {
+  ExpectIndexBytesInvariantToConstruction<SantosSearch>("santos_col");
+}
+
+TEST(ParallelBuildTest, JosieIndexInvariantToTableConstruction) {
+  ExpectIndexBytesInvariantToConstruction<JosieSearch>("josie_col");
+}
+
 TEST(ParallelBuildTest, DiscoverAllIdenticalAcrossThreadCounts) {
   // End to end through the facade: sequential (1), bounded (8), and
   // hardware (0) must agree on every algorithm's hits.
