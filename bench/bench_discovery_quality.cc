@@ -21,7 +21,7 @@ namespace {
 
 using namespace dialite;
 
-struct Metrics {
+struct QualityTally {
   double p_at_k = 0.0;
   double r_at_k = 0.0;
   double map = 0.0;
@@ -106,8 +106,8 @@ int main() {
   std::printf("queries: %zu (one per domain, intent = anchor column)\n\n",
               queries.size());
 
-  std::map<std::string, Metrics> union_m;
-  std::map<std::string, Metrics> join_m;
+  std::map<std::string, QualityTally> union_m;
+  std::map<std::string, QualityTally> join_m;
   for (const Query& q : queries) {
     std::vector<std::string> union_truth =
         out.truth.UnionableWith(q.table->name());

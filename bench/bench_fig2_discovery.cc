@@ -2,19 +2,37 @@
 /// City; SANTOS must retrieve the unionable T2 as its top hit and LSH
 /// Ensemble must retrieve the joinable T3, against a lake with
 /// distractors. Regenerates the discovery rows of the paper's Example 1.
+///
+/// --metrics-json [path]: run with observability enabled and dump the
+/// offline+online discovery metrics as JSON (to stdout, or to `path`).
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/dialite.h"
 #include "lake/paper_fixtures.h"
+#include "obs/observability.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dialite;
+  const char* metrics_path = nullptr;  // "-" = stdout
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    }
+  }
+  ObservabilityContext obs;
+
   std::printf("=== Fig. 2 / Example 1: Discover ===\n");
   DataLake lake = paper::MakeDemoLake(/*num_distractors=*/20);
   std::printf("lake: %zu tables (T2..T6 + distractors)\n\n", lake.size());
 
   Dialite dialite(&lake);
+  if (metrics) dialite.set_observability(&obs);
   if (!dialite.RegisterDefaults().ok() || !dialite.BuildIndexes().ok()) {
     std::printf("FAIL: setup\n");
     return 1;
@@ -50,5 +68,16 @@ int main() {
   std::printf("paper expectation: LSH Ensemble -> T3 (joinable): %s\n",
               lsh_t3 ? "REPRODUCED" : "MISMATCH");
   std::printf("integration set persisted: {T1, T2, T3}\n");
+
+  if (metrics) {
+    const std::string json = obs.ToJson();
+    if (metrics_path != nullptr && std::strcmp(metrics_path, "-") != 0) {
+      std::ofstream f(metrics_path, std::ios::binary);
+      f << json << '\n';
+      std::printf("metrics written to %s\n", metrics_path);
+    } else {
+      std::printf("--- metrics-json ---\n%s\n", json.c_str());
+    }
+  }
   return santos_t2 && lsh_t3 ? 0 : 1;
 }

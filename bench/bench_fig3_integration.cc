@@ -1,15 +1,32 @@
 /// Experiment Fig. 3 + Example 2 (Align & Integrate): ALITE over the
 /// integration set {T1, T2, T3} must produce exactly the paper's 7 tuples
 /// f1..f7 with the printed TIDs and null kinds. Regenerates Fig. 3.
+///
+/// --metrics-json [path]: run with observability enabled and dump the
+/// per-stage metrics/span export as JSON (to stdout, or to `path`).
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "align/alite_matcher.h"
 #include "integrate/full_disjunction.h"
 #include "lake/paper_fixtures.h"
+#include "obs/observability.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dialite;
+  const char* metrics_path = nullptr;  // "-" = stdout
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    }
+  }
+  ObservabilityContext obs;
+
   std::printf("=== Fig. 3 / Example 2: Align & Integrate (ALITE) ===\n");
   Table t1 = paper::MakeT1();
   Table t2 = paper::MakeT2();
@@ -17,6 +34,7 @@ int main() {
   std::vector<const Table*> set = {&t1, &t2, &t3};
 
   AliteMatcher matcher;
+  if (metrics) matcher.set_observability(&obs);
   auto alignment = matcher.Align(set);
   if (!alignment.ok()) {
     std::printf("FAIL: %s\n", alignment.status().ToString().c_str());
@@ -25,6 +43,7 @@ int main() {
   std::printf("integration IDs: %s\n\n", alignment->ToString().c_str());
 
   FullDisjunction fd;
+  if (metrics) fd.set_observability(&obs);
   auto result = fd.Integrate(set, *alignment);
   if (!result.ok()) {
     std::printf("FAIL: %s\n", result.status().ToString().c_str());
@@ -39,5 +58,16 @@ int main() {
   std::printf("rows: %zu (paper: 7)\n", out.num_rows());
   std::printf("matches Fig. 3 exactly (values, null kinds, multiset): %s\n",
               same ? "REPRODUCED" : "MISMATCH");
+
+  if (metrics) {
+    const std::string json = obs.ToJson();
+    if (metrics_path != nullptr && std::strcmp(metrics_path, "-") != 0) {
+      std::ofstream f(metrics_path, std::ios::binary);
+      f << json << '\n';
+      std::printf("metrics written to %s\n", metrics_path);
+    } else {
+      std::printf("--- metrics-json ---\n%s\n", json.c_str());
+    }
+  }
   return same ? 0 : 1;
 }

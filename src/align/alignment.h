@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/observability.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -72,6 +73,15 @@ class SchemaMatcher {
   /// unique) into integration-ID clusters.
   virtual Result<Alignment> Align(
       const std::vector<const Table*>& tables) const = 0;
+
+  /// Observability sink for align spans/counters (null = disabled, the
+  /// default). Set by the Dialite facade; the context must outlive the
+  /// matcher and must not change while Align runs.
+  void set_observability(ObservabilityContext* obs) { obs_ = obs; }
+  ObservabilityContext* observability() const { return obs_; }
+
+ protected:
+  ObservabilityContext* obs_ = nullptr;
 };
 
 }  // namespace dialite

@@ -78,23 +78,36 @@ Result<Alignment> AliteMatcher::Align(
   for (const Table* t : tables) {
     if (t == nullptr) return Status::InvalidArgument("null table in set");
   }
+  ObsSpan align_span(obs_, "align.alite_holistic");
   // Collect all columns.
   std::vector<ColumnSignature> cols;
-  for (size_t ti = 0; ti < tables.size(); ++ti) {
-    for (size_t c = 0; c < tables[ti]->num_columns(); ++c) {
-      cols.push_back(MakeSignature(tables, ti, c));
+  {
+    ObsSpan span(obs_, "align.signatures");
+    for (size_t ti = 0; ti < tables.size(); ++ti) {
+      for (size_t c = 0; c < tables[ti]->num_columns(); ++c) {
+        cols.push_back(MakeSignature(tables, ti, c));
+      }
     }
   }
   const size_t n = cols.size();
+  ObsAdd(obs_, "align.tables", tables.size());
+  ObsAdd(obs_, "align.columns", n);
 
   // Pairwise similarity matrix.
+  uint64_t pair_evals = 0;
   std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      if (cols[i].table_idx == cols[j].table_idx) continue;  // cannot-link
-      sim[i][j] = sim[j][i] = PairSimilarity(cols[i], cols[j]);
+  {
+    ObsSpan span(obs_, "align.similarity_matrix");
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (cols[i].table_idx == cols[j].table_idx) continue;  // cannot-link
+        sim[i][j] = sim[j][i] = PairSimilarity(cols[i], cols[j]);
+        ++pair_evals;
+      }
     }
   }
+  ObsAdd(obs_, "align.pair_evals", pair_evals);
+  ObsSpan cluster_span(obs_, "align.cluster");
 
   // Average-linkage agglomerative clustering with cannot-link constraints.
   std::vector<std::vector<size_t>> clusters;
@@ -146,7 +159,9 @@ Result<Alignment> AliteMatcher::Align(
     clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
                         clusters[bj].end());
     clusters.erase(clusters.begin() + static_cast<long>(bj));
+    ObsAdd(obs_, "align.merges");
   }
+  ObsAdd(obs_, "align.clusters", clusters.size());
 
   // Order clusters by first appearance (table order, then column order) so
   // integrated outputs read like the paper's figures.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dialite {
 
@@ -78,6 +81,41 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
     if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) return true;
   }
   return false;
+}
+
+bool ParseStrictNumeric(std::string_view s, double* out) {
+  s = TrimView(s);
+  if (s.empty()) return false;
+  // Validate the decimal grammar by hand before handing the token to
+  // strtod: [+-]? digits [. digits?] | [+-]? . digits, then ([eE][+-]?digits)?
+  size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  size_t int_digits = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++int_digits;
+  size_t frac_digits = 0;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++frac_digits;
+  }
+  if (int_digits + frac_digits == 0) return false;  // ".", "+", "abc", "inf"
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exp_digits = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++exp_digits;
+    if (exp_digits == 0) return false;  // "1e", "2e+"
+  }
+  if (i != s.size()) return false;  // trailing junk ("0x1A" stops at 'x')
+  // The grammar guarantees strtod consumes the whole (copied,
+  // null-terminated) token; only the magnitude can still disqualify it.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v)) return false;  // "1e999" overflows to +inf
+  if (out != nullptr) *out = v;
+  return true;
 }
 
 std::string FormatDouble(double v, int precision) {

@@ -34,6 +34,16 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 /// trailing zeros ("3.14", "2", "0.5").
 std::string FormatDouble(double v, int precision = 6);
 
+/// Parses `s` as a finite decimal literal: optional sign, digits with an
+/// optional decimal point, optional decimal exponent ("-12", "3.5e-2",
+/// ".5", "7."). Leading/trailing ASCII whitespace is ignored. Everything
+/// strtod accepts beyond that — hex floats ("0x1A"), "inf"/"infinity",
+/// "nan" — is rejected, as are values that overflow to ±inf ("1e999").
+/// The single numeric grammar shared by CSV type inference,
+/// Value::AsNumeric, and ColumnView::AsNumericAt, so the three parsers
+/// cannot drift.
+bool ParseStrictNumeric(std::string_view s, double* out);
+
 }  // namespace dialite
 
 #endif  // DIALITE_COMMON_STRING_UTIL_H_

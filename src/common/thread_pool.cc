@@ -14,9 +14,14 @@ thread_local const ThreadPool* current_worker_pool = nullptr;
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, ObservabilityContext* obs) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (obs != nullptr) {
+    tasks_run_ = obs->metrics().counter("threadpool.tasks_run");
+    queue_depth_ = obs->metrics().histogram("threadpool.queue_depth");
+    task_wait_ns_ = obs->metrics().histogram("threadpool.task_wait_ns");
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -35,9 +40,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const uint64_t now = tasks_run_ != nullptr ? WallNowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), now});
+    if (queue_depth_ != nullptr) queue_depth_->Record(queue_.size());
   }
   task_cv_.notify_one();
 }
@@ -90,7 +97,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 void ThreadPool::WorkerLoop() {
   current_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -99,8 +106,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    if (tasks_run_ != nullptr) {
+      tasks_run_->Add(1);
+      const uint64_t now = WallNowNs();
+      task_wait_ns_->Record(now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+    }
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

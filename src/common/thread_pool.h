@@ -3,12 +3,15 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/observability.h"
 
 namespace dialite {
 
@@ -35,8 +38,13 @@ namespace dialite {
 /// process does not deadlock.
 class ThreadPool {
  public:
-  /// `num_threads` == 0 selects the hardware concurrency (min 1).
-  explicit ThreadPool(size_t num_threads = 0);
+  /// `num_threads` == 0 selects the hardware concurrency (min 1). With a
+  /// non-null `obs`, the pool emits `threadpool.tasks_run` (counter),
+  /// `threadpool.queue_depth` (histogram, sampled at submit), and
+  /// `threadpool.task_wait_ns` (histogram, enqueue → start latency). The
+  /// context must outlive the pool; a null context costs nothing.
+  explicit ThreadPool(size_t num_threads = 0,
+                      ObservabilityContext* obs = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -65,8 +73,19 @@ class ThreadPool {
   /// Waits for idle without rethrowing captured task exceptions.
   void WaitNoThrow();
 
+  /// A queued task and, when observability is on, its enqueue timestamp.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
+  // Instruments resolved once at construction (null when disabled) so the
+  // per-task cost is an atomic add, not a registry lookup.
+  Counter* tasks_run_ = nullptr;
+  Histogram* queue_depth_ = nullptr;
+  Histogram* task_wait_ns_ = nullptr;
   std::mutex mu_;
   std::condition_variable task_cv_;   // signaled when work arrives / shutdown
   std::condition_variable idle_cv_;   // signaled when a task completes

@@ -107,6 +107,7 @@ Status Dialite::RegisterDiscovery(
     return Status::AlreadyExists("discovery '" + name + "'");
   }
   indexes_built_ = false;
+  algorithm->set_observability(obs_);
   discovery_.emplace(std::move(name), std::move(algorithm));
   return Status::OK();
 }
@@ -117,6 +118,7 @@ Status Dialite::RegisterMatcher(std::unique_ptr<SchemaMatcher> matcher) {
   if (matchers_.count(name)) {
     return Status::AlreadyExists("matcher '" + name + "'");
   }
+  matcher->set_observability(obs_);
   matchers_.emplace(std::move(name), std::move(matcher));
   return Status::OK();
 }
@@ -127,8 +129,16 @@ Status Dialite::RegisterIntegration(std::unique_ptr<IntegrationOperator> op) {
   if (integration_.count(name)) {
     return Status::AlreadyExists("integration '" + name + "'");
   }
+  op->set_observability(obs_);
   integration_.emplace(std::move(name), std::move(op));
   return Status::OK();
+}
+
+void Dialite::set_observability(ObservabilityContext* obs) {
+  obs_ = obs;
+  for (auto& [name, algo] : discovery_) algo->set_observability(obs);
+  for (auto& [name, matcher] : matchers_) matcher->set_observability(obs);
+  for (auto& [name, op] : integration_) op->set_observability(obs);
 }
 
 Status Dialite::RegisterAnalysis(const std::string& name, AnalysisFn fn) {
@@ -159,6 +169,7 @@ std::vector<std::string> Dialite::Analyses() const {
 }
 
 Status Dialite::BuildIndexes(const std::string& cache_dir) {
+  ObsSpan build_span(obs_, "pipeline.build_indexes");
   std::vector<DiscoveryAlgorithm*> algos;
   algos.reserve(discovery_.size());
   for (auto& [name, algo] : discovery_) algos.push_back(algo.get());
@@ -175,6 +186,8 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
   }
 
   auto build_one = [&](DiscoveryAlgorithm* algo) -> Status {
+    // On worker threads this span surfaces as its own root — by design.
+    ObsSpan span(obs_, "build." + algo->name());
     auto* persistent = dynamic_cast<PersistentIndex*>(algo);
     if (persistent != nullptr && !cache_dir.empty()) {
       std::string path = cache_dir + "/" + algo->name() + ".idx";
@@ -192,7 +205,7 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
     for (DiscoveryAlgorithm* a : algos) DIALITE_RETURN_NOT_OK(build_one(a));
   } else {
     std::vector<Status> statuses(algos.size());
-    ThreadPool pool(std::min(threads, algos.size()));
+    ThreadPool pool(std::min(threads, algos.size()), obs_);
     pool.ParallelFor(algos.size(), [&](size_t i) {
       statuses[i] = build_one(algos[i]);
     });
@@ -200,6 +213,7 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
     for (const Status& s : statuses) DIALITE_RETURN_NOT_OK(s);
   }
   indexes_built_ = true;
+  if (obs_ != nullptr) lake_->sketch_cache().ExportTo(&obs_->metrics());
   return Status::OK();
 }
 
@@ -212,7 +226,13 @@ Result<std::vector<DiscoveryHit>> Dialite::Discover(
   if (!indexes_built_) {
     return Status::Internal("BuildIndexes() has not been called");
   }
-  return it->second->Search(query);
+  ObsSpan span(obs_, "discover." + algorithm);
+  ObsAdd(obs_, "discover.searches");
+  Result<std::vector<DiscoveryHit>> hits = it->second->Search(query);
+  if (hits.ok()) {
+    ObsAdd(obs_, "discover." + algorithm + ".hits", hits->size());
+  }
+  return hits;
 }
 
 Result<std::map<std::string, std::vector<DiscoveryHit>>> Dialite::DiscoverAll(
@@ -241,7 +261,7 @@ Dialite::DiscoverAllImpl(const DiscoveryQuery& query,
   // queries fan out; the merge into the result map stays in name order.
   std::vector<Status> statuses(names.size());
   std::vector<std::vector<DiscoveryHit>> hits(names.size());
-  ThreadPool pool(threads);
+  ThreadPool pool(threads, obs_);
   pool.ParallelFor(names.size(), [&](size_t i) {
     Result<std::vector<DiscoveryHit>> r = Discover(query, names[i]);
     if (r.ok()) {
@@ -329,32 +349,54 @@ Result<Table> Dialite::Analyze(const Table& integrated,
   if (it == analyses_.end()) {
     return Status::NotFound("analysis '" + analysis + "' not registered");
   }
-  return it->second(integrated);
+  ObsSpan span(obs_, "analyze." + analysis);
+  Result<Table> result = it->second(integrated);
+  if (result.ok()) {
+    ObsAdd(obs_, "analyze.rows_in", integrated.num_rows());
+    ObsAdd(obs_, "analyze.rows_out", result->num_rows());
+  }
+  return result;
 }
 
 Result<PipelineReport> Dialite::Run(const Table& query,
                                     const PipelineOptions& options) const {
+  // Facade spans go to the per-run override when given; component
+  // instrumentation keeps writing to the installed context.
+  ObservabilityContext* obs =
+      options.observability != nullptr ? options.observability : obs_;
+  ObsSpan run_span(obs, "pipeline.run");
   PipelineReport report;
   DiscoveryQuery dq{&query, options.query_column, options.k};
-  Result<std::map<std::string, std::vector<DiscoveryHit>>> hits =
-      DiscoverAllImpl(dq, options.discovery_algorithms, options.num_threads);
+  Result<std::map<std::string, std::vector<DiscoveryHit>>> hits = [&] {
+    ObsSpan span(obs, "pipeline.discover");
+    return DiscoverAllImpl(dq, options.discovery_algorithms,
+                           options.num_threads);
+  }();
   if (!hits.ok()) return hits.status();
   report.hits = std::move(hits).value();
 
   std::vector<const Table*> set =
       FormIntegrationSet(query, report.hits, options.max_integration_set);
   for (const Table* t : set) report.integration_set.push_back(t->name());
+  ObsSet(obs, "pipeline.integration_set_size", set.size());
 
-  Result<IntegrationResult> integ =
-      AlignAndIntegrate(set, options.integration_operator);
+  Result<IntegrationResult> integ = [&] {
+    ObsSpan span(obs, "pipeline.align_integrate");
+    return AlignAndIntegrate(set, options.integration_operator);
+  }();
   if (!integ.ok()) return integ.status();
   report.integration = std::move(integ).value();
+  ObsSet(obs, "pipeline.integrated_rows", report.integration.table.num_rows());
 
-  for (const std::string& a : options.analyses) {
-    Result<Table> r = Analyze(report.integration.table, a);
-    if (!r.ok()) return r.status();
-    report.analysis_results.emplace(a, std::move(r).value());
+  {
+    ObsSpan span(obs, "pipeline.analyze");
+    for (const std::string& a : options.analyses) {
+      Result<Table> r = Analyze(report.integration.table, a);
+      if (!r.ok()) return r.status();
+      report.analysis_results.emplace(a, std::move(r).value());
+    }
   }
+  if (obs != nullptr) lake_->sketch_cache().ExportTo(&obs->metrics());
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include "discovery/discovery.h"
 #include "integrate/integration.h"
 #include "lake/data_lake.h"
+#include "obs/observability.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -47,6 +48,12 @@ struct PipelineOptions {
   /// concurrency, 1 = the sequential code path. Results are deterministic —
   /// identical for every setting.
   size_t num_threads = 0;
+  /// Per-run override for the facade-level pipeline spans/counters
+  /// (pipeline.run, pipeline.integration_set_size, ...). Null = use the
+  /// context installed with Dialite::set_observability (if any). Component
+  /// instrumentation (discover.*, align.*, integrate.*) always goes to the
+  /// installed context, since components are shared across runs.
+  ObservabilityContext* observability = nullptr;
 };
 
 /// Report of one pipeline run — everything the demo UI would display.
@@ -105,6 +112,15 @@ class Dialite {
   /// persisted indexes are byte-identical across settings.
   void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
   size_t num_threads() const { return num_threads_; }
+
+  /// Installs one observability context on the facade and every registered
+  /// component (discovery algorithms, matchers, integration operators);
+  /// later registrations inherit it. Null uninstalls. The context must
+  /// outlive this object (or be uninstalled first) and must not be swapped
+  /// while a pipeline stage is running. Not thread-safe against concurrent
+  /// Run/BuildIndexes calls.
+  void set_observability(ObservabilityContext* obs);
+  ObservabilityContext* observability() const { return obs_; }
 
   /// Builds every registered discovery index over the lake (the paper's
   /// offline preprocessing). Call after registrations, before Search/Run.
@@ -180,6 +196,7 @@ class Dialite {
   std::map<std::string, AnalysisFn> analyses_;
   bool indexes_built_ = false;
   size_t num_threads_ = 0;  ///< 0 = hardware concurrency
+  ObservabilityContext* obs_ = nullptr;  ///< null = observability disabled
 };
 
 }  // namespace dialite

@@ -93,7 +93,7 @@ Status CocoaSearch::BuildIndex(const DataLake& lake) {
   std::vector<std::shared_ptr<const ColumnTokenSets>> tokens(tables.size());
   ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
     tokens[i] = lake.sketch_cache().TokenSets(*tables[i]);
-  });
+  }, obs_);
   // Merge phase: serial, in lake order.
   for (size_t i = 0; i < tables.size(); ++i) {
     const Table* t = tables[i];
@@ -105,6 +105,8 @@ Status CocoaSearch::BuildIndex(const DataLake& lake) {
       for (const std::string& tok : toks) postings_[tok].push_back(id);
     }
   }
+  ObsAdd(obs_, "discover.cocoa.build.tables", tables.size());
+  ObsSet(obs_, "discover.cocoa.index.columns", columns_.size());
   return Status::OK();
 }
 

@@ -8,7 +8,8 @@
 namespace dialite {
 
 void ForEachTableIndex(size_t num_threads, size_t n,
-                       const std::function<void(size_t)>& fn) {
+                       const std::function<void(size_t)>& fn,
+                       ObservabilityContext* obs) {
   size_t threads = num_threads == 0
                        ? std::max(1u, std::thread::hardware_concurrency())
                        : num_threads;
@@ -16,7 +17,7 @@ void ForEachTableIndex(size_t num_threads, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(threads, n));
+  ThreadPool pool(std::min(threads, n), obs);
   pool.ParallelFor(n, fn);
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "lake/data_lake.h"
+#include "obs/observability.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -65,16 +66,26 @@ class DiscoveryAlgorithm {
   void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
   size_t num_threads() const { return num_threads_; }
 
+  /// Observability sink for build/search counters (null = disabled, the
+  /// default; zero overhead). Set by the Dialite facade; the context must
+  /// outlive the algorithm. Not thread-safe against concurrent
+  /// BuildIndex/Search — set it before building, like set_num_threads.
+  void set_observability(ObservabilityContext* obs) { obs_ = obs; }
+  ObservabilityContext* observability() const { return obs_; }
+
  protected:
   size_t num_threads_ = 1;
+  ObservabilityContext* obs_ = nullptr;
 };
 
 /// Shared helper for the compute phase: runs `fn(i)` for i in [0, n) — on
 /// the calling thread when the effective thread count is 1 (or n < 2), else
 /// via a stack-scoped ThreadPool::ParallelFor. `fn` must be safe to call
-/// concurrently for distinct i and must not throw.
+/// concurrently for distinct i and must not throw. A non-null `obs` is
+/// handed to the pool so parallel builds feed the threadpool.* metrics.
 void ForEachTableIndex(size_t num_threads, size_t n,
-                       const std::function<void(size_t)>& fn);
+                       const std::function<void(size_t)>& fn,
+                       ObservabilityContext* obs = nullptr);
 
 /// Optional capability: discovery algorithms whose offline index can be
 /// persisted to a file and restored without re-scanning the lake (the

@@ -18,7 +18,7 @@ Status JosieSearch::BuildIndex(const DataLake& lake) {
   std::vector<std::shared_ptr<const ColumnTokenSets>> tokens(tables.size());
   ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
     tokens[i] = lake.sketch_cache().TokenSets(*tables[i]);
-  });
+  }, obs_);
   // Merge phase: serial, in lake order — the index is identical for every
   // thread count.
   for (size_t i = 0; i < tables.size(); ++i) {
@@ -31,6 +31,9 @@ Status JosieSearch::BuildIndex(const DataLake& lake) {
       for (const std::string& tok : toks) postings_[tok].push_back(id);
     }
   }
+  ObsAdd(obs_, "discover.josie.build.tables", tables.size());
+  ObsSet(obs_, "discover.josie.index.columns", columns_.size());
+  ObsSet(obs_, "discover.josie.index.tokens", postings_.size());
   return Status::OK();
 }
 

@@ -50,7 +50,7 @@ Status KeywordSearch::BuildIndex(const DataLake& lake) {
     std::shared_ptr<const ColumnTokenSets> tokens =
         lake.sketch_cache().TokenSets(*tables[i]);
     docs[i] = TableDocument(*tables[i], tokens.get());
-  });
+  }, obs_);
   // Corpus statistics must accumulate serially in lake order (document
   // frequencies assign term ids in first-seen order).
   for (const std::vector<std::string>& d : docs) vectorizer_.AddDocument(d);
@@ -60,11 +60,13 @@ Status KeywordSearch::BuildIndex(const DataLake& lake) {
   std::vector<SparseVector> vecs(tables.size());
   ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
     vecs[i] = vectorizer_.Transform(docs[i]);
-  });
+  }, obs_);
   documents_.reserve(tables.size());
   for (size_t i = 0; i < tables.size(); ++i) {
     documents_.emplace_back(tables[i]->name(), std::move(vecs[i]));
   }
+  ObsAdd(obs_, "discover.keyword.build.tables", tables.size());
+  ObsSet(obs_, "discover.keyword.index.documents", documents_.size());
   return Status::OK();
 }
 

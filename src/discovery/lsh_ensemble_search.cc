@@ -29,7 +29,7 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
     tokens[i] = cache.TokenSets(*tables[i]);
     sigs[i] =
         cache.MinHashSignatures(*tables[i], params_.num_perm, params_.seed);
-  });
+  }, obs_);
   // Merge phase: serial, in lake order (ensemble ids stay dense and stable).
   for (size_t i = 0; i < tables.size(); ++i) {
     const Table* t = tables[i];
@@ -42,6 +42,8 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
           ensemble_.AddSketch(id, toks.size(), (*sigs[i])[c]));
     }
   }
+  ObsAdd(obs_, "discover.lsh_ensemble.build.tables", tables.size());
+  ObsSet(obs_, "discover.lsh_ensemble.index.columns", columns_.size());
   return ensemble_.Build();
 }
 

@@ -60,7 +60,7 @@ Status SantosSearch::BuildIndex(const DataLake& lake) {
     std::shared_ptr<const ColumnDistinctValues> distinct =
         lake.sketch_cache().DistinctValues(*tables[i]);
     sems[i] = Annotate(*tables[i], distinct.get());
-  });
+  }, obs_);
   // Merge phase: serial, in lake order, so the inverted type index's
   // posting order matches a sequential build exactly.
   for (size_t i = 0; i < tables.size(); ++i) {
@@ -75,6 +75,8 @@ Status SantosSearch::BuildIndex(const DataLake& lake) {
     }
     semantics_.emplace(t->name(), std::move(sems[i]));
   }
+  ObsAdd(obs_, "discover.santos.build.tables", tables.size());
+  ObsSet(obs_, "discover.santos.index.types", type_index_.size());
   return Status::OK();
 }
 

@@ -54,7 +54,7 @@ Status StarmieSearch::BuildIndex(const DataLake& lake) {
     std::shared_ptr<const ColumnTokenSets> tokens =
         lake.sketch_cache().TokenSets(*tables[i]);
     all_vecs[i] = ContextualizedColumns(*tables[i], tokens.get());
-  });
+  }, obs_);
   // Merge phase: serial SimHash inserts in lake order keep ids and band
   // bucket order identical to a sequential build.
   for (size_t i = 0; i < tables.size(); ++i) {
@@ -76,6 +76,8 @@ Status StarmieSearch::BuildIndex(const DataLake& lake) {
     }
     table_vectors_.emplace(t->name(), std::move(vecs));
   }
+  ObsAdd(obs_, "discover.starmie.build.tables", tables.size());
+  ObsSet(obs_, "discover.starmie.index.columns", columns_.size());
   return Status::OK();
 }
 

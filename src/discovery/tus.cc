@@ -76,7 +76,7 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
     for (size_t c = 0; c < tables[i]->num_columns(); ++c) {
       cols.push_back(ProfileFromSets((*tokens)[c], (*distinct)[c]));
     }
-  });
+  }, obs_);
   // Merge phase: serial, in lake order — inverted index posting order
   // matches a sequential build exactly.
   for (size_t i = 0; i < tables.size(); ++i) {
@@ -97,6 +97,8 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
     }
     profiles_.emplace(t->name(), std::move(all_cols[i]));
   }
+  ObsAdd(obs_, "discover.tus.build.tables", tables.size());
+  ObsSet(obs_, "discover.tus.index.tokens", token_index_.size());
   return Status::OK();
 }
 

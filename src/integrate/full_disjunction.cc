@@ -32,6 +32,48 @@ struct CodedPool {
   }
 };
 
+/// Local FD tally, accumulated branch-free in the hot loops and flushed
+/// into the integrate.fd.* counters once per Integrate (when enabled).
+struct FdTally {
+  uint64_t rows_scanned = 0;         ///< candidate tuple pairs examined
+  uint64_t merges = 0;               ///< complementation merges performed
+  uint64_t produced_nulls = 0;       ///< produced-null cells in the outer union
+  uint64_t subsumed_tuples = 0;      ///< tuples dropped as ⊑-dominated
+  uint64_t fixpoint_iterations = 0;  ///< worklist items (indexed) / rounds (naive)
+
+  void MergeFrom(const FdTally& other) {
+    rows_scanned += other.rows_scanned;
+    merges += other.merges;
+    produced_nulls += other.produced_nulls;
+    subsumed_tuples += other.subsumed_tuples;
+    fixpoint_iterations += other.fixpoint_iterations;
+  }
+};
+
+/// Flushes a tally plus input/output sizes into `obs` (no-op when null).
+void EmitFdCounters(ObservabilityContext* obs, const FdTally& tally,
+                    size_t input_rows, size_t output_rows) {
+  if (obs == nullptr) return;
+  Metrics& m = obs->metrics();
+  m.Add("integrate.fd.input_rows", input_rows);
+  m.Add("integrate.fd.output_rows", output_rows);
+  m.Add("integrate.fd.rows_scanned", tally.rows_scanned);
+  m.Add("integrate.fd.merges", tally.merges);
+  m.Add("integrate.fd.produced_nulls", tally.produced_nulls);
+  m.Add("integrate.fd.subsumed_tuples", tally.subsumed_tuples);
+  m.Add("integrate.fd.fixpoint_iterations", tally.fixpoint_iterations);
+}
+
+/// Produced-null cells the outer union padded in (the integration cost the
+/// paper's Fig. 8 tracks).
+uint64_t CountProducedNulls(const std::vector<uint32_t>& cells) {
+  uint64_t n = 0;
+  for (uint32_t c : cells) {
+    if (c == kProducedNullCode) ++n;
+  }
+  return n;
+}
+
 std::vector<std::string> UnionProv(const std::vector<std::string>& a,
                                    const std::vector<std::string>& b) {
   std::vector<std::string> out = a;
@@ -61,7 +103,8 @@ uint64_t CellKey(size_t column, uint32_t code) {
 }
 
 /// Indexed complementation fix-point (ALITE-style candidate pruning).
-Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples) {
+Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
+                                 FdTally* tally) {
   const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
@@ -99,6 +142,7 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples) {
   while (!worklist.empty()) {
     const size_t idx = worklist.front();
     worklist.pop_front();
+    ++tally->fixpoint_iterations;
     // Snapshot: pool cells may reallocate as merges append.
     std::copy(pool->row(idx), pool->row(idx) + width, row.begin());
     const std::vector<std::string> prov = pool->provs[idx];
@@ -119,7 +163,9 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples) {
         if (cand < visited.size() && visited[cand] == epoch) continue;
         if (cand >= visited.size()) visited.resize(pool->size(), 0);
         visited[cand] = epoch;
+        ++tally->rows_scanned;
         if (!CodedComplement(row.data(), pool->row(cand), width)) continue;
+        ++tally->merges;
         CodedMerge(row.data(), pool->row(cand), width, merged.data());
         std::vector<std::string> mprov = UnionProv(prov, pool->provs[cand]);
         size_t existing = find_identical(merged.data());
@@ -142,7 +188,8 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples) {
 }
 
 /// Naive complementation fix-point: rescan all pairs every round.
-Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples) {
+Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples,
+                               FdTally* tally) {
   const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
   for (size_t i = 0; i < pool->size(); ++i) {
@@ -160,10 +207,13 @@ Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples) {
   bool changed = true;
   while (changed) {
     changed = false;
+    ++tally->fixpoint_iterations;
     const size_t n = pool->size();
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
+        ++tally->rows_scanned;
         if (!CodedComplement(pool->row(i), pool->row(j), width)) continue;
+        ++tally->merges;
         CodedMerge(pool->row(i), pool->row(j), width, merged.data());
         std::vector<std::string> mprov =
             UnionProv(pool->provs[i], pool->provs[j]);
@@ -187,7 +237,7 @@ Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples) {
 }
 
 /// Keeps only ⊑-maximal tuples. Assumes no two pool tuples are identical.
-CodedPool RemoveSubsumed(const CodedPool& pool) {
+CodedPool RemoveSubsumed(const CodedPool& pool, FdTally* tally) {
   const size_t width = pool.width;
   const size_t n = pool.size();
   // Cell index for candidate subsumers.
@@ -240,7 +290,11 @@ CodedPool RemoveSubsumed(const CodedPool& pool) {
   CodedPool out;
   out.width = width;
   for (size_t i = 0; i < n; ++i) {
-    if (keep[i]) out.AppendRow(pool.row(i), pool.provs[i]);
+    if (keep[i]) {
+      out.AppendRow(pool.row(i), pool.provs[i]);
+    } else {
+      ++tally->subsumed_tuples;
+    }
   }
   return out;
 }
@@ -298,26 +352,41 @@ enum class FixpointMode {
 };
 
 /// Shared FD driver: outer union → encode → fix-point → subsumption →
-/// decode into a Table.
+/// decode into a Table. `obs` (nullable) receives the integrate.fd.*
+/// counters and a span per phase.
 Result<Table> RunFd(const std::vector<const Table*>& tables,
                     const Alignment& alignment, const std::string& name,
-                    FixpointMode mode, size_t max_tuples) {
+                    FixpointMode mode, size_t max_tuples,
+                    ObservabilityContext* obs) {
+  ObsSpan fd_span(obs, "integrate.full_disjunction");
+  FdTally tally;
   Result<Table> union_r = BuildOuterUnion(tables, alignment, name);
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
   TupleCodec codec;
   const std::vector<uint32_t> ucells = codec.EncodeTable(u);
+  tally.produced_nulls = CountProducedNulls(ucells);
   std::vector<size_t> all_rows(u.num_rows());
   for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = r;
   // Dedup exact input duplicates up front.
   CodedPool pool = DedupIntoPool(u, ucells, all_rows);
 
-  if (mode == FixpointMode::kIndexed) {
-    DIALITE_RETURN_NOT_OK(ComplementFixpointIndexed(&pool, max_tuples));
-  } else if (mode == FixpointMode::kNaive) {
-    DIALITE_RETURN_NOT_OK(ComplementFixpointNaive(&pool, max_tuples));
+  {
+    ObsSpan span(obs, "integrate.fd.fixpoint");
+    if (mode == FixpointMode::kIndexed) {
+      DIALITE_RETURN_NOT_OK(ComplementFixpointIndexed(&pool, max_tuples,
+                                                      &tally));
+    } else if (mode == FixpointMode::kNaive) {
+      DIALITE_RETURN_NOT_OK(ComplementFixpointNaive(&pool, max_tuples,
+                                                    &tally));
+    }
   }
-  CodedPool final_pool = RemoveSubsumed(pool);
+  CodedPool final_pool;
+  {
+    ObsSpan span(obs, "integrate.fd.subsumption");
+    final_pool = RemoveSubsumed(pool, &tally);
+  }
+  EmitFdCounters(obs, tally, u.num_rows(), final_pool.size());
 
   Table out(name, u.schema());
   DIALITE_RETURN_NOT_OK(EmitPool(std::move(final_pool), codec, &out));
@@ -330,26 +399,27 @@ Result<Table> FullDisjunction::Integrate(
     const std::vector<const Table*>& tables,
     const Alignment& alignment) const {
   return RunFd(tables, alignment, "fd_result", FixpointMode::kIndexed,
-               params_.max_tuples);
+               params_.max_tuples, obs_);
 }
 
 Result<Table> NaiveFullDisjunction::Integrate(
     const std::vector<const Table*>& tables,
     const Alignment& alignment) const {
   return RunFd(tables, alignment, "naive_fd_result", FixpointMode::kNaive,
-               /*max_tuples=*/2000000);
+               /*max_tuples=*/2000000, obs_);
 }
 
 Result<Table> MinimumUnionIntegration::Integrate(
     const std::vector<const Table*>& tables,
     const Alignment& alignment) const {
   return RunFd(tables, alignment, "minimum_union_result", FixpointMode::kNone,
-               /*max_tuples=*/2000000);
+               /*max_tuples=*/2000000, obs_);
 }
 
 Result<Table> ParallelFullDisjunction::Integrate(
     const std::vector<const Table*>& tables,
     const Alignment& alignment) const {
+  ObsSpan fd_span(obs_, "integrate.parallel_full_disjunction");
   Result<Table> union_r = BuildOuterUnion(tables, alignment, "parallel_fd");
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
@@ -392,16 +462,23 @@ Result<Table> ParallelFullDisjunction::Integrate(
 
   std::vector<CodedPool> results(comps.size());
   std::vector<Status> statuses(comps.size());
-  ThreadPool tp(num_threads_);
+  // Per-component tallies, merged serially after the barrier (counter
+  // updates must not contend on the hot path).
+  std::vector<FdTally> tallies(comps.size());
+  ThreadPool tp(num_threads_, obs_);
   tp.ParallelFor(comps.size(), [&](size_t k) {
     // Dedup within the component, then run the indexed fix-point.
     CodedPool pool = DedupIntoPool(u, ucells, comps[k]);
-    statuses[k] = ComplementFixpointIndexed(&pool, 2000000);
-    if (statuses[k].ok()) results[k] = RemoveSubsumed(pool);
+    statuses[k] = ComplementFixpointIndexed(&pool, 2000000, &tallies[k]);
+    if (statuses[k].ok()) results[k] = RemoveSubsumed(pool, &tallies[k]);
   });
   for (const Status& st : statuses) {
     DIALITE_RETURN_NOT_OK(st);
   }
+  FdTally tally;
+  tally.produced_nulls = CountProducedNulls(ucells);
+  for (const FdTally& t : tallies) tally.MergeFrom(t);
+  ObsAdd(obs_, "integrate.fd.components", comps.size());
 
   // Drop all-null tuples globally if any component produced facts.
   bool any_fact = false;
@@ -435,6 +512,7 @@ Result<Table> ParallelFullDisjunction::Integrate(
     }
   }
   out.RefreshColumnTypes();
+  EmitFdCounters(obs_, tally, n, out.num_rows());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "align/alignment.h"
 #include "common/status.h"
+#include "obs/observability.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -25,6 +26,17 @@ class IntegrationOperator {
 
   virtual Result<Table> Integrate(const std::vector<const Table*>& tables,
                                   const Alignment& alignment) const = 0;
+
+  /// Observability sink for integration counters — the FD operators emit
+  /// integrate.fd.* (rows scanned, produced nulls, subsumed tuples,
+  /// fix-point iterations). Null = disabled, the default. Set by the
+  /// Dialite facade; the context must outlive the operator and must not
+  /// change while Integrate runs.
+  void set_observability(ObservabilityContext* obs) { obs_ = obs; }
+  ObservabilityContext* observability() const { return obs_; }
+
+ protected:
+  ObservabilityContext* obs_ = nullptr;
 };
 
 /// The outer union: every input tuple re-keyed to integration IDs, with

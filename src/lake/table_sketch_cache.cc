@@ -126,4 +126,15 @@ TableSketchCache::Stats TableSketchCache::stats() const {
   return stats_;
 }
 
+void TableSketchCache::ExportTo(Metrics* metrics) const {
+  if (metrics == nullptr) return;
+  const Stats s = stats();
+  metrics->Set("sketch_cache.token_set.hits", s.token_set_hits);
+  metrics->Set("sketch_cache.token_set.misses", s.token_set_misses);
+  metrics->Set("sketch_cache.distinct_value.hits", s.distinct_value_hits);
+  metrics->Set("sketch_cache.distinct_value.misses", s.distinct_value_misses);
+  metrics->Set("sketch_cache.minhash.hits", s.minhash_hits);
+  metrics->Set("sketch_cache.minhash.misses", s.minhash_misses);
+}
+
 }  // namespace dialite

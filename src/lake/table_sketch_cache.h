@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sketch/minhash.h"
 #include "table/table.h"
 
@@ -91,6 +92,11 @@ class TableSketchCache {
   void ResetStats();
 
   Stats stats() const;
+
+  /// Publishes the cumulative counters into `metrics` as
+  /// sketch_cache.{token_set,distinct_value,minhash}.{hits,misses} gauges
+  /// (Set semantics: the cache owns the cumulative truth). No-op when null.
+  void ExportTo(Metrics* metrics) const;
 
  private:
   struct Entry {

@@ -1,0 +1,54 @@
+#ifndef DIALITE_OBS_JSON_H_
+#define DIALITE_OBS_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dialite {
+
+/// Appends `s` as a quoted, escaped JSON string.
+inline void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+/// Formats a double as a JSON number ("%.6g" — metrics precision, never
+/// inf/nan since inputs are means of finite tallies).
+inline std::string FormatJsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace dialite
+
+#endif  // DIALITE_OBS_JSON_H_

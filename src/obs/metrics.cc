@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace dialite {
+
+namespace {
+
+/// Bucket 0 holds value 0; bucket i holds [2^(i-1), 2^i).
+size_t BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  return static_cast<size_t>(64 - __builtin_clzll(value));
+}
+
+/// Relaxed-CAS min/max update.
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  counts_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  n_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~uint64_t{0} ? 0 : m;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(kBuckets);
+  size_t last = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+    if (out[i] != 0) last = i + 1;
+  }
+  out.resize(last);
+  return out;
+}
+
+Counter* Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t Metrics::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+bool Metrics::HasHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.find(name) != histograms_.end();
+}
+
+std::map<std::string, uint64_t> Metrics::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Metrics::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->mean();
+    s.buckets = h->bucket_counts();
+    out.emplace(name, std::move(s));
+  }
+  return out;
+}
+
+void Metrics::AppendJson(std::string* out) const {
+  const std::map<std::string, uint64_t> counters = CounterSnapshot();
+  const std::map<std::string, HistogramSnapshot> hists = HistogramSnapshots();
+  *out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    *out += ':';
+    *out += std::to_string(value);
+  }
+  *out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : hists) {
+    if (!first) *out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    *out += ":{\"count\":" + std::to_string(s.count);
+    *out += ",\"sum\":" + std::to_string(s.sum);
+    *out += ",\"min\":" + std::to_string(s.min);
+    *out += ",\"max\":" + std::to_string(s.max);
+    *out += ",\"mean\":" + FormatJsonDouble(s.mean);
+    *out += ",\"buckets\":[";
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += std::to_string(s.buckets[i]);
+    }
+    *out += "]}";
+  }
+  *out += '}';
+}
+
+void Metrics::AppendTree(std::string* out) const {
+  const std::map<std::string, uint64_t> counters = CounterSnapshot();
+  const std::map<std::string, HistogramSnapshot> hists = HistogramSnapshots();
+  if (!counters.empty()) *out += "counters\n";
+  for (const auto& [name, value] : counters) {
+    *out += "  " + name + ": " + std::to_string(value) + "\n";
+  }
+  if (!hists.empty()) *out += "histograms\n";
+  for (const auto& [name, s] : hists) {
+    *out += "  " + name + ": count=" + std::to_string(s.count) +
+            " sum=" + std::to_string(s.sum) + " min=" + std::to_string(s.min) +
+            " max=" + std::to_string(s.max) +
+            " mean=" + FormatJsonDouble(s.mean) + "\n";
+  }
+}
+
+}  // namespace dialite

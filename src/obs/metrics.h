@@ -1,0 +1,113 @@
+#ifndef DIALITE_OBS_METRICS_H_
+#define DIALITE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dialite {
+
+/// One named event counter. Add/Set are lock-free; hot paths should look
+/// the counter up once (Metrics::counter) and keep the pointer.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Overwrites the value (for gauges mirrored from an external tally,
+  /// e.g. the sketch cache's cumulative hit/miss stats).
+  void Set(uint64_t value) { v_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Lock-free histogram over uint64 samples (latencies in ns, sizes in rows
+/// or cells). Buckets are powers of two: bucket 0 counts value 0, bucket i
+/// counts [2^(i-1), 2^i). Count/sum/min/max are exact; the distribution is
+/// bucket-resolution.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return n_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when the histogram is empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Per-bucket counts with trailing empty buckets trimmed.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> n_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Immutable snapshot of one histogram (for export and tests).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  std::vector<uint64_t> buckets;
+};
+
+/// Thread-safe registry of named counters and histograms. Instruments are
+/// created on first use and never removed, so pointers returned by
+/// counter()/histogram() stay valid for the registry's lifetime and may be
+/// cached across calls. Name lookup takes a mutex — hot loops should tally
+/// locally and Add once, or cache the Counter*.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  void Add(std::string_view name, uint64_t delta = 1) {
+    counter(name)->Add(delta);
+  }
+  void Set(std::string_view name, uint64_t value) { counter(name)->Set(value); }
+  void Record(std::string_view name, uint64_t value) {
+    histogram(name)->Record(value);
+  }
+
+  /// Value of a counter, or 0 if it was never touched.
+  uint64_t CounterValue(std::string_view name) const;
+  /// True if the named histogram exists (was recorded to at least once).
+  bool HasHistogram(std::string_view name) const;
+
+  std::map<std::string, uint64_t> CounterSnapshot() const;
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+
+  /// Appends `"counters":{...},"histograms":{...}` (no surrounding braces)
+  /// to `out` — the fragment ObservabilityContext::ToJson composes.
+  void AppendJson(std::string* out) const;
+
+  /// Appends an indented human-readable listing.
+  void AppendTree(std::string* out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_OBS_METRICS_H_

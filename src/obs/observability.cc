@@ -1,0 +1,21 @@
+#include "obs/observability.h"
+
+namespace dialite {
+
+std::string ObservabilityContext::ToJson() const {
+  std::string out = "{";
+  metrics_.AppendJson(&out);
+  out += ',';
+  tracer_.AppendJson(&out);
+  out += '}';
+  return out;
+}
+
+std::string ObservabilityContext::ToTreeString() const {
+  std::string out;
+  tracer_.AppendTree(&out);
+  metrics_.AppendTree(&out);
+  return out;
+}
+
+}  // namespace dialite

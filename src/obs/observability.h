@@ -1,0 +1,90 @@
+#ifndef DIALITE_OBS_OBSERVABILITY_H_
+#define DIALITE_OBS_OBSERVABILITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace dialite {
+
+/// One observability session: the metrics registry and span tracer every
+/// instrumented layer (discovery builders, matcher, integration, thread
+/// pool, sketch cache, CSV ingest) writes into, exportable as one JSON
+/// document or a human-readable report.
+///
+/// Usage:
+///   ObservabilityContext obs;
+///   dialite.set_observability(&obs);
+///   dialite.BuildIndexes();
+///   dialite.Run(query, options);
+///   std::cout << obs.ToJson();        // machines (BENCH_*.json trajectories)
+///   std::cout << obs.ToTreeString();  // humans
+///
+/// Disabled fast path: every instrumentation site takes a nullable
+/// ObservabilityContext* and costs exactly one pointer test when it is
+/// null — no locks, no clock reads, no allocation. All members are
+/// thread-safe when enabled.
+class ObservabilityContext {
+ public:
+  ObservabilityContext() = default;
+  ObservabilityContext(const ObservabilityContext&) = delete;
+  ObservabilityContext& operator=(const ObservabilityContext&) = delete;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// {"counters":{...},"histograms":{...},"spans":[...]}
+  std::string ToJson() const;
+
+  /// Indented span tree followed by counter/histogram listings.
+  std::string ToTreeString() const;
+
+ private:
+  Metrics metrics_;
+  Tracer tracer_;
+};
+
+// ------------------------------------------------------- null-safe helpers
+
+/// Bumps a named counter; no-op on a null context.
+inline void ObsAdd(ObservabilityContext* obs, std::string_view name,
+                   uint64_t delta = 1) {
+  if (obs != nullptr) obs->metrics().Add(name, delta);
+}
+
+/// Overwrites a named counter (gauge semantics); no-op on a null context.
+inline void ObsSet(ObservabilityContext* obs, std::string_view name,
+                   uint64_t value) {
+  if (obs != nullptr) obs->metrics().Set(name, value);
+}
+
+/// Records a histogram sample; no-op on a null context.
+inline void ObsRecord(ObservabilityContext* obs, std::string_view name,
+                      uint64_t value) {
+  if (obs != nullptr) obs->metrics().Record(name, value);
+}
+
+/// Counter pointer for hot loops (cache it, Add without lookups); null on a
+/// null context.
+inline Counter* ObsCounter(ObservabilityContext* obs, std::string_view name) {
+  return obs != nullptr ? obs->metrics().counter(name) : nullptr;
+}
+
+/// RAII span over a nullable context: inert (one branch, no clocks) when
+/// the context is null.
+class ObsSpan {
+ public:
+  ObsSpan(ObservabilityContext* obs, std::string_view name)
+      : span_(obs != nullptr ? &obs->tracer() : nullptr, name) {}
+
+ private:
+  ScopedSpan span_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_OBS_OBSERVABILITY_H_

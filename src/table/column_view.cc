@@ -1,7 +1,5 @@
 #include "table/column_view.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <cstring>
 #include <unordered_set>
 
@@ -47,19 +45,10 @@ bool ColumnView::AsNumericAt(size_t r, double* out) const {
     case CellKind::kDouble:
       *out = double_at(r);
       return true;
-    case CellKind::kString: {
-      std::string_view s = string_at(r);
-      if (s.empty()) return false;
-      // Dictionary views span whole std::strings, so s.data() is
-      // null-terminated — strtod is safe without copying.
-      errno = 0;
-      char* end = nullptr;
-      double v = std::strtod(s.data(), &end);
-      if (errno != 0 || end == s.data()) return false;
-      if (!TrimView(std::string_view(end)).empty()) return false;
-      *out = v;
-      return true;
-    }
+    case CellKind::kString:
+      // Strict finite-decimal grammar shared with Value::AsNumeric and CSV
+      // inference — "0x1A"/"inf"/"nan" are text, not numbers.
+      return ParseStrictNumeric(string_at(r), out);
   }
   return false;
 }

@@ -30,23 +30,24 @@ std::vector<std::vector<std::string>> SplitRecords(std::string_view text,
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  // True once any field of the current record was *present* — non-empty
+  // text or an explicit quoted field (so a lone "" is a one-field record,
+  // not a blank line).
+  bool record_started = false;
   auto end_field = [&] {
+    record_started |= field_started || !field.empty();
     fields.push_back(std::move(field));
     field.clear();
     field_started = false;
   };
   auto end_record = [&] {
     end_field();
-    // Skip records that are entirely empty (blank lines).
-    bool all_empty = true;
-    for (const std::string& f : fields) {
-      if (!f.empty()) {
-        all_empty = false;
-        break;
-      }
+    // Skip records with no field present at all (blank lines).
+    if (fields.size() > 1 || record_started) {
+      records.push_back(std::move(fields));
     }
-    if (!(fields.size() == 1 && all_empty)) records.push_back(std::move(fields));
     fields.clear();
+    record_started = false;
   };
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
@@ -76,7 +77,7 @@ std::vector<std::vector<std::string>> SplitRecords(std::string_view text,
       field_started = true;
     }
   }
-  if (!field.empty() || !fields.empty()) {
+  if (!field.empty() || field_started || !fields.empty()) {
     if (!field.empty() && field.back() == '\r') field.pop_back();
     end_record();
   }
@@ -98,12 +99,25 @@ std::string EscapeField(const std::string& s, char delim) {
   return out;
 }
 
-}  // namespace
+/// Per-parse ingest tally, flushed into csv.* counters once per Parse.
+struct CsvTally {
+  uint64_t cells = 0;
+  uint64_t null_cells = 0;
+  uint64_t na_coercions = 0;          ///< NA-string → missing-null coercions
+  uint64_t inference_fallbacks = 0;   ///< non-null cells that stayed String
+};
 
-Value InferValue(std::string_view raw, const CsvOptions& options) {
+Value InferValueTallied(std::string_view raw, const CsvOptions& options,
+                        CsvTally* tally) {
+  ++tally->cells;
   std::string_view s = TrimView(raw);
-  if (s.empty()) return Value::Null(NullKind::kMissing);
+  if (s.empty()) {
+    ++tally->null_cells;
+    return Value::Null(NullKind::kMissing);
+  }
   if (options.treat_na_strings_as_null && IsNaString(s)) {
+    ++tally->null_cells;
+    ++tally->na_coercions;
     return Value::Null(NullKind::kMissing);
   }
   if (!options.infer_types) return Value::String(std::string(s));
@@ -115,24 +129,38 @@ Value InferValue(std::string_view raw, const CsvOptions& options) {
     char* end = nullptr;
     long long v = std::strtoll(buf.c_str(), &end, 10);
     if (errno == 0 && end != buf.c_str() && *end == '\0') {
+      // Unsigned tokens with a leading zero ("02134", "007") are codes, not
+      // numbers — keep the text so it survives a CSV round-trip.
+      if (s.size() > 1 && s[0] == '0') {
+        ++tally->inference_fallbacks;
+        return Value::String(std::string(s));
+      }
       return Value::Int(static_cast<int64_t>(v));
     }
   }
-  // Double?
+  // Double? Strict finite decimals only — strtod's extras ("0x1A", "inf",
+  // "nan", overflow to ±inf) stay strings (shared grammar with
+  // Value::AsNumeric and ColumnView::AsNumericAt).
   {
-    std::string buf(s);
-    errno = 0;
-    char* end = nullptr;
-    double v = std::strtod(buf.c_str(), &end);
-    if (errno == 0 && end != buf.c_str() && *end == '\0') {
-      return Value::Double(v);
-    }
+    double v;
+    if (ParseStrictNumeric(s, &v)) return Value::Double(v);
   }
+  ++tally->inference_fallbacks;
   return Value::String(std::string(s));
+}
+
+}  // namespace
+
+Value InferValue(std::string_view raw, const CsvOptions& options) {
+  CsvTally tally;
+  return InferValueTallied(raw, options, &tally);
 }
 
 Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
                                const CsvOptions& options) {
+  ObservabilityContext* obs = options.observability;
+  ObsSpan parse_span(obs, "csv.parse");
+  CsvTally tally;
   std::vector<std::vector<std::string>> records =
       SplitRecords(text, options.delimiter);
   if (records.empty()) {
@@ -161,14 +189,27 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
     row.reserve(width);
     for (size_t c = 0; c < width; ++c) {
       if (c < records[r].size()) {
-        row.push_back(InferValue(records[r][c], options));
+        row.push_back(InferValueTallied(records[r][c], options, &tally));
       } else {
+        // Short records pad with missing nulls (ragged open-data exports).
+        ++tally.cells;
+        ++tally.null_cells;
         row.push_back(Value::Null(NullKind::kMissing));
       }
     }
     DIALITE_RETURN_NOT_OK(table.AddRow(std::move(row)));
   }
   if (options.infer_types) table.RefreshColumnTypes();
+  if (obs != nullptr) {
+    Metrics& m = obs->metrics();
+    m.Add("csv.records", records.size());
+    m.Add("csv.rows", table.num_rows());
+    m.Add("csv.cells", tally.cells);
+    m.Add("csv.null_cells", tally.null_cells);
+    m.Add("csv.na_coercions", tally.na_coercions);
+    m.Add("csv.inference_fallbacks", tally.inference_fallbacks);
+    m.Record("csv.table_rows", table.num_rows());
+  }
   return table;
 }
 
@@ -199,10 +240,14 @@ std::string CsvWriter::ToString(const Table& table, const CsvOptions& options) {
   cols.reserve(table.num_columns());
   for (size_t c = 0; c < table.num_columns(); ++c) cols.push_back(table.column(c));
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    const size_t start = out.size();
     for (size_t c = 0; c < cols.size(); ++c) {
       if (c > 0) out += options.delimiter;
       out += EscapeField(cols[c].CsvStringAt(r), options.delimiter);
     }
+    // A row that rendered as nothing (single column, null value) would
+    // read back as a blank line and vanish; "" keeps it a one-field record.
+    if (out.size() == start) out += "\"\"";
     out += '\n';
   }
   return out;

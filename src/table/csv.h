@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "obs/observability.h"
 #include "table/table.h"
 
 namespace dialite {
@@ -21,6 +22,10 @@ struct CsvOptions {
   /// Cell texts (post-trim) treated as missing nulls, besides "".
   /// The paper's figures use "±" for input nulls.
   bool treat_na_strings_as_null = true;
+  /// Observability sink for ingest spans/counters (csv.records, csv.rows,
+  /// csv.cells, csv.null_cells, csv.na_coercions, csv.inference_fallbacks).
+  /// Null = disabled, the default.
+  ObservabilityContext* observability = nullptr;
 };
 
 class CsvReader {

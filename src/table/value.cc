@@ -1,8 +1,5 @@
 #include "table/value.h"
 
-#include <cerrno>
-#include <cstdlib>
-
 #include "common/string_util.h"
 
 namespace dialite {
@@ -38,16 +35,9 @@ bool Value::AsNumeric(double* out) const {
     return true;
   }
   if (is_string()) {
-    const std::string& s = as_string();
-    if (s.empty()) return false;
-    errno = 0;
-    char* end = nullptr;
-    double v = std::strtod(s.c_str(), &end);
-    if (errno != 0 || end == s.c_str()) return false;
-    // Accept trailing whitespace only.
-    if (!TrimView(std::string_view(end)).empty()) return false;
-    *out = v;
-    return true;
+    // Strict finite-decimal grammar shared with CSV inference and
+    // ColumnView::AsNumericAt — "0x1A"/"inf"/"nan" are text, not numbers.
+    return ParseStrictNumeric(as_string(), out);
   }
   return false;
 }

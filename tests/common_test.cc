@@ -262,5 +262,58 @@ TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+
+// ------------------------------------------------- ParseStrictNumeric
+
+TEST(ParseStrictNumericTest, AcceptsFiniteDecimals) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseStrictNumeric("42", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  EXPECT_TRUE(ParseStrictNumeric("-7.5", &v));
+  EXPECT_DOUBLE_EQ(v, -7.5);
+  EXPECT_TRUE(ParseStrictNumeric("+3", &v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
+  EXPECT_TRUE(ParseStrictNumeric(".5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseStrictNumeric("2.", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(ParseStrictNumeric("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_TRUE(ParseStrictNumeric("6.02E+23", &v));
+  EXPECT_TRUE(ParseStrictNumeric("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 0.001);
+  EXPECT_TRUE(ParseStrictNumeric("  42  ", &v));  // surrounding whitespace
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(ParseStrictNumericTest, RejectsStrtodExtras) {
+  // strtod accepts all of these; the strict grammar must not.
+  double v = 0.0;
+  EXPECT_FALSE(ParseStrictNumeric("0x1A", &v));     // hex float
+  EXPECT_FALSE(ParseStrictNumeric("0X1p4", &v));    // hex float with exponent
+  EXPECT_FALSE(ParseStrictNumeric("inf", &v));
+  EXPECT_FALSE(ParseStrictNumeric("-inf", &v));
+  EXPECT_FALSE(ParseStrictNumeric("infinity", &v));
+  EXPECT_FALSE(ParseStrictNumeric("nan", &v));
+  EXPECT_FALSE(ParseStrictNumeric("nan(0x1)", &v));
+  EXPECT_FALSE(ParseStrictNumeric("1e999", &v));    // overflows to +inf
+  EXPECT_FALSE(ParseStrictNumeric("-1e999", &v));
+}
+
+TEST(ParseStrictNumericTest, RejectsMalformed) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseStrictNumeric("", &v));
+  EXPECT_FALSE(ParseStrictNumeric("   ", &v));
+  EXPECT_FALSE(ParseStrictNumeric(".", &v));
+  EXPECT_FALSE(ParseStrictNumeric("+", &v));
+  EXPECT_FALSE(ParseStrictNumeric("e5", &v));
+  EXPECT_FALSE(ParseStrictNumeric("1e", &v));
+  EXPECT_FALSE(ParseStrictNumeric("1e+", &v));
+  EXPECT_FALSE(ParseStrictNumeric("1.2.3", &v));
+  EXPECT_FALSE(ParseStrictNumeric("12abc", &v));
+  EXPECT_FALSE(ParseStrictNumeric("1 2", &v));
+  EXPECT_FALSE(ParseStrictNumeric("--5", &v));
+}
+
 }  // namespace
 }  // namespace dialite

@@ -146,5 +146,106 @@ TEST(InferValueTest, Kinds) {
   EXPECT_EQ(InferValue(" Berlin ").as_string(), "Berlin");
 }
 
+
+// ------------------------------------------------ ingest bugfix regressions
+
+// Regression: a record consisting of a single quoted empty field ("") was
+// dropped as a blank line, silently losing the row.
+TEST(CsvReaderTest, QuotedEmptySingleFieldRecordKept) {
+  auto r = CsvReader::Parse("a\n\"\"\nx\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_TRUE(r->at(0, 0).is_null());  // the "" row survives as a null
+  EXPECT_EQ(r->at(1, 0).as_string(), "x");
+}
+
+// Same record at EOF without a trailing newline.
+TEST(CsvReaderTest, QuotedEmptyRecordAtEofKept) {
+  auto r = CsvReader::Parse("a\nx\n\"\"", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_TRUE(r->at(1, 0).is_null());
+}
+
+// A quoted empty field mid-record never was at risk, but pin it down.
+TEST(CsvReaderTest, QuotedEmptyFieldAmongOthers) {
+  auto r = CsvReader::Parse("a,b,c\n\"\",2,\"\"\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_TRUE(r->at(0, 0).is_null());
+  EXPECT_EQ(r->at(0, 1).as_int(), 2);
+  EXPECT_TRUE(r->at(0, 2).is_null());
+}
+
+// Regression: strtod-based inference accepted hex floats, infinities, NaN
+// spellings, and overflowing exponents as Doubles.
+TEST(InferValueTest, StrtodExtrasStayStrings) {
+  EXPECT_EQ(InferValue("0x1A").as_string(), "0x1A");
+  EXPECT_EQ(InferValue("0X1p4").as_string(), "0X1p4");
+  EXPECT_EQ(InferValue("inf").as_string(), "inf");
+  EXPECT_EQ(InferValue("Infinity").as_string(), "Infinity");
+  EXPECT_EQ(InferValue("1e999").as_string(), "1e999");
+  EXPECT_EQ(InferValue("-1e999").as_string(), "-1e999");
+  // "nan" is an NA-string (null), not a number.
+  EXPECT_TRUE(InferValue("nan").is_missing_null());
+  // With NA handling off it must still not become a Double.
+  CsvOptions no_na;
+  no_na.treat_na_strings_as_null = false;
+  EXPECT_EQ(InferValue("nan", no_na).as_string(), "nan");
+}
+
+// Regression: leading-zero codes ("02134", "007") were coerced to Int,
+// destroying identifiers like ZIP codes on a round-trip.
+TEST(InferValueTest, LeadingZeroCodesStayStrings) {
+  EXPECT_EQ(InferValue("02134").as_string(), "02134");
+  EXPECT_EQ(InferValue("007").as_string(), "007");
+  EXPECT_EQ(InferValue("00").as_string(), "00");
+  // Plain zero and decimals with a leading zero are still numbers.
+  EXPECT_EQ(InferValue("0").as_int(), 0);
+  EXPECT_DOUBLE_EQ(InferValue("0.5").as_double(), 0.5);
+  // Signed variants parse as ints (codes are unsigned by convention).
+  EXPECT_EQ(InferValue("-07").as_int(), -7);
+}
+
+TEST(CsvWriterTest, LeadingZeroCodesRoundTrip) {
+  auto r1 = CsvReader::Parse("zip,city\n02134,Boston\n10001,NYC\n", "t");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->at(0, 0).as_string(), "02134");
+  std::string csv = CsvWriter::ToString(*r1);
+  EXPECT_NE(csv.find("02134"), std::string::npos);
+  auto r2 = CsvReader::Parse(csv, "t2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r1->SameRowsAs(*r2));
+}
+
+// ------------------------------------------------- round-trip properties
+
+/// parse(write(parse(text))) must equal parse(text) for tables exercising
+/// every quoting feature: embedded delimiters, quotes, newlines, CRLF,
+/// trailing delimiters (empty last field), and quoted-empty fields.
+TEST(CsvRoundTripTest, QuotingFeatures) {
+  const char* cases[] = {
+      "a,b\nx \"quoted\",\"with,comma\"\n",
+      "a,b\n\"multi\nline\",2\n",
+      "a,b\r\n1,2\r\n3,4\r\n",
+      "a,b,c\n1,2,\n",             // trailing delimiter -> empty last field
+      "a\n\"\"\n",                 // quoted-empty record
+      "a,b\n\"he said \"\"hi\"\"\",2\n",
+      "a,b\n ,\"  \"\n",           // whitespace-only fields
+  };
+  for (const char* text : cases) {
+    auto r1 = CsvReader::Parse(text, "t");
+    ASSERT_TRUE(r1.ok()) << text;
+    std::string csv = CsvWriter::ToString(*r1);
+    auto r2 = CsvReader::Parse(csv, "t");
+    ASSERT_TRUE(r2.ok()) << text;
+    EXPECT_TRUE(r1->SameRowsAs(*r2))
+        << "round trip changed rows for: " << text << "\nrewritten: " << csv;
+    // And a second trip is a fixed point.
+    std::string csv2 = CsvWriter::ToString(*r2);
+    EXPECT_EQ(csv, csv2) << text;
+  }
+}
+
 }  // namespace
 }  // namespace dialite

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/dialite.h"
+#include "lake/paper_fixtures.h"
+#include "obs/observability.h"
+
+namespace dialite {
+namespace {
+
+// These tests hammer one ObservabilityContext from many threads; they run
+// under the "concurrency" ctest label so CI exercises them under TSan.
+
+TEST(ObsConcurrencyTest, CountersAreExactUnderContention) {
+  ObservabilityContext obs;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&obs] {
+      Counter* c = ObsCounter(&obs, "shared.counter");
+      for (size_t i = 0; i < kPerThread; ++i) {
+        c->Add();
+        ObsAdd(&obs, "looked.up.counter");
+        ObsRecord(&obs, "shared.hist", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs.metrics().CounterValue("shared.counter"),
+            kThreads * kPerThread);
+  EXPECT_EQ(obs.metrics().CounterValue("looked.up.counter"),
+            kThreads * kPerThread);
+  auto hists = obs.metrics().HistogramSnapshots();
+  EXPECT_EQ(hists.at("shared.hist").count, kThreads * kPerThread);
+}
+
+TEST(ObsConcurrencyTest, SpansFromManyThreads) {
+  ObservabilityContext obs;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&obs] {
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        ObsSpan outer(&obs, "worker.outer");
+        ObsSpan inner(&obs, "worker.inner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Each outer is a root; each inner nests under its same-thread outer.
+  EXPECT_EQ(obs.tracer().root_count(), kThreads * kSpansPerThread);
+  EXPECT_TRUE(obs.tracer().HasSpan("worker.inner"));
+}
+
+TEST(ObsConcurrencyTest, ExportWhileWritersRun) {
+  ObservabilityContext obs;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ObsAdd(&obs, "w.counter");
+        ObsRecord(&obs, "w.hist", ++i);
+        ObsSpan span(&obs, "w.span");
+      }
+    });
+  }
+  // Concurrent readers must not tear or race with the writers.
+  for (size_t i = 0; i < 50; ++i) {
+    std::string json = obs.ToJson();
+    EXPECT_FALSE(json.empty());
+    std::string tree = obs.ToTreeString();
+    (void)tree;
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+}
+
+TEST(ObsConcurrencyTest, InstrumentedThreadPool) {
+  ObservabilityContext obs;
+  ThreadPool pool(4, &obs);
+  std::atomic<size_t> done{0};
+  pool.ParallelFor(1000, [&](size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 1000u);
+  EXPECT_GT(obs.metrics().CounterValue("threadpool.tasks_run"), 0u);
+  EXPECT_TRUE(obs.metrics().HasHistogram("threadpool.queue_depth"));
+  EXPECT_TRUE(obs.metrics().HasHistogram("threadpool.task_wait_ns"));
+}
+
+TEST(ObsConcurrencyTest, ParallelIndexBuildWithObservability) {
+  // The whole offline phase — parallel builders, shared sketch cache,
+  // thread pool — writing into one context.
+  DataLake lake = paper::MakeDemoLake(6);
+  Dialite dialite(&lake);
+  ASSERT_TRUE(dialite.RegisterDefaults().ok());
+  ObservabilityContext obs;
+  dialite.set_observability(&obs);
+  dialite.set_num_threads(4);
+  ASSERT_TRUE(dialite.BuildIndexes().ok());
+  EXPECT_TRUE(obs.tracer().HasSpan("pipeline.build_indexes"));
+  EXPECT_TRUE(obs.tracer().HasSpan("build.santos"));
+  EXPECT_GT(obs.metrics().CounterValue("discover.santos.build.tables"), 0u);
+  EXPECT_GT(obs.metrics().CounterValue("threadpool.tasks_run"), 0u);
+  std::string json = obs.ToJson();
+  EXPECT_NE(json.find("build.santos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "sketch/hyperloglog.h"
 #include "sketch/lsh_ensemble.h"
 #include "sketch/lsh_index.h"
 #include "sketch/minhash.h"
@@ -186,6 +188,63 @@ TEST(LshEnsembleTest, EmptyQueryReturnsEmpty) {
   ASSERT_TRUE(ens.Add(1, MakeTokens(0, 5, "a")).ok());
   ASSERT_TRUE(ens.Build().ok());
   EXPECT_TRUE(ens.Query({}, 0.5).empty());
+}
+
+
+// ---------------------------------------------------------- HyperLogLog
+
+// In the small range (raw estimate <= 2.5m with empty registers) the
+// estimator switches to linear counting, which is near-exact: for n far
+// below m = 2^p the relative error should be well under the ~1.04/sqrt(m)
+// asymptotic bound.
+TEST(HyperLogLogTest, LinearCountingSmallRangeAccuracy) {
+  HyperLogLog hll(12);  // m = 4096 registers
+  const size_t n = 100;
+  for (size_t i = 0; i < n; ++i) hll.Add("item_" + std::to_string(i));
+  const double est = hll.Estimate();
+  EXPECT_NEAR(est, static_cast<double>(n), 0.05 * n)
+      << "linear counting should be within 5% at n=" << n;
+}
+
+TEST(HyperLogLogTest, SmallRangeAcrossSizes) {
+  // Accuracy holds across the whole linear-counting regime.
+  for (size_t n : {10u, 50u, 500u, 2000u}) {
+    HyperLogLog hll(12);
+    for (size_t i = 0; i < n; ++i) hll.Add("v" + std::to_string(i));
+    const double est = hll.Estimate();
+    const double tolerance = std::max(2.0, 0.1 * static_cast<double>(n));
+    EXPECT_NEAR(est, static_cast<double>(n), tolerance) << "n=" << n;
+  }
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (size_t rep = 0; rep < 10; ++rep) {
+    for (size_t i = 0; i < 64; ++i) hll.Add("dup_" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 64.0, 5.0);
+}
+
+TEST(HyperLogLogTest, LargeRangeWithinAsymptoticError) {
+  HyperLogLog hll(12);
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) hll.Add("big_" + std::to_string(i));
+  // ~1.04/sqrt(4096) = 1.6%; allow 3x slack for one fixed seed.
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(n), 0.05 * n);
+}
+
+TEST(HyperLogLogTest, MergeMatchesUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (size_t i = 0; i < 300; ++i) {
+    a.Add("a" + std::to_string(i));
+    u.Add("a" + std::to_string(i));
+  }
+  for (size_t i = 0; i < 300; ++i) {
+    b.Add("b" + std::to_string(i));
+    u.Add("b" + std::to_string(i));
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
 }
 
 }  // namespace
