@@ -86,9 +86,10 @@ int main() {
         f_sum += prf.f1;
         ++sets;
       }
-      double f1 = f_sum / sets;
+      double f1 = f_sum / static_cast<double>(sets);
       std::printf("%-6.1f | %-15s | %9.3f | %6.3f | %5.3f\n", noise, v.name,
-                  p_sum / sets, r_sum / sets, f1);
+                  p_sum / static_cast<double>(sets),
+                  r_sum / static_cast<double>(sets), f1);
       if (noise == 1.0 && std::string(v.name) == "full") full_f1_noisy = f1;
       if (noise == 1.0 && std::string(v.name) == "header_only") {
         header_f1_noisy = f1;

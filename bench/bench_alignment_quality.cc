@@ -62,9 +62,9 @@ int main() {
       }
     }
     for (size_t m = 0; m < matchers.size(); ++m) {
-      double p = p_sum[m] / sets;
-      double rr = r_sum[m] / sets;
-      double f1 = f1_sum[m] / sets;
+      double p = p_sum[m] / static_cast<double>(sets);
+      double rr = r_sum[m] / static_cast<double>(sets);
+      double f1 = f1_sum[m] / static_cast<double>(sets);
       std::printf("%-6.1f | %-15s | %9.3f | %6.3f | %5.3f\n", noise,
                   matchers[m]->name().c_str(), p, rr, f1);
       if (noise == 1.0) {

@@ -137,16 +137,20 @@ int main() {
   }
 
   // Shape checks (who should win where).
-  double santos_union = union_m["santos"].queries
-                            ? union_m["santos"].map / union_m["santos"].queries
-                            : 0;
+  double santos_union =
+      union_m["santos"].queries
+          ? union_m["santos"].map /
+                static_cast<double>(union_m["santos"].queries)
+          : 0;
   double lsh_join =
       join_m["lsh_ensemble"].queries
-          ? join_m["lsh_ensemble"].r_at_k / join_m["lsh_ensemble"].queries
+          ? join_m["lsh_ensemble"].r_at_k /
+                static_cast<double>(join_m["lsh_ensemble"].queries)
           : 0;
-  double josie_join = join_m["josie"].queries
-                          ? join_m["josie"].r_at_k / join_m["josie"].queries
-                          : 0;
+  double josie_join =
+      join_m["josie"].queries
+          ? join_m["josie"].r_at_k / static_cast<double>(join_m["josie"].queries)
+          : 0;
   std::printf("\nshape: SANTOS MAP on unionable %.3f (expect clearly > 0)\n",
               santos_union);
   std::printf("shape: LSH Ensemble R@%zu on joinable %.3f, JOSIE %.3f "

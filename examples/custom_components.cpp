@@ -64,7 +64,7 @@ int main() {
             if (t.at(r, c).is_produced_null()) ++produced;
             if (t.at(r, c).is_missing_null()) ++missing;
           }
-          DIALITE_RETURN_NOT_OK(
+          DIALITE_RETURN_IF_ERROR(
               out.AddRow({Value::String(t.schema().column(c).name),
                           Value::Int(produced), Value::Int(missing)}));
         }

@@ -26,8 +26,8 @@ namespace {
 /// dominate and are rebuilt either way).
 dialite::Status RegisterPersistent(dialite::Dialite* d) {
   using namespace dialite;
-  DIALITE_RETURN_NOT_OK(d->RegisterDiscovery(std::make_unique<SantosSearch>()));
-  DIALITE_RETURN_NOT_OK(d->RegisterDiscovery(std::make_unique<JosieSearch>()));
+  DIALITE_RETURN_IF_ERROR(d->RegisterDiscovery(std::make_unique<SantosSearch>()));
+  DIALITE_RETURN_IF_ERROR(d->RegisterDiscovery(std::make_unique<JosieSearch>()));
   return Status::OK();
 }
 

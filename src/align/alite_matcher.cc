@@ -206,7 +206,7 @@ Result<Alignment> AliteMatcher::Align(
     }
     out.AddCluster(std::move(members), std::move(display));
   }
-  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  DIALITE_RETURN_IF_ERROR(out.Validate(tables));
   return out;
 }
 
@@ -254,7 +254,7 @@ Result<Alignment> NameMatcher::Align(
   for (Cluster& cl : clusters) {
     out.AddCluster(std::move(cl.members), std::move(cl.display));
   }
-  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  DIALITE_RETURN_IF_ERROR(out.Validate(tables));
   return out;
 }
 
@@ -295,7 +295,7 @@ Result<Alignment> ManualAlignment::Align(
       }
     }
   }
-  DIALITE_RETURN_NOT_OK(out.Validate(tables));
+  DIALITE_RETURN_IF_ERROR(out.Validate(tables));
   return out;
 }
 

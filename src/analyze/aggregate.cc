@@ -228,7 +228,7 @@ Result<Table> Aggregate(const Table& t,
     for (size_t i = 0; i < aggs.size(); ++i) {
       row.push_back(g.accs[i].Finish(aggs[i].fn));
     }
-    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row)));
+    DIALITE_RETURN_IF_ERROR(out.AddRow(std::move(row)));
   }
   out.RefreshColumnTypes();
   return out;

@@ -173,7 +173,7 @@ Result<ErOutcome> EntityResolver::Resolve(const Table& table) const {
     }
     std::sort(prov.begin(), prov.end());
     prov.erase(std::unique(prov.begin(), prov.end()), prov.end());
-    DIALITE_RETURN_NOT_OK(resolved.AddRow(std::move(merged), std::move(prov)));
+    DIALITE_RETURN_IF_ERROR(resolved.AddRow(std::move(merged), std::move(prov)));
   }
   resolved.RefreshColumnTypes();
   out.resolved = std::move(resolved);

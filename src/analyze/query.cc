@@ -126,9 +126,9 @@ Result<Table> RunQuery(const Table& table, const QuerySpec& spec) {
     row.reserve(select_cols.size());
     for (size_t c : select_cols) row.push_back(table.at(r, c));
     if (table.has_provenance()) {
-      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row), table.provenance(r)));
+      DIALITE_RETURN_IF_ERROR(out.AddRow(std::move(row), table.provenance(r)));
     } else {
-      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row)));
+      DIALITE_RETURN_IF_ERROR(out.AddRow(std::move(row)));
     }
   }
   out.RefreshColumnTypes();

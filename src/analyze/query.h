@@ -55,7 +55,7 @@ struct QuerySpec {
 };
 
 /// True iff the row's `cell` satisfies `<op> operand`.
-bool EvaluatePredicate(const Value& cell, CompareOp op, const Value& operand);
+[[nodiscard]] bool EvaluatePredicate(const Value& cell, CompareOp op, const Value& operand);
 
 /// Executes the query; provenance follows the selected rows. Unknown
 /// column names yield NotFound.

@@ -175,7 +175,7 @@ Result<double> PearsonCorrelation(const Table& t, const std::string& col_a,
                                   const std::string& col_b) {
   std::vector<double> xs;
   std::vector<double> ys;
-  DIALITE_RETURN_NOT_OK(GatherPairs(t, col_a, col_b, &xs, &ys));
+  DIALITE_RETURN_IF_ERROR(GatherPairs(t, col_a, col_b, &xs, &ys));
   return PearsonOfVectors(xs, ys);
 }
 
@@ -183,7 +183,7 @@ Result<double> SpearmanCorrelation(const Table& t, const std::string& col_a,
                                    const std::string& col_b) {
   std::vector<double> xs;
   std::vector<double> ys;
-  DIALITE_RETURN_NOT_OK(GatherPairs(t, col_a, col_b, &xs, &ys));
+  DIALITE_RETURN_IF_ERROR(GatherPairs(t, col_a, col_b, &xs, &ys));
   if (xs.size() < 2) {
     return Status::InvalidArgument("fewer than 2 numeric pairs");
   }

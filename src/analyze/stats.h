@@ -23,11 +23,11 @@ struct NumericSummary {
 /// "263k" → 263000, "2,500" → 2500, plain numbers as-is. Returns false for
 /// nulls and non-numeric text. This is what lets the Example 3 analysis run
 /// over the paper's literal cell values.
-bool ParseNumericLoose(const Value& v, double* out);
+[[nodiscard]] bool ParseNumericLoose(const Value& v, double* out);
 
 /// Column-view form of ParseNumericLoose: reads the cell at row `r` without
 /// materializing a Value (string cells parse straight from the dictionary).
-bool ParseNumericLooseAt(const ColumnView& col, size_t r, double* out);
+[[nodiscard]] bool ParseNumericLooseAt(const ColumnView& col, size_t r, double* out);
 
 /// Summary of column `name` (loose parsing). NotFound if absent,
 /// InvalidArgument if no row parses.

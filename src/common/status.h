@@ -35,7 +35,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 ///   Status s = Status::InvalidArgument("k must be positive");
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status by value
+/// is a compile error to ignore. Use DIALITE_RETURN_IF_ERROR to propagate, or
+/// assign to a named variable and handle it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,12 +78,12 @@ class Status {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "Ok" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -98,8 +102,11 @@ class Status {
 ///   Result<Table> r = CsvReader::ReadFile(path);
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
+///
+/// Like Status, Result is a [[nodiscard]] type: dropping one on the floor is
+/// a compile error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success) or a Status (failure) keeps
   /// call sites terse: `return table;` / `return Status::IoError(...)`.
@@ -108,8 +115,8 @@ class Result {
     assert(!status_.ok() && "Result(Status) requires a non-OK status");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Value accessors. Calling these on a failed Result is a programming
   /// error (asserts in debug builds).
@@ -141,11 +148,20 @@ class Result {
 
 }  // namespace dialite
 
-/// Propagates a non-OK Status from an expression, RocksDB-style.
-#define DIALITE_RETURN_NOT_OK(expr)                  \
+/// Propagates a non-OK Status from an expression, RocksDB-style:
+///
+///   DIALITE_RETURN_IF_ERROR(WriteHeader(out));
+///
+/// Works for any expression convertible to Status. The enclosing function
+/// must itself return Status (or a Result<T>, which implicitly converts from
+/// a non-OK Status).
+#define DIALITE_RETURN_IF_ERROR(expr)                \
   do {                                               \
-    ::dialite::Status _st = (expr);                  \
-    if (!_st.ok()) return _st;                       \
+    ::dialite::Status _dialite_st = (expr);          \
+    if (!_dialite_st.ok()) return _dialite_st;       \
   } while (false)
+
+/// Legacy spelling of DIALITE_RETURN_IF_ERROR; prefer the _IF_ERROR form.
+#define DIALITE_RETURN_NOT_OK(expr) DIALITE_RETURN_IF_ERROR(expr)
 
 #endif  // DIALITE_COMMON_STATUS_H_

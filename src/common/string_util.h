@@ -21,14 +21,14 @@ std::vector<std::string> Split(std::string_view s, char delim);
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// True if `s` begins with / ends with the given affix.
-bool StartsWith(std::string_view s, std::string_view prefix);
-bool EndsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Case-insensitive (ASCII) equality.
-bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 /// True if `needle` occurs in `haystack` ignoring ASCII case.
-bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+[[nodiscard]] bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 
 /// Formats a double with up to `precision` significant decimals, trimming
 /// trailing zeros ("3.14", "2", "0.5").
@@ -42,7 +42,7 @@ std::string FormatDouble(double v, int precision = 6);
 /// The single numeric grammar shared by CSV type inference,
 /// Value::AsNumeric, and ColumnView::AsNumericAt, so the three parsers
 /// cannot drift.
-bool ParseStrictNumeric(std::string_view s, double* out);
+[[nodiscard]] bool ParseStrictNumeric(std::string_view s, double* out);
 
 }  // namespace dialite
 

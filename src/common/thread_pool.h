@@ -66,7 +66,7 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// True when the calling thread is one of this pool's workers.
-  bool InWorkerThread() const;
+  [[nodiscard]] bool InWorkerThread() const;
 
  private:
   void WorkerLoop();

@@ -35,7 +35,7 @@ Result<Table> SummaryAnalysis(const Table& t) {
     const std::string& name = t.schema().column(c).name;
     Result<NumericSummary> s = SummarizeColumn(t, name);
     if (!s.ok()) continue;  // non-numeric column
-    DIALITE_RETURN_NOT_OK(out.AddRow(
+    DIALITE_RETURN_IF_ERROR(out.AddRow(
         {Value::String(name), Value::Int(static_cast<int64_t>(s->count)),
          Value::Double(s->min), Value::Double(s->max), Value::Double(s->mean),
          Value::Double(s->stddev)}));
@@ -67,32 +67,32 @@ size_t EffectiveThreads(size_t num_threads) {
 Dialite::Dialite(const DataLake* lake) : lake_(lake) {}
 
 Status Dialite::RegisterDefaults() {
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<SantosSearch>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<SantosSearch>()));
+  DIALITE_RETURN_IF_ERROR(
       RegisterDiscovery(std::make_unique<LshEnsembleSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<JosieSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<StarmieSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<CocoaSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<TusSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterDiscovery(std::make_unique<KeywordSearch>()));
-  DIALITE_RETURN_NOT_OK(RegisterMatcher(std::make_unique<AliteMatcher>()));
-  DIALITE_RETURN_NOT_OK(RegisterMatcher(std::make_unique<NameMatcher>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<JosieSearch>()));
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<StarmieSearch>()));
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<CocoaSearch>()));
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<TusSearch>()));
+  DIALITE_RETURN_IF_ERROR(RegisterDiscovery(std::make_unique<KeywordSearch>()));
+  DIALITE_RETURN_IF_ERROR(RegisterMatcher(std::make_unique<AliteMatcher>()));
+  DIALITE_RETURN_IF_ERROR(RegisterMatcher(std::make_unique<NameMatcher>()));
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<FullDisjunction>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<ParallelFullDisjunction>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<OuterJoinIntegration>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<InnerJoinIntegration>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<UnionIntegration>()));
-  DIALITE_RETURN_NOT_OK(
+  DIALITE_RETURN_IF_ERROR(
       RegisterIntegration(std::make_unique<MinimumUnionIntegration>()));
-  DIALITE_RETURN_NOT_OK(RegisterAnalysis("summary", SummaryAnalysis));
-  DIALITE_RETURN_NOT_OK(RegisterAnalysis("entity_resolution", ErAnalysis));
-  DIALITE_RETURN_NOT_OK(RegisterAnalysis("correlations", CorrelationAnalysis));
-  DIALITE_RETURN_NOT_OK(RegisterAnalysis(
+  DIALITE_RETURN_IF_ERROR(RegisterAnalysis("summary", SummaryAnalysis));
+  DIALITE_RETURN_IF_ERROR(RegisterAnalysis("entity_resolution", ErAnalysis));
+  DIALITE_RETURN_IF_ERROR(RegisterAnalysis("correlations", CorrelationAnalysis));
+  DIALITE_RETURN_IF_ERROR(RegisterAnalysis(
       "profile", [](const Table& t) -> Result<Table> {
         return ProfileToTable(ProfileTable(t));
       }));
@@ -192,7 +192,7 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
     if (persistent != nullptr && !cache_dir.empty()) {
       std::string path = cache_dir + "/" + algo->name() + ".idx";
       if (persistent->LoadIndex(path, *lake_).ok()) return Status::OK();
-      DIALITE_RETURN_NOT_OK(algo->BuildIndex(*lake_));
+      DIALITE_RETURN_IF_ERROR(algo->BuildIndex(*lake_));
       // Best effort: an unwritable cache must not fail the pipeline.
       Status save = persistent->SaveIndex(path);
       (void)save;
@@ -202,7 +202,7 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
   };
 
   if (threads <= 1 || algos.size() < 2) {
-    for (DiscoveryAlgorithm* a : algos) DIALITE_RETURN_NOT_OK(build_one(a));
+    for (DiscoveryAlgorithm* a : algos) DIALITE_RETURN_IF_ERROR(build_one(a));
   } else {
     std::vector<Status> statuses(algos.size());
     ThreadPool pool(std::min(threads, algos.size()), obs_);
@@ -210,7 +210,7 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
       statuses[i] = build_one(algos[i]);
     });
     // First failure in registry (name) order, matching the serial path.
-    for (const Status& s : statuses) DIALITE_RETURN_NOT_OK(s);
+    for (const Status& s : statuses) DIALITE_RETURN_IF_ERROR(s);
   }
   indexes_built_ = true;
   if (obs_ != nullptr) lake_->sketch_cache().ExportTo(&obs_->metrics());

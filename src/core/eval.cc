@@ -49,10 +49,12 @@ AlignmentMetrics EvaluateAlignment(const Alignment& alignment,
   size_t tp = m.true_positives;
   m.precision = tp + m.false_positives == 0
                     ? 1.0
-                    : static_cast<double>(tp) / (tp + m.false_positives);
+                    : static_cast<double>(tp) /
+                          static_cast<double>(tp + m.false_positives);
   m.recall = tp + m.false_negatives == 0
                  ? 1.0
-                 : static_cast<double>(tp) / (tp + m.false_negatives);
+                 : static_cast<double>(tp) /
+                       static_cast<double>(tp + m.false_negatives);
   m.f1 = m.precision + m.recall == 0
              ? 0.0
              : 2 * m.precision * m.recall / (m.precision + m.recall);

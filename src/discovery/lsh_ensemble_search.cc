@@ -38,7 +38,7 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
       if (toks.size() < params_.min_distinct) continue;
       uint64_t id = columns_.size();
       columns_.emplace_back(t->name(), c);
-      DIALITE_RETURN_NOT_OK(
+      DIALITE_RETURN_IF_ERROR(
           ensemble_.AddSketch(id, toks.size(), (*sigs[i])[c]));
     }
   }

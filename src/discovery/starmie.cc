@@ -29,8 +29,9 @@ std::vector<Embedding> StarmieSearch::ContextualizedColumns(
     Embedding mixed(embedder_.dim(), 0.0f);
     const double g = others == 0 ? 0.0 : params_.context_weight;
     for (size_t d = 0; d < mixed.size(); ++d) {
-      double ctx_mean =
-          others == 0 ? 0.0 : static_cast<double>(ctx[d]) / others;
+      double ctx_mean = others == 0 ? 0.0
+                                    : static_cast<double>(ctx[d]) /
+                                          static_cast<double>(others);
       mixed[d] = static_cast<float>((1.0 - g) * own[c][d] + g * ctx_mean);
     }
     NormalizeEmbedding(&mixed);
@@ -72,7 +73,7 @@ Status StarmieSearch::BuildIndex(const DataLake& lake) {
       if (zero) continue;
       uint64_t id = columns_.size();
       columns_.emplace_back(t->name(), c);
-      DIALITE_RETURN_NOT_OK(index_->Insert(id, vecs[c]));
+      DIALITE_RETURN_IF_ERROR(index_->Insert(id, vecs[c]));
     }
     table_vectors_.emplace(t->name(), std::move(vecs));
   }

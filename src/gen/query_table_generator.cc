@@ -49,9 +49,9 @@ Table MakeCovidCountries(Rng* rng, size_t rows) {
   for (size_t i : picks) {
     int64_t cases = rng->NextInt(50000, 6000000);
     int64_t deaths = cases / rng->NextInt(25, 80);
-    int64_t recovered =
-        static_cast<int64_t>(static_cast<double>(cases - deaths) *
-                             rng->NextDouble() * 0.6 + 0.3 * (cases - deaths));
+    int64_t recovered = static_cast<int64_t>(
+        static_cast<double>(cases - deaths) * rng->NextDouble() * 0.6 +
+        0.3 * static_cast<double>(cases - deaths));
     int64_t active = cases - deaths - recovered;
     (void)t.AddRow({Value::String(w.countries()[i].name), Value::Int(cases),
                     Value::Int(deaths), Value::Int(recovered),

@@ -338,7 +338,7 @@ Status EmitPool(CodedPool pool, const TupleCodec& codec, Table* out) {
     Row row;
     row.reserve(pool.width);
     for (size_t c = 0; c < pool.width; ++c) row.push_back(codec.Decode(src[c]));
-    DIALITE_RETURN_NOT_OK(out->AddRow(std::move(row), std::move(pool.provs[i])));
+    DIALITE_RETURN_IF_ERROR(out->AddRow(std::move(row), std::move(pool.provs[i])));
   }
   out->RefreshColumnTypes();
   return Status::OK();
@@ -374,10 +374,10 @@ Result<Table> RunFd(const std::vector<const Table*>& tables,
   {
     ObsSpan span(obs, "integrate.fd.fixpoint");
     if (mode == FixpointMode::kIndexed) {
-      DIALITE_RETURN_NOT_OK(ComplementFixpointIndexed(&pool, max_tuples,
+      DIALITE_RETURN_IF_ERROR(ComplementFixpointIndexed(&pool, max_tuples,
                                                       &tally));
     } else if (mode == FixpointMode::kNaive) {
-      DIALITE_RETURN_NOT_OK(ComplementFixpointNaive(&pool, max_tuples,
+      DIALITE_RETURN_IF_ERROR(ComplementFixpointNaive(&pool, max_tuples,
                                                     &tally));
     }
   }
@@ -389,7 +389,7 @@ Result<Table> RunFd(const std::vector<const Table*>& tables,
   EmitFdCounters(obs, tally, u.num_rows(), final_pool.size());
 
   Table out(name, u.schema());
-  DIALITE_RETURN_NOT_OK(EmitPool(std::move(final_pool), codec, &out));
+  DIALITE_RETURN_IF_ERROR(EmitPool(std::move(final_pool), codec, &out));
   return out;
 }
 
@@ -473,7 +473,7 @@ Result<Table> ParallelFullDisjunction::Integrate(
     if (statuses[k].ok()) results[k] = RemoveSubsumed(pool, &tallies[k]);
   });
   for (const Status& st : statuses) {
-    DIALITE_RETURN_NOT_OK(st);
+    DIALITE_RETURN_IF_ERROR(st);
   }
   FdTally tally;
   tally.produced_nulls = CountProducedNulls(ucells);
@@ -507,7 +507,7 @@ Result<Table> ParallelFullDisjunction::Integrate(
       Row decoded;
       decoded.reserve(width);
       for (size_t c = 0; c < width; ++c) decoded.push_back(codec.Decode(row[c]));
-      DIALITE_RETURN_NOT_OK(
+      DIALITE_RETURN_IF_ERROR(
           out.AddRow(std::move(decoded), std::move(p.provs[i])));
     }
   }

@@ -5,7 +5,7 @@ namespace dialite {
 Result<Table> BuildOuterUnion(const std::vector<const Table*>& tables,
                               const Alignment& alignment,
                               std::string result_name) {
-  DIALITE_RETURN_NOT_OK(alignment.Validate(tables));
+  DIALITE_RETURN_IF_ERROR(alignment.Validate(tables));
   std::vector<ColumnDef> defs;
   defs.reserve(alignment.num_clusters());
   for (size_t id = 0; id < alignment.num_clusters(); ++id) {
@@ -29,7 +29,7 @@ Result<Table> BuildOuterUnion(const std::vector<const Table*>& tables,
       } else {
         prov = {t->name() + "#" + std::to_string(r)};
       }
-      DIALITE_RETURN_NOT_OK(out.AddRow(std::move(row), std::move(prov)));
+      DIALITE_RETURN_IF_ERROR(out.AddRow(std::move(row), std::move(prov)));
     }
   }
   out.RefreshColumnTypes();

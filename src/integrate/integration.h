@@ -53,7 +53,7 @@ Result<Table> BuildOuterUnion(const std::vector<const Table*>& tables,
 /// non-null, `b` carries an equal value, and `b` is non-null on at least
 /// every attribute `a` is (proper or equal). Identical tuples subsume each
 /// other.
-bool TupleSubsumedBy(const Row& a, const Row& b);
+[[nodiscard]] bool TupleSubsumedBy(const Row& a, const Row& b);
 
 /// Merge rule for complementary tuples: non-null values win; where both are
 /// null, a missing null outranks a produced null (it is data, not padding).
@@ -61,7 +61,7 @@ Row MergeTuples(const Row& a, const Row& b);
 
 /// True iff the tuples complement each other: they agree on every attribute
 /// where both are non-null, and share at least one such attribute.
-bool TuplesComplement(const Row& a, const Row& b);
+[[nodiscard]] bool TuplesComplement(const Row& a, const Row& b);
 
 }  // namespace dialite
 

@@ -46,7 +46,7 @@ void RekeyRows(const Table& t, const Alignment& alignment,
 Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
                              const Alignment& alignment, bool outer,
                              const std::string& result_name) {
-  DIALITE_RETURN_NOT_OK(alignment.Validate(tables));
+  DIALITE_RETURN_IF_ERROR(alignment.Validate(tables));
   std::vector<ColumnDef> defs;
   for (size_t id = 0; id < alignment.num_clusters(); ++id) {
     defs.push_back(ColumnDef{alignment.IdName(id), ValueType::kString});
@@ -161,7 +161,7 @@ Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
   }
 
   for (size_t r = 0; r < acc.size(); ++r) {
-    DIALITE_RETURN_NOT_OK(out.AddRow(std::move(acc[r]), std::move(acc_prov[r])));
+    DIALITE_RETURN_IF_ERROR(out.AddRow(std::move(acc[r]), std::move(acc_prov[r])));
   }
   out.RefreshColumnTypes();
   return out;
@@ -229,7 +229,7 @@ Result<Table> UnionIntegration::Integrate(
     provs.push_back(std::move(p));
   }
   for (size_t i = 0; i < kept.size(); ++i) {
-    DIALITE_RETURN_NOT_OK(out.AddRow(u.row(kept[i]), std::move(provs[i])));
+    DIALITE_RETURN_IF_ERROR(out.AddRow(u.row(kept[i]), std::move(provs[i])));
   }
   out.RefreshColumnTypes();
   return out;

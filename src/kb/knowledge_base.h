@@ -38,7 +38,7 @@ class KnowledgeBase {
   Status AddFact(std::string_view subject, const std::string& rel,
                  std::string_view object);
 
-  bool HasType(const std::string& type) const;
+  [[nodiscard]] bool HasType(const std::string& type) const;
 
   /// Direct types asserted for `value` (empty if unknown).
   std::vector<std::string> DirectTypesOf(std::string_view value) const;
@@ -48,7 +48,7 @@ class KnowledgeBase {
   std::vector<std::string> TypesOf(std::string_view value) const;
 
   /// The first-asserted relation label from `subject` to `object`, if any.
-  std::optional<std::string> RelationBetween(std::string_view subject,
+  [[nodiscard]] std::optional<std::string> RelationBetween(std::string_view subject,
                                              std::string_view object) const;
 
   /// All relation labels asserted from `subject` to `object` (a pair can
@@ -57,7 +57,7 @@ class KnowledgeBase {
                                             std::string_view object) const;
 
   /// True if the value resolves to any entity.
-  bool Knows(std::string_view value) const;
+  [[nodiscard]] bool Knows(std::string_view value) const;
 
   /// Surface forms asserted sameAs `value` (normalized keys), e.g.
   /// SameAsOf("USA") → {"united states"}. Backed by a dedicated index, so

@@ -76,7 +76,7 @@ Result<size_t> DataLake::LoadDirectory(const std::string& dir) {
   for (const std::string& p : paths) {
     Result<Table> t = CsvReader::ReadFile(p);
     if (!t.ok()) return t.status();
-    DIALITE_RETURN_NOT_OK(AddTable(std::move(t).value()));
+    DIALITE_RETURN_IF_ERROR(AddTable(std::move(t).value()));
     ++loaded;
   }
   return loaded;
@@ -87,7 +87,7 @@ Status DataLake::SaveDirectory(const std::string& dir) const {
   fs::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
   for (const std::string& n : names_) {
-    DIALITE_RETURN_NOT_OK(CsvWriter::WriteFile(*Get(n), dir + "/" + n + ".csv"));
+    DIALITE_RETURN_IF_ERROR(CsvWriter::WriteFile(*Get(n), dir + "/" + n + ".csv"));
   }
   return Status::OK();
 }

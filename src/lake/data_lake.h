@@ -39,7 +39,7 @@ class DataLake {
   /// Looks up by name; nullptr when absent.
   const Table* Get(const std::string& name) const;
 
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
   size_t size() const { return tables_.size(); }
 
   /// All table names in insertion order.

@@ -37,7 +37,7 @@ class GroundTruth {
 
   /// True if columns (ta, ca) and (tb, cb) descend from the same base
   /// column — the alignment ground truth.
-  bool SameBaseColumn(const std::string& ta, size_t ca, const std::string& tb,
+  [[nodiscard]] bool SameBaseColumn(const std::string& ta, size_t ca, const std::string& tb,
                       size_t cb) const;
 
   // Recording API (used by the generator).

@@ -90,7 +90,7 @@ class Metrics {
   /// Value of a counter, or 0 if it was never touched.
   uint64_t CounterValue(std::string_view name) const;
   /// True if the named histogram exists (was recorded to at least once).
-  bool HasHistogram(std::string_view name) const;
+  [[nodiscard]] bool HasHistogram(std::string_view name) const;
 
   std::map<std::string, uint64_t> CounterSnapshot() const;
   std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;

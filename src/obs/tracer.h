@@ -38,7 +38,7 @@ class Tracer {
   size_t root_count() const;
 
   /// True if a span with this name exists anywhere in the forest.
-  bool HasSpan(std::string_view name) const;
+  [[nodiscard]] bool HasSpan(std::string_view name) const;
 
   /// Appends `"spans":[...]` (no surrounding braces) to `out`.
   void AppendJson(std::string* out) const;

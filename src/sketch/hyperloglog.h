@@ -28,7 +28,7 @@ class HyperLogLog {
 
   /// Merges another sketch (must share precision and seed) — the union of
   /// the underlying sets.
-  bool Merge(const HyperLogLog& other);
+  [[nodiscard]] bool Merge(const HyperLogLog& other);
 
  private:
   uint8_t precision_;

@@ -58,7 +58,7 @@ class LshEnsemble {
                               double containment_threshold) const;
 
   size_t size() const { return entries_.size(); }
-  bool built() const { return built_; }
+  [[nodiscard]] bool built() const { return built_; }
 
   /// Exposed for testing: the Jaccard threshold a containment threshold
   /// translates to inside a partition with upper size bound u.

@@ -91,7 +91,7 @@ class ColumnData {
   size_t size() const { return tags_.size(); }
 
   CellKind kind(size_t r) const { return static_cast<CellKind>(tags_[r]); }
-  bool is_null(size_t r) const { return tags_[r] <= 1; }
+  [[nodiscard]] bool is_null(size_t r) const { return tags_[r] <= 1; }
 
   int64_t int_at(size_t r) const { return ints_[r]; }
   double double_at(size_t r) const { return doubles_[r]; }
@@ -145,9 +145,9 @@ class ColumnData {
   void Reorder(const std::vector<size_t>& order);
 
   /// True while the column has seen at least one cell of the kind.
-  bool has_ints() const { return !ints_.empty(); }
-  bool has_doubles() const { return !doubles_.empty(); }
-  bool has_strings() const { return !string_ids_.empty(); }
+  [[nodiscard]] bool has_ints() const { return !ints_.empty(); }
+  [[nodiscard]] bool has_doubles() const { return !doubles_.empty(); }
+  [[nodiscard]] bool has_strings() const { return !string_ids_.empty(); }
 
   const std::vector<uint8_t>& tags() const { return tags_; }
 

@@ -31,7 +31,7 @@ class ColumnView {
   size_t size() const { return col_->size(); }
 
   CellKind kind(size_t r) const { return col_->kind(r); }
-  bool is_null(size_t r) const { return col_->is_null(r); }
+  [[nodiscard]] bool is_null(size_t r) const { return col_->is_null(r); }
 
   int64_t int_at(size_t r) const { return col_->int_at(r); }
   double double_at(size_t r) const { return col_->double_at(r); }
@@ -53,7 +53,7 @@ class ColumnView {
 
   /// Numeric view identical to Value::AsNumeric (string cells parsed;
   /// false leaves *out untouched).
-  bool AsNumericAt(size_t r, double* out) const;
+  [[nodiscard]] bool AsNumericAt(size_t r, double* out) const;
 
   /// Hash identical to Value::Hash on the materialized cell.
   uint64_t HashAt(size_t r, uint64_t seed = 0) const;
@@ -70,7 +70,7 @@ struct CellRef {
   size_t row = 0;
 
   CellKind kind() const { return col.kind(row); }
-  bool is_null() const { return col.is_null(row); }
+  [[nodiscard]] bool is_null() const { return col.is_null(row); }
   Value Materialize() const { return col.value_at(row); }
 };
 
@@ -80,15 +80,15 @@ struct CellRef {
 
 /// Value::Identical: nulls of any kind match each other; int/double
 /// cross-compare numerically.
-bool CellsIdentical(const ColumnView& a, size_t ra, const ColumnView& b,
+[[nodiscard]] bool CellsIdentical(const ColumnView& a, size_t ra, const ColumnView& b,
                     size_t rb);
 
 /// Value::EqualsValue: both non-null and Identical.
-bool CellsEqualValue(const ColumnView& a, size_t ra, const ColumnView& b,
+[[nodiscard]] bool CellsEqualValue(const ColumnView& a, size_t ra, const ColumnView& b,
                      size_t rb);
 
 /// Value::operator<: nulls < numbers (numeric order) < strings (byte order).
-bool CellLess(const ColumnView& a, size_t ra, const ColumnView& b, size_t rb);
+[[nodiscard]] bool CellLess(const ColumnView& a, size_t ra, const ColumnView& b, size_t rb);
 
 /// The column scans the pipeline used to run through the copy-returning
 /// Table accessors, now over views. Each matches its Table counterpart

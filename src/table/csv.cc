@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -197,7 +198,7 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
         row.push_back(Value::Null(NullKind::kMissing));
       }
     }
-    DIALITE_RETURN_NOT_OK(table.AddRow(std::move(row)));
+    DIALITE_RETURN_IF_ERROR(table.AddRow(std::move(row)));
   }
   if (options.infer_types) table.RefreshColumnTypes();
   if (obs != nullptr) {
@@ -215,10 +216,25 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
 
 Result<Table> CsvReader::ReadFile(const std::string& path,
                                   const CsvOptions& options) {
+  // ifstream happily "opens" a directory and then reads zero bytes, which
+  // would silently parse as an empty table — reject non-regular files first.
+  std::error_code ec;
+  const std::filesystem::file_status st = std::filesystem::status(path, ec);
+  if (ec) return Status::IoError("cannot stat " + path + ": " + ec.message());
+  if (st.type() == std::filesystem::file_type::not_found) {
+    return Status::IoError("no such file: " + path);
+  }
+  if (st.type() == std::filesystem::file_type::directory) {
+    return Status::IoError(path + " is a directory, not a CSV file");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
+  // An empty file legitimately inserts zero characters (and sets failbit on
+  // ss), but badbit on the input stream means the OS read itself failed —
+  // propagate that instead of returning a silently-empty table.
+  if (in.bad()) return Status::IoError("read failed for " + path);
   // Derive table name from basename without extension.
   std::string name = path;
   size_t slash = name.find_last_of('/');

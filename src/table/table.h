@@ -95,7 +95,7 @@ class Table {
   static Result<Table> FromColumns(std::string name, Schema schema,
                                    const std::vector<std::vector<Value>>& columns);
 
-  bool has_provenance() const { return !provenance_.empty(); }
+  [[nodiscard]] bool has_provenance() const { return !provenance_.empty(); }
   const std::vector<std::string>& provenance(size_t r) const {
     return provenance_[r];
   }
@@ -137,7 +137,7 @@ class Table {
 
   /// Row multiset equality with EqualsValue-style cell comparison except
   /// nulls compare identical (physical table equality, order-insensitive).
-  bool SameRowsAs(const Table& other) const;
+  [[nodiscard]] bool SameRowsAs(const Table& other) const;
 
   /// Pretty-prints schema + rows (display strings: ± / ⊥ for nulls) with an
   /// optional leading TIDs provenance column, mirroring the paper's figures.

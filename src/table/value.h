@@ -62,18 +62,18 @@ class Value {
     return v;
   }
 
-  bool is_null() const {
+  [[nodiscard]] bool is_null() const {
     return std::holds_alternative<NullKind>(payload_);
   }
-  bool is_missing_null() const {
+  [[nodiscard]] bool is_missing_null() const {
     return is_null() && std::get<NullKind>(payload_) == NullKind::kMissing;
   }
-  bool is_produced_null() const {
+  [[nodiscard]] bool is_produced_null() const {
     return is_null() && std::get<NullKind>(payload_) == NullKind::kProduced;
   }
-  bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
-  bool is_double() const { return std::holds_alternative<double>(payload_); }
-  bool is_string() const {
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(payload_); }
+  [[nodiscard]] bool is_string() const {
     return std::holds_alternative<std::string>(payload_);
   }
 
@@ -88,7 +88,7 @@ class Value {
 
   /// Numeric view: int/double as double; strings parsed when possible.
   /// Returns false (leaving *out untouched) for nulls and non-numeric text.
-  bool AsNumeric(double* out) const;
+  [[nodiscard]] bool AsNumeric(double* out) const;
 
   /// Rendering used by CSV output and table printers. Missing nulls render
   /// as "" and produced nulls as "" too (CSV), but ToDisplayString() shows
@@ -98,11 +98,11 @@ class Value {
 
   /// Value equality for integration semantics: a null equals NOTHING,
   /// including other nulls. Use Identical() for physical equality (dedup).
-  bool EqualsValue(const Value& other) const;
+  [[nodiscard]] bool EqualsValue(const Value& other) const;
 
   /// Physical equality: nulls of any kind are identical to each other
   /// (null-kind is bookkeeping, not data); payloads must match exactly.
-  bool Identical(const Value& other) const;
+  [[nodiscard]] bool Identical(const Value& other) const;
 
   /// Hash consistent with Identical().
   uint64_t Hash(uint64_t seed = 0) const;

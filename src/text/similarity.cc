@@ -120,7 +120,9 @@ double Jaro(std::string_view a, std::string_view b) {
     ++k;
   }
   double m = static_cast<double>(matches);
-  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+  return (m / static_cast<double>(a.size()) + m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
 }
 
 double JaroWinkler(std::string_view a, std::string_view b) {
@@ -162,12 +164,18 @@ double TokenCosine(const std::vector<std::string>& a,
   double dot = 0.0;
   for (const auto& [tok, n] : ca) {
     auto it = cb.find(tok);
-    if (it != cb.end()) dot += static_cast<double>(n) * it->second;
+    if (it != cb.end()) {
+      dot += static_cast<double>(n) * static_cast<double>(it->second);
+    }
   }
   double na = 0.0;
   double nb = 0.0;
-  for (const auto& [tok, n] : ca) na += static_cast<double>(n) * n;
-  for (const auto& [tok, n] : cb) nb += static_cast<double>(n) * n;
+  for (const auto& [tok, n] : ca) {
+    na += static_cast<double>(n) * static_cast<double>(n);
+  }
+  for (const auto& [tok, n] : cb) {
+    nb += static_cast<double>(n) * static_cast<double>(n);
+  }
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 

@@ -150,7 +150,7 @@ TEST(AliteMatcherTest, RecoversGroundTruthWithCleanHeaders) {
       }
     }
   }
-  EXPECT_GE(static_cast<double>(correct) / total, 0.95)
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.95)
       << correct << "/" << total;
 }
 
@@ -190,7 +190,8 @@ TEST(AliteMatcherTest, SurvivesScrambledHeadersOnTextColumns) {
     }
   }
   if (want > 0) {
-    EXPECT_GE(static_cast<double>(hit) / want, 0.7) << hit << "/" << want;
+    EXPECT_GE(static_cast<double>(hit) / static_cast<double>(want), 0.7)
+        << hit << "/" << want;
   }
 }
 

@@ -205,7 +205,9 @@ TEST(ColumnViewTest, PerCellOpsMatchValueMethods) {
     double dv = 0.0;
     double dc = 0.0;
     EXPECT_EQ(col.AsNumericAt(r, &dc), v.AsNumeric(&dv)) << r;
-    if (v.AsNumeric(&dv)) EXPECT_EQ(dc, dv) << r;
+    if (v.AsNumeric(&dv)) {
+      EXPECT_EQ(dc, dv) << r;
+    }
     EXPECT_EQ(col.value_at(r), v) << r;
   }
 }

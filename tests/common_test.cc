@@ -44,7 +44,7 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto fails = [] { return Status::NotFound("x"); };
   auto wrapper = [&]() -> Status {
-    DIALITE_RETURN_NOT_OK(fails());
+    DIALITE_RETURN_IF_ERROR(fails());
     return Status::OK();
   };
   EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);

@@ -137,7 +137,7 @@ TEST_F(DialitePipelineTest, UserDefinedAnalysis) {
                                      [](const Table& t) -> Result<Table> {
                                        Table out("corr", Schema::FromNames(
                                                              {"rows"}));
-                                       DIALITE_RETURN_NOT_OK(out.AddRow(
+                                       DIALITE_RETURN_IF_ERROR(out.AddRow(
                                            {Value::Int(static_cast<int64_t>(
                                                t.num_rows()))}));
                                        return out;

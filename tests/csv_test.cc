@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -133,6 +136,35 @@ TEST(CsvFileTest, MissingFileIsIoError) {
   auto r = CsvReader::ReadFile("/nonexistent/nope.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvFileTest, DirectoryIsIoErrorNotEmptyTable) {
+  // ifstream "opens" a directory and reads zero bytes; ReadFile must report
+  // kIoError rather than hand back an empty table.
+  auto r = CsvReader::ReadFile(testing::TempDir());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("directory"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvFileTest, PermissionDeniedIsIoErrorNotEmptyTable) {
+  // Root bypasses mode bits entirely, so this scenario is only reachable as
+  // an unprivileged user (which is what CI runs as).
+  if (geteuid() == 0) {
+    GTEST_SKIP() << "running as root; chmod 000 cannot deny reads";
+  }
+  std::string path = testing::TempDir() + "/dialite_csv_denied.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n";
+  }
+  ASSERT_EQ(chmod(path.c_str(), 0), 0);
+  auto r = CsvReader::ReadFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  ASSERT_EQ(chmod(path.c_str(), 0600), 0);
+  std::remove(path.c_str());
 }
 
 TEST(InferValueTest, Kinds) {

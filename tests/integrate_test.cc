@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "align/alite_matcher.h"
 #include "integrate/full_disjunction.h"
 #include "integrate/join_ops.h"
+#include "integrate/tuple_codes.h"
 #include "lake/lake_generator.h"
 #include "lake/paper_fixtures.h"
 
@@ -28,6 +30,33 @@ size_t RowWithProv(const Table& t, std::vector<std::string> prov) {
 }
 
 // ----------------------------------------------------------- primitives
+
+TEST(TupleCodecTest, ExtremeDoublesEncodeWithoutOverflow) {
+  // TupleCodec::Encode folds integral doubles into their int64 class, but
+  // the cast is range-guarded: values at/above 2^63, ±1e300, and NaN must
+  // take the raw-bits path (no float→int overflow, which is UB) while
+  // keeping Identical() semantics — NaN never equals itself, 5 == 5.0.
+  Table t("extremes", Schema::FromNames({"v"}));
+  const double two63 = 9223372036854775808.0;  // 2^63, exactly representable
+  ASSERT_TRUE(t.AddRow({Value::Double(two63)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(two63)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(-two63)}).ok());  // int64 min: foldable
+  ASSERT_TRUE(t.AddRow({Value::Double(1e300)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(-1e300)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(std::nan(""))}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(std::nan(""))}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Int(5)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::Double(5.0)}).ok());
+  TupleCodec codec;
+  std::vector<uint32_t> codes = codec.EncodeTable(t);
+  ASSERT_EQ(codes.size(), 9u);
+  EXPECT_EQ(codes[0], codes[1]);  // 2^63 is a single equivalence class
+  EXPECT_NE(codes[0], codes[2]);
+  EXPECT_NE(codes[3], codes[4]);
+  EXPECT_NE(codes[5], codes[6]);  // each NaN occurrence is its own class
+  EXPECT_EQ(codes[7], codes[8]);  // 5 and 5.0 fold together
+  for (uint32_t c : codes) EXPECT_FALSE(CodeIsNull(c));
+}
 
 TEST(TupleOpsTest, SubsumptionBasics) {
   Row a = {Value::String("x"), Value::Null()};

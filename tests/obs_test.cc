@@ -62,6 +62,23 @@ TEST(HistogramTest, LargeValues) {
   EXPECT_EQ(h.bucket_counts().size(), Histogram::kBuckets);
 }
 
+TEST(HistogramTest, TopBucketBoundaries) {
+  // Bucket-index boundary guard: values at and above 2^63 must land in the
+  // last bucket (index kBuckets - 1), not one past the end of the array.
+  // Run under ASan/UBSan this would catch an off-by-one in BucketOf.
+  Histogram h;
+  h.Record(uint64_t{1} << 63);        // smallest value of the top bucket
+  h.Record(~uint64_t{0});             // largest representable value
+  h.Record((uint64_t{1} << 63) - 1);  // largest value of the bucket below
+  std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(buckets[Histogram::kBuckets - 1], 2u);
+  EXPECT_EQ(buckets[Histogram::kBuckets - 2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+}
+
 // ----------------------------------------------------------------- Metrics
 
 TEST(MetricsTest, GetOrCreateStablePointers) {

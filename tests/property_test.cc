@@ -305,7 +305,8 @@ TEST_P(CsvRoundTripSweep, RandomTablesSurvive) {
           row.push_back(Value::Int(rng.NextInt(-1000000, 1000000)));
           break;
         case 2:
-          row.push_back(Value::Double(rng.NextInt(-999, 999) / 8.0));
+          row.push_back(
+              Value::Double(static_cast<double>(rng.NextInt(-999, 999)) / 8.0));
           break;
         default: {
           std::string s = specials[rng.NextBounded(10)];

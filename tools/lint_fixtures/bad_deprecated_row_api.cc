@@ -1,0 +1,11 @@
+// Known-bad fixture: library code calling the deprecated row-materializing
+// Table wrappers instead of the zero-copy ColumnView equivalents.
+#include "table/table.h"
+
+namespace dialite {
+
+size_t CountDistinct(const Table& t) {
+  return t.DistinctColumnValues(0).size();  // rule: deprecated-row-api
+}
+
+}  // namespace dialite

@@ -1,0 +1,9 @@
+// Known-bad fixture: header with no include guard at all.
+
+namespace dialite {
+
+struct Unguarded {
+  int x = 0;
+};
+
+}  // namespace dialite

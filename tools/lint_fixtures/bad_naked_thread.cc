@@ -1,0 +1,15 @@
+// Known-bad fixture: spawning a raw std::thread in library code instead of
+// routing through common/thread_pool. Note std::thread::hardware_concurrency
+// below must NOT fire — it is a static query, not a spawn.
+#include <thread>
+
+namespace dialite {
+
+void Fanout() {
+  unsigned n = std::thread::hardware_concurrency();  // fine: static query
+  (void)n;
+  std::thread worker([] {});  // rule: naked-thread
+  worker.join();
+}
+
+}  // namespace dialite

@@ -1,0 +1,13 @@
+// Known-bad fixture: unseeded randomness outside src/common/rng breaks the
+// reproducibility guarantee (bit-identical indexes/sketches across runs).
+#include <cstdlib>
+#include <random>
+
+namespace dialite {
+
+int Roll() {
+  std::random_device rd;        // rule: nondeterminism
+  return rand() % 6 + (int)rd();  // rule: nondeterminism (rand)
+}
+
+}  // namespace dialite

@@ -1,0 +1,10 @@
+#pragma once
+// Known-bad fixture: the project standard is #ifndef guards, not #pragma once.
+
+namespace dialite {
+
+struct PragmaGuarded {
+  int x = 0;
+};
+
+}  // namespace dialite

@@ -1,0 +1,9 @@
+#ifndef DIALITE_TOOLS_LINT_FIXTURES_BAD_USING_NAMESPACE_H_
+#define DIALITE_TOOLS_LINT_FIXTURES_BAD_USING_NAMESPACE_H_
+
+// Known-bad fixture: using-directive in a header leaks into every includer.
+#include <string>
+
+using namespace std;  // rule: using-namespace-header
+
+#endif  // DIALITE_TOOLS_LINT_FIXTURES_BAD_USING_NAMESPACE_H_

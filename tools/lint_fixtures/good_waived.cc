@@ -1,0 +1,11 @@
+// Known-good fixture: a real violation carrying an explicit waiver comment.
+#include <thread>
+
+namespace dialite {
+
+void Bootstrap() {
+  std::thread t([] {});  // dialite-lint: allow(naked-thread)
+  t.join();
+}
+
+}  // namespace dialite
