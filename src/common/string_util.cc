@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 namespace dialite {
 
@@ -118,17 +119,23 @@ bool ParseStrictNumeric(std::string_view s, double* out) {
   return true;
 }
 
-std::string FormatDouble(double v, int precision) {
+std::string FormatDouble(double v) {
+  // to_chars renders -0.0 as "-0", which CSV type inference would read
+  // back as the *integer* 0 (rendering "0") — so "-0" is not a stable
+  // spelling. "-0.0" parses as the same negative-zero double and renders
+  // back to itself.
+  if (v == 0.0 && std::signbit(v)) return "-0.0";
+  // std::to_chars with no precision emits the shortest representation that
+  // strtod parses back to the identical bits (picking fixed or scientific
+  // notation, whichever is shorter). The previous "%.*f" implementation
+  // both rounded away significant digits and truncated magnitudes whose
+  // fixed notation overflowed its stack buffer (e.g. 2e134 needs 135
+  // digits), so write → reparse changed the value — caught by
+  // fuzz_csv_roundtrip.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  std::string s(buf);
-  if (s.find('.') != std::string::npos) {
-    // Trim trailing zeros, then a trailing dot.
-    size_t last = s.find_last_not_of('0');
-    if (s[last] == '.') --last;
-    s.erase(last + 1);
-  }
-  return s;
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec != std::errc()) return "nan";  // cannot happen for 64 bytes
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace dialite

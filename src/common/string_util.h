@@ -30,9 +30,12 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// True if `needle` occurs in `haystack` ignoring ASCII case.
 [[nodiscard]] bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 
-/// Formats a double with up to `precision` significant decimals, trimming
-/// trailing zeros ("3.14", "2", "0.5").
-std::string FormatDouble(double v, int precision = 6);
+/// Formats a double as the shortest decimal that parses back to exactly
+/// the same value ("3.14", "2", "0.5", "2e+134"). Round-trip exactness is
+/// load-bearing: CSV writing and value tokenization both render doubles
+/// through this function, and a lossy rendering silently corrupts data on
+/// a write → reparse cycle.
+std::string FormatDouble(double v);
 
 /// Parses `s` as a finite decimal literal: optional sign, digits with an
 /// optional decimal point, optional decimal exponent ("-12", "3.5e-2",

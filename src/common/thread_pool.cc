@@ -32,36 +32,36 @@ ThreadPool::ThreadPool(size_t num_threads, ObservabilityContext* obs) {
 ThreadPool::~ThreadPool() {
   WaitNoThrow();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   const uint64_t now = tasks_run_ != nullptr ? WallNowNs() : 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(Task{std::move(task), now});
     if (queue_depth_ != nullptr) queue_depth_->Record(queue_.size());
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (!IdleLocked()) idle_cv_.Wait(mu_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WaitNoThrow() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!IdleLocked()) idle_cv_.Wait(mu_);
   first_error_ = nullptr;
 }
 
@@ -99,8 +99,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) task_cv_.Wait(mu_);
       if (shutdown_ && queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -114,14 +114,14 @@ void ThreadPool::WorkerLoop() {
     try {
       task.fn();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
   current_worker_pool = nullptr;
 }

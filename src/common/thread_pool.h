@@ -1,16 +1,15 @@
 #ifndef DIALITE_COMMON_THREAD_POOL_H_
 #define DIALITE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/observability.h"
 
 namespace dialite {
@@ -51,11 +50,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DIALITE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished. Rethrows the first
   /// exception that escaped a task since the last Wait(), if any.
-  void Wait();
+  void Wait() DIALITE_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -71,7 +70,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
   /// Waits for idle without rethrowing captured task exceptions.
-  void WaitNoThrow();
+  void WaitNoThrow() DIALITE_EXCLUDES(mu_);
+  /// True when the queue is drained and no task is mid-execution.
+  [[nodiscard]] bool IdleLocked() const DIALITE_REQUIRES(mu_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
 
   /// A queued task and, when observability is on, its enqueue timestamp.
   struct Task {
@@ -79,19 +82,22 @@ class ThreadPool {
     uint64_t enqueue_ns = 0;
   };
 
+  // workers_ is written once in the constructor and joined in the
+  // destructor; between those it is read-only, so it is not guarded.
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
   // Instruments resolved once at construction (null when disabled) so the
   // per-task cost is an atomic add, not a registry lookup.
   Counter* tasks_run_ = nullptr;
   Histogram* queue_depth_ = nullptr;
   Histogram* task_wait_ns_ = nullptr;
-  std::mutex mu_;
-  std::condition_variable task_cv_;   // signaled when work arrives / shutdown
-  std::condition_variable idle_cv_;   // signaled when a task completes
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;    // first exception escaping a task
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar task_cv_;  // signaled when work arrives / shutdown
+  CondVar idle_cv_;  // signaled when a task completes
+  std::deque<Task> queue_ DIALITE_GUARDED_BY(mu_);
+  size_t in_flight_ DIALITE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DIALITE_GUARDED_BY(mu_) = false;
+  // First exception escaping a task.
+  std::exception_ptr first_error_ DIALITE_GUARDED_BY(mu_);
 };
 
 }  // namespace dialite

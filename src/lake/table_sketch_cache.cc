@@ -8,7 +8,7 @@ namespace dialite {
 
 std::shared_ptr<TableSketchCache::Entry> TableSketchCache::GetEntry(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<Entry>& e = entries_[name];
   if (e == nullptr) e = std::make_shared<Entry>();
   return e;
@@ -27,7 +27,7 @@ std::shared_ptr<const ColumnTokenSets> TableSketchCache::TokenSets(
     computed = true;
   });
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (computed) {
       ++stats_.token_set_misses;
     } else {
@@ -50,7 +50,7 @@ std::shared_ptr<const ColumnDistinctValues> TableSketchCache::DistinctValues(
     computed = true;
   });
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (computed) {
       ++stats_.distinct_value_misses;
     } else {
@@ -65,10 +65,10 @@ std::shared_ptr<const std::vector<MinHash>> TableSketchCache::MinHashSignatures(
   std::shared_ptr<Entry> e = GetEntry(table.name());
   const std::pair<size_t, uint64_t> key{num_perm, seed};
   {
-    std::lock_guard<std::mutex> lock(e->minhash_mu);
+    MutexLock lock(e->minhash_mu);
     auto it = e->minhash.find(key);
     if (it != e->minhash.end()) {
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.minhash_hits;
       return it->second;
     }
@@ -86,16 +86,16 @@ std::shared_ptr<const std::vector<MinHash>> TableSketchCache::MinHashSignatures(
     sigs->push_back(std::move(mh));
   }
   {
-    std::lock_guard<std::mutex> lock(e->minhash_mu);
+    MutexLock lock(e->minhash_mu);
     auto it = e->minhash.find(key);
     if (it != e->minhash.end()) {
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.minhash_hits;
       return it->second;
     }
     e->minhash.emplace(key, sigs);
   }
-  std::lock_guard<std::mutex> slock(mu_);
+  MutexLock slock(mu_);
   ++stats_.minhash_misses;
   return sigs;
 }
@@ -107,22 +107,26 @@ size_t TableSketchCache::DistinctCount(const Table& table, size_t column) {
 }
 
 void TableSketchCache::Invalidate(const std::string& table_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.erase(table_name);
 }
 
 void TableSketchCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 
 void TableSketchCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats{};
 }
 
 TableSketchCache::Stats TableSketchCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // stats_ is GUARDED_BY(mu_): deleting this MutexLock makes the clang
+  // -Wthread-safety build fail with "reading variable 'stats_' requires
+  // holding mutex 'mu_'" (promoted to an error in CI's clang job). See
+  // tools/lint_fixtures/bad_raw_mutex.cc for the lint-side twin.
+  MutexLock lock(mu_);
   return stats_;
 }
 

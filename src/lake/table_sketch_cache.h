@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once only
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "sketch/minhash.h"
 #include "table/table.h"
@@ -100,22 +101,30 @@ class TableSketchCache {
 
  private:
   struct Entry {
+    // token_sets / distinct_values are published through call_once: written
+    // exactly once inside the once-callback and read only after the
+    // call_once returns, so call_once's happens-before is their guard (no
+    // mutex, hence no GUARDED_BY — the analysis cannot model once_flag).
     std::once_flag token_once;
     std::shared_ptr<const ColumnTokenSets> token_sets;
     std::once_flag distinct_once;
     std::shared_ptr<const ColumnDistinctValues> distinct_values;
-    std::mutex minhash_mu;
+    Mutex minhash_mu{"TableSketchCache::Entry::minhash_mu"};
     std::map<std::pair<size_t, uint64_t>,
              std::shared_ptr<const std::vector<MinHash>>>
-        minhash;
+        minhash DIALITE_GUARDED_BY(minhash_mu);
   };
 
   /// Finds or creates the entry for `name` under mu_.
-  std::shared_ptr<Entry> GetEntry(const std::string& name);
+  std::shared_ptr<Entry> GetEntry(const std::string& name)
+      DIALITE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
-  Stats stats_;
+  /// Lock order: Entry::minhash_mu may be held when taking mu_ (the stats
+  /// bumps inside MinHashSignatures); never take minhash_mu under mu_.
+  mutable Mutex mu_{"TableSketchCache::mu_"};
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+      DIALITE_GUARDED_BY(mu_);
+  Stats stats_ DIALITE_GUARDED_BY(mu_);
 };
 
 }  // namespace dialite

@@ -12,7 +12,11 @@ size_t BucketOf(uint64_t value) {
   return static_cast<size_t>(64 - __builtin_clzll(value));
 }
 
-/// Relaxed-CAS min/max update.
+/// Relaxed-CAS min/max update. Invariant: the cell converges to the
+/// extremum of all recorded values — the CAS loop retries until `value` is
+/// installed or a strictly better extremum is observed. The CAS itself is
+/// the only required atomicity; the value is a freestanding statistic that
+/// publishes no other memory → relaxed (failure ordering likewise).
 void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
   uint64_t cur = target->load(std::memory_order_relaxed);
   while (value < cur &&
@@ -30,6 +34,10 @@ void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
 }  // namespace
 
 void Histogram::Record(uint64_t value) {
+  // Each fetch_add's invariant is per-cell sum/count exactness (atomic RMW
+  // loses nothing). No ordering *between* the five cells is promised:
+  // readers may observe n_ without sum_ — documented on the accessors —
+  // so nothing stronger than relaxed is required.
   counts_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   n_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -59,8 +67,15 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
 }
 
 Counter* Metrics::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
+  {
+    // Fast path: instruments are never removed, so a shared lock suffices
+    // to hand out an existing pointer.
+    ReaderLock lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+  }
+  WriterLock lock(mu_);
+  auto it = counters_.find(name);  // re-check: another writer may have won
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
@@ -69,8 +84,13 @@ Counter* Metrics::counter(std::string_view name) {
 }
 
 Histogram* Metrics::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
+  {
+    ReaderLock lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+  }
+  WriterLock lock(mu_);
+  auto it = histograms_.find(name);  // re-check: another writer may have won
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
@@ -79,25 +99,25 @@ Histogram* Metrics::histogram(std::string_view name) {
 }
 
 uint64_t Metrics::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 bool Metrics::HasHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return histograms_.find(name) != histograms_.end();
 }
 
 std::map<std::string, uint64_t> Metrics::CounterSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c->value());
   return out;
 }
 
 std::map<std::string, HistogramSnapshot> Metrics::HistogramSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::map<std::string, HistogramSnapshot> out;
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot s;

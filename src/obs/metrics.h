@@ -5,24 +5,47 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace dialite {
+
+// Memory-ordering audit (all atomics in this header):
+// every counter/histogram cell is an independent statistic — no load of one
+// atomic is ever used to justify reading *other* non-atomic memory, and
+// readers tolerate torn cross-field views (a snapshot may see n_ updated
+// before sum_). That absence of inter-variable ordering requirements is
+// exactly what memory_order_relaxed provides, so relaxed is the weakest
+// correct ordering at every site below; each site's comment states the
+// invariant it does need. Publication of the instruments themselves
+// (Counter*/Histogram* handed out by the registry) is ordered by the
+// registry's mutex, not by these atomics.
 
 /// One named event counter. Add/Set are lock-free; hot paths should look
 /// the counter up once (Metrics::counter) and keep the pointer.
 class Counter {
  public:
   void Add(uint64_t delta = 1) {
+    // Invariant: the final value is the sum of all deltas. fetch_add is
+    // atomic read-modify-write under any ordering, so no increments are
+    // lost; nothing else is published by this store → relaxed.
     v_.fetch_add(delta, std::memory_order_relaxed);
   }
   /// Overwrites the value (for gauges mirrored from an external tally,
   /// e.g. the sketch cache's cumulative hit/miss stats).
-  void Set(uint64_t value) { v_.store(value, std::memory_order_relaxed); }
-  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Set(uint64_t value) {
+    // Invariant: readers eventually see the latest gauge value. A plain
+    // atomic store suffices; the store orders nothing else → relaxed.
+    v_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    // Invariant: reads return some value the counter actually held; no
+    // other memory is read on the strength of this load → relaxed.
+    return v_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<uint64_t> v_{0};
@@ -38,6 +61,10 @@ class Histogram {
 
   void Record(uint64_t value);
 
+  // Reader invariant (count/sum/min/max/bucket_counts): each load returns
+  // a value its cell actually held, but a concurrent Record may be half
+  // applied across cells (e.g. n_ bumped, sum_ not yet). Snapshots are
+  // intentionally statistical, never used to synchronize → relaxed.
   uint64_t count() const { return n_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// 0 when the histogram is empty.
@@ -68,16 +95,17 @@ struct HistogramSnapshot {
 /// Thread-safe registry of named counters and histograms. Instruments are
 /// created on first use and never removed, so pointers returned by
 /// counter()/histogram() stay valid for the registry's lifetime and may be
-/// cached across calls. Name lookup takes a mutex — hot loops should tally
-/// locally and Add once, or cache the Counter*.
+/// cached across calls. Lookup of an existing instrument takes a shared
+/// (reader) lock; only first-use creation takes the exclusive lock. Hot
+/// loops should still tally locally and Add once, or cache the Counter*.
 class Metrics {
  public:
   Metrics() = default;
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
 
-  Counter* counter(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) DIALITE_EXCLUDES(mu_);
+  Histogram* histogram(std::string_view name) DIALITE_EXCLUDES(mu_);
 
   void Add(std::string_view name, uint64_t delta = 1) {
     counter(name)->Add(delta);
@@ -88,12 +116,15 @@ class Metrics {
   }
 
   /// Value of a counter, or 0 if it was never touched.
-  uint64_t CounterValue(std::string_view name) const;
+  uint64_t CounterValue(std::string_view name) const DIALITE_EXCLUDES(mu_);
   /// True if the named histogram exists (was recorded to at least once).
-  [[nodiscard]] bool HasHistogram(std::string_view name) const;
+  [[nodiscard]] bool HasHistogram(std::string_view name) const
+      DIALITE_EXCLUDES(mu_);
 
-  std::map<std::string, uint64_t> CounterSnapshot() const;
-  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+  std::map<std::string, uint64_t> CounterSnapshot() const
+      DIALITE_EXCLUDES(mu_);
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const
+      DIALITE_EXCLUDES(mu_);
 
   /// Appends `"counters":{...},"histograms":{...}` (no surrounding braces)
   /// to `out` — the fragment ObservabilityContext::ToJson composes.
@@ -103,9 +134,11 @@ class Metrics {
   void AppendTree(std::string* out) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable SharedMutex mu_{"Metrics::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DIALITE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DIALITE_GUARDED_BY(mu_);
 };
 
 }  // namespace dialite

@@ -80,22 +80,22 @@ uint64_t ThreadCpuNowNs() {
 }
 
 void Tracer::AddRoot(std::unique_ptr<SpanNode> node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   roots_.push_back(std::move(node));
 }
 
 size_t Tracer::root_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return roots_.size();
 }
 
 bool Tracer::HasSpan(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ForestHasSpan(roots_, name);
 }
 
 void Tracer::AppendJson(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out += "\"spans\":[";
   for (size_t i = 0; i < roots_.size(); ++i) {
     if (i > 0) *out += ',';
@@ -105,7 +105,7 @@ void Tracer::AppendJson(std::string* out) const {
 }
 
 void Tracer::AppendTree(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<SpanNode>& root : roots_) {
     AppendSpanTree(out, *root, 0);
   }

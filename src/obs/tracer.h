@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dialite {
 
@@ -49,8 +50,8 @@ class Tracer {
   void AppendTree(std::string* out) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<SpanNode>> roots_;
+  mutable Mutex mu_{"Tracer::mu_"};
+  std::vector<std::unique_ptr<SpanNode>> roots_ DIALITE_GUARDED_BY(mu_);
 };
 
 /// RAII span: starts timing at construction, attaches itself to the

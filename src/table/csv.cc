@@ -250,6 +250,11 @@ std::string CsvWriter::ToString(const Table& table, const CsvOptions& options) {
       if (c > 0) out += options.delimiter;
       out += EscapeField(table.schema().column(c).name, options.delimiter);
     }
+    // Same guard as for data rows below: a single empty column name would
+    // write a blank header line, which a reparse skips entirely. A
+    // zero-column table legitimately writes a blank header (and reparses
+    // back to zero columns), so only guard when columns exist.
+    if (table.num_columns() > 0 && out.empty()) out += "\"\"";
     out += '\n';
   }
   std::vector<ColumnView> cols;

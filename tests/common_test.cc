@@ -230,6 +230,32 @@ TEST(StringUtilTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(2.0), "2");
   EXPECT_EQ(FormatDouble(0.5), "0.5");
   EXPECT_EQ(FormatDouble(-1.25), "-1.25");
+  // Not "-0": integer-looking text would be re-inferred as Int(0) on a CSV
+  // reparse, changing the rendering (found by fuzz_csv_roundtrip).
+  EXPECT_EQ(FormatDouble(-0.0), "-0.0");
+}
+
+// Regression (found by fuzz_csv_roundtrip): the old "%.*f" implementation
+// truncated magnitudes whose fixed notation overflowed its 64-byte buffer
+// (2e134 needs 135 integer digits) and rounded away sub-precision digits,
+// so FormatDouble -> ParseStrictNumeric changed the value. Formatting must
+// be exact for every double, including extremes and denormals.
+TEST(StringUtilTest, FormatDoubleRoundTripsExactly) {
+  const double cases[] = {
+      2e134,                     // fixed notation would need 135 digits
+      1.0 / 3.0,                 // needs 17 significant digits
+      0.30000000000000004,       // classic 0.1 + 0.2 artifact
+      5e-324,                    // smallest denormal
+      1.7976931348623157e308,    // largest finite double
+      -6.02214076e23,
+      0.1,
+  };
+  for (double v : cases) {
+    const std::string s = FormatDouble(v);
+    double back = 0;
+    ASSERT_TRUE(ParseStrictNumeric(s, &back)) << s;
+    EXPECT_EQ(back, v) << s;
+  }
 }
 
 // ---------------------------------------------------------------- Pool

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -277,6 +278,81 @@ TEST(CsvRoundTripTest, QuotingFeatures) {
     std::string csv2 = CsvWriter::ToString(*r2);
     EXPECT_EQ(csv, csv2) << text;
   }
+}
+
+// Regression (found by fuzz_csv_roundtrip): "02e134" fails integer
+// inference (leading zero stops at 'e' anyway) but parses as the double
+// 2e134, whose fixed-notation rendering overflowed FormatDouble's buffer —
+// the written cell silently truncated to a different number. Doubles must
+// render round-trip exact, in scientific notation when that is shorter.
+TEST(CsvRoundTripTest, HugeDoubleMagnitudeSurvives) {
+  auto r1 = CsvReader::Parse("v\n02e134\n1e-7\n", "t");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->at(0, 0).is_double());
+  EXPECT_EQ(r1->at(0, 0).as_double(), 2e134);
+  const std::string csv = CsvWriter::ToString(*r1);
+  EXPECT_NE(csv.find("2e+134"), std::string::npos) << csv;
+  auto r2 = CsvReader::Parse(csv, "t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->at(0, 0).as_double(), 2e134);
+  EXPECT_EQ(r2->at(1, 0).as_double(), 1e-7);
+  EXPECT_EQ(CsvWriter::ToString(*r2), csv);
+}
+
+// Regression (found by fuzz_csv_roundtrip): "-.0" infers as the double
+// -0.0, which rendered as "-0" — integer-looking text that the reparse
+// turned into Int(0), rendering "0": write(parse(write)) was not a fixed
+// point. Negative zero must render as "-0.0" (still a double on reparse).
+TEST(CsvRoundTripTest, NegativeZeroStaysADouble) {
+  auto r1 = CsvReader::Parse("v\n-.0\n", "t");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->at(0, 0).is_double());
+  EXPECT_TRUE(std::signbit(r1->at(0, 0).as_double()));
+  const std::string csv = CsvWriter::ToString(*r1);
+  EXPECT_EQ(csv, "v\n-0.0\n");
+  auto r2 = CsvReader::Parse(csv, "t");
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->at(0, 0).is_double());
+  EXPECT_TRUE(std::signbit(r2->at(0, 0).as_double()));
+  EXPECT_EQ(CsvWriter::ToString(*r2), csv);
+}
+
+// A zero-column table must NOT get the `""` guard: its blank header line
+// reparses back to zero columns, which is the correct round trip.
+TEST(CsvRoundTripTest, EmptyTableWritesBlankHeaderLine) {
+  auto r1 = CsvReader::Parse("", "t");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->num_columns(), 0u);
+  const std::string csv = CsvWriter::ToString(*r1);
+  EXPECT_EQ(csv, "\n");
+  auto r2 = CsvReader::Parse(csv, "t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_columns(), 0u);
+  EXPECT_EQ(r2->num_rows(), 0u);
+  EXPECT_EQ(CsvWriter::ToString(*r2), csv);
+}
+
+// Regression (found by fuzz_csv_roundtrip): a single column whose header
+// name trimmed to "" wrote a blank header line, which the reparse skipped
+// — the first data row got promoted to header and the table lost a row.
+// The writer now emits `""` for an all-empty header, like it already did
+// for all-empty data rows.
+TEST(CsvRoundTripTest, EmptyHeaderNameKeepsItsLine) {
+  CsvOptions options;
+  options.infer_types = false;
+  options.treat_na_strings_as_null = true;
+  auto r1 = CsvReader::Parse(" \n\r--\t", "t", options);  // fuzz repro
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1->num_columns(), 1u);
+  EXPECT_EQ(r1->schema().column(0).name, "");
+  ASSERT_EQ(r1->num_rows(), 1u);
+  const std::string csv = CsvWriter::ToString(*r1, options);
+  EXPECT_EQ(csv, "\"\"\n--\n");
+  auto r2 = CsvReader::Parse(csv, "t", options);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_columns(), 1u);
+  EXPECT_EQ(r2->num_rows(), 1u);
+  EXPECT_EQ(CsvWriter::ToString(*r2, options), csv);
 }
 
 }  // namespace

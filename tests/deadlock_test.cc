@@ -1,0 +1,108 @@
+// Tests for the DIALITE_DEBUG_SYNC lock-order deadlock detector: an ABBA
+// inversion must abort with BOTH lock names the first time both orders have
+// executed (no racy interleaving needed), while consistent orderings and
+// try-locks must stay silent. Without -DDIALITE_DEBUG_SYNC=ON the detector
+// is compiled out entirely, so these tests skip.
+
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+namespace dialite {
+namespace {
+
+// Acquires first then second, then releases both — one observed ordering
+// edge (first → second) in the debug-sync order graph.
+void AcquireInOrder(Mutex& first, Mutex& second) {
+  first.Lock();
+  second.Lock();
+  second.Unlock();
+  first.Unlock();
+}
+
+#if defined(DIALITE_DEBUG_SYNC)
+
+using DeadlockDeathTest = ::testing::Test;
+
+TEST(DeadlockDeathTest, AbbaInversionAbortsWithBothLockNames) {
+  // Death tests re-run the statement in a forked child, so the order graph
+  // edges recorded there do not leak into this (parent) process.
+  EXPECT_DEATH(
+      {
+        Mutex a("DeadlockTest::LockA");
+        Mutex b("DeadlockTest::LockB");
+        AcquireInOrder(a, b);  // establishes LockA -> LockB
+        AcquireInOrder(b, a);  // reverse order: must abort, not deadlock
+      },
+      "lock-order inversion.*'DeadlockTest::LockB' and 'DeadlockTest::LockA'");
+}
+
+TEST(DeadlockDeathTest, LongerCycleIsCaughtToo) {
+  // A -> B and B -> C are fine individually; C -> A closes a 3-cycle.
+  EXPECT_DEATH(
+      {
+        Mutex a("DeadlockTest::CycleA");
+        Mutex b("DeadlockTest::CycleB");
+        Mutex c("DeadlockTest::CycleC");
+        AcquireInOrder(a, b);
+        AcquireInOrder(b, c);
+        AcquireInOrder(c, a);
+      },
+      "lock-order inversion.*'DeadlockTest::CycleC' and "
+      "'DeadlockTest::CycleA'");
+}
+
+TEST(DeadlockTest, ConsistentOrderStaysSilent) {
+  Mutex a("DeadlockTest::SilentA");
+  Mutex b("DeadlockTest::SilentB");
+  Mutex c("DeadlockTest::SilentC");
+  for (int i = 0; i < 3; ++i) {
+    AcquireInOrder(a, b);
+    AcquireInOrder(b, c);
+    AcquireInOrder(a, c);
+  }
+}
+
+TEST(DeadlockTest, TryLockAgainstTheOrderDoesNotPoisonTheGraph) {
+  Mutex a("DeadlockTest::TryA");
+  Mutex b("DeadlockTest::TryB");
+  AcquireInOrder(a, b);  // order is A -> B
+  // Taking B then *try*-locking A is deadlock-free by construction (a
+  // failed try backs off instead of blocking), so it must not record a
+  // B -> A edge — and the A -> B reacquire right after must not abort.
+  b.Lock();
+  const bool got = a.TryLock();
+  if (got) a.Unlock();
+  b.Unlock();
+  EXPECT_TRUE(got);
+  AcquireInOrder(a, b);
+}
+
+TEST(DeadlockTest, SameNameReacquireIsNotACycle) {
+  // Two *instances* sharing one name are one order-graph node; CondVar
+  // release/reacquire and per-object mutexes rely on the self-edge being
+  // skipped rather than reported as a length-zero cycle.
+  Mutex outer("DeadlockTest::SharedName");
+  Mutex inner("DeadlockTest::SharedName");
+  outer.Lock();
+  inner.Lock();
+  inner.Unlock();
+  outer.Unlock();
+}
+
+#else  // !DIALITE_DEBUG_SYNC
+
+TEST(DeadlockTest, DetectorCompiledOut) {
+  // Release builds must run both orders without any tracking or abort (and
+  // the sizeof static_asserts in sync.h pin the zero-overhead claim).
+  Mutex a("DeadlockTest::ReleaseA");
+  Mutex b("DeadlockTest::ReleaseB");
+  AcquireInOrder(a, b);
+  AcquireInOrder(b, a);
+  GTEST_SKIP() << "lock-order detector requires -DDIALITE_DEBUG_SYNC=ON";
+}
+
+#endif  // DIALITE_DEBUG_SYNC
+
+}  // namespace
+}  // namespace dialite

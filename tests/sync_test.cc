@@ -1,0 +1,172 @@
+// Tests for the annotated sync primitives in common/sync.h: the wrappers
+// must behave exactly like the std primitives they forward to (mutual
+// exclusion, try-lock semantics, reader concurrency, condvar wakeups),
+// in both release and -DDIALITE_DEBUG_SYNC builds. The compile-time half
+// of the contract (Clang Thread Safety Analysis under -Werror, the
+// release-build sizeof static_asserts) is checked by building this tree,
+// not by runtime assertions here.
+
+#include "common/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dialite {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu("SyncTest::counter_mu");
+  int counter = 0;  // guarded by mu (by convention; plain int in the test)
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldSucceedsAfterRelease) {
+  Mutex mu("SyncTest::trylock_mu");
+  mu.Lock();
+  // try_lock on a mutex the same thread holds is UB for std::mutex, so the
+  // contended probe has to come from another thread. (Branching directly on
+  // TryLock keeps the thread-safety analysis able to track the capability.)
+  std::atomic<int> observed{-1};
+  std::thread probe([&] {
+    if (mu.TryLock()) {
+      observed = 1;
+      mu.Unlock();
+    } else {
+      observed = 0;
+    }
+  });
+  probe.join();
+  EXPECT_EQ(observed, 0);
+  mu.Unlock();
+
+  const bool reacquired = mu.TryLock();
+  if (reacquired) mu.Unlock();
+  EXPECT_TRUE(reacquired);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu("SyncTest::rw_mu");
+  std::atomic<int> concurrent_readers{0};
+  int guarded = 0;
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        ReaderLock lock(mu);
+        concurrent_readers.fetch_add(1);
+        // Readers must never observe a writer's half-done state (the writer
+        // below keeps `guarded` even except inside its critical section).
+        EXPECT_EQ(guarded % 2, 0);
+        concurrent_readers.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      WriterLock lock(mu);
+      EXPECT_EQ(concurrent_readers.load(), 0);
+      ++guarded;  // transiently odd — invisible to readers
+      ++guarded;
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(guarded, 200);
+}
+
+TEST(SharedMutexTest, SharedHolderAdmitsReadersButNotWriters) {
+  // Deterministic (no timing): while this thread holds a shared lock,
+  // another thread's shared try-acquire must succeed and its exclusive
+  // try-acquire must fail — proving ReaderLock really takes the shared
+  // mode, not a pass-through to exclusive locking.
+  SharedMutex mu("SyncTest::tryshared_mu");
+  ReaderLock lock(mu);
+  std::atomic<bool> shared_ok{false};
+  std::atomic<bool> exclusive_blocked{false};
+  std::thread probe([&] {
+    if (mu.TryLockShared()) {
+      shared_ok = true;
+      mu.UnlockShared();
+    }
+    if (mu.TryLock()) {
+      mu.Unlock();
+    } else {
+      exclusive_blocked = true;
+    }
+  });
+  probe.join();
+  EXPECT_TRUE(shared_ok.load());
+  EXPECT_TRUE(exclusive_blocked.load());
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu("SyncTest::cv_mu");
+  CondVar cv;
+  bool ready = false;
+  int consumed = 0;
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    consumed = 1;
+  });
+  // Give the consumer a chance to actually block so the notify path (not
+  // just the pre-check) is exercised at least some of the time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  }
+  consumer.join();
+  EXPECT_EQ(consumed, 1);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu("SyncTest::cv_all_mu");
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++woke;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(woke, kWaiters);
+}
+
+}  // namespace
+}  // namespace dialite

@@ -22,6 +22,16 @@ Enforces project rules that neither the compiler nor clang-tidy know about:
   include-guard           Every header carries a classic #ifndef/#define/
                           #endif guard (the project does not use
                           #pragma once).
+  raw-sync-primitive      Raw std synchronization types (std::mutex,
+                          std::shared_mutex, std::condition_variable,
+                          std::lock_guard, std::unique_lock, ...) anywhere
+                          under src/ outside common/sync.h. All locking
+                          goes through the annotated dialite::Mutex /
+                          MutexLock wrappers so Clang Thread Safety
+                          Analysis and the DIALITE_DEBUG_SYNC lock-order
+                          detector see every acquire. (std::once_flag /
+                          std::call_once are allowed; tests may use raw
+                          primitives to race against the wrappers.)
 
 Usage:
   tools/dialite_lint.py [paths...]     lint files/dirs (default: src tests bench)
@@ -139,6 +149,10 @@ DEPRECATED_ROW_API_RE = re.compile(
 NAKED_THREAD_RE = re.compile(r"\bstd\s*::\s*thread\b(?!\s*::)")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
 NONDETERMINISM_RE = re.compile(r"\b(?:s?rand\s*\(|std\s*::\s*random_device\b)")
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 
 
 def in_dir(relpath, prefix):
@@ -197,6 +211,23 @@ def rule_nondeterminism(relpath, raw, code, findings):
             "use common/rng (seedable, deterministic)"))
 
 
+def rule_raw_sync_primitive(relpath, raw, code, findings):
+    if not in_dir(relpath, "src"):
+        return
+    # The wrappers themselves live in common/sync.h and legitimately wrap
+    # the std primitives (the deadlock detector's own graph lock included —
+    # routing it through dialite::Mutex would recurse into the detector).
+    if relpath == "src/common/sync.h":
+        return
+    for m in RAW_SYNC_RE.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        findings.append(Finding(
+            relpath, line, "raw-sync-primitive",
+            f"std::{m.group(1)} bypasses thread-safety annotations and the "
+            f"lock-order detector; use dialite::Mutex / MutexLock / CondVar "
+            f"from common/sync.h"))
+
+
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)", re.MULTILINE)
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)", re.MULTILINE)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
@@ -229,6 +260,7 @@ RULES = {
     "using-namespace-header": rule_using_namespace_header,
     "nondeterminism": rule_nondeterminism,
     "include-guard": rule_include_guard,
+    "raw-sync-primitive": rule_raw_sync_primitive,
 }
 
 
@@ -292,6 +324,7 @@ def self_test():
         "bad_nondeterminism": "nondeterminism",
         "bad_include_guard": "include-guard",
         "bad_pragma_once": "include-guard",
+        "bad_raw_mutex": "raw-sync-primitive",
     }
     failures = []
     seen = set()

@@ -1,0 +1,68 @@
+// libFuzzer harness: CSV parse → write → reparse → write must be a fixed
+// point (the writer emits canonical CSV, so one round of canonicalization
+// must be idempotent). Catches parser/writer disagreements — quoting,
+// null rendering, numeric re-inference — as aborts instead of silent data
+// corruption on real lake tables.
+//
+// Input layout: byte 0 selects CsvOptions (bit0 has_header, bit1
+// infer_types, bit2 treat_na_strings_as_null); the rest is the CSV text.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace {
+
+using dialite::CsvOptions;
+using dialite::CsvReader;
+using dialite::CsvWriter;
+using dialite::Result;
+using dialite::Table;
+
+[[noreturn]] void Fail(const char* what, const std::string& a,
+                       const std::string& b) {
+  std::fprintf(stderr,
+               "fuzz_csv_roundtrip: %s\n--- first write ---\n%s\n"
+               "--- second write ---\n%s\n",
+               what, a.c_str(), b.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0 || size > (64u << 10)) return 0;
+  CsvOptions options;
+  options.has_header = (data[0] & 1) != 0;
+  options.infer_types = (data[0] & 2) != 0;
+  options.treat_na_strings_as_null = (data[0] & 4) != 0;
+  const std::string_view text(reinterpret_cast<const char*>(data) + 1,
+                              size - 1);
+
+  Result<Table> first = CsvReader::Parse(text, "fuzz", options);
+  if (!first.ok()) return 0;  // rejecting malformed input is fine
+
+  const std::string written = CsvWriter::ToString(first.value(), options);
+  Result<Table> second = CsvReader::Parse(written, "fuzz", options);
+  if (!second.ok()) {
+    Fail(("writer output does not reparse: " + second.status().ToString())
+             .c_str(),
+         written, "<unparseable>");
+  }
+  const std::string rewritten = CsvWriter::ToString(second.value(), options);
+  if (written != rewritten) {
+    Fail("canonical CSV is not a fixed point (write(parse(write)) differs)",
+         written, rewritten);
+  }
+  // Shape must survive the round-trip exactly.
+  if (first->num_rows() != second->num_rows() ||
+      first->num_columns() != second->num_columns()) {
+    Fail("table shape changed across round-trip", written, rewritten);
+  }
+  return 0;
+}

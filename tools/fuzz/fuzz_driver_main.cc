@@ -1,0 +1,59 @@
+// Standalone replacement for libFuzzer's driver, used when the toolchain
+// has no -fsanitize=fuzzer (e.g. gcc-only containers). Replays every file
+// (or every regular file inside every directory) passed on argv through
+// LLVMFuzzerTestOneInput, so the checked-in corpora double as regression
+// inputs on any compiler. No mutation happens here — real fuzzing needs
+// the clang build (see tools/fuzz/CMakeLists.txt).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t ran = 0;
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const std::string& f : files) {
+        failures += RunFile(f);
+        ++ran;
+      }
+    } else {
+      failures += RunFile(p.string());
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %zu input(s), %d unreadable\n",
+               ran, failures);
+  return failures == 0 ? 0 : 1;
+}

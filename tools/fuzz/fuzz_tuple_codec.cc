@@ -1,0 +1,180 @@
+// libFuzzer harness: TupleCodec encode/decode identity. Builds an arbitrary
+// small table from the fuzz bytes, encodes every cell to a dense uint32
+// code, and checks the codec's contract:
+//
+//   - missing nulls map to kMissingNullCode, produced nulls to
+//     kProducedNullCode, and nothing else does;
+//   - every non-null code decodes to a Value Identical() to the original
+//     cell (NaN excepted: it gets a fresh code per occurrence whose decoded
+//     payload must still be NaN);
+//   - codes are a bijection on Identical-equivalence classes: two cells
+//     share a code iff their values are Identical (again modulo NaN).
+//
+// Input layout: byte 0 → column count (1..4); then per cell a tag byte
+// (mod 5: missing null, produced null, int, double, string) followed by
+// the payload (8 bytes for int/double, 1 length byte + bytes for string).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "integrate/tuple_codes.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace {
+
+using dialite::ColumnDef;
+using dialite::kMissingNullCode;
+using dialite::kProducedNullCode;
+using dialite::Row;
+using dialite::Schema;
+using dialite::Table;
+using dialite::TupleCodec;
+using dialite::Value;
+
+/// Sequential consumer over the fuzz bytes.
+struct ByteStream {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Next(uint8_t* out) {
+    if (pos >= size) return false;
+    *out = data[pos++];
+    return true;
+  }
+  bool Take(void* out, size_t n) {
+    if (size - pos < n) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+bool NextValue(ByteStream* in, Value* out) {
+  uint8_t tag = 0;
+  if (!in->Next(&tag)) return false;
+  switch (tag % 5) {
+    case 0:
+      *out = Value::Null(dialite::NullKind::kMissing);
+      return true;
+    case 1:
+      *out = Value::ProducedNull();
+      return true;
+    case 2: {
+      int64_t i = 0;
+      if (!in->Take(&i, sizeof(i))) return false;
+      *out = Value::Int(i);
+      return true;
+    }
+    case 3: {
+      double d = 0;
+      if (!in->Take(&d, sizeof(d))) return false;
+      *out = Value::Double(d);
+      return true;
+    }
+    default: {
+      uint8_t len = 0;
+      if (!in->Next(&len)) return false;
+      len = static_cast<uint8_t>(len % 16);
+      std::string s(len, '\0');
+      if (!in->Take(s.data(), len)) return false;
+      *out = Value::String(std::move(s));
+      return true;
+    }
+  }
+}
+
+bool IsNaN(const Value& v) {
+  return v.is_double() && std::isnan(v.as_double());
+}
+
+[[noreturn]] void Fail(const char* what, size_t r, size_t c) {
+  std::fprintf(stderr, "fuzz_tuple_codec: %s at cell (%zu, %zu)\n", what, r, c);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 2 || size > (16u << 10)) return 0;
+  ByteStream in{data, size};
+  uint8_t width_byte = 0;
+  (void)in.Next(&width_byte);
+  const size_t width = 1 + width_byte % 4;
+
+  Schema schema;
+  for (size_t c = 0; c < width; ++c) {
+    schema.AddColumn(ColumnDef{"c" + std::to_string(c)});
+  }
+  Table table("fuzz", schema);
+  std::vector<Row> rows;
+  constexpr size_t kMaxCells = 4096;
+  while (rows.size() * width < kMaxCells) {
+    Row row;
+    row.reserve(width);
+    Value v;
+    bool complete = true;
+    for (size_t c = 0; c < width; ++c) {
+      if (!NextValue(&in, &v)) {
+        complete = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (!complete) break;
+    if (!table.AddRow(row).ok()) std::abort();  // schema width always matches
+    rows.push_back(std::move(row));
+  }
+
+  TupleCodec codec;
+  const std::vector<uint32_t> codes = codec.EncodeTable(table);
+  if (codes.size() != rows.size() * width) {
+    std::fprintf(stderr, "fuzz_tuple_codec: code count %zu != cells %zu\n",
+                 codes.size(), rows.size() * width);
+    std::abort();
+  }
+
+  // code -> first original cell of the class; NaN codes must stay unique.
+  std::vector<const Value*> first_of_code(codec.num_codes(), nullptr);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const Value& orig = rows[r][c];
+      const uint32_t code = codes[r * width + c];
+      if (code >= codec.num_codes()) Fail("code out of range", r, c);
+      if (orig.is_missing_null()) {
+        if (code != kMissingNullCode) Fail("missing null got non-± code", r, c);
+        continue;
+      }
+      if (orig.is_produced_null()) {
+        if (code != kProducedNullCode) {
+          Fail("produced null got non-⊥ code", r, c);
+        }
+        continue;
+      }
+      if (dialite::CodeIsNull(code)) Fail("non-null cell got null code", r, c);
+      const Value& decoded = codec.Decode(code);
+      if (IsNaN(orig)) {
+        // NaN gets a fresh code per occurrence (Identical(NaN, NaN) is
+        // false); the decoded payload must still be NaN and the code fresh.
+        if (!IsNaN(decoded)) Fail("NaN decoded to non-NaN", r, c);
+        if (first_of_code[code] != nullptr) Fail("NaN code reused", r, c);
+        first_of_code[code] = &orig;
+        continue;
+      }
+      if (!decoded.Identical(orig)) Fail("decode(encode(v)) != v", r, c);
+      if (first_of_code[code] == nullptr) {
+        first_of_code[code] = &orig;
+      } else if (!first_of_code[code]->Identical(orig)) {
+        Fail("one code covers two non-Identical values", r, c);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture for the raw-sync-primitive rule: raw std locking in
+// src/ must be flagged (only common/sync.h may touch the std primitives).
+#include <mutex>
+
+namespace dialite {
+
+std::mutex bad_mu;
+
+int LockedAdd(int a, int b) {
+  std::lock_guard<std::mutex> lock(bad_mu);
+  return a + b;
+}
+
+}  // namespace dialite
