@@ -5,24 +5,193 @@
 ///
 /// --metrics-json [path]: run with observability enabled and dump the
 /// offline+online discovery metrics as JSON (to stdout, or to `path`).
+///
+/// --bench-json [path]: additionally run the cascade-vs-exhaustive scale
+/// sweep over a ~1000-table synthetic lake and write a stable
+/// schema-v1 trajectory report (bench_json.h) for tools/bench_compare.py.
+/// This mode enforces two gates in-binary: cascade results must equal the
+/// exhaustive reference on every query, and at least two algorithms must
+/// clear a 2x cascade speedup.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "core/dialite.h"
+#include "discovery/josie.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "discovery/tus.h"
+#include "lake/lake_generator.h"
 #include "lake/paper_fixtures.h"
 #include "obs/observability.h"
+
+namespace {
+
+/// One Search pass over every query; returns wall micros (negative on
+/// error). Hits are appended to `hits_out` when non-null.
+double RunPass(dialite::DiscoveryAlgorithm* algo,
+               const std::vector<const dialite::Table*>& queries,
+               std::vector<std::vector<dialite::DiscoveryHit>>* hits_out) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  for (const dialite::Table* q : queries) {
+    dialite::DiscoveryQuery dq{q, /*query_column=*/0, /*k=*/10};
+    auto hits = algo->Search(dq);
+    if (!hits.ok()) {
+      std::printf("FAIL: %s search: %s\n", algo->name().c_str(),
+                  hits.status().ToString().c_str());
+      return -1.0;
+    }
+    if (hits_out != nullptr) hits_out->push_back(std::move(hits).value());
+  }
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// The tiered-discovery trajectory sweep: every cascaded algorithm over the
+/// largest synthetic lake config (96 fragments/domain ≈ 1056 tables), timed
+/// in both search modes, equivalence-checked, pruning counters captured.
+int RunBenchJson(const std::string& path) {
+  using namespace dialite;
+  std::printf("\n=== bench-json: tiered discovery cascade sweep ===\n");
+  LakeGeneratorParams params;
+  params.fragments_per_domain = 96;
+  params.header_noise = 0.5;
+  params.seed = 3;
+  SyntheticLakeGenerator::Output out = SyntheticLakeGenerator(params).Generate();
+  const DataLake& lake = out.lake;
+
+  // Deterministic query set: the first fragment of the first five domains
+  // (generation order), k=10 on the leading column.
+  std::vector<const Table*> queries;
+  for (const std::string& name : lake.table_names()) {
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, "_frag0") == 0) {
+      queries.push_back(lake.Get(name));
+      if (queries.size() == 5) break;
+    }
+  }
+  if (queries.size() < 5) {
+    std::printf("FAIL: expected 5 query fragments, found %zu\n",
+                queries.size());
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<DiscoveryAlgorithm>> algos;
+  algos.push_back(std::make_unique<SantosSearch>());
+  algos.push_back(std::make_unique<LshEnsembleSearch>());
+  algos.push_back(std::make_unique<JosieSearch>());
+  algos.push_back(std::make_unique<TusSearch>());
+
+  benchjson::BenchReport report;
+  report.bench = "discovery";
+  report.config["fragments_per_domain"] = params.fragments_per_domain;
+  report.config["k"] = 10;
+  report.config["lake_tables"] = lake.size();
+  report.config["queries"] = queries.size();
+  report.config["seed"] = params.seed;
+
+  ObservabilityContext obs;
+  size_t fast_algos = 0;
+  std::printf("%-15s | %12s | %12s | %8s | %s\n", "algorithm",
+              "exhaustive", "cascade", "speedup", "pruned/total");
+  for (auto& algo : algos) {
+    Status built = algo->BuildIndex(lake);
+    if (!built.ok()) {
+      std::printf("FAIL: %s build: %s\n", algo->name().c_str(),
+                  built.ToString().c_str());
+      return 1;
+    }
+    // Warm-up passes double as the equivalence gate: cascade must return
+    // exactly the exhaustive reference hits on every query.
+    std::vector<std::vector<DiscoveryHit>> ex_hits;
+    std::vector<std::vector<DiscoveryHit>> cas_hits;
+    algo->set_search_mode(SearchMode::kExhaustive);
+    if (RunPass(algo.get(), queries, &ex_hits) < 0) return 1;
+    algo->set_search_mode(SearchMode::kCascade);
+    if (RunPass(algo.get(), queries, &cas_hits) < 0) return 1;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (cas_hits[i] != ex_hits[i]) {
+        std::printf("FAIL: %s cascade != exhaustive on query %zu\n",
+                    algo->name().c_str(), i);
+        return 1;
+      }
+    }
+    // Timed: best of 3 passes per mode.
+    double t_ex = -1.0;
+    double t_cas = -1.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      algo->set_search_mode(SearchMode::kExhaustive);
+      double ex = RunPass(algo.get(), queries, nullptr);
+      algo->set_search_mode(SearchMode::kCascade);
+      double cas = RunPass(algo.get(), queries, nullptr);
+      if (ex < 0 || cas < 0) return 1;
+      if (t_ex < 0 || ex < t_ex) t_ex = ex;
+      if (t_cas < 0 || cas < t_cas) t_cas = cas;
+    }
+    // One instrumented cascade pass for the pruning counters (untimed).
+    algo->set_observability(&obs);
+    if (RunPass(algo.get(), queries, nullptr) < 0) return 1;
+    algo->set_observability(nullptr);
+
+    const std::string n = algo->name();
+    const double speedup = t_ex / t_cas;
+    if (speedup >= 2.0) ++fast_algos;
+    report.timings_us["cascade_us." + n] = t_cas;
+    report.timings_us["exhaustive_us." + n] = t_ex;
+    report.ratios["cascade_speedup." + n] = speedup;
+    size_t hits_total = 0;
+    for (const auto& hits : ex_hits) hits_total += hits.size();
+    report.deterministic["hits_total." + n] = hits_total;
+    report.deterministic_text["top1." + n] =
+        ex_hits[0].empty() ? "(none)" : ex_hits[0][0].table_name;
+    const auto counters = obs.metrics().CounterSnapshot();
+    uint64_t total = 0;
+    uint64_t pruned = 0;
+    for (const char* c : {"candidates_total", "pruned_stage0", "scored_exact",
+                          "early_terminated"}) {
+      auto it = counters.find("discover." + n + ".cascade." + c);
+      uint64_t v = it == counters.end() ? 0 : it->second;
+      report.deterministic["cascade." + n + "." + c] = v;
+      if (std::strcmp(c, "candidates_total") == 0) total = v;
+      if (std::strcmp(c, "pruned_stage0") == 0) pruned = v;
+    }
+    std::printf("%-15s | %9.0f us | %9.0f us | %7.2fx | %llu/%llu\n",
+                n.c_str(), t_ex, t_cas, speedup,
+                static_cast<unsigned long long>(pruned),
+                static_cast<unsigned long long>(total));
+  }
+
+  if (!report.WriteTo(path)) {
+    std::printf("FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("trajectory written to %s\n", path.c_str());
+  std::printf("gate: %zu/%zu algorithms at >=2x cascade speedup "
+              "(need >=2): %s\n",
+              fast_algos, algos.size(), fast_algos >= 2 ? "PASS" : "FAIL");
+  return fast_algos >= 2 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dialite;
   const char* metrics_path = nullptr;  // "-" = stdout
+  const char* bench_path = nullptr;    // "-" = stdout
   bool metrics = false;
+  bool bench_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      bench_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') bench_path = argv[++i];
     }
   }
   ObservabilityContext obs;
@@ -79,5 +248,9 @@ int main(int argc, char** argv) {
       std::printf("--- metrics-json ---\n%s\n", json.c_str());
     }
   }
-  return santos_t2 && lsh_t3 ? 0 : 1;
+  if (!santos_t2 || !lsh_t3) return 1;
+  if (bench_json) {
+    return RunBenchJson(bench_path != nullptr ? bench_path : "-");
+  }
+  return 0;
 }

@@ -4,25 +4,161 @@
 ///
 /// --metrics-json [path]: run with observability enabled and dump the
 /// per-stage metrics/span export as JSON (to stdout, or to `path`).
+///
+/// --bench-json [path]: additionally time Align + Integrate on the paper
+/// set and on a deterministic synthetic fragment workload, then write a
+/// stable schema-v1 trajectory report (bench_json.h) for
+/// tools/bench_compare.py.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "align/alite_matcher.h"
+#include "bench_json.h"
 #include "integrate/full_disjunction.h"
+#include "lake/lake_generator.h"
 #include "lake/paper_fixtures.h"
 #include "obs/observability.h"
+
+namespace {
+
+/// One timed Align + Integrate over `set`; wall micros are written to
+/// `*align_us` / `*integrate_us` (minimum over `reps` runs). Returns the
+/// integrated table, or an error.
+dialite::Result<dialite::Table> TimedIntegrate(
+    const std::vector<const dialite::Table*>& set, int reps,
+    double* align_us, double* integrate_us) {
+  using Clock = std::chrono::steady_clock;
+  dialite::Result<dialite::Table> out =
+      dialite::Status::Internal("no integration rep ran");
+  *align_us = -1.0;
+  *integrate_us = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    dialite::AliteMatcher matcher;
+    auto t0 = Clock::now();
+    auto alignment = matcher.Align(set);
+    auto t1 = Clock::now();
+    if (!alignment.ok()) return alignment.status();
+    dialite::FullDisjunction fd;
+    auto t2 = Clock::now();
+    auto result = fd.Integrate(set, *alignment);
+    auto t3 = Clock::now();
+    if (!result.ok()) return result.status();
+    const double au =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const double iu =
+        std::chrono::duration<double, std::micro>(t3 - t2).count();
+    if (*align_us < 0.0 || au < *align_us) *align_us = au;
+    if (*integrate_us < 0.0 || iu < *integrate_us) *integrate_us = iu;
+    out = std::move(result);
+  }
+  return out;
+}
+
+/// The integration trajectory: the paper's 3-table set plus a synthetic
+/// same-domain fragment set (all fragments of the generator's first
+/// domain), both integrated end to end. Deterministic outputs (row/column
+/// counts, the Fig. 3 alignment digest) are recorded exactly; wall times
+/// loosely; the integrate/align split as a same-run ratio.
+int RunBenchJson(const std::string& path) {
+  using namespace dialite;
+  std::printf("\n=== bench-json: integration trajectory ===\n");
+
+  benchjson::BenchReport report;
+  report.bench = "integration";
+
+  // Paper set (Fig. 3).
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  std::vector<const Table*> paper_set = {&t1, &t2, &t3};
+  double au = 0.0, iu = 0.0;
+  auto fig3 = TimedIntegrate(paper_set, /*reps=*/3, &au, &iu);
+  if (!fig3.ok()) {
+    std::printf("FAIL: fig3 integrate: %s\n", fig3.status().ToString().c_str());
+    return 1;
+  }
+  fig3->SortRowsLexicographic();
+  const bool fig3_match = fig3->SameRowsAs(paper::MakeFig3Expected());
+  report.deterministic["fig3_match"] = fig3_match ? 1 : 0;
+  report.deterministic["fig3_rows"] = fig3->num_rows();
+  report.deterministic["fig3_columns"] = fig3->num_columns();
+  report.timings_us["fig3_align"] = au;
+  report.timings_us["fig3_integrate"] = iu;
+  {
+    AliteMatcher matcher;
+    auto alignment = matcher.Align(paper_set);
+    if (alignment.ok()) {
+      report.deterministic_text["fig3_alignment"] = alignment->ToString();
+    }
+  }
+
+  // Synthetic workload: every fragment of the generator's first domain —
+  // same-schema shards, the integration-set shape Discover hands to Align.
+  LakeGeneratorParams params;
+  params.fragments_per_domain = 12;
+  params.seed = 3;
+  SyntheticLakeGenerator::Output out = SyntheticLakeGenerator(params).Generate();
+  const DataLake& lake = out.lake;
+  const std::string& first = lake.table_names().front();
+  const std::string prefix = first.substr(0, first.find("_frag"));
+  std::vector<const Table*> synth_set;
+  for (const std::string& name : lake.table_names()) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      synth_set.push_back(lake.Get(name));
+    }
+  }
+  report.config["synth_fragments"] = synth_set.size();
+  report.config["synth_seed"] = params.seed;
+  auto synth = TimedIntegrate(synth_set, /*reps=*/3, &au, &iu);
+  if (!synth.ok()) {
+    std::printf("FAIL: synth integrate: %s\n",
+                synth.status().ToString().c_str());
+    return 1;
+  }
+  report.deterministic["synth_rows"] = synth->num_rows();
+  report.deterministic["synth_columns"] = synth->num_columns();
+  report.timings_us["synth_align"] = au;
+  report.timings_us["synth_integrate"] = iu;
+  // Same-run split between the two stages: machine-portable, trips when
+  // either stage regresses relative to the other.
+  report.ratios["synth_integrate_vs_align"] = au > 0.0 ? iu / au : 0.0;
+
+  std::printf("fig3:  %zu rows, match=%d\n", fig3->num_rows(),
+              fig3_match ? 1 : 0);
+  std::printf("synth: %zu fragments -> %zu rows x %zu cols\n",
+              synth_set.size(), synth->num_rows(), synth->num_columns());
+  if (!report.WriteTo(path)) {
+    std::printf("FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("trajectory written to %s\n", path.c_str());
+  return fig3_match ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dialite;
   const char* metrics_path = nullptr;  // "-" = stdout
   bool metrics = false;
+  const char* bench_path = nullptr;
+  bool bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      bench = true;
+      bench_path = "-";
+      if (i + 1 < argc &&
+          (argv[i + 1][0] != '-' || std::strcmp(argv[i + 1], "-") == 0)) {
+        bench_path = argv[++i];
+      }
     }
   }
   ObservabilityContext obs;
@@ -69,5 +205,7 @@ int main(int argc, char** argv) {
       std::printf("--- metrics-json ---\n%s\n", json.c_str());
     }
   }
-  return same ? 0 : 1;
+  if (!same) return 1;
+  if (bench) return RunBenchJson(bench_path);
+  return 0;
 }

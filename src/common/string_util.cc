@@ -107,14 +107,25 @@ bool ParseStrictNumeric(std::string_view s, double* out) {
     if (exp_digits == 0) return false;  // "1e", "2e+"
   }
   if (i != s.size()) return false;  // trailing junk ("0x1A" stops at 'x')
-  // The grammar guarantees strtod consumes the whole (copied,
-  // null-terminated) token; only the magnitude can still disqualify it.
-  std::string buf(s);
-  errno = 0;
-  char* end = nullptr;
-  double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) return false;
-  if (!std::isfinite(v)) return false;  // "1e999" overflows to +inf
+  // The grammar guarantees the whole token parses; only the magnitude can
+  // still disqualify it. from_chars works straight off the view (no copy,
+  // no locale); it flags both overflow ("1e999") and underflow as
+  // result_out_of_range, so re-check tiny-but-representable magnitudes
+  // through strtod, which only rejects true overflow to ±inf.
+  // from_chars rejects the explicit '+' the grammar allows; skip it.
+  if (s[0] == '+') s.remove_prefix(1);
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    std::string buf(s);
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return false;
+    if (!std::isfinite(v)) return false;
+  } else if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return false;
+  }
   if (out != nullptr) *out = v;
   return true;
 }

@@ -108,6 +108,7 @@ Status Dialite::RegisterDiscovery(
   }
   indexes_built_ = false;
   algorithm->set_observability(obs_);
+  algorithm->set_search_mode(search_mode_);
   discovery_.emplace(std::move(name), std::move(algorithm));
   return Status::OK();
 }
@@ -139,6 +140,11 @@ void Dialite::set_observability(ObservabilityContext* obs) {
   for (auto& [name, algo] : discovery_) algo->set_observability(obs);
   for (auto& [name, matcher] : matchers_) matcher->set_observability(obs);
   for (auto& [name, op] : integration_) op->set_observability(obs);
+}
+
+void Dialite::set_search_mode(SearchMode mode) {
+  search_mode_ = mode;
+  for (auto& [name, algo] : discovery_) algo->set_search_mode(mode);
 }
 
 Status Dialite::RegisterAnalysis(const std::string& name, AnalysisFn fn) {
@@ -233,6 +239,30 @@ Result<std::vector<DiscoveryHit>> Dialite::Discover(
     ObsAdd(obs_, "discover." + algorithm + ".hits", hits->size());
   }
   return hits;
+}
+
+Result<std::vector<std::vector<DiscoveryHit>>> Dialite::DiscoverBatch(
+    const std::vector<DiscoveryQuery>& queries,
+    const std::string& algorithm) const {
+  auto it = discovery_.find(algorithm);
+  if (it == discovery_.end()) {
+    return Status::NotFound("discovery '" + algorithm + "' not registered");
+  }
+  if (!indexes_built_) {
+    return Status::Internal("BuildIndexes() has not been called");
+  }
+  ObsSpan span(obs_, "discover." + algorithm + ".batch");
+  ObsAdd(obs_, "discover.searches", queries.size());
+  Result<std::vector<std::vector<DiscoveryHit>>> results =
+      it->second->SearchBatch(queries);
+  if (results.ok()) {
+    size_t total = 0;
+    for (const std::vector<DiscoveryHit>& hits : *results) {
+      total += hits.size();
+    }
+    ObsAdd(obs_, "discover." + algorithm + ".hits", total);
+  }
+  return results;
 }
 
 Result<std::map<std::string, std::vector<DiscoveryHit>>> Dialite::DiscoverAll(

@@ -122,6 +122,14 @@ class Dialite {
   void set_observability(ObservabilityContext* obs);
   ObservabilityContext* observability() const { return obs_; }
 
+  /// Selects the search execution tier on every registered discovery
+  /// algorithm (later registrations inherit it). kCascade — the default —
+  /// runs the tiered bound-pruned top-k; kExhaustive scores every
+  /// candidate (the reference path the equivalence suite compares
+  /// against). Results are identical in both modes by construction.
+  void set_search_mode(SearchMode mode);
+  SearchMode search_mode() const { return search_mode_; }
+
   /// Builds every registered discovery index over the lake (the paper's
   /// offline preprocessing). Call after registrations, before Search/Run.
   /// Algorithms build concurrently (see set_num_threads) and share the
@@ -140,6 +148,14 @@ class Dialite {
   /// Runs one discovery algorithm.
   Result<std::vector<DiscoveryHit>> Discover(const DiscoveryQuery& query,
                                              const std::string& algorithm) const;
+
+  /// Runs one discovery algorithm over several queries through its batch
+  /// entry point (one index pass where the algorithm supports it, e.g.
+  /// JOSIE's shared posting walk). results[i] corresponds to queries[i]
+  /// and is identical to Discover(queries[i], algorithm).
+  Result<std::vector<std::vector<DiscoveryHit>>> DiscoverBatch(
+      const std::vector<DiscoveryQuery>& queries,
+      const std::string& algorithm) const;
 
   /// Runs several (empty = all) and returns per-algorithm hits.
   Result<std::map<std::string, std::vector<DiscoveryHit>>> DiscoverAll(
@@ -196,6 +212,7 @@ class Dialite {
   std::map<std::string, AnalysisFn> analyses_;
   bool indexes_built_ = false;
   size_t num_threads_ = 0;  ///< 0 = hardware concurrency
+  SearchMode search_mode_ = SearchMode::kCascade;
   ObservabilityContext* obs_ = nullptr;  ///< null = observability disabled
 };
 

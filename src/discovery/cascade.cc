@@ -1,0 +1,87 @@
+#include "discovery/cascade.h"
+
+#include <algorithm>
+
+namespace dialite {
+
+std::vector<DiscoveryHit> RunBoundedTopK(std::vector<BoundedCandidate> candidates,
+                                         size_t k, const ExactScorer& score,
+                                         CascadeStats* stats) {
+  CascadeStats local;
+  local.candidates_total = candidates.size();
+
+  // Descending bound order (ties by name, so the scan order — and with it
+  // every counter below — is deterministic).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const BoundedCandidate& a, const BoundedCandidate& b) {
+              if (a.upper_bound != b.upper_bound) {
+                return a.upper_bound > b.upper_bound;
+              }
+              return a.table_name < b.table_name;
+            });
+
+  // Top-k heap whose root is the *worst* of the k best hits: std::*_heap
+  // keeps the comparator's maximum at the root, so "larger" means "better"
+  // and the root is the weakest hit — the one the next candidate must beat.
+  std::vector<DiscoveryHit> heap;
+  auto root_is_worst = [](const DiscoveryHit& a, const DiscoveryHit& b) {
+    return HitBetter(a, b);
+  };
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    BoundedCandidate& cand = candidates[i];
+    // RankHits never returns non-positive scores; bounds are sorted, so the
+    // first non-positive bound prunes the whole tail.
+    if (cand.upper_bound <= 0.0) {
+      local.pruned_stage0 += candidates.size() - i;
+      local.early_terminated = true;
+      break;
+    }
+    if (heap.size() == k && k > 0) {
+      const DiscoveryHit& worst = heap.front();
+      if (cand.upper_bound < worst.score) {
+        // Strictly below the k-th best: this candidate and every later one
+        // (bounds only shrink) is out, even on a score tie.
+        local.pruned_stage0 += candidates.size() - i;
+        local.early_terminated = true;
+        break;
+      }
+      if (cand.upper_bound == worst.score &&
+          !(cand.table_name < worst.table_name)) {
+        // Even at its bound this candidate ties the k-th best score and
+        // loses the name tiebreak — skip it, but keep scanning: a later
+        // equal-bound candidate with a smaller name could still enter.
+        ++local.pruned_stage0;
+        continue;
+      }
+    }
+    double s = score(cand);
+    ++local.scored_exact;
+    if (s <= 0.0) continue;  // RankHits drops non-positive scores
+    DiscoveryHit hit{std::move(cand.table_name), s};
+    if (heap.size() < k) {
+      heap.push_back(std::move(hit));
+      std::push_heap(heap.begin(), heap.end(), root_is_worst);
+    } else if (k > 0 && HitBetter(hit, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), root_is_worst);
+      heap.back() = std::move(hit);
+      std::push_heap(heap.begin(), heap.end(), root_is_worst);
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(), HitBetter);
+  if (stats != nullptr) *stats = local;
+  return heap;
+}
+
+void PublishCascadeStats(ObservabilityContext* obs, const std::string& algo,
+                         const CascadeStats& stats) {
+  if (obs == nullptr) return;
+  const std::string prefix = "discover." + algo + ".cascade.";
+  ObsAdd(obs, prefix + "candidates_total", stats.candidates_total);
+  ObsAdd(obs, prefix + "pruned_stage0", stats.pruned_stage0);
+  ObsAdd(obs, prefix + "scored_exact", stats.scored_exact);
+  ObsAdd(obs, prefix + "early_terminated", stats.early_terminated ? 1 : 0);
+}
+
+}  // namespace dialite

@@ -1,0 +1,84 @@
+#ifndef DIALITE_DISCOVERY_CASCADE_H_
+#define DIALITE_DISCOVERY_CASCADE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "discovery/discovery.h"
+#include "obs/observability.h"
+
+namespace dialite {
+
+/// Tiered top-k discovery cascade (ROADMAP item 3, in the spirit of
+/// EcoTable-style cost-based pruning).
+///
+/// Stage 0: every candidate table arrives with a *provable upper bound* on
+/// the algorithm's exact score — computed from cheap per-table sketch-layer
+/// aggregates (set cardinalities, per-type max confidences, embedding
+/// coordinate maxima), never from the full per-candidate scoring loop.
+///
+/// Stage 1: candidates are exactly scored in descending bound order while a
+/// top-k heap tracks the k best (score, name) pairs seen so far. Scoring
+/// stops as soon as the next bound can no longer beat the k-th best —
+/// every remaining candidate's exact score is <= its bound, so the result
+/// is the *same top-k as exhaustive scoring, by construction* (the
+/// equivalence suite in tests/cascade_test.cc proves it per algorithm).
+
+/// One stage-0 candidate: a lake table plus an admissible upper bound on
+/// the discovery algorithm's exact score for it (bound >= exact score).
+struct BoundedCandidate {
+  std::string table_name;
+  double upper_bound = 0.0;
+};
+
+/// Per-search cascade instrumentation, published through the obs layer as
+/// discover.<algo>.cascade.* counters (see PublishCascadeStats).
+struct CascadeStats {
+  /// Stage-0 candidates considered (before any pruning).
+  uint64_t candidates_total = 0;
+  /// Candidates never exactly scored (bound could not reach the top-k).
+  uint64_t pruned_stage0 = 0;
+  /// Candidates that went through the exact scorer.
+  uint64_t scored_exact = 0;
+  /// True when the descending-bound scan stopped before its end.
+  bool early_terminated = false;
+};
+
+/// Exact scorer callback: the algorithm's full-precision score for one
+/// candidate table (the same arithmetic the exhaustive path runs, so
+/// cascade and exhaustive scores are bit-identical).
+using ExactScorer = std::function<double(const BoundedCandidate&)>;
+
+/// Runs stage 1 of the cascade: exact-scores `candidates` in descending
+/// (upper_bound, name) order into a bounded top-k heap, early-terminating
+/// once no remaining bound can beat the k-th best hit.
+///
+/// Returns exactly RankHits(exhaustive_scores, k), provided every
+/// candidate's bound is admissible (upper_bound >= score(candidate)) and
+/// `candidates` contains every table that can score > 0. Exactness
+/// argument, kept in sync with the implementation:
+///  - a candidate is skipped without scoring only when even its *bound*
+///    loses to the current k-th best under HitBetter; since its exact
+///    score <= bound and the k-th best only improves, the skipped
+///    candidate loses to k distinct others — it is not in the true top-k;
+///  - the scan stops entirely only when the next bound is strictly below
+///    the k-th best score; all later candidates have equal-or-smaller
+///    bounds, so the same argument applies to each of them.
+///
+/// `stats` (optional) receives the stage counters for this run.
+std::vector<DiscoveryHit> RunBoundedTopK(std::vector<BoundedCandidate> candidates,
+                                         size_t k, const ExactScorer& score,
+                                         CascadeStats* stats = nullptr);
+
+/// Publishes one search's cascade counters as
+/// discover.<algo>.cascade.{candidates_total,pruned_stage0,scored_exact,
+/// early_terminated} (Add semantics: counters accumulate across searches).
+/// No-op on a null context.
+void PublishCascadeStats(ObservabilityContext* obs, const std::string& algo,
+                         const CascadeStats& stats);
+
+}  // namespace dialite
+
+#endif  // DIALITE_DISCOVERY_CASCADE_H_

@@ -1,11 +1,33 @@
 #include "discovery/discovery.h"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "common/thread_pool.h"
 
 namespace dialite {
+
+Result<std::vector<std::vector<DiscoveryHit>>> DiscoveryAlgorithm::SearchBatch(
+    const std::vector<DiscoveryQuery>& queries) const {
+  std::vector<std::vector<DiscoveryHit>> results;
+  results.reserve(queries.size());
+  for (const DiscoveryQuery& query : queries) {
+    Result<std::vector<DiscoveryHit>> hits = Search(query);
+    if (!hits.ok()) return hits.status();
+    results.push_back(std::move(hits).value());
+  }
+  return results;
+}
+
+Result<double> DiscoveryAlgorithm::ScoreUpperBound(
+    const DiscoveryQuery& query, const std::string& table_name) const {
+  (void)query;
+  (void)table_name;
+  // Trivially admissible: every finite score is <= +infinity. Algorithms
+  // without cascade wiring inherit this and gain no pruning power.
+  return std::numeric_limits<double>::infinity();
+}
 
 void ForEachTableIndex(size_t num_threads, size_t n,
                        const std::function<void(size_t)>& fn,
@@ -21,15 +43,16 @@ void ForEachTableIndex(size_t num_threads, size_t n,
   pool.ParallelFor(n, fn);
 }
 
+bool HitBetter(const DiscoveryHit& a, const DiscoveryHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.table_name < b.table_name;
+}
+
 std::vector<DiscoveryHit> RankHits(std::vector<DiscoveryHit> hits, size_t k) {
   hits.erase(std::remove_if(hits.begin(), hits.end(),
                             [](const DiscoveryHit& h) { return h.score <= 0; }),
              hits.end());
-  std::sort(hits.begin(), hits.end(),
-            [](const DiscoveryHit& a, const DiscoveryHit& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.table_name < b.table_name;
-            });
+  std::sort(hits.begin(), hits.end(), HitBetter);
   if (hits.size() > k) hits.resize(k);
   return hits;
 }

@@ -31,6 +31,18 @@ struct DiscoveryQuery {
   size_t k = 10;
 };
 
+/// How Search() executes:
+///  - kCascade (the default): tiered bound-ordered top-k with early
+///    termination (src/discovery/cascade.h). Returns exactly the same hits
+///    as kExhaustive by construction; algorithms without cascade wiring
+///    silently fall back to exhaustive scoring.
+///  - kExhaustive: score every candidate — the reference path the cascade
+///    equivalence suite compares against.
+enum class SearchMode {
+  kCascade = 0,
+  kExhaustive = 1,
+};
+
 /// Interface every table-discovery algorithm implements (SANTOS,
 /// LSH Ensemble, JOSIE, and user-defined searches).
 ///
@@ -56,9 +68,33 @@ class DiscoveryAlgorithm {
   virtual Status BuildIndex(const DataLake& lake) = 0;
 
   /// Top-k related tables, best first. Ties broken by table name for
-  /// determinism. Tables scoring zero are never returned.
+  /// determinism (see HitBetter). Tables scoring zero are never returned.
+  /// Honors search_mode(): the cascaded algorithms (SANTOS, LSH Ensemble,
+  /// JOSIE, TUS) run the tiered top-k cascade by default, with results
+  /// identical to exhaustive scoring by construction.
   virtual Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const = 0;
+
+  /// Batch entry point: top-k hits for several queries against one index.
+  /// The default loops Search(); algorithms with a shared index pass
+  /// (JOSIE) override it to amortize index probes across queries for cache
+  /// locality. Results are identical to per-query Search() calls.
+  virtual Result<std::vector<std::vector<DiscoveryHit>>> SearchBatch(
+      const std::vector<DiscoveryQuery>& queries) const;
+
+  /// Provable stage-0 upper bound on Search()'s exact score for
+  /// `table_name` under `query` — admissible by contract: bound >= exact
+  /// score, and 0 only when the table cannot score positively. The default
+  /// (non-cascaded algorithms) returns +infinity: admissible, no pruning
+  /// power. Requires BuildIndex.
+  virtual Result<double> ScoreUpperBound(const DiscoveryQuery& query,
+                                         const std::string& table_name) const;
+
+  /// Selects the Search() execution tier; kCascade is the default. Like
+  /// set_num_threads, set it before searching — not thread-safe against
+  /// concurrent Search calls.
+  void set_search_mode(SearchMode mode) { search_mode_ = mode; }
+  SearchMode search_mode() const { return search_mode_; }
 
   /// Worker count for BuildIndex's per-table compute phase: 0 = hardware
   /// concurrency, 1 = fully sequential (the default). The built index is
@@ -76,6 +112,7 @@ class DiscoveryAlgorithm {
  protected:
   size_t num_threads_ = 1;
   ObservabilityContext* obs_ = nullptr;
+  SearchMode search_mode_ = SearchMode::kCascade;
 };
 
 /// Shared helper for the compute phase: runs `fn(i)` for i in [0, n) — on
@@ -101,8 +138,15 @@ class PersistentIndex {
   virtual Status LoadIndex(const std::string& path, const DataLake& lake) = 0;
 };
 
-/// Shared helper: sorts hits by (score desc, name asc), drops non-positive
-/// scores, truncates to k.
+/// The ranking order shared by RankHits and the cascade top-k heap: higher
+/// score first, ties broken by ascending table name. Table names are unique
+/// within a lake, so this is a strict total order — rankings (and the
+/// BENCH_*.json trajectories derived from them) are byte-stable across
+/// platforms and thread counts.
+[[nodiscard]] bool HitBetter(const DiscoveryHit& a, const DiscoveryHit& b);
+
+/// Shared helper: sorts hits by HitBetter (score desc, name asc), drops
+/// non-positive scores, truncates to k.
 std::vector<DiscoveryHit> RankHits(std::vector<DiscoveryHit> hits, size_t k);
 
 }  // namespace dialite

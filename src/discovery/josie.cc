@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <sstream>
 
+#include "discovery/cascade.h"
 #include "discovery/persist.h"
 
 namespace dialite {
@@ -12,6 +15,7 @@ namespace dialite {
 Status JosieSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   columns_.clear();
+  table_columns_.clear();
   postings_.clear();
   const std::vector<const Table*> tables = lake.tables();
   // Compute phase: per-table token sets through the shared sketch cache.
@@ -28,13 +32,28 @@ Status JosieSearch::BuildIndex(const DataLake& lake) {
       if (toks.size() < params_.min_distinct) continue;
       uint32_t id = static_cast<uint32_t>(columns_.size());
       columns_.emplace_back(t->name(), c);
+      table_columns_[t->name()].push_back(id);
       for (const std::string& tok : toks) postings_[tok].push_back(id);
     }
   }
+  RebuildTableIds();
   ObsAdd(obs_, "discover.josie.build.tables", tables.size());
   ObsSet(obs_, "discover.josie.index.columns", columns_.size());
   ObsSet(obs_, "discover.josie.index.tokens", postings_.size());
   return Status::OK();
+}
+
+void JosieSearch::RebuildTableIds() {
+  col_table_ids_.assign(columns_.size(), 0);
+  table_names_.clear();
+  std::unordered_map<std::string, uint32_t> ids;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& tname = columns_[i].first;
+    auto [it, inserted] =
+        ids.emplace(tname, static_cast<uint32_t>(table_names_.size()));
+    if (inserted) table_names_.push_back(tname);
+    col_table_ids_[i] = it->second;
+  }
 }
 
 Status JosieSearch::SaveIndex(const std::string& path) const {
@@ -85,6 +104,11 @@ Status JosieSearch::LoadIndex(const std::string& path, const DataLake& lake) {
     }
     columns_.emplace_back(std::move(table), col);
   }
+  table_columns_.clear();
+  for (uint32_t id = 0; id < columns_.size(); ++id) {
+    table_columns_[columns_[id].first].push_back(id);
+  }
+  RebuildTableIds();
   in >> word >> n;
   if (word != "postings") return Status::ParseError("expected 'postings'");
   in.ignore();
@@ -105,6 +129,74 @@ Status JosieSearch::LoadIndex(const std::string& path, const DataLake& lake) {
   return Status::OK();
 }
 
+std::vector<DiscoveryHit> JosieSearch::AggregateOverlaps(
+    const std::unordered_map<uint32_t, size_t>& overlap,
+    const std::string& self_name, size_t k) const {
+  // Per-table best column overlap.
+  std::unordered_map<std::string, size_t> best;
+  for (const auto& [id, n] : overlap) {
+    if (n < params_.min_overlap) continue;
+    const auto& [table_name, col] = columns_[id];
+    (void)col;
+    if (table_name == self_name) continue;
+    size_t& cur = best[table_name];
+    cur = std::max(cur, n);
+  }
+  std::vector<DiscoveryHit> hits;
+  hits.reserve(best.size());
+  for (const auto& [name, n] : best) {
+    hits.push_back({name, static_cast<double>(n)});
+  }
+  return RankHits(std::move(hits), k);
+}
+
+double JosieSearch::ScoreTableExact(
+    const std::unordered_set<std::string_view>& qset,
+    const std::string& table_name) const {
+  const Table* cand = lake_->Get(table_name);
+  if (cand == nullptr) return 0.0;
+  auto tc = table_columns_.find(table_name);
+  if (tc == table_columns_.end()) return 0.0;
+  std::shared_ptr<const ColumnTokenSets> ctokens =
+      lake_->sketch_cache().TokenSets(*cand);
+  size_t best = 0;
+  for (uint32_t id : tc->second) {
+    const std::vector<std::string>& xtoks = (*ctokens)[columns_[id].second];
+    size_t n = 0;
+    for (const std::string& tok : xtoks) {
+      if (qset.count(tok) != 0) ++n;
+    }
+    if (n < params_.min_overlap) continue;
+    best = std::max(best, n);
+  }
+  return static_cast<double>(best);
+}
+
+Result<double> JosieSearch::ScoreUpperBound(
+    const DiscoveryQuery& query, const std::string& table_name) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<std::string> qtokens =
+      ColumnTokens(query.table->column(query.query_column));
+  if (qtokens.empty()) return 0.0;
+  auto tc = table_columns_.find(table_name);
+  if (tc == table_columns_.end()) return 0.0;  // not indexed: cannot score
+  const Table* cand = lake_->Get(table_name);
+  if (cand == nullptr) return 0.0;
+  size_t ub = 0;
+  for (uint32_t id : tc->second) {
+    size_t x = lake_->sketch_cache().DistinctCount(*cand, columns_[id].second);
+    ub = std::max(ub, std::min(qtokens.size(), x));
+  }
+  if (ub < params_.min_overlap) return 0.0;
+  return static_cast<double>(ub);
+}
+
 Result<std::vector<DiscoveryHit>> JosieSearch::Search(
     const DiscoveryQuery& query) const {
   if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
@@ -118,29 +210,169 @@ Result<std::vector<DiscoveryHit>> JosieSearch::Search(
       ColumnTokens(query.table->column(query.query_column));
   if (qtokens.empty()) return std::vector<DiscoveryHit>{};
 
-  // Merge posting lists, accumulating per-column overlap counts.
-  std::unordered_map<uint32_t, size_t> overlap;
+  if (search_mode_ == SearchMode::kExhaustive) {
+    // Merge every posting list, accumulating per-column overlap counts.
+    std::unordered_map<uint32_t, size_t> overlap;
+    CascadeStats stats;
+    for (const std::string& tok : qtokens) {
+      auto it = postings_.find(tok);
+      if (it == postings_.end()) continue;
+      for (uint32_t id : it->second) ++overlap[id];
+    }
+    std::vector<DiscoveryHit> hits =
+        AggregateOverlaps(overlap, query.table->name(), query.k);
+    stats.candidates_total = overlap.size();
+    stats.scored_exact = overlap.size();
+    PublishCascadeStats(obs_, name(), stats);
+    return hits;
+  }
+
+  // Cascade: merge posting lists rarest-first. After j lists, an unseen
+  // column's final overlap is at most the number of unread lists, so the
+  // merge stops once that remainder drops strictly below the k-th best
+  // per-table partial count — no unseen table can then reach the top-k.
+  struct ListRef {
+    const std::string* token;
+    const std::vector<uint32_t>* ids;
+  };
+  std::vector<ListRef> lists;
+  lists.reserve(qtokens.size());
   for (const std::string& tok : qtokens) {
     auto it = postings_.find(tok);
     if (it == postings_.end()) continue;
-    for (uint32_t id : it->second) ++overlap[id];
+    lists.push_back({&it->first, &it->second});
+  }
+  std::sort(lists.begin(), lists.end(), [](const ListRef& a, const ListRef& b) {
+    if (a.ids->size() != b.ids->size()) return a.ids->size() < b.ids->size();
+    return *a.token < *b.token;
+  });
+
+  // Dense per-column partial counts and per-table bests: the merge's inner
+  // loop touches flat arrays only — no string hashing per posting entry.
+  std::vector<size_t> partial(columns_.size(), 0);
+  std::vector<size_t> table_best(table_names_.size(), 0);
+  std::vector<uint32_t> touched;  // dense ids of tables seen so far
+  uint32_t self_id = std::numeric_limits<uint32_t>::max();
+  if (auto sit = table_columns_.find(query.table->name());
+      sit != table_columns_.end() && !sit->second.empty()) {
+    self_id = col_table_ids_[sit->second.front()];
+  }
+  size_t processed = 0;
+  size_t next_check = 0;
+  for (; processed < lists.size(); ++processed) {
+    const size_t unread = lists.size() - processed;
+    if (query.k > 0 && touched.size() >= query.k && processed >= next_check) {
+      std::vector<size_t> bests;
+      bests.reserve(touched.size());
+      for (uint32_t t : touched) bests.push_back(table_best[t]);
+      std::nth_element(bests.begin(), bests.begin() + (query.k - 1),
+                       bests.end(), std::greater<size_t>());
+      const size_t kth = bests[query.k - 1];
+      if (unread < kth) break;
+      // The k-th best only grows while unread falls by one per list, so
+      // the stop condition cannot hold before unread reaches kth - 1 —
+      // skip the scan until then instead of re-ranking per list.
+      next_check = processed + (unread - kth) + 1;
+    }
+    for (uint32_t id : *lists[processed].ids) {
+      const size_t n = ++partial[id];
+      const uint32_t tid = col_table_ids_[id];
+      if (tid == self_id) continue;
+      if (table_best[tid] == 0) touched.push_back(tid);
+      table_best[tid] = std::max(table_best[tid], n);
+    }
+  }
+  const size_t remaining = lists.size() - processed;
+  ObsAdd(obs_, "discover.josie.cascade.lists_total", lists.size());
+  ObsAdd(obs_, "discover.josie.cascade.lists_skipped", remaining);
+
+  // Stage-0 bounds: best partial + unread lists, admissible for every
+  // column of a seen table (unseen columns are capped by `remaining` and
+  // any seen column has partial >= 1).
+  std::vector<BoundedCandidate> bounded;
+  bounded.reserve(touched.size());
+  for (uint32_t t : touched) {
+    const size_t ub = table_best[t] + remaining;
+    bounded.push_back({table_names_[t],
+                       ub < params_.min_overlap ? 0.0
+                                                : static_cast<double>(ub)});
+  }
+  std::unordered_set<std::string_view> qset;
+  std::unordered_map<std::string_view, size_t> best_by_name;
+  ExactScorer scorer;
+  if (remaining == 0) {
+    // The merge ran to completion, so each table's best partial count IS
+    // its exact best column overlap — same integer the exhaustive merge
+    // aggregates. No need to re-probe the candidate's token sets.
+    best_by_name.reserve(touched.size());
+    for (uint32_t t : touched) best_by_name.emplace(table_names_[t],
+                                                    table_best[t]);
+    scorer = [&](const BoundedCandidate& cand) {
+      auto it = best_by_name.find(cand.table_name);
+      const size_t n = it == best_by_name.end() ? 0 : it->second;
+      return n < params_.min_overlap ? 0.0 : static_cast<double>(n);
+    };
+  } else {
+    // Early termination left some lists unread: partial counts undercount,
+    // so survivors are verified against the data.
+    qset.insert(qtokens.begin(), qtokens.end());
+    scorer = [&](const BoundedCandidate& cand) {
+      return ScoreTableExact(qset, cand.table_name);
+    };
+  }
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top =
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+  PublishCascadeStats(obs_, name(), stats);
+  return top;
+}
+
+Result<std::vector<std::vector<DiscoveryHit>>> JosieSearch::SearchBatch(
+    const std::vector<DiscoveryQuery>& queries) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  std::vector<std::vector<std::string>> qtokens(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const DiscoveryQuery& q = queries[qi];
+    if (q.table == nullptr) {
+      return Status::InvalidArgument("query table is null");
+    }
+    if (q.query_column >= q.table->num_columns()) {
+      return Status::OutOfRange("query column out of range");
+    }
+    qtokens[qi] = ColumnTokens(q.table->column(q.query_column));
   }
 
-  // Per-table best column overlap.
-  std::unordered_map<std::string, size_t> best;
-  for (const auto& [id, n] : overlap) {
-    if (n < params_.min_overlap) continue;
-    const auto& [table_name, col] = columns_[id];
-    if (table_name == query.table->name()) continue;
-    size_t& cur = best[table_name];
-    cur = std::max(cur, n);
+  // One pass over the batch's distinct token universe: each posting list is
+  // located in the inverted index once, then scattered to every query that
+  // contains the token.
+  std::unordered_map<std::string_view, std::vector<size_t>> token_queries;
+  size_t lookups_requested = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    lookups_requested += qtokens[qi].size();
+    for (const std::string& tok : qtokens[qi]) {
+      token_queries[tok].push_back(qi);
+    }
   }
-  std::vector<DiscoveryHit> hits;
-  hits.reserve(best.size());
-  for (const auto& [name, n] : best) {
-    hits.push_back({name, static_cast<double>(n)});
+  std::vector<std::unordered_map<uint32_t, size_t>> overlap(queries.size());
+  for (const auto& [tok, qids] : token_queries) {
+    auto it = postings_.find(std::string(tok));
+    if (it == postings_.end()) continue;
+    for (size_t qi : qids) {
+      for (uint32_t id : it->second) ++overlap[qi][id];
+    }
   }
-  return RankHits(std::move(hits), query.k);
+  ObsAdd(obs_, "discover.josie.batch.queries", queries.size());
+  ObsAdd(obs_, "discover.josie.batch.tokens_requested", lookups_requested);
+  ObsAdd(obs_, "discover.josie.batch.lookups_saved",
+         lookups_requested - token_queries.size());
+
+  std::vector<std::vector<DiscoveryHit>> results;
+  results.reserve(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    results.push_back(AggregateOverlaps(overlap[qi], queries[qi].table->name(),
+                                        queries[qi].k));
+  }
+  return results;
 }
 
 }  // namespace dialite

@@ -2,7 +2,9 @@
 #define DIALITE_DISCOVERY_JOSIE_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -15,11 +17,13 @@ namespace dialite {
 /// lake tables owning a column X maximizing |Q ∩ X|.
 ///
 /// Offline: a token inverted index over all lake columns, with posting
-/// lists ordered by column. Online: candidates accumulate overlap counts by
-/// merging the query tokens' posting lists; exact by construction (no
-/// sketches), with posting lists of ultra-frequent tokens still walked —
-/// our lakes are small enough that JOSIE's cost-based skipping is not
-/// needed, but the API matches it.
+/// lists ordered by column. Online (cascade mode, the default): posting
+/// lists are merged rarest-first, and the merge stops once the lists still
+/// unread cannot lift any unseen column past the k-th best partial count —
+/// JOSIE's prefix-filter idea. Survivors are exactly verified against their
+/// token sets (re-tokenized once through the lake's sketch cache), so
+/// scores are exact overlaps either way. Exhaustive mode walks every
+/// posting list to completion, as the original implementation did.
 class JosieSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
@@ -48,11 +52,52 @@ class JosieSearch : public DiscoveryAlgorithm, public PersistentIndex {
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 
+  /// Batch path: locates each *distinct* token of the whole batch in the
+  /// inverted index once and scatters its posting list to every query
+  /// containing the token — one index pass, cache-friendly, with
+  /// discover.josie.batch.* counters recording the saved lookups. Results
+  /// are identical to per-query Search() in either mode.
+  Result<std::vector<std::vector<DiscoveryHit>>> SearchBatch(
+      const std::vector<DiscoveryQuery>& queries) const override;
+
+  /// Admissible stage-0 bound: |Q ∩ X| <= min(|Q|, |X|), maximized over the
+  /// table's indexed columns (|X| via the lake's sketch cache), 0 when even
+  /// that misses min_overlap or the table has no indexed columns. Search()'s
+  /// cascade uses the tighter partial-count + remaining-lists bound instead.
+  Result<double> ScoreUpperBound(const DiscoveryQuery& query,
+                                 const std::string& table_name) const override;
+
  private:
+  /// Per-table best-column exact overlap against `qset` over all of the
+  /// table's indexed columns; 0 when below min_overlap. The same integer
+  /// count the posting merge produces, so both paths score identically.
+  double ScoreTableExact(
+      const std::unordered_set<std::string_view>& qset,
+      const std::string& table_name) const;
+
+  /// Folds per-column overlap counts into ranked per-table hits (the
+  /// exhaustive tail shared by Search and SearchBatch).
+  std::vector<DiscoveryHit> AggregateOverlaps(
+      const std::unordered_map<uint32_t, size_t>& overlap,
+      const std::string& self_name, size_t k) const;
+
+  /// Rebuilds the dense column-id -> table-id mapping the cascade merge
+  /// accumulates into (derived from columns_; shared by BuildIndex and
+  /// LoadIndex).
+  void RebuildTableIds();
+
   Params params_;
   const DataLake* lake_ = nullptr;
   /// Column id -> (table name, column index).
   std::vector<std::pair<std::string, size_t>> columns_;
+  /// Column id -> dense table id (index into table_names_) — lets the
+  /// cascade merge accumulate per-table bests in flat arrays instead of
+  /// hashing table-name strings per posting.
+  std::vector<uint32_t> col_table_ids_;
+  /// Dense table id -> table name, in first-indexed order.
+  std::vector<std::string> table_names_;
+  /// table name -> its indexed column ids (cascade exact verification).
+  std::unordered_map<std::string, std::vector<uint32_t>> table_columns_;
   /// token -> ids of columns containing it.
   std::unordered_map<std::string, std::vector<uint32_t>> postings_;
 };

@@ -1,9 +1,12 @@
 #include "discovery/lsh_ensemble_search.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
+#include "common/hash.h"
+#include "discovery/cascade.h"
 #include "text/similarity.h"
 
 namespace dialite {
@@ -13,9 +16,21 @@ LshEnsembleSearch::LshEnsembleSearch(Params params)
       ensemble_(LshEnsemble::Params{params.num_perm, params.num_partitions,
                                     params.seed}) {}
 
+std::vector<uint32_t> LshEnsembleSearch::TokenHistogram(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint32_t> hist(params_.bound_buckets, 0);
+  for (const std::string& t : tokens) {
+    ++hist[HashString(t, params_.seed) % params_.bound_buckets];
+  }
+  return hist;
+}
+
 Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   columns_.clear();
+  set_sizes_.clear();
+  bucket_hists_.clear();
+  table_columns_.clear();
   ensemble_ = LshEnsemble(LshEnsemble::Params{
       params_.num_perm, params_.num_partitions, params_.seed});
   const std::vector<const Table*> tables = lake.tables();
@@ -38,6 +53,9 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
       if (toks.size() < params_.min_distinct) continue;
       uint64_t id = columns_.size();
       columns_.emplace_back(t->name(), c);
+      set_sizes_.push_back(toks.size());
+      bucket_hists_.push_back(TokenHistogram(toks));
+      table_columns_[t->name()].push_back(id);
       DIALITE_RETURN_IF_ERROR(
           ensemble_.AddSketch(id, toks.size(), (*sigs[i])[c]));
     }
@@ -45,6 +63,47 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
   ObsAdd(obs_, "discover.lsh_ensemble.build.tables", tables.size());
   ObsSet(obs_, "discover.lsh_ensemble.index.columns", columns_.size());
   return ensemble_.Build();
+}
+
+double LshEnsembleSearch::ColumnUpperBound(uint64_t id,
+                                           const std::vector<uint32_t>& qhist,
+                                           size_t query_set_size) const {
+  // |Q∩X| = sum_b |Q_b ∩ X_b| <= sum_b min(|Q_b|, |X_b|) over the hash
+  // buckets — exact integer arithmetic, so the bound is content-aware
+  // (near-disjoint sets bound well below 1) yet never undercounts.
+  // ColumnTokens is distinct, so query_set_size is exactly the |Q| the
+  // exact Containment() divides by, and integer -> double division is
+  // monotone: the bound holds under fp rounding.
+  const std::vector<uint32_t>& xhist = bucket_hists_[id];
+  uint64_t inter = 0;
+  for (size_t b = 0; b < xhist.size(); ++b) {
+    inter += std::min(qhist[b], xhist[b]);
+  }
+  double ub = static_cast<double>(inter) / static_cast<double>(query_set_size);
+  if (ub > 1.0) ub = 1.0;
+  return ub >= params_.containment_threshold ? ub : 0.0;
+}
+
+Result<double> LshEnsembleSearch::ScoreUpperBound(
+    const DiscoveryQuery& query, const std::string& table_name) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  std::vector<std::string> qtokens =
+      ColumnTokens(query.table->column(query.query_column));
+  if (qtokens.empty()) return 0.0;
+  auto it = table_columns_.find(table_name);
+  if (it == table_columns_.end()) return 0.0;  // not indexed: cannot score
+  const std::vector<uint32_t> qhist = TokenHistogram(qtokens);
+  double ub = 0.0;
+  for (uint64_t id : it->second) {
+    ub = std::max(ub, ColumnUpperBound(id, qhist, qtokens.size()));
+  }
+  return ub;
 }
 
 Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
@@ -56,31 +115,95 @@ Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
   if (query.query_column >= query.table->num_columns()) {
     return Status::OutOfRange("query column out of range");
   }
-  std::vector<std::string> qtokens =
-      ColumnTokens(query.table->column(query.query_column));
+  // Lake-resident query tables (the discover-from-lake flow) reuse the
+  // shared sketch cache: tokens and the MinHash signature were computed at
+  // BuildIndex, so per-search query sketching drops out. Transient query
+  // tables are sketched locally — the cache must not pin them.
+  std::shared_ptr<const ColumnTokenSets> cached_tokens;
+  std::shared_ptr<const std::vector<MinHash>> cached_sigs;
+  std::vector<std::string> own_tokens;
+  const std::vector<std::string>* qtokens_ptr = &own_tokens;
+  if (lake_->Get(query.table->name()) == query.table) {
+    TableSketchCache& cache = lake_->sketch_cache();
+    cached_tokens = cache.TokenSets(*query.table);
+    cached_sigs = cache.MinHashSignatures(*query.table, params_.num_perm,
+                                          params_.seed);
+    qtokens_ptr = &(*cached_tokens)[query.query_column];
+  } else {
+    own_tokens = ColumnTokens(query.table->column(query.query_column));
+  }
+  const std::vector<std::string>& qtokens = *qtokens_ptr;
   if (qtokens.empty()) return std::vector<DiscoveryHit>{};
 
+  // ColumnTokens is distinct, so the cached per-column signature matches
+  // what the token overload would build and qtokens.size() is the true
+  // distinct-set size.
   std::vector<uint64_t> cand_ids =
-      ensemble_.Query(qtokens, params_.containment_threshold);
+      cached_sigs != nullptr
+          ? ensemble_.Query((*cached_sigs)[query.query_column],
+                            qtokens.size(), params_.containment_threshold)
+          : ensemble_.Query(qtokens, params_.containment_threshold);
 
-  // Exact verification + per-table best containment.
-  std::unordered_map<std::string, double> best;
+  // Group candidate columns by table; both modes score a table as its best
+  // verified column's containment, through the same Containment() calls.
+  std::map<std::string, std::vector<uint64_t>> by_table;
   for (uint64_t id : cand_ids) {
     const auto& [table_name, col] = columns_[id];
+    (void)col;
     if (table_name == query.table->name()) continue;
+    by_table[table_name].push_back(id);
+  }
+
+  auto score_table = [&](const std::string& table_name,
+                         const std::vector<uint64_t>& ids) {
     const Table* cand = lake_->Get(table_name);
-    if (cand == nullptr) continue;
+    if (cand == nullptr) return 0.0;
     std::shared_ptr<const ColumnTokenSets> ctokens =
         lake_->sketch_cache().TokenSets(*cand);
-    double c = Containment(qtokens, (*ctokens)[col]);
-    if (c < params_.containment_threshold) continue;
-    double& cur = best[table_name];
-    cur = std::max(cur, c);
+    double best = 0.0;
+    for (uint64_t id : ids) {
+      double c = Containment(qtokens, (*ctokens)[columns_[id].second]);
+      if (c < params_.containment_threshold) continue;
+      best = std::max(best, c);
+    }
+    return best;
+  };
+
+  if (search_mode_ == SearchMode::kExhaustive) {
+    std::vector<DiscoveryHit> hits;
+    hits.reserve(by_table.size());
+    CascadeStats stats;
+    stats.candidates_total = by_table.size();
+    stats.scored_exact = by_table.size();
+    for (const auto& [table_name, ids] : by_table) {
+      double score = score_table(table_name, ids);
+      if (score > 0.0) hits.push_back({table_name, score});
+    }
+    PublishCascadeStats(obs_, name(), stats);
+    return RankHits(std::move(hits), query.k);
   }
-  std::vector<DiscoveryHit> hits;
-  hits.reserve(best.size());
-  for (const auto& [name, score] : best) hits.push_back({name, score});
-  return RankHits(std::move(hits), query.k);
+
+  // Cascade: per-table histogram bounds over the LSH candidate columns,
+  // then bounded top-k over the exact verifier. One query histogram is
+  // shared across every candidate column.
+  const std::vector<uint32_t> qhist = TokenHistogram(qtokens);
+  std::vector<BoundedCandidate> bounded;
+  bounded.reserve(by_table.size());
+  for (const auto& [table_name, ids] : by_table) {
+    double ub = 0.0;
+    for (uint64_t id : ids) {
+      ub = std::max(ub, ColumnUpperBound(id, qhist, qtokens.size()));
+    }
+    bounded.push_back({table_name, ub});
+  }
+  ExactScorer scorer = [&](const BoundedCandidate& cand) {
+    return score_table(cand.table_name, by_table.find(cand.table_name)->second);
+  };
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top =
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+  PublishCascadeStats(obs_, name(), stats);
+  return top;
 }
 
 }  // namespace dialite

@@ -2,6 +2,7 @@
 #define DIALITE_DISCOVERY_LSH_ENSEMBLE_SEARCH_H_
 
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,9 @@ class LshEnsembleSearch : public DiscoveryAlgorithm {
     /// (single-value columns join with everything vacuously).
     size_t min_distinct = 2;
     uint64_t seed = 7;
+    /// Buckets of the per-column token-hash histograms behind the stage-0
+    /// containment bound (more buckets = tighter bound, more memory).
+    size_t bound_buckets = 256;
   };
 
   LshEnsembleSearch() : LshEnsembleSearch(Params()) {}
@@ -38,12 +42,39 @@ class LshEnsembleSearch : public DiscoveryAlgorithm {
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 
+  /// Admissible stage-0 bound: bucketing tokens by hash into B buckets,
+  /// |Q∩X| = sum_b |Q_b ∩ X_b| <= sum_b min(|Q_b|, |X_b|), so containment
+  /// of Q in X is at most that sum over |Q| — exact integer arithmetic
+  /// against the per-column histograms stored at build time, taken over
+  /// all of the table's indexed columns, and 0 when even that bound misses
+  /// `containment_threshold` (the exact path filters such columns).
+  /// Returns 0 for tables with no indexed columns — they cannot score.
+  /// Requires BuildIndex.
+  Result<double> ScoreUpperBound(const DiscoveryQuery& query,
+                                 const std::string& table_name) const override;
+
  private:
+  /// Token-hash bucket counts of one column's distinct-token set.
+  std::vector<uint32_t> TokenHistogram(
+      const std::vector<std::string>& tokens) const;
+
+  /// min(1, sum_b min(qhist_b, xhist_b) / |Q|) if that clears the
+  /// containment threshold, else 0.
+  double ColumnUpperBound(uint64_t id, const std::vector<uint32_t>& qhist,
+                          size_t query_set_size) const;
+
   Params params_;
   LshEnsemble ensemble_;
   const DataLake* lake_ = nullptr;
   /// Ensemble id -> (table name, column index).
   std::vector<std::pair<std::string, size_t>> columns_;
+  /// Ensemble id -> distinct-token count of that column (|X| in the bound).
+  std::vector<size_t> set_sizes_;
+  /// Ensemble id -> token-hash bucket histogram (stage-0 bound).
+  std::vector<std::vector<uint32_t>> bucket_hists_;
+  /// table name -> every ensemble id indexed for it (ScoreUpperBound's
+  /// candidate-free bound path).
+  std::unordered_map<std::string, std::vector<uint64_t>> table_columns_;
 };
 
 }  // namespace dialite

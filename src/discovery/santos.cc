@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "discovery/cascade.h"
 #include "discovery/persist.h"
 
 namespace dialite {
@@ -47,9 +48,25 @@ SantosSearch::TableSemantics SantosSearch::Annotate(
   return sem;
 }
 
+SantosSearch::BoundProfile SantosSearch::MakeBoundProfile(
+    const TableSemantics& sem) {
+  BoundProfile prof;
+  for (const ColumnSemantics& col : sem.columns) {
+    for (const auto& [type, conf] : col.types) {
+      double& best = prof.type_max_conf[type];
+      best = std::max(best, conf);
+    }
+  }
+  for (const auto& [label, conf] : sem.relations) {
+    prof.max_rel_conf = std::max(prof.max_rel_conf, conf);
+  }
+  return prof;
+}
+
 Status SantosSearch::BuildIndex(const DataLake& lake) {
   lake_ = &lake;
   semantics_.clear();
+  bounds_.clear();
   type_index_.clear();
   const std::vector<const Table*> tables = lake.tables();
   // Compute phase: KB annotation per table (the expensive part — column
@@ -73,6 +90,7 @@ Status SantosSearch::BuildIndex(const DataLake& lake) {
         }
       }
     }
+    bounds_.emplace(t->name(), MakeBoundProfile(sems[i]));
     semantics_.emplace(t->name(), std::move(sems[i]));
   }
   ObsAdd(obs_, "discover.santos.build.tables", tables.size());
@@ -126,6 +144,7 @@ Status SantosSearch::LoadIndex(const std::string& path, const DataLake& lake) {
   if (word != "tables") return Status::ParseError("expected 'tables'");
   in.ignore();
   semantics_.clear();
+  bounds_.clear();
   type_index_.clear();
   for (size_t t = 0; t < num_tables; ++t) {
     if (!std::getline(in, line) || line.rfind("table ", 0) != 0) {
@@ -188,11 +207,108 @@ Status SantosSearch::LoadIndex(const std::string& path, const DataLake& lake) {
         if (seen.insert(type).second) type_index_[type].push_back(name);
       }
     }
+    bounds_.emplace(name, MakeBoundProfile(sem));
     semantics_.emplace(std::move(name), std::move(sem));
   }
   if (!in && !in.eof()) return Status::ParseError("truncated santos index");
   lake_ = &lake;
   return Status::OK();
+}
+
+double SantosSearch::ScoreCandidate(const TableSemantics& qsem,
+                                    size_t query_column,
+                                    const TableSemantics& csem) const {
+  const ColumnSemantics& intent = qsem.columns[query_column];
+
+  // Intent column must find a semantically matching candidate column.
+  double intent_match = 0.0;
+  for (const ColumnSemantics& col : csem.columns) {
+    double m = 0.0;
+    for (const auto& [type, qconf] : intent.types) {
+      auto it = col.types.find(type);
+      if (it != col.types.end()) m += qconf * it->second;
+    }
+    intent_match = std::max(intent_match, m);
+  }
+  if (intent_match <= 0.0) return 0.0;
+
+  // Relationship overlap, anchored at the query's intent column.
+  double rel_score = 0.0;
+  for (const auto& [label, qconf] : qsem.anchored_relations[query_column]) {
+    auto it = csem.relations.find(label);
+    if (it != csem.relations.end()) rel_score += qconf * it->second;
+  }
+
+  // Other-column type overlap (types matched anywhere, intent excluded).
+  double col_score = 0.0;
+  for (size_t c = 0; c < qsem.columns.size(); ++c) {
+    if (c == query_column) continue;
+    double best = 0.0;
+    for (const ColumnSemantics& col : csem.columns) {
+      double m = 0.0;
+      for (const auto& [type, qconf] : qsem.columns[c].types) {
+        auto it = col.types.find(type);
+        if (it != col.types.end()) m += qconf * it->second;
+      }
+      best = std::max(best, m);
+    }
+    col_score += best;
+  }
+
+  return intent_match * (1.0 + params_.relationship_weight * rel_score +
+                         params_.column_weight * col_score);
+}
+
+double SantosSearch::CandidateUpperBound(const TableSemantics& qsem,
+                                         size_t query_column,
+                                         const BoundProfile& prof) const {
+  // Each sum below mirrors the matching ScoreCandidate sum: same ordered
+  // type iteration, each per-type confidence replaced by the table-wide
+  // maximum. Term-wise >= with identical accumulation structure keeps the
+  // bound admissible even under fp rounding.
+  const ColumnSemantics& intent = qsem.columns[query_column];
+  double intent_ub = 0.0;
+  for (const auto& [type, qconf] : intent.types) {
+    auto it = prof.type_max_conf.find(type);
+    if (it != prof.type_max_conf.end()) intent_ub += qconf * it->second;
+  }
+  if (intent_ub <= 0.0) return 0.0;
+
+  double rel_ub = 0.0;
+  for (const auto& [label, qconf] : qsem.anchored_relations[query_column]) {
+    rel_ub += qconf * prof.max_rel_conf;
+  }
+
+  double col_ub = 0.0;
+  for (size_t c = 0; c < qsem.columns.size(); ++c) {
+    if (c == query_column) continue;
+    for (const auto& [type, qconf] : qsem.columns[c].types) {
+      auto it = prof.type_max_conf.find(type);
+      if (it != prof.type_max_conf.end()) col_ub += qconf * it->second;
+    }
+  }
+
+  return intent_ub * (1.0 + params_.relationship_weight * rel_ub +
+                      params_.column_weight * col_ub);
+}
+
+Result<double> SantosSearch::ScoreUpperBound(
+    const DiscoveryQuery& query, const std::string& table_name) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  auto it = bounds_.find(table_name);
+  if (it == bounds_.end()) {
+    return Status::NotFound("no santos bound profile for '" + table_name +
+                            "'");
+  }
+  TableSemantics qsem = Annotate(*query.table);
+  if (qsem.columns[query.query_column].types.empty()) return 0.0;
+  return CandidateUpperBound(qsem, query.query_column, it->second);
 }
 
 Result<std::vector<DiscoveryHit>> SantosSearch::Search(
@@ -219,54 +335,55 @@ Result<std::vector<DiscoveryHit>> SantosSearch::Search(
     candidates.insert(it->second.begin(), it->second.end());
   }
 
-  const std::map<std::string, double>& q_anchored =
-      qsem.anchored_relations[query.query_column];
+  if (search_mode_ == SearchMode::kExhaustive) {
+    std::vector<DiscoveryHit> hits;
+    CascadeStats stats;
+    for (const std::string& cand_name : candidates) {
+      if (cand_name == query.table->name()) continue;
+      auto it = semantics_.find(cand_name);
+      if (it == semantics_.end()) {
+        return Status::Internal("santos index missing semantics for '" +
+                                cand_name + "'");
+      }
+      ++stats.candidates_total;
+      ++stats.scored_exact;
+      double score = ScoreCandidate(qsem, query.query_column, it->second);
+      if (score > 0.0) hits.push_back({cand_name, score});
+    }
+    PublishCascadeStats(obs_, name(), stats);
+    return RankHits(std::move(hits), query.k);
+  }
 
-  std::vector<DiscoveryHit> hits;
+  // Cascade: stage-0 bounds from the per-table profiles, then bounded
+  // top-k over the exact scorer (same arithmetic as the exhaustive path).
+  std::vector<BoundedCandidate> bounded;
+  bounded.reserve(candidates.size());
   for (const std::string& cand_name : candidates) {
     if (cand_name == query.table->name()) continue;
-    const TableSemantics& csem = semantics_.at(cand_name);
-
-    // Intent column must find a semantically matching candidate column.
-    double intent_match = 0.0;
-    for (const ColumnSemantics& col : csem.columns) {
-      double m = 0.0;
-      for (const auto& [type, qconf] : intent.types) {
-        auto it = col.types.find(type);
-        if (it != col.types.end()) m += qconf * it->second;
-      }
-      intent_match = std::max(intent_match, m);
+    auto bit = bounds_.find(cand_name);
+    if (bit == bounds_.end()) {
+      return Status::Internal("santos index missing bound profile for '" +
+                              cand_name + "'");
     }
-    if (intent_match <= 0.0) continue;
-
-    // Relationship overlap, anchored at the query's intent column.
-    double rel_score = 0.0;
-    for (const auto& [label, qconf] : q_anchored) {
-      auto it = csem.relations.find(label);
-      if (it != csem.relations.end()) rel_score += qconf * it->second;
-    }
-
-    // Other-column type overlap (types matched anywhere, intent excluded).
-    double col_score = 0.0;
-    for (size_t c = 0; c < qsem.columns.size(); ++c) {
-      if (c == query.query_column) continue;
-      double best = 0.0;
-      for (const ColumnSemantics& col : csem.columns) {
-        double m = 0.0;
-        for (const auto& [type, qconf] : qsem.columns[c].types) {
-          auto it = col.types.find(type);
-          if (it != col.types.end()) m += qconf * it->second;
-        }
-        best = std::max(best, m);
-      }
-      col_score += best;
-    }
-
-    double score = intent_match * (1.0 + params_.relationship_weight * rel_score +
-                                   params_.column_weight * col_score);
-    hits.push_back({cand_name, score});
+    bounded.push_back({cand_name, CandidateUpperBound(qsem, query.query_column,
+                                                      bit->second)});
   }
-  return RankHits(std::move(hits), query.k);
+  Status scorer_status = Status::OK();
+  ExactScorer scorer = [&](const BoundedCandidate& cand) {
+    auto it = semantics_.find(cand.table_name);
+    if (it == semantics_.end()) {
+      scorer_status = Status::Internal("santos index missing semantics for '" +
+                                       cand.table_name + "'");
+      return 0.0;
+    }
+    return ScoreCandidate(qsem, query.query_column, it->second);
+  };
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top =
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+  if (!scorer_status.ok()) return scorer_status;
+  PublishCascadeStats(obs_, name(), stats);
+  return top;
 }
 
 }  // namespace dialite

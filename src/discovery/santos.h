@@ -58,6 +58,16 @@ class SantosSearch : public DiscoveryAlgorithm, public PersistentIndex {
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 
+  /// Admissible stage-0 bound from the per-table bound profile:
+  ///   ub_intent · (1 + w_rel · ub_rel + w_col · ub_col)
+  /// where ub_intent/ub_col replace each per-column type confidence with the
+  /// table-wide maximum for that type, and ub_rel replaces each relation
+  /// confidence with the table-wide maximum. Annotates the query table per
+  /// call — Search()'s cascade path shares one annotation across all
+  /// candidates instead.
+  Result<double> ScoreUpperBound(const DiscoveryQuery& query,
+                                 const std::string& table_name) const override;
+
  private:
   /// Per-column type labels with confidences; per-table relation labels.
   struct ColumnSemantics {
@@ -72,17 +82,43 @@ class SantosSearch : public DiscoveryAlgorithm, public PersistentIndex {
     std::vector<std::map<std::string, double>> anchored_relations;
   };
 
+  /// Cheap per-table aggregates the cascade's stage-0 bound is computed
+  /// from, derived once from TableSemantics at Build/LoadIndex time.
+  struct BoundProfile {
+    /// type label -> max confidence over the table's columns.
+    std::map<std::string, double> type_max_conf;
+    /// max relation confidence over all labels (0 when the table has none).
+    double max_rel_conf = 0.0;
+  };
+
   /// Annotates one table. `distinct` optionally supplies the per-column
   /// distinct raw value sets (from the lake's sketch cache); when null they
   /// are computed from the table directly (the query-table path).
   TableSemantics Annotate(const Table& table,
                           const ColumnDistinctValues* distinct = nullptr) const;
 
+  static BoundProfile MakeBoundProfile(const TableSemantics& sem);
+
+  /// The exact per-candidate score — the single scoring loop both the
+  /// exhaustive and cascade paths run, so their scores are bit-identical.
+  /// Returns 0 when the intent column finds no semantic match.
+  double ScoreCandidate(const TableSemantics& qsem, size_t query_column,
+                        const TableSemantics& csem) const;
+
+  /// Stage-0 bound against one table's profile; term-by-term >= the exact
+  /// score ScoreCandidate computes (each sum iterates the same ordered type
+  /// sets with per-term-larger operands, so the inequality survives fp
+  /// rounding — see DESIGN.md "Tiered discovery cascade").
+  double CandidateUpperBound(const TableSemantics& qsem, size_t query_column,
+                             const BoundProfile& prof) const;
+
   Params params_;
   const KnowledgeBase* kb_;
   ColumnAnnotator annotator_;
   const DataLake* lake_ = nullptr;
   std::unordered_map<std::string, TableSemantics> semantics_;
+  /// Per-table stage-0 bound profiles, keyed like semantics_.
+  std::unordered_map<std::string, BoundProfile> bounds_;
   /// type label -> table names exhibiting it in some column.
   std::unordered_map<std::string, std::vector<std::string>> type_index_;
 };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
 
+#include "discovery/cascade.h"
 #include "text/similarity.h"
 
 namespace dialite {
@@ -51,8 +53,12 @@ double TusSearch::Unionability(const ColumnProfile& a,
     for (const auto& [t, w] : b.types) nb += w * w;
     if (na > 0 && nb > 0) u_sem = dot / std::sqrt(na * nb);
   }
-  // Natural-language unionability.
+  // Natural-language unionability. Both cosines are clamped to 1: rounding
+  // can push dot/(|a||b|) an ulp past 1, and the cascade's stage-0 bounds
+  // (capped at 1 per pair) rely on unionability never exceeding it.
   double u_nl = CosineSimilarity(a.embedding, b.embedding);
+  u_sem = std::min(u_sem, 1.0);
+  u_nl = std::min(u_nl, 1.0);
   return std::max({u_set, u_sem, u_nl});
 }
 
@@ -81,13 +87,13 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
   // matches a sequential build exactly.
   for (size_t i = 0; i < tables.size(); ++i) {
     const Table* t = tables[i];
-    std::unordered_set<std::string> toks_seen;
     std::unordered_set<std::string> types_seen;
-    for (ColumnProfile& p : all_cols[i]) {
+    for (size_t c = 0; c < all_cols[i].size(); ++c) {
+      ColumnProfile& p = all_cols[i][c];
+      // Column tokens are distinct, so each (token, table, column) posting
+      // appears exactly once — stage-0 hit counts are exact intersections.
       for (const std::string& tok : p.tokens) {
-        if (toks_seen.insert(tok).second) {
-          token_index_[tok].push_back(t->name());
-        }
+        token_index_[tok].emplace_back(t->name(), static_cast<uint32_t>(c));
       }
       for (const auto& [type, conf] : p.types) {
         if (types_seen.insert(type).second) {
@@ -100,6 +106,154 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
   ObsAdd(obs_, "discover.tus.build.tables", tables.size());
   ObsSet(obs_, "discover.tus.index.tokens", token_index_.size());
   return Status::OK();
+}
+
+double TusSearch::ScoreCandidate(const std::vector<ColumnProfile>& qcols,
+                                 size_t query_column,
+                                 const std::vector<ColumnProfile>& ccols) const {
+  // Greedy one-to-one alignment by descending unionability; ties broken by
+  // (query column, candidate column) so the alignment — and with it the
+  // score — is deterministic across platforms.
+  struct Pair {
+    size_t q;
+    size_t c;
+    double u;
+  };
+  std::vector<Pair> pairs;
+  for (size_t q = 0; q < qcols.size(); ++q) {
+    for (size_t c = 0; c < ccols.size(); ++c) {
+      double u = Unionability(qcols[q], ccols[c]);
+      if (u >= params_.min_column_unionability) pairs.push_back({q, c, u});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.u != b.u) return a.u > b.u;
+    if (a.q != b.q) return a.q < b.q;
+    return a.c < b.c;
+  });
+  std::vector<bool> q_used(qcols.size(), false);
+  std::vector<bool> c_used(ccols.size(), false);
+  double total = 0.0;
+  bool intent_matched = false;
+  size_t matched = 0;
+  for (const Pair& p : pairs) {
+    if (q_used[p.q] || c_used[p.c]) continue;
+    q_used[p.q] = true;
+    c_used[p.c] = true;
+    total += p.u;
+    ++matched;
+    if (p.q == query_column) intent_matched = true;
+  }
+  if (matched == 0 || !intent_matched) return 0.0;
+  return total / static_cast<double>(qcols.size());
+}
+
+namespace {
+
+/// Headroom multiplier absorbing fp reassociation between the bound's
+/// accumulation order and the exact path's (vectorized) one — orders of
+/// magnitude above the ~1e-14 worst case, far below any pruning threshold.
+constexpr double kFpMargin = 1.0 + 1e-9;
+
+}  // namespace
+
+double TusSearch::CandidateUpperBound(const std::vector<ColumnProfile>& qcols,
+                                      size_t query_column,
+                                      const CandidateEvidence& ev,
+                                      const std::vector<ColumnProfile>& ccols)
+    const {
+  const size_t nq = qcols.size();
+  size_t tokenized_cols = 0;
+  for (const ColumnProfile& cc : ccols) {
+    if (!cc.tokens.empty()) ++tokenized_cols;
+  }
+  // No tokenized candidate column — nothing can pair at all.
+  if (tokenized_cols == 0) return 0.0;
+  double sum = 0.0;
+  double intent_ub = 0.0;
+  for (size_t q = 0; q < nq; ++q) {
+    double ub = 0.0;
+    if (!qcols[q].tokens.empty()) {
+      for (size_t c = 0; c < ccols.size(); ++c) {
+        const ColumnProfile& cc = ccols[c];
+        if (cc.tokens.empty()) continue;
+        // u_set with the exact scorer's own arithmetic: the stage-0 hit
+        // count IS |A ∩ B| (per-column postings, distinct tokens), and the
+        // integer-over-integer division matches OverlapCoefficient's.
+        double pair = static_cast<double>(ev.hits[q * ev.ncols + c]) /
+                      static_cast<double>(std::min(qcols[q].tokens.size(),
+                                                   cc.tokens.size()));
+        // u_sem: same accumulation order as Unionability's cosine.
+        if (pair < 1.0 && !qcols[q].types.empty() && !cc.types.empty()) {
+          double dot = 0.0;
+          double na = 0.0;
+          double nb = 0.0;
+          for (const auto& [t, w] : qcols[q].types) {
+            na += w * w;
+            auto it = cc.types.find(t);
+            if (it != cc.types.end()) dot += w * it->second;
+          }
+          for (const auto& [t, w] : cc.types) nb += w * w;
+          if (na > 0 && nb > 0) {
+            pair = std::max(pair, std::min(dot / std::sqrt(na * nb), 1.0));
+          }
+        }
+        // u_nl: the exact embedding cosine (cheap — no set materialized).
+        if (pair < 1.0) {
+          pair = std::max(
+              pair,
+              std::min(CosineSimilarity(qcols[q].embedding, cc.embedding),
+                       1.0));
+        }
+        // Pairs below the threshold never enter the greedy alignment.
+        if (pair < params_.min_column_unionability) continue;
+        ub = std::max(ub, pair);
+      }
+    }
+    if (q == query_column) intent_ub = ub;
+    sum += ub;
+  }
+  // The intent column must pair for a table to score at all.
+  if (intent_ub <= 0.0) return 0.0;
+  // The greedy matching has at most min(|Q|, tokenized |T|) pairs, each
+  // <= 1; relaxing it to each query column's best pair keeps the bound
+  // admissible, and kFpMargin absorbs the different summation order.
+  double cap = static_cast<double>(std::min(nq, tokenized_cols));
+  return std::min(sum, cap) * kFpMargin / static_cast<double>(nq);
+}
+
+Result<double> TusSearch::ScoreUpperBound(const DiscoveryQuery& query,
+                                          const std::string& table_name) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  if (query.table == nullptr) {
+    return Status::InvalidArgument("query table is null");
+  }
+  if (query.query_column >= query.table->num_columns()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  auto pit = profiles_.find(table_name);
+  if (pit == profiles_.end()) return 0.0;  // not indexed: cannot score
+  const std::vector<ColumnProfile>& ccols = pit->second;
+  std::vector<ColumnProfile> qcols;
+  for (size_t c = 0; c < query.table->num_columns(); ++c) {
+    qcols.push_back(ProfileColumn(*query.table, c));
+  }
+  // Exact per-pair intersection counts, mirroring what Search()'s walk of
+  // the per-column postings accumulates (column tokens are distinct, so
+  // each query token contributes at most 1 per pair).
+  CandidateEvidence ev;
+  ev.ncols = ccols.size();
+  ev.hits.assign(qcols.size() * ccols.size(), 0);
+  for (size_t c = 0; c < ccols.size(); ++c) {
+    std::unordered_set<std::string_view> ctoks(ccols[c].tokens.begin(),
+                                               ccols[c].tokens.end());
+    for (size_t q = 0; q < qcols.size(); ++q) {
+      for (const std::string& tok : qcols[q].tokens) {
+        if (ctoks.count(tok) != 0) ++ev.hits[q * ev.ncols + c];
+      }
+    }
+  }
+  return CandidateUpperBound(qcols, query.query_column, ev, ccols);
 }
 
 Result<std::vector<DiscoveryHit>> TusSearch::Search(
@@ -117,57 +271,90 @@ Result<std::vector<DiscoveryHit>> TusSearch::Search(
   }
 
   // Candidate generation: tables sharing a token or a KB type with any
-  // query column.
-  std::unordered_set<std::string> candidates;
-  for (const ColumnProfile& qc : qcols) {
-    for (const std::string& tok : qc.tokens) {
+  // query column. The walk over the per-column postings accumulates the
+  // exact per-pair intersection counts |A_q ∩ B_c| as a side effect — the
+  // cascade's stage-0 evidence comes for free from this pass (postings are
+  // deduplicated per column, so each (query token, pair) counts once).
+  std::unordered_map<std::string, CandidateEvidence> candidates;
+  auto evidence = [&](const std::string& tname) -> CandidateEvidence* {
+    CandidateEvidence& ev = candidates[tname];
+    if (ev.hits.empty()) {
+      auto pit = profiles_.find(tname);
+      if (pit == profiles_.end()) return nullptr;  // unreachable: same build
+      ev.ncols = pit->second.size();
+      ev.hits.assign(qcols.size() * ev.ncols, 0);
+    }
+    return &ev;
+  };
+  for (size_t q = 0; q < qcols.size(); ++q) {
+    for (const std::string& tok : qcols[q].tokens) {
       auto it = token_index_.find(tok);
       if (it == token_index_.end()) continue;
-      candidates.insert(it->second.begin(), it->second.end());
+      for (const auto& [tname, col] : it->second) {
+        CandidateEvidence* ev = evidence(tname);
+        if (ev != nullptr) ++ev->hits[q * ev->ncols + col];
+      }
     }
-    for (const auto& [type, conf] : qc.types) {
+    for (const auto& [type, conf] : qcols[q].types) {
+      (void)conf;
       auto it = type_index_.find(type);
       if (it == type_index_.end()) continue;
-      candidates.insert(it->second.begin(), it->second.end());
+      for (const std::string& tname : it->second) {
+        evidence(tname);
+      }
     }
   }
 
-  std::vector<DiscoveryHit> hits;
-  for (const std::string& cand_name : candidates) {
-    if (cand_name == query.table->name()) continue;
-    const std::vector<ColumnProfile>& ccols = profiles_.at(cand_name);
-    // Greedy one-to-one alignment by descending unionability.
-    struct Pair {
-      size_t q;
-      size_t c;
-      double u;
-    };
-    std::vector<Pair> pairs;
-    for (size_t q = 0; q < qcols.size(); ++q) {
-      for (size_t c = 0; c < ccols.size(); ++c) {
-        double u = Unionability(qcols[q], ccols[c]);
-        if (u >= params_.min_column_unionability) pairs.push_back({q, c, u});
+  if (search_mode_ == SearchMode::kExhaustive) {
+    std::vector<DiscoveryHit> hits;
+    CascadeStats stats;
+    for (const auto& [cand_name, ev] : candidates) {
+      (void)ev;
+      if (cand_name == query.table->name()) continue;
+      auto it = profiles_.find(cand_name);
+      if (it == profiles_.end()) {
+        return Status::Internal("tus index missing profiles for '" +
+                                cand_name + "'");
       }
+      ++stats.candidates_total;
+      ++stats.scored_exact;
+      double score = ScoreCandidate(qcols, query.query_column, it->second);
+      if (score > 0.0) hits.push_back({cand_name, score});
     }
-    std::sort(pairs.begin(), pairs.end(),
-              [](const Pair& a, const Pair& b) { return a.u > b.u; });
-    std::vector<bool> q_used(qcols.size(), false);
-    std::vector<bool> c_used(ccols.size(), false);
-    double total = 0.0;
-    bool intent_matched = false;
-    size_t matched = 0;
-    for (const Pair& p : pairs) {
-      if (q_used[p.q] || c_used[p.c]) continue;
-      q_used[p.q] = true;
-      c_used[p.c] = true;
-      total += p.u;
-      ++matched;
-      if (p.q == query.query_column) intent_matched = true;
-    }
-    if (matched == 0 || !intent_matched) continue;
-    hits.push_back({cand_name, total / static_cast<double>(qcols.size())});
+    PublishCascadeStats(obs_, name(), stats);
+    return RankHits(std::move(hits), query.k);
   }
-  return RankHits(std::move(hits), query.k);
+
+  // Cascade: stage-0 index-accelerated bounds from the per-pair hit
+  // counts, then bounded top-k over the exact greedy-alignment scorer.
+  std::vector<BoundedCandidate> bounded;
+  bounded.reserve(candidates.size());
+  for (const auto& [cand_name, ev] : candidates) {
+    if (cand_name == query.table->name()) continue;
+    auto pit = profiles_.find(cand_name);
+    if (pit == profiles_.end()) {
+      return Status::Internal("tus index missing profiles for '" + cand_name +
+                              "'");
+    }
+    bounded.push_back({cand_name, CandidateUpperBound(qcols, query.query_column,
+                                                      ev, pit->second)});
+  }
+  Status scorer_status = Status::OK();
+  ExactScorer scorer = [&](const BoundedCandidate& cand) {
+    auto it = profiles_.find(cand.table_name);
+    if (it == profiles_.end()) {
+      scorer_status = Status::Internal("tus index missing profiles for '" +
+                                       cand.table_name + "'");
+      return 0.0;
+    }
+    return ScoreCandidate(qcols, query.query_column, it->second);
+  };
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top =
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+  if (!scorer_status.ok()) return scorer_status;
+  PublishCascadeStats(obs_, name(), stats);
+  return top;
 }
 
 }  // namespace dialite

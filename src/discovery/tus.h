@@ -1,6 +1,7 @@
 #ifndef DIALITE_DISCOVERY_TUS_H_
 #define DIALITE_DISCOVERY_TUS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -43,6 +44,23 @@ class TusSearch : public DiscoveryAlgorithm {
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 
+  /// Admissible stage-0 bound on the TUS table score: an index-accelerated
+  /// rescoring of every column pair that never materializes token sets.
+  /// The per-column token postings walked during candidate generation
+  /// yield the EXACT intersection |A ∩ B| per (query column, table column)
+  /// pair, so u_set is computed with the exact scorer's own arithmetic;
+  /// u_sem and u_nl mirror the exact type/embedding cosines (both cheap).
+  /// The only relaxations are the matching one — each query column takes
+  /// its best pair instead of a one-to-one assignment — and the kFpMargin
+  /// headroom, so the bound sits within a whisker of the true score and
+  /// prunes nearly everything below the running top-k bar. Pairs below
+  /// min_column_unionability contribute 0, an intent column that cannot
+  /// pair zeroes the whole table, and the sum is capped by the matching
+  /// size min(|Q cols|, tokenized table cols). Profiles the query table
+  /// per call — Search()'s cascade shares one profiling pass.
+  Result<double> ScoreUpperBound(const DiscoveryQuery& query,
+                                 const std::string& table_name) const override;
+
   /// The ensemble unionability of two prepared columns (for tests).
   struct ColumnProfile {
     std::vector<std::string> tokens;
@@ -53,21 +71,47 @@ class TusSearch : public DiscoveryAlgorithm {
   double Unionability(const ColumnProfile& a, const ColumnProfile& b) const;
 
  private:
+  /// Per-candidate stage-0 evidence gathered during candidate generation:
+  /// hits[q * ncols + c] counts how many of query column q's (distinct)
+  /// tokens candidate column c contains. Because the per-column postings
+  /// are deduplicated, this IS the exact intersection |A_q ∩ B_c|.
+  struct CandidateEvidence {
+    std::vector<uint32_t> hits;
+    size_t ncols = 0;
+  };
+
   /// Profile built from precomputed token / distinct value sets (the lake
   /// sketch-cache path; ProfileColumn derives both and delegates here).
   ColumnProfile ProfileFromSets(
       const std::vector<std::string>& tokens,
       const std::vector<std::string>& distinct_values) const;
 
- private:
+  /// The exact greedy-alignment table score — the single scoring routine
+  /// both the exhaustive and cascade paths run, so their scores are
+  /// bit-identical. Returns 0 when nothing pairs or the intent column
+  /// stays unmatched.
+  double ScoreCandidate(const std::vector<ColumnProfile>& qcols,
+                        size_t query_column,
+                        const std::vector<ColumnProfile>& ccols) const;
+
+  /// Stage-0 table bound from the per-pair hit counts + the candidate's
+  /// column profiles (see ScoreUpperBound and DESIGN.md "Tiered discovery
+  /// cascade").
+  double CandidateUpperBound(const std::vector<ColumnProfile>& qcols,
+                             size_t query_column, const CandidateEvidence& ev,
+                             const std::vector<ColumnProfile>& ccols) const;
+
   Params params_;
   const KnowledgeBase* kb_;
   ColumnAnnotator annotator_;
   HashEmbedder embedder_;
   const DataLake* lake_ = nullptr;
   std::unordered_map<std::string, std::vector<ColumnProfile>> profiles_;
-  /// token -> table names (candidate generation).
-  std::unordered_map<std::string, std::vector<std::string>> token_index_;
+  /// token -> (table name, column) postings, deduplicated per column
+  /// (candidate generation + exact stage-0 intersection counts).
+  std::unordered_map<std::string,
+                     std::vector<std::pair<std::string, uint32_t>>>
+      token_index_;
   /// KB type -> table names (candidate generation).
   std::unordered_map<std::string, std::vector<std::string>> type_index_;
 };

@@ -85,13 +85,18 @@ double LshEnsemble::ContainmentToJaccard(double containment, size_t query_size,
 std::vector<uint64_t> LshEnsemble::Query(
     const std::vector<std::string>& query_tokens,
     double containment_threshold) const {
-  if (!built_ || entries_.empty()) return {};
   std::unordered_set<std::string> distinct(query_tokens.begin(),
                                            query_tokens.end());
   const size_t qsize = distinct.size();
   if (qsize == 0) return {};
   MinHash qmh(params_.num_perm, params_.seed);
   for (const std::string& t : distinct) qmh.Update(t);
+  return Query(qmh, qsize, containment_threshold);
+}
+
+std::vector<uint64_t> LshEnsemble::Query(const MinHash& qmh, size_t qsize,
+                                         double containment_threshold) const {
+  if (!built_ || entries_.empty() || qsize == 0) return {};
 
   std::unordered_set<size_t> candidate_indices;
   for (const Partition& part : partitions_) {

@@ -57,6 +57,14 @@ class LshEnsemble {
   std::vector<uint64_t> Query(const std::vector<std::string>& query_tokens,
                               double containment_threshold) const;
 
+  /// Same, from a precomputed query signature plus the true distinct-set
+  /// size. The signature must have been built with this ensemble's
+  /// (num_perm, seed) over the query's distinct token set — then the
+  /// result is identical to the token overload. Lets callers reuse a
+  /// shared sketch cache instead of re-sketching the query per search.
+  std::vector<uint64_t> Query(const MinHash& qmh, size_t qsize,
+                              double containment_threshold) const;
+
   size_t size() const { return entries_.size(); }
   [[nodiscard]] bool built() const { return built_; }
 

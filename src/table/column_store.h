@@ -53,6 +53,8 @@ class NullMap {
 
   size_t size() const { return size_; }
 
+  void Reserve(size_t cells) { words_.reserve((cells + 31) / 32); }
+
   /// Number of null cells (either kind), by popcount over the packed words.
   size_t CountNulls() const {
     size_t n = 0;
@@ -130,6 +132,17 @@ class ColumnData {
     nulls_.Append(NullMap::kNonNull);
     string_ids_.push_back(id);
     PadLanes();
+  }
+
+  /// Pre-allocates capacity for `cells` total cells: the tag array, the null
+  /// map, and every already-materialized lane (lazily-materialized lanes
+  /// still start empty and reserve nothing until first use).
+  void Reserve(size_t cells) {
+    tags_.reserve(cells);
+    nulls_.Reserve(cells);
+    if (!ints_.empty()) ints_.reserve(cells);
+    if (!doubles_.empty()) doubles_.reserve(cells);
+    if (!string_ids_.empty()) string_ids_.reserve(cells);
   }
 
   /// Appends `v`, interning string payloads into `dict`.

@@ -1,12 +1,13 @@
 #include "table/csv.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/string_util.h"
+#include "table/table_builder.h"
 
 namespace dialite {
 
@@ -108,46 +109,73 @@ struct CsvTally {
   uint64_t inference_fallbacks = 0;   ///< non-null cells that stayed String
 };
 
-Value InferValueTallied(std::string_view raw, const CsvOptions& options,
-                        CsvTally* tally) {
+/// Inferred physical class of one raw cell — the tag the ingest loop
+/// dispatches on without ever materializing a Value.
+enum class CellClass : uint8_t { kNull, kInt, kDouble, kString };
+
+/// Trims and type-infers `raw` without allocating: on kInt/kDouble the
+/// payload is in *int_v / *dbl_v; on kString *text views into `raw` (valid
+/// as long as the caller's record storage is).
+CellClass ClassifyCell(std::string_view raw, const CsvOptions& options,
+                       CsvTally* tally, std::string_view* text,
+                       int64_t* int_v, double* dbl_v) {
   ++tally->cells;
   std::string_view s = TrimView(raw);
   if (s.empty()) {
     ++tally->null_cells;
-    return Value::Null(NullKind::kMissing);
+    return CellClass::kNull;
   }
   if (options.treat_na_strings_as_null && IsNaString(s)) {
     ++tally->null_cells;
     ++tally->na_coercions;
-    return Value::Null(NullKind::kMissing);
+    return CellClass::kNull;
   }
-  if (!options.infer_types) return Value::String(std::string(s));
+  *text = s;
+  if (!options.infer_types) return CellClass::kString;
 
-  // Integer?
+  // Integer? from_chars rejects the explicit '+' that strtoll accepted, so
+  // skip it by hand — but only before a digit ("+5" is 5; "+-5" stays text).
   {
-    std::string buf(s);
-    errno = 0;
-    char* end = nullptr;
-    long long v = std::strtoll(buf.c_str(), &end, 10);
-    if (errno == 0 && end != buf.c_str() && *end == '\0') {
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    if (s[0] == '+' && s.size() > 1 && s[1] >= '0' && s[1] <= '9') ++first;
+    int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(first, last, v, 10);
+    if (ec == std::errc() && ptr == last && first != last) {
       // Unsigned tokens with a leading zero ("02134", "007") are codes, not
       // numbers — keep the text so it survives a CSV round-trip.
       if (s.size() > 1 && s[0] == '0') {
         ++tally->inference_fallbacks;
-        return Value::String(std::string(s));
+        return CellClass::kString;
       }
-      return Value::Int(static_cast<int64_t>(v));
+      *int_v = v;
+      return CellClass::kInt;
     }
   }
-  // Double? Strict finite decimals only — strtod's extras ("0x1A", "inf",
-  // "nan", overflow to ±inf) stay strings (shared grammar with
-  // Value::AsNumeric and ColumnView::AsNumericAt).
-  {
-    double v;
-    if (ParseStrictNumeric(s, &v)) return Value::Double(v);
-  }
+  // Double? Strict finite decimals only — "0x1A", "inf", "nan", and
+  // overflow to ±inf stay strings (shared grammar with Value::AsNumeric and
+  // ColumnView::AsNumericAt).
+  if (ParseStrictNumeric(s, dbl_v)) return CellClass::kDouble;
   ++tally->inference_fallbacks;
-  return Value::String(std::string(s));
+  return CellClass::kString;
+}
+
+Value InferValueTallied(std::string_view raw, const CsvOptions& options,
+                        CsvTally* tally) {
+  std::string_view text;
+  int64_t int_v = 0;
+  double dbl_v = 0.0;
+  switch (ClassifyCell(raw, options, tally, &text, &int_v, &dbl_v)) {
+    case CellClass::kNull:
+      return Value::Null(NullKind::kMissing);
+    case CellClass::kInt:
+      return Value::Int(int_v);
+    case CellClass::kDouble:
+      return Value::Double(dbl_v);
+    case CellClass::kString:
+      break;
+  }
+  return Value::String(std::string(text));
 }
 
 }  // namespace
@@ -185,20 +213,39 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
   }
 
   Table table(std::move(table_name), std::move(schema));
+  // Columnar ingest: classify each raw field in place and append straight
+  // into the typed lanes — no Row/Value temporaries per cell.
+  TableBuilder builder(&table);
+  builder.ReserveRows(records.size() - first_data);
   for (size_t r = first_data; r < records.size(); ++r) {
-    Row row;
-    row.reserve(width);
+    const std::vector<std::string>& rec = records[r];
     for (size_t c = 0; c < width; ++c) {
-      if (c < records[r].size()) {
-        row.push_back(InferValueTallied(records[r][c], options, &tally));
+      if (c < rec.size()) {
+        std::string_view text;
+        int64_t int_v = 0;
+        double dbl_v = 0.0;
+        switch (ClassifyCell(rec[c], options, &tally, &text, &int_v, &dbl_v)) {
+          case CellClass::kNull:
+            builder.AppendNull(c, NullKind::kMissing);
+            break;
+          case CellClass::kInt:
+            builder.AppendInt(c, int_v);
+            break;
+          case CellClass::kDouble:
+            builder.AppendDouble(c, dbl_v);
+            break;
+          case CellClass::kString:
+            builder.AppendString(c, text);
+            break;
+        }
       } else {
         // Short records pad with missing nulls (ragged open-data exports).
         ++tally.cells;
         ++tally.null_cells;
-        row.push_back(Value::Null(NullKind::kMissing));
+        builder.AppendNull(c, NullKind::kMissing);
       }
     }
-    DIALITE_RETURN_IF_ERROR(table.AddRow(std::move(row)));
+    DIALITE_RETURN_IF_ERROR(builder.FinishRow());
   }
   if (options.infer_types) table.RefreshColumnTypes();
   if (obs != nullptr) {

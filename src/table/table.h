@@ -144,6 +144,8 @@ class Table {
   std::string ToPrettyString(size_t max_rows = 50) const;
 
  private:
+  friend class TableBuilder;  ///< columnar bulk ingest (table_builder.h)
+
   std::string name_;
   Schema schema_;
   StringDictionary dict_;

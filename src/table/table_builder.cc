@@ -1,0 +1,27 @@
+#include "table/table_builder.h"
+
+#include <string>
+
+namespace dialite {
+
+void TableBuilder::ReserveRows(size_t rows) {
+  for (ColumnData& col : table_->cols_) col.Reserve(col.size() + rows);
+}
+
+Status TableBuilder::FinishRow() {
+  const size_t want = table_->num_rows_ + 1;
+  for (size_t c = 0; c < table_->cols_.size(); ++c) {
+    if (table_->cols_[c].size() != want) {
+      return Status::Internal(
+          "TableBuilder: column " + std::to_string(c) + " has " +
+          std::to_string(table_->cols_[c].size()) + " cells at row commit, " +
+          "expected " + std::to_string(want));
+    }
+  }
+  table_->num_rows_ = want;
+  // Mirror AddRow: tables that already track provenance get an empty entry.
+  if (!table_->provenance_.empty()) table_->provenance_.emplace_back();
+  return Status::OK();
+}
+
+}  // namespace dialite

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dialite.h"
+#include "discovery/cascade.h"
+#include "discovery/josie.h"
+#include "discovery/lsh_ensemble_search.h"
+#include "discovery/santos.h"
+#include "discovery/tus.h"
+#include "lake/lake_generator.h"
+
+namespace dialite {
+namespace {
+
+// ------------------------------------------------------- RunBoundedTopK
+
+std::vector<BoundedCandidate> TightCandidates(
+    const std::vector<DiscoveryHit>& hits) {
+  std::vector<BoundedCandidate> out;
+  for (const DiscoveryHit& h : hits) out.push_back({h.table_name, h.score});
+  return out;
+}
+
+TEST(RunBoundedTopKTest, MatchesRankHitsWithTightBounds) {
+  std::vector<DiscoveryHit> hits = {{"c", 1.0}, {"a", 3.0}, {"b", 3.0},
+                                    {"zero", 0.0}, {"d", 2.0}};
+  auto exact = [&](const BoundedCandidate& cand) {
+    for (const DiscoveryHit& h : hits) {
+      if (h.table_name == cand.table_name) return h.score;
+    }
+    ADD_FAILURE() << "unknown candidate " << cand.table_name;
+    return 0.0;
+  };
+  for (size_t k : {0u, 1u, 2u, 3u, 10u}) {
+    EXPECT_EQ(RunBoundedTopK(TightCandidates(hits), k, exact),
+              RankHits(hits, k))
+        << "k=" << k;
+  }
+}
+
+TEST(RunBoundedTopKTest, LooseBoundsStillExact) {
+  // Bounds wildly overshoot; the result must still equal RankHits.
+  std::vector<DiscoveryHit> hits = {{"a", 0.1}, {"b", 0.9}, {"c", 0.5},
+                                    {"d", 0.5}, {"e", 0.2}};
+  std::vector<BoundedCandidate> cands;
+  for (const DiscoveryHit& h : hits) {
+    cands.push_back({h.table_name, h.score + 10.0});
+  }
+  auto exact = [&](const BoundedCandidate& cand) {
+    for (const DiscoveryHit& h : hits) {
+      if (h.table_name == cand.table_name) return h.score;
+    }
+    return 0.0;
+  };
+  EXPECT_EQ(RunBoundedTopK(cands, 2, exact), RankHits(hits, 2));
+}
+
+TEST(RunBoundedTopKTest, PrunesAndAccounts) {
+  // Descending-bound order: with k=1 and "top" scoring at its bound, every
+  // later candidate (bound 1.0 < 5.0) is pruned without scoring.
+  std::vector<BoundedCandidate> cands = {
+      {"top", 5.0}, {"x1", 1.0}, {"x2", 1.0}, {"x3", 1.0}};
+  size_t calls = 0;
+  auto exact = [&](const BoundedCandidate& cand) {
+    ++calls;
+    return cand.table_name == "top" ? 5.0 : 1.0;
+  };
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top = RunBoundedTopK(cands, 1, exact, &stats);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].table_name, "top");
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(stats.candidates_total, 4u);
+  EXPECT_EQ(stats.scored_exact, 1u);
+  EXPECT_EQ(stats.pruned_stage0, 3u);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_EQ(stats.scored_exact + stats.pruned_stage0, stats.candidates_total);
+}
+
+TEST(RunBoundedTopKTest, TieAtKthScoreKeepsScanning) {
+  // "b" fills the heap with score 1.0. "a" ties the bound AND the k-th
+  // score but wins the name tiebreak, so it must still be scored and
+  // returned even though it appears later in bound order (bound ties are
+  // scanned name-ascending, so craft the loser first via scores).
+  std::vector<BoundedCandidate> cands = {{"b", 2.0}, {"a", 1.0}, {"z", 1.0}};
+  auto exact = [&](const BoundedCandidate& cand) {
+    if (cand.table_name == "b") return 1.0;
+    if (cand.table_name == "a") return 1.0;
+    return 1.0;
+  };
+  std::vector<DiscoveryHit> top = RunBoundedTopK(cands, 1, exact, nullptr);
+  ASSERT_EQ(top.size(), 1u);
+  // All score 1.0; the name tiebreak selects "a".
+  EXPECT_EQ(top[0].table_name, "a");
+}
+
+TEST(RunBoundedTopKTest, NonPositiveBoundsPruneTail) {
+  std::vector<BoundedCandidate> cands = {{"a", 1.0}, {"b", 0.0}, {"c", -1.0}};
+  size_t calls = 0;
+  auto exact = [&](const BoundedCandidate& cand) {
+    ++calls;
+    (void)cand;
+    return 1.0;
+  };
+  CascadeStats stats;
+  std::vector<DiscoveryHit> top = RunBoundedTopK(cands, 5, exact, &stats);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].table_name, "a");
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(stats.pruned_stage0, 2u);
+}
+
+// ------------------------------------------------------------- HitBetter
+
+TEST(HitBetterTest, IsAStrictTotalOrderOnDistinctHits) {
+  std::vector<DiscoveryHit> hits = {{"a", 2.0}, {"b", 2.0}, {"c", 1.0}};
+  EXPECT_TRUE(HitBetter(hits[0], hits[1]));   // name tiebreak
+  EXPECT_FALSE(HitBetter(hits[1], hits[0]));
+  EXPECT_TRUE(HitBetter(hits[1], hits[2]));   // score dominates
+  EXPECT_FALSE(HitBetter(hits[0], hits[0]));  // irreflexive
+}
+
+TEST(HitBetterTest, RankHitsIsByteStableAcrossInputOrder) {
+  std::vector<DiscoveryHit> hits = {{"t1", 0.5}, {"t2", 0.5}, {"t3", 0.5},
+                                    {"t4", 0.25}, {"t5", 0.75}};
+  std::vector<DiscoveryHit> ranked = RankHits(hits, 4);
+  std::vector<DiscoveryHit> shuffled = {hits[3], hits[1], hits[4], hits[0],
+                                        hits[2]};
+  EXPECT_EQ(RankHits(shuffled, 4), ranked);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].table_name, "t5");
+  EXPECT_EQ(ranked[1].table_name, "t1");
+  EXPECT_EQ(ranked[2].table_name, "t2");
+  EXPECT_EQ(ranked[3].table_name, "t3");
+}
+
+// ------------------------------------------------- equivalence fixtures
+
+DataLake MakeLake(uint64_t seed, size_t fragments) {
+  LakeGeneratorParams p;
+  p.fragments_per_domain = fragments;
+  p.min_rows = 10;
+  p.max_rows = 40;
+  p.header_noise = 0.5;
+  p.seed = seed;
+  return SyntheticLakeGenerator(p).Generate().lake;
+}
+
+using AlgoFactory = std::unique_ptr<DiscoveryAlgorithm> (*)();
+
+struct AlgoCase {
+  const char* label;
+  AlgoFactory make;
+};
+
+std::unique_ptr<DiscoveryAlgorithm> MakeSantos() {
+  return std::make_unique<SantosSearch>();
+}
+std::unique_ptr<DiscoveryAlgorithm> MakeLsh() {
+  return std::make_unique<LshEnsembleSearch>();
+}
+std::unique_ptr<DiscoveryAlgorithm> MakeJosie() {
+  return std::make_unique<JosieSearch>();
+}
+std::unique_ptr<DiscoveryAlgorithm> MakeTus() {
+  return std::make_unique<TusSearch>();
+}
+
+class CascadeEquivalenceTest : public ::testing::TestWithParam<AlgoCase> {};
+
+// Cascade top-k must equal exhaustive top-k — scores included — for every
+// query table, k, lake seed, and build thread count.
+TEST_P(CascadeEquivalenceTest, CascadeEqualsExhaustive) {
+  for (uint64_t seed : {3u, 17u}) {
+    DataLake lake = MakeLake(seed, /*fragments=*/4);
+    for (size_t threads : {1u, 4u}) {
+      std::unique_ptr<DiscoveryAlgorithm> algo = GetParam().make();
+      algo->set_num_threads(threads);
+      ASSERT_TRUE(algo->BuildIndex(lake).ok());
+      const std::vector<const Table*> tables = lake.tables();
+      // A handful of query tables is plenty; spread across domains.
+      for (size_t t = 0; t < tables.size(); t += 5) {
+        for (size_t k : {1u, 3u, 10u}) {
+          DiscoveryQuery q{tables[t], /*query_column=*/0, k};
+          algo->set_search_mode(SearchMode::kExhaustive);
+          auto exhaustive = algo->Search(q);
+          ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+          algo->set_search_mode(SearchMode::kCascade);
+          auto cascade = algo->Search(q);
+          ASSERT_TRUE(cascade.ok()) << cascade.status().ToString();
+          EXPECT_EQ(*cascade, *exhaustive)
+              << GetParam().label << " seed=" << seed
+              << " threads=" << threads << " query=" << tables[t]->name()
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+// Every candidate's ScoreUpperBound must dominate its exact (exhaustive)
+// score: the admissibility contract the cascade's correctness rests on.
+TEST_P(CascadeEquivalenceTest, UpperBoundIsAdmissible) {
+  DataLake lake = MakeLake(/*seed=*/3, /*fragments=*/4);
+  std::unique_ptr<DiscoveryAlgorithm> algo = GetParam().make();
+  ASSERT_TRUE(algo->BuildIndex(lake).ok());
+  algo->set_search_mode(SearchMode::kExhaustive);
+  const std::vector<const Table*> tables = lake.tables();
+  for (size_t t = 0; t < tables.size(); t += 7) {
+    // k large enough to surface every positive-scoring table.
+    DiscoveryQuery q{tables[t], /*query_column=*/0, tables.size()};
+    auto hits = algo->Search(q);
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    for (const DiscoveryHit& h : *hits) {
+      auto bound = algo->ScoreUpperBound(q, h.table_name);
+      ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+      EXPECT_GE(*bound, h.score)
+          << GetParam().label << " query=" << tables[t]->name()
+          << " candidate=" << h.table_name;
+    }
+  }
+}
+
+// SearchBatch must agree with per-query Search in both modes (JOSIE
+// overrides it with a shared posting pass; the others use the default).
+TEST_P(CascadeEquivalenceTest, SearchBatchMatchesSearch) {
+  DataLake lake = MakeLake(/*seed=*/3, /*fragments=*/4);
+  std::unique_ptr<DiscoveryAlgorithm> algo = GetParam().make();
+  ASSERT_TRUE(algo->BuildIndex(lake).ok());
+  const std::vector<const Table*> tables = lake.tables();
+  std::vector<DiscoveryQuery> queries;
+  for (size_t t = 0; t < tables.size() && queries.size() < 4; t += 6) {
+    queries.push_back({tables[t], 0, 5});
+  }
+  ASSERT_FALSE(queries.empty());
+  for (SearchMode mode : {SearchMode::kCascade, SearchMode::kExhaustive}) {
+    algo->set_search_mode(mode);
+    auto batch = algo->SearchBatch(queries);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto single = algo->Search(queries[i]);
+      ASSERT_TRUE(single.ok()) << single.status().ToString();
+      EXPECT_EQ((*batch)[i], *single)
+          << GetParam().label << " query " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CascadeEquivalenceTest,
+    ::testing::Values(AlgoCase{"santos", &MakeSantos},
+                      AlgoCase{"lsh_ensemble", &MakeLsh},
+                      AlgoCase{"josie", &MakeJosie},
+                      AlgoCase{"tus", &MakeTus}),
+    [](const ::testing::TestParamInfo<AlgoCase>& param_info) {
+      return std::string(param_info.param.label);
+    });
+
+// ----------------------------------------------------- cascade counters
+
+TEST(CascadeStatsTest, JosiePublishesPruningCounters) {
+  DataLake lake = MakeLake(/*seed=*/3, /*fragments=*/6);
+  ObservabilityContext obs;
+  JosieSearch josie;
+  josie.set_observability(&obs);
+  ASSERT_TRUE(josie.BuildIndex(lake).ok());
+  const Table* query = lake.tables().front();
+  DiscoveryQuery q{query, 0, 3};
+  auto hits = josie.Search(q);
+  ASSERT_TRUE(hits.ok());
+  std::map<std::string, uint64_t> snap = obs.metrics().CounterSnapshot();
+  ASSERT_TRUE(snap.count("discover.josie.cascade.candidates_total"));
+  uint64_t total = snap["discover.josie.cascade.candidates_total"];
+  uint64_t pruned = snap["discover.josie.cascade.pruned_stage0"];
+  uint64_t scored = snap["discover.josie.cascade.scored_exact"];
+  // Every stage-0 candidate is either pruned or exactly scored.
+  EXPECT_EQ(total, pruned + scored);
+}
+
+// ---------------------------------------------------------- facade batch
+
+TEST(DialiteFacadeTest, DiscoverBatchMatchesDiscover) {
+  DataLake lake = MakeLake(/*seed=*/3, /*fragments=*/4);
+  Dialite dialite(&lake);
+  ASSERT_TRUE(dialite.RegisterDefaults().ok());
+  dialite.set_num_threads(1);
+  ASSERT_TRUE(dialite.BuildIndexes().ok());
+  const std::vector<const Table*> tables = lake.tables();
+  std::vector<DiscoveryQuery> queries = {{tables[0], 0, 5}, {tables[3], 0, 5}};
+  auto batch = dialite.DiscoverBatch(queries, "josie");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto single = dialite.Discover(queries[i], "josie");
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i], *single);
+  }
+}
+
+TEST(DialiteFacadeTest, SearchModePropagatesToAlgorithms) {
+  DataLake lake = MakeLake(/*seed=*/3, /*fragments=*/4);
+  Dialite dialite(&lake);
+  ASSERT_TRUE(dialite.RegisterDefaults().ok());
+  dialite.set_num_threads(1);
+  ASSERT_TRUE(dialite.BuildIndexes().ok());
+  DiscoveryQuery q{lake.tables().front(), 0, 5};
+  auto cascade = dialite.Discover(q, "santos");
+  ASSERT_TRUE(cascade.ok());
+  dialite.set_search_mode(SearchMode::kExhaustive);
+  auto exhaustive = dialite.Discover(q, "santos");
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_EQ(*cascade, *exhaustive);
+}
+
+}  // namespace
+}  // namespace dialite

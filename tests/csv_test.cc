@@ -355,5 +355,33 @@ TEST(CsvRoundTripTest, EmptyHeaderNameKeepsItsLine) {
   EXPECT_EQ(CsvWriter::ToString(*r2, options), csv);
 }
 
+// The from_chars-based integer path must keep strtoll's acceptance of an
+// explicit leading '+' — and nothing more ("+-5" is text, not -5).
+TEST(InferValueTest, ExplicitPlusSign) {
+  EXPECT_EQ(InferValue("+5").as_int(), 5);
+  EXPECT_EQ(InferValue("+0").as_int(), 0);
+  // The leading-zero code heuristic keys off the first character, so a
+  // plus-prefixed zero-padded token still parses as a number.
+  EXPECT_EQ(InferValue("+007").as_int(), 7);
+  EXPECT_DOUBLE_EQ(InferValue("+5.5").as_double(), 5.5);
+  EXPECT_EQ(InferValue("+").as_string(), "+");
+  EXPECT_EQ(InferValue("+-5").as_string(), "+-5");
+  EXPECT_EQ(InferValue("++5").as_string(), "++5");
+  EXPECT_EQ(InferValue("+ 5").as_string(), "+ 5");
+}
+
+TEST(InferValueTest, ExtremeMagnitudes) {
+  // Past int64 range: falls through to the double path, not to text.
+  EXPECT_DOUBLE_EQ(InferValue("9999999999999999999999").as_double(), 1e22);
+  EXPECT_DOUBLE_EQ(InferValue("-9999999999999999999999").as_double(), -1e22);
+  // Subnormal magnitudes stay finite doubles (the underflow re-check path).
+  Value tiny = InferValue("1e-320");
+  ASSERT_EQ(tiny.type(), ValueType::kDouble);
+  EXPECT_GT(tiny.as_double(), 0.0);
+  EXPECT_LT(tiny.as_double(), 1e-300);
+  // True overflow still stays text.
+  EXPECT_EQ(InferValue("1e999").as_string(), "1e999");
+}
+
 }  // namespace
 }  // namespace dialite

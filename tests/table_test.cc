@@ -7,6 +7,7 @@
 
 #include "table/schema.h"
 #include "table/table.h"
+#include "table/table_builder.h"
 #include "table/value.h"
 
 namespace dialite {
@@ -254,6 +255,74 @@ TEST(TableTest, PrettyStringContainsHeaderAndNullGlyphs) {
   EXPECT_NE(s.find("Country"), std::string::npos);
   EXPECT_NE(s.find("Berlin"), std::string::npos);
   EXPECT_NE(s.find("±"), std::string::npos);
+}
+
+// ---------------------------------------------------------- TableBuilder
+
+/// The columnar bulk-ingest path must be observably identical to AddRow —
+/// same cells, same inferred types, same dictionary id assignment order.
+TEST(TableBuilderTest, EquivalentToAddRow) {
+  Schema schema = Schema::FromNames({"name", "pop", "rate", "note"});
+  Table by_rows("t", schema);
+  ASSERT_TRUE(by_rows
+                  .AddRow({Value::String("Berlin"), Value::Int(3645000),
+                           Value::Double(0.62), Value::String("capital")})
+                  .ok());
+  ASSERT_TRUE(by_rows
+                  .AddRow({Value::String("Boston"), Value::Int(684379),
+                           Value::Null(), Value::String("capital")})
+                  .ok());
+  ASSERT_TRUE(by_rows
+                  .AddRow({Value::Null(), Value::Int(0), Value::Double(1.0),
+                           Value::String("Berlin")})
+                  .ok());
+  by_rows.RefreshColumnTypes();
+
+  Table by_builder("t", schema);
+  TableBuilder builder(&by_builder);
+  builder.ReserveRows(3);
+  builder.AppendString(0, "Berlin");
+  builder.AppendInt(1, 3645000);
+  builder.AppendDouble(2, 0.62);
+  builder.AppendString(3, "capital");
+  ASSERT_TRUE(builder.FinishRow().ok());
+  builder.AppendString(0, "Boston");
+  builder.AppendInt(1, 684379);
+  builder.AppendNull(2, NullKind::kMissing);
+  builder.AppendString(3, "capital");
+  ASSERT_TRUE(builder.FinishRow().ok());
+  builder.AppendNull(0, NullKind::kMissing);
+  builder.AppendInt(1, 0);
+  builder.AppendDouble(2, 1.0);
+  builder.AppendString(3, "Berlin");
+  ASSERT_TRUE(builder.FinishRow().ok());
+  by_builder.RefreshColumnTypes();
+
+  ASSERT_EQ(by_builder.num_rows(), by_rows.num_rows());
+  EXPECT_TRUE(by_builder.SameRowsAs(by_rows));
+  for (size_t c = 0; c < by_rows.num_columns(); ++c) {
+    EXPECT_EQ(by_builder.schema().column(c).type, by_rows.schema().column(c).type);
+    for (size_t r = 0; r < by_rows.num_rows(); ++r) {
+      EXPECT_TRUE(by_builder.at(r, c).Identical(by_rows.at(r, c)))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+  // Interning happened in the same order → same dictionary ids/contents.
+  ASSERT_EQ(by_builder.dictionary().size(), by_rows.dictionary().size());
+  for (uint32_t id = 0; id < by_rows.dictionary().size(); ++id) {
+    EXPECT_EQ(by_builder.dictionary().view(id), by_rows.dictionary().view(id));
+  }
+}
+
+TEST(TableBuilderTest, FinishRowRejectsRaggedAppends) {
+  Table t("t", Schema::FromNames({"a", "b"}));
+  TableBuilder builder(&t);
+  builder.AppendInt(0, 1);
+  Status s = builder.FinishRow();  // column b got no cell
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  builder.AppendInt(1, 2);
+  EXPECT_TRUE(builder.FinishRow().ok());
+  EXPECT_EQ(t.num_rows(), 1u);
 }
 
 }  // namespace
