@@ -31,6 +31,11 @@ struct BenchReport {
   std::map<std::string, std::string> deterministic_text;  ///< exact-match text
   std::map<std::string, double> timings_us;         ///< loose (cross-machine)
   std::map<std::string, double> ratios;             ///< tight (same-run)
+  /// One-sided acceptance floors: the committed baseline holds the minimum
+  /// acceptable value, the current run the measured one; bench_compare.py
+  /// fails only when measured < floor. Emitted only when non-empty, so
+  /// pre-floor baselines keep comparing clean.
+  std::map<std::string, double> ratios_min;
 
   std::string ToJson() const {
     std::string out = "{\n  \"schema_version\": 1,\n  \"bench\": \"" +
@@ -40,6 +45,9 @@ struct BenchReport {
     AppendTextSection(&out, "deterministic_text", deterministic_text);
     AppendDoubleSection(&out, "timings_us", timings_us);
     AppendDoubleSection(&out, "ratios", ratios);
+    if (!ratios_min.empty()) {
+      AppendDoubleSection(&out, "ratios_min", ratios_min);
+    }
     out += "\n}\n";
     return out;
   }

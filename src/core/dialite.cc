@@ -20,6 +20,11 @@
 #include "discovery/tus.h"
 #include "integrate/full_disjunction.h"
 #include "integrate/join_ops.h"
+#include "snapshot/bytes.h"
+#include "snapshot/format.h"
+#include "snapshot/lake_codec.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 
 namespace dialite {
 
@@ -221,6 +226,69 @@ Status Dialite::BuildIndexes(const std::string& cache_dir) {
   indexes_built_ = true;
   if (obs_ != nullptr) lake_->sketch_cache().ExportTo(&obs_->metrics());
   return Status::OK();
+}
+
+Status Dialite::SaveSnapshot(const std::string& path) const {
+  if (!indexes_built_) {
+    return Status::Internal("BuildIndexes() has not been called");
+  }
+  ObsSpan span(obs_, "snapshot.save");
+  SnapshotWriter writer(obs_);
+  DIALITE_RETURN_IF_ERROR(WriteLake(*lake_, &writer, obs_));
+  for (const auto& [name, algo] : discovery_) {
+    const auto* persistent = dynamic_cast<const PersistentIndex*>(algo.get());
+    if (persistent == nullptr) continue;
+    BinaryWriter payload;
+    DIALITE_RETURN_IF_ERROR(persistent->SavePayload(&payload));
+    DIALITE_RETURN_IF_ERROR(
+        writer.AddSection(kSectionIndexPrefix + name, std::move(payload)));
+    ObsAdd(obs_, "snapshot.indexes_written");
+  }
+  return writer.Finish(path);
+}
+
+Status Dialite::LoadIndexesFrom(const SnapshotReader& reader) {
+  for (auto& [name, algo] : discovery_) {
+    auto* persistent = dynamic_cast<PersistentIndex*>(algo.get());
+    const std::string section = kSectionIndexPrefix + name;
+    if (persistent != nullptr && reader.HasSection(section)) {
+      ObsSpan span(obs_, "snapshot.load." + name);
+      Result<std::span<const uint8_t>> payload = reader.Section(section);
+      if (!payload.ok()) return payload.status();
+      BinaryReader r(*payload);
+      DIALITE_RETURN_IF_ERROR(persistent->LoadPayload(&r, *lake_));
+      if (!r.AtEnd()) {
+        return Status::ParseError("trailing bytes after section '" + section +
+                                  "'");
+      }
+      ObsAdd(obs_, "snapshot.indexes_loaded");
+    } else {
+      // Algorithms the snapshot predates (or custom registrations) fall
+      // back to the offline build over the restored lake.
+      ObsSpan span(obs_, "snapshot.rebuild." + name);
+      DIALITE_RETURN_IF_ERROR(algo->BuildIndex(*lake_));
+      ObsAdd(obs_, "snapshot.indexes_rebuilt");
+    }
+  }
+  indexes_built_ = true;
+  return Status::OK();
+}
+
+Result<SnapshotSystem> Dialite::OpenSnapshot(const std::string& path,
+                                             ObservabilityContext* obs) {
+  ObsSpan span(obs, "snapshot.open");
+  Result<SnapshotReader> reader =
+      SnapshotReader::Open(path, SnapshotReadOptions{}, obs);
+  if (!reader.ok()) return reader.status();
+  Result<std::unique_ptr<DataLake>> lake = ReadLake(*reader, obs);
+  if (!lake.ok()) return lake.status();
+  SnapshotSystem sys;
+  sys.lake = std::move(*lake);
+  sys.dialite = std::unique_ptr<Dialite>(new Dialite(sys.lake.get()));
+  sys.dialite->set_observability(obs);
+  DIALITE_RETURN_IF_ERROR(sys.dialite->RegisterDefaults());
+  DIALITE_RETURN_IF_ERROR(sys.dialite->LoadIndexesFrom(*reader));
+  return sys;
 }
 
 Result<std::vector<DiscoveryHit>> Dialite::Discover(

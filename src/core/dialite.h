@@ -67,6 +67,17 @@ struct PipelineReport {
   std::map<std::string, Table> analysis_results;
 };
 
+class Dialite;
+class SnapshotReader;
+
+/// Everything Dialite::OpenSnapshot materializes: the mmap-backed lake and
+/// the facade wired over it (stock components registered, indexes
+/// restored). The lake must outlive the facade — keep the bundle together.
+struct SnapshotSystem {
+  std::unique_ptr<DataLake> lake;
+  std::unique_ptr<Dialite> dialite;
+};
+
 /// The DIALITE system: a data lake plus three pluggable stages
 /// (discover → align & integrate → analyze).
 ///
@@ -143,6 +154,27 @@ class Dialite {
   /// decision stays per-algorithm under parallel builds.
   Status BuildIndexes(const std::string& cache_dir = "");
 
+  // ----------------------------------------------------------- snapshots
+
+  /// Persists the whole system state into one versioned, checksummed
+  /// snapshot container at `path`: every lake table (columnar, mmap-ready),
+  /// the lake's MinHash sketches, and every registered PersistentIndex
+  /// (as "idx.<name>" sections). Requires BuildIndexes(). A later
+  /// OpenSnapshot restores all of it without re-reading CSVs or
+  /// re-running the offline pass.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Opens a SaveSnapshot file: memory-maps the container, reconstructs
+  /// the lake zero-copy (column lanes are borrowed spans into the
+  /// mapping), registers the stock components, and restores each
+  /// algorithm's index from its snapshot section — algorithms without a
+  /// section rebuild from the lake (snapshot.indexes_loaded /
+  /// snapshot.indexes_rebuilt count the two paths). The returned system is
+  /// ready to Search/Run; corrupt or version-skewed files fail with a
+  /// clean Status.
+  static Result<SnapshotSystem> OpenSnapshot(
+      const std::string& path, ObservabilityContext* obs = nullptr);
+
   // ------------------------------------------------------------- stage 1
 
   /// Runs one discovery algorithm.
@@ -204,6 +236,10 @@ class Dialite {
   Result<std::map<std::string, std::vector<DiscoveryHit>>> DiscoverAllImpl(
       const DiscoveryQuery& query, const std::vector<std::string>& algorithms,
       size_t num_threads) const;
+
+  /// Restores every registered algorithm from `reader`'s "idx.<name>"
+  /// sections (BuildIndex fallback for missing ones); OpenSnapshot's tail.
+  Status LoadIndexesFrom(const SnapshotReader& reader);
 
   const DataLake* lake_;
   std::map<std::string, std::unique_ptr<DiscoveryAlgorithm>> discovery_;

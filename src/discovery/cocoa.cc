@@ -7,6 +7,7 @@
 
 #include "analyze/stats.h"
 #include "common/string_util.h"
+#include "snapshot/bytes.h"
 #include "text/tokenizer.h"
 
 namespace dialite {
@@ -107,6 +108,81 @@ Status CocoaSearch::BuildIndex(const DataLake& lake) {
   }
   ObsAdd(obs_, "discover.cocoa.build.tables", tables.size());
   ObsSet(obs_, "discover.cocoa.index.columns", columns_.size());
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kCocoaPayloadVersion = 1;
+}  // namespace
+
+Status CocoaSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kCocoaPayloadVersion);
+  w->U64(columns_.size());
+  for (const auto& [table, col] : columns_) {
+    w->Str(table);
+    w->U64(col);
+  }
+  std::vector<const std::string*> tokens;
+  tokens.reserve(postings_.size());
+  for (const auto& [token, ids] : postings_) tokens.push_back(&token);
+  std::sort(tokens.begin(), tokens.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w->U64(tokens.size());
+  for (const std::string* token : tokens) {
+    w->Str(*token);
+    w->Array<uint32_t>(postings_.at(*token));
+  }
+  return Status::OK();
+}
+
+Status CocoaSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kCocoaPayloadVersion) {
+    return Status::ParseError("not a cocoa v1 index payload");
+  }
+  uint64_t n = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("cocoa column count overruns the payload");
+  }
+  columns_.clear();
+  columns_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    uint64_t col = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&col));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    columns_.emplace_back(std::move(table), static_cast<size_t>(col));
+  }
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("cocoa token count overruns the payload");
+  }
+  postings_.clear();
+  postings_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string token;
+    DIALITE_RETURN_IF_ERROR(r->Str(&token));
+    std::span<const uint32_t> ids;
+    DIALITE_RETURN_IF_ERROR(r->Array(&ids));
+    for (uint32_t id : ids) {
+      if (id >= columns_.size()) {
+        return Status::ParseError("cocoa posting references unknown column");
+      }
+    }
+    postings_.emplace(std::move(token),
+                      std::vector<uint32_t>(ids.begin(), ids.end()));
+  }
+  lake_ = &lake;
   return Status::OK();
 }
 

@@ -26,7 +26,7 @@ namespace dialite {
 /// insensitive). Candidates with no correlated numeric pair score by a
 /// small joinability-only fallback so pure joins still rank below
 /// correlated ones.
-class CocoaSearch : public DiscoveryAlgorithm {
+class CocoaSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
     double min_containment = 0.5;
@@ -40,6 +40,12 @@ class CocoaSearch : public DiscoveryAlgorithm {
 
   std::string name() const override { return "cocoa"; }
   Status BuildIndex(const DataLake& lake) override;
+
+  /// Offline-index persistence: the payload carries the indexed-column id
+  /// map and the token inverted index in sorted token order.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
+
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 

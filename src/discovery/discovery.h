@@ -124,18 +124,41 @@ void ForEachTableIndex(size_t num_threads, size_t n,
                        const std::function<void(size_t)>& fn,
                        ObservabilityContext* obs = nullptr);
 
+class BinaryReader;
+class BinaryWriter;
+
 /// Optional capability: discovery algorithms whose offline index can be
-/// persisted to a file and restored without re-scanning the lake (the
-/// paper's "indexes ... built offline, already available"). Implemented by
-/// SantosSearch and JosieSearch; the Dialite facade uses it for its index
-/// cache directory.
+/// persisted and restored without re-scanning the lake (the paper's
+/// "indexes ... built offline, already available"). Implemented by all
+/// seven stock algorithms; the Dialite facade uses it both for its index
+/// cache directory and for the "idx.<name>" sections of a lake snapshot.
+///
+/// Implementations serialize only primary index state into the payload and
+/// rebuild derived structures (dense id arrays, bound profiles, banding
+/// tables) deterministically on load, through the same code paths
+/// BuildIndex uses — so save -> load -> save is byte-identical and a loaded
+/// index answers every query exactly like a freshly built one.
 class PersistentIndex {
  public:
   virtual ~PersistentIndex() = default;
 
-  virtual Status SaveIndex(const std::string& path) const = 0;
-  /// Restores the index; `lake` must contain every indexed table.
-  virtual Status LoadIndex(const std::string& path, const DataLake& lake) = 0;
+  /// Serializes the index payload (no container framing) into `w`.
+  /// Requires a built index.
+  virtual Status SavePayload(BinaryWriter* w) const = 0;
+
+  /// Restores the index from a payload produced by SavePayload; `lake`
+  /// must contain every indexed table (kNotFound otherwise). Malformed
+  /// payloads fail with kParseError.
+  virtual Status LoadPayload(BinaryReader* r, const DataLake& lake) = 0;
+
+  /// Writes the payload wrapped in a single-section snapshot container
+  /// (checksummed, versioned) to `path`.
+  Status SaveIndex(const std::string& path) const;
+
+  /// Restores the index from a SaveIndex file. Stale files in older
+  /// formats (including the removed line-oriented text format) fail with
+  /// kParseError, which the facade's cache flow treats as a rebuild.
+  Status LoadIndex(const std::string& path, const DataLake& lake);
 };
 
 /// The ranking order shared by RankHits and the cascade top-k heap: higher

@@ -1,0 +1,40 @@
+#include "discovery/discovery.h"
+#include "snapshot/bytes.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+
+namespace dialite {
+
+namespace {
+
+/// The single section a standalone .idx cache file carries. Full lake
+/// snapshots store the same payload under "idx.<algorithm>" instead.
+constexpr char kIndexSectionName[] = "index";
+
+}  // namespace
+
+Status PersistentIndex::SaveIndex(const std::string& path) const {
+  BinaryWriter payload;
+  DIALITE_RETURN_IF_ERROR(SavePayload(&payload));
+  SnapshotWriter writer;
+  DIALITE_RETURN_IF_ERROR(
+      writer.AddSection(kIndexSectionName, std::move(payload)));
+  return writer.Finish(path);
+}
+
+Status PersistentIndex::LoadIndex(const std::string& path,
+                                  const DataLake& lake) {
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  Result<std::span<const uint8_t>> payload =
+      reader->Section(kIndexSectionName);
+  if (!payload.ok()) return payload.status();
+  BinaryReader r(*payload);
+  DIALITE_RETURN_IF_ERROR(LoadPayload(&r, lake));
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes after index payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace dialite

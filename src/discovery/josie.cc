@@ -1,14 +1,12 @@
 #include "discovery/josie.h"
 
 #include <algorithm>
-#include <fstream>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <sstream>
 
 #include "discovery/cascade.h"
-#include "discovery/persist.h"
+#include "snapshot/bytes.h"
 
 namespace dialite {
 
@@ -56,74 +54,83 @@ void JosieSearch::RebuildTableIds() {
   }
 }
 
-Status JosieSearch::SaveIndex(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << "dialite-josie-index v1\n";
-  out << "columns " << columns_.size() << "\n";
+namespace {
+constexpr uint32_t kJosiePayloadVersion = 1;
+}  // namespace
+
+Status JosieSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kJosiePayloadVersion);
+  w->U64(columns_.size());
   for (const auto& [table, col] : columns_) {
-    out << col << " " << EscapeIndexLine(table) << "\n";
+    w->Str(table);
+    w->U64(col);
   }
-  out << "postings " << postings_.size() << "\n";
-  for (const auto& [token, ids] : postings_) {
-    out << EscapeIndexLine(token) << "\n";
-    out << ids.size();
-    for (uint32_t id : ids) out << " " << id;
-    out << "\n";
+  // Postings in sorted token order: the in-memory map is unordered, and a
+  // deterministic byte stream is what makes save -> load -> save identical.
+  std::vector<const std::string*> tokens;
+  tokens.reserve(postings_.size());
+  for (const auto& [token, ids] : postings_) tokens.push_back(&token);
+  std::sort(tokens.begin(), tokens.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w->U64(tokens.size());
+  for (const std::string* token : tokens) {
+    w->Str(*token);
+    w->Array<uint32_t>(postings_.at(*token));
   }
-  if (!out) return Status::IoError("write failed for " + path);
   return Status::OK();
 }
 
-Status JosieSearch::LoadIndex(const std::string& path, const DataLake& lake) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != "dialite-josie-index v1") {
-    return Status::ParseError("bad josie index header in " + path);
+Status JosieSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kJosiePayloadVersion) {
+    return Status::ParseError("not a josie v1 index payload");
   }
-  std::string word;
-  size_t n = 0;
-  in >> word >> n;
-  if (word != "columns") return Status::ParseError("expected 'columns'");
-  in.ignore();  // newline
+  uint64_t n = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("josie column count overruns the payload");
+  }
   columns_.clear();
-  columns_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!std::getline(in, line)) return Status::ParseError("truncated columns");
-    std::istringstream ls(line);
-    size_t col = 0;
-    ls >> col;
-    std::string rest;
-    std::getline(ls, rest);
-    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
-    std::string table = UnescapeIndexLine(rest);
+  columns_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    uint64_t col = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&col));
     if (!lake.Contains(table)) {
       return Status::NotFound("indexed table '" + table +
                               "' missing from lake");
     }
-    columns_.emplace_back(std::move(table), col);
+    columns_.emplace_back(std::move(table), static_cast<size_t>(col));
   }
   table_columns_.clear();
   for (uint32_t id = 0; id < columns_.size(); ++id) {
     table_columns_[columns_[id].first].push_back(id);
   }
   RebuildTableIds();
-  in >> word >> n;
-  if (word != "postings") return Status::ParseError("expected 'postings'");
-  in.ignore();
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("josie token count overruns the payload");
+  }
   postings_.clear();
-  postings_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!std::getline(in, line)) return Status::ParseError("truncated token");
-    std::string token = UnescapeIndexLine(line);
-    size_t count = 0;
-    in >> count;
-    std::vector<uint32_t> ids(count);
-    for (size_t j = 0; j < count; ++j) in >> ids[j];
-    in.ignore();
-    if (!in) return Status::ParseError("truncated postings for token");
-    postings_.emplace(std::move(token), std::move(ids));
+  postings_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string token;
+    DIALITE_RETURN_IF_ERROR(r->Str(&token));
+    std::span<const uint32_t> ids;
+    DIALITE_RETURN_IF_ERROR(r->Array(&ids));
+    for (uint32_t id : ids) {
+      if (id >= columns_.size()) {
+        return Status::ParseError("josie posting references unknown column");
+      }
+    }
+    postings_.emplace(std::move(token),
+                      std::vector<uint32_t>(ids.begin(), ids.end()));
   }
   lake_ = &lake;
   return Status::OK();

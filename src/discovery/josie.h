@@ -40,12 +40,12 @@ class JosieSearch : public DiscoveryAlgorithm, public PersistentIndex {
   Status BuildIndex(const DataLake& lake) override;
 
   /// Offline-index persistence (the paper's "indexes ... are built
-  /// offline"): SaveIndex writes the inverted index to a file; LoadIndex
-  /// restores it so Search() works without re-scanning the lake. The lake
-  /// passed to LoadIndex must contain the indexed tables (they are only
+  /// offline"): the payload carries columns_ and the inverted index in
+  /// sorted token order; the dense id arrays are rebuilt on load. The lake
+  /// passed to LoadPayload must contain the indexed tables (they are only
   /// needed for name resolution, not re-tokenized).
-  Status SaveIndex(const std::string& path) const override;
-  Status LoadIndex(const std::string& path, const DataLake& lake) override;
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
 
   /// Scores are raw overlaps |Q ∩ X| (JOSIE's objective), so they are
   /// integers ≥ min_overlap.

@@ -1,10 +1,41 @@
 #include "discovery/keyword_search.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
+#include "snapshot/bytes.h"
 #include "text/tokenizer.h"
 
 namespace dialite {
+
+namespace {
+
+/// Cosine of a query against one canonical (id-sorted) document vector.
+/// Accumulating the document side in sorted order keeps scores
+/// bit-identical between a freshly built index and a snapshot-restored
+/// one. `q_norm` is the query's precomputed L2 norm.
+double CosineAgainstSorted(
+    const SparseVector& q, double q_norm,
+    const std::vector<std::pair<uint32_t, double>>& doc) {
+  double dot = 0.0;
+  double nd = 0.0;
+  for (const auto& [id, w] : doc) {
+    nd += w * w;
+    auto it = q.find(id);
+    if (it != q.end()) dot += w * it->second;
+  }
+  if (q_norm == 0.0 || nd == 0.0) return 0.0;
+  return dot / (q_norm * std::sqrt(nd));
+}
+
+double QueryNorm(const SparseVector& q) {
+  double n = 0.0;
+  for (const auto& [id, v] : q) n += v * v;
+  return std::sqrt(n);
+}
+
+}  // namespace
 
 std::vector<std::string> KeywordSearch::TableDocument(
     const Table& table, const ColumnTokenSets* token_sets) const {
@@ -57,9 +88,12 @@ Status KeywordSearch::BuildIndex(const DataLake& lake) {
   vectorizer_.Finalize();
   // Compute phase 2: vectorization is read-only after Finalize(), so the
   // transforms parallelize too.
-  std::vector<SparseVector> vecs(tables.size());
+  std::vector<SortedVector> vecs(tables.size());
   ForEachTableIndex(num_threads_, tables.size(), [&](size_t i) {
-    vecs[i] = vectorizer_.Transform(docs[i]);
+    const SparseVector v = vectorizer_.Transform(docs[i]);
+    vecs[i].assign(v.begin(), v.end());
+    std::sort(vecs[i].begin(), vecs[i].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }, obs_);
   documents_.reserve(tables.size());
   for (size_t i = 0; i < tables.size(); ++i) {
@@ -70,6 +104,100 @@ Status KeywordSearch::BuildIndex(const DataLake& lake) {
   return Status::OK();
 }
 
+namespace {
+constexpr uint32_t kKeywordPayloadVersion = 1;
+}  // namespace
+
+Status KeywordSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kKeywordPayloadVersion);
+  const std::vector<std::string> terms = vectorizer_.TermsById();
+  const std::vector<size_t>& df = vectorizer_.doc_freq();
+  w->U64(vectorizer_.num_documents());
+  w->U64(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    w->Str(terms[i]);
+    w->U64(df[i]);
+  }
+  w->U64(documents_.size());
+  for (const auto& [table, vec] : documents_) {
+    w->Str(table);
+    w->U64(vec.size());  // entries already canonical (term-id order)
+    for (const auto& [id, weight] : vec) {
+      w->U32(id);
+      w->F64(weight);
+    }
+  }
+  return Status::OK();
+}
+
+Status KeywordSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kKeywordPayloadVersion) {
+    return Status::ParseError("not a keyword v1 index payload");
+  }
+  uint64_t num_docs = 0, nterms = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&num_docs));
+  DIALITE_RETURN_IF_ERROR(r->U64(&nterms));
+  if (nterms > r->remaining()) {
+    return Status::ParseError("keyword term count overruns the payload");
+  }
+  std::vector<std::string> terms(static_cast<size_t>(nterms));
+  std::vector<size_t> df(static_cast<size_t>(nterms));
+  for (uint64_t i = 0; i < nterms; ++i) {
+    DIALITE_RETURN_IF_ERROR(r->Str(&terms[i]));
+    uint64_t d = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&d));
+    df[i] = static_cast<size_t>(d);
+  }
+  uint64_t ndocs = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&ndocs));
+  if (ndocs > r->remaining()) {
+    return Status::ParseError("keyword document count overruns the payload");
+  }
+  std::vector<std::pair<std::string, SortedVector>> docs;
+  docs.reserve(static_cast<size_t>(ndocs));
+  for (uint64_t i = 0; i < ndocs; ++i) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    uint64_t nnz = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&nnz));
+    if (nnz > r->remaining()) {
+      return Status::ParseError("keyword vector size overruns the payload");
+    }
+    SortedVector vec;
+    vec.reserve(static_cast<size_t>(nnz));
+    for (uint64_t e = 0; e < nnz; ++e) {
+      uint32_t id = 0;
+      double weight = 0.0;
+      DIALITE_RETURN_IF_ERROR(r->U32(&id));
+      DIALITE_RETURN_IF_ERROR(r->F64(&weight));
+      if (id >= nterms) {
+        return Status::ParseError("keyword vector references unknown term");
+      }
+      if (!vec.empty() && id <= vec.back().first) {
+        return Status::ParseError(
+            "keyword vector entries not in canonical term-id order");
+      }
+      vec.emplace_back(id, weight);
+    }
+    docs.emplace_back(std::move(table), std::move(vec));
+  }
+  vectorizer_ = TfIdfVectorizer::Restore(terms, std::move(df),
+                                         static_cast<size_t>(num_docs));
+  documents_ = std::move(docs);
+  lake_ = &lake;
+  return Status::OK();
+}
+
 Result<std::vector<DiscoveryHit>> KeywordSearch::Search(
     const DiscoveryQuery& query) const {
   if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
@@ -77,10 +205,11 @@ Result<std::vector<DiscoveryHit>> KeywordSearch::Search(
     return Status::InvalidArgument("query table is null");
   }
   SparseVector qvec = vectorizer_.Transform(TableDocument(*query.table));
+  const double q_norm = QueryNorm(qvec);
   std::vector<DiscoveryHit> hits;
   for (const auto& [name, vec] : documents_) {
     if (name == query.table->name()) continue;
-    hits.push_back({name, SparseCosine(qvec, vec)});
+    hits.push_back({name, CosineAgainstSorted(qvec, q_norm, vec)});
   }
   return RankHits(std::move(hits), query.k);
 }
@@ -91,9 +220,10 @@ Result<std::vector<DiscoveryHit>> KeywordSearch::SearchKeywords(
   std::vector<std::string> tokens = WordTokens(text);
   if (tokens.empty()) return Status::InvalidArgument("empty keyword query");
   SparseVector qvec = vectorizer_.Transform(tokens);
+  const double q_norm = QueryNorm(qvec);
   std::vector<DiscoveryHit> hits;
   for (const auto& [name, vec] : documents_) {
-    hits.push_back({name, SparseCosine(qvec, vec)});
+    hits.push_back({name, CosineAgainstSorted(qvec, q_norm, vec)});
   }
   return RankHits(std::move(hits), k);
 }

@@ -20,7 +20,7 @@ namespace dialite {
 /// tokenized, so the common DiscoveryAlgorithm interface still applies),
 /// ranked by TF-IDF cosine. The complement of the set-theoretic searches:
 /// finds *topically related* tables even when value sets are disjoint.
-class KeywordSearch : public DiscoveryAlgorithm {
+class KeywordSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
     /// Weight multiplier for header/name tokens over cell tokens (metadata
@@ -36,6 +36,12 @@ class KeywordSearch : public DiscoveryAlgorithm {
   std::string name() const override { return "keyword"; }
   Status BuildIndex(const DataLake& lake) override;
 
+  /// Offline-index persistence: the payload carries the fitted vectorizer
+  /// state (vocabulary in id order, document frequencies, corpus size) and
+  /// the per-table TF-IDF vectors; idf weights are recomputed on load.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
+
   /// Table-as-query: tokenizes the query table like a lake document.
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
@@ -45,6 +51,12 @@ class KeywordSearch : public DiscoveryAlgorithm {
                                                    size_t k) const;
 
  private:
+  /// A document vector in canonical form: entries sorted by term id. Both
+  /// BuildIndex and LoadPayload store this shape, so cosine accumulation
+  /// order — and therefore every score bit — is identical for a built and
+  /// a snapshot-restored index (unordered_map iteration order is not).
+  using SortedVector = std::vector<std::pair<uint32_t, double>>;
+
   /// The table's TF-IDF document. `token_sets` optionally supplies cached
   /// per-column token sets; when null they are computed from the table.
   std::vector<std::string> TableDocument(
@@ -53,7 +65,7 @@ class KeywordSearch : public DiscoveryAlgorithm {
   Params params_;
   const DataLake* lake_ = nullptr;
   TfIdfVectorizer vectorizer_;
-  std::vector<std::pair<std::string, SparseVector>> documents_;
+  std::vector<std::pair<std::string, SortedVector>> documents_;
 };
 
 }  // namespace dialite

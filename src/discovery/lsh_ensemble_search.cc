@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "discovery/cascade.h"
+#include "snapshot/bytes.h"
 #include "text/similarity.h"
 
 namespace dialite {
@@ -30,6 +31,7 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
   columns_.clear();
   set_sizes_.clear();
   bucket_hists_.clear();
+  signatures_.clear();
   table_columns_.clear();
   ensemble_ = LshEnsemble(LshEnsemble::Params{
       params_.num_perm, params_.num_partitions, params_.seed});
@@ -55,6 +57,7 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
       columns_.emplace_back(t->name(), c);
       set_sizes_.push_back(toks.size());
       bucket_hists_.push_back(TokenHistogram(toks));
+      signatures_.push_back((*sigs[i])[c].signature());
       table_columns_[t->name()].push_back(id);
       DIALITE_RETURN_IF_ERROR(
           ensemble_.AddSketch(id, toks.size(), (*sigs[i])[c]));
@@ -62,6 +65,79 @@ Status LshEnsembleSearch::BuildIndex(const DataLake& lake) {
   }
   ObsAdd(obs_, "discover.lsh_ensemble.build.tables", tables.size());
   ObsSet(obs_, "discover.lsh_ensemble.index.columns", columns_.size());
+  return ensemble_.Build();
+}
+
+namespace {
+constexpr uint32_t kLshPayloadVersion = 1;
+}  // namespace
+
+Status LshEnsembleSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kLshPayloadVersion);
+  w->U64(columns_.size());
+  for (size_t id = 0; id < columns_.size(); ++id) {
+    w->Str(columns_[id].first);
+    w->U64(columns_[id].second);
+    w->U64(set_sizes_[id]);
+    w->Array<uint32_t>(bucket_hists_[id]);
+    w->Array<uint64_t>(signatures_[id]);
+  }
+  return Status::OK();
+}
+
+Status LshEnsembleSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kLshPayloadVersion) {
+    return Status::ParseError("not an lsh_ensemble v1 index payload");
+  }
+  uint64_t n = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("lsh column count overruns the payload");
+  }
+  columns_.clear();
+  set_sizes_.clear();
+  bucket_hists_.clear();
+  signatures_.clear();
+  table_columns_.clear();
+  ensemble_ = LshEnsemble(LshEnsemble::Params{
+      params_.num_perm, params_.num_partitions, params_.seed});
+  for (uint64_t id = 0; id < n; ++id) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    uint64_t col = 0, set_size = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&col));
+    DIALITE_RETURN_IF_ERROR(r->U64(&set_size));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    std::span<const uint32_t> hist;
+    DIALITE_RETURN_IF_ERROR(r->Array(&hist));
+    if (hist.size() != params_.bound_buckets) {
+      return Status::ParseError("lsh histogram bucket count mismatch");
+    }
+    std::span<const uint64_t> sig;
+    DIALITE_RETURN_IF_ERROR(r->Array(&sig));
+    if (sig.size() != params_.num_perm) {
+      return Status::ParseError("lsh signature length mismatch");
+    }
+    std::vector<uint64_t> sig_vec(sig.begin(), sig.end());
+    DIALITE_RETURN_IF_ERROR(ensemble_.AddSketch(
+        id, static_cast<size_t>(set_size),
+        MinHash::FromSignature(sig_vec, params_.seed)));
+    table_columns_[table].push_back(id);
+    columns_.emplace_back(std::move(table), static_cast<size_t>(col));
+    set_sizes_.push_back(static_cast<size_t>(set_size));
+    bucket_hists_.emplace_back(hist.begin(), hist.end());
+    signatures_.push_back(std::move(sig_vec));
+  }
+  lake_ = &lake;
   return ensemble_.Build();
 }
 

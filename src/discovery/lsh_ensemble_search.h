@@ -19,7 +19,7 @@ namespace dialite {
 /// containment of the query meets `containment_threshold`; candidates are
 /// then verified *exactly* against the lake (the sketch prunes, the data
 /// decides), and each table is scored by its best column's containment.
-class LshEnsembleSearch : public DiscoveryAlgorithm {
+class LshEnsembleSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
     double containment_threshold = 0.5;
@@ -39,6 +39,14 @@ class LshEnsembleSearch : public DiscoveryAlgorithm {
 
   std::string name() const override { return "lsh_ensemble"; }
   Status BuildIndex(const DataLake& lake) override;
+
+  /// Offline-index persistence: the payload carries, per ensemble id, the
+  /// (table, column) mapping, distinct-set size, stage-0 histogram, and
+  /// MinHash signature; the banded ensemble is rebuilt on load by
+  /// re-adding the sketches in id order and re-running its partitioning.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
+
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 
@@ -72,6 +80,9 @@ class LshEnsembleSearch : public DiscoveryAlgorithm {
   std::vector<size_t> set_sizes_;
   /// Ensemble id -> token-hash bucket histogram (stage-0 bound).
   std::vector<std::vector<uint32_t>> bucket_hists_;
+  /// Ensemble id -> MinHash signature components (kept so SavePayload can
+  /// persist the sketches the ensemble itself does not expose).
+  std::vector<std::vector<uint64_t>> signatures_;
   /// table name -> every ensemble id indexed for it (ScoreUpperBound's
   /// candidate-free bound path).
   std::unordered_map<std::string, std::vector<uint64_t>> table_columns_;

@@ -1,12 +1,11 @@
 #include "discovery/santos.h"
 
 #include <algorithm>
-#include <fstream>
 #include <memory>
 #include <unordered_set>
 
 #include "discovery/cascade.h"
-#include "discovery/persist.h"
+#include "snapshot/bytes.h"
 
 namespace dialite {
 
@@ -98,119 +97,114 @@ Status SantosSearch::BuildIndex(const DataLake& lake) {
   return Status::OK();
 }
 
-Status SantosSearch::SaveIndex(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.precision(17);  // lossless double round-trip
-  out << "dialite-santos-index v1\n";
-  out << "tables " << semantics_.size() << "\n";
-  for (const auto& [name, sem] : semantics_) {
-    out << "table " << EscapeIndexLine(name) << "\n";
-    out << "ncols " << sem.columns.size() << "\n";
-    for (size_t c = 0; c < sem.columns.size(); ++c) {
-      out << "col " << c << " " << sem.columns[c].types.size() << "\n";
-      for (const auto& [type, conf] : sem.columns[c].types) {
-        out << type << " " << conf << "\n";
-      }
-    }
-    out << "rels " << sem.relations.size() << "\n";
-    for (const auto& [label, conf] : sem.relations) {
-      out << label << " " << conf << "\n";
-    }
-    for (size_t c = 0; c < sem.anchored_relations.size(); ++c) {
-      if (sem.anchored_relations[c].empty()) continue;
-      out << "anchored " << c << " " << sem.anchored_relations[c].size()
-          << "\n";
-      for (const auto& [label, conf] : sem.anchored_relations[c]) {
-        out << label << " " << conf << "\n";
-      }
-    }
-    out << "end\n";
+namespace {
+
+constexpr uint32_t kSantosPayloadVersion = 1;
+
+void WriteLabelConfMap(const std::map<std::string, double>& m,
+                       BinaryWriter* w) {
+  w->U64(m.size());
+  for (const auto& [label, conf] : m) {
+    w->Str(label);
+    w->F64(conf);
   }
-  if (!out) return Status::IoError("write failed for " + path);
+}
+
+Status ReadLabelConfMap(BinaryReader* r, std::map<std::string, double>* m) {
+  uint64_t n = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&n));
+  if (n > r->remaining()) {
+    return Status::ParseError("santos label map count overruns the payload");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string label;
+    DIALITE_RETURN_IF_ERROR(r->Str(&label));
+    double conf = 0.0;
+    DIALITE_RETURN_IF_ERROR(r->F64(&conf));
+    (*m)[std::move(label)] = conf;
+  }
   return Status::OK();
 }
 
-Status SantosSearch::LoadIndex(const std::string& path, const DataLake& lake) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != "dialite-santos-index v1") {
-    return Status::ParseError("bad santos index header in " + path);
+}  // namespace
+
+Status SantosSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kSantosPayloadVersion);
+  // Tables in sorted name order (the map is unordered) so save -> load ->
+  // save is byte-identical.
+  std::vector<const std::string*> names;
+  names.reserve(semantics_.size());
+  for (const auto& [table, sem] : semantics_) names.push_back(&table);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w->U64(names.size());
+  for (const std::string* table : names) {
+    const TableSemantics& sem = semantics_.at(*table);
+    w->Str(*table);
+    w->U64(sem.columns.size());
+    for (const ColumnSemantics& col : sem.columns) {
+      WriteLabelConfMap(col.types, w);
+    }
+    WriteLabelConfMap(sem.relations, w);
+    for (const std::map<std::string, double>& anchored :
+         sem.anchored_relations) {
+      WriteLabelConfMap(anchored, w);
+    }
   }
-  std::string word;
-  size_t num_tables = 0;
-  in >> word >> num_tables;
-  if (word != "tables") return Status::ParseError("expected 'tables'");
-  in.ignore();
+  return Status::OK();
+}
+
+Status SantosSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kSantosPayloadVersion) {
+    return Status::ParseError("not a santos v1 index payload");
+  }
+  uint64_t num_tables = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&num_tables));
+  if (num_tables > r->remaining()) {
+    return Status::ParseError("santos table count overruns the payload");
+  }
   semantics_.clear();
   bounds_.clear();
   type_index_.clear();
-  for (size_t t = 0; t < num_tables; ++t) {
-    if (!std::getline(in, line) || line.rfind("table ", 0) != 0) {
-      return Status::ParseError("expected 'table <name>'");
-    }
-    std::string name = UnescapeIndexLine(line.substr(6));
-    if (!lake.Contains(name)) {
-      return Status::NotFound("indexed table '" + name +
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
                               "' missing from lake");
     }
+    uint64_t ncols = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&ncols));
+    if (ncols > r->remaining()) {
+      return Status::ParseError("santos column count overruns the payload");
+    }
     TableSemantics sem;
-    size_t ncols = 0;
-    in >> word >> ncols;
-    if (word != "ncols") return Status::ParseError("expected 'ncols'");
-    sem.columns.resize(ncols);
-    sem.anchored_relations.resize(ncols);
-    for (size_t c = 0; c < ncols; ++c) {
-      size_t idx = 0;
-      size_t ntypes = 0;
-      in >> word >> idx >> ntypes;
-      if (word != "col" || idx >= ncols) {
-        return Status::ParseError("bad 'col' record");
-      }
-      for (size_t k = 0; k < ntypes; ++k) {
-        std::string type;
-        double conf = 0.0;
-        in >> type >> conf;
-        sem.columns[idx].types[type] = conf;
-      }
+    sem.columns.resize(static_cast<size_t>(ncols));
+    sem.anchored_relations.resize(static_cast<size_t>(ncols));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      DIALITE_RETURN_IF_ERROR(ReadLabelConfMap(r, &sem.columns[c].types));
     }
-    size_t nrels = 0;
-    in >> word >> nrels;
-    if (word != "rels") return Status::ParseError("expected 'rels'");
-    for (size_t k = 0; k < nrels; ++k) {
-      std::string label;
-      double conf = 0.0;
-      in >> label >> conf;
-      sem.relations[label] = conf;
+    DIALITE_RETURN_IF_ERROR(ReadLabelConfMap(r, &sem.relations));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      DIALITE_RETURN_IF_ERROR(ReadLabelConfMap(r, &sem.anchored_relations[c]));
     }
-    // Optional anchored blocks until "end".
-    while (in >> word) {
-      if (word == "end") break;
-      if (word != "anchored") return Status::ParseError("expected 'anchored'");
-      size_t c = 0;
-      size_t n = 0;
-      in >> c >> n;
-      if (c >= ncols) return Status::ParseError("anchored column out of range");
-      for (size_t k = 0; k < n; ++k) {
-        std::string label;
-        double conf = 0.0;
-        in >> label >> conf;
-        sem.anchored_relations[c][label] = conf;
-      }
-    }
-    in.ignore();
-    // Rebuild the inverted type index.
+    // Rebuild the derived structures exactly as BuildIndex's merge phase
+    // does: inverted type index (first-seen dedup) and the bound profile.
     std::unordered_set<std::string> seen;
     for (const ColumnSemantics& col : sem.columns) {
       for (const auto& [type, conf] : col.types) {
-        if (seen.insert(type).second) type_index_[type].push_back(name);
+        if (seen.insert(type).second) type_index_[type].push_back(table);
       }
     }
-    bounds_.emplace(name, MakeBoundProfile(sem));
-    semantics_.emplace(std::move(name), std::move(sem));
+    bounds_.emplace(table, MakeBoundProfile(sem));
+    semantics_.emplace(std::move(table), std::move(sem));
   }
-  if (!in && !in.eof()) return Status::ParseError("truncated santos index");
   lake_ = &lake;
   return Status::OK();
 }

@@ -50,11 +50,12 @@ class SantosSearch : public DiscoveryAlgorithm, public PersistentIndex {
   std::string name() const override { return "santos"; }
   Status BuildIndex(const DataLake& lake) override;
 
-  /// Offline-index persistence: SaveIndex writes the per-table semantic
-  /// annotations; LoadIndex restores them (and rebuilds the inverted type
-  /// index) so Search() needs no KB re-annotation pass over the lake.
-  Status SaveIndex(const std::string& path) const override;
-  Status LoadIndex(const std::string& path, const DataLake& lake) override;
+  /// Offline-index persistence: the payload carries the per-table semantic
+  /// annotations (in sorted table order); the inverted type index and the
+  /// bound profiles are rebuilt on load, so Search() needs no KB
+  /// re-annotation pass over the lake.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "snapshot/bytes.h"
+
 namespace dialite {
 
 StarmieSearch::StarmieSearch(Params params, const KnowledgeBase* kb)
@@ -79,6 +81,102 @@ Status StarmieSearch::BuildIndex(const DataLake& lake) {
   }
   ObsAdd(obs_, "discover.starmie.build.tables", tables.size());
   ObsSet(obs_, "discover.starmie.index.columns", columns_.size());
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kStarmiePayloadVersion = 1;
+}  // namespace
+
+Status StarmieSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr || index_ == nullptr) {
+    return Status::Internal("BuildIndex not called");
+  }
+  w->Str(name());
+  w->U32(kStarmiePayloadVersion);
+  std::vector<const std::string*> names;
+  names.reserve(table_vectors_.size());
+  for (const auto& [table, vecs] : table_vectors_) names.push_back(&table);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w->U64(names.size());
+  for (const std::string* table : names) {
+    const std::vector<Embedding>& vecs = table_vectors_.at(*table);
+    w->Str(*table);
+    w->U64(vecs.size());
+    for (const Embedding& v : vecs) w->Array<float>(v);
+  }
+  w->U64(columns_.size());
+  for (const auto& [table, col] : columns_) {
+    w->Str(table);
+    w->U64(col);
+  }
+  return Status::OK();
+}
+
+Status StarmieSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kStarmiePayloadVersion) {
+    return Status::ParseError("not a starmie v1 index payload");
+  }
+  uint64_t num_tables = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&num_tables));
+  if (num_tables > r->remaining()) {
+    return Status::ParseError("starmie table count overruns the payload");
+  }
+  table_vectors_.clear();
+  columns_.clear();
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    uint64_t ncols = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&ncols));
+    if (ncols > r->remaining()) {
+      return Status::ParseError("starmie column count overruns the payload");
+    }
+    std::vector<Embedding> vecs(static_cast<size_t>(ncols));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      std::span<const float> v;
+      DIALITE_RETURN_IF_ERROR(r->Array(&v));
+      if (v.size() != embedder_.dim()) {
+        return Status::ParseError("starmie embedding dimension mismatch");
+      }
+      vecs[c].assign(v.begin(), v.end());
+    }
+    table_vectors_.emplace(std::move(table), std::move(vecs));
+  }
+  uint64_t num_ids = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&num_ids));
+  if (num_ids > r->remaining()) {
+    return Status::ParseError("starmie column id count overruns the payload");
+  }
+  columns_.reserve(static_cast<size_t>(num_ids));
+  // Rebuild the SimHash band index by re-inserting vectors in id order —
+  // identical ids and bucket contents to the build that produced the
+  // payload.
+  index_ = std::make_unique<SimHashIndex>(params_.simhash_bits,
+                                          embedder_.dim(), params_.band_bits,
+                                          params_.seed);
+  for (uint64_t id = 0; id < num_ids; ++id) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    uint64_t col = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&col));
+    auto it = table_vectors_.find(table);
+    if (it == table_vectors_.end() || col >= it->second.size()) {
+      return Status::ParseError("starmie column id references unknown column");
+    }
+    DIALITE_RETURN_IF_ERROR(index_->Insert(id, it->second[col]));
+    columns_.emplace_back(std::move(table), static_cast<size_t>(col));
+  }
+  lake_ = &lake;
   return Status::OK();
 }
 

@@ -31,7 +31,7 @@ namespace dialite {
 /// Offline, column vectors go into a SimHash band index; online, query
 /// columns probe it, candidate tables are verified with exact cosines, and
 /// score = mean over query columns of the best one-to-one match.
-class StarmieSearch : public DiscoveryAlgorithm {
+class StarmieSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
     double context_weight = 0.25;  ///< γ above
@@ -48,6 +48,14 @@ class StarmieSearch : public DiscoveryAlgorithm {
 
   std::string name() const override { return "starmie"; }
   Status BuildIndex(const DataLake& lake) override;
+
+  /// Offline-index persistence: the payload carries the contextualized
+  /// column vectors (sorted table order) plus the indexed-column id map;
+  /// the SimHash band index is rebuilt on load by re-inserting vectors in
+  /// id order, so bucket contents match a fresh build exactly.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
+
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 

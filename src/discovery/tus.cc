@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "discovery/cascade.h"
+#include "snapshot/bytes.h"
 #include "text/similarity.h"
 
 namespace dialite {
@@ -105,6 +106,112 @@ Status TusSearch::BuildIndex(const DataLake& lake) {
   }
   ObsAdd(obs_, "discover.tus.build.tables", tables.size());
   ObsSet(obs_, "discover.tus.index.tokens", token_index_.size());
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kTusPayloadVersion = 1;
+}  // namespace
+
+Status TusSearch::SavePayload(BinaryWriter* w) const {
+  if (lake_ == nullptr) return Status::Internal("BuildIndex not called");
+  w->Str(name());
+  w->U32(kTusPayloadVersion);
+  std::vector<const std::string*> names;
+  names.reserve(profiles_.size());
+  for (const auto& [table, cols] : profiles_) names.push_back(&table);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w->U64(names.size());
+  for (const std::string* table : names) {
+    const std::vector<ColumnProfile>& cols = profiles_.at(*table);
+    w->Str(*table);
+    w->U64(cols.size());
+    for (const ColumnProfile& p : cols) {
+      w->U64(p.tokens.size());
+      for (const std::string& tok : p.tokens) w->Str(tok);
+      w->U64(p.types.size());
+      for (const auto& [type, conf] : p.types) {
+        w->Str(type);
+        w->F64(conf);
+      }
+      w->Array<float>(p.embedding);
+    }
+  }
+  return Status::OK();
+}
+
+Status TusSearch::LoadPayload(BinaryReader* r, const DataLake& lake) {
+  std::string algo;
+  DIALITE_RETURN_IF_ERROR(r->Str(&algo));
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r->U32(&version));
+  if (algo != name() || version != kTusPayloadVersion) {
+    return Status::ParseError("not a tus v1 index payload");
+  }
+  uint64_t num_tables = 0;
+  DIALITE_RETURN_IF_ERROR(r->U64(&num_tables));
+  if (num_tables > r->remaining()) {
+    return Status::ParseError("tus table count overruns the payload");
+  }
+  profiles_.clear();
+  token_index_.clear();
+  type_index_.clear();
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string table;
+    DIALITE_RETURN_IF_ERROR(r->Str(&table));
+    if (!lake.Contains(table)) {
+      return Status::NotFound("indexed table '" + table +
+                              "' missing from lake");
+    }
+    uint64_t ncols = 0;
+    DIALITE_RETURN_IF_ERROR(r->U64(&ncols));
+    if (ncols > r->remaining()) {
+      return Status::ParseError("tus column count overruns the payload");
+    }
+    std::vector<ColumnProfile> cols(static_cast<size_t>(ncols));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      ColumnProfile& p = cols[c];
+      uint64_t ntokens = 0;
+      DIALITE_RETURN_IF_ERROR(r->U64(&ntokens));
+      if (ntokens > r->remaining()) {
+        return Status::ParseError("tus token count overruns the payload");
+      }
+      p.tokens.resize(static_cast<size_t>(ntokens));
+      for (uint64_t i = 0; i < ntokens; ++i) {
+        DIALITE_RETURN_IF_ERROR(r->Str(&p.tokens[i]));
+      }
+      uint64_t ntypes = 0;
+      DIALITE_RETURN_IF_ERROR(r->U64(&ntypes));
+      if (ntypes > r->remaining()) {
+        return Status::ParseError("tus type count overruns the payload");
+      }
+      for (uint64_t i = 0; i < ntypes; ++i) {
+        std::string type;
+        DIALITE_RETURN_IF_ERROR(r->Str(&type));
+        double conf = 0.0;
+        DIALITE_RETURN_IF_ERROR(r->F64(&conf));
+        p.types[std::move(type)] = conf;
+      }
+      std::span<const float> emb;
+      DIALITE_RETURN_IF_ERROR(r->Array(&emb));
+      p.embedding.assign(emb.begin(), emb.end());
+    }
+    // Rebuild the inverted indexes the same way BuildIndex's merge phase
+    // does (hit counts and candidate sets are order-independent, so the
+    // sorted table order here is equivalent to lake order).
+    std::unordered_set<std::string> types_seen;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      for (const std::string& tok : cols[c].tokens) {
+        token_index_[tok].emplace_back(table, static_cast<uint32_t>(c));
+      }
+      for (const auto& [type, conf] : cols[c].types) {
+        if (types_seen.insert(type).second) type_index_[type].push_back(table);
+      }
+    }
+    profiles_.emplace(std::move(table), std::move(cols));
+  }
+  lake_ = &lake;
   return Status::OK();
 }
 

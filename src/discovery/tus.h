@@ -28,7 +28,7 @@ namespace dialite {
 /// one-to-one column unionability (requiring the intent column to match),
 /// i.e. the table aligns with the query schema column-for-column but —
 /// unlike SANTOS — without any relationship evidence.
-class TusSearch : public DiscoveryAlgorithm {
+class TusSearch : public DiscoveryAlgorithm, public PersistentIndex {
  public:
   struct Params {
     double min_column_unionability = 0.5;
@@ -41,6 +41,14 @@ class TusSearch : public DiscoveryAlgorithm {
 
   std::string name() const override { return "tus"; }
   Status BuildIndex(const DataLake& lake) override;
+
+  /// Offline-index persistence: the payload carries the per-table column
+  /// profiles (tokens, KB types, embeddings) in sorted table order; the
+  /// token and type inverted indexes are rebuilt on load, so Search()
+  /// needs no profiling pass over the lake.
+  Status SavePayload(BinaryWriter* w) const override;
+  Status LoadPayload(BinaryReader* r, const DataLake& lake) override;
+
   Result<std::vector<DiscoveryHit>> Search(
       const DiscoveryQuery& query) const override;
 

@@ -1,5 +1,6 @@
 #include "lake/table_sketch_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "table/column_view.h"
@@ -98,6 +99,45 @@ std::shared_ptr<const std::vector<MinHash>> TableSketchCache::MinHashSignatures(
   MutexLock slock(mu_);
   ++stats_.minhash_misses;
   return sigs;
+}
+
+std::vector<TableSketchCache::MinHashExport>
+TableSketchCache::ExportMinHashSignatures() const {
+  // Collect the entry pointers under mu_, then read each entry under its
+  // own minhash_mu with mu_ released: minhash_mu is ordered BEFORE mu_
+  // (see the lock-order comment on mu_), so holding mu_ while taking
+  // minhash_mu would invert the order.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) snapshot.emplace_back(name, e);
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<MinHashExport> out;
+  for (const auto& [name, e] : snapshot) {
+    MutexLock lock(e->minhash_mu);
+    for (const auto& [key, sigs] : e->minhash) {
+      MinHashExport exp;
+      exp.table = name;
+      exp.num_perm = key.first;
+      exp.seed = key.second;
+      exp.signatures = sigs;
+      out.push_back(std::move(exp));
+    }
+  }
+  return out;
+}
+
+void TableSketchCache::SeedMinHashSignatures(const std::string& table,
+                                             size_t num_perm, uint64_t seed,
+                                             std::vector<MinHash> signatures) {
+  std::shared_ptr<Entry> e = GetEntry(table);
+  auto sigs =
+      std::make_shared<const std::vector<MinHash>>(std::move(signatures));
+  MutexLock lock(e->minhash_mu);
+  e->minhash.emplace(std::make_pair(num_perm, seed), std::move(sigs));
 }
 
 size_t TableSketchCache::DistinctCount(const Table& table, size_t column) {

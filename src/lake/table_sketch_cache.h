@@ -83,6 +83,25 @@ class TableSketchCache {
   /// Distinct-value count of one column (token-set cardinality).
   size_t DistinctCount(const Table& table, size_t column);
 
+  /// One cached per-table MinHash artifact, as exported for snapshotting.
+  struct MinHashExport {
+    std::string table;
+    size_t num_perm = 0;
+    uint64_t seed = 0;
+    std::shared_ptr<const std::vector<MinHash>> signatures;
+  };
+
+  /// Snapshot of every cached MinHash signature set, sorted by (table,
+  /// num_perm, seed) for deterministic serialization.
+  std::vector<MinHashExport> ExportMinHashSignatures() const;
+
+  /// Pre-populates the (table, num_perm, seed) MinHash slot — the snapshot
+  /// open path, letting the first MinHashSignatures() call hit instead of
+  /// resketching. No-op (keeps the existing value) if the slot is already
+  /// filled; does not count as a hit or a miss.
+  void SeedMinHashSignatures(const std::string& table, size_t num_perm,
+                             uint64_t seed, std::vector<MinHash> signatures);
+
   /// Drops all cached artifacts of `table_name`.
   void Invalidate(const std::string& table_name);
 

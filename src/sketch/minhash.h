@@ -20,6 +20,16 @@ class MinHash {
   static MinHash FromTokens(const std::vector<std::string>& tokens,
                             size_t num_perm = 128, uint64_t seed = 1);
 
+  /// Reassembles a signature from its raw components (snapshot load path).
+  /// `sig` must be a signature previously produced with the same `seed` —
+  /// the components are adopted verbatim, so a fabricated vector yields a
+  /// structurally valid but semantically meaningless sketch.
+  static MinHash FromSignature(std::vector<uint64_t> sig, uint64_t seed) {
+    MinHash mh(0, seed);
+    mh.sig_ = std::move(sig);
+    return mh;
+  }
+
   /// Folds one token into the signature.
   void Update(const std::string& token);
 

@@ -1,0 +1,179 @@
+#ifndef DIALITE_SNAPSHOT_BYTES_H_
+#define DIALITE_SNAPSHOT_BYTES_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dialite {
+
+// The snapshot container is defined as little-endian only; scalar fields are
+// memcpy'd in native order and the endian tag in the header rejects files
+// from the other byte order. A big-endian *host* would silently write the
+// wrong format, so refuse to compile there instead.
+static_assert(std::endian::native == std::endian::little,
+              "dialite snapshots support little-endian hosts only");
+
+/// IEEE CRC-32 (polynomial 0xEDB88320, the zlib/PNG one) over `n` bytes.
+/// Chainable: pass a previous result as `seed` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+/// Append-only little-endian serializer backing every snapshot section
+/// payload. Grows an in-memory buffer; no I/O. Alignment is relative to the
+/// buffer start — the container places section payloads at 64-byte-aligned
+/// file offsets, so any AlignTo(a) with a <= 64 also holds absolutely, which
+/// is what lets BinaryReader hand out typed spans over the mapped bytes.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+
+  /// u64 byte length followed by the raw bytes (no terminator, no padding).
+  void Str(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  /// Zero-pads the buffer up to the next multiple of `alignment` (a power
+  /// of two). Deterministic padding keeps re-saves byte-identical.
+  void AlignTo(size_t alignment) {
+    size_t rem = buf_.size() & (alignment - 1);
+    if (rem != 0) buf_.append(alignment - rem, '\0');
+  }
+
+  /// Element-count header, alignment padding, then the raw array bytes —
+  /// the layout BinaryReader::Array() hands back as a zero-copy span.
+  template <typename T>
+  void Array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    AlignTo(alignof(T));
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian deserializer over one section's bytes.
+/// Every read returns Status; a truncated, oversized, or misaligned input
+/// yields kParseError — never UB — which is the property the snapshot fuzz
+/// harness hammers on.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status U8(uint8_t* out) { return Scalar(out); }
+  Status U32(uint32_t* out) { return Scalar(out); }
+  Status U64(uint64_t* out) { return Scalar(out); }
+  Status I64(int64_t* out) { return Scalar(out); }
+  Status F64(double* out) { return Scalar(out); }
+  Status F32(float* out) { return Scalar(out); }
+
+  /// Reads a Str() field. The length is validated against the remaining
+  /// bytes *before* any allocation, so a corrupt length cannot trigger a
+  /// pathological resize.
+  Status Str(std::string* out) {
+    uint64_t n = 0;
+    DIALITE_RETURN_IF_ERROR(U64(&n));
+    DIALITE_RETURN_IF_ERROR(Need(n));
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// Advances past padding up to the next multiple of `alignment` (relative
+  /// to the start of this reader's span).
+  Status AlignTo(size_t alignment) {
+    size_t rem = pos_ & (alignment - 1);
+    if (rem == 0) return Status::OK();
+    return Skip(alignment - rem);
+  }
+
+  Status Skip(size_t n) {
+    DIALITE_RETURN_IF_ERROR(Need(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Reads an Array() field as a zero-copy span over the underlying bytes.
+  /// Fails cleanly if the count overruns the buffer or the payload start is
+  /// not aligned for T (possible only on hand-corrupted input; the writer
+  /// always pads).
+  template <typename T>
+  Status Array(std::span<const T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    DIALITE_RETURN_IF_ERROR(U64(&count));
+    DIALITE_RETURN_IF_ERROR(AlignTo(alignof(T)));
+    if (count > remaining() / sizeof(T)) {
+      return Status::ParseError("array of " + std::to_string(count) +
+                                " elements overruns the buffer");
+    }
+    const uint8_t* p = data_.data() + pos_;
+    if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0) {
+      return Status::ParseError("array payload is misaligned for its type");
+    }
+    *out = std::span<const T>(reinterpret_cast<const T*>(p),
+                              static_cast<size_t>(count));
+    pos_ += static_cast<size_t>(count) * sizeof(T);
+    return Status::OK();
+  }
+
+  Status Raw(size_t n, const uint8_t** out) {
+    DIALITE_RETURN_IF_ERROR(Need(n));
+    *out = data_.data() + pos_;
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (n > remaining()) {
+      return Status::ParseError("truncated input: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Scalar(T* out) {
+    DIALITE_RETURN_IF_ERROR(Need(sizeof(T)));
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SNAPSHOT_BYTES_H_

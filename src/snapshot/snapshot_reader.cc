@@ -1,0 +1,205 @@
+#include "snapshot/snapshot_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "snapshot/bytes.h"
+
+namespace dialite {
+
+namespace {
+
+/// Owns one read-only mapping; unmapped when the last shared_ptr drops.
+struct MappedFile {
+  void* addr = nullptr;
+  size_t length = 0;
+  ~MappedFile() {
+    if (addr != nullptr && length > 0) ::munmap(addr, length);
+  }
+};
+
+Status MapFile(const std::string& path, std::shared_ptr<MappedFile>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int e = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " + std::strerror(e));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError(path + " is not a regular file");
+  }
+  auto mapped = std::make_shared<MappedFile>();
+  mapped->length = static_cast<size_t>(st.st_size);
+  if (mapped->length > 0) {
+    void* addr = ::mmap(nullptr, mapped->length, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      int e = errno;
+      ::close(fd);
+      return Status::IoError("cannot mmap " + path + ": " + std::strerror(e));
+    }
+    mapped->addr = addr;
+  }
+  ::close(fd);
+  *out = std::move(mapped);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const SnapshotReadOptions& options,
+                                            ObservabilityContext* obs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<MappedFile> mapped;
+  DIALITE_RETURN_IF_ERROR(MapFile(path, &mapped));
+  std::span<const uint8_t> data(static_cast<const uint8_t*>(mapped->addr),
+                                mapped->length);
+  Result<SnapshotReader> r = Validate(data, mapped, options, obs);
+  if (r.ok()) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    ObsSet(obs, "snapshot.open_us", static_cast<uint64_t>(us.count()));
+  }
+  return r;
+}
+
+Result<SnapshotReader> SnapshotReader::OpenOwning(
+    std::string bytes, const SnapshotReadOptions& options,
+    ObservabilityContext* obs) {
+  auto owned = std::make_shared<const std::string>(std::move(bytes));
+  std::span<const uint8_t> data(
+      reinterpret_cast<const uint8_t*>(owned->data()), owned->size());
+  return Validate(data, owned, options, obs);
+}
+
+Result<SnapshotReader> SnapshotReader::OpenBorrowing(
+    std::span<const uint8_t> bytes, const SnapshotReadOptions& options,
+    ObservabilityContext* obs) {
+  return Validate(bytes, nullptr, options, obs);
+}
+
+Result<std::span<const uint8_t>> SnapshotReader::Section(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("snapshot has no section '" + std::string(name) +
+                            "'");
+  }
+  const SnapshotSection& e = sections_[it->second];
+  return data_.subspan(static_cast<size_t>(e.offset),
+                       static_cast<size_t>(e.length));
+}
+
+Result<SnapshotReader> SnapshotReader::Validate(
+    std::span<const uint8_t> data, std::shared_ptr<const void> anchor,
+    const SnapshotReadOptions& options, ObservabilityContext* obs) {
+  ObsSpan span(obs, "snapshot.validate");
+  if (data.size() < kSnapshotHeaderSize) {
+    return Status::ParseError("snapshot too small for its header (" +
+                              std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::ParseError("bad snapshot magic");
+  }
+  BinaryReader header(data.first(kSnapshotHeaderSize));
+  DIALITE_RETURN_IF_ERROR(header.Skip(sizeof(kSnapshotMagic)));
+  uint32_t version = 0, endian_tag = 0;
+  uint64_t file_size = 0, table_offset = 0, table_length = 0;
+  uint32_t section_count = 0, table_crc = 0, header_crc = 0;
+  DIALITE_RETURN_IF_ERROR(header.U32(&version));
+  DIALITE_RETURN_IF_ERROR(header.U32(&endian_tag));
+  DIALITE_RETURN_IF_ERROR(header.U64(&file_size));
+  DIALITE_RETURN_IF_ERROR(header.U64(&table_offset));
+  DIALITE_RETURN_IF_ERROR(header.U64(&table_length));
+  DIALITE_RETURN_IF_ERROR(header.U32(&section_count));
+  DIALITE_RETURN_IF_ERROR(header.U32(&table_crc));
+  const size_t crc_end = header.offset();
+  DIALITE_RETURN_IF_ERROR(header.U32(&header_crc));
+  if (Crc32(data.data(), crc_end) != header_crc) {
+    return Status::ParseError("snapshot header checksum mismatch");
+  }
+  if (endian_tag != kSnapshotEndianTag) {
+    // A byte-swapped tag is a structurally valid file from the other byte
+    // order; anything else is garbage. Either way, refuse cleanly.
+    return Status::ParseError(
+        "snapshot endianness tag mismatch (wrong-endian writer or corrupt "
+        "header)");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError("unsupported snapshot format version " +
+                              std::to_string(version) + " (reader supports " +
+                              std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (file_size != data.size()) {
+    return Status::ParseError("snapshot file size mismatch: header says " +
+                              std::to_string(file_size) + ", file has " +
+                              std::to_string(data.size()));
+  }
+  if (table_offset < kSnapshotHeaderSize || table_offset > data.size() ||
+      table_length > data.size() - table_offset) {
+    return Status::ParseError("snapshot section table out of bounds");
+  }
+  std::span<const uint8_t> table_bytes =
+      data.subspan(static_cast<size_t>(table_offset),
+                   static_cast<size_t>(table_length));
+  if (Crc32(table_bytes, 0) != table_crc) {
+    return Status::ParseError("snapshot section table checksum mismatch");
+  }
+
+  SnapshotReader reader;
+  reader.data_ = data;
+  reader.anchor_ = std::move(anchor);
+  reader.format_version_ = version;
+  BinaryReader table(table_bytes);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t name_len = 0;
+    DIALITE_RETURN_IF_ERROR(table.U32(&name_len));
+    const uint8_t* name_bytes = nullptr;
+    DIALITE_RETURN_IF_ERROR(table.Raw(name_len, &name_bytes));
+    SnapshotSection e;
+    e.name.assign(reinterpret_cast<const char*>(name_bytes), name_len);
+    DIALITE_RETURN_IF_ERROR(table.U64(&e.offset));
+    DIALITE_RETURN_IF_ERROR(table.U64(&e.length));
+    DIALITE_RETURN_IF_ERROR(table.U32(&e.crc32));
+    if (e.name.empty()) {
+      return Status::ParseError("snapshot section with empty name");
+    }
+    if (e.offset < kSnapshotHeaderSize ||
+        e.offset % kSnapshotSectionAlign != 0 || e.offset > table_offset ||
+        e.length > table_offset - e.offset) {
+      return Status::ParseError("snapshot section '" + e.name +
+                                "' out of bounds");
+    }
+    if (options.verify_section_crcs) {
+      std::span<const uint8_t> payload = data.subspan(
+          static_cast<size_t>(e.offset), static_cast<size_t>(e.length));
+      if (Crc32(payload, 0) != e.crc32) {
+        return Status::ParseError("snapshot section '" + e.name +
+                                  "' checksum mismatch");
+      }
+    }
+    if (!reader.by_name_.emplace(e.name, reader.sections_.size()).second) {
+      return Status::ParseError("duplicate snapshot section '" + e.name + "'");
+    }
+    reader.sections_.push_back(std::move(e));
+  }
+  if (!table.AtEnd()) {
+    return Status::ParseError("trailing bytes after snapshot section table");
+  }
+  ObsAdd(obs, "snapshot.sections_read", reader.sections_.size());
+  return reader;
+}
+
+}  // namespace dialite

@@ -1,0 +1,84 @@
+#ifndef DIALITE_SNAPSHOT_SNAPSHOT_READER_H_
+#define DIALITE_SNAPSHOT_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/observability.h"
+#include "snapshot/format.h"
+
+namespace dialite {
+
+struct SnapshotReadOptions {
+  /// Verify every section payload's CRC32 at open time. The default: a
+  /// checksummed open is the honesty contract; callers chasing the last
+  /// microseconds of open latency can defer to per-section verification.
+  bool verify_section_crcs = true;
+};
+
+/// Read side of the snapshot container. Open() maps the file read-only and
+/// validates magic, version, endianness, bounds, and checksums before any
+/// payload is interpreted; corrupt or truncated input fails with a clean
+/// Status. Section() hands out zero-copy spans over the mapped bytes.
+///
+/// The reader is cheap to copy: all copies share one mapping, released when
+/// the last copy (and every Table still holding the anchor) is gone.
+class SnapshotReader {
+ public:
+  /// mmaps `path` and validates the container.
+  static Result<SnapshotReader> Open(
+      const std::string& path, const SnapshotReadOptions& options = {},
+      ObservabilityContext* obs = nullptr);
+
+  /// Validates a container held in memory, taking ownership of the bytes
+  /// (the anchor keeps them alive). In-memory round-trip tests use this.
+  static Result<SnapshotReader> OpenOwning(
+      std::string bytes, const SnapshotReadOptions& options = {},
+      ObservabilityContext* obs = nullptr);
+
+  /// Validates a container over caller-owned bytes (no anchor; the caller
+  /// must keep `bytes` alive for the reader's lifetime). The fuzz harness
+  /// front door.
+  static Result<SnapshotReader> OpenBorrowing(
+      std::span<const uint8_t> bytes, const SnapshotReadOptions& options = {},
+      ObservabilityContext* obs = nullptr);
+
+  /// The payload bytes of section `name`; kNotFound if absent.
+  Result<std::span<const uint8_t>> Section(std::string_view name) const;
+
+  [[nodiscard]] bool HasSection(std::string_view name) const {
+    return by_name_.count(std::string(name)) > 0;
+  }
+
+  /// All sections, in file (= write) order.
+  const std::vector<SnapshotSection>& sections() const { return sections_; }
+
+  uint32_t format_version() const { return format_version_; }
+  size_t file_size() const { return data_.size(); }
+
+  /// Keeps the underlying mapping (or owned buffer) alive; Tables backed by
+  /// borrowed spans hold a copy. Null in OpenBorrowing mode.
+  const std::shared_ptr<const void>& anchor() const { return anchor_; }
+
+ private:
+  static Result<SnapshotReader> Validate(std::span<const uint8_t> data,
+                                         std::shared_ptr<const void> anchor,
+                                         const SnapshotReadOptions& options,
+                                         ObservabilityContext* obs);
+
+  std::span<const uint8_t> data_;
+  std::shared_ptr<const void> anchor_;
+  std::vector<SnapshotSection> sections_;
+  std::map<std::string, size_t> by_name_;
+  uint32_t format_version_ = 0;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SNAPSHOT_SNAPSHOT_READER_H_

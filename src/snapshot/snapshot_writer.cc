@@ -1,0 +1,86 @@
+#include "snapshot/snapshot_writer.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace dialite {
+
+Status SnapshotWriter::AddSection(std::string name, std::string payload) {
+  if (name.empty()) {
+    return Status::InvalidArgument("snapshot section names must be non-empty");
+  }
+  for (const Pending& p : sections_) {
+    if (p.name == name) {
+      return Status::AlreadyExists("snapshot section '" + name + "'");
+    }
+  }
+  sections_.push_back(Pending{std::move(name), std::move(payload)});
+  return Status::OK();
+}
+
+Result<std::string> SnapshotWriter::FinishToString() const {
+  ObsSpan span(obs_, "snapshot.write");
+  std::string out(kSnapshotHeaderSize, '\0');
+
+  // Payloads, each at a 64-byte-aligned offset.
+  std::vector<SnapshotSection> entries;
+  entries.reserve(sections_.size());
+  for (const Pending& p : sections_) {
+    size_t rem = out.size() % kSnapshotSectionAlign;
+    if (rem != 0) out.append(kSnapshotSectionAlign - rem, '\0');
+    SnapshotSection e;
+    e.name = p.name;
+    e.offset = out.size();
+    e.length = p.payload.size();
+    e.crc32 = Crc32(p.payload.data(), p.payload.size());
+    out.append(p.payload);
+    entries.push_back(std::move(e));
+  }
+
+  // Section table, 64-byte-aligned like the payloads.
+  size_t rem = out.size() % kSnapshotSectionAlign;
+  if (rem != 0) out.append(kSnapshotSectionAlign - rem, '\0');
+  const uint64_t table_offset = out.size();
+  BinaryWriter table;
+  for (const SnapshotSection& e : entries) {
+    table.U32(static_cast<uint32_t>(e.name.size()));
+    table.Raw(e.name.data(), e.name.size());
+    table.U64(e.offset);
+    table.U64(e.length);
+    table.U32(e.crc32);
+  }
+  const uint64_t table_length = table.size();
+  const uint32_t table_crc = Crc32(table.buffer().data(), table.size());
+  out.append(table.buffer());
+
+  // Header, written last so sizes and offsets are final.
+  BinaryWriter header;
+  header.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.U32(kSnapshotFormatVersion);
+  header.U32(kSnapshotEndianTag);
+  header.U64(out.size());
+  header.U64(table_offset);
+  header.U64(table_length);
+  header.U32(static_cast<uint32_t>(entries.size()));
+  header.U32(table_crc);
+  header.U32(Crc32(header.buffer().data(), header.size()));
+  header.AlignTo(kSnapshotHeaderSize);
+  std::memcpy(out.data(), header.buffer().data(), kSnapshotHeaderSize);
+
+  ObsAdd(obs_, "snapshot.bytes_written", out.size());
+  ObsAdd(obs_, "snapshot.sections_written", entries.size());
+  return out;
+}
+
+Status SnapshotWriter::Finish(const std::string& path) const {
+  Result<std::string> bytes = FinishToString();
+  if (!bytes.ok()) return bytes.status();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+  f.flush();
+  if (!f) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace dialite

@@ -1,0 +1,53 @@
+#ifndef DIALITE_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define DIALITE_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/observability.h"
+#include "snapshot/bytes.h"
+#include "snapshot/format.h"
+
+namespace dialite {
+
+/// Assembles a snapshot container: named sections added in order, then one
+/// Finish() call that lays out the header, the 64-byte-aligned payloads,
+/// and the checksummed section table. Section order is the AddSection call
+/// order, so a writer fed identical payloads in identical order produces a
+/// byte-identical file — the property snapshot_test's re-save check pins.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(ObservabilityContext* obs = nullptr) : obs_(obs) {}
+
+  /// Adds one section. Names must be unique and non-empty.
+  Status AddSection(std::string name, std::string payload);
+
+  /// Convenience: drains `w`'s buffer into a section.
+  Status AddSection(std::string name, BinaryWriter&& w) {
+    return AddSection(std::move(name), w.Release());
+  }
+
+  /// Serializes the container to bytes (header + payloads + table).
+  Result<std::string> FinishToString() const;
+
+  /// Serializes and writes the container to `path` (overwrites). Bumps
+  /// `snapshot.bytes_written` / `snapshot.sections_written` on the obs
+  /// context, if any.
+  Status Finish(const std::string& path) const;
+
+  size_t num_sections() const { return sections_.size(); }
+
+ private:
+  struct Pending {
+    std::string name;
+    std::string payload;
+  };
+
+  ObservabilityContext* obs_;
+  std::vector<Pending> sections_;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SNAPSHOT_SNAPSHOT_WRITER_H_

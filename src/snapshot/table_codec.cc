@@ -1,0 +1,220 @@
+#include "snapshot/table_codec.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dialite {
+
+namespace {
+
+constexpr uint32_t kTableCodecVersion = 1;
+
+constexpr uint8_t kLaneInts = 1u << 0;
+constexpr uint8_t kLaneDoubles = 1u << 1;
+constexpr uint8_t kLaneStrings = 1u << 2;
+
+}  // namespace
+
+Status WriteTable(const Table& table, BinaryWriter* w) {
+  w->U32(kTableCodecVersion);
+  w->Str(table.name());
+  w->U64(table.num_rows());
+  w->U64(table.num_columns());
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnDef& def = table.schema().column(c);
+    w->Str(def.name);
+    w->U8(static_cast<uint8_t>(def.type));
+  }
+
+  // Dictionary: id-ordered offsets array (count + 1 entries) + byte blob.
+  // Saving an opened table re-emits views in the same id order, so
+  // save -> open -> save is byte-identical.
+  const StringDictionary& dict = table.dictionary();
+  const size_t dict_count = dict.size();
+  std::vector<uint64_t> offsets;
+  offsets.reserve(dict_count + 1);
+  std::string blob;
+  offsets.push_back(0);
+  for (size_t id = 0; id < dict_count; ++id) {
+    blob.append(dict.view(static_cast<uint32_t>(id)));
+    offsets.push_back(blob.size());
+  }
+  w->Array<uint64_t>(offsets);
+  w->Array<char>(std::span<const char>(blob.data(), blob.size()));
+
+  // Provenance (owned strings; rarely present on lake tables).
+  const auto& prov = table.provenance();
+  w->U64(prov.size());
+  for (const std::vector<std::string>& labels : prov) {
+    w->U64(labels.size());
+    for (const std::string& l : labels) w->Str(l);
+  }
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnData& col = table.column_data(c);
+    w->Array<uint8_t>(col.tags());
+    w->U64(col.nulls().size());
+    w->Array<uint64_t>(col.nulls().words());
+    uint8_t flags = 0;
+    if (col.has_ints()) flags |= kLaneInts;
+    if (col.has_doubles()) flags |= kLaneDoubles;
+    if (col.has_strings()) flags |= kLaneStrings;
+    w->U8(flags);
+    if (col.has_ints()) w->Array<int64_t>(col.ints());
+    if (col.has_doubles()) w->Array<double>(col.doubles());
+    if (col.has_strings()) w->Array<uint32_t>(col.string_ids());
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadTable(std::span<const uint8_t> payload,
+                        std::shared_ptr<const void> anchor) {
+  BinaryReader r(payload);
+  uint32_t version = 0;
+  DIALITE_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kTableCodecVersion) {
+    return Status::ParseError("unsupported table codec version " +
+                              std::to_string(version));
+  }
+  std::string name;
+  DIALITE_RETURN_IF_ERROR(r.Str(&name));
+  uint64_t num_rows = 0, num_cols = 0;
+  DIALITE_RETURN_IF_ERROR(r.U64(&num_rows));
+  DIALITE_RETURN_IF_ERROR(r.U64(&num_cols));
+  if (num_cols > payload.size()) {  // cheap sanity bound before the loop
+    return Status::ParseError("table column count " +
+                              std::to_string(num_cols) + " is implausible");
+  }
+
+  std::vector<ColumnDef> defs;
+  defs.reserve(static_cast<size_t>(num_cols));
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    ColumnDef def;
+    DIALITE_RETURN_IF_ERROR(r.Str(&def.name));
+    uint8_t type = 0;
+    DIALITE_RETURN_IF_ERROR(r.U8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ParseError("bad column type tag " + std::to_string(type));
+    }
+    def.type = static_cast<ValueType>(type);
+    defs.push_back(std::move(def));
+  }
+
+  std::span<const uint64_t> offsets;
+  DIALITE_RETURN_IF_ERROR(r.Array(&offsets));
+  std::span<const char> blob;
+  DIALITE_RETURN_IF_ERROR(r.Array(&blob));
+  if (offsets.empty()) {
+    return Status::ParseError("dictionary offsets array must hold at least "
+                              "one entry");
+  }
+  if (offsets.front() != 0 || offsets.back() != blob.size()) {
+    return Status::ParseError("dictionary offsets do not cover the blob");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::ParseError("dictionary offsets not monotonic");
+    }
+  }
+  const uint64_t dict_count = offsets.size() - 1;
+  if (dict_count > StringDictionary::kNpos) {
+    return Status::ParseError("dictionary too large for 32-bit ids");
+  }
+  StringDictionary dict = StringDictionary::Borrowed(blob, offsets);
+
+  uint64_t prov_rows = 0;
+  DIALITE_RETURN_IF_ERROR(r.U64(&prov_rows));
+  if (prov_rows != 0 && prov_rows != num_rows) {
+    return Status::ParseError("provenance row count mismatch");
+  }
+  std::vector<std::vector<std::string>> provenance;
+  provenance.reserve(static_cast<size_t>(prov_rows));
+  for (uint64_t i = 0; i < prov_rows; ++i) {
+    uint64_t count = 0;
+    DIALITE_RETURN_IF_ERROR(r.U64(&count));
+    if (count > r.remaining()) {
+      return Status::ParseError("provenance label count overruns the buffer");
+    }
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<size_t>(count));
+    for (uint64_t j = 0; j < count; ++j) {
+      std::string label;
+      DIALITE_RETURN_IF_ERROR(r.Str(&label));
+      labels.push_back(std::move(label));
+    }
+    provenance.push_back(std::move(labels));
+  }
+
+  std::vector<ColumnData> cols;
+  cols.reserve(static_cast<size_t>(num_cols));
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::span<const uint8_t> tags;
+    DIALITE_RETURN_IF_ERROR(r.Array(&tags));
+    if (tags.size() != num_rows) {
+      return Status::ParseError("column tag array length mismatch");
+    }
+    for (uint8_t t : tags) {
+      if (t > static_cast<uint8_t>(CellKind::kString)) {
+        return Status::ParseError("bad cell kind tag " + std::to_string(t));
+      }
+    }
+    uint64_t null_cells = 0;
+    DIALITE_RETURN_IF_ERROR(r.U64(&null_cells));
+    std::span<const uint64_t> words;
+    DIALITE_RETURN_IF_ERROR(r.Array(&words));
+    if (null_cells != num_rows || words.size() != (num_rows + 31) / 32) {
+      return Status::ParseError("null map shape mismatch");
+    }
+    uint8_t flags = 0;
+    DIALITE_RETURN_IF_ERROR(r.U8(&flags));
+    std::span<const int64_t> ints;
+    std::span<const double> doubles;
+    std::span<const uint32_t> string_ids;
+    if (flags & kLaneInts) DIALITE_RETURN_IF_ERROR(r.Array(&ints));
+    if (flags & kLaneDoubles) DIALITE_RETURN_IF_ERROR(r.Array(&doubles));
+    if (flags & kLaneStrings) DIALITE_RETURN_IF_ERROR(r.Array(&string_ids));
+    // Lanes are full-length when present (PadLanes invariant) and must only
+    // reference dictionary ids that exist — Table's accessors index them
+    // without further checks.
+    if ((!ints.empty() && ints.size() != num_rows) ||
+        (!doubles.empty() && doubles.size() != num_rows) ||
+        (!string_ids.empty() && string_ids.size() != num_rows) ||
+        ((flags & kLaneInts) && num_rows != 0 && ints.empty()) ||
+        ((flags & kLaneDoubles) && num_rows != 0 && doubles.empty()) ||
+        ((flags & kLaneStrings) && num_rows != 0 && string_ids.empty())) {
+      return Status::ParseError("lane length mismatch");
+    }
+    for (uint32_t id : string_ids) {
+      if (id >= dict_count) {
+        return Status::ParseError("string id " + std::to_string(id) +
+                                  " outside the dictionary");
+      }
+    }
+    for (size_t rr = 0; rr < tags.size(); ++rr) {
+      CellKind k = static_cast<CellKind>(tags[rr]);
+      if ((k == CellKind::kInt && ints.empty()) ||
+          (k == CellKind::kDouble && doubles.empty()) ||
+          (k == CellKind::kString && string_ids.empty())) {
+        return Status::ParseError("cell tag references an absent lane");
+      }
+    }
+    cols.push_back(ColumnData::Borrowed(
+        tags, NullMap::Borrowed(words, static_cast<size_t>(null_cells)), ints,
+        doubles, string_ids));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes after table payload");
+  }
+
+  return Table::FromBorrowedParts(
+      std::move(name), Schema(std::move(defs)), std::move(dict),
+      std::move(cols), static_cast<size_t>(num_rows), std::move(provenance),
+      std::move(anchor));
+}
+
+}  // namespace dialite

@@ -1,0 +1,33 @@
+#ifndef DIALITE_SNAPSHOT_TABLE_CODEC_H_
+#define DIALITE_SNAPSHOT_TABLE_CODEC_H_
+
+#include <memory>
+#include <span>
+
+#include "common/status.h"
+#include "snapshot/bytes.h"
+#include "table/table.h"
+
+namespace dialite {
+
+/// Serializes `table` — schema, dictionary, null maps, and every
+/// materialized lane — into `w` (one snapshot section payload). Lane bytes
+/// are written aligned so the read side can hand them back as typed spans.
+Status WriteTable(const Table& table, BinaryWriter* w);
+
+/// Decodes a table from `payload`, backing its dictionary and lanes with
+/// borrowed spans into those bytes (zero copy). `anchor` — normally
+/// SnapshotReader::anchor() — is stored on the table to pin the mapping; a
+/// null anchor is allowed only if the caller guarantees `payload` outlives
+/// the table and all its copies.
+///
+/// Every structural invariant is revalidated (row counts, lane lengths,
+/// dictionary offsets monotonic and in bounds, string ids < dictionary
+/// size), so a malformed payload fails with kParseError instead of placing
+/// out-of-bounds spans behind Table's accessors.
+Result<Table> ReadTable(std::span<const uint8_t> payload,
+                        std::shared_ptr<const void> anchor);
+
+}  // namespace dialite
+
+#endif  // DIALITE_SNAPSHOT_TABLE_CODEC_H_

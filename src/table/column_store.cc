@@ -16,25 +16,28 @@ void ColumnData::Append(const Value& v, StringDictionary* dict) {
 
 void ColumnData::Set(size_t r, const Value& v, StringDictionary* dict) {
   if (v.is_null()) {
-    tags_[r] = static_cast<uint8_t>(v.is_produced_null()
-                                        ? CellKind::kProducedNull
-                                        : CellKind::kMissingNull);
+    tags_.owned()[r] = static_cast<uint8_t>(v.is_produced_null()
+                                                ? CellKind::kProducedNull
+                                                : CellKind::kMissingNull);
     nulls_.Set(r, v.is_produced_null() ? NullMap::kProduced : NullMap::kMissing);
     return;
   }
   nulls_.Set(r, NullMap::kNonNull);
   if (v.is_int()) {
-    if (ints_.empty()) ints_.resize(tags_.size());
-    tags_[r] = static_cast<uint8_t>(CellKind::kInt);
-    ints_[r] = v.as_int();
+    std::vector<int64_t>& ints = ints_.owned();
+    if (ints.empty()) ints.resize(tags_.size());
+    tags_.owned()[r] = static_cast<uint8_t>(CellKind::kInt);
+    ints[r] = v.as_int();
   } else if (v.is_double()) {
-    if (doubles_.empty()) doubles_.resize(tags_.size());
-    tags_[r] = static_cast<uint8_t>(CellKind::kDouble);
-    doubles_[r] = v.as_double();
+    std::vector<double>& doubles = doubles_.owned();
+    if (doubles.empty()) doubles.resize(tags_.size());
+    tags_.owned()[r] = static_cast<uint8_t>(CellKind::kDouble);
+    doubles[r] = v.as_double();
   } else {
-    if (string_ids_.empty()) string_ids_.resize(tags_.size());
-    tags_[r] = static_cast<uint8_t>(CellKind::kString);
-    string_ids_[r] = dict->Intern(v.as_string());
+    std::vector<uint32_t>& ids = string_ids_.owned();
+    if (ids.empty()) ids.resize(tags_.size());
+    tags_.owned()[r] = static_cast<uint8_t>(CellKind::kString);
+    ids[r] = dict->Intern(v.as_string());
   }
 }
 
@@ -58,25 +61,25 @@ void ColumnData::Reorder(const std::vector<size_t>& order) {
   std::vector<uint8_t> tags;
   tags.reserve(order.size());
   for (size_t i : order) tags.push_back(tags_[i]);
-  tags_ = std::move(tags);
+  tags_.owned() = std::move(tags);
   nulls_.Reorder(order);
   if (!ints_.empty()) {
     std::vector<int64_t> lane;
     lane.reserve(order.size());
     for (size_t i : order) lane.push_back(ints_[i]);
-    ints_ = std::move(lane);
+    ints_.owned() = std::move(lane);
   }
   if (!doubles_.empty()) {
     std::vector<double> lane;
     lane.reserve(order.size());
     for (size_t i : order) lane.push_back(doubles_[i]);
-    doubles_ = std::move(lane);
+    doubles_.owned() = std::move(lane);
   }
   if (!string_ids_.empty()) {
     std::vector<uint32_t> lane;
     lane.reserve(order.size());
     for (size_t i : order) lane.push_back(string_ids_[i]);
-    string_ids_ = std::move(lane);
+    string_ids_.owned() = std::move(lane);
   }
 }
 

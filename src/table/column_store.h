@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "table/dictionary.h"
+#include "table/lane.h"
 #include "table/value.h"
 
 namespace dialite {
@@ -27,22 +30,33 @@ inline bool CellKindIsNull(CellKind k) {
 
 /// Packed 2-bit-per-cell null map: 0 = non-null, 1 = missing null,
 /// 2 = produced null. 32 cells per 64-bit word; CountNulls is a popcount
-/// sweep instead of a cell walk.
+/// sweep instead of a cell walk. The word array is a Lane so a snapshot can
+/// back it with a borrowed mmap span (mutation privatizes it first).
 class NullMap {
  public:
   static constexpr uint8_t kNonNull = 0;
   static constexpr uint8_t kMissing = 1;
   static constexpr uint8_t kProduced = 2;
 
+  /// A map over `words` with `cells` cells, borrowed from external storage
+  /// (the snapshot loader's entry point).
+  static NullMap Borrowed(std::span<const uint64_t> words, size_t cells) {
+    NullMap m;
+    m.words_ = Lane<uint64_t>::Borrowed(words);
+    m.size_ = cells;
+    return m;
+  }
+
   void Append(uint8_t code) {
+    std::vector<uint64_t>& words = words_.owned();
     size_t word = size_ >> 5;
-    if (word >= words_.size()) words_.push_back(0);
-    words_[word] |= static_cast<uint64_t>(code & 3u) << ((size_ & 31u) * 2);
+    if (word >= words.size()) words.push_back(0);
+    words[word] |= static_cast<uint64_t>(code & 3u) << ((size_ & 31u) * 2);
     ++size_;
   }
 
   void Set(size_t i, uint8_t code) {
-    uint64_t& w = words_[i >> 5];
+    uint64_t& w = words_.owned()[i >> 5];
     unsigned shift = (i & 31u) * 2;
     w = (w & ~(uint64_t{3} << shift)) | (static_cast<uint64_t>(code & 3u) << shift);
   }
@@ -53,12 +67,15 @@ class NullMap {
 
   size_t size() const { return size_; }
 
-  void Reserve(size_t cells) { words_.reserve((cells + 31) / 32); }
+  /// The packed words (for the snapshot writer).
+  std::span<const uint64_t> words() const { return words_.span(); }
+
+  void Reserve(size_t cells) { words_.owned().reserve((cells + 31) / 32); }
 
   /// Number of null cells (either kind), by popcount over the packed words.
   size_t CountNulls() const {
     size_t n = 0;
-    for (uint64_t w : words_) {
+    for (uint64_t w : words_.span()) {
       // Fold each 2-bit code to one bit: codes 01 and 10 both light the low
       // bit of their pair; code 00 stays dark.
       n += static_cast<size_t>(
@@ -69,13 +86,13 @@ class NullMap {
 
   void Reorder(const std::vector<size_t>& order) {
     NullMap out;
-    out.words_.reserve(words_.size());
+    out.words_.owned().reserve((order.size() + 31) / 32);
     for (size_t i : order) out.Append(code(i));
     *this = std::move(out);
   }
 
  private:
-  std::vector<uint64_t> words_;
+  Lane<uint64_t> words_;
   size_t size_ = 0;
 };
 
@@ -86,10 +103,31 @@ class NullMap {
 /// allocates a double or string lane. Lane slots for cells of another kind
 /// hold unspecified padding; the tag decides which lane is live.
 ///
+/// Each lane is a Lane<T>: owned by a vector on the build path, or borrowed
+/// as a span over an mmap'd snapshot section on the zero-copy open path.
+/// Mutation of a borrowed column copy-on-writes the touched lanes.
+///
 /// String payloads are dictionary ids into the owning Table's
 /// StringDictionary; ColumnData itself never stores string bytes.
 class ColumnData {
  public:
+  /// Assembles a column over externally owned lane storage (the snapshot
+  /// loader's entry point). Absent lanes are passed as empty spans.
+  static ColumnData Borrowed(std::span<const uint8_t> tags, NullMap nulls,
+                             std::span<const int64_t> ints,
+                             std::span<const double> doubles,
+                             std::span<const uint32_t> string_ids) {
+    ColumnData c;
+    c.tags_ = Lane<uint8_t>::Borrowed(tags);
+    c.nulls_ = std::move(nulls);
+    if (!ints.empty()) c.ints_ = Lane<int64_t>::Borrowed(ints);
+    if (!doubles.empty()) c.doubles_ = Lane<double>::Borrowed(doubles);
+    if (!string_ids.empty()) {
+      c.string_ids_ = Lane<uint32_t>::Borrowed(string_ids);
+    }
+    return c;
+  }
+
   size_t size() const { return tags_.size(); }
 
   CellKind kind(size_t r) const { return static_cast<CellKind>(tags_[r]); }
@@ -102,35 +140,38 @@ class ColumnData {
   size_t CountNulls() const { return nulls_.CountNulls(); }
 
   void AppendNull(NullKind k) {
-    tags_.push_back(static_cast<uint8_t>(k == NullKind::kProduced
-                                             ? CellKind::kProducedNull
-                                             : CellKind::kMissingNull));
+    tags_.owned().push_back(static_cast<uint8_t>(k == NullKind::kProduced
+                                                     ? CellKind::kProducedNull
+                                                     : CellKind::kMissingNull));
     nulls_.Append(k == NullKind::kProduced ? NullMap::kProduced
                                            : NullMap::kMissing);
     PadLanes();
   }
 
   void AppendInt(int64_t v) {
-    if (ints_.size() < tags_.size()) ints_.resize(tags_.size());
-    tags_.push_back(static_cast<uint8_t>(CellKind::kInt));
+    std::vector<int64_t>& ints = ints_.owned();
+    if (ints.size() < tags_.size()) ints.resize(tags_.size());
+    tags_.owned().push_back(static_cast<uint8_t>(CellKind::kInt));
     nulls_.Append(NullMap::kNonNull);
-    ints_.push_back(v);
+    ints.push_back(v);
     PadLanes();
   }
 
   void AppendDouble(double v) {
-    if (doubles_.size() < tags_.size()) doubles_.resize(tags_.size());
-    tags_.push_back(static_cast<uint8_t>(CellKind::kDouble));
+    std::vector<double>& doubles = doubles_.owned();
+    if (doubles.size() < tags_.size()) doubles.resize(tags_.size());
+    tags_.owned().push_back(static_cast<uint8_t>(CellKind::kDouble));
     nulls_.Append(NullMap::kNonNull);
-    doubles_.push_back(v);
+    doubles.push_back(v);
     PadLanes();
   }
 
   void AppendStringId(uint32_t id) {
-    if (string_ids_.size() < tags_.size()) string_ids_.resize(tags_.size());
-    tags_.push_back(static_cast<uint8_t>(CellKind::kString));
+    std::vector<uint32_t>& ids = string_ids_.owned();
+    if (ids.size() < tags_.size()) ids.resize(tags_.size());
+    tags_.owned().push_back(static_cast<uint8_t>(CellKind::kString));
     nulls_.Append(NullMap::kNonNull);
-    string_ids_.push_back(id);
+    ids.push_back(id);
     PadLanes();
   }
 
@@ -138,11 +179,11 @@ class ColumnData {
   /// map, and every already-materialized lane (lazily-materialized lanes
   /// still start empty and reserve nothing until first use).
   void Reserve(size_t cells) {
-    tags_.reserve(cells);
+    tags_.owned().reserve(cells);
     nulls_.Reserve(cells);
-    if (!ints_.empty()) ints_.reserve(cells);
-    if (!doubles_.empty()) doubles_.reserve(cells);
-    if (!string_ids_.empty()) string_ids_.reserve(cells);
+    if (!ints_.empty()) ints_.owned().reserve(cells);
+    if (!doubles_.empty()) doubles_.owned().reserve(cells);
+    if (!string_ids_.empty()) string_ids_.owned().reserve(cells);
   }
 
   /// Appends `v`, interning string payloads into `dict`.
@@ -162,28 +203,35 @@ class ColumnData {
   [[nodiscard]] bool has_doubles() const { return !doubles_.empty(); }
   [[nodiscard]] bool has_strings() const { return !string_ids_.empty(); }
 
-  const std::vector<uint8_t>& tags() const { return tags_; }
+  std::span<const uint8_t> tags() const { return tags_.span(); }
+
+  /// Lane spans for the snapshot writer. Materialized lanes are full
+  /// length (PadLanes invariant); unmaterialized ones are empty.
+  std::span<const int64_t> ints() const { return ints_.span(); }
+  std::span<const double> doubles() const { return doubles_.span(); }
+  std::span<const uint32_t> string_ids() const { return string_ids_.span(); }
+  const NullMap& nulls() const { return nulls_; }
 
  private:
   // Keeps materialized lanes full-length so lane[r] is valid for any r with
   // the matching tag.
   void PadLanes() {
     if (!ints_.empty() && ints_.size() < tags_.size()) {
-      ints_.resize(tags_.size());
+      ints_.owned().resize(tags_.size());
     }
     if (!doubles_.empty() && doubles_.size() < tags_.size()) {
-      doubles_.resize(tags_.size());
+      doubles_.owned().resize(tags_.size());
     }
     if (!string_ids_.empty() && string_ids_.size() < tags_.size()) {
-      string_ids_.resize(tags_.size());
+      string_ids_.owned().resize(tags_.size());
     }
   }
 
-  std::vector<uint8_t> tags_;
+  Lane<uint8_t> tags_;
   NullMap nulls_;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<uint32_t> string_ids_;
+  Lane<int64_t> ints_;
+  Lane<double> doubles_;
+  Lane<uint32_t> string_ids_;
 };
 
 }  // namespace dialite

@@ -1,6 +1,7 @@
 #include "table/csv.h"
 
 #include <charconv>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -24,26 +25,47 @@ bool IsNaString(std::string_view s) {
   return false;
 }
 
-/// Splits CSV text into records of raw fields, honoring quotes.
-std::vector<std::vector<std::string>> SplitRecords(std::string_view text,
-                                                   char delim) {
-  std::vector<std::vector<std::string>> records;
-  std::vector<std::string> fields;
-  std::string field;
+/// Splits CSV text into records of raw fields, honoring quotes. Fields are
+/// zero-copy views into `text` on the common path; only fields that need
+/// unescaping (a '"' opened them, so "" doubling and surrounding quotes
+/// must be stripped) are materialized, into `arena` (a deque so earlier
+/// views stay stable while later fields append).
+std::vector<std::vector<std::string_view>> SplitRecords(
+    std::string_view text, char delim, std::deque<std::string>* arena) {
+  std::vector<std::vector<std::string_view>> records;
+  std::vector<std::string_view> fields;
+  std::string scratch;        // unescaped bytes of the current quoted field
+  size_t field_start = 0;     // raw start of the current field (view path)
+  bool needs_copy = false;    // current field went through `scratch`
   bool in_quotes = false;
   bool field_started = false;
   // True once any field of the current record was *present* — non-empty
   // text or an explicit quoted field (so a lone "" is a one-field record,
   // not a blank line).
   bool record_started = false;
-  auto end_field = [&] {
-    record_started |= field_started || !field.empty();
-    fields.push_back(std::move(field));
-    field.clear();
+  // `end` is the index one past the field's last raw byte; `strip_cr`
+  // drops a trailing '\r' (record ends only — CRLF line endings).
+  auto end_field = [&](size_t end, bool strip_cr) {
+    std::string_view f;
+    if (needs_copy) {
+      if (strip_cr && !scratch.empty() && scratch.back() == '\r') {
+        scratch.pop_back();
+      }
+      arena->push_back(std::move(scratch));
+      scratch.clear();
+      f = arena->back();
+    } else {
+      f = text.substr(field_start, end - field_start);
+      if (strip_cr && !f.empty() && f.back() == '\r') f.remove_suffix(1);
+    }
+    record_started |= field_started || !f.empty();
+    fields.push_back(f);
+    needs_copy = false;
     field_started = false;
+    field_start = end + 1;  // skip the delimiter/newline
   };
-  auto end_record = [&] {
-    end_field();
+  auto end_record = [&](size_t end, bool strip_cr) {
+    end_field(end, strip_cr);
     // Skip records with no field present at all (blank lines).
     if (fields.size() > 1 || record_started) {
       records.push_back(std::move(fields));
@@ -56,32 +78,33 @@ std::vector<std::vector<std::string>> SplitRecords(std::string_view text,
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
+          scratch += '"';
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field += c;
+        scratch += c;
       }
       continue;
     }
     if (c == '"' && !field_started) {
       in_quotes = true;
       field_started = true;
+      needs_copy = true;
     } else if (c == delim) {
-      end_field();
+      end_field(i, /*strip_cr=*/false);
     } else if (c == '\n') {
-      if (!field.empty() && field.back() == '\r') field.pop_back();
-      end_record();
+      end_record(i, /*strip_cr=*/true);
     } else {
-      field += c;
+      if (needs_copy) scratch += c;  // text after a closing quote
       field_started = true;
     }
   }
-  if (!field.empty() || field_started || !fields.empty()) {
-    if (!field.empty() && field.back() == '\r') field.pop_back();
-    end_record();
+  const bool field_nonempty =
+      needs_copy ? !scratch.empty() : field_start < text.size();
+  if (field_nonempty || field_started || !fields.empty()) {
+    end_record(text.size(), /*strip_cr=*/true);
   }
   return records;
 }
@@ -190,8 +213,9 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
   ObservabilityContext* obs = options.observability;
   ObsSpan parse_span(obs, "csv.parse");
   CsvTally tally;
-  std::vector<std::vector<std::string>> records =
-      SplitRecords(text, options.delimiter);
+  std::deque<std::string> arena;  // owns unescaped quoted fields
+  std::vector<std::vector<std::string_view>> records =
+      SplitRecords(text, options.delimiter, &arena);
   if (records.empty()) {
     return Table(std::move(table_name));
   }
@@ -201,7 +225,7 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
   Schema schema;
   size_t first_data = 0;
   if (options.has_header) {
-    std::vector<std::string> names = records[0];
+    std::vector<std::string> names(records[0].begin(), records[0].end());
     names.resize(width);
     for (std::string& n : names) n = Trim(n);
     schema = Schema::FromNames(names);
@@ -218,13 +242,13 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
   TableBuilder builder(&table);
   builder.ReserveRows(records.size() - first_data);
   for (size_t r = first_data; r < records.size(); ++r) {
-    const std::vector<std::string>& rec = records[r];
+    const std::vector<std::string_view>& rec = records[r];
     for (size_t c = 0; c < width; ++c) {
       if (c < rec.size()) {
-        std::string_view text;
+        std::string_view cell;
         int64_t int_v = 0;
         double dbl_v = 0.0;
-        switch (ClassifyCell(rec[c], options, &tally, &text, &int_v, &dbl_v)) {
+        switch (ClassifyCell(rec[c], options, &tally, &cell, &int_v, &dbl_v)) {
           case CellClass::kNull:
             builder.AppendNull(c, NullKind::kMissing);
             break;
@@ -235,7 +259,7 @@ Result<Table> CsvReader::Parse(std::string_view text, std::string table_name,
             builder.AppendDouble(c, dbl_v);
             break;
           case CellClass::kString:
-            builder.AppendString(c, text);
+            builder.AppendString(c, cell);
             break;
         }
       } else {

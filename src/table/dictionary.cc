@@ -2,30 +2,67 @@
 
 namespace dialite {
 
-StringDictionary::StringDictionary(const StringDictionary& other)
-    : strings_(other.strings_), payload_bytes_(other.payload_bytes_) {
+StringDictionary StringDictionary::Borrowed(std::span<const char> blob,
+                                            std::span<const uint64_t> offsets) {
+  StringDictionary d;
+  d.blob_ = blob;
+  d.offsets_ = offsets;
+  d.borrowed_count_ =
+      offsets.empty() ? 0 : static_cast<uint32_t>(offsets.size() - 1);
+  d.payload_bytes_ = blob.size();
+  d.index_built_ = d.borrowed_count_ == 0;
+  return d;
+}
+
+void StringDictionary::RebuildIndex() {
+  index_.clear();
+  index_built_ = borrowed_count_ == 0;
+  if (!index_built_) return;  // borrowed ids index lazily in EnsureIndex
   index_.reserve(strings_.size());
-  for (uint32_t id = 0; id < strings_.size(); ++id) {
-    index_.emplace(std::string_view(strings_[id]), id);
+  for (uint32_t i = 0; i < strings_.size(); ++i) {
+    index_.emplace(std::string_view(strings_[i]), i);
   }
+}
+
+void StringDictionary::EnsureIndex() const {
+  if (index_built_) return;
+  index_.reserve(size());
+  for (uint32_t id = 0; id < borrowed_count_; ++id) {
+    index_.emplace(view(id), id);
+  }
+  for (uint32_t i = 0; i < strings_.size(); ++i) {
+    index_.emplace(std::string_view(strings_[i]), borrowed_count_ + i);
+  }
+  index_built_ = true;
+}
+
+StringDictionary::StringDictionary(const StringDictionary& other)
+    : strings_(other.strings_),
+      blob_(other.blob_),
+      offsets_(other.offsets_),
+      borrowed_count_(other.borrowed_count_),
+      index_built_(other.borrowed_count_ == 0),
+      payload_bytes_(other.payload_bytes_) {
+  RebuildIndex();
 }
 
 StringDictionary& StringDictionary::operator=(const StringDictionary& other) {
   if (this == &other) return *this;
   strings_ = other.strings_;
+  blob_ = other.blob_;
+  offsets_ = other.offsets_;
+  borrowed_count_ = other.borrowed_count_;
+  index_built_ = other.borrowed_count_ == 0;
   payload_bytes_ = other.payload_bytes_;
-  index_.clear();
-  index_.reserve(strings_.size());
-  for (uint32_t id = 0; id < strings_.size(); ++id) {
-    index_.emplace(std::string_view(strings_[id]), id);
-  }
+  RebuildIndex();
   return *this;
 }
 
 uint32_t StringDictionary::Intern(std::string_view s) {
+  EnsureIndex();
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(strings_.size());
+  uint32_t id = static_cast<uint32_t>(size());
   strings_.emplace_back(s);
   payload_bytes_ += s.size();
   index_.emplace(std::string_view(strings_.back()), id);
@@ -33,6 +70,7 @@ uint32_t StringDictionary::Intern(std::string_view s) {
 }
 
 uint32_t StringDictionary::Find(std::string_view s) const {
+  EnsureIndex();
   auto it = index_.find(s);
   return it == index_.end() ? kNpos : it->second;
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,17 +20,33 @@ namespace dialite {
 /// fixed cell insertion order. Strings live in a deque, so `view(id)`
 /// results stay valid for the dictionary's lifetime — interning more
 /// strings never moves existing ones.
+///
+/// A dictionary can also be *borrowed* from a snapshot: ids [0,
+/// borrowed_count_) resolve into an externally owned byte blob + offsets
+/// array (an mmap'd section pinned by the owning Table's anchor) and cost
+/// nothing to open. The hash index over borrowed entries is built lazily on
+/// the first Intern()/Find() — reads through view() never need it. That
+/// lazy build mutates internal state, so the first Intern/Find on a
+/// borrowed dictionary must not race other Intern/Find calls (lake tables
+/// are read through view() only, so discovery never hits this).
 class StringDictionary {
  public:
   static constexpr uint32_t kNpos = 0xffffffffu;
 
   StringDictionary() = default;
-  // The lookup index holds views into strings_, so copies must rebuild it
-  // against their own storage.
+  // The lookup index holds views into the storage, so copies must rebuild
+  // it against their own storage (borrowed spans are shared, not copied —
+  // the anchor travels with the Table).
   StringDictionary(const StringDictionary& other);
   StringDictionary& operator=(const StringDictionary& other);
   StringDictionary(StringDictionary&&) = default;
   StringDictionary& operator=(StringDictionary&&) = default;
+
+  /// A dictionary over snapshot storage: `offsets` has count+1 entries and
+  /// string id i spans bytes [offsets[i], offsets[i+1]) of `blob`. The
+  /// caller has validated monotonicity and bounds (table_codec does).
+  static StringDictionary Borrowed(std::span<const char> blob,
+                                   std::span<const uint64_t> offsets);
 
   /// Id of `s`, interning it first if unseen.
   uint32_t Intern(std::string_view s);
@@ -38,18 +55,35 @@ class StringDictionary {
   uint32_t Find(std::string_view s) const;
 
   /// The interned string. The view stays valid for the dictionary's
-  /// lifetime (moves included; copies own their storage).
-  std::string_view view(uint32_t id) const { return strings_[id]; }
+  /// lifetime (moves included; copies of owned storage own their bytes,
+  /// copies of borrowed storage share the pinned mapping).
+  std::string_view view(uint32_t id) const {
+    if (id < borrowed_count_) {
+      return std::string_view(blob_.data() + offsets_[id],
+                              offsets_[id + 1] - offsets_[id]);
+    }
+    return strings_[id - borrowed_count_];
+  }
 
   /// Number of distinct interned strings.
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return borrowed_count_ + strings_.size(); }
 
   /// Total interned payload bytes (diagnostics).
   size_t payload_bytes() const { return payload_bytes_; }
 
  private:
-  std::deque<std::string> strings_;
-  std::unordered_map<std::string_view, uint32_t> index_;  // views into strings_
+  void RebuildIndex();
+  void EnsureIndex() const;
+
+  std::deque<std::string> strings_;          // owned entries (ids from
+                                             // borrowed_count_ up)
+  std::span<const char> blob_;               // borrowed payload bytes
+  std::span<const uint64_t> offsets_;        // borrowed_count_ + 1 entries
+  uint32_t borrowed_count_ = 0;
+  // Lazy over borrowed entries: empty until the first Intern/Find, then
+  // covers every id. Mutable because Find() is logically const.
+  mutable std::unordered_map<std::string_view, uint32_t> index_;
+  mutable bool index_built_ = true;  // false while borrowed ids are unindexed
   size_t payload_bytes_ = 0;
 };
 

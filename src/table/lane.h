@@ -1,0 +1,63 @@
+#ifndef DIALITE_TABLE_LANE_H_
+#define DIALITE_TABLE_LANE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dialite {
+
+/// One typed storage lane that is either *owned* (a std::vector, the
+/// mutable build-time form) or *borrowed* (a std::span over externally
+/// owned memory — in practice an mmap'd snapshot section pinned by the
+/// owning Table's storage anchor).
+///
+/// Reads are uniform through data()/operator[]/span(). Mutation goes
+/// through owned(), which copy-on-writes a borrowed lane into a vector
+/// first — so a Table loaded zero-copy from a snapshot silently privatizes
+/// exactly the columns a caller mutates, and nothing else.
+///
+/// Copying a borrowed lane copies the span, not the bytes; that is only
+/// safe because Table copies also share the storage anchor keeping the
+/// mapping alive.
+template <typename T>
+class Lane {
+ public:
+  Lane() = default;
+
+  static Lane Borrowed(std::span<const T> s) {
+    Lane l;
+    l.span_ = s;
+    l.borrowed_ = true;
+    return l;
+  }
+
+  [[nodiscard]] bool borrowed() const { return borrowed_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  size_t size() const { return borrowed_ ? span_.size() : vec_.size(); }
+  const T* data() const { return borrowed_ ? span_.data() : vec_.data(); }
+  const T& operator[](size_t i) const { return data()[i]; }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  /// Mutable access; privatizes a borrowed lane first (copy-on-write).
+  std::vector<T>& owned() {
+    EnsureOwned();
+    return vec_;
+  }
+
+  void EnsureOwned() {
+    if (!borrowed_) return;
+    vec_.assign(span_.begin(), span_.end());
+    span_ = {};
+    borrowed_ = false;
+  }
+
+ private:
+  std::vector<T> vec_;
+  std::span<const T> span_;
+  bool borrowed_ = false;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_TABLE_LANE_H_

@@ -152,7 +152,7 @@ void Table::RefreshColumnTypes() {
     bool has_int = false;
     bool has_double = false;
     bool has_string = false;
-    const std::vector<uint8_t>& tags = cols_[c].tags();
+    const std::span<const uint8_t> tags = cols_[c].tags();
     for (uint8_t t : tags) {
       switch (static_cast<CellKind>(t)) {
         case CellKind::kInt:

@@ -2,7 +2,9 @@
 #define DIALITE_TABLE_TABLE_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -70,6 +72,10 @@ class Table {
   /// The table-level interned-string pool backing string cells.
   const StringDictionary& dictionary() const { return dict_; }
 
+  /// Raw columnar storage of column `c` (the snapshot writer's view; prefer
+  /// column() everywhere else).
+  const ColumnData& column_data(size_t c) const { return cols_[c]; }
+
   /// Materializes row `r`. Returns by value (cells are decoded from the
   /// column store); bind to `const Row&` or a local, and prefer column()
   /// views in loops.
@@ -94,6 +100,32 @@ class Table {
   /// transposed rows.
   static Result<Table> FromColumns(std::string name, Schema schema,
                                    const std::vector<std::vector<Value>>& columns);
+
+  /// Assembles a table whose columns/dictionary may be *borrowed* — backed
+  /// by spans into externally owned storage (an mmap'd snapshot section).
+  /// `anchor` pins that storage for the table's lifetime and travels with
+  /// every copy; mutation privatizes exactly the touched lanes (see
+  /// lane.h). The snapshot loader's entry point; not for general use.
+  static Table FromBorrowedParts(std::string name, Schema schema,
+                                 StringDictionary dict,
+                                 std::vector<ColumnData> cols, size_t num_rows,
+                                 std::vector<std::vector<std::string>> provenance,
+                                 std::shared_ptr<const void> anchor) {
+    Table t;
+    t.name_ = std::move(name);
+    t.schema_ = std::move(schema);
+    t.dict_ = std::move(dict);
+    t.cols_ = std::move(cols);
+    t.num_rows_ = num_rows;
+    t.provenance_ = std::move(provenance);
+    t.storage_anchor_ = std::move(anchor);
+    return t;
+  }
+
+  /// Non-null while any column or the dictionary borrows snapshot storage.
+  const std::shared_ptr<const void>& storage_anchor() const {
+    return storage_anchor_;
+  }
 
   [[nodiscard]] bool has_provenance() const { return !provenance_.empty(); }
   const std::vector<std::string>& provenance(size_t r) const {
@@ -152,6 +184,9 @@ class Table {
   std::vector<ColumnData> cols_;
   size_t num_rows_ = 0;
   std::vector<std::vector<std::string>> provenance_;
+  /// Pins mmap'd snapshot storage backing borrowed lanes/dictionary; null
+  /// for fully owned tables. Copied with the table (lanes copy their spans).
+  std::shared_ptr<const void> storage_anchor_;
 };
 
 }  // namespace dialite

@@ -71,4 +71,24 @@ int64_t TfIdfVectorizer::TermId(const std::string& term) const {
   return it == term_ids_.end() ? -1 : static_cast<int64_t>(it->second);
 }
 
+std::vector<std::string> TfIdfVectorizer::TermsById() const {
+  std::vector<std::string> terms(term_ids_.size());
+  for (const auto& [term, id] : term_ids_) terms[id] = term;
+  return terms;
+}
+
+TfIdfVectorizer TfIdfVectorizer::Restore(const std::vector<std::string>& terms,
+                                         std::vector<size_t> doc_freq,
+                                         size_t num_docs) {
+  assert(terms.size() == doc_freq.size());
+  TfIdfVectorizer v;
+  for (uint32_t id = 0; id < terms.size(); ++id) {
+    v.term_ids_.emplace(terms[id], id);
+  }
+  v.doc_freq_ = std::move(doc_freq);
+  v.num_docs_ = num_docs;
+  v.Finalize();
+  return v;
+}
+
 }  // namespace dialite

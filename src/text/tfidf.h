@@ -40,6 +40,19 @@ class TfIdfVectorizer {
   /// Id for a known term, or -1.
   int64_t TermId(const std::string& term) const;
 
+  /// Snapshot persistence: the vocabulary in term-id order (ids are dense,
+  /// first-seen). Requires Finalize().
+  std::vector<std::string> TermsById() const;
+  /// Per-term document frequencies, indexed by term id.
+  const std::vector<size_t>& doc_freq() const { return doc_freq_; }
+
+  /// Reconstructs a finalized vectorizer from TermsById()/doc_freq()/
+  /// num_documents() — idf_ is recomputed, so Restore(save state) is
+  /// bit-identical to the original fitted vectorizer.
+  static TfIdfVectorizer Restore(const std::vector<std::string>& terms,
+                                 std::vector<size_t> doc_freq,
+                                 size_t num_docs);
+
  private:
   std::unordered_map<std::string, uint32_t> term_ids_;
   std::vector<size_t> doc_freq_;  // indexed by term id

@@ -1,12 +1,14 @@
-/// Tests for offline-index persistence (SANTOS and JOSIE save/load).
+/// Tests for offline-index persistence (the binary SaveIndex/LoadIndex
+/// container flow shared by every PersistentIndex algorithm; the snapshot
+/// container itself is covered in snapshot_test.cc).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "discovery/josie.h"
-#include "discovery/persist.h"
 #include "discovery/santos.h"
 #include "lake/paper_fixtures.h"
 
@@ -17,14 +19,10 @@ std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
 
-TEST(PersistEscapeTest, RoundTripsSpecials) {
-  const std::string cases[] = {"plain", "with\nnewline", "back\\slash",
-                               "cr\rchar", "", "mix\\n\n\\"};
-  for (const std::string& s : cases) {
-    EXPECT_EQ(UnescapeIndexLine(EscapeIndexLine(s)), s) << s;
-  }
-  // Escaped form never contains a raw newline.
-  EXPECT_EQ(EscapeIndexLine("a\nb").find('\n'), std::string::npos);
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 TEST(JosiePersistTest, SaveLoadGivesIdenticalResults) {
@@ -50,6 +48,21 @@ TEST(JosiePersistTest, SaveLoadGivesIdenticalResults) {
   std::remove(path.c_str());
 }
 
+TEST(JosiePersistTest, SaveLoadSaveIsByteIdentical) {
+  DataLake lake = paper::MakeDemoLake(12);
+  JosieSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path1 = TempPath("josie_rt1.idx");
+  std::string path2 = TempPath("josie_rt2.idx");
+  ASSERT_TRUE(original.SaveIndex(path1).ok());
+  JosieSearch loaded;
+  ASSERT_TRUE(loaded.LoadIndex(path1, lake).ok());
+  ASSERT_TRUE(loaded.SaveIndex(path2).ok());
+  EXPECT_EQ(ReadFile(path1), ReadFile(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
 TEST(JosiePersistTest, LoadRejectsMissingTable) {
   DataLake lake = paper::MakeDemoLake(0);
   JosieSearch original;
@@ -67,7 +80,9 @@ TEST(JosiePersistTest, LoadRejectsGarbage) {
   std::string path = TempPath("josie_garbage.idx");
   {
     std::ofstream out(path);
-    out << "not an index\n";
+    // The removed line-oriented text format: stale caches from older
+    // builds must fail parse (the facade then rebuilds), never crash.
+    out << "dialite-josie-index v1\n";
   }
   DataLake lake = paper::MakeDemoLake(0);
   JosieSearch loaded;
@@ -94,9 +109,25 @@ TEST(SantosPersistTest, SaveLoadGivesIdenticalResults) {
   ASSERT_EQ(h1->size(), h2->size());
   for (size_t i = 0; i < h1->size(); ++i) {
     EXPECT_EQ((*h1)[i].table_name, (*h2)[i].table_name);
-    EXPECT_NEAR((*h1)[i].score, (*h2)[i].score, 1e-9);
+    // Confidences round-trip as exact f64 bits, so scores match exactly.
+    EXPECT_DOUBLE_EQ((*h1)[i].score, (*h2)[i].score);
   }
   std::remove(path.c_str());
+}
+
+TEST(SantosPersistTest, SaveLoadSaveIsByteIdentical) {
+  DataLake lake = paper::MakeDemoLake(12);
+  SantosSearch original;
+  ASSERT_TRUE(original.BuildIndex(lake).ok());
+  std::string path1 = TempPath("santos_rt1.idx");
+  std::string path2 = TempPath("santos_rt2.idx");
+  ASSERT_TRUE(original.SaveIndex(path1).ok());
+  SantosSearch loaded;
+  ASSERT_TRUE(loaded.LoadIndex(path1, lake).ok());
+  ASSERT_TRUE(loaded.SaveIndex(path2).ok());
+  EXPECT_EQ(ReadFile(path1), ReadFile(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
 }
 
 TEST(SantosPersistTest, LoadedIndexStillRanksT2First) {
@@ -116,13 +147,12 @@ TEST(SantosPersistTest, LoadedIndexStillRanksT2First) {
   std::remove(path.c_str());
 }
 
-TEST(SantosPersistTest, LoadRejectsBadHeader) {
-  std::string path = TempPath("santos_bad.idx");
-  {
-    std::ofstream out(path);
-    out << "dialite-josie-index v1\n";  // wrong kind
-  }
+TEST(SantosPersistTest, LoadRejectsWrongAlgorithmPayload) {
   DataLake lake = paper::MakeDemoLake(0);
+  JosieSearch josie;
+  ASSERT_TRUE(josie.BuildIndex(lake).ok());
+  std::string path = TempPath("santos_bad.idx");
+  ASSERT_TRUE(josie.SaveIndex(path).ok());  // valid container, wrong payload
   SantosSearch loaded;
   EXPECT_EQ(loaded.LoadIndex(path, lake).code(), StatusCode::kParseError);
   std::remove(path.c_str());

@@ -21,6 +21,12 @@ mode (bench/bench_json.h) and enforces the trajectory contract:
   * `ratios` values compare with a TIGHT relative tolerance (default 35%,
     with an absolute floor of 0.35 for near-zero ratios): same-run time
     ratios are machine-portable, so real regressions show here.
+  * `ratios_min` (optional section) values are ONE-SIDED floors: the
+    baseline records the minimum acceptable ratio (an acceptance gate,
+    e.g. "snapshot open must stay >=10x faster than CSV rebuild") and the
+    current report records the measured value, which may exceed the floor
+    by any margin but may never fall below it. The section must be present
+    in both reports or absent from both.
 
 Exit status: 0 = within tolerance, 1 = regression/schema break, 2 = usage
 or unreadable input.
@@ -37,6 +43,11 @@ RATIO_FLOOR = 0.35    # ... with an absolute floor for near-zero ratios
 
 SECTIONS = ("config", "deterministic", "deterministic_text",
             "timings_us", "ratios")
+
+# Optional one-sided section: baseline value = acceptance floor, current
+# value = measured ratio; current >= floor passes. Absent from both is fine
+# (pre-floor reports); present in only one is a schema break.
+MIN_SECTION = "ratios_min"
 
 
 def load(path):
@@ -89,6 +100,28 @@ def compare(baseline, current):
                         "+/-%.3f (%d%% rel, %.2f floor)"
                         % (key, cv, bv, tol, int(RATIO_REL * 100),
                            RATIO_FLOOR))
+
+    b_min = baseline.get(MIN_SECTION)
+    c_min = current.get(MIN_SECTION)
+    if b_min is None and c_min is None:
+        pass  # pre-floor report pair: nothing to enforce
+    elif not isinstance(b_min, dict) or not isinstance(c_min, dict):
+        fails.append("schema break: section %r present in only one report "
+                     "(or not an object)" % MIN_SECTION)
+    else:
+        missing = sorted(set(b_min) - set(c_min))
+        added = sorted(set(c_min) - set(b_min))
+        if missing:
+            fails.append("schema break: %s: keys dropped: %s"
+                         % (MIN_SECTION, ", ".join(missing)))
+        if added:
+            fails.append("schema break: %s: keys added: %s"
+                         % (MIN_SECTION, ", ".join(added)))
+        for key in sorted(set(b_min) & set(c_min)):
+            if c_min[key] < b_min[key]:
+                fails.append(
+                    "%s.%s: %.3f falls below the %.3f acceptance floor"
+                    % (MIN_SECTION, key, c_min[key], b_min[key]))
     return fails
 
 
@@ -166,6 +199,44 @@ def self_test():
                 print("self-test FAIL: %s: expected %r in %s"
                       % (name, expect, fails))
                 ok = False
+
+    # ratios_min: one-sided floor semantics, against a floor-carrying base.
+    floor_base = clone()
+    floor_base["ratios_min"] = {"cold_start_speedup": 10.0}
+
+    def floor_clone():
+        return json.loads(json.dumps(floor_base))
+
+    min_cases = [
+        ("ratios_min above floor passes",
+         {"cold_start_speedup": 57.3}, None),
+        ("ratios_min at floor passes",
+         {"cold_start_speedup": 10.0}, None),
+        ("ratios_min below floor fails",
+         {"cold_start_speedup": 9.2}, "acceptance floor"),
+        ("ratios_min dropped key fails", {}, "keys dropped"),
+        ("ratios_min section missing fails", None, "present in only one"),
+    ]
+    for name, value, expect in min_cases:
+        cur = floor_clone()
+        if value is None:
+            del cur["ratios_min"]
+        else:
+            cur["ratios_min"] = value
+        fails = compare(floor_base, cur)
+        if expect is None and fails:
+            print("self-test FAIL: %s: unexpected failures: %s"
+                  % (name, fails))
+            ok = False
+        elif expect is not None and not any(expect in f for f in fails):
+            print("self-test FAIL: %s: expected %r in %s"
+                  % (name, expect, fails))
+            ok = False
+    # Absent from both reports stays accepted (pre-floor baselines).
+    if compare(base, clone()):
+        print("self-test FAIL: absent-from-both ratios_min should pass")
+        ok = False
+
     print("bench_compare self-test: %s" % ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 
