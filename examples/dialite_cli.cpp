@@ -2,6 +2,7 @@
 /// batch-mode equivalent of the paper's web demo.
 ///
 ///   dialite_cli generate-lake <dir> [fragments] [header_noise] [seed]
+///   dialite_cli snapshot <lake-dir> <out.dialsnap>
 ///   dialite_cli stats <lake-dir>
 ///   dialite_cli search <lake-dir> <query.csv> [column] [k] [algo]
 ///   dialite_cli integrate <lake-dir> <query.csv> [column] [k] [operator]
@@ -33,6 +34,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  dialite_cli generate-lake <dir> [fragments] [header_noise] [seed]\n"
+      "  dialite_cli snapshot <lake-dir> <out.dialsnap>\n"
       "  dialite_cli stats <lake-dir>\n"
       "  dialite_cli search <lake-dir> <query.csv> [column] [k] [algo]\n"
       "  dialite_cli integrate <lake-dir> <query.csv> [column] [k] [op]\n"
@@ -62,6 +64,18 @@ int CmdGenerateLake(int argc, char** argv) {
   SyntheticLakeGenerator::Output out = gen.Generate();
   if (Status s = out.lake.SaveDirectory(argv[2]); !s.ok()) return Fail(s);
   std::printf("wrote %zu CSV tables to %s\n", out.lake.size(), argv[2]);
+  return 0;
+}
+
+int CmdSnapshot(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<DataLake> lake = LoadLake(argv[2]);
+  if (!lake.ok()) return Fail(lake.status());
+  Dialite d(&*lake);
+  if (Status s = d.RegisterDefaults(); !s.ok()) return Fail(s);
+  if (Status s = d.BuildIndexes(); !s.ok()) return Fail(s);
+  if (Status s = d.SaveSnapshot(argv[3]); !s.ok()) return Fail(s);
+  std::printf("wrote snapshot %s (%zu tables)\n", argv[3], lake->size());
   return 0;
 }
 
@@ -180,6 +194,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   if (cmd == "generate-lake") return CmdGenerateLake(argc, argv);
+  if (cmd == "snapshot") return CmdSnapshot(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "search") return CmdSearch(argc, argv);
   if (cmd == "integrate") return CmdIntegrate(argc, argv);

@@ -11,7 +11,8 @@ namespace dialite {
 
 namespace {
 
-/// Loose-notation fallback for string cells that strtod alone rejects.
+/// Loose-notation fallback for string cells that strict parsing rejects:
+/// thousands separators ("1,234,567") and %/k/M/B suffixes.
 bool ParseLooseString(std::string_view raw, double* out) {
   std::string_view s = TrimView(raw);
   if (s.empty()) return false;
@@ -37,11 +38,13 @@ bool ParseLooseString(std::string_view raw, double* out) {
     cleaned.pop_back();
   }
   if (cleaned.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  double d = std::strtod(cleaned.c_str(), &end);
-  if (errno != 0 || end == cleaned.c_str()) return false;
-  if (!TrimView(std::string_view(end)).empty()) return false;
+  // ParseStrictNumeric, not strtod: strtod honors the process locale's
+  // decimal separator, so under de_DE "3.5%" silently parsed as 3 (strtod
+  // stopped at '.') or was rejected — analysis results changed with the
+  // host locale. The strict parser is from_chars-based (locale-free) and
+  // additionally rejects hex/inf/nan spellings a stats column never means.
+  double d = 0.0;
+  if (!ParseStrictNumeric(cleaned, &d)) return false;
   *out = d * scale;
   return true;
 }

@@ -1,0 +1,82 @@
+#include "common/fd_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dialite {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when it has none), for the post-rename
+/// directory fsync that makes the new directory entry itself durable.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status WriteFully(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("write wrote 0 bytes");
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  // O_TRUNC also reclaims a stale temp file left by an earlier crash.
+  UniqueFd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     0644));
+  if (!fd.valid()) {
+    return Status::IoError(Errno("cannot open temp file", tmp));
+  }
+  Status cleanup_and_fail = Status::OK();
+  Status write_status = WriteFully(fd.get(), contents.data(), contents.size());
+  if (write_status.ok() && ::fsync(fd.get()) != 0) {
+    write_status = Status::IoError(Errno("fsync failed for", tmp));
+  }
+  fd.reset();  // close before rename; close errors surface via fsync above
+  if (write_status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    write_status = Status::IoError(Errno("cannot rename temp file onto", path));
+  }
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());  // best effort; the destination was never touched
+    return write_status;
+  }
+  // Durability of the rename itself: fsync the directory. Best effort —
+  // the data is already safely at `path` for every non-power-loss failure.
+  UniqueFd dir(::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY));
+  if (dir.valid()) {
+    (void)::fsync(dir.get());
+  }
+  return Status::OK();
+}
+
+}  // namespace dialite

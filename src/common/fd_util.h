@@ -1,0 +1,61 @@
+#ifndef DIALITE_COMMON_FD_UTIL_H_
+#define DIALITE_COMMON_FD_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dialite {
+
+/// RAII file descriptor: closes on destruction, move-only. Used by the
+/// snapshot writer's atomic-save path and the server's socket layer so no
+/// error path can leak an fd.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// write(2) in a loop until all of `data` is on the fd, retrying EINTR.
+Status WriteFully(int fd, const void* data, size_t size);
+
+/// Durably replaces the file at `path` with `contents`:
+///   write all of `contents` to "<path>.tmp" (O_TRUNC), checking every
+///   write → fsync the temp file → rename(tmp, path) → best-effort fsync of
+///   the parent directory.
+/// rename(2) is atomic on POSIX, so a crash, ENOSPC, or kill at ANY point
+/// leaves either the old file or the new file at `path` — never a
+/// truncated hybrid. On failure the temp file is removed and any
+/// pre-existing file at `path` is untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace dialite
+
+#endif  // DIALITE_COMMON_FD_UTIL_H_

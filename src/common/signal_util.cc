@@ -1,0 +1,76 @@
+#include "common/signal_util.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace dialite {
+
+namespace {
+
+// Plain ints (not UniqueFd) because the write end is touched from a signal
+// handler: no constructors, no destructors, no locks. Written once by
+// Install() before any handler can run.
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+std::atomic<bool> g_pending{false};
+
+extern "C" void ShutdownSignalHandler(int sig) {
+  // async-signal-safe: one write, errno preserved.
+  int saved_errno = errno;
+  g_pending.store(true, std::memory_order_relaxed);
+  unsigned char byte = static_cast<unsigned char>(sig);
+  ssize_t ignored = ::write(g_pipe_write, &byte, 1);
+  (void)ignored;  // pipe full => a wakeup is already queued
+  errno = saved_errno;
+}
+
+}  // namespace
+
+Status ShutdownSignal::Install(const int* sigs, int count) {
+  if (g_pipe_read >= 0) {
+    return Status::Internal("ShutdownSignal::Install called twice");
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IoError(std::string("pipe failed: ") +
+                           std::strerror(errno));
+  }
+  // Non-blocking write end so a flood of signals can never block a handler.
+  (void)::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  (void)::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  (void)::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  g_pipe_read = fds[0];
+  g_pipe_write = fds[1];
+  struct sigaction sa{};
+  sa.sa_handler = ShutdownSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  for (int i = 0; i < count; ++i) {
+    if (::sigaction(sigs[i], &sa, nullptr) != 0) {
+      return Status::IoError(std::string("sigaction failed: ") +
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+int ShutdownSignal::Wait() {
+  unsigned char byte = 0;
+  for (;;) {
+    ssize_t n = ::read(g_pipe_read, &byte, 1);
+    if (n == 1) return byte;
+    if (n < 0 && errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool ShutdownSignal::Pending() {
+  return g_pending.load(std::memory_order_relaxed);
+}
+
+}  // namespace dialite

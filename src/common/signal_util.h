@@ -1,0 +1,37 @@
+#ifndef DIALITE_COMMON_SIGNAL_UTIL_H_
+#define DIALITE_COMMON_SIGNAL_UTIL_H_
+
+#include "common/status.h"
+
+namespace dialite {
+
+/// Self-pipe shutdown signal bridge for long-lived binaries (dialited).
+///
+/// Install() registers a handler for each signal that does the only
+/// async-signal-safe thing — write one byte (the signal number) into a
+/// pipe — and Wait() blocks the calling thread on the pipe's read end. This
+/// turns "SIGTERM arrived" into an ordinary blocking read on the main
+/// thread, which can then drive the server's drain sequence with normal
+/// (non-signal-safe) code.
+///
+/// Process-global (signal disposition is process state): Install() may be
+/// called once per process. Not for library use — only binaries own signal
+/// dispositions.
+class ShutdownSignal {
+ public:
+  /// Creates the pipe and installs the handler for each signal in `sigs`
+  /// (e.g. {SIGINT, SIGTERM}). Fails if called twice.
+  static Status Install(const int* sigs, int count);
+
+  /// Blocks until one of the installed signals arrives; returns its number.
+  /// Returns a negative value if the pipe breaks (should not happen).
+  static int Wait();
+
+  /// True once at least one installed signal has arrived (non-blocking;
+  /// does not consume the pipe byte Wait() reads).
+  static bool Pending();
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_COMMON_SIGNAL_UTIL_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kTypeMismatch,
   kInternal,
   kNotImplemented,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -76,6 +78,16 @@ class [[nodiscard]] Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// A cooperative deadline/cancellation fired before the operation
+  /// finished (per-request serving deadlines, socket read timeouts).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service exists but cannot take the work right now (admission
+  /// control rejects under overload, serving while draining). Retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <clocale>
 #include <cmath>
 #include <cstdlib>
 #include <system_error>
@@ -117,7 +118,23 @@ bool ParseStrictNumeric(std::string_view s, double* out) {
   double v = 0.0;
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec == std::errc::result_out_of_range) {
-    std::string buf(s);
+    // strtod reads the *process locale's* decimal separator. Under e.g.
+    // de_DE (separator ','), handing it the validated '.'-notation token
+    // verbatim would stop parsing at the '.' and silently reject — or
+    // misparse — values this function previously accepted (found as part
+    // of the locale bugfix sweep; regression-tested in common_test).
+    // Rewrite the grammar's '.' into the locale's separator first so the
+    // result is identical under every locale.
+    std::string buf;
+    buf.reserve(s.size() + 4);
+    const char* locale_point = std::localeconv()->decimal_point;
+    for (char c : s) {
+      if (c == '.') {
+        buf += locale_point;
+      } else {
+        buf += c;
+      }
+    }
     errno = 0;
     char* end = nullptr;
     v = std::strtod(buf.c_str(), &end);

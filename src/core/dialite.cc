@@ -291,6 +291,14 @@ Result<SnapshotSystem> Dialite::OpenSnapshot(const std::string& path,
   return sys;
 }
 
+Result<std::shared_ptr<const SnapshotSystem>> Dialite::OpenSnapshotShared(
+    const std::string& path, ObservabilityContext* obs) {
+  Result<SnapshotSystem> sys = OpenSnapshot(path, obs);
+  if (!sys.ok()) return sys.status();
+  return std::shared_ptr<const SnapshotSystem>(
+      std::make_shared<SnapshotSystem>(std::move(*sys)));
+}
+
 Result<std::vector<DiscoveryHit>> Dialite::Discover(
     const DiscoveryQuery& query, const std::string& algorithm) const {
   auto it = discovery_.find(algorithm);
@@ -299,6 +307,12 @@ Result<std::vector<DiscoveryHit>> Dialite::Discover(
   }
   if (!indexes_built_) {
     return Status::Internal("BuildIndexes() has not been called");
+  }
+  // A request whose deadline already passed (queue wait under load) must
+  // not start an index scan at all — the cascade only polls mid-scan.
+  if (query.cancel != nullptr && query.cancel->Cancelled()) {
+    return Status::DeadlineExceeded("discovery request cancelled before '" +
+                                    algorithm + "' started");
   }
   ObsSpan span(obs_, "discover." + algorithm);
   ObsAdd(obs_, "discover.searches");

@@ -175,6 +175,14 @@ class Dialite {
   static Result<SnapshotSystem> OpenSnapshot(
       const std::string& path, ObservabilityContext* obs = nullptr);
 
+  /// OpenSnapshot bundled under one shared_ptr — the shared-lake handle the
+  /// serving layer (dialited) epoch-swaps: concurrent requests copy the
+  /// current pointer (pinning lake + facade + the mmap anchor underneath),
+  /// a /reload opens a new system and swaps the pointer, and the old epoch
+  /// is destroyed when its last in-flight request drops the reference.
+  static Result<std::shared_ptr<const SnapshotSystem>> OpenSnapshotShared(
+      const std::string& path, ObservabilityContext* obs = nullptr);
+
   // ------------------------------------------------------------- stage 1
 
   /// Runs one discovery algorithm.

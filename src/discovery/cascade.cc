@@ -6,7 +6,8 @@ namespace dialite {
 
 std::vector<DiscoveryHit> RunBoundedTopK(std::vector<BoundedCandidate> candidates,
                                          size_t k, const ExactScorer& score,
-                                         CascadeStats* stats) {
+                                         CascadeStats* stats,
+                                         const CancelToken* cancel) {
   CascadeStats local;
   local.candidates_total = candidates.size();
 
@@ -54,6 +55,13 @@ std::vector<DiscoveryHit> RunBoundedTopK(std::vector<BoundedCandidate> candidate
         ++local.pruned_stage0;
         continue;
       }
+    }
+    // Cooperative deadline check at exact-scoring granularity: scoring is
+    // the expensive unit (µs–ms per candidate), the poll is a relaxed load
+    // plus at most one clock read.
+    if (cancel != nullptr && cancel->Cancelled()) {
+      local.cancelled = true;
+      break;
     }
     double s = score(cand);
     ++local.scored_exact;

@@ -44,6 +44,10 @@ struct CascadeStats {
   uint64_t scored_exact = 0;
   /// True when the descending-bound scan stopped before its end.
   bool early_terminated = false;
+  /// True when the scan was abandoned because the caller's CancelToken
+  /// fired (deadline/cancel). The returned hits are partial — callers must
+  /// surface kDeadlineExceeded instead of using them.
+  bool cancelled = false;
 };
 
 /// Exact scorer callback: the algorithm's full-precision score for one
@@ -68,9 +72,16 @@ using ExactScorer = std::function<double(const BoundedCandidate&)>;
 ///    bounds, so the same argument applies to each of them.
 ///
 /// `stats` (optional) receives the stage counters for this run.
+///
+/// `cancel` (optional) is polled before every exact scoring call — the
+/// expensive unit of work, so a fired per-request deadline stops the search
+/// within one candidate's scoring time. On cancellation the function
+/// returns immediately with stats->cancelled set; the partial heap is
+/// returned only for diagnostics and must not be served.
 std::vector<DiscoveryHit> RunBoundedTopK(std::vector<BoundedCandidate> candidates,
                                          size_t k, const ExactScorer& score,
-                                         CascadeStats* stats = nullptr);
+                                         CascadeStats* stats = nullptr,
+                                         const CancelToken* cancel = nullptr);
 
 /// Publishes one search's cascade counters as
 /// discover.<algo>.cascade.{candidates_total,pruned_stage0,scored_exact,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "lake/data_lake.h"
 #include "obs/observability.h"
@@ -29,6 +30,11 @@ struct DiscoveryQuery {
   const Table* table = nullptr;
   size_t query_column = 0;
   size_t k = 10;
+  /// Optional cooperative cancellation (per-request serving deadlines).
+  /// Borrowed; must outlive the Search call. The cascade's exact-scoring
+  /// loop polls it per candidate and a fired token surfaces as
+  /// kDeadlineExceeded from Search(). Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// How Search() executes:

@@ -329,8 +329,11 @@ Result<std::vector<DiscoveryHit>> JosieSearch::Search(
   }
   CascadeStats stats;
   std::vector<DiscoveryHit> top =
-      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats, query.cancel);
   PublishCascadeStats(obs_, name(), stats);
+  if (stats.cancelled) {
+    return Status::DeadlineExceeded("josie search cancelled mid-cascade");
+  }
   return top;
 }
 

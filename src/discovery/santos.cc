@@ -374,9 +374,12 @@ Result<std::vector<DiscoveryHit>> SantosSearch::Search(
   };
   CascadeStats stats;
   std::vector<DiscoveryHit> top =
-      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats);
+      RunBoundedTopK(std::move(bounded), query.k, scorer, &stats, query.cancel);
   if (!scorer_status.ok()) return scorer_status;
   PublishCascadeStats(obs_, name(), stats);
+  if (stats.cancelled) {
+    return Status::DeadlineExceeded("santos search cancelled mid-cascade");
+  }
   return top;
 }
 

@@ -1,6 +1,8 @@
 #ifndef DIALITE_OBS_OBSERVABILITY_H_
 #define DIALITE_OBS_OBSERVABILITY_H_
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -83,6 +85,41 @@ class ObsSpan {
 
  private:
   ScopedSpan span_;
+};
+
+/// RAII per-request scope: on destruction records elapsed wall time into
+/// histogram "<prefix>.ns" and bumps counter "<prefix>.count". The serving
+/// layer opens one per request ("server.request.<endpoint>"); ElapsedNs()
+/// lets the handler also report the latency inline in its response. Inert
+/// (no clock reads) on a null context.
+class ObsTimer {
+ public:
+  ObsTimer(ObservabilityContext* obs, std::string prefix)
+      : obs_(obs), prefix_(std::move(prefix)) {
+    if (obs_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+  ~ObsTimer() {
+    if (obs_ == nullptr) return;
+    obs_->metrics().Record(prefix_ + ".ns", ElapsedNs());
+    obs_->metrics().Add(prefix_ + ".count", 1);
+  }
+
+  /// Nanoseconds since construction (0 on a null context).
+  uint64_t ElapsedNs() const {
+    if (obs_ == nullptr) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  ObservabilityContext* obs_;
+  std::string prefix_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace dialite

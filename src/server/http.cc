@@ -1,0 +1,266 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace dialite {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kReadChunk = 16 * 1024;
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decodes `s`; '+' becomes a space (form encoding). Malformed
+/// escapes are kept literally rather than rejected.
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexVal(s[i + 1]) >= 0 &&
+               HexVal(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexVal(s[i + 1]) * 16 + HexVal(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void ParseQueryString(std::string_view qs,
+                      std::map<std::string, std::string>* out) {
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string_view::npos) amp = qs.size();
+    std::string_view pair = qs.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        (*out)[PercentDecode(pair)] = "";
+      } else {
+        (*out)[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+Status ParseHttpRequest(std::string_view data, size_t max_body_bytes,
+                        HttpRequest* out, size_t* consumed) {
+  size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      return Status::ParseError("HTTP header block exceeds 64 KiB");
+    }
+    return Status::OutOfRange("incomplete HTTP request head");
+  }
+  std::string_view head = data.substr(0, head_end);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  size_t line_end = head.find("\r\n");
+  std::string_view line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Status::ParseError("malformed HTTP request line");
+  }
+  std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") {
+    return Status::ParseError("malformed HTTP version");
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    req.path = PercentDecode(target);
+  } else {
+    req.path = PercentDecode(target.substr(0, qmark));
+    ParseQueryString(target.substr(qmark + 1), &req.query);
+  }
+
+  // Header lines.
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view hline = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = hline.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed HTTP header line");
+    }
+    std::string name = ToLower(hline.substr(0, colon));
+    std::string_view value = hline.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    req.headers[name] = ToLower(value);
+  }
+
+  size_t body_len = 0;
+  auto cl = req.headers.find("content-length");
+  if (cl != req.headers.end()) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(cl->second.c_str(), &end, 10);
+    if (end == cl->second.c_str() || *end != '\0') {
+      return Status::ParseError("malformed Content-Length");
+    }
+    body_len = static_cast<size_t>(v);
+  }
+  if (body_len > max_body_bytes) {
+    return Status::InvalidArgument("request body of " +
+                                   std::to_string(body_len) +
+                                   " bytes exceeds the limit of " +
+                                   std::to_string(max_body_bytes));
+  }
+  size_t total = head_end + 4 + body_len;
+  if (data.size() < total) {
+    return Status::OutOfRange("incomplete HTTP request body");
+  }
+  req.body = std::string(data.substr(head_end + 4, body_len));
+  *out = std::move(req);
+  *consumed = total;
+  return Status::OK();
+}
+
+Result<HttpRequest> ReadHttpRequest(TcpConn& conn, std::string* buffer,
+                                    size_t max_body_bytes) {
+  for (;;) {
+    if (!buffer->empty()) {
+      HttpRequest req;
+      size_t consumed = 0;
+      Status st = ParseHttpRequest(*buffer, max_body_bytes, &req, &consumed);
+      if (st.ok()) {
+        buffer->erase(0, consumed);
+        return req;
+      }
+      if (st.code() != StatusCode::kOutOfRange) return st;  // malformed
+    }
+    char chunk[kReadChunk];
+    Result<size_t> n = conn.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();  // timeout propagates, buffer intact
+    if (*n == 0) {
+      if (buffer->empty()) {
+        return Status::Unavailable("connection closed between requests");
+      }
+      return Status::ParseError("connection closed mid-request");
+    }
+    buffer->append(chunk, *n);
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    HttpStatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += resp.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::string SerializeHttpRequest(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body, bool close) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (close) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Status ReadHttpResponse(TcpConn& conn, std::string* buffer, int* status,
+                        std::string* body) {
+  for (;;) {
+    size_t head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      std::string_view head(buffer->data(), head_end);
+      // Status line: HTTP/1.1 SP code SP reason
+      size_t sp = head.find(' ');
+      if (sp == std::string_view::npos || head.size() < sp + 4) {
+        return Status::ParseError("malformed HTTP status line");
+      }
+      *status = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
+      size_t body_len = 0;
+      size_t cl = ToLower(head).find("content-length:");
+      if (cl != std::string::npos) {
+        body_len = static_cast<size_t>(
+            std::strtoull(head.data() + cl + 15, nullptr, 10));
+      }
+      size_t total = head_end + 4 + body_len;
+      while (buffer->size() < total) {
+        char chunk[kReadChunk];
+        Result<size_t> n = conn.ReadSome(chunk, sizeof(chunk));
+        if (!n.ok()) return n.status();
+        if (*n == 0) return Status::ParseError("EOF mid-response body");
+        buffer->append(chunk, *n);
+      }
+      *body = buffer->substr(head_end + 4, body_len);
+      buffer->erase(0, total);
+      return Status::OK();
+    }
+    char chunk[kReadChunk];
+    Result<size_t> n = conn.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (*n == 0) return Status::ParseError("EOF before response head");
+    buffer->append(chunk, *n);
+  }
+}
+
+}  // namespace dialite

@@ -1,0 +1,86 @@
+#ifndef DIALITE_SERVER_HTTP_H_
+#define DIALITE_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/net.h"
+
+// Minimal HTTP/1.1 subset for dialited: request line + headers + optional
+// Content-Length body, keep-alive by default, no chunked encoding, no TLS.
+// The parser is a pure function over a byte buffer (fuzz- and unit-testable
+// without sockets); ReadHttpRequest layers the socket loop on top.
+
+namespace dialite {
+
+/// One parsed request. The method and path are case-preserved as sent.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< percent-decoded path, e.g. "/discover"
+  /// Percent-decoded query parameters, last occurrence wins.
+  std::map<std::string, std::string> query;
+  /// Headers, names AND values lowercased (dialited only consumes
+  /// case-insensitive header values: content-length, connection).
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Query parameter lookup with a fallback.
+  std::string Param(const std::string& key, std::string fallback = "") const {
+    auto it = query.find(key);
+    return it != query.end() ? it->second : fallback;
+  }
+
+  /// True when the client asked to close after this response.
+  bool WantsClose() const {
+    auto it = headers.find("connection");
+    return it != headers.end() && it->second == "close";
+  }
+};
+
+/// One response to serialize. `close` echoes "Connection: close".
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close = false;
+};
+
+/// Canonical reason phrase for the handful of codes dialited emits.
+const char* HttpStatusText(int status);
+
+/// Parses one complete request out of `data`. On success fills `*out` and
+/// sets `*consumed` to the bytes eaten (the caller keeps the rest for the
+/// next keep-alive request). Returns OutOfRange when `data` is an
+/// incomplete prefix (read more), ParseError for malformed requests, and
+/// InvalidArgument when the declared body exceeds `max_body_bytes`.
+Status ParseHttpRequest(std::string_view data, size_t max_body_bytes,
+                        HttpRequest* out, size_t* consumed);
+
+/// Reads one request from `conn`, carrying leftover bytes across calls in
+/// `*buffer`. Propagates kDeadlineExceeded from a receive timeout (with
+/// `*buffer` intact, so the caller may retry) and returns kUnavailable on
+/// clean EOF between requests.
+Result<HttpRequest> ReadHttpRequest(TcpConn& conn, std::string* buffer,
+                                    size_t max_body_bytes);
+
+/// Serializes status line + headers + body, Content-Length framed.
+std::string SerializeHttpResponse(const HttpResponse& resp);
+
+/// Serializes a one-line GET/POST request for the client driver.
+std::string SerializeHttpRequest(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 bool close = false);
+
+/// Reads one response off `conn` for the client driver: status code into
+/// `*status`, body into `*body`. `*buffer` carries leftover bytes like
+/// ReadHttpRequest's.
+Status ReadHttpResponse(TcpConn& conn, std::string* buffer, int* status,
+                        std::string* body);
+
+}  // namespace dialite
+
+#endif  // DIALITE_SERVER_HTTP_H_

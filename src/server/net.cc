@@ -1,0 +1,144 @@
+#include "server/net.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dialite {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<size_t> TcpConn::ReadSome(char* buf, size_t len) {
+  if (!fd_.valid()) return Status::InvalidArgument("read on closed TcpConn");
+  for (;;) {
+    ssize_t n = ::recv(fd_.get(), buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Status::Internal(Errno("recv"));
+  }
+}
+
+Status TcpConn::WriteAll(std::string_view data) {
+  if (!fd_.valid()) return Status::InvalidArgument("write on closed TcpConn");
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_.get(), data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("send"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConn::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) {
+    return Status::InvalidArgument("timeout on closed TcpConn");
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return Status::OK();
+}
+
+void TcpConn::ShutdownWrite() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+Status TcpListener::Listen(uint16_t port, int backlog) {
+  if (fd_.valid()) return Status::InvalidArgument("listener already bound");
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::Internal(Errno("socket"));
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Internal(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  // Recover the kernel-assigned port when the caller bound port 0.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+  closed_.store(false, std::memory_order_relaxed);
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("listener closed");
+    }
+    ssize_t raw = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (raw >= 0) return TcpConn(UniqueFd(static_cast<int>(raw)));
+    if (errno == EINTR) continue;
+    // Close() shut the socket down under us: EINVAL (Linux, shutdown on a
+    // listening socket) or EBADF after the fd is gone. Both mean "stop".
+    return Status::Unavailable(Errno("accept"));
+  }
+}
+
+void TcpListener::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (fd_.valid()) {
+    // shutdown() wakes a concurrently blocked accept() (close() alone does
+    // not on Linux); the fd itself is released in the destructor path via
+    // reset so a racing Accept never reads a recycled descriptor number.
+    ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+}
+
+Result<TcpConn> TcpConnect(uint16_t port, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) return Status::Internal(Errno("socket"));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return TcpConn(std::move(fd));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(Errno("connect"));
+    }
+    // The daemon may still be binding (the smoke driver races its startup);
+    // back off briefly and retry until the deadline.
+    struct timespec ts{0, 20 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+}
+
+}  // namespace dialite

@@ -1,0 +1,43 @@
+#include "server/service.h"
+
+#include <utility>
+
+namespace dialite {
+
+Status LakeService::Reload(const std::string& snapshot_path) {
+  MutexLock reload_lock(reload_mu_);
+
+  std::string path = snapshot_path;
+  if (path.empty()) {
+    std::shared_ptr<const Epoch> cur = current();
+    if (cur == nullptr) {
+      return Status::InvalidArgument(
+          "reload without a path requires an already-open snapshot");
+    }
+    path = cur->snapshot_path;
+  }
+
+  // The expensive phase — mmap, checksum, index restore — runs with no
+  // lock but reload_mu_ held, so requests keep flowing on the old epoch.
+  ObsSpan span(obs_, "server.reload");
+  Result<std::shared_ptr<const SnapshotSystem>> sys =
+      Dialite::OpenSnapshotShared(path, obs_);
+  if (!sys.ok()) {
+    ObsAdd(obs_, "server.reload.failed");
+    return sys.status();
+  }
+
+  auto next = std::make_shared<Epoch>();
+  next->id = next_epoch_id_++;
+  next->snapshot_path = path;
+  next->system = std::move(*sys);
+
+  {
+    WriterLock lock(mu_);
+    epoch_ = std::move(next);
+  }
+  ObsAdd(obs_, "server.reload.count");
+  return Status::OK();
+}
+
+}  // namespace dialite

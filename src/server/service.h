@@ -1,0 +1,67 @@
+#ifndef DIALITE_SERVER_SERVICE_H_
+#define DIALITE_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/dialite.h"
+#include "obs/observability.h"
+
+namespace dialite {
+
+/// One immutable serving generation: a numbered snapshot system. Requests
+/// pin an epoch by copying the shared_ptr; the epoch (and the mmap under
+/// it) stays alive until the last pin drops, so a /reload never pulls the
+/// lake out from under an in-flight query.
+struct Epoch {
+  uint64_t id = 0;
+  std::string snapshot_path;
+  std::shared_ptr<const SnapshotSystem> system;
+};
+
+/// The daemon's shared-lake handle: the current Epoch behind a reader/
+/// writer lock. Readers (request handlers) take the shared lock only long
+/// enough to copy the pointer; Reload opens the replacement snapshot
+/// entirely OUTSIDE the lock (seconds of mmap + index restore) and swaps
+/// under the exclusive lock for nanoseconds — queries never stall behind a
+/// reload.
+class LakeService {
+ public:
+  explicit LakeService(ObservabilityContext* obs = nullptr) : obs_(obs) {}
+  LakeService(const LakeService&) = delete;
+  LakeService& operator=(const LakeService&) = delete;
+
+  /// Loads the initial snapshot (epoch 1). May be called again later; it
+  /// behaves exactly like Reload.
+  Status Open(const std::string& snapshot_path) DIALITE_EXCLUDES(mu_) {
+    return Reload(snapshot_path);
+  }
+
+  /// Opens `snapshot_path` (empty = re-open the current epoch's path) and
+  /// atomically publishes it as the next epoch. On failure the current
+  /// epoch keeps serving untouched. Concurrent reloads are serialized by
+  /// reload_mu_ so epoch ids are monotone in publish order.
+  Status Reload(const std::string& snapshot_path) DIALITE_EXCLUDES(mu_);
+
+  /// The current epoch (null before the first successful Open). The
+  /// returned pointer pins the whole system for as long as it is held.
+  std::shared_ptr<const Epoch> current() const DIALITE_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
+    return epoch_;
+  }
+
+ private:
+  ObservabilityContext* obs_;
+  /// Serializes whole Reload calls (the slow open phase included).
+  Mutex reload_mu_{"LakeService::reload_mu_"};
+  mutable SharedMutex mu_{"LakeService::mu_"};
+  std::shared_ptr<const Epoch> epoch_ DIALITE_GUARDED_BY(mu_);
+  uint64_t next_epoch_id_ DIALITE_GUARDED_BY(reload_mu_) = 1;
+};
+
+}  // namespace dialite
+
+#endif  // DIALITE_SERVER_SERVICE_H_

@@ -40,6 +40,18 @@ Status MapFile(const std::string& path, std::shared_ptr<MappedFile>* out) {
     ::close(fd);
     return Status::IoError(path + " is not a regular file");
   }
+  // Reject empty/tiny files here with a corruption error, not downstream:
+  // a 0-byte file maps to a null address, and letting that flow into
+  // header parsing would at best produce a misleading error and at worst a
+  // null-pointer read. (A 0-byte snapshot is the classic residue of the
+  // old non-atomic writer dying between open and write.)
+  if (static_cast<size_t>(st.st_size) < kSnapshotHeaderSize) {
+    ::close(fd);
+    return Status::ParseError(
+        path + " is too small for a snapshot header (" +
+        std::to_string(st.st_size) + " bytes, header needs " +
+        std::to_string(kSnapshotHeaderSize) + ")");
+  }
   auto mapped = std::make_shared<MappedFile>();
   mapped->length = static_cast<size_t>(st.st_size);
   if (mapped->length > 0) {

@@ -1,7 +1,8 @@
 #include "snapshot/snapshot_writer.h"
 
 #include <cstring>
-#include <fstream>
+
+#include "common/fd_util.h"
 
 namespace dialite {
 
@@ -75,12 +76,12 @@ Result<std::string> SnapshotWriter::FinishToString() const {
 Status SnapshotWriter::Finish(const std::string& path) const {
   Result<std::string> bytes = FinishToString();
   if (!bytes.ok()) return bytes.status();
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return Status::IoError("cannot open " + path + " for writing");
-  f.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
-  f.flush();
-  if (!f) return Status::IoError("short write to " + path);
-  return Status::OK();
+  // Crash-safe replace: the previous implementation streamed straight into
+  // `path`, so a kill, crash, or ENOSPC mid-write left a truncated/corrupt
+  // snapshot AT the destination — exactly what a serving daemon reloads.
+  // AtomicWriteFile stages into <path>.tmp, checks every write, fsyncs, and
+  // renames, so `path` only ever holds a complete old or complete new file.
+  return AtomicWriteFile(path, *bytes);
 }
 
 }  // namespace dialite

@@ -31,7 +31,10 @@ class SnapshotWriter {
   /// Serializes the container to bytes (header + payloads + table).
   Result<std::string> FinishToString() const;
 
-  /// Serializes and writes the container to `path` (overwrites). Bumps
+  /// Serializes and atomically replaces `path`: bytes go to "<path>.tmp"
+  /// (every write checked), then fsync + rename, so a crash or ENOSPC
+  /// mid-save never leaves a truncated snapshot at the destination — a
+  /// pre-existing snapshot there survives any failed save intact. Bumps
   /// `snapshot.bytes_written` / `snapshot.sections_written` on the obs
   /// context, if any.
   Status Finish(const std::string& path) const;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
+#include <string>
 
 #include "align/alite_matcher.h"
 #include "analyze/aggregate.h"
@@ -32,6 +34,36 @@ TEST(ParseNumericLooseTest, PaperNotations) {
   EXPECT_FALSE(ParseNumericLoose(Value::String("Berlin"), &d));
   EXPECT_FALSE(ParseNumericLoose(Value::Null(), &d));
   EXPECT_FALSE(ParseNumericLoose(Value::String("%"), &d));
+}
+
+// Regression: the loose parser went through errno+strtod, which honors
+// the process locale — under de_DE "1.4M" parsed as 1e6 (strtod stopped
+// at the '.') and every decimal statistic silently shifted. Stats must be
+// identical in every locale.
+TEST(ParseNumericLooseTest, LocaleIndependentDecimalSeparator) {
+  std::string previous = std::setlocale(LC_ALL, nullptr);
+  bool installed = false;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      installed = true;
+      break;
+    }
+  }
+  if (!installed) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this container";
+  }
+  double d = 0.0;
+  EXPECT_TRUE(ParseNumericLoose(Value::String("3.14"), &d));
+  EXPECT_DOUBLE_EQ(d, 3.14);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("1.4M"), &d));
+  EXPECT_DOUBLE_EQ(d, 1.4e6);
+  EXPECT_TRUE(ParseNumericLoose(Value::String("63.5%"), &d));
+  EXPECT_DOUBLE_EQ(d, 63.5);
+  // Thousands-separator commas still strip; they never become decimals.
+  EXPECT_TRUE(ParseNumericLoose(Value::String("2,500.25"), &d));
+  EXPECT_DOUBLE_EQ(d, 2500.25);
+  std::setlocale(LC_ALL, previous.c_str());
 }
 
 // ---------------------------------------------------------------- stats

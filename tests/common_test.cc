@@ -1,10 +1,21 @@
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <clocale>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/fd_util.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -339,6 +350,134 @@ TEST(ParseStrictNumericTest, RejectsMalformed) {
   EXPECT_FALSE(ParseStrictNumeric("12abc", &v));
   EXPECT_FALSE(ParseStrictNumeric("1 2", &v));
   EXPECT_FALSE(ParseStrictNumeric("--5", &v));
+}
+
+/// Installs a comma-decimal locale for one test; skips when the container
+/// has no such locale installed. Restores the previous locale on scope
+/// exit so later tests see the default "C" behavior again.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    previous_ = std::setlocale(LC_ALL, nullptr);
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                             "fr_FR.utf8"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr) {
+        installed_ = true;
+        return;
+      }
+    }
+  }
+  ~ScopedCommaLocale() { std::setlocale(LC_ALL, previous_.c_str()); }
+  [[nodiscard]] bool installed() const { return installed_; }
+
+ private:
+  std::string previous_;
+  bool installed_ = false;
+};
+
+// Regression: ParseStrictNumeric's overflow/subnormal fallback went
+// through strtod, which honors the process locale's decimal separator —
+// under de_DE "3.14" parsed as 3 (strtod stops at '.'). Parsing must be
+// locale-independent.
+TEST(ParseStrictNumericTest, LocaleIndependentDecimalSeparator) {
+  ScopedCommaLocale locale;
+  if (!locale.installed()) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this container";
+  }
+  double v = 0.0;
+  ASSERT_TRUE(ParseStrictNumeric("3.14", &v));
+  EXPECT_DOUBLE_EQ(v, 3.14);
+  // The locale's own separator must NOT become valid.
+  EXPECT_FALSE(ParseStrictNumeric("3,14", &v));
+  // The subnormal fallback path (from_chars reports result_out_of_range,
+  // strtod resolves it) must also survive a comma-decimal locale.
+  ASSERT_TRUE(ParseStrictNumeric("4.9406564584124654e-324", &v));
+  EXPECT_GT(v, 0.0);
+  ASSERT_TRUE(ParseStrictNumeric("1e-310", &v));
+  EXPECT_GT(v, 0.0);
+  // And formatting stays period-decimal for the JSON/bench emitters.
+  double back = 0.0;
+  ASSERT_TRUE(ParseStrictNumeric(FormatDouble(0.1), &back));
+  EXPECT_DOUBLE_EQ(back, 0.1);
+}
+
+// ------------------------------------------------------------- fd_util
+
+TEST(AtomicWriteFileTest, WritesAndReplaces) {
+  std::string path = testing::TempDir() + "/atomic_write_test.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "second contents").ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, "second contents");
+  // No staging file survives a successful replace.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFileTest, FailureLeavesOldFileUntouched) {
+  std::string path = testing::TempDir() + "/atomic_keep_test.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "precious").ok());
+  // A directory squatting on the staging path fails the save before the
+  // destination is touched (works even when the suite runs as root,
+  // unlike permission tricks).
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+  EXPECT_FALSE(AtomicWriteFile(path, "replacement").ok());
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+  std::ifstream in(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, "precious");
+  std::remove(path.c_str());
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  UniqueFd a(::open("/dev/null", O_WRONLY));
+  ASSERT_TRUE(a.valid());
+  const int raw = a.get();
+  UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): asserting it
+  EXPECT_EQ(b.get(), raw);
+  b.reset();
+  EXPECT_FALSE(b.valid());
+}
+
+// --------------------------------------------------------------- cancel
+
+TEST(CancelTokenTest, FiresOnCancelAndStaysFired) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, ZeroDeadlineFiresImmediately) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, FarDeadlineDoesNotFire) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::hours(24));
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, CancelVisibleAcrossThreads) {
+  CancelToken token;
+  std::atomic<bool> seen{false};
+  ThreadPool pool(2);
+  pool.Submit([&] {
+    while (!token.Cancelled()) {
+    }
+    seen.store(true);
+  });
+  token.Cancel();
+  pool.Wait();
+  EXPECT_TRUE(seen.load());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 /// and the Dialite facade's SaveSnapshot/OpenSnapshot end-to-end flow.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -337,6 +339,69 @@ TEST(DialiteSnapshotTest, SaveOpenSaveIsByteIdentical) {
   EXPECT_EQ(b1, b2);
   std::remove(path1.c_str());
   std::remove(path2.c_str());
+}
+
+TEST(DialiteSnapshotTest, OpenRejectsTinyFiles) {
+  // Regression: a 0-byte file used to mmap as nullptr and fall through to
+  // header parsing; any file shorter than the 64-byte header must fail
+  // with a clear corruption error instead.
+  for (size_t size : {size_t{0}, size_t{1}, kSnapshotHeaderSize - 1}) {
+    std::string path = TempPath("tiny_" + std::to_string(size) + ".snap");
+    {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      for (size_t i = 0; i < size; ++i) std::fputc('D', f);
+      std::fclose(f);
+    }
+    Status s = Dialite::OpenSnapshot(path).status();
+    EXPECT_EQ(s.code(), StatusCode::kParseError) << "size=" << size;
+    EXPECT_NE(s.message().find("too small"), std::string::npos)
+        << "size=" << size << ": " << s.message();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DialiteSnapshotTest, FailedSaveLeavesExistingSnapshotIntact) {
+  DataLake lake = paper::MakeDemoLake(4);
+  Dialite system(&lake);
+  ASSERT_TRUE(system.RegisterDefaults().ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+
+  std::string path = TempPath("atomic_save.snap");
+  ASSERT_TRUE(system.SaveSnapshot(path).ok());
+
+  // Sabotage the staging location: SaveSnapshot writes to "<path>.tmp"
+  // first, so a directory squatting there makes open(O_CREAT) fail before
+  // a single destination byte is touched. (chmod tricks don't work here —
+  // CI containers run the suite as root.)
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+  EXPECT_FALSE(system.SaveSnapshot(path).ok());
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+
+  // The pre-existing snapshot still opens and serves queries.
+  Result<SnapshotSystem> opened = Dialite::OpenSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->lake->size(), lake.size());
+  std::remove(path.c_str());
+}
+
+TEST(DialiteSnapshotTest, FailedRenameCleansUpTempFile) {
+  DataLake lake = paper::MakeDemoLake(2);
+  Dialite system(&lake);
+  ASSERT_TRUE(system.RegisterDefaults().ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+
+  // A directory at the DESTINATION lets every write into "<path>.tmp"
+  // succeed and fails only the final rename — the cleanup path must then
+  // remove the orphaned temp file.
+  std::string path = TempPath("dest_is_dir.snap");
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0);
+  EXPECT_FALSE(system.SaveSnapshot(path).ok());
+  struct stat st;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+      << "failed save left " << path << ".tmp behind";
+  ASSERT_EQ(::rmdir(path.c_str()), 0);
 }
 
 TEST(DialiteSnapshotTest, SnapshotMissingIndexSectionTriggersRebuild) {

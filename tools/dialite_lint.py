@@ -32,6 +32,12 @@ Enforces project rules that neither the compiler nor clang-tidy know about:
                           detector see every acquire. (std::once_flag /
                           std::call_once are allowed; tests may use raw
                           primitives to race against the wrappers.)
+  raw-socket              The BSD socket API (socket/bind/listen/accept/
+                          recv/send and the socket headers) anywhere under
+                          src/ outside src/server/net.{h,cc}. The serving
+                          daemon's whole socket surface lives behind
+                          TcpConn/TcpListener so handlers and the HTTP
+                          parser stay testable without a network.
 
 Usage:
   tools/dialite_lint.py [paths...]     lint files/dirs (default: src tests bench)
@@ -153,6 +159,12 @@ RAW_SYNC_RE = re.compile(
     r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"recursive_timed_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# BSD socket API: the socket-header includes plus the globally-qualified
+# calls (the `::` prefix keeps methods like Server::Shutdown out).
+RAW_SOCKET_RE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w.]+|arpa/inet\.h)>"
+    r"|(?<!:)::\s*(?:socket|accept4?|bind|listen|connect|recv|recvfrom|"
+    r"send|sendto|getsockname|getpeername)\s*\(")
 
 
 def in_dir(relpath, prefix):
@@ -182,6 +194,11 @@ def rule_naked_thread(relpath, raw, code, findings):
     if not in_dir(relpath, "src"):
         return
     if basename_is(relpath, "thread_pool.h", "thread_pool.cc"):
+        return
+    # The serving daemon's accept loop must block in accept() indefinitely,
+    # which would wedge a pooled worker; its NetThread wrapper is the one
+    # sanctioned raw thread (see src/server/net.h).
+    if relpath in ("src/server/net.h", "src/server/net.cc"):
         return
     for m in NAKED_THREAD_RE.finditer(code):
         line = code.count("\n", 0, m.start()) + 1
@@ -228,6 +245,22 @@ def rule_raw_sync_primitive(relpath, raw, code, findings):
             f"from common/sync.h"))
 
 
+def rule_raw_socket(relpath, raw, code, findings):
+    if not in_dir(relpath, "src"):
+        return
+    # The serving system's entire socket surface is src/server/net.{h,cc};
+    # everything else speaks TcpConn/TcpListener so protocol and handler
+    # code stays testable without the socket API.
+    if relpath in ("src/server/net.h", "src/server/net.cc"):
+        return
+    for m in RAW_SOCKET_RE.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        findings.append(Finding(
+            relpath, line, "raw-socket",
+            "raw BSD sockets are confined to src/server/net.{h,cc}; use "
+            "TcpConn / TcpListener from server/net.h"))
+
+
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)", re.MULTILINE)
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)", re.MULTILINE)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
@@ -261,6 +294,7 @@ RULES = {
     "nondeterminism": rule_nondeterminism,
     "include-guard": rule_include_guard,
     "raw-sync-primitive": rule_raw_sync_primitive,
+    "raw-socket": rule_raw_socket,
 }
 
 
@@ -325,6 +359,7 @@ def self_test():
         "bad_include_guard": "include-guard",
         "bad_pragma_once": "include-guard",
         "bad_raw_mutex": "raw-sync-primitive",
+        "bad_raw_socket": "raw-socket",
     }
     failures = []
     seen = set()

@@ -1,0 +1,163 @@
+// dialite_client — smoke driver for dialited (curl-less CI environments).
+//
+//   dialite_client get    <port> <target>                 one GET
+//   dialite_client post   <port> <target> [body-file]     one POST
+//   dialite_client hammer <port> <target> <body-file> <threads> <reqs-per>
+//
+// get/post print the response body on stdout and exit 0 only for HTTP 200.
+// hammer opens <threads> concurrent connections, each issuing <reqs-per>
+// keep-alive POSTs, and exits 0 only when every response is 200 — the CI
+// server-smoke job's concurrency probe (64 x discover against the
+// generated lake).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/http.h"
+#include "server/net.h"
+
+namespace {
+
+using dialite::NetThread;
+using dialite::ReadHttpResponse;
+using dialite::Result;
+using dialite::SerializeHttpRequest;
+using dialite::Status;
+using dialite::TcpConn;
+using dialite::TcpConnect;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s get    <port> <target>\n"
+               "       %s post   <port> <target> [body-file]\n"
+               "       %s hammer <port> <target> <body-file> <threads> "
+               "<reqs-per>\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+/// One request on a fresh connection; returns the HTTP status (or -1).
+int DoOne(uint16_t port, const std::string& method, const std::string& target,
+          const std::string& body, std::string* resp_body) {
+  Result<TcpConn> conn = TcpConnect(port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "dialite_client: %s\n",
+                 conn.status().message().c_str());
+    return -1;
+  }
+  if (!conn->WriteAll(SerializeHttpRequest(method, target, body,
+                                           /*close=*/true))
+           .ok()) {
+    return -1;
+  }
+  std::string buffer;
+  int status = 0;
+  Status st = ReadHttpResponse(*conn, &buffer, &status, resp_body);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dialite_client: %s\n", st.message().c_str());
+    return -1;
+  }
+  return status;
+}
+
+/// One hammer worker: a keep-alive connection issuing `reqs` POSTs.
+void HammerWorker(uint16_t port, const std::string& target,
+                  const std::string& body, int reqs, std::atomic<int>* ok,
+                  std::atomic<int>* failed) {
+  Result<TcpConn> conn = TcpConnect(port);
+  if (!conn.ok()) {
+    failed->fetch_add(reqs);
+    return;
+  }
+  std::string buffer;
+  for (int r = 0; r < reqs; ++r) {
+    const bool last = r == reqs - 1;
+    if (!conn->WriteAll(SerializeHttpRequest("POST", target, body, last))
+             .ok()) {
+      failed->fetch_add(reqs - r);
+      return;
+    }
+    int status = 0;
+    std::string resp_body;
+    if (!ReadHttpResponse(*conn, &buffer, &status, &resp_body).ok()) {
+      failed->fetch_add(reqs - r);
+      return;
+    }
+    if (status == 200) {
+      ok->fetch_add(1);
+    } else {
+      std::fprintf(stderr, "dialite_client: HTTP %d: %s\n", status,
+                   resp_body.c_str());
+      failed->fetch_add(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  const std::string mode = argv[1];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+  const std::string target = argv[3];
+
+  if (mode == "get" || mode == "post") {
+    std::string body;
+    if (mode == "post" && argc > 4 && !ReadFile(argv[4], &body)) {
+      std::fprintf(stderr, "dialite_client: cannot read %s\n", argv[4]);
+      return 1;
+    }
+    std::string resp_body;
+    int status =
+        DoOne(port, mode == "get" ? "GET" : "POST", target, body, &resp_body);
+    std::printf("%s\n", resp_body.c_str());
+    return status == 200 ? 0 : 1;
+  }
+
+  if (mode == "hammer") {
+    if (argc != 7) return Usage(argv[0]);
+    std::string body;
+    if (!ReadFile(argv[4], &body)) {
+      std::fprintf(stderr, "dialite_client: cannot read %s\n", argv[4]);
+      return 1;
+    }
+    const int threads = std::atoi(argv[5]);
+    const int reqs_per = std::atoi(argv[6]);
+    if (threads <= 0 || reqs_per <= 0) return Usage(argv[0]);
+
+    std::atomic<int> ok{0}, failed{0};
+    {
+      std::vector<std::unique_ptr<NetThread>> workers;
+      workers.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        workers.push_back(std::make_unique<NetThread>([&, t] {
+          (void)t;
+          HammerWorker(port, target, body, reqs_per, &ok, &failed);
+        }));
+      }
+    }  // NetThread joins on destruction
+    std::printf("hammer: %d ok, %d failed (%d threads x %d requests)\n",
+                ok.load(), failed.load(), threads, reqs_per);
+    return failed.load() == 0 &&
+                   ok.load() == threads * reqs_per
+               ? 0
+               : 1;
+  }
+
+  return Usage(argv[0]);
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture for the raw-socket rule: BSD socket calls in src/
+// outside src/server/net.{h,cc} must be flagged (the serving system's
+// socket surface is confined to TcpConn/TcpListener).
+#include <sys/socket.h>
+
+namespace dialite {
+
+int OpenRogueSocket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  return fd;
+}
+
+}  // namespace dialite
