@@ -21,9 +21,11 @@ namespace {
 class MyOuterJoinOperator : public IntegrationOperator {
  public:
   std::string name() const override { return "my_outer_join"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override {
-    return OuterJoinIntegration().Integrate(tables, alignment);
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override {
+    return OuterJoinIntegration().Integrate(tables, alignment, cancel);
   }
 };
 

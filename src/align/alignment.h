@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "obs/observability.h"
 #include "table/table.h"
@@ -70,9 +71,16 @@ class SchemaMatcher {
   virtual std::string name() const = 0;
 
   /// Partitions the columns of `tables` (all pointers non-null, names
-  /// unique) into integration-ID clusters.
-  virtual Result<Alignment> Align(
-      const std::vector<const Table*>& tables) const = 0;
+  /// unique) into integration-ID clusters. `cancel` may be null; when it is
+  /// not, matchers with super-linear inner loops must poll it and return
+  /// kDeadlineExceeded promptly — request threads rely on this to honor
+  /// their deadline (see DESIGN.md "Serving"). Derived classes re-export
+  /// the convenience overload with `using SchemaMatcher::Align;`.
+  Result<Alignment> Align(const std::vector<const Table*>& tables) const {
+    return Align(tables, nullptr);
+  }
+  virtual Result<Alignment> Align(const std::vector<const Table*>& tables,
+                                  const CancelToken* cancel) const = 0;
 
   /// Observability sink for align spans/counters (null = disabled, the
   /// default). Set by the Dialite facade; the context must outlive the

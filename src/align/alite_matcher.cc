@@ -73,11 +73,27 @@ double AliteMatcher::ColumnSimilarity(const Table& ta, size_t ca,
                         MakeSignature(tables, 1, cb));
 }
 
-Result<Alignment> AliteMatcher::Align(
-    const std::vector<const Table*>& tables) const {
+namespace {
+
+// Deadline checks below poll once per signature / matrix row / merge, so a
+// request that expires mid-alignment aborts within one unit of work.
+bool AlignCancelled(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->Cancelled();
+}
+
+Status AlignDeadline(const char* stage) {
+  return Status::DeadlineExceeded(std::string("alite alignment cancelled ") +
+                                  stage);
+}
+
+}  // namespace
+
+Result<Alignment> AliteMatcher::Align(const std::vector<const Table*>& tables,
+                                      const CancelToken* cancel) const {
   for (const Table* t : tables) {
     if (t == nullptr) return Status::InvalidArgument("null table in set");
   }
+  if (AlignCancelled(cancel)) return AlignDeadline("before signatures");
   ObsSpan align_span(obs_, "align.alite_holistic");
   // Collect all columns.
   std::vector<ColumnSignature> cols;
@@ -85,6 +101,7 @@ Result<Alignment> AliteMatcher::Align(
     ObsSpan span(obs_, "align.signatures");
     for (size_t ti = 0; ti < tables.size(); ++ti) {
       for (size_t c = 0; c < tables[ti]->num_columns(); ++c) {
+        if (AlignCancelled(cancel)) return AlignDeadline("building signatures");
         cols.push_back(MakeSignature(tables, ti, c));
       }
     }
@@ -99,7 +116,11 @@ Result<Alignment> AliteMatcher::Align(
   {
     ObsSpan span(obs_, "align.similarity_matrix");
     for (size_t i = 0; i < n; ++i) {
+      if (AlignCancelled(cancel)) return AlignDeadline("in similarity matrix");
       for (size_t j = i + 1; j < n; ++j) {
+        if (AlignCancelled(cancel)) {
+          return AlignDeadline("in similarity matrix");
+        }
         if (cols[i].table_idx == cols[j].table_idx) continue;  // cannot-link
         sim[i][j] = sim[j][i] = PairSimilarity(cols[i], cols[j]);
         ++pair_evals;
@@ -137,11 +158,14 @@ Result<Alignment> AliteMatcher::Align(
   };
 
   for (;;) {
+    if (AlignCancelled(cancel)) return AlignDeadline("mid-merge");
     double best = params_.threshold;
     size_t bi = Alignment::npos;
     size_t bj = Alignment::npos;
     for (size_t i = 0; i < clusters.size(); ++i) {
+      if (AlignCancelled(cancel)) return AlignDeadline("mid-merge");
       for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (AlignCancelled(cancel)) return AlignDeadline("mid-merge");
         if (!admissible(clusters[i], clusters[j])) continue;
         double s = avg_linkage(clusters[i], clusters[j]);
         if (s >= best) {
@@ -212,11 +236,14 @@ Result<Alignment> AliteMatcher::Align(
 
 // ------------------------------------------------------------ NameMatcher
 
-Result<Alignment> NameMatcher::Align(
-    const std::vector<const Table*>& tables) const {
+Result<Alignment> NameMatcher::Align(const std::vector<const Table*>& tables,
+                                     const CancelToken* cancel) const {
   for (const Table* t : tables) {
     if (t == nullptr) return Status::InvalidArgument("null table in set");
   }
+  // Header grouping is linear in the column count; one up-front poll is
+  // enough for this baseline.
+  if (AlignCancelled(cancel)) return AlignDeadline("before header grouping");
   // Group by normalized header; a second column of the SAME table with an
   // already-seen header starts a fresh cluster (the same-table constraint
   // must hold even for this baseline). Unnamed columns stay singletons.
@@ -261,7 +288,8 @@ Result<Alignment> NameMatcher::Align(
 // ---------------------------------------------------------------- Manual
 
 Result<Alignment> ManualAlignment::Align(
-    const std::vector<const Table*>& tables) const {
+    const std::vector<const Table*>& tables, const CancelToken* cancel) const {
+  if (AlignCancelled(cancel)) return AlignDeadline("before manual expansion");
   Alignment out;
   std::unordered_set<std::string> assigned;
   for (const std::vector<ColumnRef>& cl : clusters_) {

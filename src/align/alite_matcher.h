@@ -48,8 +48,9 @@ class AliteMatcher : public SchemaMatcher {
   AliteMatcher(Params params, const KnowledgeBase* kb);
 
   std::string name() const override { return "alite_holistic"; }
-  Result<Alignment> Align(
-      const std::vector<const Table*>& tables) const override;
+  using SchemaMatcher::Align;
+  Result<Alignment> Align(const std::vector<const Table*>& tables,
+                          const CancelToken* cancel) const override;
 
   /// The pairwise column similarity described above (exposed for tests and
   /// the ablation bench).
@@ -83,8 +84,9 @@ class AliteMatcher : public SchemaMatcher {
 class NameMatcher : public SchemaMatcher {
  public:
   std::string name() const override { return "name_equality"; }
-  Result<Alignment> Align(
-      const std::vector<const Table*>& tables) const override;
+  using SchemaMatcher::Align;
+  Result<Alignment> Align(const std::vector<const Table*>& tables,
+                          const CancelToken* cancel) const override;
 };
 
 /// User-specified alignment: the caller lists clusters of column refs;
@@ -95,8 +97,9 @@ class ManualAlignment : public SchemaMatcher {
       : clusters_(std::move(clusters)) {}
 
   std::string name() const override { return "manual"; }
-  Result<Alignment> Align(
-      const std::vector<const Table*>& tables) const override;
+  using SchemaMatcher::Align;
+  Result<Alignment> Align(const std::vector<const Table*>& tables,
+                          const CancelToken* cancel) const override;
 
  private:
   std::vector<std::vector<ColumnRef>> clusters_;

@@ -84,11 +84,15 @@ class ThreadPool {
 
   // workers_ is written once in the constructor and joined in the
   // destructor; between those it is read-only, so it is not guarded.
+  // analyze: no-guard(written once in ctor, joined in dtor, const between)
   std::vector<std::thread> workers_;
   // Instruments resolved once at construction (null when disabled) so the
   // per-task cost is an atomic add, not a registry lookup.
+  // analyze: no-guard(resolved once at construction, read-only after)
   Counter* tasks_run_ = nullptr;
+  // analyze: no-guard(resolved once at construction, read-only after)
   Histogram* queue_depth_ = nullptr;
+  // analyze: no-guard(resolved once at construction, read-only after)
   Histogram* task_wait_ns_ = nullptr;
   Mutex mu_{"ThreadPool::mu_"};
   CondVar task_cv_;  // signaled when work arrives / shutdown

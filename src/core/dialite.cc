@@ -435,8 +435,8 @@ std::vector<const Table*> Dialite::FormIntegrationSet(
 
 Result<IntegrationResult> Dialite::AlignAndIntegrate(
     const std::vector<const Table*>& tables,
-    const std::string& integration_operator,
-    const std::string& matcher) const {
+    const std::string& integration_operator, const std::string& matcher,
+    const CancelToken* cancel) const {
   auto mit = matchers_.find(matcher);
   if (mit == matchers_.end()) {
     return Status::NotFound("matcher '" + matcher + "' not registered");
@@ -446,9 +446,9 @@ Result<IntegrationResult> Dialite::AlignAndIntegrate(
     return Status::NotFound("integration '" + integration_operator +
                             "' not registered");
   }
-  Result<Alignment> alignment = mit->second->Align(tables);
+  Result<Alignment> alignment = mit->second->Align(tables, cancel);
   if (!alignment.ok()) return alignment.status();
-  Result<Table> integrated = oit->second->Integrate(tables, *alignment);
+  Result<Table> integrated = oit->second->Integrate(tables, *alignment, cancel);
   if (!integrated.ok()) return integrated.status();
   return IntegrationResult{std::move(integrated).value(),
                            std::move(alignment).value(), matcher,

@@ -219,11 +219,15 @@ class Dialite {
   // ------------------------------------------------------------- stage 2
 
   /// Aligns with the named matcher (default alite_holistic) and integrates
-  /// with the named operator.
+  /// with the named operator. `cancel` (nullable) is forwarded into both
+  /// stages; the built-in matcher and FD operators poll it per merge /
+  /// fixpoint iteration, so a served request's deadline cuts the whole
+  /// align+integrate pipeline short with kDeadlineExceeded.
   Result<IntegrationResult> AlignAndIntegrate(
       const std::vector<const Table*>& tables,
       const std::string& integration_operator = "alite_fd",
-      const std::string& matcher = "alite_holistic") const;
+      const std::string& matcher = "alite_holistic",
+      const CancelToken* cancel = nullptr) const;
 
   // ------------------------------------------------------------- stage 3
 

@@ -252,6 +252,10 @@ Result<std::vector<DiscoveryHit>> LshEnsembleSearch::Search(
     stats.candidates_total = by_table.size();
     stats.scored_exact = by_table.size();
     for (const auto& [table_name, ids] : by_table) {
+      if (query.cancel != nullptr && query.cancel->Cancelled()) {
+        return Status::DeadlineExceeded(
+            "lsh_ensemble exhaustive scan cancelled");
+      }
       double score = score_table(table_name, ids);
       if (score > 0.0) hits.push_back({table_name, score});
     }

@@ -333,6 +333,9 @@ Result<std::vector<DiscoveryHit>> SantosSearch::Search(
     std::vector<DiscoveryHit> hits;
     CascadeStats stats;
     for (const std::string& cand_name : candidates) {
+      if (query.cancel != nullptr && query.cancel->Cancelled()) {
+        return Status::DeadlineExceeded("santos exhaustive scan cancelled");
+      }
       if (cand_name == query.table->name()) continue;
       auto it = semantics_.find(cand_name);
       if (it == semantics_.end()) {

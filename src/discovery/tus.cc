@@ -417,6 +417,9 @@ Result<std::vector<DiscoveryHit>> TusSearch::Search(
     CascadeStats stats;
     for (const auto& [cand_name, ev] : candidates) {
       (void)ev;
+      if (query.cancel != nullptr && query.cancel->Cancelled()) {
+        return Status::DeadlineExceeded("tus exhaustive scan cancelled");
+      }
       if (cand_name == query.table->name()) continue;
       auto it = profiles_.find(cand_name);
       if (it == profiles_.end()) {

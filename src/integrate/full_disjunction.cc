@@ -102,9 +102,20 @@ uint64_t CellKey(size_t column, uint32_t code) {
   return HashCombine(Mix64(column + 1), code);
 }
 
+// The FD kernels poll once per worklist item / round / pool row, so a
+// pre-expired token aborts before the first fixpoint iteration ticks.
+bool FdCancelled(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->Cancelled();
+}
+
+Status FdDeadline(const char* stage) {
+  return Status::DeadlineExceeded(std::string("full disjunction cancelled ") +
+                                  stage);
+}
+
 /// Indexed complementation fix-point (ALITE-style candidate pruning).
 Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
-                                 FdTally* tally) {
+                                 FdTally* tally, const CancelToken* cancel) {
   const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> cell_index;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
@@ -140,6 +151,7 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
   std::vector<uint32_t> row(width);
   std::vector<uint32_t> merged(width);
   while (!worklist.empty()) {
+    if (FdCancelled(cancel)) return FdDeadline("in indexed fixpoint");
     const size_t idx = worklist.front();
     worklist.pop_front();
     ++tally->fixpoint_iterations;
@@ -149,6 +161,7 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
     ++epoch;
 
     for (size_t c = 0; c < width; ++c) {
+      if (FdCancelled(cancel)) return FdDeadline("in indexed fixpoint");
       if (CodeIsNull(row[c])) continue;
       auto it = cell_index.find(CellKey(c, row[c]));
       if (it == cell_index.end()) continue;
@@ -158,6 +171,7 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
       const std::vector<size_t>& bucket = it->second;
       const size_t bucket_size = bucket.size();
       for (size_t bi = 0; bi < bucket_size; ++bi) {
+        if (FdCancelled(cancel)) return FdDeadline("in indexed fixpoint");
         const size_t cand = bucket[bi];
         if (cand == idx) continue;
         if (cand < visited.size() && visited[cand] == epoch) continue;
@@ -189,7 +203,7 @@ Status ComplementFixpointIndexed(CodedPool* pool, size_t max_tuples,
 
 /// Naive complementation fix-point: rescan all pairs every round.
 Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples,
-                               FdTally* tally) {
+                               FdTally* tally, const CancelToken* cancel) {
   const size_t width = pool->width;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
   for (size_t i = 0; i < pool->size(); ++i) {
@@ -206,11 +220,14 @@ Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples,
   std::vector<uint32_t> merged(width);
   bool changed = true;
   while (changed) {
+    if (FdCancelled(cancel)) return FdDeadline("in naive fixpoint");
     changed = false;
     ++tally->fixpoint_iterations;
     const size_t n = pool->size();
     for (size_t i = 0; i < n; ++i) {
+      if (FdCancelled(cancel)) return FdDeadline("in naive fixpoint");
       for (size_t j = i + 1; j < n; ++j) {
+        if (FdCancelled(cancel)) return FdDeadline("in naive fixpoint");
         ++tally->rows_scanned;
         if (!CodedComplement(pool->row(i), pool->row(j), width)) continue;
         ++tally->merges;
@@ -236,8 +253,10 @@ Status ComplementFixpointNaive(CodedPool* pool, size_t max_tuples,
   return Status::OK();
 }
 
-/// Keeps only ⊑-maximal tuples. Assumes no two pool tuples are identical.
-CodedPool RemoveSubsumed(const CodedPool& pool, FdTally* tally) {
+/// Keeps only ⊑-maximal tuples into `*out`. Assumes no two pool tuples are
+/// identical. Polls `cancel` once per pool row.
+Status RemoveSubsumed(const CodedPool& pool, FdTally* tally,
+                      const CancelToken* cancel, CodedPool* out) {
   const size_t width = pool.width;
   const size_t n = pool.size();
   // Cell index for candidate subsumers.
@@ -262,6 +281,7 @@ CodedPool RemoveSubsumed(const CodedPool& pool, FdTally* tally) {
     if (!all_null) ++non_empty_tuples;
   }
   for (size_t i = 0; i < n; ++i) {
+    if (FdCancelled(cancel)) return FdDeadline("in subsumption removal");
     const uint32_t* row = pool.row(i);
     // Smallest candidate bucket among i's non-null cells.
     const std::vector<size_t>* smallest = nullptr;
@@ -280,6 +300,7 @@ CodedPool RemoveSubsumed(const CodedPool& pool, FdTally* tally) {
       continue;
     }
     for (size_t j : *smallest) {
+      if (FdCancelled(cancel)) return FdDeadline("in subsumption removal");
       if (j == i) continue;
       if (CodedSubsumedBy(row, pool.row(j), width)) {
         keep[i] = false;
@@ -287,16 +308,15 @@ CodedPool RemoveSubsumed(const CodedPool& pool, FdTally* tally) {
       }
     }
   }
-  CodedPool out;
-  out.width = width;
+  out->width = width;
   for (size_t i = 0; i < n; ++i) {
     if (keep[i]) {
-      out.AppendRow(pool.row(i), pool.provs[i]);
+      out->AppendRow(pool.row(i), pool.provs[i]);
     } else {
       ++tally->subsumed_tuples;
     }
   }
-  return out;
+  return Status::OK();
 }
 
 /// Provenance of u's row r, sorted (the loader's fallback label is already
@@ -353,11 +373,12 @@ enum class FixpointMode {
 
 /// Shared FD driver: outer union → encode → fix-point → subsumption →
 /// decode into a Table. `obs` (nullable) receives the integrate.fd.*
-/// counters and a span per phase.
+/// counters and a span per phase — they are flushed on the cancellation
+/// path too, so a deadline test can observe fixpoint_iterations == 0.
 Result<Table> RunFd(const std::vector<const Table*>& tables,
                     const Alignment& alignment, const std::string& name,
                     FixpointMode mode, size_t max_tuples,
-                    ObservabilityContext* obs) {
+                    ObservabilityContext* obs, const CancelToken* cancel) {
   ObsSpan fd_span(obs, "integrate.full_disjunction");
   FdTally tally;
   Result<Table> union_r = BuildOuterUnion(tables, alignment, name);
@@ -371,22 +392,22 @@ Result<Table> RunFd(const std::vector<const Table*>& tables,
   // Dedup exact input duplicates up front.
   CodedPool pool = DedupIntoPool(u, ucells, all_rows);
 
+  Status st = Status::OK();
   {
     ObsSpan span(obs, "integrate.fd.fixpoint");
     if (mode == FixpointMode::kIndexed) {
-      DIALITE_RETURN_IF_ERROR(ComplementFixpointIndexed(&pool, max_tuples,
-                                                      &tally));
+      st = ComplementFixpointIndexed(&pool, max_tuples, &tally, cancel);
     } else if (mode == FixpointMode::kNaive) {
-      DIALITE_RETURN_IF_ERROR(ComplementFixpointNaive(&pool, max_tuples,
-                                                    &tally));
+      st = ComplementFixpointNaive(&pool, max_tuples, &tally, cancel);
     }
   }
   CodedPool final_pool;
-  {
+  if (st.ok()) {
     ObsSpan span(obs, "integrate.fd.subsumption");
-    final_pool = RemoveSubsumed(pool, &tally);
+    st = RemoveSubsumed(pool, &tally, cancel, &final_pool);
   }
-  EmitFdCounters(obs, tally, u.num_rows(), final_pool.size());
+  EmitFdCounters(obs, tally, u.num_rows(), st.ok() ? final_pool.size() : 0);
+  DIALITE_RETURN_IF_ERROR(st);
 
   Table out(name, u.schema());
   DIALITE_RETURN_IF_ERROR(EmitPool(std::move(final_pool), codec, &out));
@@ -396,29 +417,29 @@ Result<Table> RunFd(const std::vector<const Table*>& tables,
 }  // namespace
 
 Result<Table> FullDisjunction::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   return RunFd(tables, alignment, "fd_result", FixpointMode::kIndexed,
-               params_.max_tuples, obs_);
+               params_.max_tuples, obs_, cancel);
 }
 
 Result<Table> NaiveFullDisjunction::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   return RunFd(tables, alignment, "naive_fd_result", FixpointMode::kNaive,
-               /*max_tuples=*/2000000, obs_);
+               /*max_tuples=*/2000000, obs_, cancel);
 }
 
 Result<Table> MinimumUnionIntegration::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   return RunFd(tables, alignment, "minimum_union_result", FixpointMode::kNone,
-               /*max_tuples=*/2000000, obs_);
+               /*max_tuples=*/2000000, obs_, cancel);
 }
 
 Result<Table> ParallelFullDisjunction::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   ObsSpan fd_span(obs_, "integrate.parallel_full_disjunction");
   Result<Table> union_r = BuildOuterUnion(tables, alignment, "parallel_fd");
   if (!union_r.ok()) return union_r.status();
@@ -467,10 +488,18 @@ Result<Table> ParallelFullDisjunction::Integrate(
   std::vector<FdTally> tallies(comps.size());
   ThreadPool tp(num_threads_, obs_);
   tp.ParallelFor(comps.size(), [&](size_t k) {
-    // Dedup within the component, then run the indexed fix-point.
+    // Dedup within the component, then run the indexed fix-point. Each
+    // component observes the shared token, so cancellation stops every
+    // worker within one fixpoint iteration.
+    if (FdCancelled(cancel)) {
+      statuses[k] = FdDeadline("before component fixpoint");
+      return;
+    }
     CodedPool pool = DedupIntoPool(u, ucells, comps[k]);
-    statuses[k] = ComplementFixpointIndexed(&pool, 2000000, &tallies[k]);
-    if (statuses[k].ok()) results[k] = RemoveSubsumed(pool, &tallies[k]);
+    statuses[k] = ComplementFixpointIndexed(&pool, 2000000, &tallies[k], cancel);
+    if (statuses[k].ok()) {
+      statuses[k] = RemoveSubsumed(pool, &tallies[k], cancel, &results[k]);
+    }
   });
   for (const Status& st : statuses) {
     DIALITE_RETURN_IF_ERROR(st);

@@ -40,8 +40,10 @@ class FullDisjunction : public IntegrationOperator {
   explicit FullDisjunction(Params params) : params_(params) {}
 
   std::string name() const override { return "alite_fd"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 
  private:
   Params params_;
@@ -54,8 +56,10 @@ class FullDisjunction : public IntegrationOperator {
 class NaiveFullDisjunction : public IntegrationOperator {
  public:
   std::string name() const override { return "naive_fd"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 };
 
 /// Parallel Full Disjunction (in the spirit of Paganelli et al., BDR 2019):
@@ -69,8 +73,10 @@ class ParallelFullDisjunction : public IntegrationOperator {
       : num_threads_(num_threads) {}
 
   std::string name() const override { return "parallel_fd"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 
  private:
   size_t num_threads_;
@@ -84,8 +90,10 @@ class ParallelFullDisjunction : public IntegrationOperator {
 class MinimumUnionIntegration : public IntegrationOperator {
  public:
   std::string name() const override { return "minimum_union"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 };
 
 }  // namespace dialite

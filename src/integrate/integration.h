@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "align/alignment.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "obs/observability.h"
 #include "table/table.h"
@@ -24,8 +25,17 @@ class IntegrationOperator {
   /// Stable operator id ("alite_fd", "outer_join", ...).
   virtual std::string name() const = 0;
 
+  /// `cancel` may be null; when it is not, operators with super-linear
+  /// kernels (the FD fixpoint, subsumption removal) must poll it and return
+  /// kDeadlineExceeded within one iteration. Derived classes re-export the
+  /// convenience overload with `using IntegrationOperator::Integrate;`.
+  Result<Table> Integrate(const std::vector<const Table*>& tables,
+                          const Alignment& alignment) const {
+    return Integrate(tables, alignment, nullptr);
+  }
   virtual Result<Table> Integrate(const std::vector<const Table*>& tables,
-                                  const Alignment& alignment) const = 0;
+                                  const Alignment& alignment,
+                                  const CancelToken* cancel) const = 0;
 
   /// Observability sink for integration counters — the FD operators emit
   /// integrate.fd.* (rows scanned, produced nulls, subsumed tuples,

@@ -45,7 +45,8 @@ void RekeyRows(const Table& t, const Alignment& alignment,
 /// Sequential pairwise join driver shared by outer and inner variants.
 Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
                              const Alignment& alignment, bool outer,
-                             const std::string& result_name) {
+                             const std::string& result_name,
+                             const CancelToken* cancel) {
   DIALITE_RETURN_IF_ERROR(alignment.Validate(tables));
   std::vector<ColumnDef> defs;
   for (size_t id = 0; id < alignment.num_clusters(); ++id) {
@@ -63,6 +64,11 @@ Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
   }
 
   for (size_t ti = 1; ti < tables.size(); ++ti) {
+    // One poll per join step bounds the latency of a cancelled request to
+    // one pairwise join (each step is linear in the probe side).
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return Status::DeadlineExceeded("sequential join cancelled mid-step");
+    }
     const Table& t = *tables[ti];
     std::vector<Row> right;
     std::vector<std::vector<std::string>> right_prov;
@@ -170,22 +176,22 @@ Result<Table> SequentialJoin(const std::vector<const Table*>& tables,
 }  // namespace
 
 Result<Table> OuterJoinIntegration::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   return SequentialJoin(tables, alignment, /*outer=*/true,
-                        "outer_join_result");
+                        "outer_join_result", cancel);
 }
 
 Result<Table> InnerJoinIntegration::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   return SequentialJoin(tables, alignment, /*outer=*/false,
-                        "inner_join_result");
+                        "inner_join_result", cancel);
 }
 
 Result<Table> UnionIntegration::Integrate(
-    const std::vector<const Table*>& tables,
-    const Alignment& alignment) const {
+    const std::vector<const Table*>& tables, const Alignment& alignment,
+    const CancelToken* cancel) const {
   Result<Table> union_r = BuildOuterUnion(tables, alignment, "union_result");
   if (!union_r.ok()) return union_r.status();
   const Table& u = *union_r;
@@ -205,6 +211,9 @@ Result<Table> UnionIntegration::Integrate(
   std::vector<size_t> kept;  // source row of each output tuple
   std::vector<std::vector<std::string>> provs;
   for (size_t r = 0; r < u.num_rows(); ++r) {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return Status::DeadlineExceeded("union integration cancelled mid-dedup");
+    }
     uint64_t h = row_key(r);
     bool dup = false;
     for (size_t idx : seen[h]) {

@@ -21,8 +21,10 @@ namespace dialite {
 class OuterJoinIntegration : public IntegrationOperator {
  public:
   std::string name() const override { return "outer_join"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 };
 
 /// Auctus-style baseline: sequential pairwise INNER JOIN. Rows without a
@@ -32,8 +34,10 @@ class OuterJoinIntegration : public IntegrationOperator {
 class InnerJoinIntegration : public IntegrationOperator {
  public:
   std::string name() const override { return "inner_join"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 };
 
 /// Auctus-style baseline: plain outer union over integration IDs with
@@ -41,8 +45,10 @@ class InnerJoinIntegration : public IntegrationOperator {
 class UnionIntegration : public IntegrationOperator {
  public:
   std::string name() const override { return "union_all"; }
+  using IntegrationOperator::Integrate;
   Result<Table> Integrate(const std::vector<const Table*>& tables,
-                          const Alignment& alignment) const override;
+                          const Alignment& alignment,
+                          const CancelToken* cancel) const override;
 };
 
 }  // namespace dialite

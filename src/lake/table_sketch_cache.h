@@ -125,8 +125,10 @@ class TableSketchCache {
     // call_once returns, so call_once's happens-before is their guard (no
     // mutex, hence no GUARDED_BY — the analysis cannot model once_flag).
     std::once_flag token_once;
+    // analyze: no-guard(published through token_once's happens-before)
     std::shared_ptr<const ColumnTokenSets> token_sets;
     std::once_flag distinct_once;
+    // analyze: no-guard(published through distinct_once's happens-before)
     std::shared_ptr<const ColumnDistinctValues> distinct_values;
     Mutex minhash_mu{"TableSketchCache::Entry::minhash_mu"};
     std::map<std::pair<size_t, uint64_t>,

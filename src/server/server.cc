@@ -328,17 +328,15 @@ HttpResponse DialiteServer::HandleAlign(const HttpRequest& req,
         400, "need at least two tables (?tables=a,b and/or a CSV body)");
   }
 
+  // The token flows through the matcher's merge loop and the FD fixpoint,
+  // so an expired deadline surfaces here as kDeadlineExceeded (→ 504)
+  // within one iteration of whichever kernel was running.
   Result<IntegrationResult> result = epoch->system->dialite->AlignAndIntegrate(
       tables, req.Param("op", "alite_fd"),
-      req.Param("matcher", "alite_holistic"));
+      req.Param("matcher", "alite_holistic"), cancel);
   if (!result.ok()) {
     return ErrorResponse(HttpStatusForCode(result.status().code()),
                          result.status().message());
-  }
-  // Alignment has no internal cancellation points; a deadline that fired
-  // while it ran still answers 504 so clients see uniform semantics.
-  if (cancel != nullptr && cancel->Cancelled()) {
-    return ErrorResponse(504, "deadline exceeded during alignment");
   }
 
   HttpResponse resp;
@@ -391,6 +389,7 @@ HttpResponse DialiteServer::HandleTestSleep(const HttpRequest& req,
       return ErrorResponse(504, "deadline exceeded after " +
                                     std::to_string(slept) + "ms of sleep");
     }
+    // analyze: allow-blocking(deadline-test endpoint sleeps in 2ms slices, polling cancel each slice)
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     slept += 2;
   }

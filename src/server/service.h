@@ -54,7 +54,7 @@ class LakeService {
   }
 
  private:
-  ObservabilityContext* obs_;
+  ObservabilityContext* const obs_;
   /// Serializes whole Reload calls (the slow open phase included).
   Mutex reload_mu_{"LakeService::reload_mu_"};
   mutable SharedMutex mu_{"LakeService::mu_"};

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "align/alite_matcher.h"
 #include "align/alignment.h"
+#include "common/cancel.h"
 #include "lake/lake_generator.h"
 #include "lake/paper_fixtures.h"
 
@@ -260,6 +263,24 @@ TEST(ManualAlignmentTest, RejectsUnknownReferences) {
   EXPECT_FALSE(bad_table.Align({&t4}).ok());
   ManualAlignment bad_col({{{"T4", 9}}});
   EXPECT_FALSE(bad_col.Align({&t4}).ok());
+}
+
+TEST(AliteMatcherTest, PreExpiredTokenAbortsAlignment) {
+  // A fired per-request deadline must stop the matcher inside its first
+  // polled stage (signature building / similarity matrix / merge loop),
+  // surfacing kDeadlineExceeded instead of a partial alignment.
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  AliteMatcher matcher;
+  CancelToken cancel;
+  cancel.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  auto r = matcher.Align({&t1, &t2, &t3}, &cancel);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  // A null token (the default overload) still aligns fine.
+  EXPECT_TRUE(matcher.Align({&t1, &t2, &t3}).ok());
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+// Unit tests for the dialite_analyze frame (tools/analyze): the lexer's
+// trap cases, the declaration parser, and the call/include graphs. These
+// run under `ctest -L analysis` next to the tree gate and the fixture
+// self-test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.h"
+#include "analyze/decls.h"
+#include "analyze/lexer.h"
+
+namespace dialite {
+namespace analyze {
+namespace {
+
+std::vector<std::string> TokenTexts(const LexedFile& lexed) {
+  std::vector<std::string> out;
+  for (const Token& t : lexed.tokens) out.push_back(t.text);
+  return out;
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, RawStringContentsNeverTokenize) {
+  // The payload contains comment openers, braces, a fake loop and a fake
+  // call — none of it may leak into the token stream.
+  const std::string src =
+      "const char* q = R\"sql(for (;;) { Score(/* hi */); })sql\";\n"
+      "int after = 1;\n";
+  LexedFile lexed = Lex("t.cc", src);
+  const std::vector<std::string> texts = TokenTexts(lexed);
+  for (const std::string& t : texts) {
+    EXPECT_NE(t, "for");
+    EXPECT_NE(t, "Score");
+  }
+  // The literal collapses to one string token and the file goes on.
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "\"\""), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "after"), texts.end());
+}
+
+TEST(LexerTest, RawStringEncodingPrefixes) {
+  const std::string src =
+      "auto a = u8R\"(x { y)\";\n"
+      "auto b = LR\"d(} /* z)d\";\n"
+      "int tail = 2;\n";
+  LexedFile lexed = Lex("t.cc", src);
+  const std::vector<std::string> texts = TokenTexts(lexed);
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "{"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "}"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "tail"), texts.end());
+}
+
+TEST(LexerTest, LineContinuationMacroEmitsNoTokens) {
+  // The whole #define is one preprocessor logical line across splices;
+  // sleep_for must not appear as a token, and the line counter must still
+  // advance so `after` is stamped with its real line.
+  const std::string src =
+      "#define NAP()     \\\n"
+      "  do {            \\\n"
+      "    sleep_for(1); \\\n"
+      "  } while (0)\n"
+      "int after = 1;\n";
+  LexedFile lexed = Lex("t.cc", src);
+  const std::vector<std::string> texts = TokenTexts(lexed);
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "sleep_for"), texts.end());
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens.front().text, "int");
+  EXPECT_EQ(lexed.tokens.front().line, 5);
+}
+
+TEST(LexerTest, SpliceInsideIdentifierAndString) {
+  // Translation phase 2: the splice joins physical lines before
+  // tokenization, so an identifier (or string) can straddle lines.
+  const std::string src = "int spli\\\nced = 0;\n";
+  LexedFile lexed = Lex("t.cc", src);
+  const std::vector<std::string> texts = TokenTexts(lexed);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "spliced"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "spli"), texts.end());
+}
+
+TEST(LexerTest, BlockCommentsDoNotNest) {
+  // The first */ closes the comment even after an inner /* — so `live`
+  // must tokenize and `dead` (inside the comment) must not.
+  const std::string src =
+      "/* outer /* looks nested */ int live = 1;\n"
+      "/* int dead = 2;\n"
+      "   still the same comment */ int live2 = 3;\n";
+  LexedFile lexed = Lex("t.cc", src);
+  const std::vector<std::string> texts = TokenTexts(lexed);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "live"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "live2"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "dead"), texts.end());
+}
+
+TEST(LexerTest, WaiversCoverOwnAndNextLine) {
+  const std::string src =
+      "// analyze: no-cancel(bounded by construction)\n"
+      "int covered = 1;\n"
+      "int uncovered = 2;\n"
+      "int waived_inline = 3;  // dialite-lint: allow(naked-thread)\n";
+  LexedFile lexed = Lex("t.cc", src);
+  EXPECT_TRUE(HasWaiver(lexed, "no-cancel", 1));
+  EXPECT_TRUE(HasWaiver(lexed, "no-cancel", 2));
+  EXPECT_FALSE(HasWaiver(lexed, "no-cancel", 3));
+  EXPECT_FALSE(HasWaiver(lexed, "allow-blocking", 2));
+  EXPECT_TRUE(HasLintWaiver(lexed, "naked-thread", 4));
+  EXPECT_FALSE(HasLintWaiver(lexed, "raw-socket", 4));
+}
+
+TEST(LexerTest, IncludesRecordedWithSystemFlag) {
+  const std::string src =
+      "#include \"analyze/lexer.h\"\n"
+      "#include <vector>\n";
+  LexedFile lexed = Lex("t.cc", src);
+  ASSERT_EQ(lexed.includes.size(), 2u);
+  EXPECT_EQ(lexed.includes[0].path, "analyze/lexer.h");
+  EXPECT_FALSE(lexed.includes[0].system);
+  EXPECT_EQ(lexed.includes[1].path, "vector");
+  EXPECT_TRUE(lexed.includes[1].system);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(DeclsTest, MembersGuardsAndLoops) {
+  const std::string src =
+      "namespace outer {\n"
+      "class Cache {\n"
+      " public:\n"
+      "  int Total(int n) {\n"
+      "    int sum = 0;\n"
+      "    for (int i = 0; i < n; ++i) sum += i;\n"
+      "    return sum;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int hits_ GUARDED_BY(mu_);\n"
+      "  int misses_;\n"
+      "  static int limit_;\n"
+      "  const int cap_ = 4;\n"
+      "};\n"
+      "}  // namespace outer\n";
+  ParsedFile pf = Parse(Lex("t.h", src));
+  ASSERT_EQ(pf.classes.size(), 1u);
+  const ClassInfo& cls = pf.classes[0];
+  EXPECT_EQ(cls.qual_name, "outer::Cache");
+  ASSERT_EQ(cls.members.size(), 5u);
+  EXPECT_EQ(cls.members[0].name, "mu_");
+  EXPECT_TRUE(cls.members[1].guarded);
+  EXPECT_FALSE(cls.members[2].guarded);
+  EXPECT_TRUE(cls.members[3].is_static);
+  EXPECT_TRUE(cls.members[4].is_const);
+  // The method parsed as a function with one loop, and its qualified name
+  // carries both the namespace and the class.
+  ASSERT_EQ(pf.functions.size(), 1u);
+  EXPECT_EQ(pf.functions[0].qual_name, "outer::Cache::Total");
+  EXPECT_EQ(pf.functions[0].loops.size(), 1u);
+}
+
+TEST(DeclsTest, NestedStructMembersAreAudited) {
+  // Regression: members of a struct nested inside a class must be reported
+  // under the inner class, and template-argument const must not mark the
+  // member itself const (shared_ptr<const T> is mutable).
+  const std::string src =
+      "class Outer {\n"
+      " public:\n"
+      "  struct Entry {\n"
+      "    shared_ptr<const Foo> token_sets;\n"
+      "    Mutex mu{\"x\"};\n"
+      "    int hits GUARDED_BY(mu);\n"
+      "  };\n"
+      "};\n";
+  ParsedFile pf = Parse(Lex("t.h", src));
+  ASSERT_EQ(pf.classes.size(), 2u);  // Entry closes (and reports) first
+  const ClassInfo& entry = pf.classes[0];
+  EXPECT_EQ(entry.qual_name, "Outer::Entry");
+  ASSERT_EQ(entry.members.size(), 3u);
+  EXPECT_EQ(entry.members[0].name, "token_sets");
+  EXPECT_FALSE(entry.members[0].is_const);
+  EXPECT_FALSE(entry.members[0].is_reference);
+  EXPECT_EQ(entry.members[1].name, "mu");
+  EXPECT_TRUE(entry.members[2].guarded);
+}
+
+TEST(DeclsTest, PointerConstnessBindsAfterLastStar) {
+  const std::string src =
+      "class C {\n"
+      "  const Obs* obs_;\n"        // pointee const, member mutable
+      "  Obs* const fixed_;\n"      // member const
+      "  Obs& ref_;\n"              // reference member
+      "};\n";
+  ParsedFile pf = Parse(Lex("t.h", src));
+  ASSERT_EQ(pf.classes.size(), 1u);
+  ASSERT_EQ(pf.classes[0].members.size(), 3u);
+  EXPECT_FALSE(pf.classes[0].members[0].is_const);
+  EXPECT_TRUE(pf.classes[0].members[1].is_const);
+  EXPECT_TRUE(pf.classes[0].members[2].is_reference);
+}
+
+// ------------------------------------------------------------ call graph
+
+ParsedFile ParseSource(const std::string& path, const std::string& src) {
+  return Parse(Lex(path, src));
+}
+
+TEST(CallGraphTest, ReachabilityStopsAtStopPatterns) {
+  std::vector<ParsedFile> files;
+  files.push_back(ParseSource(
+      "a.cc",
+      "void Leaf() {}\n"
+      "void Admin() { Leaf(); }\n"
+      "void Handle() { Admin(); Direct(); }\n"
+      "void Direct() {}\n"
+      "void Unreached() { Leaf(); }\n"));
+  Project project = Project::Build(std::move(files));
+  CallGraph graph(project);
+  auto names = [&](const std::vector<size_t>& ids) {
+    std::vector<std::string> out;
+    for (size_t id : ids) out.push_back(project.fn(id).simple_name);
+    return out;
+  };
+  // Without stops: Handle -> Admin -> Leaf plus Direct.
+  std::vector<std::string> all = names(graph.Reachable({"Handle"}, {}));
+  EXPECT_NE(std::find(all.begin(), all.end(), "Leaf"), all.end());
+  EXPECT_EQ(std::find(all.begin(), all.end(), "Unreached"), all.end());
+  // With Admin stopped, neither Admin nor its callee Leaf is audited.
+  std::vector<std::string> stopped =
+      names(graph.Reachable({"Handle"}, {"Admin"}));
+  EXPECT_EQ(std::find(stopped.begin(), stopped.end(), "Admin"), stopped.end());
+  EXPECT_EQ(std::find(stopped.begin(), stopped.end(), "Leaf"), stopped.end());
+  EXPECT_NE(std::find(stopped.begin(), stopped.end(), "Direct"),
+            stopped.end());
+}
+
+TEST(CallGraphTest, QualifiedPatternsMatchOnBoundary) {
+  FunctionInfo fn;
+  fn.simple_name = "Handle";
+  fn.qual_name = "dialite::DialiteServer::Handle";
+  EXPECT_TRUE(CallGraph::Matches(fn, "Handle"));
+  EXPECT_TRUE(CallGraph::Matches(fn, "DialiteServer::Handle"));
+  EXPECT_TRUE(CallGraph::Matches(fn, "dialite::DialiteServer::Handle"));
+  // Suffix matches must respect the :: boundary — no substring tricks.
+  EXPECT_FALSE(CallGraph::Matches(fn, "Server::Handle"));
+  EXPECT_FALSE(CallGraph::Matches(fn, "andle"));
+}
+
+// --------------------------------------------------------- include graph
+
+TEST(IncludeGraphTest, FindsCycleAndIgnoresSystemIncludes) {
+  std::vector<ParsedFile> acyclic;
+  acyclic.push_back(ParseSource("src/a.h", "#include \"b.h\"\n"
+                                           "#include <vector>\n"));
+  acyclic.push_back(ParseSource("src/b.h", "#include <string>\n"));
+  Project ok = Project::Build(std::move(acyclic));
+  EXPECT_TRUE(IncludeGraph(ok).FindCycle().empty());
+
+  std::vector<ParsedFile> cyclic;
+  cyclic.push_back(ParseSource("src/a.h", "#include \"b.h\"\n"));
+  cyclic.push_back(ParseSource("src/b.h", "#include \"c.h\"\n"));
+  cyclic.push_back(ParseSource("src/c.h", "#include \"a.h\"\n"));
+  Project bad = Project::Build(std::move(cyclic));
+  std::vector<std::string> cycle = IncludeGraph(bad).FindCycle();
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace dialite

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/dialite.h"
 #include "discovery/cascade.h"
 #include "discovery/josie.h"
@@ -317,6 +319,27 @@ TEST(DialiteFacadeTest, SearchModePropagatesToAlgorithms) {
   auto exhaustive = dialite.Discover(q, "santos");
   ASSERT_TRUE(exhaustive.ok());
   EXPECT_EQ(*cascade, *exhaustive);
+}
+
+// ------------------------------------------------- request deadlines
+
+TEST(RunBoundedTopKTest, PreExpiredDeadlineScoresNothing) {
+  // The cascade polls the token before every exact scoring call — the
+  // expensive unit — so a token that fired before the scan starts must
+  // abort it without a single scorer invocation.
+  std::vector<BoundedCandidate> cands = {{"a", 3.0}, {"b", 2.0}, {"c", 1.0}};
+  size_t calls = 0;
+  auto exact = [&](const BoundedCandidate&) {
+    ++calls;
+    return 1.0;
+  };
+  CancelToken cancel;
+  cancel.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  CascadeStats stats;
+  (void)RunBoundedTopK(cands, 2, exact, &stats, &cancel);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.scored_exact, 0u);
+  EXPECT_EQ(calls, 0u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "align/alite_matcher.h"
@@ -420,6 +421,52 @@ TEST(UnionIntegrationTest, DeduplicatesExactTuples) {
   // Merged provenance on the duplicate.
   size_t rv = RowWithProv(*r, {"A#0", "B#0"});
   EXPECT_NE(rv, static_cast<size_t>(-1));
+}
+
+// ------------------------------------------------- request deadlines
+
+TEST(FdDeadlineTest, PreExpiredTokenAbortsBeforeFirstFixpointIteration) {
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  std::vector<const Table*> tables = {&t1, &t2, &t3};
+  Alignment a = AlignSet(tables);
+  FullDisjunction fd;
+  ObservabilityContext obs;
+  fd.set_observability(&obs);
+  CancelToken cancel;
+  cancel.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  auto r = fd.Integrate(tables, a, &cancel);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  // The FD counters flush on the cancel path too: input_rows proves the
+  // flush happened, fixpoint_iterations == 0 proves the worklist aborted
+  // before consuming its first item.
+  EXPECT_GT(obs.metrics().CounterValue("integrate.fd.input_rows"), 0u);
+  EXPECT_EQ(obs.metrics().CounterValue("integrate.fd.fixpoint_iterations"),
+            0u);
+}
+
+TEST(FdDeadlineTest, EveryIntegrationOperatorHonoursPreExpiredToken) {
+  Table t1 = paper::MakeT1();
+  Table t2 = paper::MakeT2();
+  Table t3 = paper::MakeT3();
+  std::vector<const Table*> tables = {&t1, &t2, &t3};
+  Alignment a = AlignSet(tables);
+  FullDisjunction fd;
+  NaiveFullDisjunction naive;
+  ParallelFullDisjunction parallel(2);
+  MinimumUnionIntegration min_union;
+  const IntegrationOperator* ops[] = {&fd, &naive, &parallel, &min_union};
+  for (const IntegrationOperator* op : ops) {
+    CancelToken cancel;
+    cancel.SetDeadlineAfter(std::chrono::nanoseconds(0));
+    auto r = op->Integrate(tables, a, &cancel);
+    ASSERT_FALSE(r.ok()) << op->name();
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << op->name() << ": " << r.status().ToString();
+  }
 }
 
 }  // namespace

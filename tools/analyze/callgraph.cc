@@ -1,0 +1,165 @@
+#include "analyze/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+using Kind = Token::Kind;
+
+const std::unordered_set<std::string>& NonCallKeywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",    "for",      "while",  "switch",      "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",       "delete", "throw",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+      "static_assert", "assert", "defined", "alignas", "noexcept"};
+  return kw;
+}
+
+}  // namespace
+
+Project Project::Build(std::vector<ParsedFile> parsed) {
+  Project p;
+  p.files = std::move(parsed);
+  for (size_t f = 0; f < p.files.size(); ++f) {
+    for (size_t k = 0; k < p.files[f].functions.size(); ++k) {
+      p.fns.push_back({f, k});
+    }
+  }
+  return p;
+}
+
+CallGraph::CallGraph(const Project& project) : project_(project) {
+  calls_.resize(project_.fns.size());
+  for (size_t id = 0; id < project_.fns.size(); ++id) {
+    const FunctionInfo& fn = project_.fn(id);
+    by_simple_name_[fn.simple_name].push_back(id);
+    const std::vector<Token>& ts = project_.file_of(id).lex.tokens;
+    for (size_t i = fn.body_begin; i + 1 < fn.body_end && i < ts.size(); ++i) {
+      if (ts[i].kind != Kind::kIdent) continue;
+      if (ts[i + 1].kind != Kind::kPunct || ts[i + 1].text != "(") continue;
+      if (NonCallKeywords().count(ts[i].text)) continue;
+      calls_[id].insert(ts[i].text);
+    }
+  }
+}
+
+bool CallGraph::Matches(const FunctionInfo& fn, const std::string& pattern) {
+  if (pattern.find("::") == std::string::npos) {
+    return fn.simple_name == pattern;
+  }
+  const std::string& q = fn.qual_name;
+  if (q == pattern) return true;
+  if (q.size() > pattern.size() &&
+      q.compare(q.size() - pattern.size(), pattern.size(), pattern) == 0 &&
+      q.compare(q.size() - pattern.size() - 2, 2, "::") == 0) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<size_t> CallGraph::Reachable(
+    const std::vector<std::string>& seeds,
+    const std::vector<std::string>& stops) const {
+  std::vector<bool> stopped(project_.fns.size(), false);
+  for (size_t id = 0; id < project_.fns.size(); ++id) {
+    for (const std::string& s : stops) {
+      if (Matches(project_.fn(id), s)) {
+        stopped[id] = true;
+        break;
+      }
+    }
+  }
+  std::vector<bool> seen(project_.fns.size(), false);
+  std::deque<size_t> work;
+  for (size_t id = 0; id < project_.fns.size(); ++id) {
+    if (stopped[id]) continue;
+    for (const std::string& s : seeds) {
+      if (Matches(project_.fn(id), s)) {
+        seen[id] = true;
+        work.push_back(id);
+        break;
+      }
+    }
+  }
+  while (!work.empty()) {
+    size_t id = work.front();
+    work.pop_front();
+    for (const std::string& callee : calls_[id]) {
+      auto it = by_simple_name_.find(callee);
+      if (it == by_simple_name_.end()) continue;
+      for (size_t next : it->second) {
+        if (seen[next] || stopped[next]) continue;
+        seen[next] = true;
+        work.push_back(next);
+      }
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t id = 0; id < seen.size(); ++id) {
+    if (seen[id]) out.push_back(id);
+  }
+  return out;
+}
+
+IncludeGraph::IncludeGraph(const Project& project) : project_(project) {
+  edges_.resize(project_.files.size());
+  for (size_t f = 0; f < project_.files.size(); ++f) {
+    for (const Include& inc : project_.files[f].lex.includes) {
+      if (inc.system) continue;
+      // Resolve by path suffix on a '/' boundary (or full-path equality).
+      for (size_t g = 0; g < project_.files.size(); ++g) {
+        const std::string& p = project_.files[g].lex.path;
+        if (p == inc.path) {
+          edges_[f].push_back(g);
+          continue;
+        }
+        if (p.size() > inc.path.size() &&
+            p.compare(p.size() - inc.path.size(), inc.path.size(),
+                      inc.path) == 0 &&
+            p[p.size() - inc.path.size() - 1] == '/') {
+          edges_[f].push_back(g);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::string> IncludeGraph::FindCycle() const {
+  const size_t n = edges_.size();
+  // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+  std::vector<int> state(n, 0);
+  std::vector<size_t> path;
+  std::vector<std::string> cycle;
+
+  std::function<bool(size_t)> dfs = [&](size_t u) {
+    state[u] = 1;
+    path.push_back(u);
+    for (size_t v : edges_[u]) {
+      if (state[v] == 1) {
+        // Found a back edge: emit the path from v to u plus v again.
+        auto at = std::find(path.begin(), path.end(), v);
+        for (auto it = at; it != path.end(); ++it) {
+          cycle.push_back(project_.files[*it].lex.path);
+        }
+        cycle.push_back(project_.files[v].lex.path);
+        return true;
+      }
+      if (state[v] == 0 && dfs(v)) return true;
+    }
+    path.pop_back();
+    state[u] = 2;
+    return false;
+  };
+  for (size_t u = 0; u < n; ++u) {
+    if (state[u] == 0 && dfs(u)) return cycle;
+  }
+  return {};
+}
+
+}  // namespace analyze
+}  // namespace dialite

@@ -1,0 +1,86 @@
+#ifndef DIALITE_TOOLS_ANALYZE_CALLGRAPH_H_
+#define DIALITE_TOOLS_ANALYZE_CALLGRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/decls.h"
+
+namespace dialite {
+namespace analyze {
+
+/// Flattened project view: every parsed file plus a global function table.
+struct Project {
+  std::vector<ParsedFile> files;
+
+  /// Global function id -> (file index, function index).
+  struct FnRef {
+    size_t file = 0;
+    size_t fn = 0;
+  };
+  std::vector<FnRef> fns;
+
+  const FunctionInfo& fn(size_t id) const {
+    return files[fns[id].file].functions[fns[id].fn];
+  }
+  const ParsedFile& file_of(size_t id) const { return files[fns[id].file]; }
+
+  static Project Build(std::vector<ParsedFile> parsed);
+};
+
+/// Name-based call graph: a call site `name(` links to EVERY function whose
+/// simple name is `name` — a deliberate over-approximation, which is safe
+/// for the reachability checks (it can only widen the audited set, never
+/// hide a function from it).
+class CallGraph {
+ public:
+  explicit CallGraph(const Project& project);
+
+  /// Call-site simple names appearing in function `id`'s body.
+  const std::set<std::string>& calls(size_t id) const { return calls_[id]; }
+
+  /// BFS from every function matching a seed pattern. A pattern without
+  /// "::" matches simple names; with "::" it matches a suffix of the
+  /// qualified name on a :: boundary. Functions matching a `stops` pattern
+  /// are never entered (excluded from the result and not expanded) — the
+  /// policy uses this to end the request-path at admin boundaries like
+  /// LakeService::Reload.
+  std::vector<size_t> Reachable(const std::vector<std::string>& seeds,
+                                const std::vector<std::string>& stops) const;
+
+  /// True if the function's simple or qualified name matches the pattern
+  /// (see Reachable for the pattern grammar).
+  static bool Matches(const FunctionInfo& fn, const std::string& pattern);
+
+ private:
+  const Project& project_;
+  std::vector<std::set<std::string>> calls_;        // per function id
+  std::unordered_map<std::string, std::vector<size_t>> by_simple_name_;
+};
+
+/// Include graph over the scanned files. Quoted includes resolve to scanned
+/// files by path-suffix match; unresolved or system includes are ignored.
+class IncludeGraph {
+ public:
+  explicit IncludeGraph(const Project& project);
+
+  /// Returns one include cycle as a path of file paths (first == last), or
+  /// an empty vector when the graph is acyclic.
+  std::vector<std::string> FindCycle() const;
+
+  /// Resolved edges: file index -> included file indices.
+  const std::vector<std::vector<size_t>>& edges() const { return edges_; }
+
+ private:
+  const Project& project_;
+  std::vector<std::vector<size_t>> edges_;
+};
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_CALLGRAPH_H_

@@ -1,0 +1,250 @@
+#include "analyze/checks.h"
+
+#include <algorithm>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+using Kind = Token::Kind;
+
+/// True if any token in [begin, end) is an identifier from `names`
+/// immediately followed by '('.
+bool CallsAnyOf(const std::vector<Token>& ts, size_t begin, size_t end,
+                const std::unordered_set<std::string>& names) {
+  for (size_t i = begin; i + 1 < end && i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != Kind::kIdent) continue;
+    if (!names.count(ts[i].text)) continue;
+    if (ts[i + 1].kind == Kind::kPunct && ts[i + 1].text == "(") return true;
+  }
+  return false;
+}
+
+void CheckCancellation(const Project& project, const Policy& policy,
+                       const CallGraph& graph,
+                       const std::vector<size_t>& reachable,
+                       std::vector<Finding>* out) {
+  for (size_t id : reachable) {
+    const ParsedFile& pf = project.file_of(id);
+    if (policy.IsExempt("no-cancel", pf.lex.path)) continue;
+    const FunctionInfo& fn = project.fn(id);
+    for (const Loop& loop : fn.loops) {
+      if (!CallsAnyOf(pf.lex.tokens, loop.body_begin, loop.body_end,
+                      policy.hot)) {
+        continue;
+      }
+      if (CallsAnyOf(pf.lex.tokens, loop.body_begin, loop.body_end,
+                     policy.cancel_polls)) {
+        continue;
+      }
+      if (HasWaiver(pf.lex, "no-cancel", loop.line)) continue;
+      out->push_back(
+          {pf.lex.path, loop.line, "no-cancel",
+           "loop in request-reachable '" + fn.qual_name +
+               "' calls a scoring/merge helper without polling its "
+               "CancelToken; poll or waive with // analyze: no-cancel(why)"});
+    }
+  }
+  (void)graph;
+}
+
+void CheckBlocking(const Project& project, const Policy& policy,
+                   const std::vector<size_t>& reachable,
+                   std::vector<Finding>* out) {
+  for (size_t id : reachable) {
+    const ParsedFile& pf = project.file_of(id);
+    if (policy.IsExempt("blocking", pf.lex.path)) continue;
+    const FunctionInfo& fn = project.fn(id);
+    const std::vector<Token>& ts = pf.lex.tokens;
+    for (size_t i = fn.body_begin; i < fn.body_end && i < ts.size(); ++i) {
+      if (ts[i].kind != Kind::kIdent) continue;
+      if (!policy.blocking.count(ts[i].text)) continue;
+      if (HasWaiver(pf.lex, "allow-blocking", ts[i].line)) continue;
+      out->push_back(
+          {pf.lex.path, ts[i].line, "blocking",
+           "'" + ts[i].text + "' in request-reachable '" + fn.qual_name +
+               "' can block the serving thread; move it off the request "
+               "path or waive with // analyze: allow-blocking(why)"});
+    }
+  }
+}
+
+bool TypeHasToken(const Member& m,
+                  const std::unordered_set<std::string>& names) {
+  for (const std::string& t : m.type_tokens) {
+    if (names.count(t)) return true;
+  }
+  return false;
+}
+
+bool TypeHasPointer(const Member& m) {
+  return std::find(m.type_tokens.begin(), m.type_tokens.end(), "*") !=
+         m.type_tokens.end();
+}
+
+void CheckGuardedFields(const Project& project, const Policy& policy,
+                        std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (policy.IsExempt("no-guard", pf.lex.path)) continue;
+    for (const ClassInfo& cls : pf.classes) {
+      bool owns_lock = false;
+      for (const Member& m : cls.members) {
+        if (TypeHasToken(m, policy.mutex_types) && !TypeHasPointer(m) &&
+            !m.is_reference) {
+          owns_lock = true;
+          break;
+        }
+      }
+      if (!owns_lock) continue;
+      for (const Member& m : cls.members) {
+        if (m.guarded || m.is_static || m.is_const || m.is_reference) continue;
+        if (TypeHasToken(m, policy.mutex_types)) continue;
+        if (TypeHasToken(m, policy.guard_exempt_types)) continue;
+        if (HasWaiver(pf.lex, "no-guard", m.line)) continue;
+        out->push_back(
+            {pf.lex.path, m.line, "no-guard",
+             "mutable member '" + m.name + "' of lock-owning class '" +
+                 cls.qual_name +
+                 "' has no GUARDED_BY annotation; annotate or waive with "
+                 "// analyze: no-guard(why)"});
+      }
+    }
+  }
+}
+
+void CheckViewEscapes(const Project& project, const Policy& policy,
+                      std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (policy.IsExempt("view-escape", pf.lex.path)) continue;
+    if (policy.ViewAllowed(pf.lex.path)) continue;
+    for (const ClassInfo& cls : pf.classes) {
+      for (const Member& m : cls.members) {
+        if (!TypeHasToken(m, policy.view_types)) continue;
+        if (HasWaiver(pf.lex, "allow-view", m.line)) continue;
+        out->push_back(
+            {pf.lex.path, m.line, "view-escape",
+             "member '" + m.name + "' of '" + cls.qual_name +
+                 "' stores a borrowed view type; views must stay "
+                 "parameters/locals so they cannot outlive their snapshot "
+                 "anchor (waive with // analyze: allow-view(why))"});
+      }
+    }
+  }
+}
+
+/// Symbol-aware port of the linter's naked-thread rule: `std::thread`
+/// appearing as a type use (not `std::thread::id` etc.).
+void CheckNakedThread(const Project& project, const Policy& policy,
+                      std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (policy.IsExempt("naked-thread", pf.lex.path)) continue;
+    const std::vector<Token>& ts = pf.lex.tokens;
+    for (size_t i = 0; i + 2 < ts.size(); ++i) {
+      if (!(ts[i].kind == Kind::kIdent && ts[i].text == "std")) continue;
+      if (!(ts[i + 1].kind == Kind::kPunct && ts[i + 1].text == "::")) continue;
+      if (!(ts[i + 2].kind == Kind::kIdent && ts[i + 2].text == "thread")) {
+        continue;
+      }
+      // std::thread::id and friends are fine — only the owning type is the
+      // rule's target.
+      if (i + 3 < ts.size() && ts[i + 3].kind == Kind::kPunct &&
+          ts[i + 3].text == "::") {
+        continue;
+      }
+      const int line = ts[i].line;
+      if (HasLintWaiver(pf.lex, "naked-thread", line)) continue;
+      if (HasWaiver(pf.lex, "allow-thread", line)) continue;
+      out->push_back(
+          {pf.lex.path, line, "naked-thread",
+           "raw std::thread; use dialite::ThreadPool or NetThread "
+           "(waive with // dialite-lint: allow(naked-thread))"});
+    }
+  }
+}
+
+/// Symbol-aware port of the linter's raw-socket rule: global-namespace
+/// socket syscalls and the socket headers.
+void CheckRawSocket(const Project& project, const Policy& policy,
+                    std::vector<Finding>* out) {
+  static const std::unordered_set<std::string> kSocketFns = {
+      "socket", "accept", "accept4", "bind",       "listen",
+      "connect", "recv",  "send",    "setsockopt", "getsockopt",
+      "shutdown", "getaddrinfo", "freeaddrinfo"};
+  static const std::vector<std::string> kSocketHeaders = {
+      "sys/socket.h", "netinet/", "arpa/inet.h", "netdb.h"};
+  for (const ParsedFile& pf : project.files) {
+    if (policy.IsExempt("raw-socket", pf.lex.path)) continue;
+    for (const Include& inc : pf.lex.includes) {
+      bool hit = false;
+      for (const std::string& h : kSocketHeaders) {
+        if (inc.path.compare(0, h.size(), h) == 0) hit = true;
+      }
+      if (!hit) continue;
+      if (HasLintWaiver(pf.lex, "raw-socket", inc.line)) continue;
+      if (HasWaiver(pf.lex, "allow-socket", inc.line)) continue;
+      out->push_back({pf.lex.path, inc.line, "raw-socket",
+                      "socket header <" + inc.path +
+                          "> outside the net frame layer (waive with "
+                          "// dialite-lint: allow(raw-socket))"});
+    }
+    const std::vector<Token>& ts = pf.lex.tokens;
+    for (size_t i = 0; i + 2 < ts.size(); ++i) {
+      if (!(ts[i].kind == Kind::kPunct && ts[i].text == "::")) continue;
+      // Global-namespace qualifier: no identifier (or closing token) before.
+      if (i > 0 && (ts[i - 1].kind == Kind::kIdent ||
+                    (ts[i - 1].kind == Kind::kPunct &&
+                     (ts[i - 1].text == ">" || ts[i - 1].text == ")")))) {
+        continue;
+      }
+      if (ts[i + 1].kind != Kind::kIdent || !kSocketFns.count(ts[i + 1].text)) {
+        continue;
+      }
+      if (!(ts[i + 2].kind == Kind::kPunct && ts[i + 2].text == "(")) continue;
+      const int line = ts[i].line;
+      if (HasLintWaiver(pf.lex, "raw-socket", line)) continue;
+      if (HasWaiver(pf.lex, "allow-socket", line)) continue;
+      out->push_back({pf.lex.path, line, "raw-socket",
+                      "raw ::" + ts[i + 1].text +
+                          "() outside the net frame layer (waive with "
+                          "// dialite-lint: allow(raw-socket))"});
+    }
+  }
+}
+
+void CheckIncludeCycles(const Project& project, std::vector<Finding>* out) {
+  IncludeGraph graph(project);
+  std::vector<std::string> cycle = graph.FindCycle();
+  if (cycle.empty()) return;
+  std::string msg = "include cycle: ";
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) msg += " -> ";
+    msg += cycle[i];
+  }
+  out->push_back({cycle.front(), 1, "include-cycle", msg});
+}
+
+}  // namespace
+
+std::vector<Finding> RunChecks(const Project& project, const Policy& policy) {
+  std::vector<Finding> out;
+  CallGraph graph(project);
+  const std::vector<size_t> reachable =
+      graph.Reachable(policy.seeds, policy.stops);
+  CheckCancellation(project, policy, graph, reachable, &out);
+  CheckBlocking(project, policy, reachable, &out);
+  CheckGuardedFields(project, policy, &out);
+  CheckViewEscapes(project, policy, &out);
+  CheckNakedThread(project, policy, &out);
+  CheckRawSocket(project, policy, &out);
+  CheckIncludeCycles(project, &out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace dialite

@@ -1,0 +1,40 @@
+#ifndef DIALITE_TOOLS_ANALYZE_CHECKS_H_
+#define DIALITE_TOOLS_ANALYZE_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.h"
+#include "analyze/policy.h"
+
+namespace dialite {
+namespace analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;    ///< "no-cancel", "blocking", "no-guard",
+                        ///< "view-escape", "naked-thread", "raw-socket",
+                        ///< "include-cycle"
+  std::string message;
+};
+
+/// Runs every check over the project under the policy. Checks:
+///  - no-cancel: a loop in a request-reachable function that calls a hot
+///    helper must poll a cancel token (waive: // analyze: no-cancel(why))
+///  - blocking: banned identifiers in request-reachable functions
+///    (waive: // analyze: allow-blocking(why))
+///  - no-guard: unannotated mutable members of lock-owning classes
+///    (waive: // analyze: no-guard(why))
+///  - view-escape: borrowed-view class members outside the allowlist
+///    (waive: // analyze: allow-view(why))
+///  - naked-thread / raw-socket: symbol-aware ports of the lint rules
+///    (waive: // dialite-lint: allow(rule) or // analyze: allow-thread /
+///    allow-socket)
+///  - include-cycle: the quoted-include graph must be acyclic
+std::vector<Finding> RunChecks(const Project& project, const Policy& policy);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_CHECKS_H_

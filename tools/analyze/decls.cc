@@ -1,0 +1,440 @@
+#include "analyze/decls.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool IsIdent(const Token& t) { return t.kind == Kind::kIdent; }
+bool Is(const Token& t, const char* text) { return t.text == text; }
+
+const std::unordered_set<std::string>& ControlKeywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",     "for",    "while",   "switch", "catch",    "return",
+      "sizeof", "alignof", "decltype", "new",  "delete",   "throw",
+      "static_assert", "assert", "co_await", "co_return", "co_yield"};
+  return kw;
+}
+
+/// ALL_CAPS identifier with an underscore: treated as an annotation macro
+/// when followed by parens (DIALITE_GUARDED_BY, ABSL_EXCLUSIVE_LOCKS...).
+bool LooksLikeAnnotationMacro(const std::string& s) {
+  if (s.find('_') == std::string::npos) return false;
+  for (char c : s) {
+    if (!(c == '_' || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t SkipBalanced(const std::vector<Token>& ts, size_t open, char open_ch,
+                    char close_ch) {
+  // ts[open] is the opener; returns the index ONE PAST the matching closer
+  // (or ts.size() if unbalanced).
+  int depth = 0;
+  const std::string open_s(1, open_ch);
+  const std::string close_s(1, close_ch);
+  for (size_t i = open; i < ts.size(); ++i) {
+    if (ts[i].kind == Kind::kPunct) {
+      if (ts[i].text == open_s) ++depth;
+      if (ts[i].text == close_s && --depth == 0) return i + 1;
+    }
+  }
+  return ts.size();
+}
+
+/// Records every for/while/do loop body inside [begin, end).
+void FindLoops(const std::vector<Token>& ts, size_t begin, size_t end,
+               std::vector<Loop>* loops) {
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = ts[i];
+    if (!IsIdent(t)) continue;
+    size_t body = ts.size();
+    int line = t.line;
+    if ((t.text == "for" || t.text == "while") && i + 1 < end &&
+        Is(ts[i + 1], "(")) {
+      body = SkipBalanced(ts, i + 1, '(', ')');
+    } else if (t.text == "do") {
+      body = i + 1;
+    } else {
+      continue;
+    }
+    if (body >= end) continue;
+    size_t body_end;
+    if (Is(ts[body], "{")) {
+      body_end = SkipBalanced(ts, body, '{', '}');
+      ++body;  // range excludes the braces themselves
+      if (body_end > body) --body_end;
+    } else {
+      // Single-statement body: up to the ';' at brace/paren depth zero.
+      body_end = body;
+      int paren = 0;
+      while (body_end < end) {
+        const Token& u = ts[body_end];
+        if (u.kind == Kind::kPunct) {
+          if (u.text == "(" || u.text == "{") ++paren;
+          if (u.text == ")" || u.text == "}") --paren;
+          if (u.text == ";" && paren == 0) break;
+        }
+        ++body_end;
+      }
+    }
+    loops->push_back({body, std::min(body_end, end), line});
+    // Continue scanning from inside the loop header/body so nested loops
+    // are found too (i advances one token at a time).
+  }
+}
+
+/// Declaration-scope statement classifier: decides whether the class-scope
+/// tokens [begin, end) declare a data member, and appends it if so.
+void ClassifyMember(const std::vector<Token>& ts, size_t begin, size_t end,
+                    ClassInfo* cls) {
+  if (begin >= end) return;
+  static const std::unordered_set<std::string> reject_lead = {
+      "using",  "typedef", "friend", "template", "static_assert",
+      "virtual", "explicit", "operator", "enum", "class", "struct", "union",
+      "public", "private", "protected"};
+  if (IsIdent(ts[begin]) && reject_lead.count(ts[begin].text)) return;
+
+  bool guarded = false;
+  bool is_static = false;
+  bool is_mutable = false;
+  std::vector<Token> decl;
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = ts[i];
+    if (IsIdent(t) && i + 1 < end && Is(ts[i + 1], "(") &&
+        LooksLikeAnnotationMacro(t.text)) {
+      if (t.text.find("GUARDED_BY") != std::string::npos) guarded = true;
+      i = SkipBalanced(ts, i + 1, '(', ')') - 1;
+      continue;
+    }
+    if (IsIdent(t) && t.text == "static") {
+      is_static = true;
+      continue;
+    }
+    if (IsIdent(t) && t.text == "mutable") {
+      is_mutable = true;
+      continue;
+    }
+    // Brace-or-equals initializer ends the declarator part.
+    if (t.kind == Kind::kPunct && (t.text == "=" || t.text == "{")) break;
+    decl.push_back(t);
+  }
+  // Strip a trailing array extent.
+  while (!decl.empty() && Is(decl.back(), "]")) {
+    while (!decl.empty() && !Is(decl.back(), "[")) decl.pop_back();
+    if (!decl.empty()) decl.pop_back();
+  }
+  if (decl.size() < 2) return;  // a member needs at least a type and a name
+  const Token& name_tok = decl.back();
+  if (!IsIdent(name_tok)) return;  // `int f()` etc. end with ')'
+  static const std::unordered_set<std::string> reject_name = {
+      "const", "noexcept", "override", "final", "default", "delete",
+      "constexpr", "volatile"};
+  if (reject_name.count(name_tok.text)) return;
+  for (const Token& t : decl) {
+    if (Is(t, "->")) return;  // trailing-return function declaration
+  }
+
+  Member m;
+  m.name = name_tok.text;
+  m.line = name_tok.line;
+  m.guarded = guarded;
+  m.is_static = is_static;
+  // Tokens inside template angle brackets describe the argument types, not
+  // the declarator — `shared_ptr<const Foo>` is a mutable member, and a '*'
+  // inside `vector<int*>` does not make the member a pointer. Track angle
+  // depth so const/pointer/reference detection only sees depth-0 tokens
+  // (comparison operators cannot appear in a declarator, so '<' here is
+  // always a template bracket; the lexer never fuses '>>').
+  size_t last_star = static_cast<size_t>(-1);
+  std::vector<int> depth_at(decl.size(), 0);
+  int angle = 0;
+  for (size_t i = 0; i + 1 < decl.size(); ++i) {
+    if (Is(decl[i], "<")) ++angle;
+    depth_at[i] = angle;
+    if (Is(decl[i], ">") && angle > 0) --angle;
+    m.type_tokens.push_back(decl[i].text);
+    if (angle > 0) continue;
+    if (Is(decl[i], "*")) last_star = i;
+    if (Is(decl[i], "&")) m.is_reference = true;
+  }
+  // The member itself is const when `const` binds to the declarator: after
+  // the last '*' for pointers, or anywhere (at depth 0) for value types.
+  for (size_t i = 0; i + 1 < decl.size(); ++i) {
+    if (!Is(decl[i], "const") || depth_at[i] > 0) continue;
+    if (last_star == static_cast<size_t>(-1) || i > last_star) {
+      m.is_const = true;
+    }
+  }
+  if (is_mutable) m.is_const = false;
+  cls->members.push_back(std::move(m));
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  ClassInfo cls;  // only for kClass
+};
+
+std::string QualPrefix(const std::vector<Scope>& scopes) {
+  std::string out;
+  for (const Scope& s : scopes) {
+    if (s.kind == Scope::Kind::kBlock || s.name.empty()) continue;
+    out += s.name;
+    out += "::";
+  }
+  return out;
+}
+
+}  // namespace
+
+ParsedFile Parse(LexedFile lexed) {
+  ParsedFile out;
+  out.lex = std::move(lexed);
+  const std::vector<Token>& ts = out.lex.tokens;
+  std::vector<Scope> scopes;
+  size_t stmt_start = 0;
+
+  size_t i = 0;
+  while (i < ts.size()) {
+    const Token& t = ts[i];
+
+    if (IsIdent(t) && t.text == "namespace") {
+      // namespace [name[::name]] { ... }  |  namespace alias = ...;
+      size_t j = i + 1;
+      std::string name;
+      while (j < ts.size() && (IsIdent(ts[j]) || Is(ts[j], "::"))) {
+        if (IsIdent(ts[j])) name = ts[j].text;
+        ++j;
+      }
+      if (j < ts.size() && Is(ts[j], "{")) {
+        scopes.push_back({Scope::Kind::kNamespace, name, {}});
+        i = j + 1;
+        stmt_start = i;
+        continue;
+      }
+      while (j < ts.size() && !Is(ts[j], ";")) ++j;  // alias / decl
+      i = j + 1;
+      stmt_start = i;
+      continue;
+    }
+
+    if (IsIdent(t) && (t.text == "class" || t.text == "struct" ||
+                       t.text == "union") &&
+        !(i > stmt_start && IsIdent(ts[i - 1]) && ts[i - 1].text == "enum")) {
+      // Find the class name: last plain identifier before '{', ':' or ';',
+      // skipping attribute/annotation macro invocations and alignas.
+      size_t j = i + 1;
+      std::string name;
+      int line = t.line;
+      bool body = false;
+      while (j < ts.size()) {
+        if (Is(ts[j], ";") || Is(ts[j], "(")) break;  // fwd decl / fn param
+        if (Is(ts[j], "{")) {
+          body = true;
+          break;
+        }
+        if (Is(ts[j], ":")) {
+          // Base clause: scan on to the class body brace.
+          while (j < ts.size() && !Is(ts[j], "{") && !Is(ts[j], ";")) ++j;
+          body = j < ts.size() && Is(ts[j], "{");
+          break;
+        }
+        if (IsIdent(ts[j])) {
+          if (j + 1 < ts.size() && Is(ts[j + 1], "(")) {
+            j = SkipBalanced(ts, j + 1, '(', ')');  // macro / alignas
+            continue;
+          }
+          if (ts[j].text != "final") {
+            name = ts[j].text;
+            line = ts[j].line;
+          }
+        }
+        ++j;
+      }
+      if (body && !name.empty()) {
+        Scope s;
+        s.kind = Scope::Kind::kClass;
+        s.name = name;
+        s.cls.name = name;
+        s.cls.qual_name = QualPrefix(scopes) + name;
+        s.cls.line = line;
+        scopes.push_back(std::move(s));
+        i = j + 1;
+        stmt_start = i;
+        continue;
+      }
+      // Forward declaration, template parameter, or unnamed struct in a
+      // declarator: fall through to plain statement handling.
+      i = j < ts.size() ? j : ts.size();
+      if (i < ts.size() && Is(ts[i], ";")) {
+        ++i;
+        stmt_start = i;
+      }
+      continue;
+    }
+
+    if (IsIdent(t) && t.text == "enum") {
+      size_t j = i + 1;
+      while (j < ts.size() && !Is(ts[j], "{") && !Is(ts[j], ";")) ++j;
+      if (j < ts.size() && Is(ts[j], "{")) j = SkipBalanced(ts, j, '{', '}');
+      while (j < ts.size() && !Is(ts[j], ";")) ++j;
+      i = j + 1;
+      stmt_start = i;
+      continue;
+    }
+
+    if (t.kind == Kind::kPunct && t.text == ":" && i > stmt_start &&
+        IsIdent(ts[i - 1]) &&
+        (ts[i - 1].text == "public" || ts[i - 1].text == "private" ||
+         ts[i - 1].text == "protected")) {
+      ++i;
+      stmt_start = i;  // access specifier resets the statement
+      continue;
+    }
+
+    if (t.kind == Kind::kPunct && t.text == "(") {
+      // Candidate function: an identifier immediately precedes the paren.
+      const bool named = i > 0 && IsIdent(ts[i - 1]) &&
+                         !ControlKeywords().count(ts[i - 1].text) &&
+                         !LooksLikeAnnotationMacro(ts[i - 1].text);
+      size_t after = SkipBalanced(ts, i, '(', ')');
+      if (!named) {
+        i = i + 1;  // scan inside the parens normally
+        continue;
+      }
+      // Look past trailers for a body '{', a ctor-init ':', or neither.
+      size_t j = after;
+      bool has_body = false;
+      while (j < ts.size()) {
+        const Token& u = ts[j];
+        if (Is(u, "{")) {
+          has_body = true;
+          break;
+        }
+        if (Is(u, ";") || Is(u, "=") || Is(u, ",") || Is(u, ")")) break;
+        if (Is(u, ":")) {
+          // Constructor initializer list: ident (...)|{...} [, ...] then {.
+          ++j;
+          while (j < ts.size()) {
+            while (j < ts.size() &&
+                   (IsIdent(ts[j]) || Is(ts[j], "::") || Is(ts[j], "<") ||
+                    Is(ts[j], ">") || Is(ts[j], ","))) {
+              ++j;
+            }
+            if (j < ts.size() && Is(ts[j], "(")) {
+              j = SkipBalanced(ts, j, '(', ')');
+              continue;
+            }
+            if (j < ts.size() && Is(ts[j], "{")) {
+              // Either a member brace-init or the body; a brace-init is
+              // followed by ',' or another initializer, the body is not.
+              size_t close = SkipBalanced(ts, j, '{', '}');
+              if (close < ts.size() && Is(ts[close], ",")) {
+                j = close;
+                continue;
+              }
+              // Heuristic: an initializer-list brace right before the body
+              // brace ends with '}' '{'. If the closer is followed by '{',
+              // this was the last brace-init; otherwise it was the body.
+              if (close < ts.size() && Is(ts[close], "{")) {
+                j = close;
+              }
+              has_body = true;
+              break;
+            }
+            break;
+          }
+          break;
+        }
+        if (IsIdent(u) || Is(u, "::") || Is(u, "->") || Is(u, "&") ||
+            Is(u, "&&") || Is(u, "<") || Is(u, ">") || Is(u, "[") ||
+            Is(u, "]") || Is(u, "*")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (!has_body || j >= ts.size()) {
+        i = i + 1;
+        continue;
+      }
+      // Found a function definition whose body opens at j.
+      const size_t body_open = Is(ts[j], "{") ? j : j;
+      size_t body_end = SkipBalanced(ts, body_open, '{', '}');
+
+      FunctionInfo fn;
+      fn.simple_name = ts[i - 1].text;
+      fn.line = ts[i - 1].line;
+      // Back-walk `A::B::name` qualifiers written at the definition.
+      std::string inline_qual;
+      size_t back = i - 1;
+      while (back >= 2 && Is(ts[back - 1], "::") && IsIdent(ts[back - 2])) {
+        inline_qual = ts[back - 2].text + "::" + inline_qual;
+        back -= 2;
+      }
+      fn.qual_name = QualPrefix(scopes) + inline_qual + fn.simple_name;
+      fn.body_begin = body_open + 1;
+      fn.body_end = body_end > 0 ? body_end - 1 : body_end;
+      FindLoops(ts, fn.body_begin, fn.body_end, &fn.loops);
+      out.functions.push_back(std::move(fn));
+      i = body_end;
+      stmt_start = i;
+      continue;
+    }
+
+    if (t.kind == Kind::kPunct && t.text == "{") {
+      scopes.push_back({Scope::Kind::kBlock, "", {}});
+      ++i;
+      continue;
+    }
+
+    if (t.kind == Kind::kPunct && t.text == "}") {
+      if (!scopes.empty()) {
+        Scope done = std::move(scopes.back());
+        scopes.pop_back();
+        if (done.kind == Scope::Kind::kClass) {
+          out.classes.push_back(std::move(done.cls));
+          stmt_start = i + 1;
+        } else if (done.kind == Scope::Kind::kNamespace) {
+          stmt_start = i + 1;
+        }
+        // A block close inside a class-scope statement (brace-init) keeps
+        // the statement open; stmt_start intentionally not reset.
+      }
+      ++i;
+      continue;
+    }
+
+    if (t.kind == Kind::kPunct && t.text == ";") {
+      if (!scopes.empty() && scopes.back().kind == Scope::Kind::kClass) {
+        ClassifyMember(ts, stmt_start, i, &scopes.back().cls);
+      }
+      ++i;
+      stmt_start = i;
+      continue;
+    }
+
+    ++i;
+  }
+
+  // Unbalanced files: flush any classes still on the stack.
+  while (!scopes.empty()) {
+    if (scopes.back().kind == Scope::Kind::kClass) {
+      out.classes.push_back(std::move(scopes.back().cls));
+    }
+    scopes.pop_back();
+  }
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace dialite

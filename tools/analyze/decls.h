@@ -1,0 +1,72 @@
+#ifndef DIALITE_TOOLS_ANALYZE_DECLS_H_
+#define DIALITE_TOOLS_ANALYZE_DECLS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace dialite {
+namespace analyze {
+
+/// A data member of a class/struct.
+struct Member {
+  std::string name;
+  std::vector<std::string> type_tokens;  ///< declaration tokens before the name
+  int line = 0;
+  bool guarded = false;    ///< carries a *GUARDED_BY(...) annotation
+  bool is_static = false;
+  bool is_const = false;   ///< the member itself is immutable (const after
+                           ///< the last '*', or const value type)
+  bool is_reference = false;
+};
+
+/// A class or struct definition (nested definitions are reported
+/// separately, with qualified names like "Outer::Inner").
+struct ClassInfo {
+  std::string name;       ///< simple name
+  std::string qual_name;  ///< namespace- and outer-class-qualified
+  int line = 0;
+  std::vector<Member> members;
+};
+
+/// A for/while/do loop inside a function body. Ranges are token indices
+/// into the owning file's token stream and cover the loop BODY only.
+struct Loop {
+  size_t body_begin = 0;
+  size_t body_end = 0;  ///< exclusive
+  int line = 0;         ///< line of the for/while/do keyword
+};
+
+/// A function *definition* (has a body). Ranges are token indices into the
+/// owning file's token stream; lambdas defined inside a function belong to
+/// its body range, so their loops and call sites attribute to the enclosing
+/// function.
+struct FunctionInfo {
+  std::string simple_name;
+  std::string qual_name;  ///< e.g. "DialiteServer::Handle" (namespaces kept)
+  int line = 0;
+  size_t body_begin = 0;
+  size_t body_end = 0;  ///< exclusive
+  std::vector<Loop> loops;
+};
+
+struct ParsedFile {
+  LexedFile lex;
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+};
+
+/// Single-pass declaration parser over the token stream: tracks namespace /
+/// class / block scopes by brace matching, records class members with their
+/// GUARDED_BY state, and function definitions with their loop extents. It
+/// is a heuristic parser — template metaprogramming can confuse it — but
+/// the repo's house style (clang-format, no macros generating declarations)
+/// keeps it exact in practice.
+ParsedFile Parse(LexedFile lexed);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_DECLS_H_

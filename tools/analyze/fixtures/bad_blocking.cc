@@ -1,0 +1,5 @@
+// Known-bad fixture for the blocking check: a request entry point calls a
+// banned blocking identifier (policy: sleep_for) on the serving path.
+void Handle() {
+  sleep_for(10);  // check: blocking
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture for the no-cancel check: Handle is a request entry
+// point (policy seed), its loop calls the hot helper Score, and nothing in
+// the loop body polls a CancelToken.
+int Score(int x) { return x * 2; }
+
+int Handle(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += Score(i);  // check: no-cancel
+  }
+  return total;
+}

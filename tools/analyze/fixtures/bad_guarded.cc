@@ -1,0 +1,6 @@
+// Known-bad fixture for the no-guard check: Cache owns a Mutex, so every
+// mutable non-atomic member needs a GUARDED_BY annotation or a waiver.
+struct Cache {
+  Mutex mu;
+  int hits;  // check: no-guard
+};

@@ -1,0 +1,11 @@
+// Known-bad fixture for the naked-thread check: spawning std::thread
+// directly instead of routing through the pool. The static query below must
+// NOT fire — only the owning type is the rule's target.
+#include <thread>
+
+void Spawn() {
+  unsigned n = std::thread::hardware_concurrency();  // fine: static query
+  (void)n;
+  std::thread worker([] {});  // check: naked-thread
+  worker.join();
+}

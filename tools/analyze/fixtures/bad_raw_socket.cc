@@ -1,0 +1,8 @@
+// Known-bad fixture for the raw-socket check: both the socket header and a
+// globally-qualified socket syscall outside the net frame layer.
+#include <sys/socket.h>
+
+int OpenRogueSocket() {
+  int fd = ::socket(2, 1, 0);  // check: raw-socket
+  return fd;
+}

@@ -1,0 +1,7 @@
+// Known-bad fixture for the view-escape check: ColumnView is a borrowed
+// view (policy view-type) and may not be stored as a class member outside
+// the allowlisted owner layers.
+class RowCursor {
+  ColumnView view_;  // check: view-escape
+  int pos_ = 0;
+};

@@ -1,0 +1,15 @@
+// Known-good fixture for the blocking check, doubling as a
+// line-continuation lexer trap: the macro body below mentions sleep_for,
+// but a preprocessor logical line (with backslash splices) emits no tokens.
+void DoWork();
+
+#define NAP_AND_RETRY()   \
+  do {                    \
+    sleep_for(backoff_ms) \
+  } while (0)
+
+void Handle() {
+  // If the lexer dropped the splice, the macro's sleep_for would appear as
+  // ordinary tokens and the blocking check would fire here.
+  DoWork();
+}

@@ -1,0 +1,13 @@
+/* Known-good fixture for the no-guard check, doubling as a block-comment
+ * lexer trap: this comment contains what looks like a nested opener /* and
+ * the first closer below ends it (block comments do not nest). */
+struct GoodCache {
+  Mutex mu;
+  int hits GUARDED_BY(mu);
+  atomic<int> lookups;  // guard-exempt type
+  static int limit;    // statics are out of scope for the audit
+  /* A multi-line comment hiding a decoy member declaration:
+       int naked_decoy;
+     If block comments ended at newlines, the decoy would leak out as an
+     unguarded member and the self-test would fail. */
+};

@@ -1,0 +1,12 @@
+// Known-good fixture for the naked-thread check: qualified statics,
+// std::this_thread, and prose mentions must all stay silent.
+#include <thread>
+
+const char* kDoc = "never write std::thread t; in library code";
+
+unsigned PoolWidth() {
+  // std::thread t; (comment mention — must not fire)
+  return std::thread::hardware_concurrency();
+}
+
+void YieldOnce() { std::this_thread::yield(); }

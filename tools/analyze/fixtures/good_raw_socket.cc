@@ -1,0 +1,13 @@
+// Known-good fixture for the raw-socket check: class-qualified calls that
+// share a syscall's name, prose mentions, and string literals are silent.
+#include <string>
+
+struct Conn {
+  static int connect(int fd);
+};
+
+int Use() {
+  // ::socket(AF_INET, ...) in a comment must not fire.
+  std::string doc = "call ::socket() only inside src/server/net.cc";
+  return Conn::connect(3);
+}

@@ -1,0 +1,16 @@
+// Known-good fixture for the view-escape check: borrowed views are fine as
+// parameters and locals — only storage in a class member escapes its
+// snapshot anchor.
+int Sum(ColumnView view) {
+  int total = 0;
+  for (int i = 0; i < view.size(); ++i) {
+    ColumnView local = view;
+    total += local.at(i);
+  }
+  return total;
+}
+
+class RowBuffer {
+  OwnedColumn owned_;  // owning storage is fine
+  int pos_ = 0;
+};

@@ -1,0 +1,327 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+/// Character cursor over the source with backslash-newline splicing: a
+/// `\`+newline pair is invisible to the token stream but still advances the
+/// line counter, exactly like translation phase 2.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) { Splice(); }
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : src_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    // Lookahead ignores splices only at the current position (done in
+    // Splice); a splice between lookahead chars is rare enough that callers
+    // re-check after Advance().
+    size_t p = pos_ + ahead;
+    return p < src_.size() ? src_[p] : '\0';
+  }
+  int line() const { return line_; }
+
+  void Advance() {
+    if (AtEnd()) return;
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+    Splice();
+  }
+
+ private:
+  void Splice() {
+    while (pos_ + 1 < src_.size() && src_[pos_] == '\\' &&
+           (src_[pos_ + 1] == '\n' ||
+            (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+             src_[pos_ + 2] == '\n'))) {
+      pos_ += src_[pos_ + 1] == '\r' ? 3 : 2;
+      ++line_;
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses waiver directives out of one comment's text. Recognized forms:
+///   analyze: <directive>(<detail>)
+///   dialite-lint: allow(<rules>)   -> directive "lint-allow"
+void ScanCommentForWaivers(const std::string& comment, int line,
+                           std::vector<Waiver>* waivers) {
+  auto extract = [&](const std::string& marker,
+                     bool lint) {
+    size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+      size_t p = at + marker.size();
+      while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+      std::string directive;
+      while (p < comment.size() &&
+             (IsIdentChar(comment[p]) || comment[p] == '-')) {
+        directive += comment[p++];
+      }
+      if (!directive.empty() && p < comment.size() && comment[p] == '(') {
+        size_t close = comment.find(')', p);
+        if (close != std::string::npos) {
+          std::string detail = comment.substr(p + 1, close - p - 1);
+          if (lint) {
+            if (directive == "allow") {
+              waivers->push_back({"lint-allow", detail, line});
+            }
+          } else {
+            waivers->push_back({directive, detail, line});
+          }
+        }
+      }
+      at = comment.find(marker, at + marker.size());
+    }
+  };
+  extract("analyze:", /*lint=*/false);
+  extract("dialite-lint:", /*lint=*/true);
+}
+
+/// After 'R' and an optional encoding prefix, true if a raw string opens
+/// here (cursor on the '"').
+bool ConsumeRawString(Cursor* cur) {
+  // cur is on '"'. Read the delimiter up to '('.
+  cur->Advance();
+  std::string delim;
+  while (!cur->AtEnd() && cur->Peek() != '(') {
+    delim += cur->Peek();
+    cur->Advance();
+  }
+  cur->Advance();  // '('
+  const std::string closer = ")" + delim + "\"";
+  std::string tail;
+  while (!cur->AtEnd()) {
+    tail += cur->Peek();
+    if (tail.size() > closer.size()) tail.erase(0, 1);
+    cur->Advance();
+    if (tail == closer) return true;
+  }
+  return false;  // unterminated; tolerate
+}
+
+void ConsumeQuoted(Cursor* cur, char quote) {
+  cur->Advance();  // opening quote
+  while (!cur->AtEnd()) {
+    char c = cur->Peek();
+    if (c == '\\') {
+      cur->Advance();
+      cur->Advance();
+      continue;
+    }
+    cur->Advance();
+    if (c == quote || c == '\n') break;  // newline: unterminated, recover
+  }
+}
+
+/// Consumes a preprocessor logical line (cursor on '#'); records #include
+/// targets. Splices are already handled by Cursor, so "logical line" is
+/// simply up to the next real newline; comments and strings inside the
+/// directive are skipped so a '/' in a path or a "//" in a macro body can't
+/// derail the scan.
+void ConsumePreprocessor(Cursor* cur, LexedFile* out,
+                         std::vector<Waiver>* waivers) {
+  const int line = cur->line();
+  std::string text;
+  while (!cur->AtEnd() && cur->Peek() != '\n') {
+    char c = cur->Peek();
+    if (c == '/' && cur->PeekAt(1) == '/') {
+      std::string comment;
+      while (!cur->AtEnd() && cur->Peek() != '\n') {
+        comment += cur->Peek();
+        cur->Advance();
+      }
+      ScanCommentForWaivers(comment, cur->line(), waivers);
+      break;
+    }
+    if (c == '/' && cur->PeekAt(1) == '*') {
+      cur->Advance();
+      cur->Advance();
+      std::string comment;
+      while (!cur->AtEnd()) {
+        if (cur->Peek() == '*' && cur->PeekAt(1) == '/') {
+          cur->Advance();
+          cur->Advance();
+          break;
+        }
+        comment += cur->Peek();
+        cur->Advance();
+      }
+      ScanCommentForWaivers(comment, line, waivers);
+      continue;
+    }
+    if (c == '"' || c == '<') {
+      // Potential include target. Only meaningful for #include lines but
+      // harmless otherwise (macro strings are simply skipped).
+      char closer = c == '"' ? '"' : '>';
+      cur->Advance();
+      std::string target;
+      while (!cur->AtEnd() && cur->Peek() != closer && cur->Peek() != '\n') {
+        target += cur->Peek();
+        cur->Advance();
+      }
+      if (!cur->AtEnd() && cur->Peek() == closer) cur->Advance();
+      if (text.find("include") != std::string::npos && !target.empty()) {
+        out->includes.push_back({target, closer == '>', line});
+      }
+      text += closer;
+      continue;
+    }
+    text += c;
+    cur->Advance();
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(std::string path, const std::string& source) {
+  LexedFile out;
+  out.path = std::move(path);
+  Cursor cur(source);
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    if (c == '\n') {
+      line_start = true;
+      cur.Advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.Advance();
+      continue;
+    }
+    if (c == '#' && line_start) {
+      ConsumePreprocessor(&cur, &out, &out.waivers);
+      continue;
+    }
+    line_start = false;
+    if (c == '/' && cur.PeekAt(1) == '/') {
+      const int line = cur.line();
+      std::string comment;
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        comment += cur.Peek();
+        cur.Advance();
+      }
+      ScanCommentForWaivers(comment, line, &out.waivers);
+      continue;
+    }
+    if (c == '/' && cur.PeekAt(1) == '*') {
+      // Block comments do not nest: the first "*/" closes, even after an
+      // inner "/*" (a classic lexer trap the fixtures exercise).
+      const int line = cur.line();
+      cur.Advance();
+      cur.Advance();
+      std::string comment;
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '*' && cur.PeekAt(1) == '/') {
+          cur.Advance();
+          cur.Advance();
+          break;
+        }
+        comment += cur.Peek();
+        cur.Advance();
+      }
+      ScanCommentForWaivers(comment, line, &out.waivers);
+      continue;
+    }
+    if (c == '"') {
+      out.tokens.push_back({Token::Kind::kString, "\"\"", cur.line()});
+      ConsumeQuoted(&cur, '"');
+      continue;
+    }
+    if (c == '\'') {
+      out.tokens.push_back({Token::Kind::kChar, "''", cur.line()});
+      ConsumeQuoted(&cur, '\'');
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const int line = cur.line();
+      std::string ident;
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) {
+        ident += cur.Peek();
+        cur.Advance();
+      }
+      // Raw string with an optional encoding prefix: R"..., u8R"..., LR"...
+      if (!ident.empty() && ident.back() == 'R' && cur.Peek() == '"' &&
+          (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+           ident == "u8R")) {
+        out.tokens.push_back({Token::Kind::kString, "\"\"", line});
+        ConsumeRawString(&cur);
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kIdent, std::move(ident), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int line = cur.line();
+      std::string num;
+      while (!cur.AtEnd() &&
+             (IsIdentChar(cur.Peek()) || cur.Peek() == '.' ||
+              cur.Peek() == '\'')) {
+        num += cur.Peek();
+        cur.Advance();
+      }
+      out.tokens.push_back({Token::Kind::kNumber, std::move(num), line});
+      continue;
+    }
+    if (c == ':' && cur.PeekAt(1) == ':') {
+      out.tokens.push_back({Token::Kind::kPunct, "::", cur.line()});
+      cur.Advance();
+      cur.Advance();
+      continue;
+    }
+    out.tokens.push_back({Token::Kind::kPunct, std::string(1, c), cur.line()});
+    cur.Advance();
+  }
+  return out;
+}
+
+bool HasWaiver(const LexedFile& file, const std::string& directive, int line) {
+  for (const Waiver& w : file.waivers) {
+    if (w.directive == directive && (w.line == line || w.line == line - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasLintWaiver(const LexedFile& file, const std::string& rule, int line) {
+  for (const Waiver& w : file.waivers) {
+    if (w.directive != "lint-allow") continue;
+    if (w.line != line && w.line != line - 1) continue;
+    // detail is a comma-separated rule list; match whole rule names.
+    size_t at = 0;
+    while (at < w.detail.size()) {
+      while (at < w.detail.size() &&
+             (w.detail[at] == ' ' || w.detail[at] == ',')) {
+        ++at;
+      }
+      size_t end = at;
+      while (end < w.detail.size() && w.detail[end] != ',' &&
+             w.detail[end] != ' ') {
+        ++end;
+      }
+      if (w.detail.substr(at, end - at) == rule) return true;
+      at = end;
+    }
+  }
+  return false;
+}
+
+}  // namespace analyze
+}  // namespace dialite

@@ -1,0 +1,71 @@
+#ifndef DIALITE_TOOLS_ANALYZE_LEXER_H_
+#define DIALITE_TOOLS_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace dialite {
+namespace analyze {
+
+/// One lexical token of a C++ translation unit with comments, string
+/// contents and preprocessor lines stripped. `line` is 1-based and survives
+/// backslash-newline splices (the token is stamped with the line it starts
+/// on in the original file).
+struct Token {
+  enum class Kind {
+    kIdent,    ///< identifier or keyword
+    kNumber,   ///< numeric literal (incl. hex / digit separators)
+    kString,   ///< string literal, contents dropped (text is "\"\"")
+    kChar,     ///< character literal, contents dropped
+    kPunct,    ///< punctuation; "::" is fused into a single token
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// A `// analyze: <directive>(<detail>)` waiver comment, or a legacy
+/// `// dialite-lint: allow(<rules>)` waiver (directive == "lint-allow").
+/// A waiver covers its own line and the following line, so it can trail a
+/// construct or sit on the line above it.
+struct Waiver {
+  std::string directive;  ///< "no-cancel", "allow-blocking", ..., "lint-allow"
+  std::string detail;     ///< reason text / comma-separated lint rules
+  int line = 0;
+};
+
+/// Lexed view of one file: the token stream, every waiver comment, and the
+/// quoted-include list (for the include graph). Angle includes are kept too,
+/// flagged by `system`.
+struct Include {
+  std::string path;
+  bool system = false;  ///< <...> include
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Waiver> waivers;
+  std::vector<Include> includes;
+};
+
+/// Tokenizes `source`. Handles //-comments, /*...*/ block comments (which
+/// do NOT nest, per the language), ordinary/char/raw string literals
+/// (R"delim(...)delim" with optional encoding prefix), backslash-newline
+/// line splices (inside tokens, strings and comments alike) and
+/// preprocessor logical lines (consumed entirely; #include paths are
+/// recorded).
+LexedFile Lex(std::string path, const std::string& source);
+
+/// True if any waiver in `file` with the given directive covers `line`
+/// (waivers cover their own line and the next).
+bool HasWaiver(const LexedFile& file, const std::string& directive, int line);
+
+/// True if a lint-allow waiver naming `rule` covers `line`.
+bool HasLintWaiver(const LexedFile& file, const std::string& rule, int line);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_LEXER_H_

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Parity check: dialite_analyze vs dialite_lint on the migrated rules.
+
+The naked-thread and raw-socket rules now live in both tools — the regex
+linter (tools/dialite_lint.py) and the token-level analyzer
+(tools/analyze). This script runs both over tools/lint_fixtures/ and fails
+if their per-file verdicts for those two rules ever disagree, so the rules
+cannot silently drift apart while both implementations exist.
+
+Usage:
+  lint_parity.py --analyze BIN --lint LINT_PY --fixtures DIR
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+PARITY_RULES = ("naked-thread", "raw-socket")
+
+
+def load_linter(path):
+    spec = importlib.util.spec_from_file_location("dialite_lint", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def lint_verdicts(linter, files):
+    """file basename -> set of PARITY_RULES that fired under the linter."""
+    verdicts = {}
+    for path in files:
+        # The linter scopes these rules to src/, so lint each fixture under
+        # its pretended src/ path exactly like the linter's own self-test.
+        findings = linter.lint_fixture_as_src(path)
+        verdicts[os.path.basename(path)] = {
+            f.rule for f in findings if f.rule in PARITY_RULES}
+    return verdicts
+
+
+def analyze_verdicts(analyze_bin, policy, files):
+    """file basename -> set of PARITY_RULES that fired under the analyzer."""
+    cmd = [analyze_bin, "--json", "--policy", policy] + files
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        print(f"lint_parity: {' '.join(cmd)} exited {proc.returncode}:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        sys.exit(2)
+    report = json.loads(proc.stdout)
+    verdicts = {os.path.basename(p): set() for p in files}
+    for finding in report["findings"]:
+        if finding["check"] in PARITY_RULES:
+            verdicts[os.path.basename(finding["file"])].add(finding["check"])
+    return verdicts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--analyze", required=True,
+                        help="path to the dialite_analyze binary")
+    parser.add_argument("--lint", required=True,
+                        help="path to tools/dialite_lint.py")
+    parser.add_argument("--fixtures", required=True,
+                        help="fixture directory shared by both tools")
+    args = parser.parse_args()
+
+    files = sorted(
+        os.path.join(args.fixtures, name)
+        for name in os.listdir(args.fixtures)
+        if name.endswith((".h", ".cc", ".cpp", ".hpp")))
+    if not files:
+        print(f"lint_parity: no fixtures under {args.fixtures}",
+              file=sys.stderr)
+        return 2
+
+    linter = load_linter(args.lint)
+    from_lint = lint_verdicts(linter, files)
+    # The analyzer's policy exemptions are path-based and target src/, so
+    # the real policy works unchanged on fixture paths.
+    policy = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "policy.txt")
+    from_analyze = analyze_verdicts(args.analyze, policy, files)
+
+    failures = []
+    fired_anywhere = set()
+    for name in sorted(from_lint):
+        lint_set = from_lint[name]
+        analyze_set = from_analyze.get(name, set())
+        fired_anywhere |= lint_set
+        if lint_set != analyze_set:
+            failures.append(
+                f"{name}: lint fired {sorted(lint_set) or 'nothing'}, "
+                f"analyze fired {sorted(analyze_set) or 'nothing'}")
+    # A vacuous pass (neither rule fired on any fixture) means the fixtures
+    # no longer exercise the migrated rules — that is also a failure.
+    for rule in PARITY_RULES:
+        if rule not in fired_anywhere:
+            failures.append(
+                f"no fixture makes '{rule}' fire; parity check is vacuous")
+
+    if failures:
+        for f in failures:
+            print(f"PARITY FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"lint_parity: {len(files)} fixtures, verdicts agree on "
+          f"{', '.join(PARITY_RULES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

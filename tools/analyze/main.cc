@@ -1,0 +1,333 @@
+// dialite_analyze — semantic static analysis proving the serving-path
+// invariants over src/ (see DESIGN.md "Static analysis & correctness
+// tooling"):
+//
+//   dialite_analyze src/                      # human-readable findings
+//   dialite_analyze --json src/               # machine-readable
+//   dialite_analyze --self-test               # fixtures must fire exactly
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks.h"
+
+namespace dialite {
+namespace analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool CollectFiles(const std::string& root, std::vector<std::string>* out,
+                  std::string* error) {
+  std::error_code ec;
+  fs::file_status st = fs::status(root, ec);
+  if (ec) {
+    *error = root + ": " + ec.message();
+    return false;
+  }
+  if (fs::is_regular_file(st)) {
+    out->push_back(root);
+    return true;
+  }
+  if (!fs::is_directory(st)) {
+    *error = root + ": not a file or directory";
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      *error = root + ": " + ec.message();
+      return false;
+    }
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory() && (name == ".git" || name.rfind("build", 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && HasSourceExtension(p)) {
+      out->push_back(p.generic_string());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Finds tools/analyze/policy.txt by walking up from `start` — lets
+/// `dialite_analyze src/` work from the repo root or any subdirectory.
+std::string FindDefaultPolicy(const std::string& start) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(start, ec);
+  if (ec) return "";
+  if (!fs::is_directory(dir, ec)) dir = dir.parent_path();
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    fs::path cand = dir / "tools" / "analyze" / "policy.txt";
+    if (fs::exists(cand, ec)) return cand.generic_string();
+    if (dir == dir.root_path()) break;
+  }
+  return "";
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default: *out += c;
+    }
+  }
+}
+
+void PrintFindings(const std::vector<Finding>& findings, size_t files_scanned,
+                   double seconds, bool json) {
+  if (json) {
+    std::string out = "{\"findings\":[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (i > 0) out += ",";
+      out += "{\"file\":\"";
+      AppendJsonEscaped(&out, f.file);
+      out += "\",\"line\":" + std::to_string(f.line) + ",\"check\":\"";
+      AppendJsonEscaped(&out, f.check);
+      out += "\",\"message\":\"";
+      AppendJsonEscaped(&out, f.message);
+      out += "\"}";
+    }
+    out += "],\"files_scanned\":" + std::to_string(files_scanned) +
+           ",\"seconds\":" + std::to_string(seconds) + "}";
+    std::printf("%s\n", out.c_str());
+    return;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                f.message.c_str());
+  }
+  std::printf("dialite_analyze: %zu finding%s in %zu files (%.2fs)\n",
+              findings.size(), findings.size() == 1 ? "" : "s", files_scanned,
+              seconds);
+}
+
+int Analyze(const std::vector<std::string>& roots, const std::string& policy_path,
+            bool json) {
+  const auto start = std::chrono::steady_clock::now();
+  Policy policy;
+  std::string error;
+  if (!LoadPolicy(policy_path, &policy, &error)) {
+    std::fprintf(stderr, "dialite_analyze: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    if (!CollectFiles(root, &paths, &error)) {
+      std::fprintf(stderr, "dialite_analyze: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::string source;
+    if (!ReadFile(path, &source)) {
+      std::fprintf(stderr, "dialite_analyze: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    parsed.push_back(Parse(Lex(path, source)));
+  }
+  Project project = Project::Build(std::move(parsed));
+  std::vector<Finding> findings = RunChecks(project, policy);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  PrintFindings(findings, paths.size(), seconds, json);
+  return findings.empty() ? 0 : 1;
+}
+
+/// --self-test: every bad fixture must fire exactly its own check, every
+/// good fixture must be silent.
+int SelfTest(const std::string& fixtures_dir, bool json) {
+  static const std::map<std::string, std::string> kExpected = {
+      {"bad_cancel.cc", "no-cancel"},
+      {"bad_blocking.cc", "blocking"},
+      {"bad_guarded.cc", "no-guard"},
+      {"bad_view.cc", "view-escape"},
+      {"bad_naked_thread.cc", "naked-thread"},
+      {"bad_raw_socket.cc", "raw-socket"},
+  };
+  const std::string policy_path =
+      (fs::path(fixtures_dir) / "policy.txt").generic_string();
+  Policy policy;
+  std::string error;
+  if (!LoadPolicy(policy_path, &policy, &error)) {
+    std::fprintf(stderr, "dialite_analyze --self-test: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<std::string> paths;
+  if (!CollectFiles(fixtures_dir, &paths, &error)) {
+    std::fprintf(stderr, "dialite_analyze --self-test: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<ParsedFile> parsed;
+  for (const std::string& path : paths) {
+    std::string source;
+    if (!ReadFile(path, &source)) {
+      std::fprintf(stderr, "dialite_analyze --self-test: cannot read %s\n",
+                   path.c_str());
+      return 2;
+    }
+    parsed.push_back(Parse(Lex(path, source)));
+  }
+  Project project = Project::Build(std::move(parsed));
+  std::vector<Finding> findings = RunChecks(project, policy);
+
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "SELF-TEST FAIL: %s\n", msg.c_str());
+    ++failures;
+  };
+  // Findings per fixture basename.
+  std::map<std::string, std::vector<const Finding*>> by_file;
+  for (const Finding& f : findings) {
+    by_file[fs::path(f.file).filename().string()].push_back(&f);
+  }
+  for (const auto& [file, check] : kExpected) {
+    bool fixture_present = false;
+    for (const std::string& p : paths) {
+      if (fs::path(p).filename() == file) fixture_present = true;
+    }
+    if (!fixture_present) {
+      fail("missing fixture " + file);
+      continue;
+    }
+    const auto it = by_file.find(file);
+    if (it == by_file.end()) {
+      fail(file + ": expected a '" + check + "' finding, got none");
+      continue;
+    }
+    bool fired = false;
+    for (const Finding* f : it->second) {
+      if (f->check == check) {
+        fired = true;
+      } else {
+        fail(file + ": unexpected '" + f->check + "' finding at line " +
+             std::to_string(f->line));
+      }
+    }
+    if (!fired) fail(file + ": expected a '" + check + "' finding");
+  }
+  for (const auto& [file, fs_list] : by_file) {
+    if (file.rfind("good_", 0) == 0) {
+      for (const Finding* f : fs_list) {
+        fail(file + ": good fixture tripped '" + f->check + "' at line " +
+             std::to_string(f->line));
+      }
+    }
+  }
+  if (json) {
+    std::printf("{\"self_test_failures\":%d}\n", failures);
+  } else if (failures == 0) {
+    std::printf("dialite_analyze --self-test: all %zu fixtures behave\n",
+                kExpected.size() * 2);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string policy_path;
+  std::string fixtures_dir;
+  bool json = false;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--policy needs a path\n");
+        return 2;
+      }
+      policy_path = v;
+    } else if (arg == "--fixtures") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "--fixtures needs a path\n");
+        return 2;
+      }
+      fixtures_dir = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: dialite_analyze [--policy FILE] [--json] PATH...\n"
+                   "       dialite_analyze --self-test [--fixtures DIR]\n");
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (self_test) {
+    if (fixtures_dir.empty()) {
+      // Default: fixtures/ next to the policy file found from cwd.
+      const std::string policy = FindDefaultPolicy(".");
+      if (!policy.empty()) {
+        fixtures_dir =
+            (fs::path(policy).parent_path() / "fixtures").generic_string();
+      }
+    }
+    if (fixtures_dir.empty()) {
+      std::fprintf(stderr,
+                   "dialite_analyze --self-test: cannot locate fixtures; "
+                   "pass --fixtures DIR\n");
+      return 2;
+    }
+    return SelfTest(fixtures_dir, json);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "dialite_analyze: no input paths\n");
+    return 2;
+  }
+  if (policy_path.empty()) policy_path = FindDefaultPolicy(roots.front());
+  if (policy_path.empty()) {
+    std::fprintf(stderr,
+                 "dialite_analyze: cannot find tools/analyze/policy.txt from "
+                 "'%s'; pass --policy FILE\n",
+                 roots.front().c_str());
+    return 2;
+  }
+  return Analyze(roots, policy_path, json);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace dialite
+
+int main(int argc, char** argv) { return dialite::analyze::Main(argc, argv); }

@@ -1,0 +1,75 @@
+#include "analyze/policy.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dialite {
+namespace analyze {
+
+bool Policy::IsExempt(const std::string& check, const std::string& path) const {
+  for (const auto& [c, substr] : exempt) {
+    if (c == check && path.find(substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Policy::ViewAllowed(const std::string& path) const {
+  for (const std::string& substr : view_allow) {
+    if (path.find(substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool LoadPolicy(const std::string& path, Policy* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open policy file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    std::string a, b;
+    ls >> a;
+    ls >> b;
+    auto fail = [&](const char* what) {
+      *error = path + ":" + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+    if (a.empty()) return fail("directive needs an argument");
+    if (directive == "seed") {
+      out->seeds.push_back(a);
+    } else if (directive == "stop") {
+      out->stops.push_back(a);
+    } else if (directive == "hot") {
+      out->hot.insert(a);
+    } else if (directive == "cancel-poll") {
+      out->cancel_polls.insert(a);
+    } else if (directive == "blocking") {
+      out->blocking.insert(a);
+    } else if (directive == "mutex-type") {
+      out->mutex_types.insert(a);
+    } else if (directive == "guard-exempt-type") {
+      out->guard_exempt_types.insert(a);
+    } else if (directive == "view-type") {
+      out->view_types.insert(a);
+    } else if (directive == "view-allow") {
+      out->view_allow.push_back(a);
+    } else if (directive == "exempt") {
+      if (b.empty()) return fail("exempt needs <check> <path-substring>");
+      out->exempt.emplace_back(a, b);
+    } else {
+      return fail(("unknown directive '" + directive + "'").c_str());
+    }
+  }
+  return true;
+}
+
+}  // namespace analyze
+}  // namespace dialite

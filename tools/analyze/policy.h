@@ -1,0 +1,50 @@
+#ifndef DIALITE_TOOLS_ANALYZE_POLICY_H_
+#define DIALITE_TOOLS_ANALYZE_POLICY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace dialite {
+namespace analyze {
+
+/// Analyzer policy, loaded from tools/analyze/policy.txt. Line grammar
+/// (one directive per line, '#' comments):
+///
+///   seed <pattern>            request-path entry point (Name or A::B)
+///   stop <pattern>            reachability boundary, never entered
+///   hot <name>                scoring/merge helper: loops calling it must
+///                             poll cancellation
+///   cancel-poll <name>        method whose call counts as a cancel poll
+///   blocking <name>           identifier banned in request-reachable code
+///   mutex-type <name>         by-value member type that makes a class lock-
+///                             owning for the guarded-field audit
+///   guard-exempt-type <name>  member type token exempt from the audit
+///   view-type <name>          borrowed-view type for the escape check
+///   view-allow <substr>       path substring where view members are fine
+///   exempt <check> <substr>   path substring exempt from one check
+struct Policy {
+  std::vector<std::string> seeds;
+  std::vector<std::string> stops;
+  std::unordered_set<std::string> hot;
+  std::unordered_set<std::string> cancel_polls;
+  std::unordered_set<std::string> blocking;
+  std::unordered_set<std::string> mutex_types;
+  std::unordered_set<std::string> guard_exempt_types;
+  std::unordered_set<std::string> view_types;
+  std::vector<std::string> view_allow;
+  /// check name -> path substrings exempt from it
+  std::vector<std::pair<std::string, std::string>> exempt;
+
+  bool IsExempt(const std::string& check, const std::string& path) const;
+  bool ViewAllowed(const std::string& path) const;
+};
+
+/// Parses a policy file; returns false (with *error set) on IO or syntax
+/// problems.
+bool LoadPolicy(const std::string& path, Policy* out, std::string* error);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_POLICY_H_

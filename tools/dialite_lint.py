@@ -41,6 +41,8 @@ Enforces project rules that neither the compiler nor clang-tidy know about:
 
 Usage:
   tools/dialite_lint.py [paths...]     lint files/dirs (default: src tests bench)
+  tools/dialite_lint.py --jobs N       lint files on N worker processes
+                                       (0 = one per CPU); default serial
   tools/dialite_lint.py --self-test    run every rule against its known-bad
                                        fixture under tools/lint_fixtures and
                                        fail unless each rule fires
@@ -55,6 +57,7 @@ import argparse
 import os
 import re
 import sys
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -424,29 +427,54 @@ def lint_fixture_as_src(path):
             if f.rule not in waivers.get(f.line, set())]
 
 
+def lint_files(files, jobs):
+    """Lints `files`, fanning out to `jobs` worker processes when jobs != 1.
+
+    Results come back in input order either way, so parallel runs print
+    byte-identical reports. The pool only pays off on big trees; --jobs is
+    opt-in and serial stays the default.
+    """
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(files) <= 1:
+        return [f for path in files for f in lint_file(path)]
+    import concurrent.futures
+    findings = []
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        for per_file in pool.map(lint_file, files, chunksize=8):
+            findings.extend(per_file)
+    return findings
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument("--self-test", action="store_true",
                         help="verify each rule fires on its bad fixture")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint on N worker processes (0 = one per CPU; "
+                             "default: serial)")
     args = parser.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
+    if args.jobs < 0:
+        print("dialite_lint: --jobs must be >= 0", file=sys.stderr)
+        sys.exit(2)
 
     paths = args.paths or [os.path.join(REPO_ROOT, d)
                            for d in ("src", "tests", "bench")]
-    findings = []
+    start = time.monotonic()
     files = collect_files(paths)
-    for path in files:
-        findings.extend(lint_file(path))
+    findings = lint_files(files, args.jobs)
+    seconds = time.monotonic() - start
     for f in findings:
         print(f)
     if findings:
         print(f"dialite_lint: {len(findings)} finding(s) in "
-              f"{len(files)} file(s)", file=sys.stderr)
+              f"{len(files)} file(s) ({seconds:.2f}s)", file=sys.stderr)
         sys.exit(1)
-    print(f"dialite_lint: {len(files)} file(s) clean")
+    print(f"dialite_lint: {len(files)} file(s) clean ({seconds:.2f}s)")
 
 
 if __name__ == "__main__":
