@@ -57,7 +57,6 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   if (!fd.valid()) {
     return Status::IoError(Errno("cannot open temp file", tmp));
   }
-  Status cleanup_and_fail = Status::OK();
   Status write_status = WriteFully(fd.get(), contents.data(), contents.size());
   if (write_status.ok() && ::fsync(fd.get()) != 0) {
     write_status = Status::IoError(Errno("fsync failed for", tmp));

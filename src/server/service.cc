@@ -5,6 +5,7 @@
 namespace dialite {
 
 Status LakeService::Reload(const std::string& snapshot_path) {
+  // analyze: lock-blocking(admin-only mutex - requests never take it and keep serving the old epoch)
   MutexLock reload_lock(reload_mu_);
 
   std::string path = snapshot_path;

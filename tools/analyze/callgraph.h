@@ -43,6 +43,12 @@ class CallGraph {
   /// Call-site simple names appearing in function `id`'s body.
   const std::set<std::string>& calls(size_t id) const { return calls_[id]; }
 
+  /// Function ids whose simple name is `name` (null when none).
+  const std::vector<size_t>* Lookup(const std::string& name) const {
+    auto it = by_simple_name_.find(name);
+    return it == by_simple_name_.end() ? nullptr : &it->second;
+  }
+
   /// BFS from every function matching a seed pattern. A pattern without
   /// "::" matches simple names; with "::" it matches a suffix of the
   /// qualified name on a :: boundary. Functions matching a `stops` pattern

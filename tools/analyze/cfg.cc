@@ -1,0 +1,174 @@
+#include "analyze/cfg.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool IsIdent(const Token& t) { return t.kind == Kind::kIdent; }
+bool Is(const Token& t, const char* text) { return t.text == text; }
+
+const std::unordered_set<std::string>& NonCallKeywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",    "for",      "while",  "switch",      "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",       "delete", "throw",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+      "static_assert", "assert", "defined", "alignas", "noexcept",
+      "co_await", "co_return", "co_yield"};
+  return kw;
+}
+
+/// Skips `<...>` template arguments starting at ts[i] == '<'. Returns the
+/// index one past the matching '>', or `i` unchanged when the brackets do
+/// not balance before a ';' (then '<' was a comparison, not a template).
+size_t SkipAngles(const std::vector<Token>& ts, size_t i, size_t end) {
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    if (ts[j].kind != Kind::kPunct) continue;
+    if (ts[j].text == "<") ++depth;
+    if (ts[j].text == ">" && --depth == 0) return j + 1;
+    if (ts[j].text == ";") break;
+  }
+  return i;
+}
+
+}  // namespace
+
+FunctionCfg BuildCfg(const ParsedFile& file, const FunctionInfo& fn,
+                     const Policy& policy) {
+  FunctionCfg cfg;
+  const std::vector<Token>& ts = file.lex.tokens;
+
+  // Loop body extents become balanced kLoopOpen/kLoopClose events keyed by
+  // token index (closes before opens at equal indices never happens: a
+  // loop's body is non-empty or the open==close pair degenerates and both
+  // events are emitted back to back, which the checks tolerate).
+  std::unordered_map<size_t, std::vector<const Loop*>> opens, closes;
+  for (const Loop& loop : fn.loops) {
+    opens[loop.body_begin].push_back(&loop);
+    closes[loop.body_end].push_back(&loop);
+  }
+
+  auto push = [&](CfgNode::Kind kind, std::string text, std::string detail,
+                  int line, size_t token) {
+    cfg.nodes.push_back({kind, std::move(text), std::move(detail), line,
+                         token});
+  };
+
+  const size_t end = fn.body_end < ts.size() ? fn.body_end : ts.size();
+  for (size_t i = fn.body_begin; i < end; ++i) {
+    if (auto it = closes.find(i); it != closes.end()) {
+      for (const Loop* loop : it->second) {
+        push(CfgNode::Kind::kLoopClose, "", "", loop->line, i);
+      }
+    }
+    if (auto it = opens.find(i); it != opens.end()) {
+      for (const Loop* loop : it->second) {
+        push(CfgNode::Kind::kLoopOpen, "", "", loop->line, i);
+      }
+    }
+    const Token& t = ts[i];
+
+    if (t.kind == Kind::kPunct) {
+      if (t.text == "{") {
+        push(CfgNode::Kind::kScopeOpen, "", "", t.line, i);
+      } else if (t.text == "}") {
+        push(CfgNode::Kind::kScopeClose, "", "", t.line, i);
+      } else if (t.text == "[") {
+        // Lambda introducer vs subscript vs attribute. A subscript follows
+        // a value (identifier or a closing token); an attribute is `[[`.
+        const bool subscript =
+            i > fn.body_begin &&
+            (IsIdent(ts[i - 1]) ||
+             (ts[i - 1].kind == Kind::kPunct &&
+              (ts[i - 1].text == ")" || ts[i - 1].text == "]")));
+        if (!subscript && i + 1 < end && Is(ts[i + 1], "[")) {
+          i = SkipBalanced(ts, i, '[', ']') - 1;  // [[attribute]]
+        } else if (!subscript) {
+          const size_t close = SkipBalanced(ts, i, '[', ']');
+          std::string captures;
+          for (size_t j = i + 1; j + 1 < close; ++j) {
+            if (!captures.empty()) captures += ' ';
+            captures += ts[j].text;
+          }
+          push(CfgNode::Kind::kLambda, std::move(captures), "", t.line, i);
+          i = close - 1;  // body events continue inline
+        }
+      }
+      continue;
+    }
+
+    if (!IsIdent(t)) continue;
+
+    if (t.text == "return") {
+      push(CfgNode::Kind::kReturn, "", "", t.line, i);
+      continue;
+    }
+    if (t.text == "new") {
+      push(CfgNode::Kind::kAlloc, "new", "new", t.line, i);
+      continue;
+    }
+
+    // A blocking identifier used without parens (an `ifstream in(path)`
+    // local, a type mention) still blocks; surface it as a call event so
+    // the lock-blocking walk sees every use, not just call syntax.
+    if (policy.blocking.count(t.text) &&
+        !(i + 1 < end && Is(ts[i + 1], "("))) {
+      push(CfgNode::Kind::kCall, t.text, "", t.line, i);
+      continue;
+    }
+
+    // RAII lock guard: `MutexLock lock(mu)` / `WriterLock l{mu}`.
+    if (policy.lock_guards.count(t.text) && i + 2 < end &&
+        IsIdent(ts[i + 1]) &&
+        (Is(ts[i + 2], "(") || Is(ts[i + 2], "{"))) {
+      push(CfgNode::Kind::kLockAcquire, t.text, ts[i + 1].text, t.line, i);
+      i += 1;  // skip the guard variable so `name(` is not a call
+      continue;
+    }
+
+    // Borrowed-view local declaration: `ColumnView v`, `span<const T> s`,
+    // `const ColumnView& v`. const/*/& between type and name are skipped.
+    if (policy.view_types.count(t.text)) {
+      size_t j = i + 1;
+      if (j < end && Is(ts[j], "<")) j = SkipAngles(ts, j, end);
+      while (j < end && ts[j].kind == Kind::kPunct &&
+             (ts[j].text == "&" || ts[j].text == "*")) {
+        ++j;
+      }
+      if (j < end && IsIdent(ts[j]) && ts[j].text != "const" &&
+          !(j + 1 < end && Is(ts[j + 1], "("))) {
+        push(CfgNode::Kind::kViewDecl, t.text, ts[j].text, t.line, i);
+        i = j;
+        continue;
+      }
+    }
+
+    // Allocating type construction: `std::vector<T> tmp`, `string(n, c)`.
+    if (policy.alloc_types.count(t.text) && i + 1 < end &&
+        (Is(ts[i + 1], "<") || Is(ts[i + 1], "(") || Is(ts[i + 1], "{") ||
+         IsIdent(ts[i + 1]))) {
+      push(CfgNode::Kind::kAlloc, t.text, "construct", t.line, i);
+      // fall through: `vector` followed by ident is also a decl, but the
+      // call scan below needs the next tokens untouched.
+    }
+
+    // Call site: identifier immediately before '('.
+    if (i + 1 < end && Is(ts[i + 1], "(") &&
+        !NonCallKeywords().count(t.text)) {
+      push(CfgNode::Kind::kCall, t.text, "", t.line, i);
+      if (policy.alloc_fns.count(t.text)) {
+        push(CfgNode::Kind::kAlloc, t.text, "call", t.line, i);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace analyze
+}  // namespace dialite

@@ -1,0 +1,59 @@
+#ifndef DIALITE_TOOLS_ANALYZE_CFG_H_
+#define DIALITE_TOOLS_ANALYZE_CFG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/decls.h"
+#include "analyze/policy.h"
+
+namespace dialite {
+namespace analyze {
+
+/// One statement-level control-flow fact inside a function body. The CFG is
+/// a flattened event stream in source order: brace scopes and loop bodies
+/// appear as balanced open/close pairs, so a single forward walk with a
+/// scope stack reconstructs exactly which RAII lock guards are live, which
+/// loop a statement sits in, and which locals are in scope at every point.
+/// That is all the flow-sensitivity the serving-path checks need — the
+/// repo's house style has no goto and the checks treat both branches of an
+/// `if` as executed (a may-analysis, which is the conservative polarity for
+/// every check built on top).
+struct CfgNode {
+  enum class Kind {
+    kScopeOpen,    ///< '{'
+    kScopeClose,   ///< '}'
+    kLoopOpen,     ///< start of a for/while/do body (inside its scope)
+    kLoopClose,    ///< end of that body
+    kLockAcquire,  ///< RAII guard decl: text = guard type, detail = var name
+    kCall,         ///< call site: text = callee simple name
+    kAlloc,        ///< allocation: text = witness ("new", "push_back",
+                   ///< "vector", ...), detail = "new" | "call" | "construct"
+    kViewDecl,     ///< borrowed-view local: text = view type, detail = name
+    kLambda,       ///< lambda expression: text = capture-list tokens joined
+                   ///< by ' ' (body events follow inline)
+    kReturn,       ///< return statement
+  };
+  Kind kind = Kind::kCall;
+  std::string text;
+  std::string detail;
+  int line = 0;
+  size_t token = 0;  ///< index into the owning file's token stream
+};
+
+/// Statement-level facts for one function body.
+struct FunctionCfg {
+  std::vector<CfgNode> nodes;
+};
+
+/// Builds the event stream for `fn` (which must belong to `file`). The
+/// policy supplies the vocabularies: lock-guard types, allocating calls and
+/// types, and borrowed-view types.
+FunctionCfg BuildCfg(const ParsedFile& file, const FunctionInfo& fn,
+                     const Policy& policy);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_CFG_H_

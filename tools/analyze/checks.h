@@ -5,33 +5,60 @@
 #include <vector>
 
 #include "analyze/callgraph.h"
+#include "analyze/dataflow.h"
 #include "analyze/policy.h"
 
 namespace dialite {
 namespace analyze {
 
 struct Finding {
+  /// kError fails the run; kWarning and kNote are reported but do not
+  /// affect the exit code (the baseline gate still fails on NEW notes, so
+  /// the hot-alloc inventory cannot silently grow).
+  enum class Severity { kError, kWarning, kNote };
+
   std::string file;
   int line = 0;
   std::string check;    ///< "no-cancel", "blocking", "no-guard",
                         ///< "view-escape", "naked-thread", "raw-socket",
-                        ///< "include-cycle"
+                        ///< "include-cycle", "lock-blocking", "hot-alloc",
+                        ///< "status-drop", "view-return", "stale-waiver"
   std::string message;
+  Severity severity = Severity::kError;
 };
 
-/// Runs every check over the project under the policy. Checks:
+const char* SeverityName(Finding::Severity severity);
+
+/// Runs every check over the project under the policy.
+///
+/// Every check is waivable at the finding line with an analyze waiver
+/// comment naming its directive, e.g. the no-cancel directive with a reason
+/// in parentheses. (The directive names below are spelled without the
+/// waiver syntax so this very comment does not register waivers.)
+///
+/// Reachability checks (PR 9):
 ///  - no-cancel: a loop in a request-reachable function that calls a hot
-///    helper must poll a cancel token (waive: // analyze: no-cancel(why))
+///    helper must poll a cancel token
 ///  - blocking: banned identifiers in request-reachable functions
-///    (waive: // analyze: allow-blocking(why))
+///    [directive: allow-blocking]
 ///  - no-guard: unannotated mutable members of lock-owning classes
-///    (waive: // analyze: no-guard(why))
 ///  - view-escape: borrowed-view class members outside the allowlist
-///    (waive: // analyze: allow-view(why))
+///    [directive: allow-view]
 ///  - naked-thread / raw-socket: symbol-aware ports of the lint rules
-///    (waive: // dialite-lint: allow(rule) or // analyze: allow-thread /
-///    allow-socket)
 ///  - include-cycle: the quoted-include graph must be acyclic
+///
+/// Data-flow checks (statement-level CFG + interprocedural summaries):
+///  - lock-blocking: a MutexLock/WriterLock critical section must not
+///    transitively reach a blocking identifier (waivable at the call or
+///    the acquire line)
+///  - hot-alloc [note]: per-iteration heap allocation inside a
+///    request-reachable cancel-polled loop — the arena-PR inventory
+///  - status-drop: a Status/Result returned through a call and bound to a
+///    never-consulted local, or discarded as a bare expression statement
+///  - view-return: a borrowed view escaping through a return type or into
+///    a deferred lambda outside the owner layers
+///  - stale-waiver [warning]: an analyze waiver that no longer suppresses
+///    any finding, or one naming an unknown directive
 std::vector<Finding> RunChecks(const Project& project, const Policy& policy);
 
 }  // namespace analyze

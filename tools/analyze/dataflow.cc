@@ -1,0 +1,132 @@
+#include "analyze/dataflow.h"
+
+namespace dialite {
+namespace analyze {
+
+DataFlow::DataFlow(const Project& project, const CallGraph& graph,
+                   const Policy& policy)
+    : project_(project), graph_(graph), policy_(policy) {
+  const size_t n = project_.fns.size();
+  cfgs_.reserve(n);
+  summaries_.resize(n);
+
+  // Pass 0: build every CFG and seed the direct facts.
+  for (size_t id = 0; id < n; ++id) {
+    const ParsedFile& pf = project_.file_of(id);
+    const FunctionInfo& fn = project_.fn(id);
+    cfgs_.push_back(BuildCfg(pf, fn, policy_));
+    FnSummary& s = summaries_[id];
+
+    for (const std::string& t : fn.ret_type) {
+      if (policy_.status_types.count(t)) s.returns_status = true;
+    }
+
+    // Direct blocking: ANY body identifier in the blocking set, matching
+    // the reachability check's token scan (an `ifstream` local blocks even
+    // though it is a declaration, not a call).
+    const std::vector<Token>& ts = pf.lex.tokens;
+    const size_t end = fn.body_end < ts.size() ? fn.body_end : ts.size();
+    for (size_t i = fn.body_begin; i < end && !s.may_block; ++i) {
+      if (ts[i].kind == Token::Kind::kIdent &&
+          policy_.blocking.count(ts[i].text)) {
+        s.may_block = true;
+        s.block_via = ts[i].text;
+      }
+    }
+
+    for (const CfgNode& node : cfgs_[id].nodes) {
+      if (node.kind == CfgNode::Kind::kAlloc && !s.may_alloc) {
+        s.may_alloc = true;
+        s.alloc_via = node.text;
+      }
+    }
+  }
+
+  // Name-level views used both during the fixpoint and by the checks.
+  auto note = [&](std::unordered_map<std::string, size_t>* witness,
+                  size_t id) {
+    witness->emplace(project_.fn(id).simple_name, id);
+  };
+  for (size_t id = 0; id < n; ++id) {
+    if (summaries_[id].may_block) note(&block_witness_, id);
+    if (summaries_[id].may_alloc) note(&alloc_witness_, id);
+    const std::string& name = project_.fn(id).simple_name;
+    auto [it, inserted] =
+        returns_status_by_name_.emplace(name, summaries_[id].returns_status);
+    if (!inserted) it->second = it->second && summaries_[id].returns_status;
+  }
+
+  // Bounded fixpoint: propagate may-bits caller-ward until stable. The
+  // lattice is two independent booleans per function, so each pass can only
+  // turn bits on and the loop ends in at most depth(call graph) passes;
+  // kMaxFixpointPasses bounds pathological depth.
+  for (passes_ = 0; passes_ < kMaxFixpointPasses; ++passes_) {
+    bool changed = false;
+    for (size_t id = 0; id < n; ++id) {
+      FnSummary& s = summaries_[id];
+      if (s.may_block && s.may_alloc) continue;
+      for (const std::string& callee : graph_.calls(id)) {
+        if (!s.may_block && block_witness_.count(callee)) {
+          s.may_block = true;
+          s.block_via = callee;
+          note(&block_witness_, id);
+          changed = true;
+        }
+        if (!s.may_alloc && alloc_witness_.count(callee)) {
+          s.may_alloc = true;
+          s.alloc_via = callee;
+          note(&alloc_witness_, id);
+          changed = true;
+        }
+        if (s.may_block && s.may_alloc) break;
+      }
+    }
+    if (!changed) break;
+  }
+  converged_ = passes_ < kMaxFixpointPasses;
+}
+
+bool DataFlow::NameMayBlock(const std::string& callee) const {
+  return block_witness_.count(callee) != 0;
+}
+
+bool DataFlow::NameMayAlloc(const std::string& callee) const {
+  return alloc_witness_.count(callee) != 0;
+}
+
+bool DataFlow::NameReturnsStatus(const std::string& callee) const {
+  auto it = returns_status_by_name_.find(callee);
+  return it != returns_status_by_name_.end() && it->second;
+}
+
+std::string DataFlow::Chain(const std::string& callee, bool block) const {
+  const auto& witness = block ? block_witness_ : alloc_witness_;
+  std::string out = callee;
+  std::string cur = callee;
+  for (int depth = 0; depth < 8; ++depth) {
+    auto it = witness.find(cur);
+    if (it == witness.end()) break;
+    const FnSummary& s = summaries_[it->second];
+    const std::string& via = block ? s.block_via : s.alloc_via;
+    if (via.empty() || via == cur) break;
+    out += " -> " + via;
+    // Stop once the witness is a terminal fact, not another function.
+    if (block ? policy_.blocking.count(via) != 0
+              : witness.find(via) == witness.end()) {
+      break;
+    }
+    cur = via;
+  }
+  return out;
+}
+
+std::string DataFlow::BlockChain(const std::string& callee) const {
+  return Chain(callee, /*block=*/true);
+}
+
+std::string DataFlow::AllocChain(const std::string& callee) const {
+  return Chain(callee, /*block=*/false);
+}
+
+}  // namespace analyze
+}  // namespace dialite

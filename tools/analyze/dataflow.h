@@ -1,0 +1,93 @@
+#ifndef DIALITE_TOOLS_ANALYZE_DATAFLOW_H_
+#define DIALITE_TOOLS_ANALYZE_DATAFLOW_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/callgraph.h"
+#include "analyze/cfg.h"
+
+namespace dialite {
+namespace analyze {
+
+/// Interprocedural abstract state for one function — the per-function
+/// summary the fixpoint propagates across the call graph. Each bit is a
+/// may-property: true means "some path through this function (or one of
+/// its transitive callees) does this", which is the conservative polarity
+/// for all the serving checks.
+struct FnSummary {
+  /// Transitively reaches a `blocking` policy identifier (sleep_for, file
+  /// IO, TcpConnect, ...).
+  bool may_block = false;
+  /// Transitively performs a heap allocation (`new`, an alloc-fn call, or
+  /// an alloc-type construction).
+  bool may_alloc = false;
+  /// The declared return type is a status type (Status, Result<...>).
+  bool returns_status = false;
+  /// Witness for may_block: the blocking identifier itself when direct, or
+  /// the callee simple name that made this function blocking.
+  std::string block_via;
+  /// Same for may_alloc.
+  std::string alloc_via;
+};
+
+/// The data-flow engine: builds statement-level CFGs for every function,
+/// seeds direct facts from them, then runs a bounded interprocedural
+/// fixpoint over the name-based call graph. Summaries are monotone (bits
+/// only turn on), so the fixpoint terminates; the pass bound is a safety
+/// net against adversarial call-graph depth, and `converged()` reports
+/// whether it was reached (an unconverged run may under-approximate, which
+/// the driver surfaces as a warning finding).
+class DataFlow {
+ public:
+  static constexpr int kMaxFixpointPasses = 32;
+
+  DataFlow(const Project& project, const CallGraph& graph,
+           const Policy& policy);
+
+  const FnSummary& summary(size_t id) const { return summaries_[id]; }
+  const FunctionCfg& cfg(size_t id) const { return cfgs_[id]; }
+
+  /// True if ANY function with this simple name may block / allocate —
+  /// the same deliberate over-approximation the call graph uses.
+  bool NameMayBlock(const std::string& callee) const;
+  bool NameMayAlloc(const std::string& callee) const;
+
+  /// True if at least one function with this simple name is defined in the
+  /// scanned set and EVERY such definition returns a status type. The
+  /// all-definitions rule keeps name collisions from flagging unrelated
+  /// void helpers.
+  bool NameReturnsStatus(const std::string& callee) const;
+
+  /// Human-readable witness chain, e.g. "Merge -> Grow -> push_back" /
+  /// "Save -> ofstream". Empty when the name has no such summary.
+  std::string BlockChain(const std::string& callee) const;
+  std::string AllocChain(const std::string& callee) const;
+
+  bool converged() const { return converged_; }
+  int passes() const { return passes_; }
+
+ private:
+  std::string Chain(const std::string& callee, bool block) const;
+
+  const Project& project_;
+  const CallGraph& graph_;
+  const Policy& policy_;
+  std::vector<FunctionCfg> cfgs_;
+  std::vector<FnSummary> summaries_;
+  /// simple name -> a function id with may_block/may_alloc set (witness
+  /// owner), for chain reconstruction.
+  std::unordered_map<std::string, size_t> block_witness_;
+  std::unordered_map<std::string, size_t> alloc_witness_;
+  /// simple name -> {all definitions return status} (name absent: none do).
+  std::unordered_map<std::string, bool> returns_status_by_name_;
+  bool converged_ = true;
+  int passes_ = 0;
+};
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_DATAFLOW_H_

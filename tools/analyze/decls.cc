@@ -33,22 +33,6 @@ bool LooksLikeAnnotationMacro(const std::string& s) {
   return true;
 }
 
-size_t SkipBalanced(const std::vector<Token>& ts, size_t open, char open_ch,
-                    char close_ch) {
-  // ts[open] is the opener; returns the index ONE PAST the matching closer
-  // (or ts.size() if unbalanced).
-  int depth = 0;
-  const std::string open_s(1, open_ch);
-  const std::string close_s(1, close_ch);
-  for (size_t i = open; i < ts.size(); ++i) {
-    if (ts[i].kind == Kind::kPunct) {
-      if (ts[i].text == open_s) ++depth;
-      if (ts[i].text == close_s && --depth == 0) return i + 1;
-    }
-  }
-  return ts.size();
-}
-
 /// Records every for/while/do loop body inside [begin, end).
 void FindLoops(const std::vector<Token>& ts, size_t begin, size_t end,
                std::vector<Loop>* loops) {
@@ -382,6 +366,11 @@ ParsedFile Parse(LexedFile lexed) {
         back -= 2;
       }
       fn.qual_name = QualPrefix(scopes) + inline_qual + fn.simple_name;
+      // Everything between the statement start and the qualified name is the
+      // return type (plus specifiers); ctors/dtors leave it empty.
+      for (size_t r = stmt_start; r < back && r < ts.size(); ++r) {
+        fn.ret_type.push_back(ts[r].text);
+      }
       fn.body_begin = body_open + 1;
       fn.body_end = body_end > 0 ? body_end - 1 : body_end;
       FindLoops(ts, fn.body_begin, fn.body_end, &fn.loops);

@@ -50,6 +50,11 @@ struct FunctionInfo {
   size_t body_begin = 0;
   size_t body_end = 0;  ///< exclusive
   std::vector<Loop> loops;
+  /// Declaration tokens preceding the (possibly qualified) function name:
+  /// the return type plus leading specifiers (`static`, `inline`, ...).
+  /// Empty for constructors/destructors. The data-flow layer consults this
+  /// for the returns-Status and view-return summaries.
+  std::vector<std::string> ret_type;
 };
 
 struct ParsedFile {

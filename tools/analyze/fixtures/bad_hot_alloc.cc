@@ -1,0 +1,15 @@
+// Known-bad fixture for the hot-alloc check: Handle is a request entry
+// point (policy seed) and its loop polls cancellation, marking it
+// request-hot — yet it constructs a `string` (policy alloc-type) every
+// iteration. Reported as a note: the arena-PR inventory, not a hard error.
+bool Cancelled();
+
+int Handle(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {  // check: hot-alloc
+    if (Cancelled()) return total;
+    string row(16, 'x');
+    total += row.size();
+  }
+  return total;
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for the lock-blocking check: the MutexLock critical
+// section in Flush reaches a blocking identifier only TRANSITIVELY, through
+// SaveToDisk — invisible to a per-function scan, caught by the
+// interprocedural may-block summary (chain: SaveToDisk -> sleep_for).
+void SaveToDisk() { sleep_for(5); }
+
+void Flush() {
+  MutexLock lock(mu_);
+  SaveToDisk();  // check: lock-blocking
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for the status-drop check: Handle binds the Status
+// returned by Load to a local and never consults it again. Class-level
+// [[nodiscard]] is satisfied by the binding, so only the data-flow check
+// (returns-status summary + never-used local) catches this.
+Status Load(int id) { return Status(); }
+
+int Handle(int id) {
+  Status st = Load(id);  // check: status-drop
+  return id;
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture for the view-return check, both escape shapes:
+//  (1) a function outside the owner layers returning a borrowed view type;
+//  (2) a view-typed local captured into a task handed to a deferred
+//      execution point (policy defer: Submit) that can outlive its anchor.
+ColumnView Slice(int col) {  // check: view-return (borrowed return type)
+  ColumnView v;
+  return v;
+}
+
+void Fanout() {
+  ColumnView rows = Snapshot();
+  Submit([rows]() { Use(rows); });  // check: view-return (deferred capture)
+}

@@ -1,0 +1,14 @@
+// Known-good fixture for the hot-alloc check: the allocation is hoisted
+// out of the cancel-polled loop, so each iteration only reuses the scratch
+// buffer — exactly the rewrite the arena work list asks for.
+bool Cancelled();
+
+int Handle(int n) {
+  string scratch(16, 'x');  // one-time setup cost, outside the loop
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (Cancelled()) return total;
+    total += scratch.size();
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Known-good fixture for the lock-blocking check: the same transitively
+// blocking call is fine once the guard's scope has closed — the check is
+// flow-sensitive, not function-granular.
+void SaveToDisk() { sleep_for(5); }
+
+void Flush() {
+  {
+    MutexLock lock(mu_);
+    dirty_ = false;
+  }
+  SaveToDisk();  // guard already released: silent
+}

@@ -1,0 +1,9 @@
+// Known-good fixture for the status-drop check: the bound Status is
+// consulted before the function returns, so the error cannot vanish.
+Status Load(int id) { return Status(); }
+
+int Handle(int id) {
+  Status st = Load(id);
+  if (!st.ok()) return -1;
+  return id;
+}

@@ -1,0 +1,12 @@
+// Known-good fixture for the view-return check: owning data may cross a
+// deferred boundary, and borrowed views are fine as parameters and locals
+// that never leave the frame.
+void Fanout() {
+  OwnedColumn rows = Materialize();
+  Submit([rows]() { Use(rows); });  // owning copy: silent
+}
+
+int Width(ColumnView view) {
+  ColumnView local = view;
+  return local.size();
+}

@@ -211,19 +211,20 @@ LexedFile Lex(std::string path, const std::string& source) {
     }
     line_start = false;
     if (c == '/' && cur.PeekAt(1) == '/') {
-      const int line = cur.line();
       std::string comment;
       while (!cur.AtEnd() && cur.Peek() != '\n') {
         comment += cur.Peek();
         cur.Advance();
       }
-      ScanCommentForWaivers(comment, line, &out.waivers);
+      // Waivers anchor at the line the comment ENDS on: a backslash splice
+      // extends a // comment onto further physical lines, and "this line
+      // plus the next" must count from the last of them.
+      ScanCommentForWaivers(comment, cur.line(), &out.waivers);
       continue;
     }
     if (c == '/' && cur.PeekAt(1) == '*') {
       // Block comments do not nest: the first "*/" closes, even after an
       // inner "/*" (a classic lexer trap the fixtures exercise).
-      const int line = cur.line();
       cur.Advance();
       cur.Advance();
       std::string comment;
@@ -236,7 +237,8 @@ LexedFile Lex(std::string path, const std::string& source) {
         comment += cur.Peek();
         cur.Advance();
       }
-      ScanCommentForWaivers(comment, line, &out.waivers);
+      // Same end-line anchoring for multi-line block comments.
+      ScanCommentForWaivers(comment, cur.line(), &out.waivers);
       continue;
     }
     if (c == '"') {
@@ -291,13 +293,29 @@ LexedFile Lex(std::string path, const std::string& source) {
   return out;
 }
 
-bool HasWaiver(const LexedFile& file, const std::string& directive, int line) {
-  for (const Waiver& w : file.waivers) {
-    if (w.directive == directive && (w.line == line || w.line == line - 1)) {
-      return true;
+size_t SkipBalanced(const std::vector<Token>& ts, size_t open, char open_ch,
+                    char close_ch) {
+  int depth = 0;
+  const std::string open_s(1, open_ch);
+  const std::string close_s(1, close_ch);
+  for (size_t i = open; i < ts.size(); ++i) {
+    if (ts[i].kind == Token::Kind::kPunct) {
+      if (ts[i].text == open_s) ++depth;
+      if (ts[i].text == close_s && --depth == 0) return i + 1;
     }
   }
-  return false;
+  return ts.size();
+}
+
+bool HasWaiver(const LexedFile& file, const std::string& directive, int line) {
+  bool found = false;
+  for (const Waiver& w : file.waivers) {
+    if (w.directive == directive && (w.line == line || w.line == line - 1)) {
+      w.used = true;
+      found = true;
+    }
+  }
+  return found;
 }
 
 bool HasLintWaiver(const LexedFile& file, const std::string& rule, int line) {
@@ -316,7 +334,10 @@ bool HasLintWaiver(const LexedFile& file, const std::string& rule, int line) {
              w.detail[end] != ' ') {
         ++end;
       }
-      if (w.detail.substr(at, end - at) == rule) return true;
+      if (w.detail.substr(at, end - at) == rule) {
+        w.used = true;
+        return true;
+      }
       at = end;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef DIALITE_TOOLS_ANALYZE_LEXER_H_
 #define DIALITE_TOOLS_ANALYZE_LEXER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct Waiver {
   std::string directive;  ///< "no-cancel", "allow-blocking", ..., "lint-allow"
   std::string detail;     ///< reason text / comma-separated lint rules
   int line = 0;
+  /// Set by HasWaiver/HasLintWaiver when the waiver actually suppresses a
+  /// finding; the stale-waiver pass warns about waivers that never fire.
+  /// Mutable because checks only see the project const.
+  mutable bool used = false;
 };
 
 /// Lexed view of one file: the token stream, every waiver comment, and the
@@ -64,6 +69,12 @@ bool HasWaiver(const LexedFile& file, const std::string& directive, int line);
 
 /// True if a lint-allow waiver naming `rule` covers `line`.
 bool HasLintWaiver(const LexedFile& file, const std::string& rule, int line);
+
+/// ts[open] is the opener punctuation; returns the index ONE PAST the
+/// matching closer (or ts.size() if unbalanced). Shared by the declaration
+/// parser, the CFG builder, and the checks.
+size_t SkipBalanced(const std::vector<Token>& ts, size_t open, char open_ch,
+                    char close_ch);
 
 }  // namespace analyze
 }  // namespace dialite

@@ -1,24 +1,34 @@
 // dialite_analyze — semantic static analysis proving the serving-path
-// invariants over src/ (see DESIGN.md "Static analysis & correctness
-// tooling"):
+// invariants over src/, tools/ and bench/ (see DESIGN.md "Static analysis
+// & correctness tooling" and "Data-flow engine"):
 //
-//   dialite_analyze src/                      # human-readable findings
+//   dialite_analyze src/ tools/ bench/        # human-readable findings
 //   dialite_analyze --json src/               # machine-readable
+//   dialite_analyze --jobs 8 src/             # parallel file scanning
+//   dialite_analyze --sarif out.sarif src/    # SARIF 2.1.0 artifact
+//   dialite_analyze --baseline B.json src/    # fail only on NEW findings
+//   dialite_analyze --write-baseline B.json src/   # (re)record baseline
 //   dialite_analyze --self-test               # fixtures must fire exactly
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+// Exit codes: 0 clean, 1 findings (errors, or any fresh non-warning
+// finding under --baseline), 2 usage/IO error.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyze/checks.h"
+#include "analyze/report.h"
+#include "common/thread_pool.h"
 
 namespace dialite {
 namespace analyze {
@@ -55,7 +65,11 @@ bool CollectFiles(const std::string& root, std::vector<std::string>* out,
     }
     const fs::path& p = it->path();
     const std::string name = p.filename().string();
-    if (it->is_directory() && (name == ".git" || name.rfind("build", 0) == 0)) {
+    // Fixture trees contain deliberately-bad code; scanning them as part of
+    // the real tree would re-report every planted finding.
+    if (it->is_directory() &&
+        (name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "fixtures" || name == "lint_fixtures")) {
       it.disable_recursion_pending();
       continue;
     }
@@ -73,6 +87,49 @@ bool ReadFile(const std::string& path, std::string* out) {
   std::ostringstream ss;
   ss << in.rdbuf();
   *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+/// Parses every (display name, read path) pair, using `jobs` worker
+/// threads (0 = hardware concurrency, 1 = inline). Results land in input
+/// order regardless of completion order, so output is deterministic under
+/// any --jobs value.
+bool ParseAll(const std::vector<std::pair<std::string, std::string>>& names,
+              int jobs, std::vector<ParsedFile>* parsed, std::string* error) {
+  parsed->resize(names.size());
+  if (jobs == 1 || names.size() <= 1) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      std::string source;
+      if (!ReadFile(names[i].second, &source)) {
+        *error = "cannot read " + names[i].second;
+        return false;
+      }
+      (*parsed)[i] = Parse(Lex(names[i].first, source));
+    }
+    return true;
+  }
+  ThreadPool pool(jobs < 0 ? 0 : static_cast<size_t>(jobs));
+  std::atomic<size_t> failed{names.size()};  // sentinel: no failure
+  pool.ParallelFor(names.size(), [&](size_t i) {
+    std::string source;
+    if (!ReadFile(names[i].second, &source)) {
+      size_t expect = names.size();
+      failed.compare_exchange_strong(expect, i);
+      return;
+    }
+    (*parsed)[i] = Parse(Lex(names[i].first, source));
+  });
+  if (failed.load() != names.size()) {
+    *error = "cannot read " + names[failed.load()].second;
+    return false;
+  }
   return true;
 }
 
@@ -114,6 +171,8 @@ void PrintFindings(const std::vector<Finding>& findings, size_t files_scanned,
       AppendJsonEscaped(&out, f.file);
       out += "\",\"line\":" + std::to_string(f.line) + ",\"check\":\"";
       AppendJsonEscaped(&out, f.check);
+      out += "\",\"severity\":\"";
+      out += SeverityName(f.severity);
       out += "\",\"message\":\"";
       AppendJsonEscaped(&out, f.message);
       out += "\"}";
@@ -124,51 +183,133 @@ void PrintFindings(const std::vector<Finding>& findings, size_t files_scanned,
     return;
   }
   for (const Finding& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
-                f.message.c_str());
+    std::printf("%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                SeverityName(f.severity), f.check.c_str(), f.message.c_str());
   }
   std::printf("dialite_analyze: %zu finding%s in %zu files (%.2fs)\n",
               findings.size(), findings.size() == 1 ? "" : "s", files_scanned,
               seconds);
 }
 
-int Analyze(const std::vector<std::string>& roots, const std::string& policy_path,
-            bool json) {
+struct Options {
+  std::vector<std::string> roots;
+  std::string policy_path;
+  std::string fixtures_dir;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  int jobs = 1;
+  bool json = false;
+  bool self_test = false;
+};
+
+int Analyze(const Options& opt) {
   const auto start = std::chrono::steady_clock::now();
   Policy policy;
   std::string error;
-  if (!LoadPolicy(policy_path, &policy, &error)) {
+  if (!LoadPolicy(opt.policy_path, &policy, &error)) {
     std::fprintf(stderr, "dialite_analyze: %s\n", error.c_str());
     return 2;
   }
   std::vector<std::string> paths;
-  for (const std::string& root : roots) {
+  for (const std::string& root : opt.roots) {
     if (!CollectFiles(root, &paths, &error)) {
       std::fprintf(stderr, "dialite_analyze: %s\n", error.c_str());
       return 2;
     }
   }
-  std::vector<ParsedFile> parsed;
-  parsed.reserve(paths.size());
-  for (const std::string& path : paths) {
-    std::string source;
-    if (!ReadFile(path, &source)) {
-      std::fprintf(stderr, "dialite_analyze: cannot read %s\n", path.c_str());
-      return 2;
+  // Canonicalize to repo-relative display paths (the policy file sits at
+  // <repo>/tools/analyze/policy.txt) so findings, policy exemptions, and
+  // baseline keys are identical no matter where the tool is invoked from.
+  // Reads still use the as-collected path; only the recorded name changes.
+  std::vector<std::pair<std::string, std::string>> names;  // display, read
+  {
+    std::error_code ec;
+    const fs::path repo_root =
+        fs::absolute(opt.policy_path, ec).parent_path().parent_path()
+            .parent_path();
+    for (const std::string& p : paths) {
+      std::string display = p;
+      if (!ec) {
+        std::error_code rec;
+        const fs::path rel = fs::proximate(p, repo_root, rec);
+        if (!rec && !rel.empty() && *rel.begin() != "..") {
+          display = rel.generic_string();
+        }
+      }
+      names.emplace_back(std::move(display), p);
     }
-    parsed.push_back(Parse(Lex(path, source)));
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+  }
+  std::vector<ParsedFile> parsed;
+  if (!ParseAll(names, opt.jobs, &parsed, &error)) {
+    std::fprintf(stderr, "dialite_analyze: %s\n", error.c_str());
+    return 2;
   }
   Project project = Project::Build(std::move(parsed));
   std::vector<Finding> findings = RunChecks(project, policy);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  PrintFindings(findings, paths.size(), seconds, json);
-  return findings.empty() ? 0 : 1;
+  PrintFindings(findings, names.size(), seconds, opt.json);
+
+  if (!opt.sarif_path.empty() &&
+      !WriteFile(opt.sarif_path, FindingsToSarif(findings))) {
+    std::fprintf(stderr, "dialite_analyze: cannot write %s\n",
+                 opt.sarif_path.c_str());
+    return 2;
+  }
+  if (!opt.write_baseline_path.empty()) {
+    if (!WriteFile(opt.write_baseline_path, FindingsToBaseline(findings))) {
+      std::fprintf(stderr, "dialite_analyze: cannot write %s\n",
+                   opt.write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("dialite_analyze: wrote baseline with %zu entries to %s\n",
+                findings.size(), opt.write_baseline_path.c_str());
+  }
+
+  if (!opt.baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(opt.baseline_path, &text)) {
+      std::fprintf(stderr, "dialite_analyze: cannot read baseline %s\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    std::vector<BaselineEntry> baseline;
+    if (!LoadBaseline(text, &baseline, &error)) {
+      std::fprintf(stderr, "dialite_analyze: %s: %s\n",
+                   opt.baseline_path.c_str(), error.c_str());
+      return 2;
+    }
+    BaselineDiff diff = DiffBaseline(findings, baseline);
+    for (const BaselineEntry& e : diff.stale) {
+      std::printf(
+          "dialite_analyze: stale baseline entry (no longer fires): "
+          "%s [%s] — re-record with --write-baseline\n",
+          e.file.c_str(), e.check.c_str());
+    }
+    size_t gating = 0;
+    for (const Finding& f : diff.fresh) {
+      if (f.severity != Finding::Severity::kWarning) ++gating;
+    }
+    std::printf(
+        "dialite_analyze: baseline diff: %zu fresh (%zu gating), %zu stale, "
+        "%zu total findings\n",
+        diff.fresh.size(), gating, diff.stale.size(), findings.size());
+    return gating == 0 ? 0 : 1;
+  }
+
+  for (const Finding& f : findings) {
+    if (f.severity == Finding::Severity::kError) return 1;
+  }
+  return 0;
 }
 
 /// --self-test: every bad fixture must fire exactly its own check, every
-/// good fixture must be silent.
+/// good fixture must be silent, and the malformed-policy fixture must be
+/// rejected with a file:line diagnostic.
 int SelfTest(const std::string& fixtures_dir, bool json) {
   static const std::map<std::string, std::string> kExpected = {
       {"bad_cancel.cc", "no-cancel"},
@@ -177,6 +318,10 @@ int SelfTest(const std::string& fixtures_dir, bool json) {
       {"bad_view.cc", "view-escape"},
       {"bad_naked_thread.cc", "naked-thread"},
       {"bad_raw_socket.cc", "raw-socket"},
+      {"bad_lock_blocking.cc", "lock-blocking"},
+      {"bad_hot_alloc.cc", "hot-alloc"},
+      {"bad_status_drop.cc", "status-drop"},
+      {"bad_view_return.cc", "view-return"},
   };
   const std::string policy_path =
       (fs::path(fixtures_dir) / "policy.txt").generic_string();
@@ -186,11 +331,36 @@ int SelfTest(const std::string& fixtures_dir, bool json) {
     std::fprintf(stderr, "dialite_analyze --self-test: %s\n", error.c_str());
     return 2;
   }
-  std::vector<std::string> paths;
-  if (!CollectFiles(fixtures_dir, &paths, &error)) {
-    std::fprintf(stderr, "dialite_analyze --self-test: %s\n", error.c_str());
-    return 2;
+
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "SELF-TEST FAIL: %s\n", msg.c_str());
+    ++failures;
+  };
+
+  // Malformed-policy fixture: loading must fail and the diagnostic must
+  // carry file:line plus the offending directive text.
+  {
+    const std::string bad_policy =
+        (fs::path(fixtures_dir) / "bad_policy.txt").generic_string();
+    Policy ignored;
+    std::string perr;
+    if (LoadPolicy(bad_policy, &ignored, &perr)) {
+      fail("bad_policy.txt: malformed policy loaded without error");
+    } else if (perr.find("bad_policy.txt:") == std::string::npos) {
+      fail("bad_policy.txt: diagnostic lacks file:line — got '" + perr + "'");
+    }
   }
+
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::directory_iterator it(fixtures_dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (!ec && it->is_regular_file() && HasSourceExtension(it->path())) {
+      paths.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
   std::vector<ParsedFile> parsed;
   for (const std::string& path : paths) {
     std::string source;
@@ -204,11 +374,6 @@ int SelfTest(const std::string& fixtures_dir, bool json) {
   Project project = Project::Build(std::move(parsed));
   std::vector<Finding> findings = RunChecks(project, policy);
 
-  int failures = 0;
-  auto fail = [&](const std::string& msg) {
-    std::fprintf(stderr, "SELF-TEST FAIL: %s\n", msg.c_str());
-    ++failures;
-  };
   // Findings per fixture basename.
   std::map<std::string, std::vector<const Finding*>> by_file;
   for (const Finding& f : findings) {
@@ -257,73 +422,93 @@ int SelfTest(const std::string& fixtures_dir, bool json) {
 }
 
 int Main(int argc, char** argv) {
-  std::vector<std::string> roots;
-  std::string policy_path;
-  std::string fixtures_dir;
-  bool json = false;
-  bool self_test = false;
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto need = [&](const char* flag) -> const char* {
+      const char* v = next();
+      if (v == nullptr) std::fprintf(stderr, "%s needs an argument\n", flag);
+      return v;
+    };
     if (arg == "--json") {
-      json = true;
+      opt.json = true;
     } else if (arg == "--self-test") {
-      self_test = true;
+      opt.self_test = true;
     } else if (arg == "--policy") {
-      const char* v = next();
-      if (v == nullptr) {
-        std::fprintf(stderr, "--policy needs a path\n");
-        return 2;
-      }
-      policy_path = v;
+      const char* v = need("--policy");
+      if (v == nullptr) return 2;
+      opt.policy_path = v;
     } else if (arg == "--fixtures") {
-      const char* v = next();
-      if (v == nullptr) {
-        std::fprintf(stderr, "--fixtures needs a path\n");
+      const char* v = need("--fixtures");
+      if (v == nullptr) return 2;
+      opt.fixtures_dir = v;
+    } else if (arg == "--sarif") {
+      const char* v = need("--sarif");
+      if (v == nullptr) return 2;
+      opt.sarif_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = need("--baseline");
+      if (v == nullptr) return 2;
+      opt.baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = need("--write-baseline");
+      if (v == nullptr) return 2;
+      opt.write_baseline_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = need("--jobs");
+      if (v == nullptr) return 2;
+      opt.jobs = std::atoi(v);
+      if (opt.jobs < 0) {
+        std::fprintf(stderr, "--jobs needs a non-negative count\n");
         return 2;
       }
-      fixtures_dir = v;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr,
-                   "usage: dialite_analyze [--policy FILE] [--json] PATH...\n"
-                   "       dialite_analyze --self-test [--fixtures DIR]\n");
+      std::fprintf(
+          stderr,
+          "usage: dialite_analyze [--policy FILE] [--json] [--jobs N]\n"
+          "                       [--sarif FILE] [--baseline FILE]\n"
+          "                       [--write-baseline FILE] PATH...\n"
+          "       dialite_analyze --self-test [--fixtures DIR]\n");
       return 2;
     } else {
-      roots.push_back(arg);
+      opt.roots.push_back(arg);
     }
   }
-  if (self_test) {
-    if (fixtures_dir.empty()) {
+  if (opt.self_test) {
+    if (opt.fixtures_dir.empty()) {
       // Default: fixtures/ next to the policy file found from cwd.
       const std::string policy = FindDefaultPolicy(".");
       if (!policy.empty()) {
-        fixtures_dir =
+        opt.fixtures_dir =
             (fs::path(policy).parent_path() / "fixtures").generic_string();
       }
     }
-    if (fixtures_dir.empty()) {
+    if (opt.fixtures_dir.empty()) {
       std::fprintf(stderr,
                    "dialite_analyze --self-test: cannot locate fixtures; "
                    "pass --fixtures DIR\n");
       return 2;
     }
-    return SelfTest(fixtures_dir, json);
+    return SelfTest(opt.fixtures_dir, opt.json);
   }
-  if (roots.empty()) {
+  if (opt.roots.empty()) {
     std::fprintf(stderr, "dialite_analyze: no input paths\n");
     return 2;
   }
-  if (policy_path.empty()) policy_path = FindDefaultPolicy(roots.front());
-  if (policy_path.empty()) {
+  if (opt.policy_path.empty()) {
+    opt.policy_path = FindDefaultPolicy(opt.roots.front());
+  }
+  if (opt.policy_path.empty()) {
     std::fprintf(stderr,
                  "dialite_analyze: cannot find tools/analyze/policy.txt from "
                  "'%s'; pass --policy FILE\n",
-                 roots.front().c_str());
+                 opt.roots.front().c_str());
     return 2;
   }
-  return Analyze(roots, policy_path, json);
+  return Analyze(opt);
 }
 
 }  // namespace

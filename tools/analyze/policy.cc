@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace dialite {
 namespace analyze {
@@ -26,6 +27,9 @@ bool LoadPolicy(const std::string& path, Policy* out, std::string* error) {
     *error = "cannot open policy file: " + path;
     return false;
   }
+  // Parse into a local and commit only on success: a failed load leaves
+  // *out untouched, and a reused *out never accumulates across calls.
+  Policy p;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
@@ -33,41 +37,66 @@ bool LoadPolicy(const std::string& path, Policy* out, std::string* error) {
     size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
-    std::string directive;
-    if (!(ls >> directive)) continue;
-    std::string a, b;
-    ls >> a;
-    ls >> b;
-    auto fail = [&](const char* what) {
-      *error = path + ":" + std::to_string(lineno) + ": " + what;
+    std::vector<std::string> words;
+    for (std::string w; ls >> w;) words.push_back(w);
+    if (words.empty()) continue;
+    const std::string& directive = words[0];
+    // Every malformed line reports file:line plus the directive as written,
+    // and the load fails — a typo can never silently drop an invariant.
+    auto fail = [&](const std::string& what) {
+      std::string text;
+      for (size_t i = 0; i < words.size(); ++i) {
+        if (i > 0) text += ' ';
+        text += words[i];
+      }
+      *error = path + ":" + std::to_string(lineno) + ": " + what + ": '" +
+               text + "'";
       return false;
     };
-    if (a.empty()) return fail("directive needs an argument");
+    const size_t args = words.size() - 1;
+    if (directive == "exempt") {
+      if (args != 2) return fail("exempt needs <check> <path-substring>");
+      p.exempt.emplace_back(words[1], words[2]);
+      continue;
+    }
+    if (args != 1) {
+      return fail(args == 0 ? "directive needs an argument"
+                            : "trailing junk after directive argument");
+    }
+    const std::string& a = words[1];
     if (directive == "seed") {
-      out->seeds.push_back(a);
+      p.seeds.push_back(a);
     } else if (directive == "stop") {
-      out->stops.push_back(a);
+      p.stops.push_back(a);
     } else if (directive == "hot") {
-      out->hot.insert(a);
+      p.hot.insert(a);
     } else if (directive == "cancel-poll") {
-      out->cancel_polls.insert(a);
+      p.cancel_polls.insert(a);
     } else if (directive == "blocking") {
-      out->blocking.insert(a);
+      p.blocking.insert(a);
     } else if (directive == "mutex-type") {
-      out->mutex_types.insert(a);
+      p.mutex_types.insert(a);
     } else if (directive == "guard-exempt-type") {
-      out->guard_exempt_types.insert(a);
+      p.guard_exempt_types.insert(a);
     } else if (directive == "view-type") {
-      out->view_types.insert(a);
+      p.view_types.insert(a);
     } else if (directive == "view-allow") {
-      out->view_allow.push_back(a);
-    } else if (directive == "exempt") {
-      if (b.empty()) return fail("exempt needs <check> <path-substring>");
-      out->exempt.emplace_back(a, b);
+      p.view_allow.push_back(a);
+    } else if (directive == "lock-guard") {
+      p.lock_guards.insert(a);
+    } else if (directive == "status-type") {
+      p.status_types.insert(a);
+    } else if (directive == "alloc-fn") {
+      p.alloc_fns.insert(a);
+    } else if (directive == "alloc-type") {
+      p.alloc_types.insert(a);
+    } else if (directive == "defer") {
+      p.defer.insert(a);
     } else {
-      return fail(("unknown directive '" + directive + "'").c_str());
+      return fail("unknown directive");
     }
   }
+  *out = std::move(p);
   return true;
 }
 

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace dialite {
@@ -16,13 +17,30 @@ namespace analyze {
 ///   hot <name>                scoring/merge helper: loops calling it must
 ///                             poll cancellation
 ///   cancel-poll <name>        method whose call counts as a cancel poll
-///   blocking <name>           identifier banned in request-reachable code
+///   blocking <name>           identifier banned in request-reachable code;
+///                             also seeds the may-block data-flow summary
 ///   mutex-type <name>         by-value member type that makes a class lock-
 ///                             owning for the guarded-field audit
 ///   guard-exempt-type <name>  member type token exempt from the audit
-///   view-type <name>          borrowed-view type for the escape check
-///   view-allow <substr>       path substring where view members are fine
+///   view-type <name>          borrowed-view type for the escape checks
+///   view-allow <substr>       path substring where view members/returns are
+///                             fine (the owner layers)
+///   lock-guard <name>         RAII lock type opening a critical section for
+///                             the lock-blocking check (MutexLock, ...)
+///   status-type <name>        return type treated as a must-check status
+///                             for the status-drop check (Status, Result)
+///   alloc-fn <name>           call that allocates (malloc, push_back, ...)
+///                             for the hot-alloc inventory + summaries
+///   alloc-type <name>         type whose construction allocates (vector,
+///                             string, ...) for the same
+///   defer <name>              call that defers its callable argument to
+///                             another thread/time (Submit); capturing a
+///                             borrowed view across it is an escape
 ///   exempt <check> <substr>   path substring exempt from one check
+///
+/// Every directive takes exactly the arguments shown; a malformed line
+/// (unknown directive, missing argument, or trailing junk) is a hard error
+/// reported with file:line and the offending text.
 struct Policy {
   std::vector<std::string> seeds;
   std::vector<std::string> stops;
@@ -33,6 +51,11 @@ struct Policy {
   std::unordered_set<std::string> guard_exempt_types;
   std::unordered_set<std::string> view_types;
   std::vector<std::string> view_allow;
+  std::unordered_set<std::string> lock_guards;
+  std::unordered_set<std::string> status_types;
+  std::unordered_set<std::string> alloc_fns;
+  std::unordered_set<std::string> alloc_types;
+  std::unordered_set<std::string> defer;
   /// check name -> path substrings exempt from it
   std::vector<std::pair<std::string, std::string>> exempt;
 
@@ -41,7 +64,8 @@ struct Policy {
 };
 
 /// Parses a policy file; returns false (with *error set) on IO or syntax
-/// problems.
+/// problems. Syntax errors name the file, 1-based line, and the directive
+/// text so a typo'd policy can never be silently ignored.
 bool LoadPolicy(const std::string& path, Policy* out, std::string* error);
 
 }  // namespace analyze

@@ -1,0 +1,276 @@
+#include "analyze/report.h"
+
+#include <set>
+#include <utility>
+
+namespace dialite {
+namespace analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal scanner for the baseline's own output format (JSON array of flat
+/// string-valued objects). Not a general JSON parser; it rejects anything
+/// FindingsToBaseline would not emit.
+class BaselineScanner {
+ public:
+  explicit BaselineScanner(const std::string& text) : text_(text) {}
+
+  bool Parse(std::vector<BaselineEntry>* out, std::string* error) {
+    SkipWs();
+    if (!Consume('[')) return Fail(error, "expected '['");
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      BaselineEntry entry;
+      if (!ParseEntry(&entry, error)) return false;
+      out->push_back(std::move(entry));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail(error, "expected ',' or ']'");
+      SkipWs();
+    }
+  }
+
+ private:
+  bool ParseEntry(BaselineEntry* entry, std::string* error) {
+    if (!Consume('{')) return Fail(error, "expected '{'");
+    while (true) {
+      SkipWs();
+      std::string key, value;
+      if (!ParseString(&key, error) ) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail(error, "expected ':'");
+      SkipWs();
+      if (!ParseString(&value, error)) return false;
+      if (key == "file") {
+        entry->file = value;
+      } else if (key == "check") {
+        entry->check = value;
+      } else if (key == "message") {
+        entry->message = value;
+      }  // unknown keys tolerated so the format can grow
+      SkipWs();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Fail(error, "expected ',' or '}'");
+    }
+    if (entry->file.empty() || entry->check.empty()) {
+      return Fail(error, "entry missing 'file' or 'check'");
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Consume('"')) return Fail(error, "expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'u':
+            // Only \u00XX is ever emitted; decode the low byte.
+            if (pos_ + 4 <= text_.size()) {
+              int v = 0;
+              for (int i = 2; i < 4; ++i) {
+                char h = text_[pos_ + i];
+                v = v * 16 + (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+              }
+              out->push_back(static_cast<char>(v));
+              pos_ += 4;
+            }
+            break;
+          default:
+            out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail(error, "unterminated string");
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Fail(std::string* error, const char* what) {
+    if (error != nullptr) {
+      *error = "baseline parse error at offset " + std::to_string(pos_) +
+               ": " + what;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Key(const std::string& file, const std::string& check,
+                const std::string& message) {
+  return file + "\x1f" + check + "\x1f" + message;
+}
+
+}  // namespace
+
+std::string FindingsToSarif(const std::vector<Finding>& findings) {
+  // Rule metadata: one reportingDescriptor per distinct check id.
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) rule_ids.insert(f.check);
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"dialite_analyze\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/northeastern-datalab/dialite\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + JsonEscape(id) + "\"}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(f.check) + "\",\n";
+    out += "          \"level\": \"";
+    out += SeverityName(f.severity);
+    out += "\",\n";
+    out += "          \"message\": {\"text\": \"" + JsonEscape(f.message) +
+           "\"},\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": {\"uri\": \"" +
+        JsonEscape(f.file) +
+        "\"},\n"
+        "                \"region\": {\"startLine\": " +
+        std::to_string(f.line > 0 ? f.line : 1) +
+        "}\n"
+        "              }\n"
+        "            }\n"
+        "          ]\n"
+        "        }";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string FindingsToBaseline(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"file\": \"" + JsonEscape(f.file) + "\", \"check\": \"" +
+           JsonEscape(f.check) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool LoadBaseline(const std::string& text, std::vector<BaselineEntry>* out,
+                  std::string* error) {
+  BaselineScanner scanner(text);
+  return scanner.Parse(out, error);
+}
+
+BaselineDiff DiffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline) {
+  BaselineDiff diff;
+  std::set<std::string> known;
+  for (const BaselineEntry& e : baseline) {
+    known.insert(Key(e.file, e.check, e.message));
+  }
+  std::set<std::string> fired;
+  for (const Finding& f : findings) {
+    const std::string key = Key(f.file, f.check, f.message);
+    fired.insert(key);
+    if (!known.count(key)) diff.fresh.push_back(f);
+  }
+  for (const BaselineEntry& e : baseline) {
+    if (!fired.count(Key(e.file, e.check, e.message))) {
+      diff.stale.push_back(e);
+    }
+  }
+  return diff;
+}
+
+}  // namespace analyze
+}  // namespace dialite

@@ -1,0 +1,49 @@
+#ifndef DIALITE_TOOLS_ANALYZE_REPORT_H_
+#define DIALITE_TOOLS_ANALYZE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/checks.h"
+
+namespace dialite {
+namespace analyze {
+
+/// Serializes findings as a SARIF 2.1.0 log (one run, driver
+/// "dialite_analyze") suitable for upload as a CI artifact or to code
+/// scanning. Severities map kError->"error", kWarning->"warning",
+/// kNote->"note".
+std::string FindingsToSarif(const std::vector<Finding>& findings);
+
+/// Serializes findings as the baseline format: one JSON object per entry
+/// with file/check/message (no line — lines drift across refactors; the
+/// triple identifies a finding stably enough for a diff gate).
+std::string FindingsToBaseline(const std::vector<Finding>& findings);
+
+struct BaselineEntry {
+  std::string file;
+  std::string check;
+  std::string message;
+};
+
+/// Parses a baseline previously written by FindingsToBaseline. Returns
+/// false (with *error set) on malformed input.
+bool LoadBaseline(const std::string& text, std::vector<BaselineEntry>* out,
+                  std::string* error);
+
+struct BaselineDiff {
+  /// Findings not present in the baseline — these fail the gate.
+  std::vector<Finding> fresh;
+  /// Baseline entries that no longer fire — stale, reported as warnings so
+  /// the baseline gets re-recorded rather than rotting.
+  std::vector<BaselineEntry> stale;
+};
+
+/// Splits `findings` against `baseline` on the (file, check, message) key.
+BaselineDiff DiffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline);
+
+}  // namespace analyze
+}  // namespace dialite
+
+#endif  // DIALITE_TOOLS_ANALYZE_REPORT_H_
